@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 15 of the paper: execution time under four memory
+ * configurations — baseline, a dedicated RT cache, zero-latency BVH
+ * accesses (Perfect BVH) and zero-latency DRAM (Perfect Mem). The
+ * paper's shape: the RT cache helps; Perfect BVH helps most where RT
+ * loads dominate (EXT); Perfect Mem helps everywhere (memory bound).
+ */
+
+#include "bench/common.h"
+
+int
+main()
+{
+    using namespace vksim;
+    bench::header("Figure 15", "Execution time of memory configurations",
+                  "speedups are relative to the baseline configuration");
+
+    const MemoryVariant variants[] = {
+        MemoryVariant::Baseline, MemoryVariant::RtCache,
+        MemoryVariant::PerfectBvh, MemoryVariant::PerfectMem};
+    const char *names[] = {"baseline", "rtcache", "perfect-bvh",
+                           "perfect-mem"};
+
+    std::printf("%-8s %14s %14s %14s %14s\n", "Scene", names[0], names[1],
+                names[2], names[3]);
+    for (wl::WorkloadId id : wl::kAllWorkloads) {
+        Cycle cycles[4] = {};
+        for (int v = 0; v < 4; ++v) {
+            wl::Workload workload(id, bench::benchParams(id));
+            GpuConfig config =
+                applyMemoryVariant(baselineGpuConfig(), variants[v]);
+            cycles[v] = simulateWorkload(workload, config).cycles;
+        }
+        std::printf("%-8s %14llu", wl::workloadName(id),
+                    static_cast<unsigned long long>(cycles[0]));
+        for (int v = 1; v < 4; ++v)
+            std::printf(" %8llu(%.2fx)",
+                        static_cast<unsigned long long>(cycles[v]),
+                        static_cast<double>(cycles[0]) / cycles[v]);
+        std::printf("\n");
+    }
+    return 0;
+}

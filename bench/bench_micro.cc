@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's own hot paths:
+ * BVH construction throughput, serialized-BVH traversal rays/second, the
+ * functional VPTX executor, and one timed-simulation step. These measure
+ * the *simulator* (how fast experiments run), not the modelled GPU.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/vulkansim.h"
+#include "reftrace/tracer.h"
+
+namespace {
+
+using namespace vksim;
+
+void
+BM_BvhBuild(benchmark::State &state)
+{
+    Scene scene = makeExtScene(static_cast<float>(state.range(0)) / 100.f);
+    std::size_t prims = scene.totalPrimitives();
+    for (auto _ : state) {
+        GlobalMemory gmem;
+        AccelStruct accel = buildAccelStruct(scene, gmem);
+        benchmark::DoNotOptimize(accel.stats.totalBytes);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * prims);
+}
+BENCHMARK(BM_BvhBuild)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void
+BM_Traversal(benchmark::State &state)
+{
+    Scene scene = makeExtScene(0.2f);
+    GlobalMemory gmem;
+    AccelStruct accel = buildAccelStruct(scene, gmem);
+    CpuTracer tracer(scene, gmem, accel);
+    unsigned x = 0;
+    std::int64_t rays = 0;
+    for (auto _ : state) {
+        Ray ray = scene.camera.generateRay(x % 64, (x / 64) % 64, 64, 64);
+        ++x;
+        HitRecord hit = tracer.trace(ray);
+        benchmark::DoNotOptimize(hit.t);
+        ++rays;
+    }
+    state.SetItemsProcessed(rays);
+}
+BENCHMARK(BM_Traversal);
+
+void
+BM_FunctionalSim(benchmark::State &state)
+{
+    wl::WorkloadParams params;
+    params.width = 16;
+    params.height = 16;
+    params.extScale = 0.1f;
+    for (auto _ : state) {
+        wl::Workload workload(wl::WorkloadId::EXT, params);
+        StatGroup stats;
+        workload.runFunctional(vptx::WarpCflow::Mode::Stack, &stats);
+        benchmark::DoNotOptimize(stats.get("instructions"));
+    }
+    state.SetLabel("16x16 EXT launch per iteration");
+}
+BENCHMARK(BM_FunctionalSim)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimedSim(benchmark::State &state)
+{
+    wl::WorkloadParams params;
+    params.width = 16;
+    params.height = 16;
+    GpuConfig config = baselineGpuConfig();
+    config.numSms = 8;
+    config.fabric.numPartitions = 2;
+    for (auto _ : state) {
+        wl::Workload workload(wl::WorkloadId::TRI, params);
+        RunResult run = simulateWorkload(workload, config);
+        benchmark::DoNotOptimize(run.cycles);
+    }
+    state.SetLabel("16x16 TRI cycle-level run per iteration");
+}
+BENCHMARK(BM_TimedSim)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The EXT workload (synthetic atrium, the paper's Sponza stand-in):
+ * ambient occlusion + hard shadows over a couple hundred thousand
+ * triangles, rendered on the cycle-level simulator with a configurable
+ * GPU (baseline or mobile, memory-system variants of Fig. 15).
+ *
+ * Usage: sponza_atrium [--width=64] [--height=64] [--scale=0.25]
+ *                      [--mobile] [--variant=baseline|rtcache|
+ *                       perfectbvh|perfectmem] [--out=atrium.ppm]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/vulkansim.h"
+#include "power/power.h"
+#include "util/options.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vksim;
+    Options opts(argc, argv);
+    wl::WorkloadParams params;
+    params.width = static_cast<unsigned>(opts.getInt("width", 64));
+    params.height = static_cast<unsigned>(opts.getInt("height", 64));
+    params.extScale = static_cast<float>(opts.getFloat("scale", 0.25));
+
+    std::printf("Generating the atrium at scale %.2f...\n",
+                params.extScale);
+    wl::Workload workload(wl::WorkloadId::EXT, params);
+    std::printf("  %zu triangles, BVH depth %u, %.1f KiB of BVH\n",
+                workload.scene().totalPrimitives(),
+                workload.accel().stats.treeDepth(),
+                workload.accel().stats.totalBytes / 1024.0);
+
+    GpuConfig config =
+        opts.getBool("mobile") ? mobileGpuConfig() : baselineGpuConfig();
+    std::string variant = opts.get("variant", "baseline");
+    if (variant == "rtcache")
+        config = applyMemoryVariant(config, MemoryVariant::RtCache);
+    else if (variant == "perfectbvh")
+        config = applyMemoryVariant(config, MemoryVariant::PerfectBvh);
+    else if (variant == "perfectmem")
+        config = applyMemoryVariant(config, MemoryVariant::PerfectMem);
+
+    std::printf("Simulating on %u SMs (%s, %s)...\n", config.numSms,
+                opts.getBool("mobile") ? "mobile" : "baseline",
+                variant.c_str());
+    RunResult run = simulateWorkload(workload, config);
+
+    std::printf("cycles: %llu\n",
+                static_cast<unsigned long long>(run.cycles));
+    std::printf("SIMT efficiency: %.1f%% (GPU), %.1f%% (RT unit)\n",
+                100.0 * run.simtEfficiency(),
+                100.0 * run.rtSimtEfficiency());
+    std::printf("RT units busy %.1f%% of cycles\n",
+                100.0 * run.rtActiveFraction());
+    std::printf("L1: %llu shader accesses, %llu RT-unit accesses\n",
+                static_cast<unsigned long long>(
+                    run.l1.get("accesses.shader")),
+                static_cast<unsigned long long>(
+                    run.l1.get("accesses.rtunit")));
+    std::printf("DRAM: %.1f%% utilization, %.1f%% efficiency\n",
+                100.0 * run.dramUtilization(),
+                100.0 * run.dramEfficiency());
+
+    PowerReport power = estimatePower(run, config.numSms);
+    std::printf("power: %.1f W average (DRAM %.1f%%, RT units %.2f%%, "
+                "constant+static %.1f%%)\n",
+                power.averageWatts,
+                100.0 * power.fractionOf(power.dramJoules),
+                100.0 * power.fractionOf(power.rtUnitJoules),
+                100.0
+                    * (power.fractionOf(power.constantJoules)
+                       + power.fractionOf(power.staticJoules)));
+
+    Image image = workload.readFramebuffer();
+    ImageDiff diff = compareImages(image, workload.renderReferenceImage());
+    std::printf("image check: %.4f%% pixels differ from the reference "
+                "renderer\n",
+                100.0 * diff.differingFraction());
+
+    std::string out = opts.get("out", "atrium.ppm");
+    if (image.writePpm(out))
+        std::printf("wrote %s\n", out.c_str());
+    return 0;
+}

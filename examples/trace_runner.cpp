@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Trace dump and replay, mirroring the paper artifact's trace runner:
+ *   trace_runner --dump=tri.vktrace --workload=TRI [--width=..]
+ *     builds a workload and dumps its launch (program + memory image);
+ *   trace_runner --run=tri.vktrace [--mobile]
+ *     replays a dumped trace on the cycle-level simulator without any
+ *     frontend (the artifact's "resimulate on any system" flow).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/vulkansim.h"
+#include "util/options.h"
+#include "vulkan/trace.h"
+
+namespace {
+
+vksim::wl::WorkloadId
+workloadByName(const std::string &name)
+{
+    using vksim::wl::WorkloadId;
+    for (WorkloadId id : vksim::wl::kAllWorkloads)
+        if (name == vksim::wl::workloadName(id))
+            return id;
+    std::fprintf(stderr, "unknown workload %s (use TRI/REF/EXT/RTV5/RTV6)\n",
+                 name.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vksim;
+    Options opts(argc, argv);
+
+    if (opts.has("dump")) {
+        wl::WorkloadParams params;
+        params.width = static_cast<unsigned>(opts.getInt("width", 48));
+        params.height = static_cast<unsigned>(opts.getInt("height", 48));
+        params.extScale = static_cast<float>(opts.getFloat("scale", 0.2));
+        params.rtv5Detail =
+            static_cast<unsigned>(opts.getInt("detail", 4));
+        wl::Workload workload(workloadByName(opts.get("workload", "TRI")),
+                              params);
+        std::string path = opts.get("dump");
+        if (!dumpTrace(path, workload.launch()))
+            return 1;
+        std::printf("Trace dumped: %s (%zu instructions, %.1f MiB memory "
+                    "image)\n",
+                    path.c_str(), workload.pipeline().program.code.size(),
+                    workload.device().memory().residentBytes()
+                        / (1024.0 * 1024.0));
+        return 0;
+    }
+
+    if (opts.has("run")) {
+        std::string path = opts.get("run");
+        std::unique_ptr<LoadedTrace> trace = loadTrace(path);
+        if (!trace)
+            return 1;
+        std::printf("Replaying %s: launch %ux%ux%u, %zu instructions\n",
+                    path.c_str(), trace->ctx.launchSize[0],
+                    trace->ctx.launchSize[1], trace->ctx.launchSize[2],
+                    trace->program->code.size());
+        GpuConfig config = opts.getBool("mobile") ? mobileGpuConfig()
+                                                  : baselineGpuConfig();
+        GpuSimulator sim(config, trace->ctx);
+        RunResult run = sim.run();
+        std::printf("cycles: %llu  SIMT: %.1f%%  RT SIMT: %.1f%%  DRAM "
+                    "util: %.1f%%\n",
+                    static_cast<unsigned long long>(run.cycles),
+                    100.0 * run.simtEfficiency(),
+                    100.0 * run.rtSimtEfficiency(),
+                    100.0 * run.dramUtilization());
+        return 0;
+    }
+
+    std::printf("usage:\n  trace_runner --dump=<file> --workload=TRI\n"
+                "  trace_runner --run=<file> [--mobile]\n");
+    return 0;
+}

@@ -1,0 +1,234 @@
+#include "accel/build.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "util/log.h"
+
+namespace vksim {
+
+namespace {
+
+constexpr unsigned kNumBins = 16;
+
+struct BuildContext
+{
+    const std::vector<PrimRef> *prims = nullptr;
+    std::vector<std::uint32_t> order; // permutation being partitioned
+    std::vector<BinaryBvhNode> nodes;
+};
+
+Aabb
+rangeBounds(const BuildContext &ctx, std::uint32_t begin, std::uint32_t end)
+{
+    Aabb box;
+    for (std::uint32_t i = begin; i < end; ++i)
+        box.extend((*ctx.prims)[ctx.order[i]].bounds);
+    return box;
+}
+
+/** Recursively build [begin, end); returns the node index. */
+std::int32_t
+buildRange(BuildContext &ctx, std::uint32_t begin, std::uint32_t end)
+{
+    auto node_index = static_cast<std::int32_t>(ctx.nodes.size());
+    ctx.nodes.emplace_back();
+    Aabb bounds = rangeBounds(ctx, begin, end);
+    ctx.nodes[node_index].bounds = bounds;
+
+    std::uint32_t count = end - begin;
+    if (count == 1) {
+        ctx.nodes[node_index].primIndex =
+            static_cast<std::int32_t>(ctx.order[begin]);
+        return node_index;
+    }
+
+    // Centroid bounds drive the binning axis.
+    Aabb centroid_bounds;
+    for (std::uint32_t i = begin; i < end; ++i)
+        centroid_bounds.extend((*ctx.prims)[ctx.order[i]].bounds.center());
+    int axis = maxDimension(centroid_bounds.extent());
+    float axis_min = centroid_bounds.lo[axis];
+    float axis_extent = centroid_bounds.extent()[axis];
+
+    std::uint32_t mid = begin + count / 2;
+    if (axis_extent > 1e-12f && count > 2) {
+        // Binned SAH sweep.
+        struct Bin
+        {
+            Aabb bounds;
+            std::uint32_t count = 0;
+        };
+        std::array<Bin, kNumBins> bins;
+        auto bin_of = [&](std::uint32_t prim) {
+            float c = (*ctx.prims)[prim].bounds.center()[axis];
+            auto b = static_cast<int>((c - axis_min) / axis_extent
+                                      * kNumBins);
+            return std::clamp(b, 0, static_cast<int>(kNumBins) - 1);
+        };
+        for (std::uint32_t i = begin; i < end; ++i) {
+            Bin &bin = bins[bin_of(ctx.order[i])];
+            bin.bounds.extend((*ctx.prims)[ctx.order[i]].bounds);
+            ++bin.count;
+        }
+
+        // Prefix/suffix areas for the SAH cost of each split position.
+        std::array<float, kNumBins> right_area;
+        std::array<std::uint32_t, kNumBins> right_count;
+        Aabb acc;
+        std::uint32_t cnt = 0;
+        for (int i = kNumBins - 1; i >= 1; --i) {
+            acc.extend(bins[i].bounds);
+            cnt += bins[i].count;
+            right_area[i] = acc.surfaceArea();
+            right_count[i] = cnt;
+        }
+
+        float best_cost = std::numeric_limits<float>::max();
+        int best_split = -1;
+        acc = Aabb{};
+        cnt = 0;
+        for (unsigned i = 0; i + 1 < kNumBins; ++i) {
+            acc.extend(bins[i].bounds);
+            cnt += bins[i].count;
+            if (cnt == 0 || right_count[i + 1] == 0)
+                continue;
+            float cost = acc.surfaceArea() * cnt
+                         + right_area[i + 1] * right_count[i + 1];
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_split = static_cast<int>(i);
+            }
+        }
+
+        if (best_split >= 0) {
+            auto it = std::partition(
+                ctx.order.begin() + begin, ctx.order.begin() + end,
+                [&](std::uint32_t p) {
+                    return bin_of(p) <= best_split;
+                });
+            mid = static_cast<std::uint32_t>(it - ctx.order.begin());
+            if (mid == begin || mid == end)
+                mid = begin + count / 2; // degenerate: fall back to median
+        }
+    }
+    if (mid == begin + count / 2) {
+        // Median split requires ordering along the axis.
+        std::nth_element(ctx.order.begin() + begin, ctx.order.begin() + mid,
+                         ctx.order.begin() + end,
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return (*ctx.prims)[a].bounds.center()[axis]
+                                    < (*ctx.prims)[b].bounds.center()[axis];
+                         });
+    }
+
+    std::int32_t left = buildRange(ctx, begin, mid);
+    std::int32_t right = buildRange(ctx, mid, end);
+    ctx.nodes[node_index].left = left;
+    ctx.nodes[node_index].right = right;
+    return node_index;
+}
+
+} // namespace
+
+BinaryBvh
+buildBinaryBvh(const std::vector<PrimRef> &prims)
+{
+    BinaryBvh bvh;
+    if (prims.empty())
+        return bvh;
+    BuildContext ctx;
+    ctx.prims = &prims;
+    ctx.order.resize(prims.size());
+    for (std::uint32_t i = 0; i < prims.size(); ++i)
+        ctx.order[i] = i;
+    ctx.nodes.reserve(prims.size() * 2);
+    buildRange(ctx, 0, static_cast<std::uint32_t>(prims.size()));
+    bvh.nodes = std::move(ctx.nodes);
+    return bvh;
+}
+
+std::size_t
+WideBvh::leafCount() const
+{
+    std::size_t n = 0;
+    for (const auto &node : nodes)
+        for (const auto &child : node.children)
+            if (child.isLeaf())
+                ++n;
+    return n;
+}
+
+namespace {
+
+/** Recursively convert binary node `bin_idx`; returns wide node index. */
+std::int32_t
+collapseNode(const BinaryBvh &binary, std::int32_t bin_idx, WideBvh &wide,
+             unsigned depth)
+{
+    wide.maxDepth = std::max(wide.maxDepth, depth);
+    auto wide_idx = static_cast<std::int32_t>(wide.nodes.size());
+    wide.nodes.emplace_back();
+    wide.nodes[wide_idx].bounds = binary.nodes[bin_idx].bounds;
+
+    // Gather up to kBvhWidth binary subtrees by splitting the widest
+    // internal candidate until the budget is reached.
+    std::vector<std::int32_t> slots{bin_idx};
+    // A single-leaf root still becomes one wide node with one leaf child.
+    while (slots.size() < kBvhWidth) {
+        int expand = -1;
+        float best_area = -1.f;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            const BinaryBvhNode &n = binary.nodes[slots[i]];
+            if (n.isLeaf())
+                continue;
+            float area = n.bounds.surfaceArea();
+            if (area > best_area) {
+                best_area = area;
+                expand = static_cast<int>(i);
+            }
+        }
+        if (expand < 0)
+            break;
+        std::int32_t victim = slots[expand];
+        slots[expand] = binary.nodes[victim].left;
+        slots.push_back(binary.nodes[victim].right);
+    }
+
+    for (std::int32_t s : slots) {
+        const BinaryBvhNode &n = binary.nodes[s];
+        WideBvhChild child;
+        child.bounds = n.bounds;
+        if (n.isLeaf()) {
+            child.prim = n.primIndex;
+        } else {
+            child.node = collapseNode(binary, s, wide, depth + 1);
+        }
+        wide.nodes[wide_idx].children.push_back(child);
+    }
+    return wide_idx;
+}
+
+} // namespace
+
+WideBvh
+collapseToWide(const BinaryBvh &binary)
+{
+    WideBvh wide;
+    if (binary.nodes.empty()) {
+        wide.nodes.emplace_back();
+        wide.maxDepth = 1;
+        return wide;
+    }
+    collapseNode(binary, 0, wide, 1);
+    return wide;
+}
+
+WideBvh
+buildWideBvh(const std::vector<PrimRef> &prims)
+{
+    return collapseToWide(buildBinaryBvh(prims));
+}
+
+} // namespace vksim

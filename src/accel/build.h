@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Host-side BVH construction: binned-SAH binary build followed by a
+ * collapse into 6-wide nodes (the acceleration structure organization
+ * Vulkan-Sim adopts from Mesa, paper Sec. III-B1).
+ */
+
+#ifndef VKSIM_ACCEL_BUILD_H
+#define VKSIM_ACCEL_BUILD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.h"
+
+namespace vksim {
+
+/** A primitive reference fed to the builder. */
+struct PrimRef
+{
+    Aabb bounds;
+    std::uint32_t index = 0; ///< primitive index in the source geometry
+};
+
+/** Node of the intermediate binary BVH (leaf when primIndex >= 0). */
+struct BinaryBvhNode
+{
+    Aabb bounds;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t primIndex = -1;
+
+    bool isLeaf() const { return primIndex >= 0; }
+};
+
+/** Binary BVH with exactly one primitive per leaf. */
+struct BinaryBvh
+{
+    std::vector<BinaryBvhNode> nodes; ///< node 0 is the root
+};
+
+/**
+ * Build a binary BVH over `prims` with a 16-bin SAH sweep per axis;
+ * degenerates to a median split when SAH finds no beneficial partition.
+ */
+BinaryBvh buildBinaryBvh(const std::vector<PrimRef> &prims);
+
+/** Maximum branching factor of the collapsed BVH (Mesa uses 6). */
+inline constexpr unsigned kBvhWidth = 6;
+
+/** Child of a wide node: either another wide node or a single primitive. */
+struct WideBvhChild
+{
+    Aabb bounds;
+    std::int32_t node = -1; ///< wide node index when internal
+    std::int32_t prim = -1; ///< primitive index when leaf
+
+    bool isLeaf() const { return prim >= 0; }
+};
+
+/** Internal node with up to kBvhWidth children. */
+struct WideBvhNode
+{
+    Aabb bounds;
+    std::vector<WideBvhChild> children;
+};
+
+/** Collapsed wide BVH. */
+struct WideBvh
+{
+    std::vector<WideBvhNode> nodes; ///< node 0 is the root
+    unsigned maxDepth = 0;          ///< in wide nodes, root = 1
+
+    /** Total child slots that are primitive leaves. */
+    std::size_t leafCount() const;
+};
+
+/**
+ * Collapse a binary BVH into a wide BVH by repeatedly expanding the
+ * largest-surface-area internal child until the node has kBvhWidth
+ * children or only leaves remain.
+ */
+WideBvh collapseToWide(const BinaryBvh &binary);
+
+/** Convenience: build + collapse. Empty input yields a single empty root. */
+WideBvh buildWideBvh(const std::vector<PrimRef> &prims);
+
+} // namespace vksim
+
+#endif // VKSIM_ACCEL_BUILD_H

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * On-device acceleration structure node layouts (paper Fig. 7).
+ *
+ * - Internal nodes are 64 bytes and store the pointer of the *first* child
+ *   only (children are laid out consecutively) plus one AABB per child.
+ *   Exact float AABBs for six children do not fit in 64 bytes, so — like
+ *   the Mesa/Intel format the paper adopts — child boxes are quantized to
+ *   8 bits per plane against a per-node origin and power-of-two scale.
+ * - Top-level leaf nodes are 128 bytes: BLAS root pointer, both transform
+ *   matrices, and the user-defined instance indices (Fig. 7b).
+ * - Triangle leaves are 64 bytes: leaf descriptor, primitive index and the
+ *   three vertices (Fig. 7c).
+ * - Procedural leaves hold a leaf descriptor and a primitive index.
+ *
+ * All blocks are 64-byte aligned; a top-level leaf occupies two blocks.
+ */
+
+#ifndef VKSIM_ACCEL_LAYOUT_H
+#define VKSIM_ACCEL_LAYOUT_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "geom/aabb.h"
+#include "util/types.h"
+
+namespace vksim {
+
+/** Node type tags stored in leaf descriptors and child-type fields. */
+enum class NodeType : std::uint32_t
+{
+    Invalid = 0,
+    Internal = 1,   ///< 64 B internal node (TLAS or BLAS)
+    TopLeaf = 2,    ///< 128 B TLAS leaf (instance)
+    TriangleLeaf = 3,
+    ProceduralLeaf = 4
+};
+
+/** Size in bytes of the basic node block. */
+inline constexpr Addr kNodeBlockSize = 64;
+
+/** Blocks occupied by each node type. */
+inline unsigned
+nodeBlocks(NodeType t)
+{
+    return t == NodeType::TopLeaf ? 2 : 1;
+}
+
+/**
+ * 64-byte internal node with up to six quantized child boxes.
+ * Children are stored consecutively starting at firstChild; the packed
+ * childTypes field gives each child's NodeType (4 bits per child) which
+ * also determines its block count for address arithmetic.
+ */
+struct InternalNode
+{
+    float originX, originY, originZ; ///< quantization frame origin
+    std::int8_t expX, expY, expZ;    ///< per-axis power-of-two exponents
+    std::uint8_t childCount;
+    std::uint64_t firstChild;        ///< device address of child 0
+    std::uint32_t childTypes;        ///< 4 bits per child, low bits = child 0
+    std::uint8_t qlo[6][3];          ///< quantized child box minima
+    std::uint8_t qhi[6][3];          ///< quantized child box maxima
+
+    /** NodeType of child `i`. */
+    NodeType
+    childType(unsigned i) const
+    {
+        return static_cast<NodeType>((childTypes >> (4 * i)) & 0xF);
+    }
+
+    void
+    setChildType(unsigned i, NodeType t)
+    {
+        childTypes &= ~(0xFu << (4 * i));
+        childTypes |= static_cast<std::uint32_t>(t) << (4 * i);
+    }
+
+    /** Device address of child `i` (children are consecutive blocks). */
+    Addr
+    childAddress(unsigned i) const
+    {
+        Addr addr = firstChild;
+        for (unsigned c = 0; c < i; ++c)
+            addr += kNodeBlockSize * nodeBlocks(childType(c));
+        return addr;
+    }
+
+    /** Dequantized (conservative) box of child `i`. */
+    Aabb
+    childBounds(unsigned i) const
+    {
+        float sx = std::ldexp(1.0f, expX);
+        float sy = std::ldexp(1.0f, expY);
+        float sz = std::ldexp(1.0f, expZ);
+        Aabb box;
+        box.lo = {originX + qlo[i][0] * sx, originY + qlo[i][1] * sy,
+                  originZ + qlo[i][2] * sz};
+        box.hi = {originX + qhi[i][0] * sx, originY + qhi[i][1] * sy,
+                  originZ + qhi[i][2] * sz};
+        return box;
+    }
+
+    /** Set the quantization frame from the node's own bounds. */
+    void setFrame(const Aabb &bounds);
+
+    /** Quantize `box` (conservatively) into child slot `i`. */
+    void setChildBounds(unsigned i, const Aabb &box);
+};
+
+/** 128-byte TLAS leaf: one instance (paper Fig. 7b). */
+struct TopLeafNode
+{
+    std::uint32_t leafDescriptor; ///< NodeType::TopLeaf
+    std::uint32_t instanceIndex;  ///< index of the instance in the TLAS
+    std::uint64_t blasRoot;       ///< device address of the BLAS root node
+    float worldToObject[12];      ///< rows 0..2 of the 4x4 (affine)
+    float objectToWorld[12];
+    std::int32_t instanceCustomIndex;
+    std::int32_t sbtOffset;       ///< selects the hit group
+    std::uint32_t geometryKind;   ///< GeometryKind of the BLAS
+    std::uint32_t pad0;
+};
+
+/** 64-byte triangle leaf (paper Fig. 7c). */
+struct TriangleLeafNode
+{
+    std::uint32_t leafDescriptor; ///< NodeType::TriangleLeaf
+    std::uint32_t primitiveIndex;
+    float v0[3];
+    float v1[3];
+    float v2[3];
+    std::uint32_t opaque; ///< 1 = skip any-hit shading
+    std::uint32_t pad[4];
+};
+
+/** Procedural leaf: descriptor + primitive index (paper Sec. III-B1). */
+struct ProceduralLeafNode
+{
+    std::uint32_t leafDescriptor; ///< NodeType::ProceduralLeaf
+    std::uint32_t primitiveIndex;
+    std::uint32_t pad[14];
+};
+
+static_assert(sizeof(InternalNode) == 64, "internal node must be 64 B");
+static_assert(sizeof(TopLeafNode) == 128, "top leaf must be 128 B");
+static_assert(sizeof(TriangleLeafNode) == 64, "triangle leaf must be 64 B");
+static_assert(sizeof(ProceduralLeafNode) == 64,
+              "procedural leaf blocks are 64 B");
+
+/** Extract the node type from the first word of any node block. */
+inline NodeType
+leafDescriptorType(std::uint32_t descriptor)
+{
+    return static_cast<NodeType>(descriptor & 0xFu);
+}
+
+} // namespace vksim
+
+#endif // VKSIM_ACCEL_LAYOUT_H

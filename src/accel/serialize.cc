@@ -1,0 +1,314 @@
+#include "accel/serialize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/log.h"
+
+namespace vksim {
+
+void
+InternalNode::setFrame(const Aabb &bounds)
+{
+    originX = bounds.lo.x;
+    originY = bounds.lo.y;
+    originZ = bounds.lo.z;
+    Vec3 extent = bounds.extent();
+    auto exp_for = [](float e) {
+        // Smallest power of two s such that 255 * s covers the extent.
+        if (e <= 0.f)
+            return static_cast<std::int8_t>(-126);
+        int exp = 0;
+        std::frexp(e / 255.0f, &exp);
+        return static_cast<std::int8_t>(std::clamp(exp, -126, 126));
+    };
+    expX = exp_for(extent.x);
+    expY = exp_for(extent.y);
+    expZ = exp_for(extent.z);
+}
+
+void
+InternalNode::setChildBounds(unsigned i, const Aabb &box)
+{
+    float scale[3] = {std::ldexp(1.0f, expX), std::ldexp(1.0f, expY),
+                      std::ldexp(1.0f, expZ)};
+    float origin[3] = {originX, originY, originZ};
+    for (int axis = 0; axis < 3; ++axis) {
+        float lo = (box.lo[axis] - origin[axis]) / scale[axis];
+        float hi = (box.hi[axis] - origin[axis]) / scale[axis];
+        qlo[i][axis] = static_cast<std::uint8_t>(
+            std::clamp(static_cast<int>(std::floor(lo)), 0, 255));
+        qhi[i][axis] = static_cast<std::uint8_t>(
+            std::clamp(static_cast<int>(std::ceil(hi)), 0, 255));
+    }
+}
+
+namespace {
+
+/** Fill the affine rows of a Mat4 into a 12-float array (row-major). */
+void
+packMatrix(const Mat4 &m, float out[12])
+{
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 4; ++c)
+            out[4 * r + c] = m.m[r][c];
+}
+
+/**
+ * Serializes one wide BVH. Leaf encoding is delegated so the same walker
+ * lays out BLASes (triangle/procedural leaves) and the TLAS (instance
+ * leaves).
+ */
+class WideBvhWriter
+{
+  public:
+    WideBvhWriter(const WideBvh &bvh, GlobalMemory &gmem) :
+        bvh_(bvh), gmem_(gmem)
+    {
+    }
+
+    /** Block count of the leaf for primitive `prim`. */
+    virtual unsigned leafBlocks(std::int32_t prim) const = 0;
+
+    /** NodeType of the leaf for primitive `prim`. */
+    virtual NodeType leafType(std::int32_t prim) const = 0;
+
+    /** Write the leaf record for `prim` at `addr`. */
+    virtual void writeLeaf(std::int32_t prim, Addr addr) = 0;
+
+    /** Lay out and write all nodes; returns the root address. */
+    Addr
+    write()
+    {
+        // Pass 1: assign addresses breadth-first so each node's children
+        // occupy consecutive blocks.
+        nodeAddr_.assign(bvh_.nodes.size(), 0);
+        Addr root = alloc(1);
+        nodeAddr_[0] = root;
+        std::deque<std::int32_t> queue{0};
+        // childBase_[n] = address of node n's first child run.
+        childBase_.assign(bvh_.nodes.size(), 0);
+        while (!queue.empty()) {
+            std::int32_t n = queue.front();
+            queue.pop_front();
+            const WideBvhNode &node = bvh_.nodes[n];
+            unsigned blocks = 0;
+            for (const WideBvhChild &c : node.children)
+                blocks += c.isLeaf() ? leafBlocks(c.prim) : 1;
+            Addr base = alloc(blocks);
+            childBase_[n] = base;
+            Addr cursor = base;
+            for (const WideBvhChild &c : node.children) {
+                if (c.isLeaf()) {
+                    cursor += kNodeBlockSize * leafBlocks(c.prim);
+                } else {
+                    nodeAddr_[c.node] = cursor;
+                    cursor += kNodeBlockSize;
+                    queue.push_back(c.node);
+                }
+            }
+        }
+
+        // Pass 2: write node contents.
+        for (std::size_t n = 0; n < bvh_.nodes.size(); ++n) {
+            const WideBvhNode &node = bvh_.nodes[n];
+            InternalNode inode{};
+            inode.setFrame(node.bounds);
+            inode.childCount =
+                static_cast<std::uint8_t>(node.children.size());
+            inode.firstChild = childBase_[n];
+            Addr cursor = childBase_[n];
+            for (std::size_t i = 0; i < node.children.size(); ++i) {
+                const WideBvhChild &c = node.children[i];
+                inode.setChildBounds(static_cast<unsigned>(i), c.bounds);
+                NodeType t =
+                    c.isLeaf() ? leafType(c.prim) : NodeType::Internal;
+                inode.setChildType(static_cast<unsigned>(i), t);
+                if (c.isLeaf()) {
+                    writeLeaf(c.prim, cursor);
+                    cursor += kNodeBlockSize * leafBlocks(c.prim);
+                } else {
+                    cursor += kNodeBlockSize;
+                }
+            }
+            gmem_.store(nodeAddr_[n], inode);
+        }
+        return root;
+    }
+
+    Addr bytesWritten() const { return bytes_; }
+
+    virtual ~WideBvhWriter() = default;
+
+  protected:
+    Addr
+    alloc(unsigned blocks)
+    {
+        Addr a = gmem_.allocate(blocks * kNodeBlockSize, kNodeBlockSize);
+        bytes_ += blocks * kNodeBlockSize;
+        return a;
+    }
+
+    const WideBvh &bvh_;
+    GlobalMemory &gmem_;
+    std::vector<Addr> nodeAddr_;
+    std::vector<Addr> childBase_;
+    Addr bytes_ = 0;
+};
+
+/** BLAS writer: triangle or procedural leaves. */
+class BlasWriter : public WideBvhWriter
+{
+  public:
+    BlasWriter(const WideBvh &bvh, const Geometry &geom, GlobalMemory &gmem)
+        : WideBvhWriter(bvh, gmem), geom_(geom)
+    {
+    }
+
+    unsigned leafBlocks(std::int32_t) const override { return 1; }
+
+    NodeType
+    leafType(std::int32_t) const override
+    {
+        return geom_.kind == GeometryKind::Triangles
+                   ? NodeType::TriangleLeaf
+                   : NodeType::ProceduralLeaf;
+    }
+
+    void
+    writeLeaf(std::int32_t prim, Addr addr) override
+    {
+        if (geom_.kind == GeometryKind::Triangles) {
+            TriangleLeafNode leaf{};
+            leaf.leafDescriptor =
+                static_cast<std::uint32_t>(NodeType::TriangleLeaf);
+            leaf.primitiveIndex = static_cast<std::uint32_t>(prim);
+            Vec3 v0, v1, v2;
+            geom_.mesh.triangle(static_cast<std::size_t>(prim), &v0, &v1,
+                                &v2);
+            leaf.v0[0] = v0.x; leaf.v0[1] = v0.y; leaf.v0[2] = v0.z;
+            leaf.v1[0] = v1.x; leaf.v1[1] = v1.y; leaf.v1[2] = v1.z;
+            leaf.v2[0] = v2.x; leaf.v2[1] = v2.y; leaf.v2[2] = v2.z;
+            leaf.opaque = geom_.opaque ? 1 : 0;
+            gmem_.store(addr, leaf);
+        } else {
+            ProceduralLeafNode leaf{};
+            leaf.leafDescriptor =
+                static_cast<std::uint32_t>(NodeType::ProceduralLeaf);
+            leaf.primitiveIndex = static_cast<std::uint32_t>(prim);
+            gmem_.store(addr, leaf);
+        }
+    }
+
+  private:
+    const Geometry &geom_;
+};
+
+/** TLAS writer: 128-byte instance leaves. */
+class TlasWriter : public WideBvhWriter
+{
+  public:
+    TlasWriter(const WideBvh &bvh, const Scene &scene,
+               const std::vector<Addr> &blas_roots, GlobalMemory &gmem)
+        : WideBvhWriter(bvh, gmem), scene_(scene), blasRoots_(blas_roots)
+    {
+    }
+
+    unsigned leafBlocks(std::int32_t) const override { return 2; }
+
+    NodeType
+    leafType(std::int32_t) const override
+    {
+        return NodeType::TopLeaf;
+    }
+
+    void
+    writeLeaf(std::int32_t prim, Addr addr) override
+    {
+        const Instance &inst =
+            scene_.instances[static_cast<std::size_t>(prim)];
+        TopLeafNode leaf{};
+        leaf.leafDescriptor = static_cast<std::uint32_t>(NodeType::TopLeaf);
+        leaf.instanceIndex = static_cast<std::uint32_t>(prim);
+        leaf.blasRoot = blasRoots_[inst.geometryIndex];
+        packMatrix(affineInverse(inst.objectToWorld), leaf.worldToObject);
+        packMatrix(inst.objectToWorld, leaf.objectToWorld);
+        leaf.instanceCustomIndex = inst.instanceCustomIndex;
+        leaf.sbtOffset = inst.sbtOffset;
+        leaf.geometryKind = static_cast<std::uint32_t>(
+            scene_.geometries[inst.geometryIndex].kind);
+        gmem_.store(addr, leaf);
+    }
+
+  private:
+    const Scene &scene_;
+    const std::vector<Addr> &blasRoots_;
+};
+
+/** World-space bounds of an instanced geometry (transform 8 corners). */
+Aabb
+instanceWorldBounds(const Geometry &geom, const Mat4 &xf)
+{
+    Aabb obj;
+    for (std::size_t i = 0; i < geom.primitiveCount(); ++i)
+        obj.extend(geom.primitiveBounds(i));
+    Aabb world;
+    for (int corner = 0; corner < 8; ++corner) {
+        Vec3 p{corner & 1 ? obj.hi.x : obj.lo.x,
+               corner & 2 ? obj.hi.y : obj.lo.y,
+               corner & 4 ? obj.hi.z : obj.lo.z};
+        world.extend(xf.transformPoint(p));
+    }
+    return world;
+}
+
+} // namespace
+
+AccelStruct
+buildAccelStruct(const Scene &scene, GlobalMemory &gmem)
+{
+    vksim_assert(!scene.instances.empty());
+    AccelStruct accel;
+
+    // Bottom level: one BVH per geometry.
+    accel.blasRoots.resize(scene.geometries.size(), 0);
+    for (std::size_t g = 0; g < scene.geometries.size(); ++g) {
+        const Geometry &geom = scene.geometries[g];
+        if (geom.primitiveCount() == 0)
+            continue;
+        std::vector<PrimRef> refs(geom.primitiveCount());
+        for (std::size_t i = 0; i < refs.size(); ++i) {
+            refs[i].bounds = geom.primitiveBounds(i);
+            refs[i].index = static_cast<std::uint32_t>(i);
+        }
+        WideBvh bvh = buildWideBvh(refs);
+        BlasWriter writer(bvh, geom, gmem);
+        accel.blasRoots[g] = writer.write();
+        accel.stats.blasInternalNodes += bvh.nodes.size();
+        accel.stats.blasLeaves += bvh.leafCount();
+        accel.stats.maxBlasDepth =
+            std::max(accel.stats.maxBlasDepth, bvh.maxDepth);
+        accel.stats.totalBytes += writer.bytesWritten();
+    }
+
+    // Top level over instance world bounds.
+    std::vector<PrimRef> inst_refs(scene.instances.size());
+    for (std::size_t i = 0; i < scene.instances.size(); ++i) {
+        const Instance &inst = scene.instances[i];
+        inst_refs[i].bounds = instanceWorldBounds(
+            scene.geometries[inst.geometryIndex], inst.objectToWorld);
+        inst_refs[i].index = static_cast<std::uint32_t>(i);
+    }
+    WideBvh tlas = buildWideBvh(inst_refs);
+    TlasWriter writer(tlas, scene, accel.blasRoots, gmem);
+    accel.tlasRoot = writer.write();
+    accel.tlasRootType = NodeType::Internal;
+    accel.stats.tlasInternalNodes = tlas.nodes.size();
+    accel.stats.tlasLeaves = tlas.leafCount();
+    accel.stats.tlasDepth = tlas.maxDepth;
+    accel.stats.totalBytes += writer.bytesWritten();
+    return accel;
+}
+
+} // namespace vksim

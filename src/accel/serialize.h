@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Builds the two-level acceleration structure for a scene and serializes
+ * it into simulated global memory using the node layouts of layout.h.
+ *
+ * This plays the role of Mesa's VK_KHR_acceleration_structure support in
+ * the original system: the host builds the BVH, the device only traverses
+ * the serialized bytes.
+ */
+
+#ifndef VKSIM_ACCEL_SERIALIZE_H
+#define VKSIM_ACCEL_SERIALIZE_H
+
+#include <vector>
+
+#include "accel/build.h"
+#include "accel/layout.h"
+#include "mem/gmem.h"
+#include "scene/scene.h"
+
+namespace vksim {
+
+/** Summary of a serialized acceleration structure. */
+struct AccelStats
+{
+    std::size_t tlasInternalNodes = 0;
+    std::size_t tlasLeaves = 0;
+    std::size_t blasInternalNodes = 0;
+    std::size_t blasLeaves = 0;
+    unsigned tlasDepth = 0;     ///< wide-node depth of the TLAS
+    unsigned maxBlasDepth = 0;  ///< deepest BLAS, in wide nodes
+    Addr totalBytes = 0;
+
+    /** Combined tree depth (TLAS + instance leaf + deepest BLAS). */
+    unsigned
+    treeDepth() const
+    {
+        return tlasDepth + 1 + maxBlasDepth;
+    }
+
+    std::size_t
+    totalNodes() const
+    {
+        return tlasInternalNodes + tlasLeaves + blasInternalNodes
+               + blasLeaves;
+    }
+};
+
+/** Handle to a serialized two-level acceleration structure. */
+struct AccelStruct
+{
+    Addr tlasRoot = 0;               ///< device address of the TLAS root
+    NodeType tlasRootType = NodeType::Internal;
+    std::vector<Addr> blasRoots;     ///< one per geometry
+    AccelStats stats;
+};
+
+/**
+ * Build BLASes for every geometry and a TLAS over all instances of
+ * `scene`, serializing everything into `gmem`.
+ */
+AccelStruct buildAccelStruct(const Scene &scene, GlobalMemory &gmem);
+
+} // namespace vksim
+
+#endif // VKSIM_ACCEL_SERIALIZE_H

@@ -1,0 +1,285 @@
+#include "accel/traversal.h"
+
+#include <algorithm>
+
+#include "geom/intersect.h"
+#include "util/log.h"
+
+namespace vksim {
+
+namespace {
+
+/** Unpack 12 floats (rows 0..2) into a Mat4. */
+Mat4
+unpackMatrix(const float rows[12])
+{
+    Mat4 m = Mat4::identity();
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 4; ++c)
+            m.m[r][c] = rows[4 * r + c];
+    return m;
+}
+
+} // namespace
+
+RayTraversal::RayTraversal(const GlobalMemory &gmem, Addr tlas_root,
+                           const Ray &ray, std::uint32_t flags,
+                           TraversalMemSink *sink,
+                           unsigned short_stack_entries)
+    : gmem_(gmem), sink_(sink), flags_(flags), worldRay_(ray)
+{
+    shortStack_.resize(std::max(1u, short_stack_entries));
+    worldInvDir_ = safeInverse(worldRay_.direction);
+    StackEntry root;
+    root.addr = tlas_root;
+    root.type = NodeType::Internal;
+    root.instance = -1;
+    push(root);
+}
+
+void
+RayTraversal::push(const StackEntry &e)
+{
+    if (shortTop_ == shortStack_.size()) {
+        // Evict the *bottom* (stalest) entry into per-thread memory.
+        spilled_.push_back(shortStack_[0]);
+        for (unsigned i = 1; i < shortStack_.size(); ++i)
+            shortStack_[i - 1] = shortStack_[i];
+        --shortTop_;
+        ++stackSpills_;
+        if (sink_)
+            sink_->stackSpill(sizeof(StackEntry), true);
+    }
+    shortStack_[shortTop_++] = e;
+}
+
+bool
+RayTraversal::pop(StackEntry *e)
+{
+    if (shortTop_ == 0) {
+        if (spilled_.empty())
+            return false;
+        // Refill from memory-resident stack bottom.
+        *e = spilled_.back();
+        spilled_.pop_back();
+        ++stackSpills_;
+        if (sink_)
+            sink_->stackSpill(sizeof(StackEntry), false);
+        return true;
+    }
+    *e = shortStack_[--shortTop_];
+    return true;
+}
+
+bool
+RayTraversal::nextFetch(Addr *addr, unsigned *size)
+{
+    if (done_)
+        return false;
+    if (!havePending_) {
+        if (!pop(&pending_)) {
+            done_ = true;
+            return false;
+        }
+        havePending_ = true;
+    }
+    *addr = pending_.addr;
+    *size = kNodeBlockSize * nodeBlocks(pending_.type);
+    return true;
+}
+
+void
+RayTraversal::enterInstance(const TopLeafNode &leaf)
+{
+    currentInstance_ = static_cast<std::int32_t>(leaf.instanceIndex);
+    currentCustomIndex_ = leaf.instanceCustomIndex;
+    currentSbtOffset_ = leaf.sbtOffset;
+    Mat4 w2o = unpackMatrix(leaf.worldToObject);
+    objectRay_.origin = w2o.transformPoint(worldRay_.origin);
+    // Direction left unnormalized so the t parameter matches world space.
+    objectRay_.direction = w2o.transformVector(worldRay_.direction);
+    objectRay_.tmin = worldRay_.tmin;
+    objectRay_.tmax = worldRay_.tmax;
+    objectInvDir_ = safeInverse(objectRay_.direction);
+    ++transforms_;
+}
+
+void
+RayTraversal::processInternal(const InternalNode &node, TraversalStep *out)
+{
+    out->op = BvhOp::BoxTest;
+    const Ray &ray = activeRay();
+    const Vec3 &inv = currentInstance_ < 0 ? worldInvDir_ : objectInvDir_;
+
+    struct ChildHit
+    {
+        float t;
+        unsigned idx;
+    };
+    ChildHit hits[6];
+    unsigned hit_count = 0;
+    // Clamp against corrupt node data: childCount beyond the 6-wide
+    // format would overflow the local hit list.
+    unsigned child_count = std::min<unsigned>(node.childCount, 6);
+    for (unsigned i = 0; i < child_count; ++i) {
+        ++out->boxTests;
+        ++boxTests_;
+        float t_entry = 0.f;
+        if (rayAabb(ray, inv, node.childBounds(i), &t_entry))
+            hits[hit_count++] = {t_entry, i};
+    }
+    // Push far-to-near so the nearest child is popped first.
+    std::sort(hits, hits + hit_count,
+              [](const ChildHit &a, const ChildHit &b) { return a.t > b.t; });
+    for (unsigned h = 0; h < hit_count; ++h) {
+        StackEntry e;
+        e.addr = node.childAddress(hits[h].idx);
+        e.type = node.childType(hits[h].idx);
+        e.instance = currentInstance_;
+        push(e);
+    }
+}
+
+void
+RayTraversal::processTriangle(const TriangleLeafNode &leaf,
+                              TraversalStep *out)
+{
+    out->op = BvhOp::TriangleTest;
+    out->trianglesTested = 1;
+    ++triangleTests_;
+
+    const Ray &ray = activeRay();
+    Vec3 v0{leaf.v0[0], leaf.v0[1], leaf.v0[2]};
+    Vec3 v1{leaf.v1[0], leaf.v1[1], leaf.v1[2]};
+    Vec3 v2{leaf.v2[0], leaf.v2[1], leaf.v2[2]};
+    TriangleHit tri = rayTriangle(ray, v0, v1, v2);
+    if (!tri.hit)
+        return;
+
+    bool opaque = leaf.opaque != 0 || (flags_ & kRayFlagOpaque);
+    if (!opaque) {
+        // Deferred any-hit execution: record the candidate, leave tmax
+        // untouched (Vulkan imposes no hit ordering).
+        DeferredHit d;
+        d.instanceIndex = currentInstance_;
+        d.primitiveIndex = static_cast<std::int32_t>(leaf.primitiveIndex);
+        d.instanceCustomIndex = currentCustomIndex_;
+        d.sbtOffset = currentSbtOffset_;
+        d.anyHit = true;
+        d.t = tri.t;
+        d.u = tri.u;
+        d.v = tri.v;
+        deferred_.push_back(d);
+        out->deferredRecorded = true;
+        if (sink_)
+            sink_->intersectionWrite(sizeof(DeferredHit));
+        return;
+    }
+
+    // Commit: update the closest hit and shrink both ray intervals.
+    hit_.t = tri.t;
+    hit_.u = tri.u;
+    hit_.v = tri.v;
+    hit_.instanceIndex = currentInstance_;
+    hit_.primitiveIndex = static_cast<std::int32_t>(leaf.primitiveIndex);
+    hit_.instanceCustomIndex = currentCustomIndex_;
+    hit_.sbtOffset = currentSbtOffset_;
+    hit_.kind = HitKind::Triangle;
+    worldRay_.tmax = tri.t;
+    objectRay_.tmax = tri.t;
+    out->committedHit = true;
+    if (flags_ & kRayFlagTerminateOnFirstHit) {
+        done_ = true;
+        havePending_ = false;
+    }
+}
+
+void
+RayTraversal::processProcedural(const ProceduralLeafNode &leaf,
+                                TraversalStep *out)
+{
+    out->op = BvhOp::ProceduralRecord;
+    if (flags_ & kRayFlagSkipProcedural)
+        return;
+    DeferredHit d;
+    d.instanceIndex = currentInstance_;
+    d.primitiveIndex = static_cast<std::int32_t>(leaf.primitiveIndex);
+    d.instanceCustomIndex = currentCustomIndex_;
+    d.sbtOffset = currentSbtOffset_;
+    d.anyHit = false;
+    deferred_.push_back(d);
+    out->deferredRecorded = true;
+    if (sink_)
+        sink_->intersectionWrite(sizeof(DeferredHit));
+}
+
+TraversalStep
+RayTraversal::step()
+{
+    TraversalStep out;
+    if (done_ || !havePending_) {
+        out.done = done_;
+        return out;
+    }
+
+    StackEntry entry = pending_;
+    havePending_ = false;
+    ++nodesVisited_;
+
+    // Context switch when popping back across an instance boundary.
+    if (entry.instance != currentInstance_) {
+        currentInstance_ = entry.instance;
+        // Returning to the TLAS needs no recompute: the world ray is kept
+        // up to date. Re-entering a *different* BLAS never happens without
+        // passing through its TopLeaf, which re-derives the object ray.
+        vksim_assert(entry.instance == -1);
+    }
+
+    switch (entry.type) {
+      case NodeType::Internal: {
+        InternalNode node = gmem_.load<InternalNode>(entry.addr);
+        processInternal(node, &out);
+        break;
+      }
+      case NodeType::TopLeaf: {
+        TopLeafNode leaf = gmem_.load<TopLeafNode>(entry.addr);
+        out.op = BvhOp::Transform;
+        enterInstance(leaf);
+        StackEntry e;
+        e.addr = leaf.blasRoot;
+        e.type = NodeType::Internal;
+        e.instance = currentInstance_;
+        push(e);
+        break;
+      }
+      case NodeType::TriangleLeaf: {
+        TriangleLeafNode leaf = gmem_.load<TriangleLeafNode>(entry.addr);
+        processTriangle(leaf, &out);
+        break;
+      }
+      case NodeType::ProceduralLeaf: {
+        ProceduralLeafNode leaf =
+            gmem_.load<ProceduralLeafNode>(entry.addr);
+        processProcedural(leaf, &out);
+        break;
+      }
+      default:
+        vksim_panic("traversal reached an invalid node type");
+    }
+
+    if (!havePending_ && shortTop_ == 0 && spilled_.empty())
+        done_ = true;
+    out.done = done_;
+    return out;
+}
+
+void
+RayTraversal::run()
+{
+    Addr addr;
+    unsigned size;
+    while (nextFetch(&addr, &size))
+        step();
+}
+
+} // namespace vksim

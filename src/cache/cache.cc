@@ -1,0 +1,145 @@
+#include "cache/cache.h"
+
+#include "util/log.h"
+
+namespace vksim {
+
+namespace {
+
+const char *
+originName(AccessOrigin o)
+{
+    return o == AccessOrigin::Shader ? "shader" : "rtunit";
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), stats_(config.name)
+{
+    Addr num_lines = config_.sizeBytes / kSectorBytes;
+    vksim_assert(num_lines > 0);
+    if (config_.assoc == 0) {
+        numSets_ = 1;
+        ways_ = static_cast<unsigned>(num_lines);
+    } else {
+        ways_ = config_.assoc;
+        numSets_ = static_cast<unsigned>(num_lines / ways_);
+        vksim_assert(numSets_ > 0);
+    }
+    lines_.resize(static_cast<std::size_t>(numSets_) * ways_);
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / kSectorBytes) % numSets_);
+}
+
+Cache::Line *
+Cache::probe(Addr addr)
+{
+    Addr tag = addr / kSectorBytes;
+    Line *base = &lines_[static_cast<std::size_t>(setIndex(addr)) * ways_];
+    for (unsigned w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    return nullptr;
+}
+
+void
+Cache::insert(Addr addr, Cycle now)
+{
+    Addr tag = addr / kSectorBytes;
+    Line *base = &lines_[static_cast<std::size_t>(setIndex(addr)) * ways_];
+    Line *victim = &base[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->lastUse = now;
+}
+
+CacheOutcome
+Cache::access(Addr addr, bool write, AccessOrigin origin, std::uint64_t tag,
+              Cycle now)
+{
+    addr = sectorAlign(addr);
+    std::string origin_name = originName(origin);
+    stats_.counter("accesses." + origin_name).inc();
+    if (write)
+        stats_.counter("writes." + origin_name).inc();
+
+    Line *line = probe(addr);
+    if (line) {
+        line->lastUse = now;
+        stats_.counter("hits." + origin_name).inc();
+        return CacheOutcome::Hit;
+    }
+
+    if (write) {
+        // Write-through, no-allocate: forwarded downstream by the caller.
+        stats_.counter("write_miss." + origin_name).inc();
+        return CacheOutcome::MissNew;
+    }
+
+    bool compulsory = everSeen_.insert(addr).second;
+    stats_
+        .counter((compulsory ? "miss_compulsory." : "miss_capacity_conflict.")
+                 + origin_name)
+        .inc();
+
+    auto it = mshrs_.find(addr);
+    if (it != mshrs_.end()) {
+        if (it->second.targets.size() >= config_.mshrTargets) {
+            stats_.counter("mshr_target_stalls").inc();
+            return CacheOutcome::Stall;
+        }
+        it->second.targets.push_back(tag);
+        stats_.counter("mshr_merges").inc();
+        return CacheOutcome::MissMerged;
+    }
+    if (mshrs_.size() >= config_.numMshrs) {
+        stats_.counter("mshr_full_stalls").inc();
+        return CacheOutcome::Stall;
+    }
+    mshrs_[addr].targets.push_back(tag);
+    return CacheOutcome::MissNew;
+}
+
+void
+Cache::cancelMshr(Addr addr)
+{
+    mshrs_.erase(sectorAlign(addr));
+}
+
+std::vector<std::uint64_t>
+Cache::fill(Addr addr, Cycle now)
+{
+    addr = sectorAlign(addr);
+    insert(addr, now);
+    auto it = mshrs_.find(addr);
+    if (it == mshrs_.end())
+        return {};
+    std::vector<std::uint64_t> targets = std::move(it->second.targets);
+    mshrs_.erase(it);
+    return targets;
+}
+
+void
+Cache::reset()
+{
+    for (Line &l : lines_)
+        l = Line{};
+    mshrs_.clear();
+    everSeen_.clear();
+    stats_.reset();
+}
+
+} // namespace vksim

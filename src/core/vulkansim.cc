@@ -1,0 +1,75 @@
+#include "core/vulkansim.h"
+
+namespace vksim {
+
+GpuConfig
+applyMemoryVariant(GpuConfig config, MemoryVariant variant)
+{
+    switch (variant) {
+      case MemoryVariant::Baseline:
+        break;
+      case MemoryVariant::RtCache:
+        config.useRtCache = true;
+        break;
+      case MemoryVariant::PerfectBvh:
+        config.rt.perfectBvh = true;
+        break;
+      case MemoryVariant::PerfectMem:
+        config.fabric.perfectMem = true;
+        break;
+    }
+    return config;
+}
+
+GpuConfig
+rtxMatchedConfig(int step)
+{
+    // RTX 2080 SUPER public parameters: 48 SMs, 1815 MHz boost core,
+    // 15.5 Gbps GDDR6 on a 256-bit bus, 4 MB L2.
+    GpuConfig cfg = baselineGpuConfig();
+    cfg.numSms = 48;
+    cfg.coreClockMhz = 1815.0;
+    cfg.fabric.numPartitions = 8;
+    cfg.fabric.l2 = CacheConfig{"l2", 4 * 1024 * 1024 / 8, 16, 160, 128, 16};
+    cfg.fabric.dramClockRatio = 1937.5 / 1815.0 * 2.0;
+    cfg.rt.maxWarps = 4;
+
+    if (step >= 1) {
+        // Khairy et al. / Dalmia et al. latencies.
+        cfg.l1.latency = 33;
+        cfg.fabric.l2.latency = 213;
+        cfg.fabric.dram.tRcd = 34;
+        cfg.fabric.dram.tRp = 34;
+        cfg.fabric.dram.tCas = 34;
+        cfg.rt.maxWarps = 2;
+    }
+    if (step >= 2)
+        cfg.rt.maxWarps = 1;
+    return cfg;
+}
+
+RunResult
+simulateWorkload(wl::Workload &workload, const GpuConfig &config)
+{
+    GpuConfig cfg = config;
+    cfg.fccEnabled = workload.params().fcc;
+    cfg.rt.fccEnabled = workload.params().fcc;
+    if (cfg.fccEnabled && cfg.its)
+        vksim_fatal("FCC and ITS cannot be combined: the per-warp "
+                    "coalescing buffer assumes serialized traverses");
+    GpuSimulator sim(cfg, workload.launch());
+    return sim.run();
+}
+
+SimOutcome
+simulate(wl::WorkloadId id, const wl::WorkloadParams &params,
+         const GpuConfig &config)
+{
+    wl::Workload workload(id, params);
+    SimOutcome outcome;
+    outcome.run = simulateWorkload(workload, config);
+    outcome.image = workload.readFramebuffer();
+    return outcome;
+}
+
+} // namespace vksim

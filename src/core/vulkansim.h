@@ -1,0 +1,57 @@
+/**
+ * @file
+ * VulkanSim facade: ties the Vulkan-like frontend (workload launches) to
+ * the cycle-level GPU model, and provides the named configurations used
+ * by the evaluation (Table III baseline/mobile, the Figure 15 memory
+ * variants, and the Figure 19 RTX-2080-SUPER-matched configurations).
+ */
+
+#ifndef VKSIM_CORE_VULKANSIM_H
+#define VKSIM_CORE_VULKANSIM_H
+
+#include "gpu/gpu.h"
+#include "workloads/workload.h"
+
+namespace vksim {
+
+/** Memory-system variants of the paper's Figure 15. */
+enum class MemoryVariant
+{
+    Baseline,   ///< shared L1 for shader + RT accesses
+    RtCache,    ///< dedicated RT cache next to the L1
+    PerfectBvh, ///< zero-latency RT-unit memory accesses
+    PerfectMem  ///< zero-latency DRAM
+};
+
+/** Apply a memory variant to a configuration. */
+GpuConfig applyMemoryVariant(GpuConfig config, MemoryVariant variant);
+
+/**
+ * Figure 19 correlation-study configurations: parameters matched to the
+ * RTX 2080 SUPER from public data, then progressively tuned.
+ * step = 0: matched clocks/SM count/cache sizes, 4 warps per RT unit;
+ * step = 1: increased cache and DRAM latencies, 2 warps per RT unit;
+ * step = 2: one warp per RT unit (the paper's closest match).
+ */
+GpuConfig rtxMatchedConfig(int step);
+
+/**
+ * Run the timed simulation of a prepared workload launch.
+ * The run also executes functionally, so the workload's framebuffer
+ * holds the rendered image afterwards.
+ */
+RunResult simulateWorkload(wl::Workload &workload, const GpuConfig &config);
+
+/** Convenience: build a workload and simulate it in one call. */
+struct SimOutcome
+{
+    RunResult run;
+    Image image;
+};
+
+SimOutcome simulate(wl::WorkloadId id, const wl::WorkloadParams &params,
+                    const GpuConfig &config);
+
+} // namespace vksim
+
+#endif // VKSIM_CORE_VULKANSIM_H

@@ -1,0 +1,293 @@
+#include "dram/fabric.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace vksim {
+
+// --- DramChannel ---------------------------------------------------------
+
+DramChannel::DramChannel(const DramConfig &config, bool perfect,
+                         StatGroup *stats)
+    : config_(config), perfect_(perfect), stats_(stats)
+{
+    banks_.resize(config_.banks);
+}
+
+unsigned
+DramChannel::bankOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr / config_.rowBytes) % config_.banks);
+}
+
+Addr
+DramChannel::rowOf(Addr addr) const
+{
+    return addr / (config_.rowBytes * config_.banks);
+}
+
+void
+DramChannel::enqueue(const MemRequest &req)
+{
+    vksim_assert(canAccept());
+    queue_.push_back(req);
+}
+
+void
+DramChannel::tick(std::vector<MemRequest> *done)
+{
+    ++nowDram_;
+    stats_->counter("cycles").inc();
+
+    // Retire inflight transfers.
+    for (std::size_t i = 0; i < inflight_.size();) {
+        if (inflight_[i].doneAt <= nowDram_) {
+            if (!inflight_[i].req.write)
+                done->push_back(inflight_[i].req);
+            inflight_[i] = inflight_.back();
+            inflight_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    bool has_pending = !queue_.empty() || !inflight_.empty();
+    if (has_pending)
+        stats_->counter("cycles_with_pending").inc();
+
+    // Bank-level parallelism sample: banks with work in flight.
+    unsigned busy_banks = 0;
+    for (const Bank &b : banks_)
+        if (b.readyAt > nowDram_)
+            ++busy_banks;
+    if (busy_banks > 0) {
+        stats_->counter("blp_samples").inc();
+        stats_->counter("blp_sum").inc(busy_banks);
+    }
+    if (busFreeAt_ > nowDram_)
+        stats_->counter("data_bus_busy").inc();
+
+    if (queue_.empty())
+        return;
+
+    if (perfect_) {
+        // Zero-latency DRAM: service everything immediately.
+        while (!queue_.empty()) {
+            if (!queue_.front().write)
+                done->push_back(queue_.front());
+            stats_->counter("requests").inc();
+            queue_.pop_front();
+        }
+        return;
+    }
+
+    // FR-FCFS: prefer the oldest row hit on a ready bank, else the oldest
+    // request whose bank is ready.
+    auto ready = [&](const MemRequest &r) {
+        return banks_[bankOf(r.addr)].readyAt <= nowDram_;
+    };
+    auto row_hit = [&](const MemRequest &r) {
+        return banks_[bankOf(r.addr)].openRow == rowOf(r.addr);
+    };
+
+    auto pick = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it)
+        if (ready(*it) && row_hit(*it)) {
+            pick = it;
+            break;
+        }
+    if (pick == queue_.end())
+        for (auto it = queue_.begin(); it != queue_.end(); ++it)
+            if (ready(*it)) {
+                pick = it;
+                break;
+            }
+    if (pick == queue_.end())
+        return;
+
+    MemRequest req = *pick;
+    queue_.erase(pick);
+    Bank &bank = banks_[bankOf(req.addr)];
+    bool hit = bank.openRow == rowOf(req.addr);
+    unsigned access_latency = config_.tCas;
+    if (!hit) {
+        access_latency += bank.openRow == ~Addr(0)
+                              ? config_.tRcd
+                              : config_.tRp + config_.tRcd;
+        bank.openRow = rowOf(req.addr);
+        stats_->counter("row_misses").inc();
+    } else {
+        stats_->counter("row_hits").inc();
+    }
+    stats_->counter("requests").inc();
+
+    // Data transfer occupies the shared bus after the column access.
+    std::uint64_t data_start =
+        std::max(nowDram_ + access_latency, busFreeAt_);
+    std::uint64_t data_end = data_start + config_.burstCycles;
+    busFreeAt_ = data_end;
+    bank.readyAt = data_end;
+    inflight_.push_back({req, data_end});
+}
+
+// --- MemFabric ------------------------------------------------------------
+
+MemFabric::MemFabric(const FabricConfig &config, unsigned num_sms)
+    : config_(config)
+{
+    partitions_.resize(config_.numPartitions);
+    for (unsigned p = 0; p < config_.numPartitions; ++p) {
+        CacheConfig slice = config_.l2;
+        slice.name = "l2." + std::to_string(p);
+        partitions_[p].l2 = std::make_unique<Cache>(slice);
+        partitions_[p].dram = std::make_unique<DramChannel>(
+            config_.dram, config_.perfectMem, &dramStats_);
+    }
+    responses_.resize(num_sms);
+}
+
+unsigned
+MemFabric::partitionOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr / 256) % config_.numPartitions);
+}
+
+bool
+MemFabric::canAccept(unsigned sm) const
+{
+    // Simple per-partition inbound queue bound.
+    return true;
+}
+
+void
+MemFabric::inject(const MemRequest &req, Cycle now)
+{
+    Partition &p = partitions_[partitionOf(req.addr)];
+    p.inbound.emplace_back(now + config_.icntLatency, req);
+}
+
+void
+MemFabric::respond(const MemRequest &req, Cycle now)
+{
+    responses_[req.smId].emplace_back(now + config_.icntLatency, req);
+}
+
+void
+MemFabric::partitionCycle(Partition &p, Cycle now)
+{
+    // Service up to one inbound request per cycle (L2 port).
+    if (!p.inbound.empty() && p.inbound.front().first <= now) {
+        MemRequest req = p.inbound.front().second;
+        std::uint64_t cookie = p.nextCookie;
+        CacheOutcome outcome = p.l2->access(req.addr, req.write,
+                                            req.origin, cookie, now);
+        bool consumed = true;
+        switch (outcome) {
+          case CacheOutcome::Hit:
+            if (req.write) {
+                // Write-through to DRAM.
+                if (p.dram->canAccept())
+                    p.dram->enqueue(req);
+                else
+                    consumed = false;
+            } else {
+                respond(req, now + p.l2->config().latency);
+            }
+            break;
+          case CacheOutcome::MissNew:
+            if (p.dram->canAccept()) {
+                p.dram->enqueue(req);
+                if (!req.write) {
+                    ++p.nextCookie;
+                    p.pendingMiss.emplace(cookie, req);
+                }
+            } else {
+                // DRAM queue full: abandon and retry the access next cycle.
+                consumed = false;
+                if (!req.write)
+                    p.l2->cancelMshr(req.addr);
+            }
+            break;
+          case CacheOutcome::MissMerged:
+            ++p.nextCookie;
+            p.pendingMiss.emplace(cookie, req);
+            break;
+          case CacheOutcome::Stall:
+            consumed = false;
+            break;
+        }
+        if (consumed)
+            p.inbound.pop_front();
+    }
+}
+
+void
+MemFabric::cycle(Cycle now)
+{
+    for (Partition &p : partitions_)
+        partitionCycle(p, now);
+
+    dramTickAccum_ += config_.dramClockRatio;
+    while (dramTickAccum_ >= 1.0) {
+        dramTickAccum_ -= 1.0;
+        for (Partition &p : partitions_) {
+            std::vector<MemRequest> done;
+            p.dram->tick(&done);
+            for (const MemRequest &req : done) {
+                // Fill the L2 and answer every merged miss.
+                std::vector<std::uint64_t> targets =
+                    p.l2->fill(req.addr, now);
+                for (std::uint64_t cookie : targets) {
+                    auto it = p.pendingMiss.find(cookie);
+                    if (it == p.pendingMiss.end())
+                        continue;
+                    respond(it->second, now + p.l2->config().latency);
+                    p.pendingMiss.erase(it);
+                }
+            }
+        }
+    }
+}
+
+std::vector<MemRequest>
+MemFabric::drainResponses(unsigned sm, Cycle now)
+{
+    std::vector<MemRequest> out;
+    auto &q = responses_[sm];
+    while (!q.empty() && q.front().first <= now) {
+        out.push_back(q.front().second);
+        q.pop_front();
+    }
+    return out;
+}
+
+bool
+MemFabric::idle() const
+{
+    for (const Partition &p : partitions_)
+        if (!p.inbound.empty() || !p.pendingMiss.empty()
+            || !p.dram->idle())
+            return false;
+    for (const auto &q : responses_)
+        if (!q.empty())
+            return false;
+    return true;
+}
+
+StatGroup &
+MemFabric::l2Stats(unsigned partition)
+{
+    return partitions_[partition].l2->stats();
+}
+
+std::uint64_t
+MemFabric::l2Total(const std::string &counter) const
+{
+    std::uint64_t total = 0;
+    for (const Partition &p : partitions_)
+        total += p.l2->stats().get(counter);
+    return total;
+}
+
+} // namespace vksim

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The off-core memory system: interconnect, memory partitions (each an
+ * L2 slice + DRAM channel), and a banked DRAM model with FR-FCFS
+ * scheduling, row-buffer state, and the utilization/efficiency/locality
+ * statistics behind the paper's Figure 16 and the memory discussion of
+ * Sec. VI-C.
+ *
+ * The DRAM runs in its own clock domain (memory clock / core clock ratio
+ * from Table III) via a fractional tick accumulator.
+ */
+
+#ifndef VKSIM_DRAM_FABRIC_H
+#define VKSIM_DRAM_FABRIC_H
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace vksim {
+
+/** One request travelling through the memory system (32 B sector). */
+struct MemRequest
+{
+    Addr addr = 0;
+    bool write = false;
+    AccessOrigin origin = AccessOrigin::Shader;
+    unsigned smId = 0;
+    std::uint64_t tag = 0; ///< requester cookie, echoed in the response
+};
+
+/** DRAM channel timing (in DRAM clock cycles). */
+struct DramConfig
+{
+    unsigned banks = 16;
+    Addr rowBytes = 2048;
+    unsigned tRcd = 20;       ///< activate-to-column
+    unsigned tRp = 20;        ///< precharge
+    unsigned tCas = 20;       ///< column access
+    unsigned burstCycles = 2; ///< bus cycles per 32 B transfer
+    unsigned queueSize = 64;
+};
+
+/** Fabric configuration. */
+struct FabricConfig
+{
+    unsigned numPartitions = 6;
+    unsigned icntLatency = 8;   ///< one-way interconnect latency (core clk)
+    CacheConfig l2;             ///< per-slice geometry (size = slice size)
+    DramConfig dram;
+    double dramClockRatio = 3500.0 / 1365.0;
+    bool perfectMem = false;    ///< zero-latency DRAM (paper Fig. 15)
+};
+
+/** A banked DRAM channel with FR-FCFS scheduling. */
+class DramChannel
+{
+  public:
+    DramChannel(const DramConfig &config, bool perfect, StatGroup *stats);
+
+    bool
+    canAccept() const
+    {
+        return queue_.size() < config_.queueSize;
+    }
+
+    void enqueue(const MemRequest &req);
+
+    /** One DRAM-clock tick; completed reads are appended to `done`. */
+    void tick(std::vector<MemRequest> *done);
+
+    bool
+    idle() const
+    {
+        return queue_.empty() && inflight_.empty();
+    }
+
+  private:
+    struct Bank
+    {
+        Addr openRow = ~Addr(0);
+        std::uint64_t readyAt = 0;
+    };
+
+    struct Inflight
+    {
+        MemRequest req;
+        std::uint64_t doneAt;
+    };
+
+    unsigned bankOf(Addr addr) const;
+    Addr rowOf(Addr addr) const;
+
+    DramConfig config_;
+    bool perfect_;
+    StatGroup *stats_;
+    std::deque<MemRequest> queue_;
+    std::vector<Bank> banks_;
+    std::vector<Inflight> inflight_;
+    std::uint64_t nowDram_ = 0;
+    std::uint64_t busFreeAt_ = 0;
+};
+
+/**
+ * Interconnect + partitions. The owning GPU model calls cycle() once per
+ * core clock and drains per-SM responses.
+ */
+class MemFabric
+{
+  public:
+    MemFabric(const FabricConfig &config, unsigned num_sms);
+
+    /** Space in the injection path for SM `sm`? */
+    bool canAccept(unsigned sm) const;
+
+    /** Inject a request (an L1 / RT-cache miss or a write-through). */
+    void inject(const MemRequest &req, Cycle now);
+
+    /** Advance one core-clock cycle. */
+    void cycle(Cycle now);
+
+    /** Responses ready for SM `sm` at `now` (drained destructively). */
+    std::vector<MemRequest> drainResponses(unsigned sm, Cycle now);
+
+    /** All queues empty (for drain detection). */
+    bool idle() const;
+
+    StatGroup &l2Stats(unsigned partition);
+    StatGroup &dramStats() { return dramStats_; }
+    const StatGroup &dramStats() const { return dramStats_; }
+
+    /** Aggregate L2 counter over all slices. */
+    std::uint64_t l2Total(const std::string &counter) const;
+
+    unsigned numPartitions() const { return config_.numPartitions; }
+
+  private:
+    struct Partition
+    {
+        std::unique_ptr<Cache> l2;
+        std::unique_ptr<DramChannel> dram;
+        /// Requests travelling to the partition (ready at `readyAt`).
+        std::deque<std::pair<Cycle, MemRequest>> inbound;
+        /// Pending L2 misses keyed by the cookie given to the L2 MSHRs.
+        std::unordered_map<std::uint64_t, MemRequest> pendingMiss;
+        std::uint64_t nextCookie = 1;
+    };
+
+    unsigned partitionOf(Addr addr) const;
+    void partitionCycle(Partition &p, Cycle now);
+    void respond(const MemRequest &req, Cycle now);
+
+    FabricConfig config_;
+    std::vector<Partition> partitions_;
+    /// Per-SM response queues (ready cycle, request).
+    std::vector<std::deque<std::pair<Cycle, MemRequest>>> responses_;
+    double dramTickAccum_ = 0.0;
+    StatGroup dramStats_{"dram"};
+};
+
+} // namespace vksim
+
+#endif // VKSIM_DRAM_FABRIC_H

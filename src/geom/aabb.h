@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Axis-aligned bounding box used by the BVH builder and the RT unit's
+ * box-intersection evaluators.
+ */
+
+#ifndef VKSIM_GEOM_AABB_H
+#define VKSIM_GEOM_AABB_H
+
+#include <limits>
+
+#include "geom/vec.h"
+
+namespace vksim {
+
+/** Axis-aligned bounding box. Default-constructed boxes are empty. */
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max()};
+    Vec3 hi{std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest()};
+
+    bool
+    empty() const
+    {
+        return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z;
+    }
+
+    void
+    extend(const Vec3 &p)
+    {
+        lo = vmin(lo, p);
+        hi = vmax(hi, p);
+    }
+
+    void
+    extend(const Aabb &b)
+    {
+        lo = vmin(lo, b.lo);
+        hi = vmax(hi, b.hi);
+    }
+
+    Vec3 center() const { return (lo + hi) * 0.5f; }
+    Vec3 extent() const { return hi - lo; }
+
+    /** Surface area (0 when empty); used by the SAH builder. */
+    float
+    surfaceArea() const
+    {
+        if (empty())
+            return 0.f;
+        Vec3 e = extent();
+        return 2.f * (e.x * e.y + e.y * e.z + e.z * e.x);
+    }
+
+    bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y
+               && p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /** True if `b` fits completely inside this box (with tolerance). */
+    bool
+    encloses(const Aabb &b, float eps = 1e-4f) const
+    {
+        return b.lo.x >= lo.x - eps && b.lo.y >= lo.y - eps
+               && b.lo.z >= lo.z - eps && b.hi.x <= hi.x + eps
+               && b.hi.y <= hi.y + eps && b.hi.z <= hi.z + eps;
+    }
+};
+
+} // namespace vksim
+
+#endif // VKSIM_GEOM_AABB_H

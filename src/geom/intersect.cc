@@ -1,0 +1,106 @@
+#include "geom/intersect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vksim {
+
+bool
+rayAabb(const Ray &ray, const Vec3 &inv_dir, const Aabb &box, float *t_entry)
+{
+    float t0 = ray.tmin;
+    float t1 = ray.tmax;
+    for (int axis = 0; axis < 3; ++axis) {
+        float near = (box.lo[axis] - ray.origin[axis]) * inv_dir[axis];
+        float far = (box.hi[axis] - ray.origin[axis]) * inv_dir[axis];
+        if (near > far)
+            std::swap(near, far);
+        t0 = std::max(t0, near);
+        t1 = std::min(t1, far);
+        if (t0 > t1)
+            return false;
+    }
+    if (t_entry)
+        *t_entry = t0;
+    return true;
+}
+
+TriangleHit
+rayTriangle(const Ray &ray, const Vec3 &v0, const Vec3 &v1, const Vec3 &v2)
+{
+    constexpr float kEpsilon = 1e-9f;
+    TriangleHit result;
+
+    Vec3 e1 = v1 - v0;
+    Vec3 e2 = v2 - v0;
+    Vec3 pvec = cross(ray.direction, e2);
+    float det = dot(e1, pvec);
+    if (std::abs(det) < kEpsilon)
+        return result;
+
+    float inv_det = 1.0f / det;
+    Vec3 tvec = ray.origin - v0;
+    float u = dot(tvec, pvec) * inv_det;
+    if (u < 0.f || u > 1.f)
+        return result;
+
+    Vec3 qvec = cross(tvec, e1);
+    float v = dot(ray.direction, qvec) * inv_det;
+    if (v < 0.f || u + v > 1.f)
+        return result;
+
+    float t = dot(e2, qvec) * inv_det;
+    if (t <= ray.tmin || t >= ray.tmax)
+        return result;
+
+    result.hit = true;
+    result.t = t;
+    result.u = u;
+    result.v = v;
+    return result;
+}
+
+float
+raySphere(const Ray &ray, const Vec3 &center, float radius)
+{
+    Vec3 oc = ray.origin - center;
+    float a = dot(ray.direction, ray.direction);
+    float half_b = dot(oc, ray.direction);
+    float c = dot(oc, oc) - radius * radius;
+    float disc = half_b * half_b - a * c;
+    if (disc < 0.f)
+        return -1.f;
+    float sqrt_d = std::sqrt(disc);
+    float t = (-half_b - sqrt_d) / a;
+    if (t <= ray.tmin || t >= ray.tmax) {
+        t = (-half_b + sqrt_d) / a;
+        if (t <= ray.tmin || t >= ray.tmax)
+            return -1.f;
+    }
+    return t;
+}
+
+float
+rayBoxProcedural(const Ray &ray, const Aabb &box)
+{
+    Vec3 inv = safeInverse(ray.direction);
+    float t0 = ray.tmin;
+    float t1 = ray.tmax;
+    for (int axis = 0; axis < 3; ++axis) {
+        float near = (box.lo[axis] - ray.origin[axis]) * inv[axis];
+        float far = (box.hi[axis] - ray.origin[axis]) * inv[axis];
+        if (near > far)
+            std::swap(near, far);
+        t0 = std::max(t0, near);
+        t1 = std::min(t1, far);
+        if (t0 > t1)
+            return -1.f;
+    }
+    // Entry point; when the origin is inside the box report the exit.
+    float t = t0 > ray.tmin ? t0 : t1;
+    if (t <= ray.tmin || t >= ray.tmax)
+        return -1.f;
+    return t;
+}
+
+} // namespace vksim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ray-primitive intersection kernels.
+ *
+ * These are the functional counterparts of the RT unit's Box Intersection
+ * Evaluators and Triangle Intersection Evaluators (paper Sec. II-B). The
+ * same routines are used by the CPU reference traversal and by the RT
+ * unit's operation units so that functional results agree by construction
+ * while timing is modelled separately.
+ */
+
+#ifndef VKSIM_GEOM_INTERSECT_H
+#define VKSIM_GEOM_INTERSECT_H
+
+#include "geom/aabb.h"
+#include "geom/ray.h"
+
+namespace vksim {
+
+/** Result of a ray/triangle test. */
+struct TriangleHit
+{
+    bool hit = false;
+    float t = 0.f;
+    float u = 0.f;
+    float v = 0.f;
+};
+
+/**
+ * Slab test of a ray against an AABB.
+ *
+ * @param inv_dir Precomputed component-wise reciprocal of ray.direction.
+ * @param[out] t_entry Entry distance when hit (clamped to ray.tmin).
+ * @return true when the ray's [tmin, tmax] interval overlaps the box.
+ */
+bool rayAabb(const Ray &ray, const Vec3 &inv_dir, const Aabb &box,
+             float *t_entry);
+
+/**
+ * Moeller-Trumbore ray/triangle intersection.
+ * Hits outside (ray.tmin, ray.tmax) are rejected.
+ */
+TriangleHit rayTriangle(const Ray &ray, const Vec3 &v0, const Vec3 &v1,
+                        const Vec3 &v2);
+
+/**
+ * Analytic ray/sphere intersection; used by the procedural-geometry
+ * intersection shaders of the RTV workloads.
+ * @return nearest t inside the ray interval, or negative when missed.
+ */
+float raySphere(const Ray &ray, const Vec3 &center, float radius);
+
+/**
+ * Ray vs axis-aligned box treated as solid procedural geometry (the RTV6
+ * "procedural cube"); @return entry t, or negative when missed.
+ */
+float rayBoxProcedural(const Ray &ray, const Aabb &box);
+
+} // namespace vksim
+
+#endif // VKSIM_GEOM_INTERSECT_H

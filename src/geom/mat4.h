@@ -1,0 +1,148 @@
+/**
+ * @file
+ * 4x4 row-major transformation matrix.
+ *
+ * Used for the object-to-world / world-to-object transforms carried in top
+ * level acceleration structure leaf nodes (paper Fig. 7b) and applied by the
+ * RT unit's transformation units when a ray enters a BLAS.
+ */
+
+#ifndef VKSIM_GEOM_MAT4_H
+#define VKSIM_GEOM_MAT4_H
+
+#include "geom/vec.h"
+
+namespace vksim {
+
+/** Row-major 4x4 matrix; bottom row assumed (0,0,0,1) for affine use. */
+struct Mat4
+{
+    float m[4][4] = {};
+
+    /** Identity matrix. */
+    static constexpr Mat4
+    identity()
+    {
+        Mat4 r;
+        for (int i = 0; i < 4; ++i)
+            r.m[i][i] = 1.0f;
+        return r;
+    }
+
+    static Mat4
+    translation(const Vec3 &t)
+    {
+        Mat4 r = identity();
+        r.m[0][3] = t.x;
+        r.m[1][3] = t.y;
+        r.m[2][3] = t.z;
+        return r;
+    }
+
+    static Mat4
+    scaling(const Vec3 &s)
+    {
+        Mat4 r;
+        r.m[0][0] = s.x;
+        r.m[1][1] = s.y;
+        r.m[2][2] = s.z;
+        r.m[3][3] = 1.0f;
+        return r;
+    }
+
+    /** Rotation about Y axis by `radians`. */
+    static Mat4
+    rotationY(float radians)
+    {
+        Mat4 r = identity();
+        float c = std::cos(radians), s = std::sin(radians);
+        r.m[0][0] = c;
+        r.m[0][2] = s;
+        r.m[2][0] = -s;
+        r.m[2][2] = c;
+        return r;
+    }
+
+    /** Rotation about X axis by `radians`. */
+    static Mat4
+    rotationX(float radians)
+    {
+        Mat4 r = identity();
+        float c = std::cos(radians), s = std::sin(radians);
+        r.m[1][1] = c;
+        r.m[1][2] = -s;
+        r.m[2][1] = s;
+        r.m[2][2] = c;
+        return r;
+    }
+
+    /** Transform a point (w = 1). */
+    Vec3
+    transformPoint(const Vec3 &p) const
+    {
+        return {m[0][0] * p.x + m[0][1] * p.y + m[0][2] * p.z + m[0][3],
+                m[1][0] * p.x + m[1][1] * p.y + m[1][2] * p.z + m[1][3],
+                m[2][0] * p.x + m[2][1] * p.y + m[2][2] * p.z + m[2][3]};
+    }
+
+    /** Transform a direction (w = 0). */
+    Vec3
+    transformVector(const Vec3 &v) const
+    {
+        return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+                m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+                m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+    }
+};
+
+inline Mat4
+operator*(const Mat4 &a, const Mat4 &b)
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+            float acc = 0.f;
+            for (int k = 0; k < 4; ++k)
+                acc += a.m[i][k] * b.m[k][j];
+            r.m[i][j] = acc;
+        }
+    return r;
+}
+
+/**
+ * Invert an affine transform (rotation/scale/translation). Uses the
+ * adjugate of the upper 3x3; panics are avoided — a singular matrix yields
+ * garbage, which tests guard against.
+ */
+inline Mat4
+affineInverse(const Mat4 &a)
+{
+    // Inverse of upper-left 3x3 via cofactors.
+    float c00 = a.m[1][1] * a.m[2][2] - a.m[1][2] * a.m[2][1];
+    float c01 = a.m[1][2] * a.m[2][0] - a.m[1][0] * a.m[2][2];
+    float c02 = a.m[1][0] * a.m[2][1] - a.m[1][1] * a.m[2][0];
+    float det = a.m[0][0] * c00 + a.m[0][1] * c01 + a.m[0][2] * c02;
+    float inv_det = det != 0.f ? 1.0f / det : 0.f;
+
+    Mat4 r = Mat4::identity();
+    r.m[0][0] = c00 * inv_det;
+    r.m[0][1] = (a.m[0][2] * a.m[2][1] - a.m[0][1] * a.m[2][2]) * inv_det;
+    r.m[0][2] = (a.m[0][1] * a.m[1][2] - a.m[0][2] * a.m[1][1]) * inv_det;
+    r.m[1][0] = c01 * inv_det;
+    r.m[1][1] = (a.m[0][0] * a.m[2][2] - a.m[0][2] * a.m[2][0]) * inv_det;
+    r.m[1][2] = (a.m[0][2] * a.m[1][0] - a.m[0][0] * a.m[1][2]) * inv_det;
+    r.m[2][0] = c02 * inv_det;
+    r.m[2][1] = (a.m[0][1] * a.m[2][0] - a.m[0][0] * a.m[2][1]) * inv_det;
+    r.m[2][2] = (a.m[0][0] * a.m[1][1] - a.m[0][1] * a.m[1][0]) * inv_det;
+
+    Vec3 t{a.m[0][3], a.m[1][3], a.m[2][3]};
+    Vec3 ti = r.transformVector(t);
+    r.m[0][3] = -ti.x;
+    r.m[1][3] = -ti.y;
+    r.m[2][3] = -ti.z;
+    return r;
+}
+
+} // namespace vksim
+
+#endif // VKSIM_GEOM_MAT4_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ray and hit-record types shared by the CPU reference tracer, the RT unit
+ * and the functional shader model.
+ */
+
+#ifndef VKSIM_GEOM_RAY_H
+#define VKSIM_GEOM_RAY_H
+
+#include <cstdint>
+
+#include "geom/vec.h"
+
+namespace vksim {
+
+/** A ray with a parametric validity interval [tmin, tmax]. */
+struct Ray
+{
+    Vec3 origin;
+    float tmin = 0.f;
+    Vec3 direction;
+    float tmax = 1e30f;
+
+    Vec3 at(float t) const { return origin + direction * t; }
+};
+
+/** Kind of geometry a hit was recorded against. */
+enum class HitKind : std::uint8_t
+{
+    None = 0,      ///< ray missed the scene
+    Triangle = 1,  ///< triangle leaf
+    Procedural = 2 ///< custom geometry confirmed by an intersection shader
+};
+
+/** Committed closest-hit record. */
+struct HitRecord
+{
+    float t = 1e30f;
+    float u = 0.f; ///< triangle barycentric u
+    float v = 0.f; ///< triangle barycentric v
+    std::int32_t instanceIndex = -1;
+    std::int32_t primitiveIndex = -1;
+    std::int32_t instanceCustomIndex = 0;
+    std::int32_t sbtOffset = 0; ///< hit-group index from the TLAS leaf
+    HitKind kind = HitKind::None;
+
+    bool valid() const { return kind != HitKind::None; }
+};
+
+} // namespace vksim
+
+#endif // VKSIM_GEOM_RAY_H

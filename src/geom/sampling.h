@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Sampling helpers used by the path-tracing workloads (cosine hemisphere,
+ * orthonormal bases, sphere sampling).
+ */
+
+#ifndef VKSIM_GEOM_SAMPLING_H
+#define VKSIM_GEOM_SAMPLING_H
+
+#include <cmath>
+
+#include "geom/vec.h"
+
+namespace vksim {
+
+/** Orthonormal basis around a unit normal (Duff et al. branchless). */
+struct Onb
+{
+    Vec3 tangent;
+    Vec3 bitangent;
+    Vec3 normal;
+
+    explicit Onb(const Vec3 &n) : normal(n)
+    {
+        float sign = std::copysign(1.0f, n.z);
+        float a = -1.0f / (sign + n.z);
+        float b = n.x * n.y * a;
+        tangent = {1.0f + sign * n.x * n.x * a, sign * b, -sign * n.x};
+        bitangent = {b, sign + n.y * n.y * a, -n.y};
+    }
+
+    Vec3
+    toWorld(const Vec3 &v) const
+    {
+        return tangent * v.x + bitangent * v.y + normal * v.z;
+    }
+};
+
+/** Cosine-weighted hemisphere direction from two uniform samples. */
+inline Vec3
+cosineSampleHemisphere(float u1, float u2)
+{
+    float r = std::sqrt(u1);
+    float phi = 2.0f * 3.14159265358979323846f * u2;
+    float x = r * std::cos(phi);
+    float y = r * std::sin(phi);
+    float z = std::sqrt(std::max(0.0f, 1.0f - u1));
+    return {x, y, z};
+}
+
+/** Uniform direction on the unit sphere. */
+inline Vec3
+uniformSampleSphere(float u1, float u2)
+{
+    float z = 1.0f - 2.0f * u1;
+    float r = std::sqrt(std::max(0.0f, 1.0f - z * z));
+    float phi = 2.0f * 3.14159265358979323846f * u2;
+    return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+/** Schlick approximation of Fresnel reflectance. */
+inline float
+schlickFresnel(float cosine, float ior)
+{
+    float r0 = (1.0f - ior) / (1.0f + ior);
+    r0 = r0 * r0;
+    float m = 1.0f - cosine;
+    return r0 + (1.0f - r0) * m * m * m * m * m;
+}
+
+/** Refract `d` about normal `n` with relative IOR eta; false on TIR. */
+inline bool
+refractDir(const Vec3 &d, const Vec3 &n, float eta, Vec3 *out)
+{
+    float cos_i = -dot(d, n);
+    float sin2_t = eta * eta * (1.0f - cos_i * cos_i);
+    if (sin2_t > 1.0f)
+        return false;
+    float cos_t = std::sqrt(1.0f - sin2_t);
+    *out = eta * d + (eta * cos_i - cos_t) * n;
+    return true;
+}
+
+} // namespace vksim
+
+#endif // VKSIM_GEOM_SAMPLING_H

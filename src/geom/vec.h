@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Small fixed-size vector types used by the scene, BVH, and shader code.
+ */
+
+#ifndef VKSIM_GEOM_VEC_H
+#define VKSIM_GEOM_VEC_H
+
+#include <algorithm>
+#include <cmath>
+
+namespace vksim {
+
+/** Three-component float vector. */
+struct Vec3
+{
+    float x = 0.f;
+    float y = 0.f;
+    float z = 0.f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float xx, float yy, float zz) : x(xx), y(yy), z(zz) {}
+    explicit constexpr Vec3(float s) : x(s), y(s), z(s) {}
+
+    constexpr float
+    operator[](int i) const
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    float &
+    operator[](int i)
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    Vec3 &
+    operator*=(float s)
+    {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+};
+
+constexpr Vec3
+operator+(const Vec3 &a, const Vec3 &b)
+{
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+}
+
+constexpr Vec3
+operator-(const Vec3 &a, const Vec3 &b)
+{
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+
+constexpr Vec3
+operator*(const Vec3 &a, const Vec3 &b)
+{
+    return {a.x * b.x, a.y * b.y, a.z * b.z};
+}
+
+constexpr Vec3
+operator*(const Vec3 &a, float s)
+{
+    return {a.x * s, a.y * s, a.z * s};
+}
+
+constexpr Vec3
+operator*(float s, const Vec3 &a)
+{
+    return a * s;
+}
+
+constexpr Vec3
+operator/(const Vec3 &a, float s)
+{
+    return {a.x / s, a.y / s, a.z / s};
+}
+
+constexpr float
+dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3
+cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+inline float
+length(const Vec3 &a)
+{
+    return std::sqrt(dot(a, a));
+}
+
+inline Vec3
+normalize(const Vec3 &a)
+{
+    float len = length(a);
+    return len > 0.f ? a / len : a;
+}
+
+inline Vec3
+vmin(const Vec3 &a, const Vec3 &b)
+{
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+
+inline Vec3
+vmax(const Vec3 &a, const Vec3 &b)
+{
+    return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+/** Component-wise reciprocal with +/-inf for zero components. */
+inline Vec3
+safeInverse(const Vec3 &d)
+{
+    return {1.0f / d.x, 1.0f / d.y, 1.0f / d.z};
+}
+
+/** Reflect direction `d` about unit normal `n`. */
+inline Vec3
+reflect(const Vec3 &d, const Vec3 &n)
+{
+    return d - 2.0f * dot(d, n) * n;
+}
+
+/** Largest component index (0=x, 1=y, 2=z). */
+inline int
+maxDimension(const Vec3 &v)
+{
+    if (v.x >= v.y && v.x >= v.z)
+        return 0;
+    return v.y >= v.z ? 1 : 2;
+}
+
+/** Linear interpolation. */
+constexpr Vec3
+lerp(const Vec3 &a, const Vec3 &b, float t)
+{
+    return a * (1.0f - t) + b * t;
+}
+
+} // namespace vksim
+
+#endif // VKSIM_GEOM_VEC_H

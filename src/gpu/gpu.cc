@@ -1,0 +1,605 @@
+#include "gpu/gpu.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace vksim {
+
+namespace {
+
+/** Tag bit distinguishing RT unit requests from LDST requests. */
+constexpr std::uint64_t kRtTagBit = 1ull << 63;
+
+} // namespace
+
+GpuConfig
+baselineGpuConfig()
+{
+    GpuConfig cfg;
+    cfg.numSms = 30;
+    cfg.regsPerSm = 65536;
+    cfg.l1 = CacheConfig{"l1", 64 * 1024, 0, 20, 64, 16};
+    cfg.fabric.numPartitions = 6;
+    cfg.fabric.l2 =
+        CacheConfig{"l2", 3 * 1024 * 1024 / 6, 16, 160, 128, 16};
+    cfg.fabric.dram.banks = 16;
+    cfg.fabric.dramClockRatio = 3500.0 / 1365.0;
+    cfg.rt.maxWarps = 8;
+    return cfg;
+}
+
+GpuConfig
+mobileGpuConfig()
+{
+    GpuConfig cfg = baselineGpuConfig();
+    cfg.numSms = 8;
+    cfg.regsPerSm = 32768;
+    cfg.fabric.numPartitions = 2;
+    cfg.fabric.l2 =
+        CacheConfig{"l2", 1 * 1024 * 1024 / 2, 16, 160, 128, 16};
+    cfg.fabric.dram.burstCycles = 4; // half the DRAM bandwidth
+    return cfg;
+}
+
+double
+RunResult::simtEfficiency() const
+{
+    double issued = static_cast<double>(core.get("issued"));
+    return issued > 0
+               ? core.get("issue_active_lanes") / (issued * kWarpSize)
+               : 0.0;
+}
+
+double
+RunResult::rtSimtEfficiency() const
+{
+    double slots = static_cast<double>(rt.get("slot_ray_cycles"));
+    return slots > 0 ? rt.get("active_ray_cycles") / slots : 0.0;
+}
+
+double
+RunResult::dramUtilization() const
+{
+    double total = static_cast<double>(dram.get("cycles"));
+    return total > 0 ? dram.get("data_bus_busy") / total : 0.0;
+}
+
+double
+RunResult::dramEfficiency() const
+{
+    double pending = static_cast<double>(dram.get("cycles_with_pending"));
+    return pending > 0 ? dram.get("data_bus_busy") / pending : 0.0;
+}
+
+double
+RunResult::rtActiveFraction() const
+{
+    double denom = static_cast<double>(rt.get("unit_cycles"));
+    return denom > 0 ? rt.get("busy_cycles") / denom : 0.0;
+}
+
+// --- SmCore ---------------------------------------------------------------
+
+SmCore::SmCore(unsigned sm_id, const GpuConfig &config,
+               const vptx::LaunchContext &ctx, MemFabric *fabric,
+               StatGroup *rt_stats, Histogram *rt_latency)
+    : smId_(sm_id), config_(config), ctx_(ctx), fabric_(fabric),
+      executor_(ctx,
+                vptx::ExecOptions{config.fccEnabled,
+                                  config.rt.shortStackEntries}),
+      stats_("sm" + std::to_string(sm_id)), rtStats_(rt_stats),
+      l1_(config.l1), rtUnit_(config.rt, &ctx, rt_stats)
+{
+    if (config_.useRtCache)
+        rtCache_ = std::make_unique<Cache>(config_.rtCache);
+    rtUnit_.setMemPort(this);
+    rtUnit_.setLatencyHistogram(rt_latency);
+
+    // Per-thread register demand: the raygen window plus the largest
+    // callee window (shader calls bump the register window).
+    const vptx::ShaderInfo &raygen =
+        ctx_.program->shaders[static_cast<std::size_t>(
+            ctx_.program->raygenShader)];
+    unsigned max_callee = 0;
+    for (const vptx::ShaderInfo &s : ctx_.program->shaders)
+        if (&s != &ctx_.program->shaders[static_cast<std::size_t>(
+                ctx_.program->raygenShader)])
+            max_callee = std::max<unsigned>(max_callee, s.numRegs);
+    unsigned regs_per_warp =
+        std::max<unsigned>(1, raygen.numRegs + max_callee) * kWarpSize;
+    warpLimit_ = std::min<unsigned>(config_.maxWarpsPerSm,
+                                    config_.regsPerSm / regs_per_warp);
+    warpLimit_ = std::max(warpLimit_, 1u);
+}
+
+bool
+SmCore::tryAddWarp(std::uint32_t warp_id)
+{
+    unsigned resident = 0;
+    for (const WarpSlot &slot : warps_)
+        if (slot.warp)
+            ++resident;
+    if (resident >= warpLimit_)
+        return false;
+    WarpSlot slot;
+    slot.warp = std::make_unique<vptx::Warp>();
+    slot.warpId = warp_id;
+    vptx::initWarp(*slot.warp, warp_id, ctx_,
+                   config_.its ? vptx::WarpCflow::Mode::Its
+                               : vptx::WarpCflow::Mode::Stack);
+    // Reuse a free slot to keep indices stable for in-flight references.
+    for (WarpSlot &existing : warps_)
+        if (!existing.warp) {
+            existing = std::move(slot);
+            return true;
+        }
+    warps_.push_back(std::move(slot));
+    return true;
+}
+
+bool
+SmCore::idle() const
+{
+    for (const WarpSlot &ws : warps_)
+        if (ws.warp)
+            return false;
+    return !rtUnit_.busy() && ldstOps_.empty() && l1Queue_.empty()
+           && tagReady_.empty();
+}
+
+unsigned
+SmCore::residentWarps() const
+{
+    unsigned n = 0;
+    for (const WarpSlot &ws : warps_)
+        if (ws.warp)
+            ++n;
+    return n;
+}
+
+bool
+SmCore::rtIssueRead(Addr sector, std::uint64_t tag)
+{
+    Cache &cache = rtCache_ ? *rtCache_ : l1_;
+    std::uint64_t full_tag = tag | kRtTagBit;
+    // `now` approximated by the cycle recorded at the last SM cycle();
+    // hit latency is added when the tag retires.
+    CacheOutcome outcome =
+        cache.access(sector, false, AccessOrigin::RtUnit, full_tag, now_);
+    switch (outcome) {
+      case CacheOutcome::Hit:
+        tagReady_.emplace_back(now_ + cache.config().latency, full_tag);
+        return true;
+      case CacheOutcome::MissNew: {
+        MemRequest req;
+        req.addr = sectorAlign(sector);
+        req.write = false;
+        req.origin = AccessOrigin::RtUnit;
+        req.smId = smId_;
+        fabric_->inject(req, now_);
+        return true;
+      }
+      case CacheOutcome::MissMerged:
+        return true;
+      case CacheOutcome::Stall:
+        return false;
+    }
+    return false;
+}
+
+bool
+SmCore::rtIssueWrite(Addr sector)
+{
+    Cache &cache = rtCache_ ? *rtCache_ : l1_;
+    cache.access(sector, true, AccessOrigin::RtUnit, 0, now_);
+    MemRequest req;
+    req.addr = sectorAlign(sector);
+    req.write = true;
+    req.origin = AccessOrigin::RtUnit;
+    req.smId = smId_;
+    fabric_->inject(req, now_);
+    return true;
+}
+
+void
+SmCore::handleMemInstr(unsigned slot, const vptx::StepResult &res,
+                       Cycle now)
+{
+    // Coalesce lane accesses into unique 32 B sectors (separately for
+    // loads and stores).
+    std::vector<Addr> load_sectors;
+    std::vector<Addr> store_sectors;
+    for (const vptx::MemAccess &a : res.accesses) {
+        Addr first = sectorAlign(a.addr);
+        Addr last = sectorAlign(a.addr + a.size - 1);
+        for (Addr s = first; s <= last; s += kSectorBytes) {
+            auto &vec = a.write ? store_sectors : load_sectors;
+            if (std::find(vec.begin(), vec.end(), s) == vec.end())
+                vec.push_back(s);
+        }
+    }
+    stats_.counter("ldst_sectors").inc(load_sectors.size()
+                                       + store_sectors.size());
+
+    if (!load_sectors.empty()) {
+        std::uint64_t op_tag = nextLdstTag_++;
+        LdstOp op;
+        op.slot = slot;
+        op.dstReg = res.dstReg;
+        op.sectorsLeft = static_cast<unsigned>(load_sectors.size());
+        ldstOps_.emplace(op_tag, op);
+        if (res.dstReg >= 0)
+            warps_[slot].pendingRegs.insert(res.dstReg);
+        ++warps_[slot].pendingLoads;
+        for (Addr s : load_sectors)
+            l1Queue_.push_back({s, false, AccessOrigin::Shader, op_tag});
+    } else if (res.dstReg >= 0) {
+        // Address-only instruction: plain ALU-latency writeback.
+        warps_[slot].pendingRegs.insert(res.dstReg);
+        writebacks_.push_back(
+            {now + config_.aluLatency, slot, res.dstReg, false});
+    }
+    for (Addr s : store_sectors)
+        l1Queue_.push_back({s, true, AccessOrigin::Shader, 0});
+}
+
+bool
+SmCore::issueFromWarp(unsigned slot, Cycle now)
+{
+    WarpSlot &ws = warps_[slot];
+    vptx::Warp &warp = *ws.warp;
+    if (warp.finished() || warp.cflow.runnableCount() == 0)
+        return false;
+
+    // Pick a split (rotate under ITS so co-resident splits interleave).
+    unsigned runnable = warp.cflow.runnableCount();
+    int split_idx =
+        warp.cflow.runnableSplit(ws.nextSplit % runnable);
+    ws.nextSplit++;
+
+    const vptx::WarpSplit &split = warp.cflow.split(split_idx);
+    const vptx::Instr &instr = ctx_.program->code[split.pc];
+
+    // Scoreboard: stall on pending source or destination registers.
+    for (int reg : {static_cast<int>(instr.dst), static_cast<int>(instr.src0),
+                    static_cast<int>(instr.src1),
+                    static_cast<int>(instr.src2)})
+        if (reg >= 0 && ws.pendingRegs.count(reg)) {
+            stats_.counter("stall_scoreboard").inc();
+            return false;
+        }
+
+    // Structural hazards.
+    vptx::ExecUnit unit = vptx::execUnitOf(instr.op);
+    switch (unit) {
+      case vptx::ExecUnit::LDST:
+        if (l1Queue_.size() >= config_.ldstQueueSize) {
+            stats_.counter("stall_ldst_queue").inc();
+            return false;
+        }
+        break;
+      case vptx::ExecUnit::SFU:
+        if (sfuReadyAt_ > now) {
+            stats_.counter("stall_sfu").inc();
+            return false;
+        }
+        break;
+      case vptx::ExecUnit::RT:
+        if (!rtUnit_.canAccept()) {
+            stats_.counter("stall_rt_full").inc();
+            return false;
+        }
+        break;
+      default:
+        break;
+    }
+
+    // Functional execution at issue.
+    vptx::StepResult res = executor_.step(warp, split_idx);
+    stats_.counter("issued").inc();
+    stats_.counter("issue_active_lanes").inc(res.activeLanes);
+    switch (res.unit) {
+      case vptx::ExecUnit::ALU: stats_.counter("issue_alu").inc(); break;
+      case vptx::ExecUnit::SFU: stats_.counter("issue_sfu").inc(); break;
+      case vptx::ExecUnit::LDST: stats_.counter("issue_ldst").inc(); break;
+      case vptx::ExecUnit::RT: stats_.counter("issue_rt").inc(); break;
+      case vptx::ExecUnit::CTRL: stats_.counter("issue_ctrl").inc(); break;
+    }
+
+    switch (res.unit) {
+      case vptx::ExecUnit::ALU:
+      case vptx::ExecUnit::CTRL:
+        if (res.dstReg >= 0) {
+            ws.pendingRegs.insert(res.dstReg);
+            writebacks_.push_back(
+                {now + config_.aluLatency, slot, res.dstReg, false});
+        }
+        break;
+      case vptx::ExecUnit::SFU:
+        sfuReadyAt_ = now + config_.sfuIssueInterval;
+        if (res.dstReg >= 0) {
+            ws.pendingRegs.insert(res.dstReg);
+            writebacks_.push_back(
+                {now + config_.sfuLatency, slot, res.dstReg, false});
+        }
+        break;
+      case vptx::ExecUnit::LDST:
+        handleMemInstr(slot, res, now);
+        break;
+      case vptx::ExecUnit::RT:
+        vksim_assert(res.startedTraverse);
+        rtUnit_.submit(&warp, res.traverseSplitId, now);
+        break;
+    }
+    return true;
+}
+
+bool
+SmCore::tryIssue(Cycle now, std::set<unsigned> &issued_slots)
+{
+    // Candidate order: GTO keeps the greedy warp first, then oldest
+    // (lowest warp id); LRR rotates.
+    std::vector<unsigned> order;
+    for (unsigned i = 0; i < warps_.size(); ++i)
+        if (warps_[i].warp)
+            order.push_back(i);
+    if (order.empty())
+        return false;
+    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+        return warps_[a].warpId < warps_[b].warpId;
+    });
+    if (config_.sched == SchedPolicy::GTO) {
+        if (greedyWarp_ >= 0) {
+            auto it = std::find(order.begin(), order.end(),
+                                static_cast<unsigned>(greedyWarp_));
+            if (it != order.end()) {
+                order.erase(it);
+                order.insert(order.begin(),
+                             static_cast<unsigned>(greedyWarp_));
+            }
+        }
+    } else {
+        std::rotate(order.begin(),
+                    order.begin() + (rrCursor_ % order.size()),
+                    order.end());
+    }
+
+    for (unsigned slot : order) {
+        if (issued_slots.count(slot))
+            continue;
+        if (issueFromWarp(slot, now)) {
+            issued_slots.insert(slot);
+            if (config_.sched == SchedPolicy::GTO)
+                greedyWarp_ = static_cast<int>(slot);
+            else
+                ++rrCursor_;
+            return true;
+        }
+    }
+    if (config_.sched == SchedPolicy::GTO)
+        greedyWarp_ = -1;
+    return false;
+}
+
+void
+SmCore::pumpL1(Cycle now)
+{
+    // L1 has a handful of ports per cycle.
+    constexpr unsigned kL1PortsPerCycle = 4;
+    for (unsigned i = 0; i < kL1PortsPerCycle && !l1Queue_.empty(); ++i) {
+        L1Req req = l1Queue_.front();
+        CacheOutcome outcome =
+            l1_.access(req.sector, req.write, req.origin, req.tag, now);
+        bool consumed = true;
+        switch (outcome) {
+          case CacheOutcome::Hit:
+            if (req.write) {
+                MemRequest wr;
+                wr.addr = req.sector;
+                wr.write = true;
+                wr.origin = req.origin;
+                wr.smId = smId_;
+                fabric_->inject(wr, now);
+            } else {
+                tagReady_.emplace_back(now + l1_.config().latency, req.tag);
+            }
+            break;
+          case CacheOutcome::MissNew: {
+            MemRequest mr;
+            mr.addr = req.sector;
+            mr.write = req.write;
+            mr.origin = req.origin;
+            mr.smId = smId_;
+            fabric_->inject(mr, now);
+            break;
+          }
+          case CacheOutcome::MissMerged:
+            break;
+          case CacheOutcome::Stall:
+            consumed = false;
+            break;
+        }
+        if (!consumed)
+            break;
+        l1Queue_.pop_front();
+    }
+}
+
+void
+SmCore::drainFabric(Cycle now)
+{
+    for (const MemRequest &resp : fabric_->drainResponses(smId_, now)) {
+        if (resp.write)
+            continue;
+        Cache &cache = (resp.origin == AccessOrigin::RtUnit && rtCache_)
+                           ? *rtCache_
+                           : l1_;
+        for (std::uint64_t tag : cache.fill(resp.addr, now))
+            tagReady_.emplace_back(now + cache.config().latency, tag);
+    }
+}
+
+void
+SmCore::retireWritebacks(Cycle now)
+{
+    // ALU/SFU writebacks.
+    for (std::size_t i = 0; i < writebacks_.size();) {
+        if (writebacks_[i].at <= now) {
+            WarpSlot &ws = warps_[writebacks_[i].slot];
+            if (ws.warp)
+                ws.pendingRegs.erase(writebacks_[i].reg);
+            writebacks_[i] = writebacks_.back();
+            writebacks_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    // Memory tags (L1 hit latency elapsed or fill arrived).
+    std::deque<std::pair<Cycle, std::uint64_t>> later;
+    while (!tagReady_.empty()) {
+        auto [at, tag] = tagReady_.front();
+        tagReady_.pop_front();
+        if (at > now) {
+            later.emplace_back(at, tag);
+            continue;
+        }
+        if (tag & kRtTagBit) {
+            rtUnit_.onResponse(tag & ~kRtTagBit, now);
+            continue;
+        }
+        auto it = ldstOps_.find(tag);
+        if (it == ldstOps_.end())
+            continue;
+        LdstOp &op = it->second;
+        if (--op.sectorsLeft == 0) {
+            WarpSlot &ws = warps_[op.slot];
+            if (ws.warp) {
+                if (op.dstReg >= 0)
+                    ws.pendingRegs.erase(op.dstReg);
+                if (ws.pendingLoads > 0)
+                    --ws.pendingLoads;
+            }
+            ldstOps_.erase(it);
+        }
+    }
+    tagReady_ = std::move(later);
+}
+
+void
+SmCore::cycle(Cycle now)
+{
+    now_ = now;
+    drainFabric(now);
+    retireWritebacks(now);
+
+    rtUnit_.cycle(now);
+    rtStats_->counter("unit_cycles").inc();
+    for (const RtUnit::Completion &done : rtUnit_.drainCompletions())
+        executor_.completeTraverse(*done.warp, done.splitId);
+
+    std::set<unsigned> issued_slots;
+    for (unsigned i = 0; i < config_.issueWidth; ++i)
+        if (!tryIssue(now, issued_slots))
+            break;
+    if (issued_slots.empty())
+        stats_.counter("idle_issue_cycles").inc();
+
+    pumpL1(now);
+
+    // Retire finished warps (slots are reused, never erased, so indices
+    // held by in-flight writebacks stay valid).
+    for (WarpSlot &ws : warps_) {
+        if (ws.warp && ws.warp->finished() && ws.pendingLoads == 0
+            && !ws.warp->inRtUnit()) {
+            ws.warp.reset();
+            ws.pendingRegs.clear();
+        }
+    }
+}
+
+// --- GpuSimulator -----------------------------------------------------------
+
+GpuSimulator::GpuSimulator(const GpuConfig &config,
+                           const vptx::LaunchContext &ctx)
+    : config_(config), ctx_(ctx)
+{
+}
+
+RunResult
+GpuSimulator::run()
+{
+    RunResult result;
+    result.rtWarpLatency = Histogram(2000.0, 200);
+
+    MemFabric fabric(config_.fabric, config_.numSms);
+    std::vector<std::unique_ptr<SmCore>> sms;
+    for (unsigned s = 0; s < config_.numSms; ++s)
+        sms.push_back(std::make_unique<SmCore>(s, config_, ctx_, &fabric,
+                                               &result.rt,
+                                               &result.rtWarpLatency));
+
+    const std::uint32_t total_warps =
+        (ctx_.totalThreads() + kWarpSize - 1) / kWarpSize;
+    std::uint32_t next_warp = 0;
+    unsigned rr_sm = 0;
+
+    Cycle now = 0;
+    while (true) {
+        // Dispatch pending warps to SMs with free slots (round robin).
+        for (unsigned attempt = 0;
+             attempt < config_.numSms && next_warp < total_warps;
+             ++attempt) {
+            unsigned s = (rr_sm + attempt) % config_.numSms;
+            if (sms[s]->tryAddWarp(next_warp)) {
+                ++next_warp;
+                rr_sm = s + 1;
+            }
+        }
+
+        for (auto &sm : sms)
+            sm->cycle(now);
+        fabric.cycle(now);
+
+        if (config_.occupancySamplePeriod
+            && now % config_.occupancySamplePeriod == 0) {
+            unsigned rays = 0;
+            for (auto &sm : sms)
+                rays += sm->rtUnit().activeRays();
+            result.occupancyTrace.emplace_back(now, rays);
+        }
+
+        ++now;
+        if (now >= config_.maxCycles)
+            vksim_fatal("GPU simulation exceeded the cycle watchdog");
+
+        if (next_warp >= total_warps) {
+            bool all_idle = fabric.idle();
+            for (auto &sm : sms)
+                all_idle = all_idle && sm->idle();
+            if (all_idle)
+                break;
+        }
+    }
+
+    result.cycles = now;
+
+    // Aggregate per-SM statistics.
+    auto merge = [](StatGroup &dst, const StatGroup &src) {
+        for (const auto &[name, counter] : src.counters())
+            dst.counter(name).inc(counter.value());
+    };
+    for (auto &sm : sms) {
+        merge(result.core, sm->stats());
+        merge(result.l1, sm->l1().stats());
+        if (sm->rtCache())
+            merge(result.l1, sm->rtCache()->stats());
+    }
+    merge(result.dram, fabric.dramStats());
+    for (unsigned p = 0; p < fabric.numPartitions(); ++p)
+        merge(result.l2, fabric.l2Stats(p));
+    return result;
+}
+
+} // namespace vksim

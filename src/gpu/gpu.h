@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The cycle-level GPU model (paper Fig. 3): SMs with GTO/LRR warp
+ * scheduling, a scoreboard, ALU/SFU/LDST pipelines, an L1 data cache
+ * (optionally a dedicated RT cache), one RT unit per SM, and the shared
+ * memory fabric (L2 partitions + DRAM).
+ *
+ * Functional execution happens at issue (GPGPU-Sim style) through the
+ * shared WarpExecutor; this module models only timing.
+ */
+
+#ifndef VKSIM_GPU_GPU_H
+#define VKSIM_GPU_GPU_H
+
+#include <deque>
+#include <memory>
+#include <set>
+
+#include "dram/fabric.h"
+#include "rtunit/rtunit.h"
+#include "util/image.h"
+#include "vptx/exec.h"
+
+namespace vksim {
+
+/** Warp scheduling policy. */
+enum class SchedPolicy
+{
+    GTO, ///< greedy-then-oldest (baseline, Table III)
+    LRR  ///< loose round robin
+};
+
+/** Full GPU configuration (paper Table III). */
+struct GpuConfig
+{
+    unsigned numSms = 30;
+    unsigned maxWarpsPerSm = 32;
+    unsigned regsPerSm = 65536;
+    unsigned issueWidth = 2;    ///< warp instructions issued per SM cycle
+    unsigned aluLatency = 4;
+    unsigned sfuLatency = 16;
+    unsigned sfuIssueInterval = 4; ///< SFU throughput limit
+    unsigned ldstQueueSize = 32;
+
+    CacheConfig l1{"l1", 64 * 1024, 0, 20, 64, 16};
+    bool useRtCache = false; ///< dedicated RT cache (paper Fig. 15)
+    CacheConfig rtCache{"rtcache", 32 * 1024, 0, 20, 64, 16};
+
+    FabricConfig fabric;
+    RtUnitConfig rt;
+
+    bool its = false;        ///< independent thread scheduling case study
+    bool fccEnabled = false; ///< function call coalescing case study
+    SchedPolicy sched = SchedPolicy::GTO;
+
+    double coreClockMhz = 1365.0;
+    Cycle maxCycles = 500'000'000; ///< runaway watchdog
+
+    /** Occupancy trace sampling period (0 disables; Fig. 18). */
+    Cycle occupancySamplePeriod = 0;
+};
+
+/** Baseline configuration of Table III. */
+GpuConfig baselineGpuConfig();
+
+/** Mobile configuration of Table III (8 SMs, less DRAM bandwidth). */
+GpuConfig mobileGpuConfig();
+
+/** Results of a timed run. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    StatGroup core{"core"};   ///< issue mix, SIMT efficiency, stalls
+    StatGroup rt{"rt"};       ///< aggregated RT-unit statistics
+    StatGroup l1{"l1"};       ///< aggregated L1 (+ RT cache) statistics
+    StatGroup dram{"dram"};
+    StatGroup l2{"l2"};
+    Histogram rtWarpLatency;  ///< RT-unit warp latency (Fig. 13)
+    std::vector<std::pair<Cycle, unsigned>> occupancyTrace; ///< Fig. 18
+
+    /** Fraction of issue slots with a full warp (SIMT efficiency). */
+    double simtEfficiency() const;
+    /** RT-unit SIMT efficiency (active rays / resident ray slots). */
+    double rtSimtEfficiency() const;
+    /** DRAM utilization and efficiency (Fig. 16 metrics). */
+    double dramUtilization() const;
+    double dramEfficiency() const;
+    /** Fraction of cycles any RT unit was busy. */
+    double rtActiveFraction() const;
+};
+
+/** One streaming multiprocessor. */
+class SmCore : public RtMemPort
+{
+  public:
+    SmCore(unsigned sm_id, const GpuConfig &config,
+           const vptx::LaunchContext &ctx, MemFabric *fabric,
+           StatGroup *rt_stats, Histogram *rt_latency);
+
+    /** Admit a warp if occupancy allows. @return accepted */
+    bool tryAddWarp(std::uint32_t warp_id);
+
+    void cycle(Cycle now);
+
+    /** No resident warps and no in-flight work. */
+    bool idle() const;
+
+    /** Currently resident (live) warps. */
+    unsigned residentWarps() const;
+
+    unsigned warpLimit() const { return warpLimit_; }
+
+    StatGroup &stats() { return stats_; }
+    Cache &l1() { return l1_; }
+    Cache *rtCache() { return rtCache_ ? rtCache_.get() : nullptr; }
+    RtUnit &rtUnit() { return rtUnit_; }
+
+    // RtMemPort
+    bool rtIssueRead(Addr sector, std::uint64_t tag) override;
+    bool rtIssueWrite(Addr sector) override;
+
+  private:
+    struct WarpSlot
+    {
+        std::unique_ptr<vptx::Warp> warp;
+        std::set<int> pendingRegs;  ///< scoreboard
+        unsigned pendingLoads = 0;  ///< outstanding load instructions
+        std::uint32_t warpId = 0;
+        unsigned nextSplit = 0;     ///< ITS round robin within the warp
+    };
+
+    /** Outstanding LDST instruction (load side). */
+    struct LdstOp
+    {
+        unsigned slot;           ///< warp slot
+        int dstReg;
+        unsigned sectorsLeft;
+    };
+
+    struct PendingWriteback
+    {
+        Cycle at;
+        unsigned slot;
+        int reg;
+        bool isLoad;
+    };
+
+    bool tryIssue(Cycle now, std::set<unsigned> &issued_slots);
+    bool issueFromWarp(unsigned slot, Cycle now);
+    void handleMemInstr(unsigned slot, const vptx::StepResult &res,
+                        Cycle now);
+    void pumpL1(Cycle now);
+    void drainFabric(Cycle now);
+    void retireWritebacks(Cycle now);
+
+    unsigned smId_;
+    const GpuConfig &config_;
+    const vptx::LaunchContext &ctx_;
+    MemFabric *fabric_;
+    vptx::WarpExecutor executor_;
+    StatGroup stats_;
+    StatGroup *rtStats_;
+    Histogram *rtLatency_;
+
+    Cache l1_;
+    std::unique_ptr<Cache> rtCache_;
+    RtUnit rtUnit_;
+
+    std::vector<WarpSlot> warps_;
+    unsigned warpLimit_;
+    int greedyWarp_ = -1;
+    unsigned rrCursor_ = 0;
+    Cycle sfuReadyAt_ = 0;
+
+    // L1 request path: sector requests awaiting L1 acceptance.
+    struct L1Req
+    {
+        Addr sector;
+        bool write;
+        AccessOrigin origin;
+        std::uint64_t tag;
+    };
+    std::deque<L1Req> l1Queue_;
+
+    std::unordered_map<std::uint64_t, LdstOp> ldstOps_;
+    std::uint64_t nextLdstTag_ = 1;
+    std::vector<PendingWriteback> writebacks_;
+    /// Completions scheduled after an L1 hit or fill (tag, ready cycle).
+    std::deque<std::pair<Cycle, std::uint64_t>> tagReady_;
+    Cycle now_ = 0; ///< updated at each cycle() for the RT port callbacks
+};
+
+/** Top-level timed simulator. */
+class GpuSimulator
+{
+  public:
+    GpuSimulator(const GpuConfig &config, const vptx::LaunchContext &ctx);
+
+    /** Run the launch to completion and return all statistics. */
+    RunResult run();
+
+  private:
+    GpuConfig config_;
+    const vptx::LaunchContext &ctx_;
+};
+
+} // namespace vksim
+
+#endif // VKSIM_GPU_GPU_H

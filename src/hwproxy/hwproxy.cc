@@ -1,0 +1,78 @@
+#include "hwproxy/hwproxy.h"
+
+#include <cmath>
+
+namespace vksim {
+
+WorkloadProfile
+profileWorkload(wl::Workload &workload)
+{
+    WorkloadProfile profile;
+
+    TraceCounters counters;
+    workload.renderReferenceImage(&counters);
+    profile.rays = counters.rays;
+    profile.nodesVisited = counters.nodesVisited;
+    profile.boxTests = counters.boxTests;
+    profile.triangleTests = counters.triangleTests;
+
+    StatGroup stats;
+    workload.runFunctional(vptx::WarpCflow::Mode::Stack, &stats);
+    profile.shaderInstructions = stats.get("instructions");
+    // Every node visit moves 64-128 B; approximate memory sectors from
+    // node fetches plus a per-instruction share of shader loads.
+    profile.memorySectors =
+        profile.nodesVisited * 2 + stats.get("ldst") * 2;
+    return profile;
+}
+
+double
+estimateHardwareCycles(const WorkloadProfile &profile,
+                       const HwProxyConfig &config)
+{
+    double compute = static_cast<double>(profile.shaderInstructions)
+                     / (config.smCount * config.ipcPerSm);
+    double traversal = static_cast<double>(profile.nodesVisited)
+                       / (config.smCount * config.rtCoresPerSm
+                          * config.nodesPerRtCoreCycle);
+    double memory = static_cast<double>(profile.memorySectors)
+                    * kSectorBytes / config.bytesPerCycle;
+    double latency = static_cast<double>(profile.rays)
+                     * config.rayFixedCycles
+                     / (config.smCount * kWarpSize);
+    double bottleneck = std::max({compute, traversal, memory});
+    return config.baselineCycles + bottleneck + latency;
+}
+
+Correlation
+correlate(const std::vector<double> &hw, const std::vector<double> &sim)
+{
+    Correlation out;
+    const std::size_t n = std::min(hw.size(), sim.size());
+    if (n == 0)
+        return out;
+    double mean_x = 0, mean_y = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mean_x += hw[i];
+        mean_y += sim[i];
+    }
+    mean_x /= static_cast<double>(n);
+    mean_y /= static_cast<double>(n);
+    double cov = 0, var_x = 0, var_y = 0, xy = 0, xx = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double dx = hw[i] - mean_x;
+        double dy = sim[i] - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+        xy += hw[i] * sim[i];
+        xx += hw[i] * hw[i];
+    }
+    if (var_x > 0 && var_y > 0)
+        out.coefficient = cov / std::sqrt(var_x * var_y);
+    if (xx > 0)
+        out.slope = xy / xx;
+    return out;
+}
+
+} // namespace vksim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Analytical hardware-proxy cost model standing in for the NVIDIA RTX
+ * 2080 SUPER in the paper's cycle-correlation studies (Fig. 11 and
+ * Fig. 19). We have no RTX hardware, so the correlation target is an
+ * independent roofline-style estimate of a Turing-like GPU with one warp
+ * per RT core — a *different* model than the simulator, which is what a
+ * correlation study needs (see DESIGN.md substitutions).
+ */
+
+#ifndef VKSIM_HWPROXY_HWPROXY_H
+#define VKSIM_HWPROXY_HWPROXY_H
+
+#include "gpu/gpu.h"
+#include "reftrace/tracer.h"
+#include "workloads/workload.h"
+
+namespace vksim {
+
+/** Aggregate workload profile feeding the proxy. */
+struct WorkloadProfile
+{
+    std::uint64_t rays = 0;
+    std::uint64_t nodesVisited = 0;
+    std::uint64_t boxTests = 0;
+    std::uint64_t triangleTests = 0;
+    std::uint64_t shaderInstructions = 0;
+    std::uint64_t memorySectors = 0;
+};
+
+/** Extract a profile by running the workload functionally. */
+WorkloadProfile profileWorkload(wl::Workload &workload);
+
+/** Proxy machine parameters (Turing-like). */
+struct HwProxyConfig
+{
+    double smCount = 48;
+    double ipcPerSm = 1.0;          ///< sustained warp instructions/cycle
+    double nodesPerRtCoreCycle = 0.5;
+    double rtCoresPerSm = 1;
+    double bytesPerCycle = 140;     ///< effective DRAM bytes per core cycle
+    double rayFixedCycles = 60;     ///< per-ray launch/commit overhead
+    double baselineCycles = 6000;   ///< kernel launch overhead
+};
+
+/**
+ * Proxy variant for the Figure 19 correlation study: a hardware estimate
+ * that is RT-serialization heavy (one warp per RT core, reduced node
+ * throughput and effective bandwidth), reflecting the paper's conclusion
+ * that NVIDIA's RT cores hold a single warp each.
+ */
+inline HwProxyConfig
+serializedRtProxy()
+{
+    HwProxyConfig cfg;
+    cfg.nodesPerRtCoreCycle = 0.125;
+    cfg.bytesPerCycle = 35;
+    return cfg;
+}
+
+/**
+ * Estimated hardware cycles for the profile: the bottleneck term of a
+ * roofline over compute, RT-core traversal and memory bandwidth, plus
+ * latency-bound per-ray overhead.
+ */
+double estimateHardwareCycles(const WorkloadProfile &profile,
+                              const HwProxyConfig &config = {});
+
+/** Pearson correlation and least-squares slope through the origin. */
+struct Correlation
+{
+    double coefficient = 0; ///< Pearson r
+    double slope = 0;       ///< y = slope * x fit
+};
+
+Correlation correlate(const std::vector<double> &hw_cycles,
+                      const std::vector<double> &sim_cycles);
+
+} // namespace vksim
+
+#endif // VKSIM_HWPROXY_HWPROXY_H

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Simulated GPU global memory.
+ *
+ * A sparse, paged 64-bit address space holding everything the simulated
+ * device sees: serialized acceleration structures, vertex/index buffers,
+ * descriptor sets, per-thread trace-ray stacks, and the framebuffer. The
+ * functional model reads and writes values here while the timing model
+ * sees only the addresses/sizes of the same accesses.
+ */
+
+#ifndef VKSIM_MEM_GMEM_H
+#define VKSIM_MEM_GMEM_H
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/log.h"
+#include "util/types.h"
+
+namespace vksim {
+
+/** Sparse paged simulated memory with a linear bump allocator. */
+class GlobalMemory
+{
+  public:
+    static constexpr Addr kPageBits = 16; // 64 KiB pages
+    static constexpr Addr kPageSize = Addr(1) << kPageBits;
+
+    GlobalMemory() = default;
+
+    // Non-copyable: pages can be large and sharing would be a bug.
+    GlobalMemory(const GlobalMemory &) = delete;
+    GlobalMemory &operator=(const GlobalMemory &) = delete;
+
+    /**
+     * Allocate `size` bytes aligned to `align` and return the base address.
+     * The label is retained for debugging dumps.
+     */
+    Addr
+    allocate(Addr size, Addr align = 16, const std::string &label = "")
+    {
+        vksim_assert(align != 0 && (align & (align - 1)) == 0);
+        Addr base = (brk_ + align - 1) & ~(align - 1);
+        brk_ = base + size;
+        if (!label.empty())
+            regions_.push_back({base, size, label});
+        return base;
+    }
+
+    /** Raw byte write. */
+    void
+    write(Addr addr, const void *src, Addr size)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(src);
+        while (size > 0) {
+            Addr page = addr >> kPageBits;
+            Addr off = addr & (kPageSize - 1);
+            Addr chunk = std::min<Addr>(size, kPageSize - off);
+            std::memcpy(pageFor(page) + off, p, chunk);
+            addr += chunk;
+            p += chunk;
+            size -= chunk;
+        }
+    }
+
+    /** Raw byte read; untouched memory reads as zero. */
+    void
+    read(Addr addr, void *dst, Addr size) const
+    {
+        auto *p = static_cast<std::uint8_t *>(dst);
+        while (size > 0) {
+            Addr page = addr >> kPageBits;
+            Addr off = addr & (kPageSize - 1);
+            Addr chunk = std::min<Addr>(size, kPageSize - off);
+            auto it = pages_.find(page);
+            if (it == pages_.end())
+                std::memset(p, 0, chunk);
+            else
+                std::memcpy(p, it->second.data() + off, chunk);
+            addr += chunk;
+            p += chunk;
+            size -= chunk;
+        }
+    }
+
+    /** Typed store. */
+    template <typename T>
+    void
+    store(Addr addr, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(addr, &value, sizeof(T));
+    }
+
+    /** Typed load. */
+    template <typename T>
+    T
+    load(Addr addr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    /** Current top of the allocated region. */
+    Addr brk() const { return brk_; }
+
+    /** Total bytes in materialized pages (footprint diagnostic). */
+    Addr
+    residentBytes() const
+    {
+        return static_cast<Addr>(pages_.size()) * kPageSize;
+    }
+
+    /** Materialized pages (for trace dump / debugging). */
+    const std::unordered_map<Addr, std::vector<std::uint8_t>> &
+    pages() const
+    {
+        return pages_;
+    }
+
+    /** Restore the allocator cursor (trace replay). */
+    void setBrk(Addr brk) { brk_ = brk; }
+
+    /** Named allocation regions, in allocation order. */
+    struct Region
+    {
+        Addr base;
+        Addr size;
+        std::string label;
+    };
+
+    const std::vector<Region> &regions() const { return regions_; }
+
+  private:
+    std::uint8_t *
+    pageFor(Addr page)
+    {
+        auto &vec = pages_[page];
+        if (vec.empty())
+            vec.resize(kPageSize, 0);
+        return vec.data();
+    }
+
+    // Address 0 is kept unmapped so it can serve as a null pointer.
+    Addr brk_ = 0x1000;
+    std::unordered_map<Addr, std::vector<std::uint8_t>> pages_;
+    std::vector<Region> regions_;
+};
+
+} // namespace vksim
+
+#endif // VKSIM_MEM_GMEM_H

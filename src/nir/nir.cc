@@ -1,0 +1,309 @@
+#include "nir/nir.h"
+
+#include <cstring>
+
+#include "util/log.h"
+
+namespace vksim::nir {
+
+Builder::Builder(std::string name, vptx::ShaderStage stage)
+{
+    shader_.name = std::move(name);
+    shader_.stage = stage;
+}
+
+std::vector<Node> *
+Builder::currentBlock()
+{
+    if (frames_.empty())
+        return &shader_.body;
+    Frame &f = frames_.back();
+    if (f.node->kind == Node::Kind::Loop)
+        return &f.node->body;
+    return f.inElse ? &f.node->elseBlock : &f.node->thenBlock;
+}
+
+Val
+Builder::emit(Op op, std::initializer_list<Val> srcs, std::uint64_t imm,
+              bool has_dst, unsigned size)
+{
+    vksim_assert(!finished_);
+    Node node;
+    node.kind = Node::Kind::Instr;
+    node.instr.op = op;
+    node.instr.srcs.assign(srcs);
+    node.instr.imm = imm;
+    node.instr.size = static_cast<std::uint8_t>(size);
+    Val dst = kNoVal;
+    if (has_dst) {
+        dst = nextVal_++;
+        node.instr.dst = dst;
+    }
+    for (Val s : srcs)
+        vksim_assert(s >= 0 && s < nextVal_);
+    currentBlock()->push_back(std::move(node));
+    return dst;
+}
+
+Val
+Builder::constI(std::uint64_t v)
+{
+    return emit(Op::ConstI, {}, v);
+}
+
+Val
+Builder::constF(float v)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    return emit(Op::ConstF, {}, bits);
+}
+
+#define VKSIM_NIR_BINOP(method, op)                                         \
+    Val Builder::method(Val a, Val b) { return emit(Op::op, {a, b}); }
+#define VKSIM_NIR_UNOP(method, op)                                          \
+    Val Builder::method(Val a) { return emit(Op::op, {a}); }
+
+VKSIM_NIR_BINOP(iadd, IAdd)
+VKSIM_NIR_BINOP(isub, ISub)
+VKSIM_NIR_BINOP(imul, IMul)
+VKSIM_NIR_BINOP(iand, IAnd)
+VKSIM_NIR_BINOP(ior, IOr)
+VKSIM_NIR_BINOP(ixor, IXor)
+VKSIM_NIR_BINOP(ishl, IShl)
+VKSIM_NIR_BINOP(ishr, IShr)
+VKSIM_NIR_BINOP(ieq, IEq)
+VKSIM_NIR_BINOP(ine, INe)
+VKSIM_NIR_BINOP(ilt, ILt)
+VKSIM_NIR_BINOP(ige, IGe)
+VKSIM_NIR_BINOP(fadd, FAdd)
+VKSIM_NIR_BINOP(fsub, FSub)
+VKSIM_NIR_BINOP(fmul, FMul)
+VKSIM_NIR_BINOP(fdiv, FDiv)
+VKSIM_NIR_BINOP(fmin, FMin)
+VKSIM_NIR_BINOP(fmax, FMax)
+VKSIM_NIR_UNOP(fabsv, FAbs)
+VKSIM_NIR_UNOP(fneg, FNeg)
+VKSIM_NIR_UNOP(ffloor, FFloor)
+VKSIM_NIR_BINOP(flt, FLt)
+VKSIM_NIR_BINOP(fle, FLe)
+VKSIM_NIR_BINOP(fgt, FGt)
+VKSIM_NIR_BINOP(fge, FGe)
+VKSIM_NIR_BINOP(feq, FEq)
+VKSIM_NIR_BINOP(fne, FNe)
+VKSIM_NIR_UNOP(fsqrt, FSqrt)
+VKSIM_NIR_UNOP(frsqrt, FRsqrt)
+VKSIM_NIR_UNOP(fsin, FSin)
+VKSIM_NIR_UNOP(fcos, FCos)
+VKSIM_NIR_UNOP(i2f, I2F)
+VKSIM_NIR_UNOP(u2f, U2F)
+VKSIM_NIR_UNOP(f2i, F2I)
+VKSIM_NIR_UNOP(f2u, F2U)
+VKSIM_NIR_UNOP(mov, Mov)
+
+#undef VKSIM_NIR_BINOP
+#undef VKSIM_NIR_UNOP
+
+Val
+Builder::select(Val c, Val a, Val b)
+{
+    return emit(Op::Select, {c, a, b});
+}
+
+Val
+Builder::var()
+{
+    return nextVal_++;
+}
+
+void
+Builder::assign(Val variable, Val value)
+{
+    vksim_assert(variable >= 0 && variable < nextVal_);
+    Node node;
+    node.kind = Node::Kind::Instr;
+    node.instr.op = Op::Mov;
+    node.instr.dst = variable;
+    node.instr.srcs = {value};
+    currentBlock()->push_back(std::move(node));
+}
+
+Val
+Builder::loadGlobal(Val addr, std::uint64_t offset, unsigned size)
+{
+    return emit(Op::LoadGlobal, {addr}, offset, true, size);
+}
+
+void
+Builder::storeGlobal(Val addr, Val value, std::uint64_t offset,
+                     unsigned size)
+{
+    emit(Op::StoreGlobal, {addr, value}, offset, false, size);
+}
+
+Val
+Builder::launchId(unsigned component)
+{
+    return emit(Op::LoadLaunchId, {}, component);
+}
+
+Val
+Builder::launchSize(unsigned component)
+{
+    return emit(Op::LoadLaunchSize, {}, component);
+}
+
+Val
+Builder::rtAllocMem(std::uint64_t slot_offset)
+{
+    return emit(Op::RtAllocMem, {}, slot_offset);
+}
+
+Val
+Builder::frameAddr()
+{
+    return emit(Op::FrameAddr, {});
+}
+
+Val
+Builder::deferredEntryAddr()
+{
+    return emit(Op::DeferredEntryAddr, {});
+}
+
+Val
+Builder::descBase(unsigned binding)
+{
+    return emit(Op::DescBase, {}, binding);
+}
+
+void
+Builder::traceRay(Val ox, Val oy, Val oz, Val tmin, Val dx, Val dy, Val dz,
+                  Val tmax, Val flags)
+{
+    vksim_assert(shader_.stage == vptx::ShaderStage::RayGen
+                 || shader_.stage == vptx::ShaderStage::ClosestHit
+                 || shader_.stage == vptx::ShaderStage::Miss);
+    emit(Op::TraceRay, {ox, oy, oz, tmin, dx, dy, dz, tmax, flags}, 0,
+         false);
+}
+
+void
+Builder::reportIntersection(Val t)
+{
+    vksim_assert(shader_.stage == vptx::ShaderStage::Intersection);
+    emit(Op::ReportIntersection, {t}, 0, false);
+}
+
+void
+Builder::commitAnyHit()
+{
+    vksim_assert(shader_.stage == vptx::ShaderStage::AnyHit);
+    emit(Op::CommitAnyHit, {}, 0, false);
+}
+
+void
+Builder::beginIf(Val cond)
+{
+    Node node;
+    node.kind = Node::Kind::If;
+    node.cond = cond;
+    std::vector<Node> *block = currentBlock();
+    block->push_back(std::move(node));
+    frames_.push_back({&block->back(), false});
+}
+
+void
+Builder::beginElse()
+{
+    vksim_assert(!frames_.empty()
+                 && frames_.back().node->kind == Node::Kind::If
+                 && !frames_.back().inElse);
+    frames_.back().inElse = true;
+}
+
+void
+Builder::endIf()
+{
+    vksim_assert(!frames_.empty()
+                 && frames_.back().node->kind == Node::Kind::If);
+    frames_.pop_back();
+}
+
+void
+Builder::beginLoop()
+{
+    Node node;
+    node.kind = Node::Kind::Loop;
+    std::vector<Node> *block = currentBlock();
+    block->push_back(std::move(node));
+    frames_.push_back({&block->back(), false});
+}
+
+void
+Builder::breakLoop()
+{
+    Node node;
+    node.kind = Node::Kind::Break;
+    currentBlock()->push_back(std::move(node));
+}
+
+void
+Builder::breakIf(Val cond)
+{
+    Node node;
+    node.kind = Node::Kind::BreakIf;
+    node.cond = cond;
+    currentBlock()->push_back(std::move(node));
+}
+
+void
+Builder::endLoop()
+{
+    vksim_assert(!frames_.empty()
+                 && frames_.back().node->kind == Node::Kind::Loop);
+    frames_.pop_back();
+}
+
+Shader
+Builder::finish()
+{
+    vksim_assert(frames_.empty());
+    finished_ = true;
+    shader_.numValues = nextVal_;
+    return std::move(shader_);
+}
+
+namespace {
+
+std::size_t
+countBlock(const std::vector<Node> &block)
+{
+    std::size_t n = 0;
+    for (const Node &node : block) {
+        switch (node.kind) {
+          case Node::Kind::Instr:
+          case Node::Kind::Break:
+          case Node::Kind::BreakIf:
+            ++n;
+            break;
+          case Node::Kind::If:
+            n += 1 + countBlock(node.thenBlock) + countBlock(node.elseBlock);
+            break;
+          case Node::Kind::Loop:
+            n += countBlock(node.body);
+            break;
+        }
+    }
+    return n;
+}
+
+} // namespace
+
+std::size_t
+countInstrs(const Shader &shader)
+{
+    return countBlock(shader.body);
+}
+
+} // namespace vksim::nir

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * NIR-like structured shader IR.
+ *
+ * Mesa compiles GLSL/SPIR-V shaders to NIR before handing them to a
+ * backend; the paper's contribution begins at NIR (its NIR-to-PTX
+ * translator). We therefore author the workload shaders directly in this
+ * structured IR — scalar SSA-style values, structured if/loop control
+ * flow, and the high-level ray tracing intrinsics NIR carries
+ * (traceRayEXT, loadRayLaunchId, reportIntersection, ...). The xlate
+ * module lowers it to VPTX using the paper's Algorithm 1 (delayed
+ * intersection and any-hit execution) or Algorithm 3 (FCC).
+ */
+
+#ifndef VKSIM_NIR_NIR_H
+#define VKSIM_NIR_NIR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vptx/isa.h"
+
+namespace vksim::nir {
+
+/** SSA-ish value id (defined once, used many times). */
+using Val = std::int32_t;
+inline constexpr Val kNoVal = -1;
+
+/** NIR operation set. */
+enum class Op : std::uint8_t
+{
+    ConstI, ConstF,
+    Mov,
+
+    IAdd, ISub, IMul, IAnd, IOr, IXor, IShl, IShr,
+    IEq, INe, ILt, IGe,
+
+    FAdd, FSub, FMul, FDiv, FMin, FMax, FAbs, FNeg, FFloor,
+    FLt, FLe, FGt, FGe, FEq, FNe,
+    FSqrt, FRsqrt, FSin, FCos,
+
+    I2F, U2F, F2I, F2U,
+    Select,
+
+    LoadGlobal,  ///< dst = mem[srcs[0] + imm] (size bytes)
+    StoreGlobal, ///< mem[srcs[0] + imm] = srcs[1]
+
+    // Ray tracing intrinsics (the NIR high-level RT instructions).
+    LoadLaunchId,      ///< imm = component
+    LoadLaunchSize,    ///< imm = component
+    RtAllocMem,        ///< dst = per-thread scratch + imm
+    FrameAddr,         ///< dst = current trace-ray frame base
+    DeferredEntryAddr, ///< dst = address of the current deferred entry
+    DescBase,          ///< dst = descriptor binding imm base address
+    TraceRay,          ///< srcs: ox,oy,oz,tmin,dx,dy,dz,tmax,flags
+    ReportIntersection,///< srcs: t (intersection shaders)
+    CommitAnyHit       ///< any-hit shaders: accept the candidate
+};
+
+/** One NIR instruction. */
+struct Instr
+{
+    Op op = Op::Mov;
+    Val dst = kNoVal;
+    std::vector<Val> srcs;
+    std::uint64_t imm = 0;
+    std::uint8_t size = 4; ///< memory access size
+};
+
+/** Structured control-flow node. */
+struct Node
+{
+    enum class Kind : std::uint8_t
+    {
+        Instr,
+        If,
+        Loop,
+        Break,   ///< unconditional break out of the innermost loop
+        BreakIf  ///< break when cond != 0
+    };
+
+    Kind kind = Kind::Instr;
+    Instr instr;                 ///< Instr
+    Val cond = kNoVal;           ///< If / BreakIf
+    std::vector<Node> thenBlock; ///< If
+    std::vector<Node> elseBlock; ///< If
+    std::vector<Node> body;      ///< Loop
+};
+
+/** A complete shader in NIR form. */
+struct Shader
+{
+    std::string name;
+    vptx::ShaderStage stage = vptx::ShaderStage::RayGen;
+    std::vector<Node> body;
+    std::int32_t numValues = 0;
+};
+
+/**
+ * Convenience builder for authoring shaders. Methods append to the
+ * current block; begin/end pairs manage structured control flow.
+ */
+class Builder
+{
+  public:
+    Builder(std::string name, vptx::ShaderStage stage);
+
+    /** Finish and return the shader (builder becomes unusable). */
+    Shader finish();
+
+    // --- constants -----------------------------------------------------
+    Val constI(std::uint64_t v);
+    Val constF(float v);
+
+    // --- integer ALU ---------------------------------------------------
+    Val iadd(Val a, Val b);
+    Val isub(Val a, Val b);
+    Val imul(Val a, Val b);
+    Val iand(Val a, Val b);
+    Val ior(Val a, Val b);
+    Val ixor(Val a, Val b);
+    Val ishl(Val a, Val b);
+    Val ishr(Val a, Val b);
+    Val ieq(Val a, Val b);
+    Val ine(Val a, Val b);
+    Val ilt(Val a, Val b);
+    Val ige(Val a, Val b);
+
+    // --- float ALU -----------------------------------------------------
+    Val fadd(Val a, Val b);
+    Val fsub(Val a, Val b);
+    Val fmul(Val a, Val b);
+    Val fdiv(Val a, Val b);
+    Val fmin(Val a, Val b);
+    Val fmax(Val a, Val b);
+    Val fabsv(Val a);
+    Val fneg(Val a);
+    Val ffloor(Val a);
+    Val flt(Val a, Val b);
+    Val fle(Val a, Val b);
+    Val fgt(Val a, Val b);
+    Val fge(Val a, Val b);
+    Val feq(Val a, Val b);
+    Val fne(Val a, Val b);
+    Val fsqrt(Val a);
+    Val frsqrt(Val a);
+    Val fsin(Val a);
+    Val fcos(Val a);
+
+    // --- conversions / select -------------------------------------------
+    Val i2f(Val a);
+    Val u2f(Val a);
+    Val f2i(Val a);
+    Val f2u(Val a);
+    Val select(Val c, Val a, Val b);
+    Val mov(Val a);
+
+    /**
+     * Mutable-variable escape hatch for loop-carried values (NIR proper
+     * uses phis; 1:1 register mapping makes re-assignment equivalent).
+     * @{
+     */
+    Val var();
+    void assign(Val variable, Val value);
+    /** @} */
+
+    // --- memory ----------------------------------------------------------
+    Val loadGlobal(Val addr, std::uint64_t offset = 0, unsigned size = 4);
+    void storeGlobal(Val addr, Val value, std::uint64_t offset = 0,
+                     unsigned size = 4);
+
+    // --- RT intrinsics ---------------------------------------------------
+    Val launchId(unsigned component);
+    Val launchSize(unsigned component);
+    Val rtAllocMem(std::uint64_t slot_offset);
+    Val frameAddr();
+    Val deferredEntryAddr();
+    Val descBase(unsigned binding);
+    void traceRay(Val ox, Val oy, Val oz, Val tmin, Val dx, Val dy, Val dz,
+                  Val tmax, Val flags);
+    void reportIntersection(Val t);
+    void commitAnyHit();
+
+    // --- control flow ------------------------------------------------------
+    void beginIf(Val cond);
+    void beginElse();
+    void endIf();
+    void beginLoop();
+    void breakLoop();
+    void breakIf(Val cond);
+    void endLoop();
+
+    std::int32_t numValues() const { return nextVal_; }
+
+  private:
+    Val emit(Op op, std::initializer_list<Val> srcs, std::uint64_t imm = 0,
+             bool has_dst = true, unsigned size = 4);
+    std::vector<Node> *currentBlock();
+
+    Shader shader_;
+    Val nextVal_ = 0;
+
+    struct Frame
+    {
+        Node *node;     ///< the If/Loop node under construction
+        bool inElse = false;
+    };
+    std::vector<Frame> frames_;
+    bool finished_ = false;
+};
+
+/** Count instructions (for tests and reporting). */
+std::size_t countInstrs(const Shader &shader);
+
+} // namespace vksim::nir
+
+#endif // VKSIM_NIR_NIR_H

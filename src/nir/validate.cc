@@ -1,0 +1,286 @@
+#include "nir/validate.h"
+
+#include <sstream>
+
+namespace vksim::nir {
+
+namespace {
+
+/** Expected source-operand count for each op; -1 = variable. */
+int
+arityOf(Op op)
+{
+    switch (op) {
+      case Op::ConstI:
+      case Op::ConstF:
+      case Op::LoadLaunchId:
+      case Op::LoadLaunchSize:
+      case Op::RtAllocMem:
+      case Op::FrameAddr:
+      case Op::DeferredEntryAddr:
+      case Op::DescBase:
+      case Op::CommitAnyHit:
+        return 0;
+      case Op::Mov:
+      case Op::FAbs:
+      case Op::FNeg:
+      case Op::FFloor:
+      case Op::FSqrt:
+      case Op::FRsqrt:
+      case Op::FSin:
+      case Op::FCos:
+      case Op::I2F:
+      case Op::U2F:
+      case Op::F2I:
+      case Op::F2U:
+      case Op::LoadGlobal:
+      case Op::ReportIntersection:
+        return 1;
+      case Op::Select:
+        return 3;
+      case Op::StoreGlobal:
+        return 2;
+      case Op::TraceRay:
+        return 9;
+      default:
+        return 2; // binary ALU
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::ConstI: return "const_i";
+      case Op::ConstF: return "const_f";
+      case Op::Mov: return "mov";
+      case Op::IAdd: return "iadd";
+      case Op::ISub: return "isub";
+      case Op::IMul: return "imul";
+      case Op::IAnd: return "iand";
+      case Op::IOr: return "ior";
+      case Op::IXor: return "ixor";
+      case Op::IShl: return "ishl";
+      case Op::IShr: return "ishr";
+      case Op::IEq: return "ieq";
+      case Op::INe: return "ine";
+      case Op::ILt: return "ilt";
+      case Op::IGe: return "ige";
+      case Op::FAdd: return "fadd";
+      case Op::FSub: return "fsub";
+      case Op::FMul: return "fmul";
+      case Op::FDiv: return "fdiv";
+      case Op::FMin: return "fmin";
+      case Op::FMax: return "fmax";
+      case Op::FAbs: return "fabs";
+      case Op::FNeg: return "fneg";
+      case Op::FFloor: return "ffloor";
+      case Op::FLt: return "flt";
+      case Op::FLe: return "fle";
+      case Op::FGt: return "fgt";
+      case Op::FGe: return "fge";
+      case Op::FEq: return "feq";
+      case Op::FNe: return "fne";
+      case Op::FSqrt: return "fsqrt";
+      case Op::FRsqrt: return "frsqrt";
+      case Op::FSin: return "fsin";
+      case Op::FCos: return "fcos";
+      case Op::I2F: return "i2f";
+      case Op::U2F: return "u2f";
+      case Op::F2I: return "f2i";
+      case Op::F2U: return "f2u";
+      case Op::Select: return "select";
+      case Op::LoadGlobal: return "load_global";
+      case Op::StoreGlobal: return "store_global";
+      case Op::LoadLaunchId: return "load_ray_launch_id";
+      case Op::LoadLaunchSize: return "load_ray_launch_size";
+      case Op::RtAllocMem: return "rt_alloc_mem";
+      case Op::FrameAddr: return "frame_addr";
+      case Op::DeferredEntryAddr: return "deferred_entry_addr";
+      case Op::DescBase: return "desc_base";
+      case Op::TraceRay: return "trace_ray";
+      case Op::ReportIntersection: return "report_intersection";
+      case Op::CommitAnyHit: return "commit_any_hit";
+    }
+    return "?";
+}
+
+class Validator
+{
+  public:
+    explicit Validator(const Shader &shader) : shader_(shader) {}
+
+    ValidationResult
+    run()
+    {
+        checkBlock(shader_.body, 0);
+        return std::move(result_);
+    }
+
+  private:
+    void
+    error(const std::string &msg)
+    {
+        result_.errors.push_back(shader_.name + ": " + msg);
+    }
+
+    void
+    checkInstr(const Instr &in)
+    {
+        int arity = arityOf(in.op);
+        if (arity >= 0
+            && in.srcs.size() != static_cast<std::size_t>(arity))
+            error(std::string(opName(in.op)) + " expects "
+                  + std::to_string(arity) + " operands, got "
+                  + std::to_string(in.srcs.size()));
+        for (Val s : in.srcs)
+            if (s < 0 || s >= shader_.numValues)
+                error(std::string(opName(in.op)) + " reads invalid value "
+                      + std::to_string(s));
+        if (in.dst >= shader_.numValues)
+            error(std::string(opName(in.op)) + " writes invalid value "
+                  + std::to_string(in.dst));
+
+        if (in.op == Op::LoadGlobal || in.op == Op::StoreGlobal) {
+            if (in.size != 1 && in.size != 2 && in.size != 4
+                && in.size != 8)
+                error("memory access size must be 1/2/4/8, got "
+                      + std::to_string(in.size));
+        }
+
+        switch (in.op) {
+          case Op::TraceRay:
+            if (shader_.stage != vptx::ShaderStage::RayGen
+                && shader_.stage != vptx::ShaderStage::ClosestHit
+                && shader_.stage != vptx::ShaderStage::Miss)
+                error("trace_ray is not legal in this shader stage");
+            break;
+          case Op::ReportIntersection:
+            if (shader_.stage != vptx::ShaderStage::Intersection)
+                error("report_intersection outside an intersection "
+                      "shader");
+            break;
+          case Op::CommitAnyHit:
+            if (shader_.stage != vptx::ShaderStage::AnyHit)
+                error("commit_any_hit outside an any-hit shader");
+            break;
+          case Op::DeferredEntryAddr:
+            if (shader_.stage != vptx::ShaderStage::Intersection
+                && shader_.stage != vptx::ShaderStage::AnyHit)
+                error("deferred_entry_addr outside a deferred stage");
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    checkBlock(const std::vector<Node> &block, unsigned loop_depth)
+    {
+        for (const Node &node : block) {
+            switch (node.kind) {
+              case Node::Kind::Instr:
+                checkInstr(node.instr);
+                break;
+              case Node::Kind::If:
+                if (node.cond < 0 || node.cond >= shader_.numValues)
+                    error("if condition is not a valid value");
+                checkBlock(node.thenBlock, loop_depth);
+                checkBlock(node.elseBlock, loop_depth);
+                break;
+              case Node::Kind::Loop:
+                checkBlock(node.body, loop_depth + 1);
+                break;
+              case Node::Kind::Break:
+                if (loop_depth == 0)
+                    error("break outside a loop");
+                break;
+              case Node::Kind::BreakIf:
+                if (loop_depth == 0)
+                    error("break_if outside a loop");
+                if (node.cond < 0 || node.cond >= shader_.numValues)
+                    error("break_if condition is not a valid value");
+                break;
+            }
+        }
+    }
+
+    const Shader &shader_;
+    ValidationResult result_;
+};
+
+void
+printBlock(std::ostringstream &os, const std::vector<Node> &block,
+           unsigned indent)
+{
+    std::string pad(indent * 2, ' ');
+    for (const Node &node : block) {
+        switch (node.kind) {
+          case Node::Kind::Instr: {
+            const Instr &in = node.instr;
+            os << pad;
+            if (in.dst >= 0)
+                os << "%" << in.dst << " = ";
+            os << opName(in.op);
+            for (Val s : in.srcs)
+                os << " %" << s;
+            if (in.op == Op::ConstI || in.op == Op::ConstF
+                || in.op == Op::LoadGlobal || in.op == Op::StoreGlobal
+                || in.op == Op::DescBase || in.op == Op::LoadLaunchId)
+                os << " #" << in.imm;
+            os << "\n";
+            break;
+          }
+          case Node::Kind::If:
+            os << pad << "if %" << node.cond << " {\n";
+            printBlock(os, node.thenBlock, indent + 1);
+            if (!node.elseBlock.empty()) {
+                os << pad << "} else {\n";
+                printBlock(os, node.elseBlock, indent + 1);
+            }
+            os << pad << "}\n";
+            break;
+          case Node::Kind::Loop:
+            os << pad << "loop {\n";
+            printBlock(os, node.body, indent + 1);
+            os << pad << "}\n";
+            break;
+          case Node::Kind::Break:
+            os << pad << "break\n";
+            break;
+          case Node::Kind::BreakIf:
+            os << pad << "break_if %" << node.cond << "\n";
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::string
+ValidationResult::message() const
+{
+    std::ostringstream os;
+    for (const std::string &e : errors)
+        os << e << "\n";
+    return os.str();
+}
+
+ValidationResult
+validate(const Shader &shader)
+{
+    Validator v(shader);
+    return v.run();
+}
+
+std::string
+print(const Shader &shader)
+{
+    std::ostringstream os;
+    os << vptx::shaderStageName(shader.stage) << " \"" << shader.name
+       << "\" (" << shader.numValues << " values)\n";
+    printBlock(os, shader.body, 1);
+    return os.str();
+}
+
+} // namespace vksim::nir

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * NIR validation and pretty-printing: structural checks run before
+ * translation (use-before-definition of SSA values, stage-legal
+ * intrinsics, break placement, operand arity) and a readable structured
+ * dump for debugging shaders.
+ */
+
+#ifndef VKSIM_NIR_VALIDATE_H
+#define VKSIM_NIR_VALIDATE_H
+
+#include <string>
+#include <vector>
+
+#include "nir/nir.h"
+
+namespace vksim::nir {
+
+/** Result of validating a shader. */
+struct ValidationResult
+{
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+
+    /** All errors joined with newlines. */
+    std::string message() const;
+};
+
+/**
+ * Validate a shader:
+ *  - every source value id is in [0, numValues) — note that `var()`
+ *    variables may be read before their first textual assignment (they
+ *    behave like zero-initialized registers), so def-before-use is
+ *    checked only as "id was allocated";
+ *  - operand counts match each op's arity;
+ *  - Break/BreakIf appear only inside loops;
+ *  - stage-restricted intrinsics (TraceRay, ReportIntersection,
+ *    CommitAnyHit) appear only in legal stages;
+ *  - memory access sizes are 1, 2, 4 or 8 bytes.
+ */
+ValidationResult validate(const Shader &shader);
+
+/** Structured pretty-print (indented if/loop blocks). */
+std::string print(const Shader &shader);
+
+} // namespace vksim::nir
+
+#endif // VKSIM_NIR_VALIDATE_H

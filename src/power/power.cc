@@ -1,0 +1,49 @@
+#include "power/power.h"
+
+namespace vksim {
+
+PowerReport
+estimatePower(const RunResult &run, unsigned num_sms,
+              const PowerConfig &config)
+{
+    PowerReport report;
+    report.seconds =
+        static_cast<double>(run.cycles) / (config.coreClockMhz * 1e6);
+
+    constexpr double kPjToJ = 1e-12;
+    report.coreDynamicJoules =
+        (run.core.get("issue_alu") * config.aluOpPj
+         + run.core.get("issue_sfu") * config.sfuOpPj
+         + run.core.get("issue_ldst") * config.ldstOpPj)
+        * kWarpSize * kPjToJ;
+
+    double l1_accesses = run.l1.get("accesses.shader")
+                         + run.l1.get("accesses.rtunit");
+    double l2_accesses = run.l2.get("accesses.shader")
+                         + run.l2.get("accesses.rtunit");
+    report.cacheJoules = (l1_accesses * config.l1AccessPj
+                          + l2_accesses * config.l2AccessPj)
+                         * kPjToJ;
+
+    report.dramJoules =
+        run.dram.get("requests") * config.dramAccessPj * kPjToJ;
+
+    report.rtUnitJoules =
+        (run.rt.get("ops_box") * config.rtBoxOpPj
+         + run.rt.get("ops_triangle") * config.rtTriOpPj
+         + run.rt.get("ops_transform") * config.rtTransformOpPj)
+        * kPjToJ;
+
+    report.constantJoules = config.constantWatts * report.seconds;
+    report.staticJoules =
+        config.staticWattsPerSm * num_sms * report.seconds;
+
+    report.totalJoules = report.coreDynamicJoules + report.cacheJoules
+                         + report.dramJoules + report.rtUnitJoules
+                         + report.constantJoules + report.staticJoules;
+    report.averageWatts =
+        report.seconds > 0 ? report.totalJoules / report.seconds : 0;
+    return report;
+}
+
+} // namespace vksim

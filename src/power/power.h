@@ -1,0 +1,60 @@
+/**
+ * @file
+ * AccelWattch-style power model (paper Sec. VI-D): dynamic energy from
+ * activity counters of the timed run, plus constant and static power.
+ * Coefficients follow the qualitative breakdown the paper reports — the
+ * RT units account for under 1 % of GPU power, DRAM around 10 %, and
+ * constant + static power dominate.
+ */
+
+#ifndef VKSIM_POWER_POWER_H
+#define VKSIM_POWER_POWER_H
+
+#include "gpu/gpu.h"
+
+namespace vksim {
+
+/** Per-event energies (picojoules) and baseline powers (watts). */
+struct PowerConfig
+{
+    double aluOpPj = 8.0;
+    double sfuOpPj = 30.0;
+    double ldstOpPj = 15.0;
+    double l1AccessPj = 22.0;
+    double l2AccessPj = 55.0;
+    double dramAccessPj = 2600.0; ///< per 32 B DRAM transfer (incl. IO)
+    double rtBoxOpPj = 6.0;
+    double rtTriOpPj = 9.0;
+    double rtTransformOpPj = 7.0;
+    double constantWatts = 30.0; ///< clocks, IO, leakage-independent
+    double staticWattsPerSm = 1.1;
+    double coreClockMhz = 1365.0;
+};
+
+/** Energy breakdown of one run. */
+struct PowerReport
+{
+    double seconds = 0;
+    double totalJoules = 0;
+    double averageWatts = 0;
+
+    double constantJoules = 0;
+    double staticJoules = 0;
+    double coreDynamicJoules = 0; ///< ALU/SFU/LDST
+    double cacheJoules = 0;       ///< L1 + L2
+    double dramJoules = 0;
+    double rtUnitJoules = 0;
+
+    double fractionOf(double joules) const
+    {
+        return totalJoules > 0 ? joules / totalJoules : 0;
+    }
+};
+
+/** Estimate the power/energy of a timed run. */
+PowerReport estimatePower(const RunResult &run, unsigned num_sms,
+                          const PowerConfig &config = {});
+
+} // namespace vksim
+
+#endif // VKSIM_POWER_POWER_H

@@ -1,0 +1,233 @@
+#include "reftrace/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/sampling.h"
+
+namespace vksim {
+
+namespace {
+
+constexpr float kOriginEpsilon = 1e-3f;
+
+/** TRI shading: barycentric colour. */
+Vec3
+shadeBary(const CpuTracer &tracer, const Ray &primary,
+          TraceCounters *counters)
+{
+    HitRecord hit = tracer.trace(primary, kRayFlagNone, counters);
+    if (!hit.valid())
+        return skyColor(tracer.scene(), primary.direction);
+    return {1.f - hit.u - hit.v, hit.u, hit.v};
+}
+
+/** REF shading: Whitted-style mirrors + hard shadows. */
+Vec3
+shadeWhitted(const CpuTracer &tracer, Ray ray, const ShadingParams &params,
+             TraceCounters *counters)
+{
+    const Scene &scene = tracer.scene();
+    Vec3 color(0.f);
+    Vec3 atten(1.f);
+    for (unsigned depth = 0; depth < params.maxDepth; ++depth) {
+        HitRecord hit = tracer.trace(ray, kRayFlagNone, counters);
+        if (!hit.valid()) {
+            color += atten * skyColor(scene, ray.direction);
+            break;
+        }
+        SurfaceInfo surf = surfaceAt(scene, ray, hit);
+        auto kind = static_cast<MaterialKind>(surf.material.kind);
+        if (kind == MaterialKind::Mirror || kind == MaterialKind::Metal) {
+            // Whitted mode treats metals as tinted mirrors (no fuzz) so
+            // the REF workload stays RNG-free.
+            atten = atten * surf.material.albedo;
+            Ray next;
+            next.origin = surf.position + surf.normal * kOriginEpsilon;
+            next.direction =
+                reflect(normalize(ray.direction), surf.normal);
+            next.tmin = 1e-4f;
+            next.tmax = 1e30f;
+            ray = next;
+            continue;
+        }
+        // Diffuse: sun with a shadow ray, plus a constant ambient term.
+        Ray shadow;
+        shadow.origin = surf.position + surf.normal * kOriginEpsilon;
+        shadow.direction = scene.sunDirection;
+        shadow.tmin = 1e-4f;
+        shadow.tmax = 1e30f;
+        float ndotl = std::max(0.f, dot(surf.normal, scene.sunDirection));
+        float lit =
+            (ndotl > 0.f && !tracer.occluded(shadow, counters)) ? 1.f : 0.f;
+        Vec3 direct = scene.sunColor * (ndotl * lit);
+        Vec3 ambient = scene.skyHorizon * params.ambientStrength;
+        color += atten * surf.material.albedo * (direct + ambient);
+        break;
+    }
+    return color;
+}
+
+/** EXT shading: sun + shadow + ambient occlusion. */
+Vec3
+shadeAo(const CpuTracer &tracer, const Ray &primary,
+        const ShadingParams &params, ShaderRng &rng,
+        TraceCounters *counters)
+{
+    const Scene &scene = tracer.scene();
+    HitRecord hit = tracer.trace(primary, kRayFlagNone, counters);
+    if (!hit.valid())
+        return skyColor(scene, primary.direction);
+
+    SurfaceInfo surf = surfaceAt(scene, primary, hit);
+    Vec3 base = surf.position + surf.normal * kOriginEpsilon;
+
+    Ray shadow;
+    shadow.origin = base;
+    shadow.direction = scene.sunDirection;
+    shadow.tmin = 1e-4f;
+    shadow.tmax = 1e30f;
+    float ndotl = std::max(0.f, dot(surf.normal, scene.sunDirection));
+    float lit =
+        (ndotl > 0.f && !tracer.occluded(shadow, counters)) ? 1.f : 0.f;
+
+    Onb onb(surf.normal);
+    float visible = 0.f;
+    for (unsigned s = 0; s < params.aoSamples; ++s) {
+        float u1 = rng.next();
+        float u2 = rng.next();
+        Ray ao;
+        ao.origin = base;
+        ao.direction = onb.toWorld(cosineSampleHemisphere(u1, u2));
+        ao.tmin = 1e-4f;
+        ao.tmax = params.aoRadius;
+        if (!tracer.occluded(ao, counters))
+            visible += 1.f;
+    }
+    float ao = params.aoSamples ? visible / params.aoSamples : 1.f;
+
+    Vec3 direct = scene.sunColor * (ndotl * lit);
+    Vec3 ambient = scene.skyHorizon * (params.ambientStrength * ao);
+    return surf.material.albedo * (direct + ambient);
+}
+
+/** RTV5/RTV6 shading: iterative path tracing. */
+Vec3
+shadePath(const CpuTracer &tracer, Ray ray, const ShadingParams &params,
+          ShaderRng &rng, TraceCounters *counters)
+{
+    const Scene &scene = tracer.scene();
+    Vec3 color(0.f);
+    Vec3 atten(1.f);
+    for (unsigned bounce = 0; bounce < params.maxBounces; ++bounce) {
+        HitRecord hit = tracer.trace(ray, kRayFlagNone, counters);
+        if (!hit.valid()) {
+            // Bounce directions are kept unit-length, so the sky lookup
+            // uses the direction as-is (the simulated shaders mirror this
+            // evaluation order bit-for-bit).
+            color += atten * skyColor(scene, ray.direction);
+            break;
+        }
+        SurfaceInfo surf = surfaceAt(scene, ray, hit);
+        auto kind = static_cast<MaterialKind>(surf.material.kind);
+        if (kind == MaterialKind::Emissive) {
+            color += atten * surf.material.emission;
+            break;
+        }
+
+        Vec3 next_dir;
+        Vec3 next_origin = surf.position + surf.normal * kOriginEpsilon;
+        if (kind == MaterialKind::Lambertian) {
+            float u1 = rng.next();
+            float u2 = rng.next();
+            Onb onb(surf.normal);
+            next_dir = onb.toWorld(cosineSampleHemisphere(u1, u2));
+            atten = atten * surf.material.albedo;
+        } else if (kind == MaterialKind::Metal
+                   || kind == MaterialKind::Mirror) {
+            Vec3 unit = normalize(ray.direction);
+            Vec3 refl = reflect(unit, surf.normal);
+            if (surf.material.fuzz > 0.f) {
+                float u1 = rng.next();
+                float u2 = rng.next();
+                refl = refl
+                       + uniformSampleSphere(u1, u2) * surf.material.fuzz;
+            }
+            next_dir = normalize(refl);
+            if (dot(next_dir, surf.normal) <= 0.f)
+                break;
+            atten = atten * surf.material.albedo;
+        } else { // Dielectric
+            Vec3 unit = normalize(ray.direction);
+            float eta = surf.frontFace ? 1.0f / surf.material.ior
+                                       : surf.material.ior;
+            float cos_theta = std::min(-dot(unit, surf.normal), 1.0f);
+            Vec3 refracted;
+            bool can_refract =
+                refractDir(unit, surf.normal, eta, &refracted);
+            float pick = rng.next();
+            if (!can_refract || schlickFresnel(cos_theta, eta) > pick) {
+                next_dir = reflect(unit, surf.normal);
+                next_origin = surf.position + surf.normal * kOriginEpsilon;
+            } else {
+                next_dir = normalize(refracted);
+                next_origin = surf.position - surf.normal * kOriginEpsilon;
+            }
+        }
+
+        ray.origin = next_origin;
+        ray.direction = next_dir;
+        ray.tmin = 1e-4f;
+        ray.tmax = 1e30f;
+    }
+    return color;
+}
+
+} // namespace
+
+Vec3
+shadeReferencePixel(const CpuTracer &tracer, ShadingMode mode,
+                    const ShadingParams &params, unsigned x, unsigned y,
+                    unsigned width, unsigned height,
+                    TraceCounters *counters)
+{
+    const Camera &cam = tracer.scene().camera;
+    std::uint32_t pixel_index = y * width + x;
+    ShaderRng rng(pixel_index, params.frameSeed);
+
+    float lx = 0.5f, ly = 0.5f;
+    if (cam.aperture > 0.f) {
+        lx = rng.next();
+        ly = rng.next();
+    }
+    Ray primary = cam.generateRay(x, y, width, height, 0.5f, 0.5f, lx, ly);
+
+    switch (mode) {
+      case ShadingMode::BaryColor:
+        return shadeBary(tracer, primary, counters);
+      case ShadingMode::Whitted:
+        return shadeWhitted(tracer, primary, params, counters);
+      case ShadingMode::AmbientOcclusion:
+        return shadeAo(tracer, primary, params, rng, counters);
+      case ShadingMode::PathTrace:
+        return shadePath(tracer, primary, params, rng, counters);
+    }
+    return Vec3(0.f);
+}
+
+Image
+renderReference(const CpuTracer &tracer, ShadingMode mode,
+                const ShadingParams &params, unsigned width,
+                unsigned height, TraceCounters *counters)
+{
+    Image img(width, height);
+    for (unsigned y = 0; y < height; ++y)
+        for (unsigned x = 0; x < width; ++x) {
+            Vec3 c = shadeReferencePixel(tracer, mode, params, x, y, width,
+                                         height, counters);
+            img.setPixel(x, y, c.x, c.y, c.z);
+        }
+    return img;
+}
+
+} // namespace vksim

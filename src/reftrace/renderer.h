@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CPU reference renderer.
+ *
+ * Implements the four shading algorithms used by the evaluation
+ * workloads. The simulated GLSL-equivalent shaders (src/workloads)
+ * implement the *same* math in the NIR-like IR, using the same
+ * hash-based RNG streams, so the rendered images can be compared
+ * pixel-by-pixel (paper Fig. 2).
+ */
+
+#ifndef VKSIM_REFTRACE_RENDERER_H
+#define VKSIM_REFTRACE_RENDERER_H
+
+#include "reftrace/tracer.h"
+#include "util/image.h"
+#include "util/rng.h"
+
+namespace vksim {
+
+/** Shading algorithm selector. */
+enum class ShadingMode
+{
+    BaryColor,       ///< TRI: barycentric colour of the hit triangle
+    Whitted,         ///< REF: mirror reflections + hard shadows
+    AmbientOcclusion,///< EXT: sun + shadow + AO rays
+    PathTrace        ///< RTV5/RTV6: iterative path tracing
+};
+
+/** Tunables for the shading algorithms. */
+struct ShadingParams
+{
+    unsigned maxDepth = 3;     ///< Whitted reflection depth
+    unsigned aoSamples = 3;    ///< EXT ambient-occlusion rays per hit
+    float aoRadius = 2.5f;     ///< EXT AO ray tmax
+    unsigned maxBounces = 4;   ///< path-trace bounce cap
+    float ambientStrength = 0.25f;
+    std::uint32_t frameSeed = 0; ///< folded into every pixel RNG stream
+};
+
+/**
+ * Per-pixel RNG contract shared with the simulated shaders: state starts
+ * at hash(pixel_index + 1 + frameSeed) and every draw re-hashes the state.
+ */
+struct ShaderRng
+{
+    std::uint32_t state;
+
+    explicit ShaderRng(std::uint32_t pixel_index, std::uint32_t frame_seed)
+        : state(hashU32(pixel_index + 1u + frame_seed))
+    {
+    }
+
+    float
+    next()
+    {
+        state = hashU32(state);
+        return static_cast<float>(state >> 8) * (1.0f / 16777216.0f);
+    }
+};
+
+/** Shade one pixel; the core routine both renderers agree on. */
+Vec3 shadeReferencePixel(const CpuTracer &tracer, ShadingMode mode,
+                         const ShadingParams &params, unsigned x, unsigned y,
+                         unsigned width, unsigned height,
+                         TraceCounters *counters = nullptr);
+
+/** Render a full image on the CPU (reference renderer). */
+Image renderReference(const CpuTracer &tracer, ShadingMode mode,
+                      const ShadingParams &params, unsigned width,
+                      unsigned height, TraceCounters *counters = nullptr);
+
+} // namespace vksim
+
+#endif // VKSIM_REFTRACE_RENDERER_H

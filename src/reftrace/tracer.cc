@@ -1,0 +1,201 @@
+#include "reftrace/tracer.h"
+
+#include <algorithm>
+
+#include "geom/intersect.h"
+#include "util/log.h"
+
+namespace vksim {
+
+namespace {
+
+/** Object-space ray for an instance (direction left unnormalized). */
+Ray
+toObjectSpace(const Ray &world, const Mat4 &world_to_object)
+{
+    Ray obj;
+    obj.origin = world_to_object.transformPoint(world.origin);
+    obj.direction = world_to_object.transformVector(world.direction);
+    obj.tmin = world.tmin;
+    obj.tmax = world.tmax;
+    return obj;
+}
+
+/** Analytic test of one procedural primitive; negative when missed. */
+float
+proceduralHitT(const ProceduralPrimitive &prim, const Ray &obj_ray)
+{
+    if (prim.shape == ProceduralShape::Sphere)
+        return raySphere(obj_ray, prim.center, prim.radius);
+    return rayBoxProcedural(obj_ray, prim.bounds);
+}
+
+} // namespace
+
+HitRecord
+bruteForceTrace(const Scene &scene, const Ray &ray, std::uint32_t flags)
+{
+    HitRecord best;
+    Ray world = ray;
+    for (std::size_t ii = 0; ii < scene.instances.size(); ++ii) {
+        const Instance &inst = scene.instances[ii];
+        const Geometry &geom = scene.geometries[inst.geometryIndex];
+        Mat4 w2o = affineInverse(inst.objectToWorld);
+        Ray obj = toObjectSpace(world, w2o);
+        obj.tmax = std::min(obj.tmax, best.valid() ? best.t : world.tmax);
+
+        if (geom.kind == GeometryKind::Triangles) {
+            for (std::size_t p = 0; p < geom.mesh.triangleCount(); ++p) {
+                Vec3 v0, v1, v2;
+                geom.mesh.triangle(p, &v0, &v1, &v2);
+                TriangleHit tri = rayTriangle(obj, v0, v1, v2);
+                if (tri.hit && (!best.valid() || tri.t < best.t)) {
+                    best.t = tri.t;
+                    best.u = tri.u;
+                    best.v = tri.v;
+                    best.instanceIndex = static_cast<std::int32_t>(ii);
+                    best.primitiveIndex = static_cast<std::int32_t>(p);
+                    best.instanceCustomIndex = inst.instanceCustomIndex;
+                    best.sbtOffset = inst.sbtOffset;
+                    best.kind = HitKind::Triangle;
+                    obj.tmax = tri.t;
+                }
+            }
+        } else if (!(flags & kRayFlagSkipProcedural)) {
+            for (std::size_t p = 0; p < geom.prims.size(); ++p) {
+                float t = proceduralHitT(geom.prims[p], obj);
+                if (t > 0.f && (!best.valid() || t < best.t)) {
+                    best.t = t;
+                    best.instanceIndex = static_cast<std::int32_t>(ii);
+                    best.primitiveIndex = static_cast<std::int32_t>(p);
+                    best.instanceCustomIndex = inst.instanceCustomIndex;
+                    best.sbtOffset = inst.sbtOffset;
+                    best.kind = HitKind::Procedural;
+                    obj.tmax = t;
+                }
+            }
+        }
+    }
+    return best;
+}
+
+void
+CpuTracer::resolveDeferred(const Ray &world_ray, RayTraversal &trav) const
+{
+    HitRecord &hit = trav.hit();
+    for (const DeferredHit &d : trav.deferred()) {
+        if (d.anyHit) {
+            // Any-hit shader stage: accept unless the filter rejects.
+            if (anyHit_ && !anyHit_(d))
+                continue;
+            if (d.t < hit.t) {
+                hit.t = d.t;
+                hit.u = d.u;
+                hit.v = d.v;
+                hit.instanceIndex = d.instanceIndex;
+                hit.primitiveIndex = d.primitiveIndex;
+                hit.instanceCustomIndex = d.instanceCustomIndex;
+                hit.sbtOffset = d.sbtOffset;
+                hit.kind = HitKind::Triangle;
+            }
+            continue;
+        }
+        // Intersection shader stage for a procedural candidate.
+        const Instance &inst =
+            scene_.instances[static_cast<std::size_t>(d.instanceIndex)];
+        const Geometry &geom = scene_.geometries[inst.geometryIndex];
+        const ProceduralPrimitive &prim =
+            geom.prims[static_cast<std::size_t>(d.primitiveIndex)];
+        Ray obj = toObjectSpace(world_ray, affineInverse(inst.objectToWorld));
+        obj.tmax = std::min(obj.tmax, hit.t);
+        float t = proceduralHitT(prim, obj);
+        if (t > 0.f && t < hit.t) {
+            hit.t = t;
+            hit.instanceIndex = d.instanceIndex;
+            hit.primitiveIndex = d.primitiveIndex;
+            hit.instanceCustomIndex = d.instanceCustomIndex;
+            hit.sbtOffset = d.sbtOffset;
+            hit.kind = HitKind::Procedural;
+        }
+    }
+}
+
+HitRecord
+CpuTracer::trace(const Ray &ray, std::uint32_t flags,
+                 TraceCounters *counters) const
+{
+    RayTraversal trav(gmem_, accel_.tlasRoot, ray, flags);
+    trav.run();
+    resolveDeferred(ray, trav);
+    if (counters) {
+        counters->nodesVisited += trav.nodesVisited();
+        counters->boxTests += trav.boxTests();
+        counters->triangleTests += trav.triangleTests();
+        counters->transforms += trav.transforms();
+        counters->rays += 1;
+    }
+    return trav.hit();
+}
+
+bool
+CpuTracer::occluded(const Ray &ray, TraceCounters *counters) const
+{
+    return trace(ray, kRayFlagTerminateOnFirstHit, counters).valid();
+}
+
+Vec3
+skyColor(const Scene &scene, const Vec3 &dir)
+{
+    float t = 0.5f * (dir.y + 1.0f);
+    return lerp(scene.skyHorizon, scene.skyZenith, std::clamp(t, 0.f, 1.f));
+}
+
+SurfaceInfo
+surfaceAt(const Scene &scene, const Ray &ray, const HitRecord &hit)
+{
+    vksim_assert(hit.valid());
+    SurfaceInfo info;
+    info.position = ray.at(hit.t);
+
+    const Instance &inst =
+        scene.instances[static_cast<std::size_t>(hit.instanceIndex)];
+    const Geometry &geom = scene.geometries[inst.geometryIndex];
+
+    Vec3 obj_normal;
+    if (hit.kind == HitKind::Triangle) {
+        Vec3 v0, v1, v2;
+        geom.mesh.triangle(static_cast<std::size_t>(hit.primitiveIndex),
+                           &v0, &v1, &v2);
+        obj_normal = normalize(cross(v1 - v0, v2 - v0));
+        info.material =
+            scene.materials[static_cast<std::size_t>(hit.instanceCustomIndex)];
+    } else {
+        const ProceduralPrimitive &prim =
+            geom.prims[static_cast<std::size_t>(hit.primitiveIndex)];
+        Mat4 w2o = affineInverse(inst.objectToWorld);
+        Vec3 obj_p = w2o.transformPoint(info.position);
+        if (prim.shape == ProceduralShape::Sphere) {
+            obj_normal = (obj_p - prim.center) / prim.radius;
+        } else {
+            // Face normal of the box: the axis where the hit point sits
+            // on (or nearest to) a face plane.
+            Vec3 c = prim.bounds.center();
+            Vec3 half = prim.bounds.extent() * 0.5f;
+            Vec3 rel = obj_p - c;
+            Vec3 scaled{rel.x / half.x, rel.y / half.y, rel.z / half.z};
+            int axis = maxDimension(
+                {std::abs(scaled.x), std::abs(scaled.y), std::abs(scaled.z)});
+            obj_normal = Vec3(0.f);
+            obj_normal[axis] = scaled[axis] > 0.f ? 1.f : -1.f;
+        }
+        info.material =
+            scene.materials[static_cast<std::size_t>(prim.materialIndex)];
+    }
+
+    Vec3 n = normalize(inst.objectToWorld.transformVector(obj_normal));
+    info.frontFace = dot(n, ray.direction) < 0.f;
+    info.normal = info.frontFace ? n : -n;
+    return info;
+}
+
+} // namespace vksim

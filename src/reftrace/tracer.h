@@ -1,0 +1,97 @@
+/**
+ * @file
+ * CPU reference ray tracing.
+ *
+ * Two independent intersection paths are provided:
+ *  - bruteForceTrace(): tests every primitive of every instance; the
+ *    ground-truth oracle for property tests of the BVH.
+ *  - CpuTracer: traverses the *serialized* acceleration structure with the
+ *    same RayTraversal state machine the RT unit uses, then resolves
+ *    deferred procedural/any-hit work analytically.
+ *
+ * The CPU renderer built on CpuTracer is this repo's stand-in for the
+ * "NVIDIA GPU" image fidelity comparison of the paper's Figure 2.
+ */
+
+#ifndef VKSIM_REFTRACE_TRACER_H
+#define VKSIM_REFTRACE_TRACER_H
+
+#include <functional>
+
+#include "accel/serialize.h"
+#include "accel/traversal.h"
+#include "geom/ray.h"
+#include "scene/scene.h"
+
+namespace vksim {
+
+/** Ground truth: intersect `ray` against every primitive in the scene. */
+HitRecord bruteForceTrace(const Scene &scene, const Ray &ray,
+                          std::uint32_t flags = kRayFlagNone);
+
+/** Per-ray traversal counters surfaced to workload statistics. */
+struct TraceCounters
+{
+    std::uint64_t nodesVisited = 0;
+    std::uint64_t boxTests = 0;
+    std::uint64_t triangleTests = 0;
+    std::uint64_t transforms = 0;
+    std::uint64_t rays = 0;
+};
+
+/** BVH-based CPU tracer over the serialized acceleration structure. */
+class CpuTracer
+{
+  public:
+    /** Decides any-hit acceptance; default accepts everything. */
+    using AnyHitFilter = std::function<bool(const DeferredHit &)>;
+
+    CpuTracer(const Scene &scene, const GlobalMemory &gmem,
+              const AccelStruct &accel)
+        : scene_(scene), gmem_(gmem), accel_(accel)
+    {
+    }
+
+    /** Closest-hit query. Counters are accumulated when non-null. */
+    HitRecord trace(const Ray &ray, std::uint32_t flags = kRayFlagNone,
+                    TraceCounters *counters = nullptr) const;
+
+    /** Occlusion query (terminate on first hit). */
+    bool occluded(const Ray &ray, TraceCounters *counters = nullptr) const;
+
+    void setAnyHitFilter(AnyHitFilter f) { anyHit_ = std::move(f); }
+
+    const Scene &scene() const { return scene_; }
+
+  private:
+    /** Run intersection/any-hit work collected during traversal. */
+    void resolveDeferred(const Ray &world_ray, RayTraversal &trav) const;
+
+    const Scene &scene_;
+    const GlobalMemory &gmem_;
+    const AccelStruct &accel_;
+    AnyHitFilter anyHit_;
+};
+
+/** Sky gradient colour for a (unit) direction. */
+Vec3 skyColor(const Scene &scene, const Vec3 &dir);
+
+/**
+ * Surface data reconstructed at a hit point; shared by the reference
+ * shading code and by tests validating the simulated shaders.
+ */
+struct SurfaceInfo
+{
+    Vec3 position;
+    Vec3 normal;    ///< world-space geometric normal, faces the ray origin
+    bool frontFace = true;
+    Material material;
+};
+
+/** Reconstruct surface attributes for a committed hit. */
+SurfaceInfo surfaceAt(const Scene &scene, const Ray &ray,
+                      const HitRecord &hit);
+
+} // namespace vksim
+
+#endif // VKSIM_REFTRACE_TRACER_H

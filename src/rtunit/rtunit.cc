@@ -1,0 +1,411 @@
+#include "rtunit/rtunit.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "vptx/rt_runtime.h"
+#include "vptx/rtstack.h"
+
+namespace vksim {
+
+void
+RtUnit::LaneSink::stackSpill(unsigned bytes, bool is_write)
+{
+    WarpEntry &entry = unit->entries_[slot];
+    entry.spillWrites += 1;
+    if (is_write) {
+        // Spill into the tail of the per-thread frame area.
+        Addr base = entry.state->lanes[lane].frameBase;
+        unit->queueWrite(base + vptx::kRtFrameBytes - kSectorBytes);
+    }
+    unit->stats_->counter("stack_spills").inc();
+}
+
+void
+RtUnit::LaneSink::intersectionWrite(unsigned bytes)
+{
+    WarpEntry &entry = unit->entries_[slot];
+    Addr base = entry.state->lanes[lane].frameBase;
+    Addr addr = vptx::deferredEntryAddr(
+        base, static_cast<unsigned>(entry.deferredWrites % vptx::kMaxDeferred));
+    ++entry.deferredWrites;
+    unit->queueWrite(addr);
+    unit->stats_->counter("deferred_writes").inc();
+}
+
+RtUnit::RtUnit(const RtUnitConfig &config, const vptx::LaunchContext *ctx,
+               StatGroup *stats)
+    : config_(config), ctx_(ctx), stats_(stats)
+{
+    entries_.resize(config_.maxWarps);
+}
+
+bool
+RtUnit::canAccept() const
+{
+    return liveEntries_ < config_.maxWarps;
+}
+
+unsigned
+RtUnit::activeRays() const
+{
+    unsigned n = 0;
+    for (const WarpEntry &e : entries_) {
+        if (!e.valid)
+            continue;
+        for (unsigned lane = 0; lane < kWarpSize; ++lane)
+            if (e.lanes[lane].status != LaneStatus::Idle
+                && e.lanes[lane].status != LaneStatus::Done)
+                ++n;
+    }
+    return n;
+}
+
+void
+RtUnit::submit(vptx::Warp *warp, int split_id, Cycle now)
+{
+    vksim_assert(canAccept());
+    unsigned slot = 0;
+    while (entries_[slot].valid)
+        ++slot;
+    WarpEntry &entry = entries_[slot];
+    entry = WarpEntry{};
+    entry.valid = true;
+    entry.warp = warp;
+    entry.splitId = split_id;
+    entry.state = &warp->pendingTraverses.at(split_id);
+    entry.mask = entry.state->mask;
+    entry.submitTime = now;
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        entry.sinks[lane].unit = this;
+        entry.sinks[lane].slot = slot;
+        entry.sinks[lane].lane = lane;
+        if (!(entry.mask & (1u << lane))
+            || !entry.state->lanes[lane].traversal)
+            continue;
+        entry.state->lanes[lane].traversal->setSink(&entry.sinks[lane]);
+        entry.lanes[lane].status = LaneStatus::Ready;
+        ++entry.lanesLive;
+    }
+    ++liveEntries_;
+    stats_->counter("warps_submitted").inc();
+    stats_->accum("rays_per_warp").sample(entry.lanesLive);
+    if (entry.lanesLive == 0)
+        startWriteback(entry, slot, now);
+}
+
+void
+RtUnit::queueWrite(Addr addr)
+{
+    writeQueue_.push_back(sectorAlign(addr));
+}
+
+unsigned
+RtUnit::latencyOf(NodeType type) const
+{
+    switch (type) {
+      case NodeType::Internal:
+        return config_.boxLatency;
+      case NodeType::TriangleLeaf:
+        return config_.triLatency;
+      case NodeType::TopLeaf:
+        return config_.transformLatency;
+      case NodeType::ProceduralLeaf:
+        return 1; // recorded to the intersection buffer, no compute
+      default:
+        return 1;
+    }
+}
+
+void
+RtUnit::memSchedule(Cycle now)
+{
+    // Warp Scheduler: greedy-then-oldest over warp-buffer slots.
+    auto has_ready = [&](int slot) {
+        const WarpEntry &e = entries_[static_cast<std::size_t>(slot)];
+        if (!e.valid)
+            return false;
+        for (unsigned lane = 0; lane < kWarpSize; ++lane)
+            if (e.lanes[lane].status == LaneStatus::Ready)
+                return true;
+        return false;
+    };
+
+    int slot = -1;
+    if (lastScheduled_ >= 0 && has_ready(lastScheduled_)) {
+        slot = lastScheduled_;
+    } else {
+        // Oldest = lowest submit time among ready warps.
+        Cycle best = ~Cycle(0);
+        for (unsigned s = 0; s < entries_.size(); ++s) {
+            if (has_ready(static_cast<int>(s))
+                && entries_[s].submitTime < best) {
+                best = entries_[s].submitTime;
+                slot = static_cast<int>(s);
+            }
+        }
+    }
+    if (slot < 0)
+        return;
+    lastScheduled_ = slot;
+    WarpEntry &entry = entries_[static_cast<std::size_t>(slot)];
+
+    // Memory Scheduler: collect fetch addresses from all ready rays,
+    // merge identical requests, push the unique set onto the queue.
+    std::vector<std::pair<Addr, unsigned>> fetches; // sector, size
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        LaneState &ls = entry.lanes[lane];
+        if (ls.status != LaneStatus::Ready)
+            continue;
+        RayTraversal *trav = entry.state->lanes[lane].traversal.get();
+        Addr addr;
+        unsigned size;
+        if (!trav->nextFetch(&addr, &size)) {
+            ls.status = LaneStatus::Done;
+            --entry.lanesLive;
+            continue;
+        }
+        ls.nodeType = trav->pendingType();
+        unsigned chunks = (size + kSectorBytes - 1) / kSectorBytes;
+        ls.chunksOutstanding = 0;
+        bool queued_all = true;
+        for (unsigned c = 0; c < chunks; ++c) {
+            Addr sector = sectorAlign(addr) + c * kSectorBytes;
+            // Merge with an already queued request for the same sector.
+            bool merged = false;
+            for (MemQueueEntry &q : memQueue_)
+                if (q.sector == sector) {
+                    q.targets.emplace_back(slot, lane);
+                    merged = true;
+                    stats_->counter("mem_merged").inc();
+                    break;
+                }
+            if (!merged) {
+                if (memQueue_.size() >= config_.memQueueSize) {
+                    queued_all = false;
+                    break;
+                }
+                MemQueueEntry q;
+                q.sector = sector;
+                q.targets.emplace_back(slot, lane);
+                memQueue_.push_back(std::move(q));
+                stats_->counter("mem_requests").inc();
+            }
+            ++ls.chunksOutstanding;
+        }
+        if (ls.chunksOutstanding > 0)
+            ls.status = LaneStatus::WaitingMem;
+        if (!queued_all)
+            break; // queue full: remaining lanes stay Ready
+    }
+
+    // Check warps whose rays all finished during collection.
+    for (unsigned s = 0; s < entries_.size(); ++s) {
+        WarpEntry &e = entries_[s];
+        if (e.valid && !e.inWriteback && e.lanesLive == 0)
+            startWriteback(e, s, now);
+    }
+}
+
+void
+RtUnit::onResponse(std::uint64_t tag, Cycle now)
+{
+    auto it = inflight_.find(tag);
+    if (it == inflight_.end())
+        return;
+    std::vector<std::pair<unsigned, unsigned>> targets =
+        std::move(it->second);
+    inflight_.erase(it);
+    for (auto [slot, lane] : targets)
+        laneFetchDone(slot, lane, now);
+}
+
+void
+RtUnit::laneFetchDone(unsigned slot, unsigned lane, Cycle now)
+{
+    WarpEntry &entry = entries_[slot];
+    if (!entry.valid)
+        return;
+    LaneState &ls = entry.lanes[lane];
+    if (ls.status != LaneStatus::WaitingMem || ls.chunksOutstanding == 0)
+        return;
+    if (--ls.chunksOutstanding == 0) {
+        ls.status = LaneStatus::InFifo;
+        responseFifo_.emplace_back(slot, lane);
+    }
+}
+
+void
+RtUnit::opSchedule(Cycle now)
+{
+    for (unsigned pops = 0;
+         pops < config_.opsPerCycle && !responseFifo_.empty(); ++pops) {
+        auto [slot, lane] = responseFifo_.front();
+        responseFifo_.pop_front();
+        WarpEntry &entry = entries_[slot];
+        LaneState &ls = entry.lanes[lane];
+        if (!entry.valid || ls.status != LaneStatus::InFifo)
+            continue;
+        ls.status = LaneStatus::InOp;
+        ls.opDoneAt = now + latencyOf(ls.nodeType);
+        switch (ls.nodeType) {
+          case NodeType::Internal:
+            stats_->counter("ops_box").inc();
+            break;
+          case NodeType::TriangleLeaf:
+            stats_->counter("ops_triangle").inc();
+            break;
+          case NodeType::TopLeaf:
+            stats_->counter("ops_transform").inc();
+            break;
+          default:
+            stats_->counter("ops_other").inc();
+            break;
+        }
+    }
+}
+
+void
+RtUnit::finishOps(Cycle now)
+{
+    for (unsigned slot = 0; slot < entries_.size(); ++slot) {
+        WarpEntry &entry = entries_[slot];
+        if (!entry.valid)
+            continue;
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            LaneState &ls = entry.lanes[lane];
+            if (ls.status != LaneStatus::InOp || ls.opDoneAt > now)
+                continue;
+            RayTraversal *trav = entry.state->lanes[lane].traversal.get();
+            trav->step();
+            if (trav->done()) {
+                ls.status = LaneStatus::Done;
+                --entry.lanesLive;
+            } else {
+                ls.status = LaneStatus::Ready;
+            }
+        }
+        if (!entry.inWriteback && entry.lanesLive == 0)
+            startWriteback(entry, slot, now);
+    }
+}
+
+void
+RtUnit::startWriteback(WarpEntry &entry, unsigned slot, Cycle now)
+{
+    entry.inWriteback = true;
+    // Hit-result stores: one sector per participating ray (paper: "on a
+    // primitive hit, the results are stored in memory and read back
+    // during the closest hit shader execution").
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (!(entry.mask & (1u << lane)))
+            continue;
+        Addr base = entry.state->lanes[lane].frameBase;
+        entry.writebackQueue.push_back(
+            sectorAlign(base + vptx::frame::kHitT));
+    }
+    // FCC: coalescing-buffer construction traffic (searches + inserts).
+    if (config_.fccEnabled && ctx_) {
+        std::vector<vptx::CoalescedRow> rows;
+        vptx::rt_runtime::FccBuildCost cost =
+            vptx::rt_runtime::buildCoalescingTable(entry.state->lanes,
+                                                   entry.mask, *ctx_, &rows);
+        Addr fcc_base = ctx_->fccBase
+                        + (entry.warp->warpId) * vptx::kFccBytesPerWarp;
+        for (std::uint64_t i = 0; i < cost.loads + cost.stores; ++i)
+            entry.writebackQueue.push_back(
+                fcc_base
+                + (i % vptx::kMaxFccRows) * vptx::kFccRowBytes);
+        stats_->counter("fcc_insert_loads").inc(cost.loads);
+        stats_->counter("fcc_insert_stores").inc(cost.stores);
+    }
+}
+
+void
+RtUnit::pumpWriteback(Cycle now)
+{
+    for (unsigned slot = 0; slot < entries_.size(); ++slot) {
+        WarpEntry &entry = entries_[slot];
+        if (!entry.valid || !entry.inWriteback)
+            continue;
+        // Issue one writeback sector per cycle through the port.
+        if (!entry.writebackQueue.empty() && port_) {
+            if (port_->rtIssueWrite(entry.writebackQueue.front()))
+                entry.writebackQueue.pop_front();
+        } else if (!port_) {
+            entry.writebackQueue.clear();
+        }
+        if (entry.writebackQueue.empty()) {
+            // Done: hand back to the SM.
+            completions_.push_back({entry.warp, entry.splitId});
+            stats_->counter("warps_completed").inc();
+            stats_->accum("warp_latency").sample(
+                static_cast<double>(now - entry.submitTime));
+            if (latencyHist_)
+                latencyHist_->sample(
+                    static_cast<double>(now - entry.submitTime));
+            entry.valid = false;
+            --liveEntries_;
+            if (lastScheduled_ == static_cast<int>(slot))
+                lastScheduled_ = -1;
+        }
+    }
+}
+
+void
+RtUnit::cycle(Cycle now)
+{
+    if (liveEntries_ > 0) {
+        stats_->counter("busy_cycles").inc();
+        stats_->counter("active_ray_cycles").inc(activeRays());
+        stats_->counter("slot_ray_cycles").inc(liveEntries_ * kWarpSize);
+        stats_->counter("occupied_warp_cycles").inc(liveEntries_);
+    }
+
+    finishOps(now);
+    opSchedule(now);
+    memSchedule(now);
+
+    // Issue memory requests: reads from the Memory Access Queue head and
+    // spill/deferred writes, respecting the port's per-cycle budget.
+    unsigned issued = 0;
+    while (issued < config_.issuePerCycle && !memQueue_.empty()) {
+        MemQueueEntry &q = memQueue_.front();
+        if (config_.perfectBvh) {
+            for (auto [slot, lane] : q.targets)
+                laneFetchDone(slot, lane, now);
+            memQueue_.pop_front();
+            ++issued;
+            continue;
+        }
+        if (!port_)
+            vksim_panic("RT unit has no memory port");
+        std::uint64_t tag = nextTag_++;
+        if (!port_->rtIssueRead(q.sector, tag))
+            break;
+        inflight_.emplace(tag, std::move(q.targets));
+        memQueue_.pop_front();
+        ++issued;
+    }
+    while (issued < config_.issuePerCycle && !writeQueue_.empty()
+           && port_ && !config_.perfectBvh) {
+        if (!port_->rtIssueWrite(writeQueue_.front()))
+            break;
+        writeQueue_.pop_front();
+        ++issued;
+    }
+    if (config_.perfectBvh)
+        writeQueue_.clear();
+
+    pumpWriteback(now);
+}
+
+std::vector<RtUnit::Completion>
+RtUnit::drainCompletions()
+{
+    std::vector<Completion> out = std::move(completions_);
+    completions_.clear();
+    return out;
+}
+
+} // namespace vksim

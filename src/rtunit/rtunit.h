@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The RT unit performance model (paper Sec. III-C and Fig. 3, right).
+ *
+ * One RT unit per SM. Warps executing traverseAS enter the Warp Buffer
+ * (up to maxWarps concurrently). Per cycle:
+ *  - the Warp Scheduler (greedy-then-oldest) selects one warp and the
+ *    Memory Scheduler collects node-fetch addresses from its ready rays,
+ *    merging identical requests and splitting >32 B nodes into 32 B
+ *    chunks pushed onto the Memory Access Queue;
+ *  - the head of the queue issues to the L1 (or a dedicated RT cache);
+ *  - returning data enters the Response FIFO; the Operation Scheduler
+ *    pops one entry per cycle and forwards the ray to the pipelined
+ *    ray-box / ray-triangle / transform units (fixed latencies);
+ *  - completed operations update the ray status and traversal stack.
+ *
+ * Short-stack spills and intersection-buffer appends generate real write
+ * traffic; with FCC enabled the coalescing-buffer searches add loads
+ * (the +11 % memory overhead of Sec. VI-E).
+ */
+
+#ifndef VKSIM_RTUNIT_RTUNIT_H
+#define VKSIM_RTUNIT_RTUNIT_H
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "accel/traversal.h"
+#include "cache/cache.h"
+#include "util/stats.h"
+#include "vptx/context.h"
+
+namespace vksim {
+
+/** Memory port the owning SM provides (routes to L1 or RT cache). */
+class RtMemPort
+{
+  public:
+    virtual ~RtMemPort() = default;
+
+    /** Issue a 32 B sector read; response arrives via RtUnit::onResponse.
+     *  @return false when the port is stalled (retry next cycle). */
+    virtual bool rtIssueRead(Addr sector, std::uint64_t tag) = 0;
+
+    /** Fire-and-forget 32 B sector write (traffic accounting only). */
+    virtual bool rtIssueWrite(Addr sector) = 0;
+};
+
+/** RT unit configuration (Table III + operation-unit latencies). */
+struct RtUnitConfig
+{
+    unsigned maxWarps = 8;        ///< concurrent warps in the warp buffer
+    unsigned memQueueSize = 16;   ///< Memory Access Queue entries
+    unsigned issuePerCycle = 1;   ///< sectors sent to the cache per cycle
+    unsigned opsPerCycle = 1;     ///< Response FIFO pops per cycle
+    unsigned boxLatency = 10;     ///< 6-wide box test latency
+    unsigned triLatency = 12;     ///< triangle test latency
+    unsigned transformLatency = 8;///< world-to-object transform latency
+    unsigned shortStackEntries = 8; ///< traversal short-stack size
+    bool perfectBvh = false;      ///< node fetches have zero latency
+    bool fccEnabled = false;      ///< coalescing-buffer insertion traffic
+};
+
+/** The per-SM ray tracing accelerator. */
+class RtUnit
+{
+  public:
+    RtUnit(const RtUnitConfig &config, const vptx::LaunchContext *ctx,
+           StatGroup *stats);
+
+    void setMemPort(RtMemPort *port) { port_ = port; }
+
+    /** Free slot in the warp buffer? */
+    bool canAccept() const;
+
+    /**
+     * Park a warp split whose traverseAS just issued; the warp's
+     * pendingTraverses entry holds the per-ray traversal state machines.
+     */
+    void submit(vptx::Warp *warp, int split_id, Cycle now);
+
+    /** Memory response for a previously issued read. */
+    void onResponse(std::uint64_t tag, Cycle now);
+
+    /** Advance one core cycle. */
+    void cycle(Cycle now);
+
+    /** A finished traverse (functional completion is the SM's job). */
+    struct Completion
+    {
+        vptx::Warp *warp;
+        int splitId;
+    };
+
+    std::vector<Completion> drainCompletions();
+
+    /** Any warps resident? */
+    bool busy() const { return liveEntries_ > 0; }
+
+    /** Rays still traversing right now (Fig. 18 occupancy). */
+    unsigned activeRays() const;
+
+    /** Optional warp-latency histogram (paper Fig. 13). */
+    void setLatencyHistogram(Histogram *hist) { latencyHist_ = hist; }
+
+  private:
+    enum class LaneStatus : std::uint8_t
+    {
+        Idle,       ///< not participating
+        Ready,      ///< wants to issue its next node fetch
+        WaitingMem, ///< chunks outstanding
+        InFifo,     ///< data returned, waiting for the op scheduler
+        InOp,       ///< inside a box/tri/transform unit
+        Done
+    };
+
+    struct LaneState
+    {
+        LaneStatus status = LaneStatus::Idle;
+        unsigned chunksOutstanding = 0;
+        Cycle opDoneAt = 0;
+        NodeType nodeType = NodeType::Invalid;
+    };
+
+    /** Sink forwarding traversal-generated traffic to the write queue. */
+    struct LaneSink : TraversalMemSink
+    {
+        RtUnit *unit = nullptr;
+        unsigned slot = 0;
+        unsigned lane = 0;
+        void stackSpill(unsigned bytes, bool is_write) override;
+        void intersectionWrite(unsigned bytes) override;
+    };
+
+    struct WarpEntry
+    {
+        bool valid = false;
+        vptx::Warp *warp = nullptr;
+        vptx::TraverseState *state = nullptr;
+        int splitId = 0;
+        vptx::Mask mask = 0;
+        std::array<LaneState, kWarpSize> lanes;
+        std::array<LaneSink, kWarpSize> sinks;
+        Cycle submitTime = 0;
+        unsigned lanesLive = 0;
+        /// Result/FCC writeback traffic left before completion signals.
+        std::deque<Addr> writebackQueue;
+        bool inWriteback = false;
+        std::uint64_t spillWrites = 0;
+        std::uint64_t deferredWrites = 0;
+    };
+
+    struct MemQueueEntry
+    {
+        Addr sector;
+        /// (slot, lane) pairs waiting on this sector.
+        std::vector<std::pair<unsigned, unsigned>> targets;
+    };
+
+    void memSchedule(Cycle now);
+    void opSchedule(Cycle now);
+    void finishOps(Cycle now);
+    void startWriteback(WarpEntry &entry, unsigned slot, Cycle now);
+    void pumpWriteback(Cycle now);
+    void laneFetchDone(unsigned slot, unsigned lane, Cycle now);
+    void queueWrite(Addr addr);
+    unsigned latencyOf(NodeType type) const;
+
+    RtUnitConfig config_;
+    const vptx::LaunchContext *ctx_;
+    StatGroup *stats_;
+    RtMemPort *port_ = nullptr;
+
+    std::vector<WarpEntry> entries_;
+    unsigned liveEntries_ = 0;
+    int lastScheduled_ = -1; ///< GTO: stick to this warp slot
+    std::deque<MemQueueEntry> memQueue_;
+    std::deque<std::pair<unsigned, unsigned>> responseFifo_;
+    std::deque<Addr> writeQueue_; ///< spill / intersection-buffer stores
+    std::vector<Completion> completions_;
+
+    // tag -> memQueue bookkeeping for in-flight sectors.
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::pair<unsigned, unsigned>>>
+        inflight_;
+    std::uint64_t nextTag_ = 1;
+    Histogram *latencyHist_ = nullptr;
+};
+
+} // namespace vksim
+
+#endif // VKSIM_RTUNIT_RTUNIT_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Surface material description shared by the simulated shaders and the CPU
+ * reference tracer.
+ *
+ * The layout is fixed and trivially copyable because materials are
+ * serialized verbatim into a descriptor buffer in simulated global memory
+ * and loaded field-by-field by closest-hit shaders.
+ */
+
+#ifndef VKSIM_SCENE_MATERIAL_H
+#define VKSIM_SCENE_MATERIAL_H
+
+#include <cstdint>
+
+#include "geom/vec.h"
+
+namespace vksim {
+
+/** Shading model selector; values are stable ABI for shader loads. */
+enum class MaterialKind : std::int32_t
+{
+    Lambertian = 0, ///< diffuse
+    Mirror = 1,     ///< perfect specular reflection
+    Metal = 2,      ///< glossy reflection with fuzz
+    Dielectric = 3, ///< refractive glass
+    Emissive = 4    ///< light source
+};
+
+/** POD material record (48 bytes) as stored in the material buffer. */
+struct Material
+{
+    Vec3 albedo{0.8f, 0.8f, 0.8f};
+    std::int32_t kind = 0; // MaterialKind
+    Vec3 emission{0.f, 0.f, 0.f};
+    float fuzz = 0.f; ///< metal roughness
+    float ior = 1.5f; ///< dielectric index of refraction
+    float pad0 = 0.f;
+    float pad1 = 0.f;
+    float pad2 = 0.f;
+
+    static Material
+    lambertian(const Vec3 &albedo)
+    {
+        Material m;
+        m.albedo = albedo;
+        m.kind = static_cast<std::int32_t>(MaterialKind::Lambertian);
+        return m;
+    }
+
+    static Material
+    mirror(const Vec3 &tint)
+    {
+        Material m;
+        m.albedo = tint;
+        m.kind = static_cast<std::int32_t>(MaterialKind::Mirror);
+        return m;
+    }
+
+    static Material
+    metal(const Vec3 &tint, float fuzz)
+    {
+        Material m;
+        m.albedo = tint;
+        m.kind = static_cast<std::int32_t>(MaterialKind::Metal);
+        m.fuzz = fuzz;
+        return m;
+    }
+
+    static Material
+    dielectric(float ior)
+    {
+        Material m;
+        m.albedo = Vec3(1.f);
+        m.kind = static_cast<std::int32_t>(MaterialKind::Dielectric);
+        m.ior = ior;
+        return m;
+    }
+
+    static Material
+    emissive(const Vec3 &radiance)
+    {
+        Material m;
+        m.albedo = Vec3(0.f);
+        m.emission = radiance;
+        m.kind = static_cast<std::int32_t>(MaterialKind::Emissive);
+        return m;
+    }
+};
+
+static_assert(sizeof(Material) == 48, "material ABI is fixed at 48 bytes");
+
+} // namespace vksim
+
+#endif // VKSIM_SCENE_MATERIAL_H

@@ -1,0 +1,269 @@
+#include "scene/mesh.h"
+
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "util/rng.h"
+
+namespace vksim {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+} // namespace
+
+void
+TriangleMesh::append(const TriangleMesh &other, const Mat4 &xf)
+{
+    auto base = static_cast<std::uint32_t>(vertices_.size());
+    vertices_.reserve(vertices_.size() + other.vertices_.size());
+    for (const Vec3 &v : other.vertices_)
+        vertices_.push_back(xf.transformPoint(v));
+    indices_.reserve(indices_.size() + other.indices_.size());
+    for (std::uint32_t i : other.indices_)
+        indices_.push_back(base + i);
+}
+
+Aabb
+TriangleMesh::bounds() const
+{
+    Aabb box;
+    for (const Vec3 &v : vertices_)
+        box.extend(v);
+    return box;
+}
+
+TriangleMesh
+makeGridMesh(float size_x, float size_z, unsigned seg_x, unsigned seg_z,
+             float y)
+{
+    TriangleMesh mesh;
+    for (unsigned j = 0; j <= seg_z; ++j)
+        for (unsigned i = 0; i <= seg_x; ++i) {
+            float fx = (static_cast<float>(i) / seg_x - 0.5f) * size_x;
+            float fz = (static_cast<float>(j) / seg_z - 0.5f) * size_z;
+            mesh.addVertex({fx, y, fz});
+        }
+    auto idx = [&](unsigned i, unsigned j) { return j * (seg_x + 1) + i; };
+    for (unsigned j = 0; j < seg_z; ++j)
+        for (unsigned i = 0; i < seg_x; ++i) {
+            mesh.addTriangle(idx(i, j), idx(i + 1, j), idx(i + 1, j + 1));
+            mesh.addTriangle(idx(i, j), idx(i + 1, j + 1), idx(i, j + 1));
+        }
+    return mesh;
+}
+
+TriangleMesh
+makeBoxMesh(const Vec3 &lo, const Vec3 &hi, unsigned subdivisions)
+{
+    TriangleMesh mesh;
+    unsigned n = std::max(1u, subdivisions);
+    // Each face is an n x n grid. Faces: +-X, +-Y, +-Z.
+    auto add_face = [&](const Vec3 &origin, const Vec3 &du, const Vec3 &dv) {
+        auto base = static_cast<std::uint32_t>(mesh.vertices().size());
+        for (unsigned j = 0; j <= n; ++j)
+            for (unsigned i = 0; i <= n; ++i) {
+                float fu = static_cast<float>(i) / n;
+                float fv = static_cast<float>(j) / n;
+                mesh.addVertex(origin + du * fu + dv * fv);
+            }
+        auto idx = [&](unsigned i, unsigned j) {
+            return base + j * (n + 1) + i;
+        };
+        for (unsigned j = 0; j < n; ++j)
+            for (unsigned i = 0; i < n; ++i) {
+                mesh.addTriangle(idx(i, j), idx(i + 1, j), idx(i + 1, j + 1));
+                mesh.addTriangle(idx(i, j), idx(i + 1, j + 1), idx(i, j + 1));
+            }
+    };
+    Vec3 d = hi - lo;
+    Vec3 dx{d.x, 0, 0}, dy{0, d.y, 0}, dz{0, 0, d.z};
+    add_face(lo, dz, dy);                       // -X
+    add_face({hi.x, lo.y, lo.z}, dy, dz);       // +X
+    add_face(lo, dx, dz);                       // -Y
+    add_face({lo.x, hi.y, lo.z}, dz, dx);       // +Y
+    add_face(lo, dy, dx);                       // -Z
+    add_face({lo.x, lo.y, hi.z}, dx, dy);       // +Z
+    return mesh;
+}
+
+TriangleMesh
+makeCylinderMesh(float radius, float height, unsigned radial_segs,
+                 unsigned height_segs)
+{
+    TriangleMesh mesh;
+    unsigned r = std::max(3u, radial_segs);
+    unsigned h = std::max(1u, height_segs);
+    for (unsigned j = 0; j <= h; ++j) {
+        float y = height * static_cast<float>(j) / h;
+        for (unsigned i = 0; i < r; ++i) {
+            float a = 2.f * kPi * static_cast<float>(i) / r;
+            mesh.addVertex({radius * std::cos(a), y, radius * std::sin(a)});
+        }
+    }
+    auto idx = [&](unsigned i, unsigned j) { return j * r + (i % r); };
+    for (unsigned j = 0; j < h; ++j)
+        for (unsigned i = 0; i < r; ++i) {
+            mesh.addTriangle(idx(i, j), idx(i + 1, j), idx(i + 1, j + 1));
+            mesh.addTriangle(idx(i, j), idx(i + 1, j + 1), idx(i, j + 1));
+        }
+    // Caps (fans around center vertices).
+    std::uint32_t c0 = mesh.addVertex({0, 0, 0});
+    std::uint32_t c1 = mesh.addVertex({0, height, 0});
+    for (unsigned i = 0; i < r; ++i) {
+        mesh.addTriangle(c0, idx(i + 1, 0), idx(i, 0));
+        mesh.addTriangle(c1, idx(i, h), idx(i + 1, h));
+    }
+    return mesh;
+}
+
+TriangleMesh
+makeIcosphereMesh(float radius, unsigned subdivisions)
+{
+    // Base icosahedron.
+    const float t = (1.f + std::sqrt(5.f)) / 2.f;
+    std::vector<Vec3> verts = {
+        {-1, t, 0}, {1, t, 0},   {-1, -t, 0}, {1, -t, 0},
+        {0, -1, t}, {0, 1, t},   {0, -1, -t}, {0, 1, -t},
+        {t, 0, -1}, {t, 0, 1},   {-t, 0, -1}, {-t, 0, 1},
+    };
+    std::vector<std::array<std::uint32_t, 3>> faces = {
+        {0, 11, 5}, {0, 5, 1},   {0, 1, 7},   {0, 7, 10}, {0, 10, 11},
+        {1, 5, 9},  {5, 11, 4},  {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+        {3, 9, 4},  {3, 4, 2},   {3, 2, 6},   {3, 6, 8},  {3, 8, 9},
+        {4, 9, 5},  {2, 4, 11},  {6, 2, 10},  {8, 6, 7},  {9, 8, 1},
+    };
+    for (auto &v : verts)
+        v = normalize(v);
+
+    for (unsigned s = 0; s < subdivisions; ++s) {
+        std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t>
+            midpoints;
+        auto midpoint = [&](std::uint32_t a, std::uint32_t b) {
+            auto key = std::minmax(a, b);
+            auto it = midpoints.find(key);
+            if (it != midpoints.end())
+                return it->second;
+            Vec3 mid = normalize((verts[a] + verts[b]) * 0.5f);
+            verts.push_back(mid);
+            auto id = static_cast<std::uint32_t>(verts.size() - 1);
+            midpoints.emplace(key, id);
+            return id;
+        };
+        std::vector<std::array<std::uint32_t, 3>> next;
+        next.reserve(faces.size() * 4);
+        for (auto &f : faces) {
+            std::uint32_t ab = midpoint(f[0], f[1]);
+            std::uint32_t bc = midpoint(f[1], f[2]);
+            std::uint32_t ca = midpoint(f[2], f[0]);
+            next.push_back({f[0], ab, ca});
+            next.push_back({f[1], bc, ab});
+            next.push_back({f[2], ca, bc});
+            next.push_back({ab, bc, ca});
+        }
+        faces = std::move(next);
+    }
+
+    TriangleMesh mesh;
+    for (const Vec3 &v : verts)
+        mesh.addVertex(v * radius);
+    for (auto &f : faces)
+        mesh.addTriangle(f[0], f[1], f[2]);
+    return mesh;
+}
+
+TriangleMesh
+makeClothMesh(float size_x, float size_y, unsigned seg_x, unsigned seg_y,
+              float amplitude, std::uint32_t seed)
+{
+    Pcg32 rng(seed);
+    float ph0 = rng.nextRange(0.f, 2.f * kPi);
+    float ph1 = rng.nextRange(0.f, 2.f * kPi);
+    float fr0 = rng.nextRange(2.f, 5.f);
+    float fr1 = rng.nextRange(5.f, 9.f);
+
+    TriangleMesh mesh;
+    for (unsigned j = 0; j <= seg_y; ++j)
+        for (unsigned i = 0; i <= seg_x; ++i) {
+            float u = static_cast<float>(i) / seg_x;
+            float v = static_cast<float>(j) / seg_y;
+            float z = amplitude
+                      * (std::sin(fr0 * u * kPi + ph0) * 0.6f
+                         + std::sin(fr1 * (u + v) * kPi + ph1) * 0.4f)
+                      * v; // pinned at the top edge
+            mesh.addVertex({(u - 0.5f) * size_x, (1.f - v) * size_y, z});
+        }
+    auto idx = [&](unsigned i, unsigned j) { return j * (seg_x + 1) + i; };
+    for (unsigned j = 0; j < seg_y; ++j)
+        for (unsigned i = 0; i < seg_x; ++i) {
+            mesh.addTriangle(idx(i, j), idx(i + 1, j), idx(i + 1, j + 1));
+            mesh.addTriangle(idx(i, j), idx(i + 1, j + 1), idx(i, j + 1));
+        }
+    return mesh;
+}
+
+namespace {
+
+/** Deterministic value noise on the unit sphere via hashed lattice. */
+float
+sphericalNoise(const Vec3 &dir, float frequency, std::uint32_t seed)
+{
+    Vec3 p = dir * frequency;
+    auto fold = [&](int xi, int yi, int zi) {
+        std::uint32_t h = hashU32(static_cast<std::uint32_t>(xi) * 73856093u
+                                  ^ static_cast<std::uint32_t>(yi) * 19349663u
+                                  ^ static_cast<std::uint32_t>(zi) * 83492791u
+                                  ^ seed);
+        return static_cast<float>(h) / 4294967296.f;
+    };
+    int x0 = static_cast<int>(std::floor(p.x));
+    int y0 = static_cast<int>(std::floor(p.y));
+    int z0 = static_cast<int>(std::floor(p.z));
+    float fx = p.x - x0, fy = p.y - y0, fz = p.z - z0;
+    auto smooth = [](float t) { return t * t * (3.f - 2.f * t); };
+    fx = smooth(fx);
+    fy = smooth(fy);
+    fz = smooth(fz);
+    float acc = 0.f;
+    for (int dz = 0; dz <= 1; ++dz)
+        for (int dy = 0; dy <= 1; ++dy)
+            for (int dx = 0; dx <= 1; ++dx) {
+                float w = (dx ? fx : 1.f - fx) * (dy ? fy : 1.f - fy)
+                          * (dz ? fz : 1.f - fz);
+                acc += w * fold(x0 + dx, y0 + dy, z0 + dz);
+            }
+    return acc;
+}
+
+} // namespace
+
+TriangleMesh
+makeStatueMesh(float radius, unsigned subdivisions, float displacement,
+               std::uint32_t seed)
+{
+    TriangleMesh sphere = makeIcosphereMesh(1.f, subdivisions);
+    TriangleMesh mesh;
+    for (const Vec3 &v : sphere.vertices()) {
+        Vec3 dir = normalize(v);
+        float n = 0.f;
+        float amp = 1.f, freq = 2.f;
+        for (int octave = 0; octave < 4; ++octave) {
+            n += amp * (sphericalNoise(dir, freq, seed + octave) - 0.5f);
+            amp *= 0.5f;
+            freq *= 2.f;
+        }
+        // Stretch vertically to be vaguely statue-like.
+        Vec3 p = dir * (radius * (1.f + displacement * n));
+        p.y *= 1.6f;
+        mesh.addVertex(p);
+    }
+    for (std::size_t i = 0; i < sphere.triangleCount(); ++i) {
+        const auto &idx = sphere.indices();
+        mesh.addTriangle(idx[3 * i], idx[3 * i + 1], idx[3 * i + 2]);
+    }
+    return mesh;
+}
+
+} // namespace vksim

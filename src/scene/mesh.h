@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Triangle mesh container and procedural mesh generators.
+ *
+ * The paper's workloads load scene geometry (Sponza, OBJ statues, ...);
+ * because those assets are not redistributable we generate deterministic
+ * procedural geometry of equivalent scale and structure (see DESIGN.md,
+ * substitutions table).
+ */
+
+#ifndef VKSIM_SCENE_MESH_H
+#define VKSIM_SCENE_MESH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/mat4.h"
+#include "geom/vec.h"
+
+namespace vksim {
+
+/** Indexed triangle mesh. */
+class TriangleMesh
+{
+  public:
+    /** Append a vertex and return its index. */
+    std::uint32_t
+    addVertex(const Vec3 &p)
+    {
+        vertices_.push_back(p);
+        return static_cast<std::uint32_t>(vertices_.size() - 1);
+    }
+
+    /** Append a triangle over existing vertex indices. */
+    void
+    addTriangle(std::uint32_t a, std::uint32_t b, std::uint32_t c)
+    {
+        indices_.push_back(a);
+        indices_.push_back(b);
+        indices_.push_back(c);
+    }
+
+    /** Append all of `other`, transformed by `xf`. */
+    void append(const TriangleMesh &other, const Mat4 &xf);
+
+    std::size_t triangleCount() const { return indices_.size() / 3; }
+    const std::vector<Vec3> &vertices() const { return vertices_; }
+    const std::vector<std::uint32_t> &indices() const { return indices_; }
+
+    /** Vertex positions of triangle `i`. */
+    void
+    triangle(std::size_t i, Vec3 *v0, Vec3 *v1, Vec3 *v2) const
+    {
+        *v0 = vertices_[indices_[3 * i + 0]];
+        *v1 = vertices_[indices_[3 * i + 1]];
+        *v2 = vertices_[indices_[3 * i + 2]];
+    }
+
+    /** Bounding box over all vertices. */
+    Aabb bounds() const;
+
+  private:
+    std::vector<Vec3> vertices_;
+    std::vector<std::uint32_t> indices_;
+};
+
+/**
+ * Mesh generators. All take tessellation parameters so workload scenes can
+ * hit target primitive counts (Table IV) deterministically.
+ * @{
+ */
+
+/** Grid of quads (2 triangles each) in the XZ plane at height y. */
+TriangleMesh makeGridMesh(float size_x, float size_z, unsigned seg_x,
+                          unsigned seg_z, float y = 0.f);
+
+/** Axis-aligned box mesh, optionally subdivided per face. */
+TriangleMesh makeBoxMesh(const Vec3 &lo, const Vec3 &hi,
+                         unsigned subdivisions = 1);
+
+/** Closed cylinder along +Y with the given tessellation. */
+TriangleMesh makeCylinderMesh(float radius, float height,
+                              unsigned radial_segs, unsigned height_segs);
+
+/** Icosphere (subdivided icosahedron) of the given subdivision order. */
+TriangleMesh makeIcosphereMesh(float radius, unsigned subdivisions);
+
+/**
+ * Heightfield over a grid with layered sinusoidal displacement; used for
+ * the drapes in the synthetic atrium (EXT) scene.
+ */
+TriangleMesh makeClothMesh(float size_x, float size_y, unsigned seg_x,
+                           unsigned seg_y, float amplitude,
+                           std::uint32_t seed);
+
+/**
+ * A "statue": icosphere displaced by deterministic multi-octave noise;
+ * stand-in for the OBJ statue of the RTV5 workload.
+ */
+TriangleMesh makeStatueMesh(float radius, unsigned subdivisions,
+                            float displacement, std::uint32_t seed);
+
+/** @} */
+
+} // namespace vksim
+
+#endif // VKSIM_SCENE_MESH_H

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Host-side scene description: geometries (BLAS contents), instances (TLAS
+ * contents), materials, camera, and lights.
+ *
+ * This mirrors what a Vulkan application provides through
+ * VK_KHR_acceleration_structure: one bottom-level AS per unique geometry
+ * and a single top-level AS positioning instances with transforms.
+ */
+
+#ifndef VKSIM_SCENE_SCENE_H
+#define VKSIM_SCENE_SCENE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/mat4.h"
+#include "scene/camera.h"
+#include "scene/material.h"
+#include "scene/mesh.h"
+
+namespace vksim {
+
+/** What a bottom-level AS contains. */
+enum class GeometryKind
+{
+    Triangles,
+    Procedural
+};
+
+/** Procedural primitive shapes understood by the workload shaders. */
+enum class ProceduralShape : std::int32_t
+{
+    Sphere = 0,
+    Box = 1
+};
+
+/**
+ * One custom-geometry primitive: an AABB for the BVH plus the analytic
+ * parameters the intersection shader evaluates.
+ */
+struct ProceduralPrimitive
+{
+    Aabb bounds;
+    ProceduralShape shape = ProceduralShape::Sphere;
+    Vec3 center;
+    float radius = 1.f;
+    std::int32_t materialIndex = 0;
+
+    static ProceduralPrimitive
+    sphere(const Vec3 &center, float radius, std::int32_t material)
+    {
+        ProceduralPrimitive p;
+        p.shape = ProceduralShape::Sphere;
+        p.center = center;
+        p.radius = radius;
+        p.materialIndex = material;
+        p.bounds.extend(center - Vec3(radius));
+        p.bounds.extend(center + Vec3(radius));
+        return p;
+    }
+
+    static ProceduralPrimitive
+    box(const Aabb &bounds, std::int32_t material)
+    {
+        ProceduralPrimitive p;
+        p.shape = ProceduralShape::Box;
+        p.bounds = bounds;
+        p.center = bounds.center();
+        p.radius = 0.f;
+        p.materialIndex = material;
+        return p;
+    }
+};
+
+/** One unique geometry; becomes one bottom-level AS. */
+struct Geometry
+{
+    GeometryKind kind = GeometryKind::Triangles;
+    TriangleMesh mesh;                        ///< for Triangles
+    std::vector<ProceduralPrimitive> prims;   ///< for Procedural
+    /** Opaque triangles skip the any-hit stage (Vulkan geometry flag). */
+    bool opaque = true;
+
+    std::size_t
+    primitiveCount() const
+    {
+        return kind == GeometryKind::Triangles ? mesh.triangleCount()
+                                               : prims.size();
+    }
+
+    /** Object-space bounds of primitive `i`. */
+    Aabb
+    primitiveBounds(std::size_t i) const
+    {
+        if (kind == GeometryKind::Procedural)
+            return prims[i].bounds;
+        Aabb box;
+        Vec3 v0, v1, v2;
+        mesh.triangle(i, &v0, &v1, &v2);
+        box.extend(v0);
+        box.extend(v1);
+        box.extend(v2);
+        return box;
+    }
+};
+
+/** One TLAS instance referencing a geometry with a transform. */
+struct Instance
+{
+    std::uint32_t geometryIndex = 0;
+    Mat4 objectToWorld = Mat4::identity();
+    /** User index; workloads use it as the instance's material index. */
+    std::int32_t instanceCustomIndex = 0;
+    /** Hit-group (closest-hit / intersection shader) selector. */
+    std::int32_t sbtOffset = 0;
+};
+
+/** Complete scene: geometry + instances + shading environment. */
+struct Scene
+{
+    std::vector<Geometry> geometries;
+    std::vector<Instance> instances;
+    std::vector<Material> materials;
+    Camera camera;
+
+    // Environment: vertical sky gradient and one directional sun light.
+    Vec3 skyHorizon{0.8f, 0.85f, 0.95f};
+    Vec3 skyZenith{0.35f, 0.5f, 0.85f};
+    Vec3 sunDirection{0.4f, 0.8f, 0.2f}; ///< direction *towards* the sun
+    Vec3 sunColor{1.0f, 0.97f, 0.9f};
+
+    std::size_t
+    totalPrimitives() const
+    {
+        std::size_t n = 0;
+        for (const Instance &inst : instances)
+            n += geometries[inst.geometryIndex].primitiveCount();
+        return n;
+    }
+};
+
+} // namespace vksim
+
+#endif // VKSIM_SCENE_SCENE_H

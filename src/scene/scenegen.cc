@@ -1,0 +1,339 @@
+#include "scene/scenegen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vksim {
+
+Scene
+makeTriScene()
+{
+    Scene scene;
+
+    Geometry tri;
+    tri.kind = GeometryKind::Triangles;
+    tri.mesh.addVertex({-1.f, -0.8f, 0.f});
+    tri.mesh.addVertex({1.f, -0.8f, 0.f});
+    tri.mesh.addVertex({0.f, 1.0f, 0.f});
+    tri.mesh.addTriangle(0, 1, 2);
+    scene.geometries.push_back(std::move(tri));
+
+    Instance inst;
+    inst.geometryIndex = 0;
+    inst.instanceCustomIndex = 0;
+    scene.instances.push_back(inst);
+
+    scene.materials.push_back(Material::lambertian({0.9f, 0.2f, 0.2f}));
+    scene.camera =
+        Camera::lookAt({0.f, 0.f, 2.5f}, {0.f, 0.f, 0.f}, {0.f, 1.f, 0.f},
+                       60.f, 1.f);
+    return scene;
+}
+
+Scene
+makeRefScene()
+{
+    Scene scene;
+
+    // Mirror floor: one quad (2 triangles).
+    Geometry floor;
+    floor.kind = GeometryKind::Triangles;
+    floor.mesh = makeGridMesh(20.f, 20.f, 1, 1, 0.f);
+    scene.geometries.push_back(std::move(floor));
+
+    // A box geometry (12 triangles), instanced four times = 48 triangles;
+    // with the floor this gives the paper's ~50 primitives.
+    Geometry box;
+    box.kind = GeometryKind::Triangles;
+    box.mesh = makeBoxMesh({-0.5f, 0.f, -0.5f}, {0.5f, 1.f, 0.5f}, 1);
+    scene.geometries.push_back(std::move(box));
+
+    Instance floor_inst;
+    floor_inst.geometryIndex = 0;
+    floor_inst.instanceCustomIndex = 0; // mirror material
+    scene.instances.push_back(floor_inst);
+
+    const Vec3 spots[4] = {{-2.2f, 0.f, -1.f},
+                           {-0.7f, 0.f, 0.6f},
+                           {0.9f, 0.f, -0.4f},
+                           {2.3f, 0.f, 0.9f}};
+    for (int i = 0; i < 4; ++i) {
+        Instance inst;
+        inst.geometryIndex = 1;
+        inst.objectToWorld = Mat4::translation(spots[i])
+                             * Mat4::rotationY(0.6f * static_cast<float>(i))
+                             * Mat4::scaling(Vec3(1.f + 0.2f * i));
+        inst.instanceCustomIndex = 1 + i;
+        scene.instances.push_back(inst);
+    }
+
+    scene.materials.push_back(Material::mirror({0.9f, 0.9f, 0.95f}));
+    scene.materials.push_back(Material::lambertian({0.85f, 0.25f, 0.2f}));
+    scene.materials.push_back(Material::lambertian({0.2f, 0.7f, 0.3f}));
+    scene.materials.push_back(Material::metal({0.8f, 0.75f, 0.4f}, 0.05f));
+    scene.materials.push_back(Material::lambertian({0.25f, 0.35f, 0.85f}));
+
+    scene.sunDirection = normalize({0.45f, 0.8f, 0.3f});
+    scene.camera =
+        Camera::lookAt({0.f, 2.2f, 6.f}, {0.f, 0.6f, 0.f}, {0.f, 1.f, 0.f},
+                       55.f, 1.f);
+    return scene;
+}
+
+Scene
+makeExtScene(float scale)
+{
+    scale = std::clamp(scale, 0.05f, 1.0f);
+    auto scaled = [&](unsigned n, unsigned lo) {
+        return std::max(lo, static_cast<unsigned>(n * scale));
+    };
+
+    Scene scene;
+
+    // Materials: 0 floor, 1 walls, 2 columns, 3.. drapes.
+    scene.materials.push_back(Material::lambertian({0.55f, 0.5f, 0.45f}));
+    scene.materials.push_back(Material::lambertian({0.6f, 0.55f, 0.5f}));
+    scene.materials.push_back(Material::lambertian({0.7f, 0.68f, 0.6f}));
+
+    // Floor.
+    Geometry floor;
+    floor.kind = GeometryKind::Triangles;
+    floor.mesh =
+        makeGridMesh(36.f, 18.f, scaled(128, 4), scaled(64, 4), 0.f);
+    scene.geometries.push_back(std::move(floor));
+    Instance floor_inst;
+    floor_inst.geometryIndex = 0;
+    floor_inst.instanceCustomIndex = 0;
+    scene.instances.push_back(floor_inst);
+
+    // Two long side walls.
+    Geometry wall;
+    wall.kind = GeometryKind::Triangles;
+    {
+        TriangleMesh m =
+            makeGridMesh(36.f, 10.f, scaled(128, 4), scaled(24, 2), 0.f);
+        // Rotate the grid from XZ plane into XY (vertical wall).
+        TriangleMesh vertical;
+        vertical.append(m, Mat4::rotationX(3.14159265f / 2.f));
+        wall.mesh = std::move(vertical);
+    }
+    scene.geometries.push_back(std::move(wall));
+    for (int side = 0; side < 2; ++side) {
+        Instance inst;
+        inst.geometryIndex = 1;
+        inst.objectToWorld =
+            Mat4::translation({0.f, 5.f, side == 0 ? -9.f : 9.f});
+        inst.instanceCustomIndex = 1;
+        scene.instances.push_back(inst);
+    }
+
+    // Columns: one BLAS, 28 instances in two rows.
+    Geometry column;
+    column.kind = GeometryKind::Triangles;
+    column.mesh =
+        makeCylinderMesh(0.45f, 7.f, scaled(24, 6), scaled(30, 3));
+    scene.geometries.push_back(std::move(column));
+    for (int row = 0; row < 2; ++row)
+        for (int i = 0; i < 14; ++i) {
+            Instance inst;
+            inst.geometryIndex = 2;
+            float x = -16.f + 32.f * static_cast<float>(i) / 13.f;
+            float z = row == 0 ? -6.f : 6.f;
+            inst.objectToWorld = Mat4::translation({x, 0.f, z});
+            inst.instanceCustomIndex = 2;
+            scene.instances.push_back(inst);
+        }
+
+    // Hanging drapes: 13 unique cloth meshes.
+    Pcg32 rng(0xE07u);
+    for (int i = 0; i < 13; ++i) {
+        Geometry drape;
+        drape.kind = GeometryKind::Triangles;
+        drape.mesh = makeClothMesh(3.2f, 5.5f, scaled(90, 4), scaled(90, 4),
+                                   0.45f, 0x51000u + i);
+        scene.geometries.push_back(std::move(drape));
+
+        Instance inst;
+        inst.geometryIndex =
+            static_cast<std::uint32_t>(scene.geometries.size() - 1);
+        float x = -15.f + 30.f * static_cast<float>(i) / 12.f;
+        float z = (i % 2 == 0) ? -5.2f : 5.2f;
+        inst.objectToWorld = Mat4::translation({x, 3.2f, z})
+                             * Mat4::rotationY(rng.nextRange(-0.3f, 0.3f));
+        inst.instanceCustomIndex =
+            static_cast<std::int32_t>(scene.materials.size());
+        scene.instances.push_back(inst);
+        scene.materials.push_back(Material::lambertian(
+            {rng.nextRange(0.3f, 0.9f), rng.nextRange(0.2f, 0.6f),
+             rng.nextRange(0.2f, 0.5f)}));
+    }
+
+    scene.sunDirection = normalize({0.25f, 0.9f, 0.15f});
+    scene.camera = Camera::lookAt({-12.f, 3.5f, 1.5f}, {8.f, 3.f, -1.f},
+                                  {0.f, 1.f, 0.f}, 62.f, 1.f);
+    return scene;
+}
+
+Scene
+makeRtv5Scene(unsigned detail)
+{
+    Scene scene;
+    Pcg32 rng(0x5715u);
+
+    // Materials 0..3 reserved for the fixed geometry.
+    scene.materials.push_back(Material::lambertian({0.5f, 0.5f, 0.55f}));
+    scene.materials.push_back(Material::metal({0.9f, 0.85f, 0.75f}, 0.02f));
+    scene.materials.push_back(Material::lambertian({0.4f, 0.35f, 0.3f}));
+    scene.materials.push_back(Material::dielectric(1.5f));
+
+    // Ground.
+    Geometry ground;
+    ground.kind = GeometryKind::Triangles;
+    unsigned gseg = detail >= 6 ? 64 : 8;
+    ground.mesh = makeGridMesh(40.f, 40.f, gseg, gseg, 0.f);
+    scene.geometries.push_back(std::move(ground));
+    Instance ground_inst;
+    ground_inst.geometryIndex = 0;
+    ground_inst.instanceCustomIndex = 0;
+    scene.instances.push_back(ground_inst);
+
+    // Statue: two displaced icospheres (main body + crown detail).
+    Geometry statue;
+    statue.kind = GeometryKind::Triangles;
+    statue.mesh = makeStatueMesh(1.4f, detail, 0.35f, 0xABCD);
+    if (detail >= 2) {
+        TriangleMesh crown =
+            makeStatueMesh(0.7f, detail >= 1 ? detail - 1 : 0, 0.5f, 0x1234);
+        statue.mesh.append(crown, Mat4::translation({0.f, 2.4f, 0.f}));
+    }
+    scene.geometries.push_back(std::move(statue));
+    Instance statue_inst;
+    statue_inst.geometryIndex = 1;
+    statue_inst.objectToWorld = Mat4::translation({0.f, 2.3f, 0.f});
+    statue_inst.instanceCustomIndex = 1;
+    scene.instances.push_back(statue_inst);
+
+    // Pedestal.
+    Geometry pedestal;
+    pedestal.kind = GeometryKind::Triangles;
+    pedestal.mesh =
+        makeBoxMesh({-1.6f, 0.f, -1.6f}, {1.6f, 0.6f, 1.6f},
+                    detail >= 6 ? 16 : 2);
+    scene.geometries.push_back(std::move(pedestal));
+    Instance pedestal_inst;
+    pedestal_inst.geometryIndex = 2;
+    pedestal_inst.instanceCustomIndex = 2;
+    scene.instances.push_back(pedestal_inst);
+
+    // Procedural sphere field around the statue (random materials).
+    Geometry spheres;
+    spheres.kind = GeometryKind::Procedural;
+    for (int i = 0; i < 480; ++i) {
+        float angle = rng.nextRange(0.f, 6.2831853f);
+        float dist = rng.nextRange(3.0f, 17.f);
+        float radius = rng.nextRange(0.18f, 0.55f);
+        Vec3 center{dist * std::cos(angle), radius,
+                    dist * std::sin(angle)};
+        auto mat = static_cast<std::int32_t>(scene.materials.size());
+        float pick = rng.nextFloat();
+        if (pick < 0.6f)
+            scene.materials.push_back(Material::lambertian(
+                {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()}));
+        else if (pick < 0.85f)
+            scene.materials.push_back(Material::metal(
+                {0.5f + 0.5f * rng.nextFloat(), 0.5f + 0.5f * rng.nextFloat(),
+                 0.5f + 0.5f * rng.nextFloat()},
+                0.2f * rng.nextFloat()));
+        else
+            scene.materials.push_back(Material::dielectric(1.5f));
+        spheres.prims.push_back(
+            ProceduralPrimitive::sphere(center, radius, mat));
+    }
+    scene.geometries.push_back(std::move(spheres));
+    Instance spheres_inst;
+    spheres_inst.geometryIndex = 3;
+    spheres_inst.sbtOffset = 1; // hit group with the sphere intersection
+    scene.instances.push_back(spheres_inst);
+
+    scene.sunDirection = normalize({0.5f, 0.75f, -0.3f});
+    scene.camera = Camera::lookAt({7.5f, 3.3f, 9.5f}, {0.f, 2.4f, 0.f},
+                                  {0.f, 1.f, 0.f}, 40.f, 1.f);
+    scene.camera.aperture = 0.08f; // depth of field, as in RTV5
+    return scene;
+}
+
+Scene
+makeRtv6Scene(unsigned procedural_count)
+{
+    Scene scene;
+    Pcg32 rng(0x5716u);
+
+    scene.materials.push_back(Material::lambertian({0.5f, 0.52f, 0.5f}));
+
+    // Triangulated ground: 16 x 16 grid = 512 triangles.
+    Geometry ground;
+    ground.kind = GeometryKind::Triangles;
+    ground.mesh = makeGridMesh(60.f, 60.f, 16, 16, 0.f);
+    scene.geometries.push_back(std::move(ground));
+    Instance ground_inst;
+    ground_inst.geometryIndex = 0;
+    ground_inst.instanceCustomIndex = 0;
+    scene.instances.push_back(ground_inst);
+
+    // Two procedural geometries: spheres and cubes, each with its own
+    // intersection shader (distinct hit groups via sbtOffset).
+    Geometry spheres;
+    spheres.kind = GeometryKind::Procedural;
+    Geometry cubes;
+    cubes.kind = GeometryKind::Procedural;
+
+    for (unsigned i = 0; i < procedural_count; ++i) {
+        float x = rng.nextRange(-27.f, 27.f);
+        float z = rng.nextRange(-27.f, 27.f);
+        float r = rng.nextRange(0.18f, 0.45f);
+        auto mat = static_cast<std::int32_t>(scene.materials.size());
+        float pick = rng.nextFloat();
+        if (pick < 0.7f)
+            scene.materials.push_back(Material::lambertian(
+                {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()}));
+        else if (pick < 0.9f)
+            scene.materials.push_back(Material::metal(
+                {0.6f + 0.4f * rng.nextFloat(), 0.6f + 0.4f * rng.nextFloat(),
+                 0.6f + 0.4f * rng.nextFloat()},
+                0.15f * rng.nextFloat()));
+        else
+            scene.materials.push_back(Material::dielectric(1.5f));
+
+        // ~61 % spheres / 39 % cubes keeps both intersection shaders busy.
+        if (rng.nextFloat() < 0.61f) {
+            spheres.prims.push_back(
+                ProceduralPrimitive::sphere({x, r, z}, r, mat));
+        } else {
+            Aabb box;
+            box.extend({x - r, 0.f, z - r});
+            box.extend({x + r, 2.f * r, z + r});
+            cubes.prims.push_back(ProceduralPrimitive::box(box, mat));
+        }
+    }
+    scene.geometries.push_back(std::move(spheres));
+    scene.geometries.push_back(std::move(cubes));
+
+    Instance spheres_inst;
+    spheres_inst.geometryIndex = 1;
+    spheres_inst.sbtOffset = 1; // sphere intersection hit group
+    scene.instances.push_back(spheres_inst);
+
+    Instance cubes_inst;
+    cubes_inst.geometryIndex = 2;
+    cubes_inst.sbtOffset = 2; // box intersection hit group
+    scene.instances.push_back(cubes_inst);
+
+    scene.sunDirection = normalize({0.3f, 0.85f, 0.25f});
+    scene.camera = Camera::lookAt({14.f, 6.f, 14.f}, {0.f, 0.8f, 0.f},
+                                  {0.f, 1.f, 0.f}, 45.f, 1.f);
+    return scene;
+}
+
+} // namespace vksim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic generators for the five evaluation scenes of the paper
+ * (Table IV): TRI, REF, EXT (synthetic atrium standing in for Sponza),
+ * RTV5 (path-traced statue + sphere field) and RTV6 (procedural spheres
+ * and cubes with two intersection shaders).
+ *
+ * Geometry assets from the paper (Khronos samples, Sponza, OBJ statues)
+ * are not redistributable, so each generator produces a procedural scene
+ * matched in primitive count, BVH shape and ray mix; see DESIGN.md.
+ */
+
+#ifndef VKSIM_SCENE_SCENEGEN_H
+#define VKSIM_SCENE_SCENEGEN_H
+
+#include "scene/scene.h"
+
+namespace vksim {
+
+/** TRI: a single ray-traced triangle; primary rays only. */
+Scene makeTriScene();
+
+/** REF: mirror reflections and shadows over ~50 triangles. */
+Scene makeRefScene();
+
+/**
+ * EXT: synthetic atrium (Sponza stand-in) — columns, walls, drapes;
+ * `scale` in (0, 1] shrinks tessellation for fast tests
+ * (scale = 1 yields roughly the paper's 283 k triangles).
+ */
+Scene makeExtScene(float scale = 1.0f);
+
+/**
+ * RTV5: statue mesh + procedural sphere field, depth of field and
+ * refraction; `detail` is the icosphere subdivision order of the statue
+ * (7 approximates the paper's 449 k primitives).
+ */
+Scene makeRtv5Scene(unsigned detail = 7);
+
+/**
+ * RTV6: procedural spheres *and* cubes (two distinct intersection
+ * shaders) over a triangulated ground; 4080 primitives at default size.
+ */
+Scene makeRtv6Scene(unsigned procedural_count = 3568);
+
+} // namespace vksim
+
+#endif // VKSIM_SCENE_SCENEGEN_H

@@ -1,0 +1,72 @@
+#include "util/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/log.h"
+
+namespace vksim {
+
+namespace {
+
+std::uint8_t
+encodeChannel(float v)
+{
+    float clamped = std::clamp(v, 0.0f, 1.0f);
+    float gamma = std::pow(clamped, 1.0f / 2.2f);
+    return static_cast<std::uint8_t>(std::lround(gamma * 255.0f));
+}
+
+} // namespace
+
+bool
+Image::writePpm(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        warnStr("cannot open " + path + " for writing");
+        return false;
+    }
+    std::fprintf(f, "P6\n%u %u\n255\n", width_, height_);
+    std::vector<std::uint8_t> row(3ull * width_);
+    for (unsigned y = 0; y < height_; ++y) {
+        for (unsigned x = 0; x < width_; ++x)
+            for (unsigned c = 0; c < 3; ++c)
+                row[3ull * x + c] = encodeChannel(at(x, y, c));
+        std::fwrite(row.data(), 1, row.size(), f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+ImageDiff
+compareImages(const Image &a, const Image &b, float tolerance)
+{
+    ImageDiff diff;
+    if (a.width() != b.width() || a.height() != b.height())
+        vksim_fatal("compareImages: image dimensions differ");
+    diff.totalPixels =
+        static_cast<std::uint64_t>(a.width()) * a.height();
+    double delta_sum = 0.0;
+    for (unsigned y = 0; y < a.height(); ++y) {
+        for (unsigned x = 0; x < a.width(); ++x) {
+            bool differs = false;
+            for (unsigned c = 0; c < 3; ++c) {
+                double d = std::abs(static_cast<double>(a.at(x, y, c))
+                                    - b.at(x, y, c));
+                delta_sum += d;
+                diff.maxChannelDelta = std::max(diff.maxChannelDelta, d);
+                if (d > tolerance)
+                    differs = true;
+            }
+            if (differs)
+                ++diff.differingPixels;
+        }
+    }
+    diff.meanChannelDelta =
+        diff.totalPixels ? delta_sum / (3.0 * diff.totalPixels) : 0.0;
+    return diff;
+}
+
+} // namespace vksim

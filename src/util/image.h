@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Float RGB framebuffer with PPM output and pixel-difference metrics.
+ *
+ * Used for the rendered outputs of the simulator and the reference tracer,
+ * and for the Figure 2 style image-fidelity comparison (fraction of pixels
+ * whose colour differs beyond a tolerance).
+ */
+
+#ifndef VKSIM_UTIL_IMAGE_H
+#define VKSIM_UTIL_IMAGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vksim {
+
+/** Simple linear-space RGB image. */
+class Image
+{
+  public:
+    Image() = default;
+
+    Image(unsigned width, unsigned height)
+        : width_(width), height_(height), pixels_(3ull * width * height, 0.f)
+    {
+    }
+
+    unsigned width() const { return width_; }
+    unsigned height() const { return height_; }
+
+    /** Mutable access to pixel (x, y) channel c in [0, 3). */
+    float &
+    at(unsigned x, unsigned y, unsigned c)
+    {
+        return pixels_[3ull * (static_cast<std::uint64_t>(y) * width_ + x)
+                       + c];
+    }
+
+    float
+    at(unsigned x, unsigned y, unsigned c) const
+    {
+        return pixels_[3ull * (static_cast<std::uint64_t>(y) * width_ + x)
+                       + c];
+    }
+
+    void
+    setPixel(unsigned x, unsigned y, float r, float g, float b)
+    {
+        at(x, y, 0) = r;
+        at(x, y, 1) = g;
+        at(x, y, 2) = b;
+    }
+
+    const std::vector<float> &data() const { return pixels_; }
+    std::vector<float> &data() { return pixels_; }
+
+    /** Write an 8-bit binary PPM (P6), gamma 2.2 encoded. Returns success. */
+    bool writePpm(const std::string &path) const;
+
+  private:
+    unsigned width_ = 0;
+    unsigned height_ = 0;
+    std::vector<float> pixels_;
+};
+
+/** Result of comparing two images pixel-by-pixel. */
+struct ImageDiff
+{
+    std::uint64_t totalPixels = 0;
+    std::uint64_t differingPixels = 0;
+    double maxChannelDelta = 0.0;
+    double meanChannelDelta = 0.0;
+
+    double
+    differingFraction() const
+    {
+        return totalPixels
+                   ? static_cast<double>(differingPixels) / totalPixels
+                   : 0.0;
+    }
+};
+
+/**
+ * Compare two same-sized images; a pixel "differs" when any channel's
+ * absolute difference exceeds `tolerance` (in linear space).
+ */
+ImageDiff compareImages(const Image &a, const Image &b,
+                        float tolerance = 1.0f / 255.0f);
+
+} // namespace vksim
+
+#endif // VKSIM_UTIL_IMAGE_H

@@ -1,0 +1,27 @@
+#include "util/log.h"
+
+#include <cstdlib>
+
+namespace vksim {
+
+bool
+verboseEnabled()
+{
+    static const bool enabled = std::getenv("VKSIM_VERBOSE") != nullptr;
+    return enabled;
+}
+
+void
+informStr(const std::string &msg)
+{
+    if (verboseEnabled())
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warnStr(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace vksim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Error and status reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config); exits.
+ * warn()   — something is modelled approximately; simulation continues.
+ * inform() — progress/status message.
+ */
+
+#ifndef VKSIM_UTIL_LOG_H
+#define VKSIM_UTIL_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace vksim {
+
+namespace detail {
+
+[[noreturn]] inline void
+failExit(const char *kind, const char *file, int line, const std::string &msg,
+         bool abort_proc)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
+    if (abort_proc)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+/** Returns true when VKSIM_VERBOSE is set in the environment. */
+bool verboseEnabled();
+
+/** Print an informational message to stderr when verbose mode is on. */
+void informStr(const std::string &msg);
+
+/** Print a warning to stderr (always shown). */
+void warnStr(const std::string &msg);
+
+} // namespace vksim
+
+/** Abort on simulator-internal invariant violation. */
+#define vksim_panic(msg) \
+    ::vksim::detail::failExit("panic", __FILE__, __LINE__, (msg), true)
+
+/** Exit on unrecoverable user/configuration error. */
+#define vksim_fatal(msg) \
+    ::vksim::detail::failExit("fatal", __FILE__, __LINE__, (msg), false)
+
+/** Checked invariant: panics with the stringified condition on failure. */
+#define vksim_assert(cond)                                                  \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            vksim_panic(std::string("assertion failed: ") + #cond);        \
+    } while (0)
+
+#endif // VKSIM_UTIL_LOG_H

@@ -1,0 +1,61 @@
+#include "util/options.h"
+
+#include <cstdlib>
+
+namespace vksim {
+
+Options::Options(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            continue;
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq == std::string::npos)
+            values_[arg] = "1";
+        else
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+}
+
+bool
+Options::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Options::get(const std::string &key, const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+long
+Options::getInt(const std::string &key, long fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtol(it->second.c_str(),
+                                                        nullptr, 10);
+}
+
+double
+Options::getFloat(const std::string &key, double fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Options::getBool(const std::string &key, bool fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    return it->second != "0" && it->second != "false";
+}
+
+} // namespace vksim

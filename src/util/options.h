@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Minimal command-line option parsing for the examples and benchmark
+ * binaries: `--key=value` and `--flag` forms.
+ */
+
+#ifndef VKSIM_UTIL_OPTIONS_H
+#define VKSIM_UTIL_OPTIONS_H
+
+#include <map>
+#include <string>
+
+namespace vksim {
+
+/** Parsed command line. */
+class Options
+{
+  public:
+    Options(int argc, char **argv);
+
+    bool has(const std::string &key) const;
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+    long getInt(const std::string &key, long fallback) const;
+    double getFloat(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback = false) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace vksim
+
+#endif // VKSIM_UTIL_OPTIONS_H

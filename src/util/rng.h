@@ -1,0 +1,97 @@
+/**
+ * @file
+ * PCG32 pseudo-random number generator.
+ *
+ * A small, deterministic RNG used for scene generation, shader-level
+ * stochastic sampling (path tracing), and property-based tests. PCG32 is
+ * used instead of std::mt19937 so that streams are cheap to fork per thread
+ * and results are identical across standard library implementations.
+ */
+
+#ifndef VKSIM_UTIL_RNG_H
+#define VKSIM_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace vksim {
+
+/** Minimal PCG32 generator (O'Neill, pcg-random.org). */
+class Pcg32
+{
+  public:
+    Pcg32() { seed(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL); }
+
+    explicit Pcg32(std::uint64_t init_state,
+                   std::uint64_t init_seq = 0xda3e39cb94b95bdbULL)
+    {
+        seed(init_state, init_seq);
+    }
+
+    /** Re-seed the stream. */
+    void
+    seed(std::uint64_t init_state, std::uint64_t init_seq)
+    {
+        state_ = 0;
+        inc_ = (init_seq << 1u) | 1u;
+        nextU32();
+        state_ += init_state;
+        nextU32();
+    }
+
+    /** Next uniform 32-bit value. */
+    std::uint32_t
+    nextU32()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31u));
+    }
+
+    /** Uniform value in [0, bound). */
+    std::uint32_t
+    nextBelow(std::uint32_t bound)
+    {
+        return static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(nextU32()) * bound) >> 32);
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(nextU32() >> 8) * (1.0f / 16777216.0f);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextRange(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+  private:
+    std::uint64_t state_ = 0;
+    std::uint64_t inc_ = 0;
+};
+
+/**
+ * Stateless 32-bit hash (Wang-style avalanche) used by shaders for
+ * per-pixel random streams that must be reproducible across runs.
+ */
+inline std::uint32_t
+hashU32(std::uint32_t x)
+{
+    x ^= x >> 16;
+    x *= 0x7feb352dU;
+    x ^= x >> 15;
+    x *= 0x846ca68bU;
+    x ^= x >> 16;
+    return x;
+}
+
+} // namespace vksim
+
+#endif // VKSIM_UTIL_RNG_H

@@ -1,0 +1,46 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vksim {
+
+double
+Histogram::percentile(double frac) const
+{
+    std::uint64_t total = acc_.count();
+    if (total == 0)
+        return 0.0;
+    auto target = static_cast<std::uint64_t>(frac * total);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return (static_cast<double>(i) + 1.0) * bucketWidth_;
+    }
+    return acc_.max();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[k, c] : counters_)
+        os << name_ << "." << k << " = " << c.value() << "\n";
+    for (const auto &[k, a] : accums_) {
+        os << name_ << "." << k << ".count = " << a.count() << "\n";
+        os << name_ << "." << k << ".mean = " << a.mean() << "\n";
+    }
+    return os.str();
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[k, c] : counters_)
+        c.reset();
+    for (auto &[k, a] : accums_)
+        a.reset();
+}
+
+} // namespace vksim

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Lightweight statistics package: named counters, scalars, and histograms.
+ *
+ * Every timed component owns counters registered in a StatGroup; the full
+ * tree is dumped at end of simulation and consumed by the benchmark
+ * harnesses that regenerate the paper's tables and figures.
+ */
+
+#ifndef VKSIM_UTIL_STATS_H
+#define VKSIM_UTIL_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vksim {
+
+/** A monotonically increasing 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples; reports count/sum/min/max/mean. */
+class Accumulator
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width bucket histogram over [0, bucket_width * num_buckets);
+ * samples beyond the top land in an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(1.0, 32) {}
+
+    Histogram(double bucket_width, unsigned num_buckets)
+        : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+    {
+    }
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        acc_.sample(v);
+        auto idx = static_cast<std::uint64_t>(v / bucketWidth_);
+        if (idx >= buckets_.size())
+            ++overflow_;
+        else
+            ++buckets_[idx];
+    }
+
+    double bucketWidth() const { return bucketWidth_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const Accumulator &summary() const { return acc_; }
+
+    /** Value below which `frac` (0..1) of the samples fall (approx.). */
+    double percentile(double frac) const;
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        overflow_ = 0;
+        acc_.reset();
+    }
+
+  private:
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    Accumulator acc_;
+};
+
+/**
+ * A named bag of statistics. Components create their counters through a
+ * group so reports can enumerate everything hierarchically by name.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    /** Get-or-create a counter with the given name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Get-or-create an accumulator with the given name. */
+    Accumulator &accum(const std::string &name) { return accums_[name]; }
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Accumulator> &accums() const
+    {
+        return accums_;
+    }
+
+    /** Counter value by name; 0 when absent. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    /** Render "name = value" lines, one per stat, prefixed by group name. */
+    std::string dump() const;
+
+    void reset();
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Accumulator> accums_;
+};
+
+} // namespace vksim
+
+#endif // VKSIM_UTIL_STATS_H

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across the simulator.
+ */
+
+#ifndef VKSIM_UTIL_TYPES_H
+#define VKSIM_UTIL_TYPES_H
+
+#include <cstdint>
+
+namespace vksim {
+
+/** Simulated 64-bit global memory address. */
+using Addr = std::uint64_t;
+
+/** Simulator cycle count (core-clock domain unless noted otherwise). */
+using Cycle = std::uint64_t;
+
+/** Identifier for a shader registered in a shader binding table. */
+using ShaderId = std::int32_t;
+
+/** Sentinel for "no shader bound". */
+inline constexpr ShaderId kInvalidShader = -1;
+
+/** Warp width used throughout the model (the paper models 32). */
+inline constexpr unsigned kWarpSize = 32;
+
+} // namespace vksim
+
+#endif // VKSIM_UTIL_TYPES_H

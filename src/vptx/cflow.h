@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Warp control-flow state: stack-based immediate-post-dominator
+ * reconvergence (the baseline GPU model) and a multi-path mode
+ * implementing independent thread scheduling (ITS) as evaluated in the
+ * paper's second case study (Sec. IV-B), where warp splits are tracked in
+ * tables rather than a stack and may be scheduled independently.
+ */
+
+#ifndef VKSIM_VPTX_CFLOW_H
+#define VKSIM_VPTX_CFLOW_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace vksim::vptx {
+
+/** Active-lane bitmask (bit i = lane i). */
+using Mask = std::uint32_t;
+
+/** Population count helper. */
+unsigned popcount(Mask m);
+
+/** A schedulable warp split: a pc and the lanes at that pc. */
+struct WarpSplit
+{
+    std::uint32_t pc = 0;
+    Mask mask = 0;
+    bool blocked = false; ///< parked (e.g. inside the RT unit)
+    int id = 0;           ///< stable identity across table mutations
+    /**
+     * Reconvergence point of the divergence this split came from
+     * (multi-path mode): a split that reaches it *waits* for its sibling
+     * splits, as in ElTantawy et al.'s reconvergence tables, instead of
+     * running ahead.
+     */
+    std::uint32_t reconv = 0xFFFFFFFFu;
+};
+
+/**
+ * Control-flow divergence bookkeeping for one warp.
+ *
+ * Stack mode exposes exactly one runnable split (the stack top); ITS mode
+ * exposes every split. The executor reports outcomes via advance() /
+ * diverge() / exitLanes(); reconvergence is handled internally (stack pop
+ * when the top reaches its reconvergence pc; split merge on equal pc in
+ * ITS mode).
+ */
+class WarpCflow
+{
+  public:
+    enum class Mode
+    {
+        Stack, ///< baseline SIMT stack (ipdom reconvergence)
+        Its    ///< multi-path independent thread scheduling
+    };
+
+    void init(std::uint32_t start_pc, Mask mask, Mode mode);
+
+    Mode mode() const { return mode_; }
+
+    /** Number of currently runnable (unblocked, non-empty) splits. */
+    unsigned runnableCount() const;
+
+    /** Index of the i-th runnable split (i < runnableCount()). */
+    int runnableSplit(unsigned i) const;
+
+    /** Total splits (including blocked ones). */
+    unsigned splitCount() const { return static_cast<unsigned>(splits_.size()); }
+
+    const WarpSplit &split(int idx) const { return splits_[static_cast<std::size_t>(idx)]; }
+
+    /** Uniform control flow: split `idx` moves to next_pc. */
+    void advance(int idx, std::uint32_t next_pc);
+
+    /**
+     * Divergent branch: split `idx` separates into taken/not-taken paths
+     * reconverging at `reconv_pc`. Either mask may be empty (uniform).
+     */
+    void diverge(int idx, std::uint32_t taken_pc, Mask taken,
+                 std::uint32_t fallthrough_pc, Mask not_taken,
+                 std::uint32_t reconv_pc);
+
+    /** Lanes of split `idx` executed Exit. */
+    void exitLanes(int idx, Mask lanes);
+
+    /** Block / unblock a split (RT unit parking). */
+    void setBlocked(int idx, bool blocked);
+
+    /**
+     * Park split `idx` in the RT unit with its resume pc. Blocked splits
+     * are never merged or re-indexed relative to their stable id.
+     */
+    void blockAt(int idx, std::uint32_t resume_pc);
+
+    /** Unblock the split with stable id `id` and merge if possible. */
+    void unblockById(int id);
+
+    /** Index of the split with stable id `id`, or -1. */
+    int splitIndexById(int id) const;
+
+    /** All lanes exited. */
+    bool finished() const;
+
+    /** Union of live lanes across splits. */
+    Mask liveMask() const;
+
+  private:
+    struct StackEntry
+    {
+        std::uint32_t pc;
+        std::uint32_t reconv; ///< pop when pc reaches this
+        Mask mask;
+    };
+
+    void syncStackTop();
+    void mergeItsSplits();
+    void dropEmptySplits();
+    bool waitingAtReconv(const WarpSplit &s) const;
+
+    Mode mode_ = Mode::Stack;
+
+    // Stack mode state. splits_[0] mirrors the stack top so both modes
+    // share the runnable-split interface.
+    std::vector<StackEntry> stack_;
+
+    // ITS mode state (also used as the single-element view in stack mode).
+    std::vector<WarpSplit> splits_;
+    int nextId_ = 1;
+    bool stackBlocked_ = false; ///< stack mode: whole warp parked
+};
+
+} // namespace vksim::vptx
+
+#endif // VKSIM_VPTX_CFLOW_H

@@ -1,0 +1,609 @@
+#include "vptx/exec.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/log.h"
+#include "util/stats.h"
+
+namespace vksim::vptx {
+
+namespace {
+
+constexpr std::uint32_t kNoReconv = 0xFFFFFFFFu;
+
+float
+asFloat(std::uint64_t v)
+{
+    auto u = static_cast<std::uint32_t>(v);
+    float f;
+    std::memcpy(&f, &u, 4);
+    return f;
+}
+
+std::uint64_t
+fromFloat(float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, 4);
+    return u;
+}
+
+std::uint64_t
+boolVal(bool b)
+{
+    return b ? 1 : 0;
+}
+
+} // namespace
+
+ExecUnit
+execUnitOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::FSqrt:
+      case Opcode::FRsqrt:
+      case Opcode::FSin:
+      case Opcode::FCos:
+        return ExecUnit::SFU;
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::ReportIntersection:
+      case Opcode::CommitAnyHit:
+      case Opcode::GetNextCoalescedCall:
+        return ExecUnit::LDST;
+      case Opcode::TraverseAS:
+        return ExecUnit::RT;
+      case Opcode::Bra:
+      case Opcode::BraZ:
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret:
+      case Opcode::Exit:
+        return ExecUnit::CTRL;
+      default:
+        return ExecUnit::ALU;
+    }
+}
+
+bool
+touchesMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::ReportIntersection:
+      case Opcode::CommitAnyHit:
+      case Opcode::GetNextCoalescedCall:
+      case Opcode::TraverseAS:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+WarpExecutor::execLane(Warp &warp, ThreadState &t, const Instr &instr,
+                       StepResult &result, unsigned lane)
+{
+    GlobalMemory &gmem = *ctx_.gmem;
+    auto src = [&](int idx) { return t.reg(idx); };
+    auto fsrc = [&](int idx) { return asFloat(t.reg(idx)); };
+
+    switch (instr.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::MovImm:
+        t.reg(instr.dst) = instr.imm;
+        break;
+      case Opcode::Mov:
+        t.reg(instr.dst) = src(instr.src0);
+        break;
+
+      case Opcode::Add:
+        t.reg(instr.dst) = src(instr.src0) + src(instr.src1);
+        break;
+      case Opcode::Sub:
+        t.reg(instr.dst) = src(instr.src0) - src(instr.src1);
+        break;
+      case Opcode::Mul:
+        t.reg(instr.dst) = src(instr.src0) * src(instr.src1);
+        break;
+      case Opcode::And:
+        t.reg(instr.dst) = src(instr.src0) & src(instr.src1);
+        break;
+      case Opcode::Or:
+        t.reg(instr.dst) = src(instr.src0) | src(instr.src1);
+        break;
+      case Opcode::Xor:
+        t.reg(instr.dst) = src(instr.src0) ^ src(instr.src1);
+        break;
+      case Opcode::Shl:
+        t.reg(instr.dst) = src(instr.src0) << (src(instr.src1) & 63);
+        break;
+      case Opcode::Shr:
+        t.reg(instr.dst) = src(instr.src0) >> (src(instr.src1) & 63);
+        break;
+      case Opcode::ISetEq:
+        t.reg(instr.dst) = boolVal(src(instr.src0) == src(instr.src1));
+        break;
+      case Opcode::ISetNe:
+        t.reg(instr.dst) = boolVal(src(instr.src0) != src(instr.src1));
+        break;
+      case Opcode::ISetLt:
+        t.reg(instr.dst) =
+            boolVal(static_cast<std::int64_t>(src(instr.src0))
+                    < static_cast<std::int64_t>(src(instr.src1)));
+        break;
+      case Opcode::ISetGe:
+        t.reg(instr.dst) =
+            boolVal(static_cast<std::int64_t>(src(instr.src0))
+                    >= static_cast<std::int64_t>(src(instr.src1)));
+        break;
+
+      case Opcode::FAdd:
+        t.reg(instr.dst) = fromFloat(fsrc(instr.src0) + fsrc(instr.src1));
+        break;
+      case Opcode::FSub:
+        t.reg(instr.dst) = fromFloat(fsrc(instr.src0) - fsrc(instr.src1));
+        break;
+      case Opcode::FMul:
+        t.reg(instr.dst) = fromFloat(fsrc(instr.src0) * fsrc(instr.src1));
+        break;
+      case Opcode::FDiv:
+        t.reg(instr.dst) = fromFloat(fsrc(instr.src0) / fsrc(instr.src1));
+        break;
+      case Opcode::FMin:
+        t.reg(instr.dst) =
+            fromFloat(std::fmin(fsrc(instr.src0), fsrc(instr.src1)));
+        break;
+      case Opcode::FMax:
+        t.reg(instr.dst) =
+            fromFloat(std::fmax(fsrc(instr.src0), fsrc(instr.src1)));
+        break;
+      case Opcode::FAbs:
+        t.reg(instr.dst) = fromFloat(std::fabs(fsrc(instr.src0)));
+        break;
+      case Opcode::FNeg:
+        t.reg(instr.dst) = fromFloat(-fsrc(instr.src0));
+        break;
+      case Opcode::FFloor:
+        t.reg(instr.dst) = fromFloat(std::floor(fsrc(instr.src0)));
+        break;
+      case Opcode::FSetLt:
+        t.reg(instr.dst) = boolVal(fsrc(instr.src0) < fsrc(instr.src1));
+        break;
+      case Opcode::FSetLe:
+        t.reg(instr.dst) = boolVal(fsrc(instr.src0) <= fsrc(instr.src1));
+        break;
+      case Opcode::FSetGt:
+        t.reg(instr.dst) = boolVal(fsrc(instr.src0) > fsrc(instr.src1));
+        break;
+      case Opcode::FSetGe:
+        t.reg(instr.dst) = boolVal(fsrc(instr.src0) >= fsrc(instr.src1));
+        break;
+      case Opcode::FSetEq:
+        t.reg(instr.dst) = boolVal(fsrc(instr.src0) == fsrc(instr.src1));
+        break;
+      case Opcode::FSetNe:
+        t.reg(instr.dst) = boolVal(fsrc(instr.src0) != fsrc(instr.src1));
+        break;
+
+      case Opcode::FSqrt:
+        t.reg(instr.dst) = fromFloat(std::sqrt(fsrc(instr.src0)));
+        break;
+      case Opcode::FRsqrt:
+        t.reg(instr.dst) = fromFloat(1.0f / std::sqrt(fsrc(instr.src0)));
+        break;
+      case Opcode::FSin:
+        t.reg(instr.dst) = fromFloat(std::sin(fsrc(instr.src0)));
+        break;
+      case Opcode::FCos:
+        t.reg(instr.dst) = fromFloat(std::cos(fsrc(instr.src0)));
+        break;
+
+      case Opcode::I2F:
+        t.reg(instr.dst) = fromFloat(
+            static_cast<float>(static_cast<std::int64_t>(src(instr.src0))));
+        break;
+      case Opcode::U2F:
+        t.reg(instr.dst) =
+            fromFloat(static_cast<float>(src(instr.src0)));
+        break;
+      case Opcode::F2I:
+        t.reg(instr.dst) = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(fsrc(instr.src0)));
+        break;
+      case Opcode::F2U: {
+        float f = fsrc(instr.src0);
+        t.reg(instr.dst) =
+            f <= 0.f ? 0 : static_cast<std::uint64_t>(f);
+        break;
+      }
+
+      case Opcode::Select:
+        t.reg(instr.dst) =
+            src(instr.src0) ? src(instr.src1) : src(instr.src2);
+        break;
+
+      case Opcode::Ld: {
+        Addr addr = src(instr.src0) + instr.imm;
+        std::uint64_t value = 0;
+        gmem.read(addr, &value, instr.size);
+        t.reg(instr.dst) = value;
+        result.accesses.push_back(
+            {static_cast<std::uint8_t>(lane), false, instr.size, addr});
+        break;
+      }
+      case Opcode::St: {
+        Addr addr = src(instr.src0) + instr.imm;
+        std::uint64_t value = src(instr.src1);
+        gmem.write(addr, &value, instr.size);
+        result.accesses.push_back(
+            {static_cast<std::uint8_t>(lane), true, instr.size, addr});
+        break;
+      }
+
+      case Opcode::RtPushFrame:
+        vksim_assert(t.rtDepth < kMaxTraceDepth);
+        ++t.rtDepth;
+        break;
+      case Opcode::EndTraceRay:
+        vksim_assert(t.rtDepth > 0);
+        --t.rtDepth;
+        break;
+      case Opcode::RtAllocMem:
+        t.reg(instr.dst) = ctx_.scratchAddr(t.tid) + instr.imm;
+        break;
+      case Opcode::LoadLaunchId:
+        t.reg(instr.dst) = t.launchId[instr.imm];
+        break;
+      case Opcode::LoadLaunchSize:
+        t.reg(instr.dst) = ctx_.launchSize[instr.imm];
+        break;
+      case Opcode::RtFrameAddr:
+        vksim_assert(t.rtDepth > 0);
+        t.reg(instr.dst) = ctx_.frameBase(t.tid, t.rtDepth - 1);
+        break;
+      case Opcode::DescBase:
+        t.reg(instr.dst) = ctx_.descBase[instr.imm];
+        break;
+
+      case Opcode::ReportIntersection: {
+        vksim_assert(t.rtDepth > 0);
+        Addr fb = ctx_.frameBase(t.tid, t.rtDepth - 1);
+        auto cur = gmem.load<std::uint32_t>(fb + frame::kCurrentDeferred);
+        Addr entry = deferredEntryAddr(fb, cur);
+        float hit_t = gmem.load<float>(fb + frame::kHitT);
+        float tmin = gmem.load<float>(fb + frame::kRayTmin);
+        result.accesses.push_back(
+            {static_cast<std::uint8_t>(lane), false, 16, entry});
+        result.accesses.push_back(
+            {static_cast<std::uint8_t>(lane), false, 8,
+             fb + frame::kRayTmin});
+        float tval = fsrc(instr.src0);
+        bool commit = tval > tmin && tval < hit_t;
+        if (commit) {
+            gmem.store<float>(fb + frame::kHitT, tval);
+            gmem.store<float>(fb + frame::kHitU, 0.f);
+            gmem.store<float>(fb + frame::kHitV, 0.f);
+            gmem.store<std::int32_t>(
+                fb + frame::kHitInstance,
+                gmem.load<std::int32_t>(entry + frame::kDefInstance));
+            gmem.store<std::int32_t>(
+                fb + frame::kHitPrimitive,
+                gmem.load<std::int32_t>(entry + frame::kDefPrim));
+            gmem.store<std::int32_t>(
+                fb + frame::kHitCustomIndex,
+                gmem.load<std::int32_t>(entry + frame::kDefCustomIndex));
+            gmem.store<std::int32_t>(
+                fb + frame::kHitSbtOffset,
+                gmem.load<std::int32_t>(entry + frame::kDefSbtOffset));
+            gmem.store<std::uint32_t>(
+                fb + frame::kHitKind,
+                static_cast<std::uint32_t>(HitKind::Procedural));
+            result.accesses.push_back(
+                {static_cast<std::uint8_t>(lane), true, 32,
+                 fb + frame::kHitT});
+        }
+        if (instr.dst >= 0)
+            t.reg(instr.dst) = boolVal(commit);
+        break;
+      }
+
+      case Opcode::CommitAnyHit: {
+        vksim_assert(t.rtDepth > 0);
+        Addr fb = ctx_.frameBase(t.tid, t.rtDepth - 1);
+        auto cur = gmem.load<std::uint32_t>(fb + frame::kCurrentDeferred);
+        Addr entry = deferredEntryAddr(fb, cur);
+        float cand_t = gmem.load<float>(entry + frame::kDefT);
+        float hit_t = gmem.load<float>(fb + frame::kHitT);
+        result.accesses.push_back(
+            {static_cast<std::uint8_t>(lane), false, 32, entry});
+        bool commit = cand_t < hit_t;
+        if (commit) {
+            gmem.store<float>(fb + frame::kHitT, cand_t);
+            gmem.store<float>(fb + frame::kHitU,
+                              gmem.load<float>(entry + frame::kDefU));
+            gmem.store<float>(fb + frame::kHitV,
+                              gmem.load<float>(entry + frame::kDefV));
+            gmem.store<std::int32_t>(
+                fb + frame::kHitInstance,
+                gmem.load<std::int32_t>(entry + frame::kDefInstance));
+            gmem.store<std::int32_t>(
+                fb + frame::kHitPrimitive,
+                gmem.load<std::int32_t>(entry + frame::kDefPrim));
+            gmem.store<std::int32_t>(
+                fb + frame::kHitCustomIndex,
+                gmem.load<std::int32_t>(entry + frame::kDefCustomIndex));
+            gmem.store<std::int32_t>(
+                fb + frame::kHitSbtOffset,
+                gmem.load<std::int32_t>(entry + frame::kDefSbtOffset));
+            gmem.store<std::uint32_t>(
+                fb + frame::kHitKind,
+                static_cast<std::uint32_t>(HitKind::Triangle));
+            result.accesses.push_back(
+                {static_cast<std::uint8_t>(lane), true, 32,
+                 fb + frame::kHitT});
+        }
+        if (instr.dst >= 0)
+            t.reg(instr.dst) = boolVal(commit);
+        break;
+      }
+
+      case Opcode::GetNextCoalescedCall: {
+        std::uint64_t row_idx = src(instr.src0);
+        Addr row_addr = ctx_.fccBase
+                        + (t.tid / kWarpSize) * kFccBytesPerWarp
+                        + row_idx * kFccRowBytes;
+        result.accesses.push_back(
+            {static_cast<std::uint8_t>(lane), false, 8, row_addr});
+        if (row_idx >= warp.fccRows.size()) {
+            t.reg(instr.dst) =
+                static_cast<std::uint64_t>(static_cast<std::int64_t>(-1));
+            break;
+        }
+        const CoalescedRow &row = warp.fccRows[row_idx];
+        if (row.mask & (1u << lane)) {
+            t.reg(instr.dst) = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(row.shaderId));
+            vksim_assert(t.rtDepth > 0);
+            Addr fb = ctx_.frameBase(t.tid, t.rtDepth - 1);
+            gmem.store<std::uint32_t>(fb + frame::kCurrentDeferred,
+                                      row.entryIdx[lane]);
+            result.accesses.push_back(
+                {static_cast<std::uint8_t>(lane), true, 4,
+                 fb + frame::kCurrentDeferred});
+        } else {
+            t.reg(instr.dst) = 0;
+        }
+        break;
+      }
+
+      default:
+        vksim_panic("unhandled opcode in execLane");
+    }
+}
+
+StepResult
+WarpExecutor::step(Warp &warp, int split_idx)
+{
+    const WarpSplit split = warp.cflow.split(split_idx);
+    std::uint32_t pc = split.pc;
+    Mask mask = split.mask;
+    vksim_assert(mask != 0 && !split.blocked);
+    vksim_assert(pc < ctx_.program->code.size());
+    const Instr &instr = ctx_.program->code[pc];
+
+    StepResult result;
+    result.op = instr.op;
+    result.unit = execUnitOf(instr.op);
+    result.activeLanes = popcount(mask);
+    result.dstReg = instr.dst;
+
+    auto forEachLane = [&](auto &&fn) {
+        for (unsigned lane = 0; lane < kWarpSize; ++lane)
+            if (mask & (1u << lane))
+                fn(lane, warp.threads[lane]);
+    };
+
+    switch (instr.op) {
+      case Opcode::Bra:
+      case Opcode::BraZ: {
+        Mask taken = 0;
+        forEachLane([&](unsigned lane, ThreadState &t) {
+            bool cond = t.reg(instr.src0) != 0;
+            if (instr.op == Opcode::BraZ)
+                cond = !cond;
+            if (cond)
+                taken |= 1u << lane;
+        });
+        warp.cflow.diverge(split_idx, instr.target, taken, pc + 1,
+                           mask & ~taken, instr.reconv);
+        return result;
+      }
+
+      case Opcode::Jmp:
+        warp.cflow.advance(split_idx, instr.target);
+        return result;
+
+      case Opcode::Exit:
+        warp.cflow.exitLanes(split_idx, mask);
+        result.exited = true;
+        return result;
+
+      case Opcode::Call:
+        forEachLane([&](unsigned, ThreadState &t) {
+            t.callStack.push_back({pc + 1, t.windowBase});
+            t.windowBase += static_cast<unsigned>(instr.imm);
+        });
+        warp.cflow.advance(split_idx, instr.target);
+        return result;
+
+      case Opcode::Ret: {
+        // Group lanes by return pc (can diverge under ITS merging).
+        std::uint32_t ret0 = 0;
+        bool first = true;
+        Mask matched = 0;
+        forEachLane([&](unsigned lane, ThreadState &t) {
+            vksim_assert(!t.callStack.empty());
+            std::uint32_t r = t.callStack.back().retPc;
+            if (first) {
+                ret0 = r;
+                first = false;
+            }
+            if (r == ret0)
+                matched |= 1u << lane;
+        });
+        if (warp.cflow.mode() == WarpCflow::Mode::Stack)
+            vksim_assert(matched == mask);
+        forEachLane([&](unsigned lane, ThreadState &t) {
+            if (!(matched & (1u << lane)))
+                return;
+            t.windowBase = t.callStack.back().savedWindow;
+            t.callStack.pop_back();
+        });
+        warp.cflow.diverge(split_idx, ret0, matched, pc, mask & ~matched,
+                           kNoReconv);
+        return result;
+      }
+
+      case Opcode::TraverseAS: {
+        TraverseState &ts = warp.pendingTraverses[split.id];
+        ts.mask = mask;
+        ts.lanes.clear();
+        ts.lanes.resize(kWarpSize);
+        forEachLane([&](unsigned lane, ThreadState &t) {
+            vksim_assert(t.rtDepth > 0);
+            Addr fb = ctx_.frameBase(t.tid, t.rtDepth - 1);
+            ts.lanes[lane].frameBase = fb;
+            ts.lanes[lane].traversal = rt_runtime::makeTraversal(
+                *ctx_.gmem, ctx_.tlasRoot, fb, nullptr,
+                options_.shortStackEntries);
+        });
+        result.startedTraverse = true;
+        result.traverseSplitId = split.id;
+        warp.cflow.blockAt(split_idx, pc + 1);
+        return result;
+      }
+
+      default:
+        break;
+    }
+
+    forEachLane([&](unsigned lane, ThreadState &t) {
+        execLane(warp, t, instr, result, lane);
+    });
+    warp.cflow.advance(split_idx, pc + 1);
+    return result;
+}
+
+void
+WarpExecutor::completeTraverse(Warp &warp, int split_id)
+{
+    auto it = warp.pendingTraverses.find(split_id);
+    vksim_assert(it != warp.pendingTraverses.end());
+    TraverseState &ts = it->second;
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (!(ts.mask & (1u << lane)))
+            continue;
+        LaneTraversal &lt = ts.lanes[lane];
+        vksim_assert(lt.traversal && lt.traversal->done());
+        rt_runtime::writeResults(*ctx_.gmem, lt.frameBase, *lt.traversal);
+    }
+    if (options_.fccEnabled)
+        rt_runtime::buildCoalescingTable(ts.lanes, ts.mask, ctx_,
+                                         &warp.fccRows);
+    warp.pendingTraverses.erase(it);
+    warp.cflow.unblockById(split_id);
+}
+
+void
+WarpExecutor::runTraverseFunctional(Warp &warp, int split_id)
+{
+    TraverseState &ts = warp.pendingTraverses.at(split_id);
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (!(ts.mask & (1u << lane)))
+            continue;
+        ts.lanes[lane].traversal->run();
+    }
+    completeTraverse(warp, split_id);
+}
+
+void
+initWarp(Warp &warp, std::uint32_t warp_id, const LaunchContext &ctx,
+         WarpCflow::Mode mode)
+{
+    warp.warpId = warp_id;
+    const std::uint32_t total = ctx.totalThreads();
+    std::uint32_t width = ctx.launchSize[0];
+    std::uint32_t height = ctx.launchSize[1];
+
+    Mask live = 0;
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        ThreadState &t = warp.threads[lane];
+        t = ThreadState{};
+        std::uint32_t tid = warp_id * kWarpSize + lane;
+        t.tid = tid;
+        if (tid >= total)
+            continue;
+        live |= 1u << lane;
+        t.launchId[0] = tid % width;
+        t.launchId[1] = (tid / width) % height;
+        t.launchId[2] = tid / (width * height);
+        const ShaderInfo &raygen = ctx.program->shaders[static_cast<
+            std::size_t>(ctx.program->raygenShader)];
+        t.regs.assign(raygen.numRegs + 16, 0);
+    }
+    const ShaderInfo &raygen = ctx.program->shaders[static_cast<std::size_t>(
+        ctx.program->raygenShader)];
+    warp.cflow.init(raygen.entryPc, live, mode);
+    warp.fccRows.clear();
+    warp.pendingTraverses.clear();
+}
+
+FunctionalRunner::FunctionalRunner(const LaunchContext &ctx,
+                                   ExecOptions options, WarpCflow::Mode mode)
+    : ctx_(ctx), exec_(ctx, options), mode_(mode)
+{
+}
+
+void
+FunctionalRunner::run()
+{
+    const std::uint32_t total = ctx_.totalThreads();
+    const std::uint32_t num_warps = (total + kWarpSize - 1) / kWarpSize;
+
+    Counter &issued = stats_.counter("instructions");
+    Counter &alu = stats_.counter("alu");
+    Counter &sfu = stats_.counter("sfu");
+    Counter &ldst = stats_.counter("ldst");
+    Counter &rt = stats_.counter("trace_ray");
+    Counter &ctrl = stats_.counter("ctrl");
+
+    for (std::uint32_t w = 0; w < num_warps; ++w) {
+        Warp warp;
+        initWarp(warp, w, ctx_, mode_);
+        std::uint64_t guard = 0;
+        while (!warp.finished()) {
+            if (warp.cflow.runnableCount() == 0)
+                vksim_panic("functional runner deadlock: no runnable split");
+            int split_idx = warp.cflow.runnableSplit(0);
+            StepResult res = exec_.step(warp, split_idx);
+            issued.inc();
+            switch (res.unit) {
+              case ExecUnit::ALU: alu.inc(); break;
+              case ExecUnit::SFU: sfu.inc(); break;
+              case ExecUnit::LDST: ldst.inc(); break;
+              case ExecUnit::RT: rt.inc(); break;
+              case ExecUnit::CTRL: ctrl.inc(); break;
+            }
+            if (res.startedTraverse)
+                exec_.runTraverseFunctional(warp, res.traverseSplitId);
+            if (++guard > 200'000'000ull)
+                vksim_panic("functional runner runaway warp");
+        }
+    }
+}
+
+} // namespace vksim::vptx

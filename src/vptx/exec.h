@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The VPTX warp executor: functional execution of one instruction for one
+ * warp split, shared by the functional-only runner and the timed SM model
+ * (which executes functionally at issue, GPGPU-Sim style, and models
+ * latency separately from the returned StepResult).
+ */
+
+#ifndef VKSIM_VPTX_EXEC_H
+#define VKSIM_VPTX_EXEC_H
+
+#include "util/stats.h"
+#include "vptx/context.h"
+#include "vptx/rt_runtime.h"
+
+namespace vksim::vptx {
+
+/** Outcome of executing one instruction for a warp split. */
+struct StepResult
+{
+    Opcode op = Opcode::Nop;
+    ExecUnit unit = ExecUnit::ALU;
+    unsigned activeLanes = 0;
+    std::int16_t dstReg = -1; ///< destination register (scoreboarding)
+
+    /** Per-lane memory accesses this instruction performed. */
+    std::vector<MemAccess> accesses;
+
+    /** The split issued traverseAS and is now parked. */
+    bool startedTraverse = false;
+    int traverseSplitId = -1;
+
+    bool exited = false; ///< lanes terminated
+};
+
+/** Options controlling executor behaviour (case studies). */
+struct ExecOptions
+{
+    bool fccEnabled = false; ///< function call coalescing (Sec. IV-A)
+    /** Short-stack entries per ray (ablation; paper uses 8). */
+    unsigned shortStackEntries = 8;
+};
+
+/**
+ * Executes VPTX instructions against warp state. Stateless apart from the
+ * launch context reference, so one executor serves all warps of a launch.
+ */
+class WarpExecutor
+{
+  public:
+    WarpExecutor(const LaunchContext &ctx, ExecOptions options = {})
+        : ctx_(ctx), options_(options)
+    {
+    }
+
+    /**
+     * Execute the instruction at split `split_idx`'s pc for all its
+     * active lanes, updating thread state, memory, and control flow.
+     */
+    StepResult step(Warp &warp, int split_idx);
+
+    /**
+     * Finish a parked traverseAS: write traversal results to the frames,
+     * build the FCC table when enabled, and unblock the split.
+     * The parked traversals for this split must be complete.
+     */
+    void completeTraverse(Warp &warp, int split_id);
+
+    /** Run the parked traversals to completion (functional mode). */
+    void runTraverseFunctional(Warp &warp, int split_id);
+
+    const ExecOptions &options() const { return options_; }
+
+  private:
+    void execLane(Warp &warp, ThreadState &t, const Instr &instr,
+                  StepResult &result, unsigned lane);
+
+    const LaunchContext &ctx_;
+    ExecOptions options_;
+};
+
+/**
+ * Functional-only launch runner: executes every warp to completion with
+ * zero-latency memory; used for image-correctness validation and by unit
+ * tests of shaders and the translator.
+ */
+class FunctionalRunner
+{
+  public:
+    FunctionalRunner(const LaunchContext &ctx, ExecOptions options = {},
+                     WarpCflow::Mode mode = WarpCflow::Mode::Stack);
+
+    /** Execute the whole launch. */
+    void run();
+
+    /** Instruction-issue statistics (per exec unit and total). */
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    const LaunchContext &ctx_;
+    WarpExecutor exec_;
+    WarpCflow::Mode mode_;
+    StatGroup stats_{"functional"};
+};
+
+/** Initialize a warp's threads and control flow for a launch. */
+void initWarp(Warp &warp, std::uint32_t warp_id, const LaunchContext &ctx,
+              WarpCflow::Mode mode);
+
+} // namespace vksim::vptx
+
+#endif // VKSIM_VPTX_EXEC_H

@@ -1,0 +1,141 @@
+#include "vptx/isa.h"
+
+#include <sstream>
+
+namespace vksim::vptx {
+
+namespace {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::MovImm: return "mov.imm";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::ISetEq: return "set.eq.s64";
+      case Opcode::ISetNe: return "set.ne.s64";
+      case Opcode::ISetLt: return "set.lt.s64";
+      case Opcode::ISetGe: return "set.ge.s64";
+      case Opcode::FAdd: return "add.f32";
+      case Opcode::FSub: return "sub.f32";
+      case Opcode::FMul: return "mul.f32";
+      case Opcode::FDiv: return "div.f32";
+      case Opcode::FMin: return "min.f32";
+      case Opcode::FMax: return "max.f32";
+      case Opcode::FAbs: return "abs.f32";
+      case Opcode::FNeg: return "neg.f32";
+      case Opcode::FFloor: return "floor.f32";
+      case Opcode::FSetLt: return "set.lt.f32";
+      case Opcode::FSetLe: return "set.le.f32";
+      case Opcode::FSetGt: return "set.gt.f32";
+      case Opcode::FSetGe: return "set.ge.f32";
+      case Opcode::FSetEq: return "set.eq.f32";
+      case Opcode::FSetNe: return "set.ne.f32";
+      case Opcode::FSqrt: return "sqrt.f32";
+      case Opcode::FRsqrt: return "rsqrt.f32";
+      case Opcode::FSin: return "sin.f32";
+      case Opcode::FCos: return "cos.f32";
+      case Opcode::I2F: return "cvt.f32.s64";
+      case Opcode::U2F: return "cvt.f32.u64";
+      case Opcode::F2I: return "cvt.s64.f32";
+      case Opcode::F2U: return "cvt.u64.f32";
+      case Opcode::Select: return "selp";
+      case Opcode::Ld: return "ld.global";
+      case Opcode::St: return "st.global";
+      case Opcode::Bra: return "bra";
+      case Opcode::BraZ: return "bra.z";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Exit: return "exit";
+      case Opcode::RtPushFrame: return "rt_push_frame";
+      case Opcode::TraverseAS: return "traverseAS";
+      case Opcode::EndTraceRay: return "endTraceRay";
+      case Opcode::RtAllocMem: return "rt_alloc_mem";
+      case Opcode::LoadLaunchId: return "load_ray_launch_id";
+      case Opcode::LoadLaunchSize: return "load_ray_launch_size";
+      case Opcode::RtFrameAddr: return "rt_frame_addr";
+      case Opcode::ReportIntersection: return "reportIntersection";
+      case Opcode::CommitAnyHit: return "commitAnyHit";
+      case Opcode::DescBase: return "desc_base";
+      case Opcode::GetNextCoalescedCall: return "getNextCoalescedCall";
+    }
+    return "?";
+}
+
+} // namespace
+
+const char *
+shaderStageName(ShaderStage stage)
+{
+    switch (stage) {
+      case ShaderStage::RayGen: return "raygen";
+      case ShaderStage::ClosestHit: return "closest_hit";
+      case ShaderStage::Miss: return "miss";
+      case ShaderStage::AnyHit: return "any_hit";
+      case ShaderStage::Intersection: return "intersection";
+      case ShaderStage::Callable: return "callable";
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Instr &instr)
+{
+    std::ostringstream os;
+    os << opcodeName(instr.op);
+    if (instr.dst >= 0)
+        os << " r" << instr.dst;
+    for (int s : {static_cast<int>(instr.src0), static_cast<int>(instr.src1),
+                  static_cast<int>(instr.src2)})
+        if (s >= 0)
+            os << " r" << s;
+    switch (instr.op) {
+      case Opcode::MovImm:
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::RtAllocMem:
+      case Opcode::LoadLaunchId:
+      case Opcode::LoadLaunchSize:
+      case Opcode::DescBase:
+        os << " #" << instr.imm;
+        break;
+      case Opcode::Bra:
+      case Opcode::BraZ:
+        os << " ->" << instr.target << " (reconv " << instr.reconv << ")";
+        break;
+      case Opcode::Jmp:
+      case Opcode::Call:
+        os << " ->" << instr.target;
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::ostringstream os;
+    for (std::size_t pc = 0; pc < program.code.size(); ++pc) {
+        for (const ShaderInfo &s : program.shaders)
+            if (s.entryPc == pc) {
+                os << "// " << shaderStageName(s.stage) << " \"" << s.name
+                   << "\" (" << s.numRegs << " regs)\n";
+            }
+        os << pc << ": " << disassemble(program.code[pc]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace vksim::vptx

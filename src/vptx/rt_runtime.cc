@@ -1,0 +1,137 @@
+#include "vptx/rt_runtime.h"
+
+#include "util/log.h"
+
+namespace vksim::vptx {
+namespace rt_runtime {
+
+Ray
+readRay(const GlobalMemory &gmem, Addr frame_base, std::uint32_t *flags_out)
+{
+    Ray ray;
+    ray.origin.x = gmem.load<float>(frame_base + frame::kRayOriginX);
+    ray.origin.y = gmem.load<float>(frame_base + frame::kRayOriginY);
+    ray.origin.z = gmem.load<float>(frame_base + frame::kRayOriginZ);
+    ray.tmin = gmem.load<float>(frame_base + frame::kRayTmin);
+    ray.direction.x = gmem.load<float>(frame_base + frame::kRayDirX);
+    ray.direction.y = gmem.load<float>(frame_base + frame::kRayDirY);
+    ray.direction.z = gmem.load<float>(frame_base + frame::kRayDirZ);
+    ray.tmax = gmem.load<float>(frame_base + frame::kRayTmax);
+    if (flags_out)
+        *flags_out = gmem.load<std::uint32_t>(frame_base + frame::kRayFlags);
+    return ray;
+}
+
+std::unique_ptr<RayTraversal>
+makeTraversal(const GlobalMemory &gmem, Addr tlas_root, Addr frame_base,
+              TraversalMemSink *sink, unsigned short_stack_entries)
+{
+    std::uint32_t flags = 0;
+    Ray ray = readRay(gmem, frame_base, &flags);
+    return std::make_unique<RayTraversal>(gmem, tlas_root, ray, flags,
+                                          sink, short_stack_entries);
+}
+
+Addr
+writeResults(GlobalMemory &gmem, Addr frame_base, const RayTraversal &trav)
+{
+    Addr bytes = 0;
+    const HitRecord &hit = trav.hit();
+    gmem.store<float>(frame_base + frame::kHitT,
+                      hit.valid() ? hit.t : trav.currentTmax());
+    gmem.store<float>(frame_base + frame::kHitU, hit.u);
+    gmem.store<float>(frame_base + frame::kHitV, hit.v);
+    gmem.store<std::int32_t>(frame_base + frame::kHitInstance,
+                             hit.instanceIndex);
+    gmem.store<std::int32_t>(frame_base + frame::kHitPrimitive,
+                             hit.primitiveIndex);
+    gmem.store<std::int32_t>(frame_base + frame::kHitCustomIndex,
+                             hit.instanceCustomIndex);
+    gmem.store<std::int32_t>(frame_base + frame::kHitSbtOffset,
+                             hit.sbtOffset);
+    gmem.store<std::uint32_t>(frame_base + frame::kHitKind,
+                              static_cast<std::uint32_t>(hit.kind));
+    bytes += 32;
+
+    const auto &deferred = trav.deferred();
+    auto count = static_cast<std::uint32_t>(deferred.size());
+    if (count > kMaxDeferred) {
+        warnStr("deferred intersection table overflow; truncating");
+        count = kMaxDeferred;
+    }
+    gmem.store<std::uint32_t>(frame_base + frame::kDeferredCount, count);
+    gmem.store<std::uint32_t>(frame_base + frame::kCurrentDeferred, 0);
+    bytes += 8;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const DeferredHit &d = deferred[i];
+        Addr e = deferredEntryAddr(frame_base, i);
+        gmem.store<std::int32_t>(e + frame::kDefPrim, d.primitiveIndex);
+        gmem.store<std::int32_t>(e + frame::kDefInstance, d.instanceIndex);
+        gmem.store<std::int32_t>(e + frame::kDefCustomIndex,
+                                 d.instanceCustomIndex);
+        gmem.store<std::int32_t>(e + frame::kDefSbtOffset, d.sbtOffset);
+        gmem.store<std::uint32_t>(e + frame::kDefAnyHit, d.anyHit ? 1 : 0);
+        gmem.store<float>(e + frame::kDefT, d.t);
+        gmem.store<float>(e + frame::kDefU, d.u);
+        gmem.store<float>(e + frame::kDefV, d.v);
+        bytes += frame::kDeferredStride;
+    }
+    return bytes;
+}
+
+std::int32_t
+deferredShaderId(const LaunchContext &ctx, const DeferredHit &d)
+{
+    auto sbt = static_cast<std::size_t>(d.sbtOffset);
+    if (sbt >= ctx.hitGroups.size())
+        return kInvalidShader;
+    const HitGroupRecord &group = ctx.hitGroups[sbt];
+    if (!d.anyHit)
+        return group.intersection;
+    return group.anyHit == kInvalidShader ? kDefaultAnyHitShader
+                                          : group.anyHit;
+}
+
+FccBuildCost
+buildCoalescingTable(const std::vector<LaneTraversal> &lanes, Mask mask,
+                     const LaunchContext &ctx, std::vector<CoalescedRow> *rows)
+{
+    FccBuildCost cost;
+    rows->clear();
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (!(mask & (1u << lane)) || !lanes[lane].traversal)
+            continue;
+        const auto &deferred = lanes[lane].traversal->deferred();
+        auto count = std::min<std::size_t>(deferred.size(), kMaxDeferred);
+        for (std::size_t i = 0; i < count; ++i) {
+            std::int32_t sid = deferredShaderId(ctx, deferred[i]);
+            // Search existing rows for a matching shader id whose slot
+            // for this lane is still free. Each inspected row costs one
+            // load of its shader id; a candidate match additionally
+            // loads the thread mask (paper Sec. VI-E).
+            CoalescedRow *target = nullptr;
+            for (CoalescedRow &row : *rows) {
+                ++cost.loads;
+                if (row.shaderId != sid)
+                    continue;
+                ++cost.loads; // thread-mask check
+                if (!(row.mask & (1u << lane))) {
+                    target = &row;
+                    break;
+                }
+            }
+            if (!target) {
+                rows->emplace_back();
+                target = &rows->back();
+                target->shaderId = sid;
+            }
+            target->mask |= 1u << lane;
+            target->entryIdx[lane] = static_cast<std::uint16_t>(i);
+            ++cost.stores;
+        }
+    }
+    return cost;
+}
+
+} // namespace rt_runtime
+} // namespace vksim::vptx

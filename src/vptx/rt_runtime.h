@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Runtime helpers bridging the trace-ray stack frames in simulated memory
+ * and the RayTraversal state machine: reading the ray a shader stored,
+ * writing back traversal results (committed hit + deferred table), and
+ * building the FCC coalescing buffer.
+ *
+ * Both the functional-only executor and the timed RT unit use these, so
+ * functional results are identical regardless of timing mode.
+ */
+
+#ifndef VKSIM_VPTX_RT_RUNTIME_H
+#define VKSIM_VPTX_RT_RUNTIME_H
+
+#include <memory>
+
+#include "accel/traversal.h"
+#include "vptx/context.h"
+
+namespace vksim::vptx {
+
+namespace rt_runtime {
+
+/** Read the ray a shader stored into frame `frame_base`. */
+Ray readRay(const GlobalMemory &gmem, Addr frame_base,
+            std::uint32_t *flags_out = nullptr);
+
+/** Create the traversal state machine for the frame's ray. */
+std::unique_ptr<RayTraversal> makeTraversal(
+    const GlobalMemory &gmem, Addr tlas_root, Addr frame_base,
+    TraversalMemSink *sink = nullptr,
+    unsigned short_stack_entries = RayTraversal::kShortStackEntries);
+
+/**
+ * Write traversal results into the frame: committed hit (or miss) and the
+ * deferred intersection/any-hit table, truncated at kMaxDeferred with a
+ * warning. Returns the number of bytes stored (timing models account for
+ * this as RT unit store traffic).
+ */
+Addr writeResults(GlobalMemory &gmem, Addr frame_base,
+                  const RayTraversal &trav);
+
+/**
+ * Build the FCC coalescing buffer for a warp split: one row per distinct
+ * shader id in insertion order; rows fill thread-mask bits as matching
+ * entries arrive (paper Sec. IV-A and Fig. 9).
+ *
+ * @param lanes Per-lane traversals (null for inactive lanes).
+ * @param ctx Launch context (maps sbt offsets to shader ids).
+ * @param[out] rows The coalescing table.
+ * @return Number of (load, store) accesses the insertion performed, for
+ *         the RT unit memory-overhead accounting.
+ */
+struct FccBuildCost
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+};
+
+FccBuildCost buildCoalescingTable(
+    const std::vector<LaneTraversal> &lanes, Mask mask,
+    const LaunchContext &ctx, std::vector<CoalescedRow> *rows);
+
+/** Shader id a deferred entry dispatches to (any-hit or intersection). */
+std::int32_t deferredShaderId(const LaunchContext &ctx,
+                              const DeferredHit &d);
+
+} // namespace rt_runtime
+
+} // namespace vksim::vptx
+
+#endif // VKSIM_VPTX_RT_RUNTIME_H

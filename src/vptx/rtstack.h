@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Layout of the per-thread trace-ray stack in simulated global memory.
+ *
+ * Each thread owns kMaxTraceDepth frames; a frame is pushed by
+ * traceRayEXT (before traverseAS) and popped by endTraceRay. The frame
+ * holds the ray, the committed closest hit, and the deferred
+ * intersection/any-hit table filled during traversal (the paper's
+ * "intersection buffer" for delayed intersection and any-hit execution).
+ *
+ * Shaders access these fields with ordinary loads/stores relative to
+ * RtFrameAddr, so all of this state generates real memory traffic.
+ */
+
+#ifndef VKSIM_VPTX_RTSTACK_H
+#define VKSIM_VPTX_RTSTACK_H
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace vksim::vptx {
+
+/** Maximum trace-ray recursion depth supported per thread. */
+inline constexpr unsigned kMaxTraceDepth = 2;
+
+/** Maximum deferred intersection/any-hit records per trace call. */
+inline constexpr unsigned kMaxDeferred = 96;
+
+/** Field offsets within one trace-ray frame (bytes). */
+namespace frame {
+
+// Ray (written by the raygen/caller before traverseAS).
+inline constexpr Addr kRayOriginX = 0;
+inline constexpr Addr kRayOriginY = 4;
+inline constexpr Addr kRayOriginZ = 8;
+inline constexpr Addr kRayTmin = 12;
+inline constexpr Addr kRayDirX = 16;
+inline constexpr Addr kRayDirY = 20;
+inline constexpr Addr kRayDirZ = 24;
+inline constexpr Addr kRayTmax = 28;
+inline constexpr Addr kRayFlags = 32;
+
+// Committed closest hit (written by the RT unit / intersection shaders).
+inline constexpr Addr kHitT = 40;
+inline constexpr Addr kHitU = 44;
+inline constexpr Addr kHitV = 48;
+inline constexpr Addr kHitInstance = 52;
+inline constexpr Addr kHitPrimitive = 56;
+inline constexpr Addr kHitCustomIndex = 60;
+inline constexpr Addr kHitSbtOffset = 64;
+inline constexpr Addr kHitKind = 68; ///< HitKind enum; 0 = miss
+
+// Deferred table bookkeeping.
+inline constexpr Addr kDeferredCount = 72;
+inline constexpr Addr kCurrentDeferred = 76; ///< index being shaded
+
+// Deferred entries.
+inline constexpr Addr kDeferredBase = 80;
+inline constexpr Addr kDeferredStride = 32;
+
+// Per-entry offsets (relative to the entry).
+inline constexpr Addr kDefPrim = 0;
+inline constexpr Addr kDefInstance = 4;
+inline constexpr Addr kDefCustomIndex = 8;
+inline constexpr Addr kDefSbtOffset = 12;
+inline constexpr Addr kDefAnyHit = 16; ///< 1 = any-hit candidate
+inline constexpr Addr kDefT = 20;
+inline constexpr Addr kDefU = 24;
+inline constexpr Addr kDefV = 28;
+
+} // namespace frame
+
+/** Bytes per trace-ray frame. */
+inline constexpr Addr kRtFrameBytes =
+    frame::kDeferredBase + kMaxDeferred * frame::kDeferredStride;
+
+/** Bytes of trace-ray stack per thread. */
+inline constexpr Addr kRtStackBytesPerThread =
+    kRtFrameBytes * kMaxTraceDepth;
+
+/** Bytes of rt_alloc_mem scratch (payload etc.) per thread. */
+inline constexpr Addr kRtScratchBytesPerThread = 256;
+
+/** Address of a deferred entry within a frame. */
+inline Addr
+deferredEntryAddr(Addr frame_base, unsigned index)
+{
+    return frame_base + frame::kDeferredBase
+           + static_cast<Addr>(index) * frame::kDeferredStride;
+}
+
+} // namespace vksim::vptx
+
+#endif // VKSIM_VPTX_RTSTACK_H

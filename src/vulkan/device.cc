@@ -1,0 +1,80 @@
+#include "vulkan/device.h"
+
+#include "nir/validate.h"
+
+namespace vksim {
+
+RayTracingPipeline
+Device::createRayTracingPipeline(const xlate::PipelineDesc &desc, bool fcc)
+{
+    RayTracingPipeline pipeline;
+    for (const nir::Shader *shader : desc.shaders) {
+        nir::ValidationResult check = nir::validate(*shader);
+        if (!check.ok())
+            vksim_fatal("invalid shader: " + check.message());
+    }
+    xlate::TranslateOptions options;
+    options.fcc = fcc;
+    pipeline.fcc = fcc;
+    pipeline.program = xlate::translate(desc, options);
+
+    // Hit-group records carry 1-based shader ids (0xFFFFFFFF when empty).
+    for (const xlate::HitGroupDesc &g : desc.hitGroups) {
+        vptx::HitGroupRecord rec;
+        rec.closestHit =
+            g.closestHit >= 0 ? xlate::shaderIdOf(g.closestHit) : -1;
+        rec.anyHit = g.anyHit >= 0 ? xlate::shaderIdOf(g.anyHit) : -1;
+        rec.intersection =
+            g.intersection >= 0 ? xlate::shaderIdOf(g.intersection) : -1;
+        pipeline.hitGroups.push_back(rec);
+    }
+    for (int miss : desc.missShaders)
+        pipeline.missShaders.push_back(xlate::shaderIdOf(miss));
+
+    // Serialize the shader binding table to device memory; the trace-ray
+    // lowering reads shader ids from here at run time.
+    if (!pipeline.hitGroups.empty()) {
+        pipeline.sbtHitGroupsAddr = uploadBuffer<vptx::HitGroupRecord>(
+            {pipeline.hitGroups.data(), pipeline.hitGroups.size()},
+            "sbt.hitgroups");
+    }
+    if (!pipeline.missShaders.empty()) {
+        pipeline.sbtMissAddr = uploadBuffer<ShaderId>(
+            {pipeline.missShaders.data(), pipeline.missShaders.size()},
+            "sbt.miss");
+    }
+    return pipeline;
+}
+
+vptx::LaunchContext
+Device::prepareLaunch(const RayTracingPipeline &pipeline,
+                      const DescriptorSet &descriptors, Addr tlas_root,
+                      unsigned width, unsigned height, unsigned depth)
+{
+    vptx::LaunchContext ctx;
+    ctx.program = &pipeline.program;
+    ctx.gmem = gmem_.get();
+    ctx.launchSize[0] = width;
+    ctx.launchSize[1] = height;
+    ctx.launchSize[2] = depth;
+    ctx.tlasRoot = tlas_root;
+
+    for (unsigned b = 0; b < vptx::kNumDescBindings; ++b)
+        ctx.descBase[b] = descriptors.at(b);
+    ctx.descBase[vptx::kSbtHitGroupBinding] = pipeline.sbtHitGroupsAddr;
+    ctx.descBase[vptx::kSbtMissBinding] = pipeline.sbtMissAddr;
+
+    const Addr threads = ctx.totalThreads();
+    ctx.rtStackBase = gmem_->allocate(
+        threads * vptx::kRtStackBytesPerThread, 64, "rt.stack");
+    ctx.scratchBase = gmem_->allocate(
+        threads * vptx::kRtScratchBytesPerThread, 64, "rt.scratch");
+    const Addr warps = (threads + kWarpSize - 1) / kWarpSize;
+    ctx.fccBase =
+        gmem_->allocate(warps * vptx::kFccBytesPerWarp, 64, "rt.fcc");
+
+    ctx.hitGroups = pipeline.hitGroups;
+    return ctx;
+}
+
+} // namespace vksim

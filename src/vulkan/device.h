@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A slim Vulkan-like front end (the role Mesa plays in the original
+ * system): buffer allocation and upload, acceleration structure building
+ * (VK_KHR_acceleration_structure), ray tracing pipeline creation with
+ * shader registration (VK_KHR_ray_tracing_pipeline +
+ * vkCreateRayTracingPipelinesKHR), descriptor sets, and the
+ * vkCmdTraceRaysKHR launch that hands a prepared LaunchContext to either
+ * the functional runner or the timed GPU model.
+ */
+
+#ifndef VKSIM_VULKAN_DEVICE_H
+#define VKSIM_VULKAN_DEVICE_H
+
+#include <memory>
+#include <span>
+
+#include "accel/serialize.h"
+#include "scene/scene.h"
+#include "vptx/context.h"
+#include "xlate/translate.h"
+
+namespace vksim {
+
+/** Descriptor set: binding slot -> device buffer address. */
+class DescriptorSet
+{
+  public:
+    void
+    bind(unsigned binding, Addr address)
+    {
+        vksim_assert(binding < vptx::kNumDescBindings);
+        bindings_[binding] = address;
+    }
+
+    Addr
+    at(unsigned binding) const
+    {
+        return bindings_[binding];
+    }
+
+    const std::array<Addr, vptx::kNumDescBindings> &all() const
+    {
+        return bindings_;
+    }
+
+  private:
+    std::array<Addr, vptx::kNumDescBindings> bindings_{};
+};
+
+/** A created ray tracing pipeline: linked program + serialized SBT. */
+struct RayTracingPipeline
+{
+    vptx::Program program;
+    std::vector<vptx::HitGroupRecord> hitGroups; ///< with 1-based ids
+    std::vector<ShaderId> missShaders;
+    Addr sbtHitGroupsAddr = 0; ///< device copy of the hit-group table
+    Addr sbtMissAddr = 0;
+    bool fcc = false; ///< lowered with function call coalescing
+};
+
+/** The simulated device. */
+class Device
+{
+  public:
+    Device() : gmem_(std::make_unique<GlobalMemory>()) {}
+
+    GlobalMemory &memory() { return *gmem_; }
+    const GlobalMemory &memory() const { return *gmem_; }
+
+    /** Allocate a device buffer. */
+    Addr
+    createBuffer(Addr size, const std::string &label = "buffer")
+    {
+        return gmem_->allocate(size, 64, label);
+    }
+
+    /** Allocate + upload a trivially copyable array. */
+    template <typename T>
+    Addr
+    uploadBuffer(std::span<const T> data, const std::string &label = "buffer")
+    {
+        Addr addr = createBuffer(data.size_bytes(), label);
+        gmem_->write(addr, data.data(), data.size_bytes());
+        return addr;
+    }
+
+    /** Build BLASes + TLAS for a scene (VK_KHR_acceleration_structure). */
+    AccelStruct
+    buildAccelerationStructure(const Scene &scene)
+    {
+        return buildAccelStruct(scene, *gmem_);
+    }
+
+    /**
+     * Create a ray tracing pipeline: translate the NIR shaders to VPTX
+     * (Algorithm 1, or Algorithm 3 when `fcc`) and serialize the shader
+     * binding table to device memory.
+     */
+    RayTracingPipeline createRayTracingPipeline(
+        const xlate::PipelineDesc &desc, bool fcc = false);
+
+    /**
+     * Prepare a launch (vkCmdTraceRaysKHR): allocates the per-thread
+     * trace-ray stacks and scratch, binds descriptor sets and the SBT,
+     * and returns the LaunchContext the executors consume.
+     */
+    vptx::LaunchContext prepareLaunch(const RayTracingPipeline &pipeline,
+                                      const DescriptorSet &descriptors,
+                                      Addr tlas_root, unsigned width,
+                                      unsigned height, unsigned depth = 1);
+
+  private:
+    std::unique_ptr<GlobalMemory> gmem_;
+};
+
+} // namespace vksim
+
+#endif // VKSIM_VULKAN_DEVICE_H

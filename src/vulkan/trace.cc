@@ -1,0 +1,211 @@
+#include "vulkan/trace.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/log.h"
+
+namespace vksim {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'K', 'S', 'I', 'M', 'T', 'R', '1'};
+
+struct Writer
+{
+    std::FILE *f;
+
+    template <typename T>
+    void
+    pod(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        std::fwrite(&v, sizeof(T), 1, f);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        pod(v);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        std::fwrite(s.data(), 1, s.size(), f);
+    }
+
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        std::fwrite(p, 1, n, f);
+    }
+};
+
+struct Reader
+{
+    std::FILE *f;
+    bool ok = true;
+
+    template <typename T>
+    bool
+    pod(T *v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        ok = ok && std::fread(v, sizeof(T), 1, f) == 1;
+        return ok;
+    }
+
+    bool
+    u64(std::uint64_t *v)
+    {
+        return pod(v);
+    }
+
+    bool
+    str(std::string *s)
+    {
+        std::uint64_t n = 0;
+        if (!u64(&n) || n > (1u << 20))
+            return ok = false;
+        s->resize(n);
+        ok = ok && std::fread(s->data(), 1, n, f) == n;
+        return ok;
+    }
+};
+
+} // namespace
+
+bool
+dumpTrace(const std::string &path, const vptx::LaunchContext &ctx)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        warnStr("cannot open trace file " + path);
+        return false;
+    }
+    Writer w{f};
+    w.bytes(kMagic, sizeof(kMagic));
+
+    // Launch parameters.
+    for (int i = 0; i < 3; ++i)
+        w.u64(ctx.launchSize[i]);
+    for (unsigned b = 0; b < vptx::kNumDescBindings; ++b)
+        w.u64(ctx.descBase[b]);
+    w.u64(ctx.rtStackBase);
+    w.u64(ctx.scratchBase);
+    w.u64(ctx.fccBase);
+    w.u64(ctx.tlasRoot);
+
+    // Hit groups.
+    w.u64(ctx.hitGroups.size());
+    for (const vptx::HitGroupRecord &g : ctx.hitGroups)
+        w.pod(g);
+
+    // Program.
+    const vptx::Program &prog = *ctx.program;
+    w.u64(prog.code.size());
+    for (const vptx::Instr &instr : prog.code)
+        w.pod(instr);
+    w.u64(prog.shaders.size());
+    for (const vptx::ShaderInfo &s : prog.shaders) {
+        w.str(s.name);
+        w.pod(s.stage);
+        w.pod(s.entryPc);
+        w.pod(s.numRegs);
+    }
+    w.pod(prog.raygenShader);
+
+    // Memory image.
+    w.u64(ctx.gmem->brk());
+    w.u64(ctx.gmem->pages().size());
+    for (const auto &[page, data] : ctx.gmem->pages()) {
+        w.u64(page);
+        w.bytes(data.data(), data.size());
+    }
+    std::fclose(f);
+    return true;
+}
+
+std::unique_ptr<LoadedTrace>
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        warnStr("cannot open trace file " + path);
+        return nullptr;
+    }
+    Reader r{f};
+    char magic[8];
+    if (std::fread(magic, 1, 8, f) != 8
+        || std::memcmp(magic, kMagic, 8) != 0) {
+        warnStr("bad trace magic in " + path);
+        std::fclose(f);
+        return nullptr;
+    }
+
+    auto trace = std::make_unique<LoadedTrace>();
+    trace->gmem = std::make_unique<GlobalMemory>();
+    trace->program = std::make_unique<vptx::Program>();
+    vptx::LaunchContext &ctx = trace->ctx;
+    ctx.gmem = trace->gmem.get();
+    ctx.program = trace->program.get();
+
+    std::uint64_t v = 0;
+    for (int i = 0; i < 3; ++i) {
+        r.u64(&v);
+        ctx.launchSize[i] = static_cast<std::uint32_t>(v);
+    }
+    for (unsigned b = 0; b < vptx::kNumDescBindings; ++b)
+        r.u64(&ctx.descBase[b]);
+    r.u64(&ctx.rtStackBase);
+    r.u64(&ctx.scratchBase);
+    r.u64(&ctx.fccBase);
+    r.u64(&ctx.tlasRoot);
+
+    std::uint64_t count = 0;
+    r.u64(&count);
+    ctx.hitGroups.resize(count);
+    for (auto &g : ctx.hitGroups)
+        r.pod(&g);
+
+    r.u64(&count);
+    trace->program->code.resize(count);
+    for (auto &instr : trace->program->code)
+        r.pod(&instr);
+    r.u64(&count);
+    trace->program->shaders.resize(count);
+    for (auto &s : trace->program->shaders) {
+        r.str(&s.name);
+        r.pod(&s.stage);
+        r.pod(&s.entryPc);
+        r.pod(&s.numRegs);
+    }
+    r.pod(&trace->program->raygenShader);
+
+    std::uint64_t brk = 0;
+    r.u64(&brk);
+    std::uint64_t num_pages = 0;
+    r.u64(&num_pages);
+    std::vector<std::uint8_t> page_data(GlobalMemory::kPageSize);
+    for (std::uint64_t p = 0; p < num_pages && r.ok; ++p) {
+        std::uint64_t page = 0;
+        r.u64(&page);
+        r.ok = r.ok
+               && std::fread(page_data.data(), 1, page_data.size(), f)
+                      == page_data.size();
+        if (r.ok)
+            trace->gmem->write(page << GlobalMemory::kPageBits,
+                               page_data.data(), page_data.size());
+    }
+    trace->gmem->setBrk(brk);
+    std::fclose(f);
+    if (!r.ok) {
+        warnStr("truncated trace file " + path);
+        return nullptr;
+    }
+    return trace;
+}
+
+} // namespace vksim

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Launch trace dump / replay (the artifact's "trace runner" workflow):
+ * a dumped trace captures everything a launch needs — the translated
+ * VPTX program, the shader binding table, descriptor bases, and the full
+ * simulated memory image (serialized acceleration structure, descriptor
+ * buffers) — so it can be re-simulated on any machine without the
+ * frontend, exactly like the paper's vulkan_rt_runner.
+ */
+
+#ifndef VKSIM_VULKAN_TRACE_H
+#define VKSIM_VULKAN_TRACE_H
+
+#include <memory>
+#include <string>
+
+#include "vptx/context.h"
+
+namespace vksim {
+
+/** Write the launch (program + memory image) to `path`. */
+bool dumpTrace(const std::string &path, const vptx::LaunchContext &ctx);
+
+/** A replayable trace: owns the memory image and program. */
+struct LoadedTrace
+{
+    std::unique_ptr<GlobalMemory> gmem;
+    std::unique_ptr<vptx::Program> program;
+    vptx::LaunchContext ctx; ///< wired to the owned gmem / program
+};
+
+/** Load a trace dumped by dumpTrace(); null on failure. */
+std::unique_ptr<LoadedTrace> loadTrace(const std::string &path);
+
+} // namespace vksim
+
+#endif // VKSIM_VULKAN_TRACE_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * GPU-visible data layouts shared between the host (descriptor upload)
+ * and the simulated shaders (field loads): camera, materials, scene
+ * constants, instance records, triangle and procedural primitive records,
+ * the framebuffer, and the payload layout in rt_alloc_mem scratch.
+ */
+
+#ifndef VKSIM_WORKLOADS_LAYOUT_H
+#define VKSIM_WORKLOADS_LAYOUT_H
+
+#include <cstdint>
+
+#include "scene/material.h"
+
+namespace vksim::wl {
+
+/** Descriptor set bindings used by all workloads. */
+enum Binding : unsigned
+{
+    kBindCamera = 0,
+    kBindMaterials = 1,
+    kBindFramebuffer = 2,
+    kBindConstants = 3,
+    kBindInstances = 4
+};
+
+/** Scene constants uniform (binding 3). */
+struct GpuSceneConstants
+{
+    float sunDir[3];
+    float pad0;
+    float sunColor[3];
+    float pad1;
+    float skyHorizon[3];
+    float pad2;
+    float skyZenith[3];
+    float ambientStrength;
+    std::uint32_t frameSeed;
+    std::uint32_t aoSamples;
+    float aoRadius;
+    std::uint32_t maxBounces;
+    std::uint32_t maxDepth;
+    std::uint32_t pad3[3];
+};
+
+static_assert(sizeof(GpuSceneConstants) == 96);
+
+/** Per-instance shading record (binding 4, stride 96). */
+struct GpuInstanceRecord
+{
+    std::uint64_t triBase;  ///< device address of triangle records
+    std::uint64_t primBase; ///< device address of procedural records
+    std::int32_t materialIndex;
+    std::int32_t kind;      ///< 0 = triangles, 1 = procedural
+    float objectToWorld[9]; ///< row-major 3x3 (normals / directions)
+    float pad[9];
+};
+
+static_assert(sizeof(GpuInstanceRecord) == 96);
+
+/** One triangle's vertices (48-byte stride). */
+struct GpuTriangleRecord
+{
+    float v0[3];
+    float v1[3];
+    float v2[3];
+    float pad[3];
+};
+
+static_assert(sizeof(GpuTriangleRecord) == 48);
+
+/** One procedural primitive's parameters (64-byte stride). */
+struct GpuProceduralRecord
+{
+    float center[3];
+    float radius;
+    float lo[3];
+    std::int32_t shape; ///< ProceduralShape
+    float hi[3];
+    std::int32_t materialIndex;
+    float pad[4];
+};
+
+static_assert(sizeof(GpuProceduralRecord) == 64);
+
+/** Framebuffer pixel stride (linear RGB floats). */
+inline constexpr std::uint64_t kFramebufferStride = 12;
+
+/** Payload layout inside the per-thread rt_alloc_mem scratch (slot 0). */
+namespace payload {
+inline constexpr std::uint64_t kHit = 0;        ///< u32: 1 = surface hit
+inline constexpr std::uint64_t kT = 4;          ///< f32 hit distance
+inline constexpr std::uint64_t kPosX = 8;       ///< world hit position
+inline constexpr std::uint64_t kNormX = 20;     ///< world shading normal
+inline constexpr std::uint64_t kAlbedoX = 32;
+inline constexpr std::uint64_t kMatKind = 44;   ///< MaterialKind
+inline constexpr std::uint64_t kEmissionX = 48; ///< emission / miss sky
+inline constexpr std::uint64_t kFuzz = 60;
+inline constexpr std::uint64_t kIor = 64;
+inline constexpr std::uint64_t kFrontFace = 68; ///< u32
+inline constexpr std::uint64_t kBaryU = 72;
+inline constexpr std::uint64_t kBaryV = 76;
+} // namespace payload
+
+} // namespace vksim::wl
+
+#endif // VKSIM_WORKLOADS_LAYOUT_H

@@ -1,0 +1,301 @@
+#include "workloads/shaderlib.h"
+
+#include <cstddef>
+
+#include "accel/traversal.h"
+#include "scene/camera.h"
+
+namespace vksim::wl {
+
+V3
+v3Const(Builder &b, float x, float y, float z)
+{
+    return {b.constF(x), b.constF(y), b.constF(z)};
+}
+
+V3
+v3Splat(Builder &b, Val s)
+{
+    return {s, s, s};
+}
+
+V3
+v3Var(Builder &b)
+{
+    return {b.var(), b.var(), b.var()};
+}
+
+void
+v3Assign(Builder &b, const V3 &var, const V3 &value)
+{
+    b.assign(var.x, value.x);
+    b.assign(var.y, value.y);
+    b.assign(var.z, value.z);
+}
+
+V3
+v3Add(Builder &b, const V3 &a, const V3 &c)
+{
+    return {b.fadd(a.x, c.x), b.fadd(a.y, c.y), b.fadd(a.z, c.z)};
+}
+
+V3
+v3Sub(Builder &b, const V3 &a, const V3 &c)
+{
+    return {b.fsub(a.x, c.x), b.fsub(a.y, c.y), b.fsub(a.z, c.z)};
+}
+
+V3
+v3Mul(Builder &b, const V3 &a, const V3 &c)
+{
+    return {b.fmul(a.x, c.x), b.fmul(a.y, c.y), b.fmul(a.z, c.z)};
+}
+
+V3
+v3Scale(Builder &b, const V3 &a, Val s)
+{
+    return {b.fmul(a.x, s), b.fmul(a.y, s), b.fmul(a.z, s)};
+}
+
+Val
+v3Dot(Builder &b, const V3 &a, const V3 &c)
+{
+    Val xy = b.fadd(b.fmul(a.x, c.x), b.fmul(a.y, c.y));
+    return b.fadd(xy, b.fmul(a.z, c.z));
+}
+
+V3
+v3Cross(Builder &b, const V3 &a, const V3 &c)
+{
+    return {b.fsub(b.fmul(a.y, c.z), b.fmul(a.z, c.y)),
+            b.fsub(b.fmul(a.z, c.x), b.fmul(a.x, c.z)),
+            b.fsub(b.fmul(a.x, c.y), b.fmul(a.y, c.x))};
+}
+
+Val
+v3Length(Builder &b, const V3 &a)
+{
+    return b.fsqrt(v3Dot(b, a, a));
+}
+
+V3
+v3Normalize(Builder &b, const V3 &a)
+{
+    // Mirrors geom normalize(): len > 0 ? a / len : a.
+    Val len = v3Length(b, a);
+    Val gt = b.fgt(len, b.constF(0.f));
+    V3 divided = {b.fdiv(a.x, len), b.fdiv(a.y, len), b.fdiv(a.z, len)};
+    return v3Select(b, gt, divided, a);
+}
+
+V3
+v3Neg(Builder &b, const V3 &a)
+{
+    return {b.fneg(a.x), b.fneg(a.y), b.fneg(a.z)};
+}
+
+V3
+v3Select(Builder &b, Val cond, const V3 &a, const V3 &c)
+{
+    return {b.select(cond, a.x, c.x), b.select(cond, a.y, c.y),
+            b.select(cond, a.z, c.z)};
+}
+
+V3
+v3Lerp(Builder &b, const V3 &a, const V3 &c, Val t)
+{
+    Val one_minus = b.fsub(b.constF(1.f), t);
+    return v3Add(b, v3Scale(b, a, one_minus), v3Scale(b, c, t));
+}
+
+V3
+v3Reflect(Builder &b, const V3 &d, const V3 &n)
+{
+    Val two_dn = b.fmul(b.constF(2.f), v3Dot(b, d, n));
+    return v3Sub(b, d, v3Scale(b, n, two_dn));
+}
+
+V3
+v3Load(Builder &b, Val addr, std::uint64_t offset)
+{
+    return {b.loadGlobal(addr, offset, 4), b.loadGlobal(addr, offset + 4, 4),
+            b.loadGlobal(addr, offset + 8, 4)};
+}
+
+void
+v3Store(Builder &b, Val addr, const V3 &v, std::uint64_t offset)
+{
+    b.storeGlobal(addr, v.x, offset, 4);
+    b.storeGlobal(addr, v.y, offset + 4, 4);
+    b.storeGlobal(addr, v.z, offset + 8, 4);
+}
+
+Val
+rngHash(Builder &b, Val state)
+{
+    // hashU32 with explicit 32-bit masking on 64-bit registers.
+    Val mask = b.constI(0xFFFFFFFFull);
+    Val x = b.iand(state, mask);
+    x = b.ixor(x, b.ishr(x, b.constI(16)));
+    x = b.iand(b.imul(x, b.constI(0x7feb352dull)), mask);
+    x = b.ixor(x, b.ishr(x, b.constI(15)));
+    x = b.iand(b.imul(x, b.constI(0x846ca68bull)), mask);
+    x = b.ixor(x, b.ishr(x, b.constI(16)));
+    return x;
+}
+
+Val
+rngInit(Builder &b, Val pixel_index, Val frame_seed)
+{
+    Val one = b.constI(1);
+    Val seeded = b.iadd(b.iadd(pixel_index, one), frame_seed);
+    Val mask = b.constI(0xFFFFFFFFull);
+    return rngHash(b, b.iand(seeded, mask));
+}
+
+Val
+rngNext(Builder &b, Val state_var)
+{
+    Val next = rngHash(b, state_var);
+    b.assign(state_var, next);
+    // float(state >> 8) * (1 / 2^24)
+    Val top = b.ishr(next, b.constI(8));
+    return b.fmul(b.u2f(top), b.constF(1.0f / 16777216.0f));
+}
+
+V3
+skyColorIr(Builder &b, Val consts, const V3 &dir)
+{
+    Val t = b.fmul(b.constF(0.5f), b.fadd(dir.y, b.constF(1.0f)));
+    Val clamped = b.fmin(b.fmax(t, b.constF(0.f)), b.constF(1.f));
+    V3 horizon = v3Load(b, consts, offsetof(GpuSceneConstants, skyHorizon));
+    V3 zenith = v3Load(b, consts, offsetof(GpuSceneConstants, skyZenith));
+    return v3Lerp(b, horizon, zenith, clamped);
+}
+
+void
+onbIr(Builder &b, const V3 &n, V3 *tangent, V3 *bitangent)
+{
+    // copysign(1, n.z): +1 when n.z >= 0 (the -0 case is measure zero).
+    Val pos = b.fge(n.z, b.constF(0.f));
+    Val sign = b.select(pos, b.constF(1.f), b.constF(-1.f));
+    Val a = b.fdiv(b.constF(-1.f), b.fadd(sign, n.z));
+    Val bb = b.fmul(b.fmul(n.x, n.y), a);
+    tangent->x = b.fadd(b.constF(1.f),
+                        b.fmul(sign, b.fmul(n.x, b.fmul(n.x, a))));
+    tangent->y = b.fmul(sign, bb);
+    tangent->z = b.fneg(b.fmul(sign, n.x));
+    bitangent->x = bb;
+    bitangent->y = b.fadd(sign, b.fmul(n.y, b.fmul(n.y, a)));
+    bitangent->z = b.fneg(n.y);
+}
+
+V3
+cosineSampleIr(Builder &b, Val u1, Val u2)
+{
+    Val r = b.fsqrt(u1);
+    Val phi = b.fmul(b.constF(2.0f * 3.14159265358979323846f), u2);
+    Val x = b.fmul(r, b.fcos(phi));
+    Val y = b.fmul(r, b.fsin(phi));
+    Val z = b.fsqrt(b.fmax(b.constF(0.f), b.fsub(b.constF(1.f), u1)));
+    return {x, y, z};
+}
+
+V3
+uniformSphereIr(Builder &b, Val u1, Val u2)
+{
+    Val z = b.fsub(b.constF(1.f), b.fmul(b.constF(2.f), u1));
+    Val r = b.fsqrt(b.fmax(b.constF(0.f),
+                           b.fsub(b.constF(1.f), b.fmul(z, z))));
+    Val phi = b.fmul(b.constF(2.0f * 3.14159265358979323846f), u2);
+    return {b.fmul(r, b.fcos(phi)), b.fmul(r, b.fsin(phi)), z};
+}
+
+Val
+schlickIr(Builder &b, Val cosine, Val ior)
+{
+    Val one = b.constF(1.f);
+    Val r0 = b.fdiv(b.fsub(one, ior), b.fadd(one, ior));
+    r0 = b.fmul(r0, r0);
+    Val m = b.fsub(one, cosine);
+    // Mirror the reference's left-associated chain: (1-r0)*m*m*m*m*m.
+    Val acc = b.fsub(one, r0);
+    for (int i = 0; i < 5; ++i)
+        acc = b.fmul(acc, m);
+    return b.fadd(r0, acc);
+}
+
+void
+cameraRayIr(Builder &b, Val camera_base, Val px, Val py, Val width,
+            Val height, Val rng_state_var, V3 *origin, V3 *direction)
+{
+    // Mirror Camera::generateRay with jx = jy = 0.5.
+    Val half = b.constF(0.5f);
+    Val two = b.constF(2.f);
+    Val one = b.constF(1.f);
+
+    Val tan_half = b.loadGlobal(camera_base, offsetof(Camera, tanHalfFov));
+    Val aspect = b.loadGlobal(camera_base, offsetof(Camera, aspect));
+    V3 position = v3Load(b, camera_base, offsetof(Camera, position));
+    V3 forward = v3Load(b, camera_base, offsetof(Camera, forward));
+    V3 right = v3Load(b, camera_base, offsetof(Camera, right));
+    V3 up = v3Load(b, camera_base, offsetof(Camera, up));
+    Val aperture = b.loadGlobal(camera_base, offsetof(Camera, aperture));
+
+    Val fx = b.fadd(b.u2f(px), half);
+    Val fy = b.fadd(b.u2f(py), half);
+    Val fw = b.u2f(width);
+    Val fh = b.u2f(height);
+
+    // ndc_x = (2*(px+jx)/width - 1) * tanHalfFov * aspect
+    Val ndc_x = b.fmul(
+        b.fmul(b.fsub(b.fdiv(b.fmul(two, fx), fw), one), tan_half), aspect);
+    // ndc_y = (1 - 2*(py+jy)/height) * tanHalfFov
+    Val ndc_y =
+        b.fmul(b.fsub(one, b.fdiv(b.fmul(two, fy), fh)), tan_half);
+
+    V3 dir = v3Normalize(
+        b, v3Add(b, v3Add(b, forward, v3Scale(b, right, ndc_x)),
+                 v3Scale(b, up, ndc_y)));
+
+    // Depth of field: two RNG draws only when the aperture is open,
+    // mirroring shadeReferencePixel()'s draw order.
+    V3 out_origin = v3Var(b);
+    V3 out_dir = v3Var(b);
+    v3Assign(b, out_origin, position);
+    v3Assign(b, out_dir, dir);
+
+    Val has_dof = b.fgt(aperture, b.constF(0.f));
+    b.beginIf(has_dof);
+    {
+        Val lx = rngNext(b, rng_state_var);
+        Val ly = rngNext(b, rng_state_var);
+        Val focus_dist =
+            b.loadGlobal(camera_base, offsetof(Camera, focusDistance));
+        Val r = b.fmul(aperture, b.fsqrt(lx));
+        Val phi = b.fmul(b.constF(2.f * 3.14159265358979323846f), ly);
+        V3 lens_off = v3Add(b, v3Scale(b, right, b.fmul(r, b.fcos(phi))),
+                            v3Scale(b, up, b.fmul(r, b.fsin(phi))));
+        Val denom = v3Dot(b, dir, forward);
+        V3 focus =
+            v3Add(b, position, v3Scale(b, dir, b.fdiv(focus_dist, denom)));
+        V3 o2 = v3Add(b, position, lens_off);
+        v3Assign(b, out_origin, o2);
+        v3Assign(b, out_dir, v3Normalize(b, v3Sub(b, focus, o2)));
+    }
+    b.endIf();
+
+    *origin = out_origin;
+    *direction = out_dir;
+}
+
+void
+traceRayIr(Builder &b, const V3 &origin, Val tmin, const V3 &dir, Val tmax,
+           std::uint32_t flags)
+{
+    Val f = b.constI(flags);
+    b.traceRay(origin.x, origin.y, origin.z, tmin, dir.x, dir.y, dir.z,
+               tmax, f);
+}
+
+} // namespace vksim::wl

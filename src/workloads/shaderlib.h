@@ -1,0 +1,102 @@
+/**
+ * @file
+ * IR-building helper library for authoring workload shaders: 3-vector
+ * value bundles, vector math that mirrors src/geom bit-for-bit, the
+ * hash-based shader RNG (matching reftrace's ShaderRng), camera ray
+ * generation, payload access, and sky shading.
+ *
+ * Every helper emits operations in exactly the order the C++ reference
+ * renderer evaluates them, so the simulated and reference images agree
+ * to floating-point identity wherever control flow does.
+ */
+
+#ifndef VKSIM_WORKLOADS_SHADERLIB_H
+#define VKSIM_WORKLOADS_SHADERLIB_H
+
+#include "nir/nir.h"
+#include "workloads/layout.h"
+
+namespace vksim::wl {
+
+using nir::Builder;
+using nir::Val;
+
+/** A 3-vector of IR values. */
+struct V3
+{
+    Val x = nir::kNoVal;
+    Val y = nir::kNoVal;
+    Val z = nir::kNoVal;
+};
+
+// --- construction -------------------------------------------------------
+V3 v3Const(Builder &b, float x, float y, float z);
+V3 v3Splat(Builder &b, Val s);
+
+/** Three mutable variables (loop-carried vectors). */
+V3 v3Var(Builder &b);
+void v3Assign(Builder &b, const V3 &var, const V3 &value);
+
+// --- arithmetic (evaluation order mirrors geom/vec.h) --------------------
+V3 v3Add(Builder &b, const V3 &a, const V3 &c);
+V3 v3Sub(Builder &b, const V3 &a, const V3 &c);
+V3 v3Mul(Builder &b, const V3 &a, const V3 &c); ///< component-wise
+V3 v3Scale(Builder &b, const V3 &a, Val s);
+Val v3Dot(Builder &b, const V3 &a, const V3 &c);
+V3 v3Cross(Builder &b, const V3 &a, const V3 &c);
+Val v3Length(Builder &b, const V3 &a);
+V3 v3Normalize(Builder &b, const V3 &a);
+V3 v3Neg(Builder &b, const V3 &a);
+V3 v3Select(Builder &b, Val cond, const V3 &a, const V3 &c);
+/** a*(1-t) + c*t, mirroring geom lerp(). */
+V3 v3Lerp(Builder &b, const V3 &a, const V3 &c, Val t);
+/** reflect(d, n) = d - 2*dot(d,n)*n. */
+V3 v3Reflect(Builder &b, const V3 &d, const V3 &n);
+
+// --- memory ---------------------------------------------------------------
+V3 v3Load(Builder &b, Val addr, std::uint64_t offset);
+void v3Store(Builder &b, Val addr, const V3 &v, std::uint64_t offset);
+
+// --- RNG (mirrors reftrace ShaderRng) -------------------------------------
+/** state = hashU32(state); returns the new state value (32-bit). */
+Val rngHash(Builder &b, Val state);
+/** Initialize: hash(pixel_index + 1 + frame_seed). */
+Val rngInit(Builder &b, Val pixel_index, Val frame_seed);
+/** Draw: updates `state_var` in place, returns float in [0,1). */
+Val rngNext(Builder &b, Val state_var);
+
+// --- shading helpers --------------------------------------------------------
+/** Sky gradient; mirrors reftrace skyColor(). `consts` = constants base. */
+V3 skyColorIr(Builder &b, Val consts, const V3 &dir);
+
+/** Orthonormal basis around n; returns tangent/bitangent (Duff et al.). */
+void onbIr(Builder &b, const V3 &n, V3 *tangent, V3 *bitangent);
+
+/** Cosine-weighted hemisphere sample from u1,u2 (local frame). */
+V3 cosineSampleIr(Builder &b, Val u1, Val u2);
+
+/** Uniform sphere sample from u1,u2. */
+V3 uniformSphereIr(Builder &b, Val u1, Val u2);
+
+/** Schlick fresnel approximation. */
+Val schlickIr(Builder &b, Val cosine, Val ior);
+
+/**
+ * Generate the camera primary ray for this thread, mirroring
+ * Camera::generateRay with centre jitter; draws two RNG values for the
+ * lens when the camera has a non-zero aperture.
+ * Outputs origin/direction value triples.
+ */
+void cameraRayIr(Builder &b, Val camera_base, Val px, Val py, Val width,
+                 Val height, Val rng_state_var, V3 *origin, V3 *direction);
+
+/**
+ * Emit a traceRay call: stores nothing itself; the builder intrinsic
+ * handles the frame. Flags is an immediate convenience.
+ */
+void traceRayIr(Builder &b, const V3 &origin, Val tmin, const V3 &dir,
+                Val tmax, std::uint32_t flags);
+
+} // namespace vksim::wl
+
+#endif // VKSIM_WORKLOADS_SHADERLIB_H

@@ -1,0 +1,769 @@
+#include "workloads/shaders.h"
+
+#include <cstddef>
+
+#include "accel/traversal.h"
+#include "scene/camera.h"
+#include "vptx/rtstack.h"
+#include "workloads/shaderlib.h"
+
+namespace vksim::wl {
+
+namespace {
+
+using namespace vptx::frame;
+using nir::Builder;
+using nir::Val;
+
+constexpr float kOriginEpsilon = 1e-3f;
+constexpr std::uint32_t kOcclusionFlags =
+    kRayFlagTerminateOnFirstHit | kRayFlagSkipClosestHit;
+
+/** Common raygen prologue: pixel coords, RNG state var, payload addr. */
+struct RaygenCommon
+{
+    Val px, py, width, height;
+    Val pixelIndex;
+    Val rngState; ///< variable
+    Val payload;
+    Val consts;
+    Val camera;
+};
+
+RaygenCommon
+raygenPrologue(Builder &b)
+{
+    RaygenCommon c;
+    c.px = b.launchId(0);
+    c.py = b.launchId(1);
+    c.width = b.launchSize(0);
+    c.height = b.launchSize(1);
+    c.pixelIndex = b.iadd(b.imul(c.py, c.width), c.px);
+    c.consts = b.descBase(kBindConstants);
+    Val seed = b.loadGlobal(c.consts,
+                            offsetof(GpuSceneConstants, frameSeed), 4);
+    c.rngState = b.var();
+    b.assign(c.rngState, rngInit(b, c.pixelIndex, seed));
+    c.payload = b.rtAllocMem(0);
+    c.camera = b.descBase(kBindCamera);
+    return c;
+}
+
+/** Write the final colour to the framebuffer. */
+void
+writePixel(Builder &b, const RaygenCommon &c, const V3 &color)
+{
+    Val fb = b.descBase(kBindFramebuffer);
+    Val offset = b.imul(c.pixelIndex, b.constI(kFramebufferStride));
+    Val addr = b.iadd(fb, offset);
+    v3Store(b, addr, color, 0);
+}
+
+/** Trace an occlusion ray; returns 1.0 when the path is clear. */
+Val
+occlusionIr(Builder &b, const RaygenCommon &c, const V3 &origin,
+            const V3 &dir, Val tmax)
+{
+    // Default hit=1; the miss shader clears it.
+    b.storeGlobal(c.payload, b.constI(1), payload::kHit, 4);
+    traceRayIr(b, origin, b.constF(1e-4f), dir, tmax, kOcclusionFlags);
+    Val h = b.loadGlobal(c.payload, payload::kHit, 4);
+    return b.select(b.ieq(h, b.constI(0)), b.constF(1.f), b.constF(0.f));
+}
+
+/** Load the payload's surface fields. */
+struct SurfaceVals
+{
+    V3 pos, normal, albedo, emission;
+    Val matKind, fuzz, ior, frontFace;
+};
+
+SurfaceVals
+loadSurface(Builder &b, Val payload)
+{
+    SurfaceVals s;
+    s.pos = v3Load(b, payload, payload::kPosX);
+    s.normal = v3Load(b, payload, payload::kNormX);
+    s.albedo = v3Load(b, payload, payload::kAlbedoX);
+    s.emission = v3Load(b, payload, payload::kEmissionX);
+    s.matKind = b.loadGlobal(payload, payload::kMatKind, 4);
+    s.fuzz = b.loadGlobal(payload, payload::kFuzz, 4);
+    s.ior = b.loadGlobal(payload, payload::kIor, 4);
+    s.frontFace = b.loadGlobal(payload, payload::kFrontFace, 4);
+    return s;
+}
+
+} // namespace
+
+nir::Shader
+makeMissShader()
+{
+    Builder b("miss_sky", vptx::ShaderStage::Miss);
+    Val f = b.frameAddr();
+    V3 dir = v3Load(b, f, kRayDirX);
+    Val consts = b.descBase(kBindConstants);
+    V3 sky = skyColorIr(b, consts, dir);
+    Val pay = b.rtAllocMem(0);
+    v3Store(b, pay, sky, payload::kEmissionX);
+    b.storeGlobal(pay, b.constI(0), payload::kHit, 4);
+    return b.finish();
+}
+
+nir::Shader
+makeClosestHitBary()
+{
+    Builder b("chit_bary", vptx::ShaderStage::ClosestHit);
+    Val f = b.frameAddr();
+    Val u = b.loadGlobal(f, kHitU, 4);
+    Val v = b.loadGlobal(f, kHitV, 4);
+    Val one = b.constF(1.f);
+    V3 color{b.fsub(b.fsub(one, u), v), u, v};
+    Val pay = b.rtAllocMem(0);
+    v3Store(b, pay, color, payload::kEmissionX);
+    b.storeGlobal(pay, b.constI(1), payload::kHit, 4);
+    return b.finish();
+}
+
+nir::Shader
+makeClosestHitSurface()
+{
+    Builder b("chit_surface", vptx::ShaderStage::ClosestHit);
+    Val f = b.frameAddr();
+
+    Val t = b.loadGlobal(f, kHitT, 4);
+    Val u = b.loadGlobal(f, kHitU, 4);
+    Val v = b.loadGlobal(f, kHitV, 4);
+    Val inst = b.loadGlobal(f, kHitInstance, 4);
+    Val prim = b.loadGlobal(f, kHitPrimitive, 4);
+    Val custom = b.loadGlobal(f, kHitCustomIndex, 4);
+    Val hit_kind = b.loadGlobal(f, kHitKind, 4);
+
+    V3 o = v3Load(b, f, kRayOriginX);
+    V3 d = v3Load(b, f, kRayDirX);
+    V3 pos = v3Add(b, o, v3Scale(b, d, t)); // ray.at(t)
+
+    Val inst_table = b.descBase(kBindInstances);
+    Val inst_rec = b.iadd(
+        inst_table, b.imul(inst, b.constI(sizeof(GpuInstanceRecord))));
+
+    V3 n_obj = v3Var(b);
+    Val mat_idx = b.var();
+
+    Val is_tri =
+        b.ieq(hit_kind, b.constI(static_cast<int>(HitKind::Triangle)));
+    b.beginIf(is_tri);
+    {
+        Val tri_base = b.loadGlobal(
+            inst_rec, offsetof(GpuInstanceRecord, triBase), 8);
+        Val tri = b.iadd(tri_base,
+                         b.imul(prim, b.constI(sizeof(GpuTriangleRecord))));
+        V3 v0 = v3Load(b, tri, offsetof(GpuTriangleRecord, v0));
+        V3 v1 = v3Load(b, tri, offsetof(GpuTriangleRecord, v1));
+        V3 v2 = v3Load(b, tri, offsetof(GpuTriangleRecord, v2));
+        V3 n = v3Normalize(b, v3Cross(b, v3Sub(b, v1, v0),
+                                      v3Sub(b, v2, v0)));
+        v3Assign(b, n_obj, n);
+        b.assign(mat_idx, custom);
+    }
+    b.beginElse();
+    {
+        Val prim_base = b.loadGlobal(
+            inst_rec, offsetof(GpuInstanceRecord, primBase), 8);
+        Val pr = b.iadd(
+            prim_base,
+            b.imul(prim, b.constI(sizeof(GpuProceduralRecord))));
+        b.assign(mat_idx,
+                 b.loadGlobal(pr,
+                              offsetof(GpuProceduralRecord, materialIndex),
+                              4));
+        Val shape =
+            b.loadGlobal(pr, offsetof(GpuProceduralRecord, shape), 4);
+        Val is_sphere = b.ieq(shape, b.constI(0));
+        b.beginIf(is_sphere);
+        {
+            V3 center =
+                v3Load(b, pr, offsetof(GpuProceduralRecord, center));
+            Val radius = b.loadGlobal(
+                pr, offsetof(GpuProceduralRecord, radius), 4);
+            V3 rel = v3Sub(b, pos, center);
+            v3Assign(b, n_obj,
+                     {b.fdiv(rel.x, radius), b.fdiv(rel.y, radius),
+                      b.fdiv(rel.z, radius)});
+        }
+        b.beginElse();
+        {
+            V3 lo = v3Load(b, pr, offsetof(GpuProceduralRecord, lo));
+            V3 hi = v3Load(b, pr, offsetof(GpuProceduralRecord, hi));
+            Val half_c = b.constF(0.5f);
+            V3 c = v3Scale(b, v3Add(b, lo, hi), half_c);
+            V3 half = v3Scale(b, v3Sub(b, hi, lo), half_c);
+            V3 rel = v3Sub(b, pos, c);
+            V3 scaled{b.fdiv(rel.x, half.x), b.fdiv(rel.y, half.y),
+                      b.fdiv(rel.z, half.z)};
+            Val ax = b.fabsv(scaled.x);
+            Val ay = b.fabsv(scaled.y);
+            Val az = b.fabsv(scaled.z);
+            // maxDimension: x wins on ties with y and z; else y vs z.
+            Val is_x = b.iand(b.fge(ax, ay), b.fge(ax, az));
+            Val is_y = b.iand(b.ixor(is_x, b.constI(1)), b.fge(ay, az));
+            Val is_z = b.iand(b.ixor(is_x, b.constI(1)),
+                              b.ixor(is_y, b.constI(1)));
+            Val zero = b.constF(0.f);
+            Val onef = b.constF(1.f);
+            Val neg1 = b.constF(-1.f);
+            auto signOf = [&](Val s) {
+                return b.select(b.fgt(s, zero), onef, neg1);
+            };
+            v3Assign(b, n_obj,
+                     {b.select(is_x, signOf(scaled.x), zero),
+                      b.select(is_y, signOf(scaled.y), zero),
+                      b.select(is_z, signOf(scaled.z), zero)});
+        }
+        b.endIf();
+    }
+    b.endIf();
+
+    // World normal: objectToWorld (3x3) * n_obj, then normalize.
+    Val m = b.var();
+    b.assign(m, b.iadd(inst_rec,
+                       b.constI(offsetof(GpuInstanceRecord, objectToWorld))));
+    V3 row0 = v3Load(b, m, 0);
+    V3 row1 = v3Load(b, m, 12);
+    V3 row2 = v3Load(b, m, 24);
+    V3 n_world = v3Normalize(
+        b, {v3Dot(b, row0, n_obj), v3Dot(b, row1, n_obj),
+            v3Dot(b, row2, n_obj)});
+
+    Val front = b.flt(v3Dot(b, n_world, d), b.constF(0.f));
+    V3 n_final = v3Select(b, front, n_world, v3Neg(b, n_world));
+
+    // Material record.
+    Val materials = b.descBase(kBindMaterials);
+    Val mat = b.iadd(materials, b.imul(mat_idx, b.constI(sizeof(Material))));
+    V3 albedo = v3Load(b, mat, offsetof(Material, albedo));
+    Val mkind = b.loadGlobal(mat, offsetof(Material, kind), 4);
+    V3 emission = v3Load(b, mat, offsetof(Material, emission));
+    Val fuzz = b.loadGlobal(mat, offsetof(Material, fuzz), 4);
+    Val ior = b.loadGlobal(mat, offsetof(Material, ior), 4);
+
+    // Payload.
+    Val pay = b.rtAllocMem(0);
+    b.storeGlobal(pay, b.constI(1), payload::kHit, 4);
+    b.storeGlobal(pay, t, payload::kT, 4);
+    v3Store(b, pay, pos, payload::kPosX);
+    v3Store(b, pay, n_final, payload::kNormX);
+    v3Store(b, pay, albedo, payload::kAlbedoX);
+    b.storeGlobal(pay, mkind, payload::kMatKind, 4);
+    v3Store(b, pay, emission, payload::kEmissionX);
+    b.storeGlobal(pay, fuzz, payload::kFuzz, 4);
+    b.storeGlobal(pay, ior, payload::kIor, 4);
+    b.storeGlobal(pay, front, payload::kFrontFace, 4);
+    b.storeGlobal(pay, u, payload::kBaryU, 4);
+    b.storeGlobal(pay, v, payload::kBaryV, 4);
+    return b.finish();
+}
+
+nir::Shader
+makeRaygenBary()
+{
+    Builder b("raygen_bary", vptx::ShaderStage::RayGen);
+    RaygenCommon c = raygenPrologue(b);
+    V3 origin, dir;
+    cameraRayIr(b, c.camera, c.px, c.py, c.width, c.height, c.rngState,
+                &origin, &dir);
+    traceRayIr(b, origin, b.constF(1e-4f), dir, b.constF(1e30f), 0);
+    // Both the bary closest-hit and the miss shader leave the colour in
+    // the payload emission slot.
+    V3 color = v3Load(b, c.payload, payload::kEmissionX);
+    writePixel(b, c, color);
+    return b.finish();
+}
+
+nir::Shader
+makeRaygenWhitted()
+{
+    Builder b("raygen_whitted", vptx::ShaderStage::RayGen);
+    RaygenCommon c = raygenPrologue(b);
+    V3 ray_o, ray_d;
+    cameraRayIr(b, c.camera, c.px, c.py, c.width, c.height, c.rngState,
+                &ray_o, &ray_d);
+
+    V3 color = v3Var(b);
+    v3Assign(b, color, v3Const(b, 0, 0, 0));
+    V3 atten = v3Var(b);
+    v3Assign(b, atten, v3Const(b, 1, 1, 1));
+    V3 o = v3Var(b);
+    v3Assign(b, o, ray_o);
+    V3 d = v3Var(b);
+    v3Assign(b, d, ray_d);
+    Val depth = b.var();
+    b.assign(depth, b.constI(0));
+    Val max_depth = b.loadGlobal(
+        c.consts, offsetof(GpuSceneConstants, maxDepth), 4);
+    V3 sun_dir = v3Load(b, c.consts, offsetof(GpuSceneConstants, sunDir));
+    V3 sun_color =
+        v3Load(b, c.consts, offsetof(GpuSceneConstants, sunColor));
+    V3 sky_horizon =
+        v3Load(b, c.consts, offsetof(GpuSceneConstants, skyHorizon));
+    Val ambient_k = b.loadGlobal(
+        c.consts, offsetof(GpuSceneConstants, ambientStrength), 4);
+
+    b.beginLoop();
+    {
+        b.breakIf(b.ige(depth, max_depth));
+        traceRayIr(b, o, b.constF(1e-4f), d, b.constF(1e30f), 0);
+        Val hit = b.loadGlobal(c.payload, payload::kHit, 4);
+        b.beginIf(b.ieq(hit, b.constI(0)));
+        {
+            V3 sky = v3Load(b, c.payload, payload::kEmissionX);
+            v3Assign(b, color, v3Add(b, color, v3Mul(b, atten, sky)));
+            b.breakLoop();
+        }
+        b.endIf();
+
+        SurfaceVals s = loadSurface(b, c.payload);
+        Val is_mirror = b.ior(
+            b.ieq(s.matKind,
+                  b.constI(static_cast<int>(MaterialKind::Mirror))),
+            b.ieq(s.matKind,
+                  b.constI(static_cast<int>(MaterialKind::Metal))));
+        b.beginIf(is_mirror);
+        {
+            v3Assign(b, atten, v3Mul(b, atten, s.albedo));
+            V3 next_o = v3Add(
+                b, s.pos, v3Scale(b, s.normal, b.constF(kOriginEpsilon)));
+            V3 next_d = v3Reflect(b, v3Normalize(b, d), s.normal);
+            v3Assign(b, o, next_o);
+            v3Assign(b, d, next_d);
+        }
+        b.beginElse();
+        {
+            V3 base = v3Add(
+                b, s.pos, v3Scale(b, s.normal, b.constF(kOriginEpsilon)));
+            Val ndotl =
+                b.fmax(b.constF(0.f), v3Dot(b, s.normal, sun_dir));
+            Val lit = b.var();
+            b.assign(lit, b.constF(0.f));
+            b.beginIf(b.fgt(ndotl, b.constF(0.f)));
+            {
+                Val clear =
+                    occlusionIr(b, c, base, sun_dir, b.constF(1e30f));
+                b.assign(lit, clear);
+            }
+            b.endIf();
+            V3 direct = v3Scale(b, sun_color, b.fmul(ndotl, lit));
+            V3 ambient = v3Scale(b, sky_horizon, ambient_k);
+            V3 shade = v3Mul(b, v3Mul(b, atten, s.albedo),
+                             v3Add(b, direct, ambient));
+            v3Assign(b, color, v3Add(b, color, shade));
+            b.breakLoop();
+        }
+        b.endIf();
+        b.assign(depth, b.iadd(depth, b.constI(1)));
+    }
+    b.endLoop();
+
+    writePixel(b, c, color);
+    return b.finish();
+}
+
+namespace {
+
+/**
+ * The AO shading body shared by the plain and the divergent raygen:
+ * primary ray, sun shadow, aoSamples cosine-hemisphere occlusion rays.
+ * `ao_radius_scale` perturbs the AO radius so the two arms of the
+ * divergent variant do distinct work (the paper's injected divergence).
+ */
+void
+emitAoBody(Builder &b, RaygenCommon &c, const V3 &color,
+           float ao_radius_scale)
+{
+    V3 origin, dir;
+    cameraRayIr(b, c.camera, c.px, c.py, c.width, c.height, c.rngState,
+                &origin, &dir);
+    traceRayIr(b, origin, b.constF(1e-4f), dir, b.constF(1e30f), 0);
+    Val hit = b.loadGlobal(c.payload, payload::kHit, 4);
+    b.beginIf(b.ieq(hit, b.constI(0)));
+    {
+        v3Assign(b, color, v3Load(b, c.payload, payload::kEmissionX));
+    }
+    b.beginElse();
+    {
+        SurfaceVals s = loadSurface(b, c.payload);
+        V3 base = v3Add(b, s.pos,
+                        v3Scale(b, s.normal, b.constF(kOriginEpsilon)));
+        V3 sun_dir =
+            v3Load(b, c.consts, offsetof(GpuSceneConstants, sunDir));
+        V3 sun_color =
+            v3Load(b, c.consts, offsetof(GpuSceneConstants, sunColor));
+        Val ndotl = b.fmax(b.constF(0.f), v3Dot(b, s.normal, sun_dir));
+        Val lit = b.var();
+        b.assign(lit, b.constF(0.f));
+        b.beginIf(b.fgt(ndotl, b.constF(0.f)));
+        {
+            Val clear = occlusionIr(b, c, base, sun_dir, b.constF(1e30f));
+            b.assign(lit, clear);
+        }
+        b.endIf();
+
+        V3 tangent, bitangent;
+        onbIr(b, s.normal, &tangent, &bitangent);
+        Val visible = b.var();
+        b.assign(visible, b.constF(0.f));
+        Val ao_samples = b.loadGlobal(
+            c.consts, offsetof(GpuSceneConstants, aoSamples), 4);
+        Val ao_radius = b.fmul(
+            b.loadGlobal(c.consts, offsetof(GpuSceneConstants, aoRadius),
+                         4),
+            b.constF(ao_radius_scale));
+        Val si = b.var();
+        b.assign(si, b.constI(0));
+        b.beginLoop();
+        {
+            b.breakIf(b.ige(si, ao_samples));
+            Val u1 = rngNext(b, c.rngState);
+            Val u2 = rngNext(b, c.rngState);
+            V3 local = cosineSampleIr(b, u1, u2);
+            // onb.toWorld: tangent*x + bitangent*y + normal*z
+            V3 ao_dir = v3Add(
+                b,
+                v3Add(b, v3Scale(b, tangent, local.x),
+                      v3Scale(b, bitangent, local.y)),
+                v3Scale(b, s.normal, local.z));
+            Val clear = occlusionIr(b, c, base, ao_dir, ao_radius);
+            b.assign(visible, b.fadd(visible, clear));
+            b.assign(si, b.iadd(si, b.constI(1)));
+        }
+        b.endLoop();
+        Val ao = b.fdiv(visible, b.u2f(ao_samples));
+
+        Val ambient_k = b.loadGlobal(
+            c.consts, offsetof(GpuSceneConstants, ambientStrength), 4);
+        V3 sky_horizon =
+            v3Load(b, c.consts, offsetof(GpuSceneConstants, skyHorizon));
+        V3 direct = v3Scale(b, sun_color, b.fmul(ndotl, lit));
+        V3 ambient = v3Scale(b, sky_horizon, b.fmul(ambient_k, ao));
+        v3Assign(b, color, v3Mul(b, s.albedo, v3Add(b, direct, ambient)));
+    }
+    b.endIf();
+}
+
+} // namespace
+
+nir::Shader
+makeRaygenAo()
+{
+    Builder b("raygen_ao", vptx::ShaderStage::RayGen);
+    RaygenCommon c = raygenPrologue(b);
+    V3 color = v3Var(b);
+    emitAoBody(b, c, color, 1.0f);
+    writePixel(b, c, color);
+    return b.finish();
+}
+
+nir::Shader
+makeRaygenAoDivergent()
+{
+    // The ITS microbenchmark of Sec. VI-F: the warp splits on pixel
+    // parity and *both* arms contain long-latency traceRayEXT calls
+    // (paper Fig. 10, right), so independent thread scheduling can
+    // overlap the two splits in the RT unit.
+    Builder b("raygen_ao_divergent", vptx::ShaderStage::RayGen);
+    RaygenCommon c = raygenPrologue(b);
+    V3 color = v3Var(b);
+    Val odd = b.iand(c.px, b.constI(1));
+    b.beginIf(odd);
+    {
+        emitAoBody(b, c, color, 1.0f);
+    }
+    b.beginElse();
+    {
+        emitAoBody(b, c, color, 0.6f);
+    }
+    b.endIf();
+    writePixel(b, c, color);
+    return b.finish();
+}
+
+nir::Shader
+makeRaygenPath()
+{
+    Builder b("raygen_path", vptx::ShaderStage::RayGen);
+    RaygenCommon c = raygenPrologue(b);
+    V3 ray_o, ray_d;
+    cameraRayIr(b, c.camera, c.px, c.py, c.width, c.height, c.rngState,
+                &ray_o, &ray_d);
+
+    V3 color = v3Var(b);
+    v3Assign(b, color, v3Const(b, 0, 0, 0));
+    V3 atten = v3Var(b);
+    v3Assign(b, atten, v3Const(b, 1, 1, 1));
+    V3 o = v3Var(b);
+    v3Assign(b, o, ray_o);
+    V3 d = v3Var(b);
+    v3Assign(b, d, ray_d);
+    Val bounce = b.var();
+    b.assign(bounce, b.constI(0));
+    Val max_bounces = b.loadGlobal(
+        c.consts, offsetof(GpuSceneConstants, maxBounces), 4);
+
+    b.beginLoop();
+    {
+        b.breakIf(b.ige(bounce, max_bounces));
+        traceRayIr(b, o, b.constF(1e-4f), d, b.constF(1e30f), 0);
+        Val hit = b.loadGlobal(c.payload, payload::kHit, 4);
+        b.beginIf(b.ieq(hit, b.constI(0)));
+        {
+            V3 sky = v3Load(b, c.payload, payload::kEmissionX);
+            v3Assign(b, color, v3Add(b, color, v3Mul(b, atten, sky)));
+            b.breakLoop();
+        }
+        b.endIf();
+
+        SurfaceVals s = loadSurface(b, c.payload);
+        b.beginIf(b.ieq(s.matKind,
+                        b.constI(static_cast<int>(MaterialKind::Emissive))));
+        {
+            v3Assign(b, color,
+                     v3Add(b, color, v3Mul(b, atten, s.emission)));
+            b.breakLoop();
+        }
+        b.endIf();
+
+        V3 eps_n = v3Scale(b, s.normal, b.constF(kOriginEpsilon));
+        V3 next_o = v3Var(b);
+        v3Assign(b, next_o, v3Add(b, s.pos, eps_n));
+        V3 next_d = v3Var(b);
+
+        Val is_lambert = b.ieq(
+            s.matKind, b.constI(static_cast<int>(MaterialKind::Lambertian)));
+        b.beginIf(is_lambert);
+        {
+            Val u1 = rngNext(b, c.rngState);
+            Val u2 = rngNext(b, c.rngState);
+            V3 tangent, bitangent;
+            onbIr(b, s.normal, &tangent, &bitangent);
+            V3 local = cosineSampleIr(b, u1, u2);
+            V3 world = v3Add(
+                b,
+                v3Add(b, v3Scale(b, tangent, local.x),
+                      v3Scale(b, bitangent, local.y)),
+                v3Scale(b, s.normal, local.z));
+            v3Assign(b, next_d, world);
+            v3Assign(b, atten, v3Mul(b, atten, s.albedo));
+        }
+        b.beginElse();
+        {
+            Val is_metal = b.ior(
+                b.ieq(s.matKind,
+                      b.constI(static_cast<int>(MaterialKind::Metal))),
+                b.ieq(s.matKind,
+                      b.constI(static_cast<int>(MaterialKind::Mirror))));
+            b.beginIf(is_metal);
+            {
+                V3 unit = v3Normalize(b, d);
+                V3 refl = v3Var(b);
+                v3Assign(b, refl, v3Reflect(b, unit, s.normal));
+                b.beginIf(b.fgt(s.fuzz, b.constF(0.f)));
+                {
+                    Val u1 = rngNext(b, c.rngState);
+                    Val u2 = rngNext(b, c.rngState);
+                    V3 sph = uniformSphereIr(b, u1, u2);
+                    v3Assign(b, refl,
+                             v3Add(b, refl, v3Scale(b, sph, s.fuzz)));
+                }
+                b.endIf();
+                V3 nd = v3Normalize(b, refl);
+                v3Assign(b, next_d, nd);
+                b.breakIf(b.fle(v3Dot(b, nd, s.normal), b.constF(0.f)));
+                v3Assign(b, atten, v3Mul(b, atten, s.albedo));
+            }
+            b.beginElse();
+            {
+                // Dielectric.
+                V3 unit = v3Normalize(b, d);
+                Val one = b.constF(1.f);
+                Val eta = b.select(s.frontFace, b.fdiv(one, s.ior), s.ior);
+                Val cos_theta =
+                    b.fmin(b.fneg(v3Dot(b, unit, s.normal)), one);
+                // refractDir: cos_i = -dot(d, n); sin2_t = eta^2(1-cos_i^2)
+                Val cos_i = b.fneg(v3Dot(b, unit, s.normal));
+                Val sin2_t =
+                    b.fmul(b.fmul(eta, eta),
+                           b.fsub(one, b.fmul(cos_i, cos_i)));
+                Val can_refract = b.fle(sin2_t, one);
+                Val cos_t =
+                    b.fsqrt(b.fmax(b.fsub(one, sin2_t), b.constF(0.f)));
+                V3 refracted = v3Add(
+                    b, v3Scale(b, unit, eta),
+                    v3Scale(b, s.normal,
+                            b.fsub(b.fmul(eta, cos_i), cos_t)));
+                Val pick = rngNext(b, c.rngState);
+                Val fresnel = schlickIr(b, cos_theta, eta);
+                Val reflect_p =
+                    b.ior(b.ixor(can_refract, b.constI(1)),
+                          b.fgt(fresnel, pick));
+                b.beginIf(reflect_p);
+                {
+                    v3Assign(b, next_d, v3Reflect(b, unit, s.normal));
+                    v3Assign(b, next_o, v3Add(b, s.pos, eps_n));
+                }
+                b.beginElse();
+                {
+                    v3Assign(b, next_d, v3Normalize(b, refracted));
+                    v3Assign(b, next_o, v3Sub(b, s.pos, eps_n));
+                }
+                b.endIf();
+            }
+            b.endIf();
+        }
+        b.endIf();
+
+        v3Assign(b, o, next_o);
+        v3Assign(b, d, next_d);
+        b.assign(bounce, b.iadd(bounce, b.constI(1)));
+    }
+    b.endLoop();
+
+    writePixel(b, c, color);
+    return b.finish();
+}
+
+namespace {
+
+/** Shared intersection-shader prologue: entry, prim record, local ray. */
+struct IsectCommon
+{
+    Val primRec;
+    V3 o, d;
+    Val tmin, tmaxEff;
+};
+
+IsectCommon
+isectPrologue(Builder &b)
+{
+    IsectCommon c;
+    Val entry = b.deferredEntryAddr();
+    Val prim = b.loadGlobal(entry, kDefPrim, 4);
+    Val inst = b.loadGlobal(entry, kDefInstance, 4);
+    Val inst_table = b.descBase(kBindInstances);
+    Val inst_rec = b.iadd(
+        inst_table, b.imul(inst, b.constI(sizeof(GpuInstanceRecord))));
+    Val prim_base =
+        b.loadGlobal(inst_rec, offsetof(GpuInstanceRecord, primBase), 8);
+    c.primRec = b.iadd(
+        prim_base, b.imul(prim, b.constI(sizeof(GpuProceduralRecord))));
+
+    // Procedural instances use identity transforms, so the world ray is
+    // the object ray (documented in DESIGN.md).
+    Val f = b.frameAddr();
+    c.o = v3Load(b, f, kRayOriginX);
+    c.d = v3Load(b, f, kRayDirX);
+    c.tmin = b.loadGlobal(f, kRayTmin, 4);
+    Val tmax = b.loadGlobal(f, kRayTmax, 4);
+    Val hit_t = b.loadGlobal(f, kHitT, 4);
+    c.tmaxEff = b.fmin(tmax, hit_t);
+    return c;
+}
+
+} // namespace
+
+nir::Shader
+makeIntersectionSphere()
+{
+    Builder b("isect_sphere", vptx::ShaderStage::Intersection);
+    IsectCommon c = isectPrologue(b);
+    V3 center = v3Load(b, c.primRec, offsetof(GpuProceduralRecord, center));
+    Val radius =
+        b.loadGlobal(c.primRec, offsetof(GpuProceduralRecord, radius), 4);
+
+    // Mirror geom raySphere().
+    V3 oc = v3Sub(b, c.o, center);
+    Val a = v3Dot(b, c.d, c.d);
+    Val half_b = v3Dot(b, oc, c.d);
+    Val cc = b.fsub(v3Dot(b, oc, oc), b.fmul(radius, radius));
+    Val disc = b.fsub(b.fmul(half_b, half_b), b.fmul(a, cc));
+    b.beginIf(b.fge(disc, b.constF(0.f)));
+    {
+        Val sqrt_d = b.fsqrt(disc);
+        Val t1 = b.fdiv(b.fsub(b.fneg(half_b), sqrt_d), a);
+        Val t2 = b.fdiv(b.fadd(b.fneg(half_b), sqrt_d), a);
+        Val t1_bad = b.ior(b.fle(t1, c.tmin), b.fge(t1, c.tmaxEff));
+        Val t = b.select(t1_bad, t2, t1);
+        Val t_ok = b.iand(b.fgt(t, c.tmin), b.flt(t, c.tmaxEff));
+        b.beginIf(t_ok);
+        {
+            b.reportIntersection(t);
+        }
+        b.endIf();
+    }
+    b.endIf();
+    return b.finish();
+}
+
+nir::Shader
+makeIntersectionBox()
+{
+    Builder b("isect_box", vptx::ShaderStage::Intersection);
+    IsectCommon c = isectPrologue(b);
+    V3 lo = v3Load(b, c.primRec, offsetof(GpuProceduralRecord, lo));
+    V3 hi = v3Load(b, c.primRec, offsetof(GpuProceduralRecord, hi));
+
+    // Mirror geom rayBoxProcedural(): slab test with safeInverse.
+    Val one = b.constF(1.f);
+    V3 inv{b.fdiv(one, c.d.x), b.fdiv(one, c.d.y), b.fdiv(one, c.d.z)};
+    Val t0 = b.var();
+    b.assign(t0, c.tmin);
+    Val t1 = b.var();
+    b.assign(t1, b.loadGlobal(b.frameAddr(), kRayTmax, 4));
+    Val miss = b.var();
+    b.assign(miss, b.constI(0));
+
+    const Val los[3] = {lo.x, lo.y, lo.z};
+    const Val his[3] = {hi.x, hi.y, hi.z};
+    const Val origins[3] = {c.o.x, c.o.y, c.o.z};
+    const Val invs[3] = {inv.x, inv.y, inv.z};
+    for (int axis = 0; axis < 3; ++axis) {
+        Val near = b.fmul(b.fsub(los[axis], origins[axis]), invs[axis]);
+        Val far = b.fmul(b.fsub(his[axis], origins[axis]), invs[axis]);
+        Val swap = b.fgt(near, far);
+        Val n2 = b.select(swap, far, near);
+        Val f2 = b.select(swap, near, far);
+        b.assign(t0, b.fmax(t0, n2));
+        b.assign(t1, b.fmin(t1, f2));
+        b.assign(miss, b.ior(miss, b.fgt(t0, t1)));
+    }
+
+    b.beginIf(b.ieq(miss, b.constI(0)));
+    {
+        Val entry_t = b.select(b.fgt(t0, c.tmin), t0, t1);
+        Val t_ok =
+            b.iand(b.fgt(entry_t, c.tmin), b.flt(entry_t, c.tmaxEff));
+        b.beginIf(t_ok);
+        {
+            b.reportIntersection(entry_t);
+        }
+        b.endIf();
+    }
+    b.endIf();
+    return b.finish();
+}
+
+nir::Shader
+makeAnyHitAlphaTest(float threshold)
+{
+    Builder b("anyhit_alpha", vptx::ShaderStage::AnyHit);
+    Val entry = b.deferredEntryAddr();
+    Val u = b.loadGlobal(entry, kDefU, 4);
+    Val v = b.loadGlobal(entry, kDefV, 4);
+    Val uv = b.fadd(u, v);
+    b.beginIf(b.fle(uv, b.constF(threshold)));
+    {
+        b.commitAnyHit();
+    }
+    b.endIf();
+    return b.finish();
+}
+
+} // namespace vksim::wl

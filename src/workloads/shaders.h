@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The NIR shader set of the evaluation workloads (stand-ins for the GLSL
+ * shaders of the Khronos samples and RayTracingInVulkan):
+ *
+ *  - raygen: barycentric (TRI), Whitted (REF), ambient occlusion (EXT),
+ *    and iterative path tracing (RTV5/RTV6);
+ *  - a shared surface closest-hit shader that reconstructs position,
+ *    normal, and material into the payload;
+ *  - a sky miss shader;
+ *  - sphere and box intersection shaders for procedural geometry;
+ *  - an alpha-test any-hit shader (used by tests and the any-hit demo).
+ *
+ * Each shader mirrors the corresponding reftrace C++ routine operation
+ * for operation so that simulated and reference renders agree.
+ */
+
+#ifndef VKSIM_WORKLOADS_SHADERS_H
+#define VKSIM_WORKLOADS_SHADERS_H
+
+#include "nir/nir.h"
+
+namespace vksim::wl {
+
+/** Miss shader: writes sky colour + hit=0 into the payload. */
+nir::Shader makeMissShader();
+
+/** Closest-hit: fills the payload with the full surface description. */
+nir::Shader makeClosestHitSurface();
+
+/** Closest-hit for TRI: barycentric colour into the payload. */
+nir::Shader makeClosestHitBary();
+
+/** TRI ray generation: one primary ray, write colour. */
+nir::Shader makeRaygenBary();
+
+/** REF ray generation: Whitted mirrors + hard shadows. */
+nir::Shader makeRaygenWhitted();
+
+/** EXT ray generation: sun + shadow + ambient-occlusion rays. */
+nir::Shader makeRaygenAo();
+
+/**
+ * EXT ray generation with injected warp divergence: both arms of a
+ * pixel-parity branch trace rays (the paper's ITS microbenchmark,
+ * Sec. VI-F and Fig. 10 right).
+ */
+nir::Shader makeRaygenAoDivergent();
+
+/** RTV5/RTV6 ray generation: iterative path tracing. */
+nir::Shader makeRaygenPath();
+
+/** Intersection shader for procedural spheres. */
+nir::Shader makeIntersectionSphere();
+
+/** Intersection shader for procedural boxes (RTV6 cubes). */
+nir::Shader makeIntersectionBox();
+
+/**
+ * Any-hit shader rejecting candidates with u + v > threshold (a stand-in
+ * for alpha testing); accepts the rest.
+ */
+nir::Shader makeAnyHitAlphaTest(float threshold = 0.5f);
+
+} // namespace vksim::wl
+
+#endif // VKSIM_WORKLOADS_SHADERS_H

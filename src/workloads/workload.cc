@@ -1,0 +1,269 @@
+#include "workloads/workload.h"
+
+#include "workloads/shaders.h"
+
+namespace vksim::wl {
+
+const char *
+workloadName(WorkloadId id)
+{
+    switch (id) {
+      case WorkloadId::TRI: return "TRI";
+      case WorkloadId::REF: return "REF";
+      case WorkloadId::EXT: return "EXT";
+      case WorkloadId::RTV5: return "RTV5";
+      case WorkloadId::RTV6: return "RTV6";
+    }
+    return "?";
+}
+
+WorkloadParams
+paperScaleParams(WorkloadId id)
+{
+    WorkloadParams p;
+    p.extScale = 1.0f;
+    p.rtv5Detail = 7;
+    p.rtv6Prims = 3568;
+    return p;
+}
+
+ShadingMode
+Workload::shadingMode() const
+{
+    switch (id_) {
+      case WorkloadId::TRI: return ShadingMode::BaryColor;
+      case WorkloadId::REF: return ShadingMode::Whitted;
+      case WorkloadId::EXT: return ShadingMode::AmbientOcclusion;
+      case WorkloadId::RTV5:
+      case WorkloadId::RTV6: return ShadingMode::PathTrace;
+    }
+    return ShadingMode::BaryColor;
+}
+
+Workload::Workload(WorkloadId id, const WorkloadParams &params)
+    : id_(id), params_(params)
+{
+    switch (id_) {
+      case WorkloadId::TRI: scene_ = makeTriScene(); break;
+      case WorkloadId::REF: scene_ = makeRefScene(); break;
+      case WorkloadId::EXT: scene_ = makeExtScene(params_.extScale); break;
+      case WorkloadId::RTV5:
+        scene_ = makeRtv5Scene(params_.rtv5Detail);
+        break;
+      case WorkloadId::RTV6:
+        scene_ = makeRtv6Scene(params_.rtv6Prims);
+        break;
+    }
+    scene_.camera.aspect = static_cast<float>(params_.width)
+                           / static_cast<float>(params_.height);
+
+    accel_ = device_.buildAccelerationStructure(scene_);
+    buildShaders();
+    pipeline_ = device_.createRayTracingPipeline(pipeDesc_, params_.fcc);
+    buildDescriptors();
+    launch_ = device_.prepareLaunch(pipeline_, descriptors_,
+                                    accel_.tlasRoot, params_.width,
+                                    params_.height);
+    tracer_ = std::make_unique<CpuTracer>(scene_, device_.memory(), accel_);
+}
+
+void
+Workload::buildShaders()
+{
+    // Shader indices are stable: 0 = raygen, 1 = closest hit, 2 = miss,
+    // then intersection shaders.
+    switch (id_) {
+      case WorkloadId::TRI:
+        shaderStore_.push_back(makeRaygenBary());
+        shaderStore_.push_back(makeClosestHitBary());
+        break;
+      case WorkloadId::REF:
+        shaderStore_.push_back(makeRaygenWhitted());
+        shaderStore_.push_back(makeClosestHitSurface());
+        break;
+      case WorkloadId::EXT:
+        shaderStore_.push_back(params_.divergentRaygen
+                                   ? makeRaygenAoDivergent()
+                                   : makeRaygenAo());
+        shaderStore_.push_back(makeClosestHitSurface());
+        break;
+      case WorkloadId::RTV5:
+      case WorkloadId::RTV6:
+        shaderStore_.push_back(makeRaygenPath());
+        shaderStore_.push_back(makeClosestHitSurface());
+        break;
+    }
+    shaderStore_.push_back(makeMissShader());
+    if (id_ == WorkloadId::RTV5 || id_ == WorkloadId::RTV6)
+        shaderStore_.push_back(makeIntersectionSphere());
+    if (id_ == WorkloadId::RTV6)
+        shaderStore_.push_back(makeIntersectionBox());
+
+    for (const nir::Shader &s : shaderStore_)
+        pipeDesc_.shaders.push_back(&s);
+    pipeDesc_.raygen = 0;
+    pipeDesc_.missShaders = {2};
+
+    xlate::HitGroupDesc triangles;
+    triangles.closestHit = 1;
+    pipeDesc_.hitGroups.push_back(triangles);
+    if (id_ == WorkloadId::RTV5 || id_ == WorkloadId::RTV6) {
+        xlate::HitGroupDesc spheres;
+        spheres.closestHit = 1;
+        spheres.intersection = 3;
+        pipeDesc_.hitGroups.push_back(spheres);
+    }
+    if (id_ == WorkloadId::RTV6) {
+        xlate::HitGroupDesc boxes;
+        boxes.closestHit = 1;
+        boxes.intersection = 4;
+        pipeDesc_.hitGroups.push_back(boxes);
+    }
+}
+
+void
+Workload::buildDescriptors()
+{
+    GlobalMemory &gmem = device_.memory();
+
+    // Camera.
+    Addr cam = device_.createBuffer(sizeof(Camera), "desc.camera");
+    gmem.store(cam, scene_.camera);
+    descriptors_.bind(kBindCamera, cam);
+
+    // Materials.
+    descriptors_.bind(
+        kBindMaterials,
+        device_.uploadBuffer<Material>(
+            {scene_.materials.data(), scene_.materials.size()},
+            "desc.materials"));
+
+    // Framebuffer.
+    framebufferAddr_ = device_.createBuffer(
+        static_cast<Addr>(params_.width) * params_.height
+            * kFramebufferStride,
+        "desc.framebuffer");
+    descriptors_.bind(kBindFramebuffer, framebufferAddr_);
+
+    // Scene constants.
+    GpuSceneConstants constants{};
+    auto put3 = [](float out[3], const Vec3 &v) {
+        out[0] = v.x;
+        out[1] = v.y;
+        out[2] = v.z;
+    };
+    put3(constants.sunDir, scene_.sunDirection);
+    put3(constants.sunColor, scene_.sunColor);
+    put3(constants.skyHorizon, scene_.skyHorizon);
+    put3(constants.skyZenith, scene_.skyZenith);
+    constants.ambientStrength = params_.shading.ambientStrength;
+    constants.frameSeed = params_.shading.frameSeed;
+    constants.aoSamples = params_.shading.aoSamples;
+    constants.aoRadius = params_.shading.aoRadius;
+    constants.maxBounces = params_.shading.maxBounces;
+    constants.maxDepth = params_.shading.maxDepth;
+    Addr consts =
+        device_.createBuffer(sizeof(GpuSceneConstants), "desc.constants");
+    gmem.store(consts, constants);
+    descriptors_.bind(kBindConstants, consts);
+
+    // Per-geometry triangle / procedural buffers + the instance table.
+    std::vector<Addr> tri_base(scene_.geometries.size(), 0);
+    std::vector<Addr> prim_base(scene_.geometries.size(), 0);
+    for (std::size_t g = 0; g < scene_.geometries.size(); ++g) {
+        const Geometry &geom = scene_.geometries[g];
+        if (geom.kind == GeometryKind::Triangles) {
+            std::vector<GpuTriangleRecord> recs(geom.mesh.triangleCount());
+            for (std::size_t i = 0; i < recs.size(); ++i) {
+                Vec3 v0, v1, v2;
+                geom.mesh.triangle(i, &v0, &v1, &v2);
+                put3(recs[i].v0, v0);
+                put3(recs[i].v1, v1);
+                put3(recs[i].v2, v2);
+            }
+            tri_base[g] = device_.uploadBuffer<GpuTriangleRecord>(
+                {recs.data(), recs.size()}, "desc.triangles");
+        } else {
+            std::vector<GpuProceduralRecord> recs(geom.prims.size());
+            for (std::size_t i = 0; i < recs.size(); ++i) {
+                const ProceduralPrimitive &p = geom.prims[i];
+                put3(recs[i].center, p.center);
+                recs[i].radius = p.radius;
+                put3(recs[i].lo, p.bounds.lo);
+                put3(recs[i].hi, p.bounds.hi);
+                recs[i].shape = static_cast<std::int32_t>(p.shape);
+                recs[i].materialIndex = p.materialIndex;
+            }
+            prim_base[g] = device_.uploadBuffer<GpuProceduralRecord>(
+                {recs.data(), recs.size()}, "desc.procedural");
+        }
+    }
+
+    std::vector<GpuInstanceRecord> inst_recs(scene_.instances.size());
+    for (std::size_t i = 0; i < inst_recs.size(); ++i) {
+        const Instance &inst = scene_.instances[i];
+        GpuInstanceRecord &rec = inst_recs[i];
+        rec.triBase = tri_base[inst.geometryIndex];
+        rec.primBase = prim_base[inst.geometryIndex];
+        rec.materialIndex = inst.instanceCustomIndex;
+        rec.kind = static_cast<std::int32_t>(
+            scene_.geometries[inst.geometryIndex].kind);
+        for (int r = 0; r < 3; ++r)
+            for (int col = 0; col < 3; ++col)
+                rec.objectToWorld[3 * r + col] =
+                    inst.objectToWorld.m[r][col];
+    }
+    descriptors_.bind(
+        kBindInstances,
+        device_.uploadBuffer<GpuInstanceRecord>(
+            {inst_recs.data(), inst_recs.size()}, "desc.instances"));
+}
+
+Image
+Workload::runFunctional(vptx::WarpCflow::Mode mode, StatGroup *stats_out)
+{
+    vptx::ExecOptions options;
+    options.fccEnabled = params_.fcc;
+    vptx::FunctionalRunner runner(launch_, options, mode);
+    runner.run();
+    if (stats_out)
+        *stats_out = runner.stats();
+    return readFramebuffer();
+}
+
+Image
+Workload::readFramebuffer() const
+{
+    Image img(params_.width, params_.height);
+    const GlobalMemory &gmem = device_.memory();
+    for (unsigned y = 0; y < params_.height; ++y)
+        for (unsigned x = 0; x < params_.width; ++x) {
+            Addr addr = framebufferAddr_
+                        + (static_cast<Addr>(y) * params_.width + x)
+                              * kFramebufferStride;
+            img.setPixel(x, y, gmem.load<float>(addr),
+                         gmem.load<float>(addr + 4),
+                         gmem.load<float>(addr + 8));
+        }
+    return img;
+}
+
+Image
+Workload::renderReferenceImage(TraceCounters *counters) const
+{
+    return renderReference(*tracer_, shadingMode(), params_.shading,
+                           params_.width, params_.height, counters);
+}
+
+double
+Workload::averageNodesPerRay() const
+{
+    TraceCounters counters;
+    renderReference(*tracer_, shadingMode(), params_.shading,
+                    params_.width, params_.height, &counters);
+    return counters.rays
+               ? static_cast<double>(counters.nodesVisited) / counters.rays
+               : 0.0;
+}
+
+} // namespace vksim::wl

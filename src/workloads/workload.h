@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The five evaluation workloads (paper Table IV): scene + shader set +
+ * pipeline + descriptor buffers, with helpers to render them on the
+ * functional simulator or the CPU reference renderer.
+ */
+
+#ifndef VKSIM_WORKLOADS_WORKLOAD_H
+#define VKSIM_WORKLOADS_WORKLOAD_H
+
+#include <memory>
+
+#include "reftrace/renderer.h"
+#include "scene/scenegen.h"
+#include "vptx/exec.h"
+#include "vulkan/device.h"
+#include "workloads/layout.h"
+
+namespace vksim::wl {
+
+/** Workload identifiers, named as in the paper. */
+enum class WorkloadId
+{
+    TRI,
+    REF,
+    EXT,
+    RTV5,
+    RTV6
+};
+
+/** All workloads, in Table IV order. */
+inline constexpr WorkloadId kAllWorkloads[] = {
+    WorkloadId::TRI, WorkloadId::REF, WorkloadId::EXT, WorkloadId::RTV5,
+    WorkloadId::RTV6};
+
+const char *workloadName(WorkloadId id);
+
+/** Knobs controlling scene scale and shading effort. */
+struct WorkloadParams
+{
+    unsigned width = 64;
+    unsigned height = 64;
+    float extScale = 0.15f;   ///< EXT tessellation fraction (1 = paper)
+    unsigned rtv5Detail = 4;  ///< statue subdivision (7 = paper scale)
+    unsigned rtv6Prims = 3568;///< procedural primitive count (paper value)
+    ShadingParams shading;    ///< per-algorithm tunables
+    bool fcc = false;         ///< lower traceRay with FCC (Algorithm 3)
+    /** EXT only: use the divergent raygen (ITS microbenchmark). */
+    bool divergentRaygen = false;
+};
+
+/** Paper-scale parameters for Table IV reproduction. */
+WorkloadParams paperScaleParams(WorkloadId id);
+
+/** One fully assembled workload. */
+class Workload
+{
+  public:
+    Workload(WorkloadId id, const WorkloadParams &params);
+
+    WorkloadId id() const { return id_; }
+    const char *name() const { return workloadName(id_); }
+    const WorkloadParams &params() const { return params_; }
+    const Scene &scene() const { return scene_; }
+    Device &device() { return device_; }
+    const AccelStruct &accel() const { return accel_; }
+    const RayTracingPipeline &pipeline() const { return pipeline_; }
+    vptx::LaunchContext &launch() { return launch_; }
+    const vptx::LaunchContext &launch() const { return launch_; }
+    Addr framebuffer() const { return framebufferAddr_; }
+    ShadingMode shadingMode() const;
+
+    /**
+     * Run the launch on the functional simulator and return the rendered
+     * image. `stats_out` (optional) receives instruction-mix counters.
+     */
+    Image runFunctional(
+        vptx::WarpCflow::Mode mode = vptx::WarpCflow::Mode::Stack,
+        StatGroup *stats_out = nullptr);
+
+    /** Read the framebuffer contents (after a run). */
+    Image readFramebuffer() const;
+
+    /** Render the same image with the CPU reference renderer. */
+    Image renderReferenceImage(TraceCounters *counters = nullptr) const;
+
+    /** Average BVH nodes visited per ray (Table IV). */
+    double averageNodesPerRay() const;
+
+  private:
+    void buildShaders();
+    void buildDescriptors();
+
+    WorkloadId id_;
+    WorkloadParams params_;
+    Scene scene_;
+    Device device_;
+    AccelStruct accel_;
+    std::vector<nir::Shader> shaderStore_;
+    RayTracingPipeline pipeline_;
+    xlate::PipelineDesc pipeDesc_;
+    DescriptorSet descriptors_;
+    vptx::LaunchContext launch_;
+    Addr framebufferAddr_ = 0;
+    std::unique_ptr<CpuTracer> tracer_;
+};
+
+} // namespace vksim::wl
+
+#endif // VKSIM_WORKLOADS_WORKLOAD_H

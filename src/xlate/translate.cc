@@ -1,0 +1,666 @@
+#include "xlate/translate.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/log.h"
+#include "vptx/context.h"
+#include "vptx/rtstack.h"
+
+namespace vksim::xlate {
+
+namespace {
+
+using vptx::Instr;
+using vptx::Opcode;
+using vptx::Program;
+using namespace vptx::frame;
+
+/** Scratch registers appended after each shader's NIR values. */
+constexpr int kNumTemps = 24;
+
+/** Placeholder for branch targets patched at label binding. */
+constexpr std::uint32_t kPatch = 0xDEADBEEFu;
+
+class Translator
+{
+  public:
+    Translator(const PipelineDesc &pipe, const TranslateOptions &opts)
+        : pipe_(pipe), opts_(opts)
+    {
+    }
+
+    Program
+    run()
+    {
+        vksim_assert(pipe_.raygen >= 0);
+        vksim_assert(!pipe_.missShaders.empty());
+
+        // Collect the dispatch chains once: every distinct any-hit and
+        // intersection shader, and every distinct closest-hit shader.
+        for (const HitGroupDesc &g : pipe_.hitGroups) {
+            if (g.anyHit >= 0)
+                addUnique(deferredChain_, g.anyHit);
+            if (g.intersection >= 0)
+                addUnique(deferredChain_, g.intersection);
+            if (g.closestHit >= 0)
+                addUnique(closestHitChain_, g.closestHit);
+        }
+
+        for (std::size_t i = 0; i < pipe_.shaders.size(); ++i)
+            emitShader(static_cast<int>(i));
+
+        // Patch calls now that every entry pc is known.
+        for (const auto &[pc, callee] : callFixups_)
+            prog_.code[pc].target =
+                prog_.shaders[static_cast<std::size_t>(callee)].entryPc;
+
+        prog_.raygenShader = pipe_.raygen;
+        return std::move(prog_);
+    }
+
+  private:
+    static void
+    addUnique(std::vector<int> &v, int idx)
+    {
+        for (int e : v)
+            if (e == idx)
+                return;
+        v.push_back(idx);
+    }
+
+    // --- emission helpers ---------------------------------------------
+
+    std::uint32_t
+    pc() const
+    {
+        return static_cast<std::uint32_t>(prog_.code.size());
+    }
+
+    std::uint32_t
+    emit(Instr instr)
+    {
+        prog_.code.push_back(instr);
+        return pc() - 1;
+    }
+
+    std::uint32_t
+    emitOp(Opcode op, int dst = -1, int s0 = -1, int s1 = -1, int s2 = -1,
+           std::uint64_t imm = 0, unsigned size = 4)
+    {
+        Instr i;
+        i.op = op;
+        i.dst = static_cast<std::int16_t>(dst);
+        i.src0 = static_cast<std::int16_t>(s0);
+        i.src1 = static_cast<std::int16_t>(s1);
+        i.src2 = static_cast<std::int16_t>(s2);
+        i.imm = imm;
+        i.size = static_cast<std::uint8_t>(size);
+        return emit(i);
+    }
+
+    /** Temp register allocator (per shader). */
+    int
+    temp()
+    {
+        vksim_assert(tempNext_ < tempBase_ + kNumTemps);
+        return tempNext_++;
+    }
+
+    void
+    resetTemps()
+    {
+        tempNext_ = tempBase_;
+    }
+
+    int
+    movImm(std::uint64_t v)
+    {
+        int t = temp();
+        emitOp(Opcode::MovImm, t, -1, -1, -1, v);
+        return t;
+    }
+
+    // --- shader emission -------------------------------------------------
+
+    void
+    emitShader(int index)
+    {
+        const nir::Shader &sh = *pipe_.shaders[static_cast<std::size_t>(index)];
+        vptx::ShaderInfo info;
+        info.name = sh.name;
+        info.stage = sh.stage;
+        info.entryPc = pc();
+        tempBase_ = sh.numValues;
+        tempNext_ = tempBase_;
+        info.numRegs = static_cast<std::uint16_t>(sh.numValues + kNumTemps);
+        curRegs_ = info.numRegs;
+
+        loopRegions_.clear();
+        lowerBlock(sh.body, nullptr);
+
+        if (sh.stage == vptx::ShaderStage::RayGen)
+            emitOp(Opcode::Exit);
+        else
+            emitOp(Opcode::Ret);
+
+        info.numRegs = compactRegisters(info.entryPc, pc());
+        prog_.shaders.push_back(std::move(info));
+    }
+
+    /**
+     * Linear-scan register compaction over one shader's code range.
+     * NIR values map 1:1 to registers during lowering, which wastes the
+     * register file (real compilers allocate); this pass computes live
+     * ranges in linear pc order — conservatively extending any range
+     * that touches a loop to the loop's end, so loop-carried variables
+     * stay live across back edges — and renames registers to a compact
+     * set. Returns the new register count (the warp-occupancy limiter).
+     */
+    std::uint16_t
+    compactRegisters(std::uint32_t start_pc, std::uint32_t end_pc)
+    {
+        struct Range
+        {
+            std::uint32_t first = 0;
+            std::uint32_t last = 0;
+        };
+        std::map<int, Range> ranges;
+        auto touch = [&](int reg, std::uint32_t at) {
+            if (reg < 0)
+                return;
+            auto [it, inserted] = ranges.try_emplace(reg, Range{at, at});
+            if (!inserted) {
+                it->second.first = std::min(it->second.first, at);
+                it->second.last = std::max(it->second.last, at);
+            }
+        };
+        for (std::uint32_t p = start_pc; p < end_pc; ++p) {
+            const Instr &i = prog_.code[p];
+            touch(i.dst, p);
+            touch(i.src0, p);
+            touch(i.src1, p);
+            touch(i.src2, p);
+        }
+
+        // Loop-carried liveness: a register whose first event inside a
+        // loop is a *read* carries a value across the back edge (either
+        // loop-carried or defined before the loop), so it must stay live
+        // for the whole loop. Registers re-defined before every in-loop
+        // use keep their plain linear range. A same-instruction dst==src
+        // counts as a read first (the old value is consumed).
+        for (auto [ls, le] : loopRegions_) {
+            std::map<int, bool> first_is_def;
+            for (std::uint32_t p = ls; p < le; ++p) {
+                const Instr &i = prog_.code[p];
+                for (int s : {static_cast<int>(i.src0),
+                              static_cast<int>(i.src1),
+                              static_cast<int>(i.src2)})
+                    if (s >= 0)
+                        first_is_def.try_emplace(s, false);
+                if (i.dst >= 0)
+                    first_is_def.try_emplace(i.dst, true);
+            }
+            for (auto [reg, is_def] : first_is_def) {
+                if (is_def)
+                    continue;
+                Range &r = ranges.at(reg);
+                r.first = std::min(r.first, ls);
+                r.last = std::max(r.last, le);
+            }
+        }
+
+        // Linear scan.
+        std::vector<std::pair<int, Range>> order(ranges.begin(),
+                                                 ranges.end());
+        std::sort(order.begin(), order.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second.first < b.second.first;
+                  });
+        std::map<int, int> remap;
+        std::vector<std::uint32_t> reg_free_at; // per new register
+        for (const auto &[reg, r] : order) {
+            int assigned = -1;
+            for (std::size_t n = 0; n < reg_free_at.size(); ++n)
+                if (reg_free_at[n] < r.first) {
+                    assigned = static_cast<int>(n);
+                    break;
+                }
+            if (assigned < 0) {
+                assigned = static_cast<int>(reg_free_at.size());
+                reg_free_at.push_back(0);
+            }
+            reg_free_at[static_cast<std::size_t>(assigned)] = r.last;
+            remap[reg] = assigned;
+        }
+
+        auto apply = [&](std::int16_t &field) {
+            if (field >= 0)
+                field = static_cast<std::int16_t>(remap.at(field));
+        };
+        auto num_regs = static_cast<std::uint16_t>(reg_free_at.size());
+        for (std::uint32_t p = start_pc; p < end_pc; ++p) {
+            Instr &i = prog_.code[p];
+            apply(i.dst);
+            apply(i.src0);
+            apply(i.src1);
+            apply(i.src2);
+            // Window bumps reflect the caller's compacted register count.
+            if (i.op == Opcode::Call)
+                i.imm = num_regs;
+        }
+        return std::max<std::uint16_t>(num_regs, 1);
+    }
+
+    /** True when the node (recursively) contains a loop break. */
+    static bool
+    containsBreak(const std::vector<nir::Node> &block)
+    {
+        for (const nir::Node &n : block) {
+            switch (n.kind) {
+              case nir::Node::Kind::Break:
+              case nir::Node::Kind::BreakIf:
+                return true;
+              case nir::Node::Kind::If:
+                if (containsBreak(n.thenBlock) || containsBreak(n.elseBlock))
+                    return true;
+                break;
+              case nir::Node::Kind::Loop:
+                break; // breaks inside a nested loop bind to it
+              default:
+                break;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Lower a block. `break_patches` collects pcs of instructions whose
+     * target (and reconvergence point) is the innermost loop's exit.
+     */
+    void
+    lowerBlock(const std::vector<nir::Node> &block,
+               std::vector<std::uint32_t> *break_patches)
+    {
+        for (const nir::Node &node : block) {
+            switch (node.kind) {
+              case nir::Node::Kind::Instr:
+                lowerInstr(node.instr);
+                break;
+
+              case nir::Node::Kind::If: {
+                bool breaks = containsBreak(node.thenBlock)
+                              || containsBreak(node.elseBlock);
+                std::uint32_t bz =
+                    emitOp(Opcode::BraZ, -1, node.cond);
+                prog_.code[bz].target = kPatch;
+                lowerBlock(node.thenBlock, break_patches);
+                std::uint32_t jmp = kPatch;
+                if (!node.elseBlock.empty()) {
+                    jmp = emitOp(Opcode::Jmp);
+                    prog_.code[jmp].target = kPatch;
+                    prog_.code[bz].target = pc();
+                    lowerBlock(node.elseBlock, break_patches);
+                    prog_.code[jmp].target = pc();
+                } else {
+                    prog_.code[bz].target = pc();
+                }
+                if (breaks) {
+                    // Reconvergence must move to the loop exit: a taken
+                    // break leaves the if without passing its end.
+                    vksim_assert(break_patches != nullptr);
+                    break_patches->push_back(bz | kReconvOnly);
+                } else {
+                    prog_.code[bz].reconv = pc();
+                }
+                break;
+              }
+
+              case nir::Node::Kind::Loop: {
+                std::uint32_t start = pc();
+                std::vector<std::uint32_t> breaks;
+                lowerBlock(node.body, &breaks);
+                std::uint32_t jmp = emitOp(Opcode::Jmp);
+                prog_.code[jmp].target = start;
+                std::uint32_t exit = pc();
+                loopRegions_.emplace_back(start, exit);
+                for (std::uint32_t b : breaks) {
+                    bool reconv_only = (b & kReconvOnly) != 0;
+                    std::uint32_t at = b & ~kReconvOnly;
+                    if (!reconv_only)
+                        prog_.code[at].target = exit;
+                    prog_.code[at].reconv = exit;
+                }
+                break;
+              }
+
+              case nir::Node::Kind::Break: {
+                vksim_assert(break_patches != nullptr);
+                std::uint32_t j = emitOp(Opcode::Jmp);
+                prog_.code[j].target = kPatch;
+                break_patches->push_back(j);
+                break;
+              }
+
+              case nir::Node::Kind::BreakIf: {
+                vksim_assert(break_patches != nullptr);
+                std::uint32_t b = emitOp(Opcode::Bra, -1, node.cond);
+                prog_.code[b].target = kPatch;
+                break_patches->push_back(b);
+                break;
+              }
+            }
+        }
+    }
+
+    /** Marker bit for break-patch entries that only set reconv. */
+    static constexpr std::uint32_t kReconvOnly = 0x80000000u;
+
+    void
+    lowerInstr(const nir::Instr &in)
+    {
+        using nir::Op;
+        auto s = [&](int i) { return in.srcs[static_cast<std::size_t>(i)]; };
+
+        switch (in.op) {
+          case Op::ConstI:
+          case Op::ConstF:
+            emitOp(Opcode::MovImm, in.dst, -1, -1, -1, in.imm);
+            return;
+          case Op::Mov:
+            emitOp(Opcode::Mov, in.dst, s(0));
+            return;
+          case Op::Select:
+            emitOp(Opcode::Select, in.dst, s(0), s(1), s(2));
+            return;
+          case Op::LoadGlobal:
+            emitOp(Opcode::Ld, in.dst, s(0), -1, -1, in.imm, in.size);
+            return;
+          case Op::StoreGlobal:
+            emitOp(Opcode::St, -1, s(0), s(1), -1, in.imm, in.size);
+            return;
+          case Op::LoadLaunchId:
+            emitOp(Opcode::LoadLaunchId, in.dst, -1, -1, -1, in.imm);
+            return;
+          case Op::LoadLaunchSize:
+            emitOp(Opcode::LoadLaunchSize, in.dst, -1, -1, -1, in.imm);
+            return;
+          case Op::RtAllocMem:
+            emitOp(Opcode::RtAllocMem, in.dst, -1, -1, -1, in.imm);
+            return;
+          case Op::FrameAddr:
+            emitOp(Opcode::RtFrameAddr, in.dst);
+            return;
+          case Op::DescBase:
+            emitOp(Opcode::DescBase, in.dst, -1, -1, -1, in.imm);
+            return;
+          case Op::DeferredEntryAddr: {
+            resetTemps();
+            int tf = temp();
+            int tcur = temp();
+            emitOp(Opcode::RtFrameAddr, tf);
+            emitOp(Opcode::Ld, tcur, tf, -1, -1, kCurrentDeferred, 4);
+            int tstride = movImm(kDeferredStride);
+            int tmulv = temp();
+            emitOp(Opcode::Mul, tmulv, tcur, tstride);
+            int tbase = movImm(kDeferredBase);
+            int tsum = temp();
+            emitOp(Opcode::Add, tsum, tf, tmulv);
+            emitOp(Opcode::Add, in.dst, tsum, tbase);
+            return;
+          }
+          case Op::ReportIntersection:
+            emitOp(Opcode::ReportIntersection, -1, s(0));
+            return;
+          case Op::CommitAnyHit:
+            emitOp(Opcode::CommitAnyHit);
+            return;
+          case Op::TraceRay:
+            lowerTraceRay(in);
+            return;
+          default:
+            break;
+        }
+
+        // Plain 1:1 ALU mapping.
+        static const std::map<Op, Opcode> kAluMap = {
+            {Op::IAdd, Opcode::Add},     {Op::ISub, Opcode::Sub},
+            {Op::IMul, Opcode::Mul},     {Op::IAnd, Opcode::And},
+            {Op::IOr, Opcode::Or},       {Op::IXor, Opcode::Xor},
+            {Op::IShl, Opcode::Shl},     {Op::IShr, Opcode::Shr},
+            {Op::IEq, Opcode::ISetEq},   {Op::INe, Opcode::ISetNe},
+            {Op::ILt, Opcode::ISetLt},   {Op::IGe, Opcode::ISetGe},
+            {Op::FAdd, Opcode::FAdd},    {Op::FSub, Opcode::FSub},
+            {Op::FMul, Opcode::FMul},    {Op::FDiv, Opcode::FDiv},
+            {Op::FMin, Opcode::FMin},    {Op::FMax, Opcode::FMax},
+            {Op::FAbs, Opcode::FAbs},    {Op::FNeg, Opcode::FNeg},
+            {Op::FFloor, Opcode::FFloor},{Op::FLt, Opcode::FSetLt},
+            {Op::FLe, Opcode::FSetLe},   {Op::FGt, Opcode::FSetGt},
+            {Op::FGe, Opcode::FSetGe},   {Op::FEq, Opcode::FSetEq},
+            {Op::FNe, Opcode::FSetNe},   {Op::FSqrt, Opcode::FSqrt},
+            {Op::FRsqrt, Opcode::FRsqrt},{Op::FSin, Opcode::FSin},
+            {Op::FCos, Opcode::FCos},    {Op::I2F, Opcode::I2F},
+            {Op::U2F, Opcode::U2F},      {Op::F2I, Opcode::F2I},
+            {Op::F2U, Opcode::F2U},
+        };
+        auto it = kAluMap.find(in.op);
+        vksim_assert(it != kAluMap.end());
+        int s1 = in.srcs.size() > 1 ? s(1) : -1;
+        emitOp(it->second, in.dst, s(0), s1);
+    }
+
+    /** Emit a call to shader `index`, recording the fixup. */
+    void
+    emitCall(int index)
+    {
+        std::uint32_t at = emitOp(Opcode::Call, -1, -1, -1, -1, curRegs_);
+        callFixups_.emplace_back(at, index);
+    }
+
+    /** If (sid == id) call shader; emits the guarded call of the chain. */
+    void
+    emitGuardedCall(int t_sid, std::uint64_t id_value, int shader_index,
+                    bool default_any_hit = false)
+    {
+        int tk = movImm(id_value);
+        int tp = temp();
+        emitOp(Opcode::ISetEq, tp, t_sid, tk);
+        std::uint32_t bz = emitOp(Opcode::BraZ, -1, tp);
+        if (default_any_hit)
+            emitOp(Opcode::CommitAnyHit);
+        else
+            emitCall(shader_index);
+        prog_.code[bz].target = pc();
+        prog_.code[bz].reconv = pc();
+        // Free the two temps for the next chain link.
+        tempNext_ -= 2;
+    }
+
+    /**
+     * The traceRayEXT expansion: Algorithm 1 (delayed intersection and
+     * any-hit execution) or Algorithm 3 (FCC).
+     */
+    void
+    lowerTraceRay(const nir::Instr &in)
+    {
+        auto s = [&](int i) { return in.srcs[static_cast<std::size_t>(i)]; };
+        resetTemps();
+
+        // Push a frame and store the ray into it.
+        emitOp(Opcode::RtPushFrame);
+        int tf = temp();
+        emitOp(Opcode::RtFrameAddr, tf);
+        const Addr ray_offsets[9] = {kRayOriginX, kRayOriginY, kRayOriginZ,
+                                     kRayTmin,    kRayDirX,    kRayDirY,
+                                     kRayDirZ,    kRayTmax,    kRayFlags};
+        for (int i = 0; i < 9; ++i)
+            emitOp(Opcode::St, -1, tf, s(i), -1, ray_offsets[i], 4);
+
+        emitOp(Opcode::TraverseAS);
+
+        // Deferred intersection / any-hit loop.
+        int tidx = temp();
+        emitOp(Opcode::MovImm, tidx, -1, -1, -1, 0);
+        int tone = movImm(1);
+        int loop_temp_floor = tempNext_;
+
+        std::uint32_t loop_start = pc();
+        std::vector<std::uint32_t> loop_breaks;
+        int t_sid = temp(); // persists across the loop body
+
+        if (opts_.fcc) {
+            emitOp(Opcode::GetNextCoalescedCall, t_sid, tidx);
+            // sid == -1 (64-bit) terminates the loop.
+            int tk = movImm(0xFFFFFFFFFFFFFFFFull);
+            int tp = temp();
+            emitOp(Opcode::ISetEq, tp, t_sid, tk);
+            std::uint32_t br = emitOp(Opcode::Bra, -1, tp);
+            prog_.code[br].target = kPatch;
+            loop_breaks.push_back(br);
+            tempNext_ -= 2;
+        } else {
+            // intersectionExit: idx >= deferredCount leaves the loop.
+            int tcnt = temp();
+            emitOp(Opcode::Ld, tcnt, tf, -1, -1, kDeferredCount, 4);
+            int tp = temp();
+            emitOp(Opcode::ISetGe, tp, tidx, tcnt);
+            std::uint32_t br = emitOp(Opcode::Bra, -1, tp);
+            prog_.code[br].target = kPatch;
+            loop_breaks.push_back(br);
+            tempNext_ -= 2;
+
+            // currentDeferred = idx; compute the entry address.
+            emitOp(Opcode::St, -1, tf, tidx, -1, kCurrentDeferred, 4);
+            int tstride = movImm(kDeferredStride);
+            int tent = temp();
+            emitOp(Opcode::Mul, tent, tidx, tstride);
+            emitOp(Opcode::Add, tent, tf, tent);
+
+            // Load the entry's kind and sbt offset; map to a shader id
+            // through the serialized SBT hit-group table.
+            int tany = temp();
+            emitOp(Opcode::Ld, tany, tent, -1, -1,
+                   kDeferredBase + kDefAnyHit, 4);
+            int tsbt = temp();
+            emitOp(Opcode::Ld, tsbt, tent, -1, -1,
+                   kDeferredBase + kDefSbtOffset, 4);
+            int tsb = temp();
+            emitOp(Opcode::DescBase, tsb, -1, -1, -1,
+                   vptx::kSbtHitGroupBinding);
+            int tsixteen = movImm(sizeof(vptx::HitGroupRecord));
+            int taddr = temp();
+            emitOp(Opcode::Mul, taddr, tsbt, tsixteen);
+            emitOp(Opcode::Add, taddr, tsb, taddr);
+            int tsid_i = temp();
+            emitOp(Opcode::Ld, tsid_i, taddr, -1, -1,
+                   offsetof(vptx::HitGroupRecord, intersection), 4);
+            int tsid_a = temp();
+            emitOp(Opcode::Ld, tsid_a, taddr, -1, -1,
+                   offsetof(vptx::HitGroupRecord, anyHit), 4);
+            // Missing any-hit shader (0xFFFFFFFF) maps to the default
+            // accept marker 0xFFFFFFFE.
+            int tff = movImm(0xFFFFFFFFull);
+            int teq = temp();
+            emitOp(Opcode::ISetEq, teq, tsid_a, tff);
+            int tfe = movImm(0xFFFFFFFEull);
+            emitOp(Opcode::Select, tsid_a, teq, tfe, tsid_a);
+            emitOp(Opcode::Select, t_sid, tany, tsid_a, tsid_i);
+        }
+
+        // If-else-if dispatch over every any-hit / intersection shader.
+        for (int shader_index : deferredChain_)
+            emitGuardedCall(t_sid,
+                            static_cast<std::uint64_t>(
+                                shaderIdOf(shader_index)),
+                            shader_index);
+        // Default any-hit accept.
+        std::uint64_t default_marker =
+            opts_.fcc ? 0xFFFFFFFFFFFFFFFEull : 0xFFFFFFFEull;
+        emitGuardedCall(t_sid, default_marker, -1, true);
+
+        emitOp(Opcode::Add, tidx, tidx, tone);
+        tempNext_ = loop_temp_floor;
+        std::uint32_t jmp = emitOp(Opcode::Jmp);
+        prog_.code[jmp].target = loop_start;
+        std::uint32_t loop_exit = pc();
+        loopRegions_.emplace_back(loop_start, loop_exit);
+        for (std::uint32_t b : loop_breaks) {
+            prog_.code[b].target = loop_exit;
+            prog_.code[b].reconv = loop_exit;
+        }
+
+        // HitGeometry(): dispatch closest-hit (unless the ray carried
+        // SkipClosestHit), else the miss shader.
+        int tkind = temp();
+        emitOp(Opcode::Ld, tkind, tf, -1, -1, kHitKind, 4);
+        int tflags = temp();
+        emitOp(Opcode::Ld, tflags, tf, -1, -1, kRayFlags, 4);
+        int tskipbit = movImm(8); // kRayFlagSkipClosestHit
+        int tskip = temp();
+        emitOp(Opcode::And, tskip, tflags, tskipbit);
+        int tzero = movImm(0);
+        int tnz = temp();
+        emitOp(Opcode::ISetNe, tnz, tkind, tzero);
+        int tnoskip = temp();
+        emitOp(Opcode::ISetEq, tnoskip, tskip, tzero);
+        int tch = temp();
+        emitOp(Opcode::And, tch, tnz, tnoskip);
+        std::uint32_t to_miss = emitOp(Opcode::BraZ, -1, tch);
+
+        {
+            int tsbt = temp();
+            emitOp(Opcode::Ld, tsbt, tf, -1, -1, kHitSbtOffset, 4);
+            int tsb = temp();
+            emitOp(Opcode::DescBase, tsb, -1, -1, -1,
+                   vptx::kSbtHitGroupBinding);
+            int tsixteen = movImm(sizeof(vptx::HitGroupRecord));
+            int taddr = temp();
+            emitOp(Opcode::Mul, taddr, tsbt, tsixteen);
+            emitOp(Opcode::Add, taddr, tsb, taddr);
+            int tch = temp();
+            emitOp(Opcode::Ld, tch, taddr, -1, -1,
+                   offsetof(vptx::HitGroupRecord, closestHit), 4);
+            for (int shader_index : closestHitChain_)
+                emitGuardedCall(tch,
+                                static_cast<std::uint64_t>(
+                                    shaderIdOf(shader_index)),
+                                shader_index);
+        }
+        std::uint32_t to_end = emitOp(Opcode::Jmp);
+
+        // Not the closest-hit path: run the miss shader only on a miss
+        // (a SkipClosestHit ray that hit runs neither shader).
+        prog_.code[to_miss].target = pc();
+        std::uint32_t skip_miss = emitOp(Opcode::Bra, -1, tnz);
+        emitCall(pipe_.missShaders[0]);
+
+        prog_.code[to_end].target = pc();
+        prog_.code[to_miss].reconv = pc();
+        prog_.code[skip_miss].target = pc();
+        prog_.code[skip_miss].reconv = pc();
+        emitOp(Opcode::EndTraceRay);
+        resetTemps();
+    }
+
+    const PipelineDesc &pipe_;
+    const TranslateOptions &opts_;
+    Program prog_;
+    std::vector<std::pair<std::uint32_t, int>> callFixups_;
+    std::vector<int> deferredChain_;
+    std::vector<int> closestHitChain_;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> loopRegions_;
+    int tempBase_ = 0;
+    int tempNext_ = 0;
+    std::uint16_t curRegs_ = 0;
+};
+
+} // namespace
+
+vptx::Program
+translate(const PipelineDesc &pipeline, const TranslateOptions &options)
+{
+    Translator t(pipeline, options);
+    return t.run();
+}
+
+} // namespace vksim::xlate

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The NIR-to-VPTX translator (the paper's NIR-to-PTX translator,
+ * Sec. III-B2).
+ *
+ * Most NIR instructions map to one or a few VPTX instructions; the
+ * traceRayEXT intrinsic expands into the paper's Algorithm 1 — traverseAS
+ * followed by a delayed intersection/any-hit loop with if-else-if shader
+ * dispatch, a closest-hit/miss dispatch, and endTraceRay — or, when FCC
+ * is enabled, Algorithm 3 with getNextCoalescedCall.
+ */
+
+#ifndef VKSIM_XLATE_TRANSLATE_H
+#define VKSIM_XLATE_TRANSLATE_H
+
+#include "nir/nir.h"
+#include "vptx/isa.h"
+
+namespace vksim::xlate {
+
+/** Hit group: shader *indices* into PipelineDesc::shaders (-1 = none). */
+struct HitGroupDesc
+{
+    int closestHit = -1;
+    int anyHit = -1;
+    int intersection = -1;
+};
+
+/** Everything vkCreateRayTracingPipelinesKHR provides the translator. */
+struct PipelineDesc
+{
+    std::vector<const nir::Shader *> shaders;
+    int raygen = -1;
+    std::vector<int> missShaders; ///< at least one
+    std::vector<HitGroupDesc> hitGroups;
+};
+
+/** Translation options (case studies). */
+struct TranslateOptions
+{
+    bool fcc = false; ///< lower traceRay per Algorithm 3 (FCC)
+};
+
+/** Shader id (1-based, as stored in the serialized SBT) of index `i`. */
+inline ShaderId
+shaderIdOf(int index)
+{
+    return index + 1;
+}
+
+/** Translate a pipeline into one linked VPTX program. */
+vptx::Program translate(const PipelineDesc &pipeline,
+                        const TranslateOptions &options = {});
+
+} // namespace vksim::xlate
+
+#endif // VKSIM_XLATE_TRANSLATE_H

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * End-to-end tests of the delayed any-hit pipeline: non-opaque triangles
+ * are collected during traversal and committed (or rejected) by the
+ * any-hit shader after traversal, per the paper's delayed intersection
+ * and any-hit execution scheme. The full simulated pipeline (alpha-test
+ * any-hit shader in the hit group) is compared against the CPU tracer
+ * with a matching filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vulkansim.h"
+#include "workloads/shaders.h"
+
+namespace vksim {
+namespace {
+
+/** Scene: two stacked non-opaque triangles in front of the camera. */
+Scene
+makeAlphaScene(bool opaque)
+{
+    Scene scene;
+    scene.materials.push_back(Material::lambertian({1, 0, 0}));
+    Geometry tris;
+    tris.kind = GeometryKind::Triangles;
+    tris.opaque = opaque;
+    // Front triangle at z = 1, back at z = 2 (seen from origin, -z cam).
+    auto add_tri = [&](float z) {
+        auto a = tris.mesh.addVertex({-2, -2, z});
+        auto b = tris.mesh.addVertex({2, -2, z});
+        auto c = tris.mesh.addVertex({0, 2, z});
+        tris.mesh.addTriangle(a, b, c);
+    };
+    add_tri(1.f);
+    add_tri(2.f);
+    scene.geometries.push_back(std::move(tris));
+    Instance inst;
+    inst.geometryIndex = 0;
+    scene.instances.push_back(inst);
+    scene.camera = Camera::lookAt({0.f, -0.5f, -1.f}, {0.f, -0.5f, 1.f},
+                                  {0.f, 1.f, 0.f}, 60.f, 1.f);
+    return scene;
+}
+
+/** Assemble a pipeline with an alpha-test any-hit shader. */
+struct AlphaFixture
+{
+    Scene scene;
+    Device device;
+    AccelStruct accel;
+    std::vector<nir::Shader> shaders;
+    RayTracingPipeline pipeline;
+    DescriptorSet descriptors;
+    Addr framebuffer = 0;
+    vptx::LaunchContext ctx;
+    unsigned size = 16;
+
+    AlphaFixture(bool opaque, float threshold)
+        : scene(makeAlphaScene(opaque))
+    {
+        accel = device.buildAccelerationStructure(scene);
+
+        shaders.push_back(wl::makeRaygenBary());
+        shaders.push_back(wl::makeClosestHitBary());
+        shaders.push_back(wl::makeMissShader());
+        shaders.push_back(wl::makeAnyHitAlphaTest(threshold));
+
+        xlate::PipelineDesc desc;
+        for (const nir::Shader &s : shaders)
+            desc.shaders.push_back(&s);
+        desc.raygen = 0;
+        desc.missShaders = {2};
+        xlate::HitGroupDesc hg;
+        hg.closestHit = 1;
+        hg.anyHit = 3;
+        desc.hitGroups.push_back(hg);
+        pipeline = device.createRayTracingPipeline(desc);
+
+        // Minimal descriptors: camera + framebuffer + constants.
+        Addr cam = device.createBuffer(sizeof(Camera));
+        device.memory().store(cam, scene.camera);
+        descriptors.bind(wl::kBindCamera, cam);
+        framebuffer =
+            device.createBuffer(size * size * wl::kFramebufferStride);
+        descriptors.bind(wl::kBindFramebuffer, framebuffer);
+        wl::GpuSceneConstants constants{};
+        constants.skyHorizon[2] = 1.f; // blue-ish sky for the miss path
+        Addr consts = device.createBuffer(sizeof(constants));
+        device.memory().store(consts, constants);
+        descriptors.bind(wl::kBindConstants, consts);
+
+        ctx = device.prepareLaunch(pipeline, descriptors, accel.tlasRoot,
+                                   size, size);
+    }
+
+    /** Colour of the centre pixel after a functional run. */
+    Vec3
+    run()
+    {
+        vptx::FunctionalRunner runner(ctx);
+        runner.run();
+        Addr addr = framebuffer
+                    + (static_cast<Addr>(size / 2) * size + size / 2)
+                          * wl::kFramebufferStride;
+        return {device.memory().load<float>(addr),
+                device.memory().load<float>(addr + 4),
+                device.memory().load<float>(addr + 8)};
+    }
+};
+
+TEST(AnyHitTest, AcceptingShaderCommitsClosestCandidate)
+{
+    // Threshold 2.0 accepts every candidate: behaves like opaque.
+    AlphaFixture accepting(false, 2.0f);
+    Vec3 with_anyhit = accepting.run();
+    AlphaFixture opaque(true, 2.0f);
+    Vec3 without = opaque.run();
+    EXPECT_FLOAT_EQ(with_anyhit.x, without.x);
+    EXPECT_FLOAT_EQ(with_anyhit.y, without.y);
+    EXPECT_FLOAT_EQ(with_anyhit.z, without.z);
+    // Barycentric colour sums to ~1 on a hit.
+    EXPECT_NEAR(with_anyhit.x + with_anyhit.y + with_anyhit.z, 1.f, 1e-4f);
+}
+
+TEST(AnyHitTest, RejectingShaderFallsThroughToMiss)
+{
+    // Threshold -1 rejects everything: the ray must miss into the sky.
+    AlphaFixture rejecting(false, -1.0f);
+    Vec3 c = rejecting.run();
+    EXPECT_FLOAT_EQ(c.x, 0.f);
+    EXPECT_GT(c.z, 0.1f) << "sky colour expected on full rejection";
+}
+
+TEST(AnyHitTest, ThresholdSelectsHitsByBarycentrics)
+{
+    // The centre ray hits near the triangle centroid (u ~ v ~ 1/3, so
+    // u + v ~ 2/3): a threshold of 0.5 rejects it, 0.9 accepts it.
+    AlphaFixture strict(false, 0.5f);
+    Vec3 rejected = strict.run();
+    AlphaFixture loose(false, 0.9f);
+    Vec3 accepted = loose.run();
+    EXPECT_FLOAT_EQ(rejected.x, 0.f) << "strict alpha should reject";
+    EXPECT_NEAR(accepted.x + accepted.y + accepted.z, 1.f, 1e-4f);
+}
+
+TEST(AnyHitTest, MatchesCpuTracerWithEquivalentFilter)
+{
+    float threshold = 0.7f;
+    AlphaFixture fx(false, threshold);
+    vptx::FunctionalRunner runner(fx.ctx);
+    runner.run();
+
+    CpuTracer tracer(fx.scene, fx.device.memory(), fx.accel);
+    tracer.setAnyHitFilter([&](const DeferredHit &d) {
+        return d.u + d.v <= threshold;
+    });
+
+    unsigned mismatches = 0;
+    for (unsigned y = 0; y < fx.size; ++y)
+        for (unsigned x = 0; x < fx.size; ++x) {
+            Ray ray =
+                fx.scene.camera.generateRay(x, y, fx.size, fx.size);
+            HitRecord hit = tracer.trace(ray);
+            Addr addr = fx.framebuffer
+                        + (static_cast<Addr>(y) * fx.size + x)
+                              * wl::kFramebufferStride;
+            float r = fx.device.memory().load<float>(addr);
+            bool sim_hit = r == 0.f ? false : true;
+            // Miss pixels have r == 0 (sky has no red); hits have
+            // bary.x = 1-u-v which can also be ~0 at an edge — compare
+            // via the hit record instead for robustness.
+            if (hit.valid() != sim_hit && hit.valid()
+                && (1.f - hit.u - hit.v) > 1e-3f)
+                ++mismatches;
+        }
+    EXPECT_EQ(mismatches, 0u);
+}
+
+} // namespace
+} // namespace vksim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the cache model: LRU replacement, set mapping, MSHR
+ * merging and stalls, miss classification, and per-origin accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+
+namespace vksim {
+namespace {
+
+CacheConfig
+smallCache(unsigned lines, unsigned assoc)
+{
+    CacheConfig cfg;
+    cfg.name = "test";
+    cfg.sizeBytes = lines * kSectorBytes;
+    cfg.assoc = assoc;
+    cfg.latency = 5;
+    cfg.numMshrs = 4;
+    cfg.mshrTargets = 2;
+    return cfg;
+}
+
+TEST(CacheTest, MissThenHitAfterFill)
+{
+    Cache c(smallCache(4, 0));
+    EXPECT_EQ(c.access(0x100, false, AccessOrigin::Shader, 1, 0),
+              CacheOutcome::MissNew);
+    c.fill(0x100, 1);
+    EXPECT_EQ(c.access(0x100, false, AccessOrigin::Shader, 2, 2),
+              CacheOutcome::Hit);
+    EXPECT_EQ(c.stats().get("hits.shader"), 1u);
+    EXPECT_EQ(c.stats().get("miss_compulsory.shader"), 1u);
+}
+
+TEST(CacheTest, LruEvictsColdestLine)
+{
+    // Fully associative, 2 lines.
+    Cache c(smallCache(2, 0));
+    c.access(0x000, false, AccessOrigin::Shader, 1, 0);
+    c.fill(0x000, 0);
+    c.access(0x020, false, AccessOrigin::Shader, 2, 1);
+    c.fill(0x020, 1);
+    // Touch 0x000 so 0x020 becomes LRU.
+    EXPECT_EQ(c.access(0x000, false, AccessOrigin::Shader, 3, 2),
+              CacheOutcome::Hit);
+    // New line evicts 0x020.
+    c.access(0x040, false, AccessOrigin::Shader, 4, 3);
+    c.fill(0x040, 3);
+    EXPECT_EQ(c.access(0x000, false, AccessOrigin::Shader, 5, 4),
+              CacheOutcome::Hit);
+    EXPECT_EQ(c.access(0x020, false, AccessOrigin::Shader, 6, 5),
+              CacheOutcome::MissNew);
+    // Re-missing 0x020 is a capacity/conflict miss, not compulsory.
+    EXPECT_EQ(c.stats().get("miss_capacity_conflict.shader"), 1u);
+}
+
+TEST(CacheTest, SetMappingSeparatesConflicts)
+{
+    // 4 lines, 2-way: two sets.
+    Cache c(smallCache(4, 2));
+    // These addresses map to different sets (line index parity).
+    c.access(0x000, false, AccessOrigin::Shader, 1, 0);
+    c.fill(0x000, 0);
+    c.access(0x020, false, AccessOrigin::Shader, 2, 0);
+    c.fill(0x020, 0);
+    EXPECT_EQ(c.access(0x000, false, AccessOrigin::Shader, 3, 1),
+              CacheOutcome::Hit);
+    EXPECT_EQ(c.access(0x020, false, AccessOrigin::Shader, 4, 1),
+              CacheOutcome::Hit);
+}
+
+TEST(CacheTest, MshrMergesAndStalls)
+{
+    Cache c(smallCache(8, 0));
+    EXPECT_EQ(c.access(0x100, false, AccessOrigin::Shader, 1, 0),
+              CacheOutcome::MissNew);
+    EXPECT_EQ(c.access(0x100, false, AccessOrigin::Shader, 2, 0),
+              CacheOutcome::MissMerged);
+    // mshrTargets = 2: third access to the same line stalls.
+    EXPECT_EQ(c.access(0x100, false, AccessOrigin::Shader, 3, 0),
+              CacheOutcome::Stall);
+    std::vector<std::uint64_t> tags = c.fill(0x100, 1);
+    ASSERT_EQ(tags.size(), 2u);
+    EXPECT_EQ(tags[0], 1u);
+    EXPECT_EQ(tags[1], 2u);
+}
+
+TEST(CacheTest, MshrPoolExhaustionStalls)
+{
+    Cache c(smallCache(16, 0)); // 4 MSHRs
+    for (Addr a = 0; a < 4; ++a)
+        EXPECT_EQ(c.access(0x1000 + a * 32, false, AccessOrigin::Shader, a,
+                           0),
+                  CacheOutcome::MissNew);
+    EXPECT_EQ(c.access(0x2000, false, AccessOrigin::Shader, 9, 0),
+              CacheOutcome::Stall);
+    EXPECT_EQ(c.stats().get("mshr_full_stalls"), 1u);
+    c.cancelMshr(0x1000);
+    EXPECT_EQ(c.access(0x2000, false, AccessOrigin::Shader, 9, 0),
+              CacheOutcome::MissNew);
+}
+
+TEST(CacheTest, WritesAreWriteThroughNoAllocate)
+{
+    Cache c(smallCache(4, 0));
+    EXPECT_EQ(c.access(0x100, true, AccessOrigin::RtUnit, 0, 0),
+              CacheOutcome::MissNew);
+    // The write did not allocate.
+    EXPECT_EQ(c.access(0x100, false, AccessOrigin::RtUnit, 1, 1),
+              CacheOutcome::MissNew);
+    EXPECT_EQ(c.stats().get("writes.rtunit"), 1u);
+    EXPECT_EQ(c.stats().get("accesses.rtunit"), 2u);
+}
+
+TEST(CacheTest, OriginAccountingSeparatesShaderAndRtUnit)
+{
+    Cache c(smallCache(8, 0));
+    c.access(0x000, false, AccessOrigin::Shader, 1, 0);
+    c.access(0x100, false, AccessOrigin::RtUnit, 2, 0);
+    EXPECT_EQ(c.stats().get("accesses.shader"), 1u);
+    EXPECT_EQ(c.stats().get("accesses.rtunit"), 1u);
+    EXPECT_EQ(c.stats().get("miss_compulsory.shader"), 1u);
+    EXPECT_EQ(c.stats().get("miss_compulsory.rtunit"), 1u);
+}
+
+TEST(CacheTest, ResetClearsEverything)
+{
+    Cache c(smallCache(4, 0));
+    c.access(0x100, false, AccessOrigin::Shader, 1, 0);
+    c.fill(0x100, 0);
+    c.reset();
+    EXPECT_EQ(c.access(0x100, false, AccessOrigin::Shader, 2, 1),
+              CacheOutcome::MissNew);
+    EXPECT_EQ(c.stats().get("miss_compulsory.shader"), 1u);
+}
+
+} // namespace
+} // namespace vksim

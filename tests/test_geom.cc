@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Unit and property tests for the geometry substrate: vectors, matrices,
+ * AABBs and the ray-primitive intersection kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "geom/intersect.h"
+#include "geom/mat4.h"
+#include "geom/sampling.h"
+#include "util/rng.h"
+
+namespace vksim {
+namespace {
+
+TEST(Vec3Test, BasicArithmetic)
+{
+    Vec3 a{1.f, 2.f, 3.f};
+    Vec3 b{4.f, 5.f, 6.f};
+    Vec3 sum = a + b;
+    EXPECT_FLOAT_EQ(sum.x, 5.f);
+    EXPECT_FLOAT_EQ(sum.y, 7.f);
+    EXPECT_FLOAT_EQ(sum.z, 9.f);
+    EXPECT_FLOAT_EQ(dot(a, b), 32.f);
+    Vec3 c = cross({1, 0, 0}, {0, 1, 0});
+    EXPECT_FLOAT_EQ(c.z, 1.f);
+    EXPECT_FLOAT_EQ(length(Vec3{3.f, 4.f, 0.f}), 5.f);
+}
+
+TEST(Vec3Test, NormalizePreservesDirection)
+{
+    Vec3 v{10.f, 0.f, 0.f};
+    Vec3 n = normalize(v);
+    EXPECT_FLOAT_EQ(n.x, 1.f);
+    EXPECT_FLOAT_EQ(length(n), 1.f);
+}
+
+TEST(Vec3Test, ReflectAboutNormal)
+{
+    Vec3 d = normalize(Vec3{1.f, -1.f, 0.f});
+    Vec3 r = reflect(d, {0.f, 1.f, 0.f});
+    EXPECT_NEAR(r.x, d.x, 1e-6f);
+    EXPECT_NEAR(r.y, -d.y, 1e-6f);
+}
+
+TEST(Mat4Test, IdentityTransform)
+{
+    Mat4 m = Mat4::identity();
+    Vec3 p{1.f, 2.f, 3.f};
+    Vec3 q = m.transformPoint(p);
+    EXPECT_FLOAT_EQ(q.x, p.x);
+    EXPECT_FLOAT_EQ(q.y, p.y);
+    EXPECT_FLOAT_EQ(q.z, p.z);
+}
+
+TEST(Mat4Test, TranslationAffectsPointsNotVectors)
+{
+    Mat4 m = Mat4::translation({5.f, 0.f, 0.f});
+    EXPECT_FLOAT_EQ(m.transformPoint({0, 0, 0}).x, 5.f);
+    EXPECT_FLOAT_EQ(m.transformVector({1, 0, 0}).x, 1.f);
+}
+
+TEST(Mat4Test, CompositionOrder)
+{
+    // Translate-then-scale differs from scale-then-translate.
+    Mat4 ts = Mat4::translation({1.f, 0.f, 0.f}) * Mat4::scaling(Vec3(2.f));
+    EXPECT_FLOAT_EQ(ts.transformPoint({1.f, 0.f, 0.f}).x, 3.f);
+    Mat4 st = Mat4::scaling(Vec3(2.f)) * Mat4::translation({1.f, 0.f, 0.f});
+    EXPECT_FLOAT_EQ(st.transformPoint({1.f, 0.f, 0.f}).x, 4.f);
+}
+
+TEST(Mat4Test, AffineInverseRoundTripsRandomTransforms)
+{
+    Pcg32 rng(42);
+    for (int trial = 0; trial < 100; ++trial) {
+        Mat4 m = Mat4::translation({rng.nextRange(-10, 10),
+                                    rng.nextRange(-10, 10),
+                                    rng.nextRange(-10, 10)})
+                 * Mat4::rotationY(rng.nextRange(0.f, 6.28f))
+                 * Mat4::rotationX(rng.nextRange(0.f, 6.28f))
+                 * Mat4::scaling(Vec3(rng.nextRange(0.3f, 3.f)));
+        Mat4 inv = affineInverse(m);
+        Vec3 p{rng.nextRange(-5, 5), rng.nextRange(-5, 5),
+               rng.nextRange(-5, 5)};
+        Vec3 q = inv.transformPoint(m.transformPoint(p));
+        EXPECT_NEAR(q.x, p.x, 1e-3f);
+        EXPECT_NEAR(q.y, p.y, 1e-3f);
+        EXPECT_NEAR(q.z, p.z, 1e-3f);
+    }
+}
+
+TEST(AabbTest, EmptyAndExtend)
+{
+    Aabb box;
+    EXPECT_TRUE(box.empty());
+    box.extend({1.f, 1.f, 1.f});
+    EXPECT_FALSE(box.empty());
+    EXPECT_FLOAT_EQ(box.surfaceArea(), 0.f);
+    box.extend({2.f, 3.f, 4.f});
+    EXPECT_FLOAT_EQ(box.surfaceArea(),
+                    2.f * (1.f * 2.f + 2.f * 3.f + 3.f * 1.f));
+    EXPECT_TRUE(box.contains({1.5f, 2.f, 2.f}));
+    EXPECT_FALSE(box.contains({0.f, 0.f, 0.f}));
+}
+
+TEST(AabbTest, EnclosesIsReflexiveAndOrdered)
+{
+    Aabb inner;
+    inner.extend({0, 0, 0});
+    inner.extend({1, 1, 1});
+    Aabb outer;
+    outer.extend({-1, -1, -1});
+    outer.extend({2, 2, 2});
+    EXPECT_TRUE(outer.encloses(inner));
+    EXPECT_FALSE(inner.encloses(outer));
+    EXPECT_TRUE(inner.encloses(inner));
+}
+
+TEST(RayAabbTest, HitsAndMisses)
+{
+    Aabb box;
+    box.extend({-1, -1, -1});
+    box.extend({1, 1, 1});
+    Ray ray;
+    ray.origin = {0, 0, -5};
+    ray.direction = {0, 0, 1};
+    float t = 0.f;
+    EXPECT_TRUE(rayAabb(ray, safeInverse(ray.direction), box, &t));
+    EXPECT_NEAR(t, 4.f, 1e-5f);
+
+    ray.direction = {0, 1, 0};
+    EXPECT_FALSE(rayAabb(ray, safeInverse(ray.direction), box, &t));
+}
+
+TEST(RayAabbTest, RespectsRayInterval)
+{
+    Aabb box;
+    box.extend({-1, -1, -1});
+    box.extend({1, 1, 1});
+    Ray ray;
+    ray.origin = {0, 0, -5};
+    ray.direction = {0, 0, 1};
+    ray.tmax = 3.f; // box entry is at t = 4
+    float t;
+    EXPECT_FALSE(rayAabb(ray, safeInverse(ray.direction), box, &t));
+    ray.tmax = 100.f;
+    ray.tmin = 7.f; // box exit is at t = 6
+    EXPECT_FALSE(rayAabb(ray, safeInverse(ray.direction), box, &t));
+}
+
+TEST(RayAabbTest, OriginInsideBoxHits)
+{
+    Aabb box;
+    box.extend({-1, -1, -1});
+    box.extend({1, 1, 1});
+    Ray ray;
+    ray.origin = {0, 0, 0};
+    ray.direction = {1, 0, 0};
+    float t;
+    EXPECT_TRUE(rayAabb(ray, safeInverse(ray.direction), box, &t));
+}
+
+TEST(RayTriangleTest, FrontAndBackHits)
+{
+    Vec3 v0{-1, -1, 0}, v1{1, -1, 0}, v2{0, 1, 0};
+    Ray ray;
+    ray.origin = {0, 0, -2};
+    ray.direction = {0, 0, 1};
+    TriangleHit hit = rayTriangle(ray, v0, v1, v2);
+    ASSERT_TRUE(hit.hit);
+    EXPECT_NEAR(hit.t, 2.f, 1e-5f);
+
+    // Back-face hit is also reported (no culling).
+    ray.origin = {0, 0, 2};
+    ray.direction = {0, 0, -1};
+    EXPECT_TRUE(rayTriangle(ray, v0, v1, v2).hit);
+}
+
+TEST(RayTriangleTest, MissOutsideEdges)
+{
+    Vec3 v0{-1, -1, 0}, v1{1, -1, 0}, v2{0, 1, 0};
+    Ray ray;
+    ray.origin = {2, 2, -2};
+    ray.direction = {0, 0, 1};
+    EXPECT_FALSE(rayTriangle(ray, v0, v1, v2).hit);
+}
+
+TEST(RayTriangleTest, BarycentricsInterpolatePosition)
+{
+    Pcg32 rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        Vec3 v0{rng.nextRange(-2, 2), rng.nextRange(-2, 2),
+                rng.nextRange(-2, 2)};
+        Vec3 v1 = v0 + Vec3{rng.nextRange(0.5f, 2), 0, 0};
+        Vec3 v2 = v0 + Vec3{0, rng.nextRange(0.5f, 2), 0};
+        // Aim at a random interior point.
+        float u = rng.nextRange(0.05f, 0.4f);
+        float v = rng.nextRange(0.05f, 0.4f);
+        Vec3 target = v0 * (1 - u - v) + v1 * u + v2 * v;
+        Ray ray;
+        ray.origin = target + Vec3{0.3f, -0.2f, 3.f};
+        ray.direction = normalize(target - ray.origin);
+        TriangleHit hit = rayTriangle(ray, v0, v1, v2);
+        ASSERT_TRUE(hit.hit);
+        Vec3 p = ray.at(hit.t);
+        EXPECT_NEAR(p.x, target.x, 1e-3f);
+        EXPECT_NEAR(p.y, target.y, 1e-3f);
+        EXPECT_NEAR(p.z, target.z, 1e-3f);
+        EXPECT_NEAR(hit.u, u, 1e-3f);
+        EXPECT_NEAR(hit.v, v, 1e-3f);
+    }
+}
+
+TEST(RaySphereTest, NearestRootSelected)
+{
+    Ray ray;
+    ray.origin = {0, 0, -5};
+    ray.direction = {0, 0, 1};
+    float t = raySphere(ray, {0, 0, 0}, 1.f);
+    EXPECT_NEAR(t, 4.f, 1e-5f);
+
+    // From inside the sphere, the far root is returned.
+    ray.origin = {0, 0, 0};
+    t = raySphere(ray, {0, 0, 0}, 1.f);
+    EXPECT_NEAR(t, 1.f, 1e-5f);
+
+    // Miss.
+    ray.origin = {0, 3, -5};
+    EXPECT_LT(raySphere(ray, {0, 0, 0}, 1.f), 0.f);
+}
+
+TEST(RayBoxProceduralTest, EntryAndInside)
+{
+    Aabb box;
+    box.extend({-1, -1, -1});
+    box.extend({1, 1, 1});
+    Ray ray;
+    ray.origin = {0, 0, -4};
+    ray.direction = {0, 0, 1};
+    EXPECT_NEAR(rayBoxProcedural(ray, box), 3.f, 1e-5f);
+
+    ray.origin = {0, 0, 0};
+    EXPECT_NEAR(rayBoxProcedural(ray, box), 1.f, 1e-5f);
+}
+
+TEST(SamplingTest, CosineHemisphereIsUpperAndUnit)
+{
+    Pcg32 rng(11);
+    for (int i = 0; i < 500; ++i) {
+        Vec3 d = cosineSampleHemisphere(rng.nextFloat(), rng.nextFloat());
+        EXPECT_GE(d.z, 0.f);
+        EXPECT_NEAR(length(d), 1.f, 1e-4f);
+    }
+}
+
+TEST(SamplingTest, OnbIsOrthonormal)
+{
+    Pcg32 rng(12);
+    for (int i = 0; i < 200; ++i) {
+        Vec3 n = uniformSampleSphere(rng.nextFloat(), rng.nextFloat());
+        Onb onb(n);
+        EXPECT_NEAR(dot(onb.tangent, onb.bitangent), 0.f, 1e-5f);
+        EXPECT_NEAR(dot(onb.tangent, onb.normal), 0.f, 1e-5f);
+        EXPECT_NEAR(length(onb.tangent), 1.f, 1e-5f);
+        EXPECT_NEAR(length(onb.bitangent), 1.f, 1e-5f);
+        Vec3 z = onb.toWorld({0, 0, 1});
+        EXPECT_NEAR(z.x, n.x, 1e-5f);
+        EXPECT_NEAR(z.y, n.y, 1e-5f);
+        EXPECT_NEAR(z.z, n.z, 1e-5f);
+    }
+}
+
+TEST(SamplingTest, RefractionObeySnellAndTir)
+{
+    Vec3 n{0, 1, 0};
+    Vec3 d = normalize(Vec3{1.f, -1.f, 0.f});
+    Vec3 out;
+    ASSERT_TRUE(refractDir(d, n, 1.0f / 1.5f, &out));
+    // sin(theta_t) = sin(theta_i) * eta
+    float sin_i = std::sqrt(1.f - dot(-d, n) * dot(-d, n));
+    float sin_t = std::sqrt(std::max(0.f, 1.f - dot(out, -n) * dot(out, -n)));
+    EXPECT_NEAR(sin_t, sin_i / 1.5f, 1e-4f);
+
+    // Total internal reflection going from dense to sparse at grazing angle.
+    Vec3 grazing = normalize(Vec3{1.f, -0.1f, 0.f});
+    EXPECT_FALSE(refractDir(grazing, n, 1.5f, &out));
+}
+
+} // namespace
+} // namespace vksim

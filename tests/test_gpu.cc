@@ -1,0 +1,181 @@
+/**
+ * @file
+ * GPU-core model tests: determinism, occupancy limits, scheduler
+ * behaviour, scaling with SM count, issue accounting, and the
+ * interaction between the SM and the RT unit under contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vulkansim.h"
+
+namespace vksim {
+namespace {
+
+using wl::Workload;
+using wl::WorkloadId;
+using wl::WorkloadParams;
+
+WorkloadParams
+tiny(WorkloadId id)
+{
+    WorkloadParams p;
+    p.width = 16;
+    p.height = 16;
+    p.extScale = 0.1f;
+    p.rtv5Detail = 3;
+    p.rtv6Prims = 300;
+    return p;
+}
+
+GpuConfig
+smallConfig(unsigned sms = 4)
+{
+    GpuConfig cfg = baselineGpuConfig();
+    cfg.numSms = sms;
+    cfg.fabric.numPartitions = 2;
+    return cfg;
+}
+
+TEST(GpuTest, RunsAreDeterministic)
+{
+    Cycle first = 0;
+    for (int run = 0; run < 3; ++run) {
+        Workload w(WorkloadId::REF, tiny(WorkloadId::REF));
+        RunResult r = simulateWorkload(w, smallConfig());
+        if (run == 0)
+            first = r.cycles;
+        else
+            EXPECT_EQ(r.cycles, first) << "run " << run;
+    }
+}
+
+TEST(GpuTest, MoreSmsNeverSlower)
+{
+    WorkloadParams p = tiny(WorkloadId::EXT);
+    p.width = 32;
+    p.height = 32;
+    Workload w1(WorkloadId::EXT, p);
+    Cycle one_sm = simulateWorkload(w1, smallConfig(1)).cycles;
+    Workload w4(WorkloadId::EXT, p);
+    Cycle four_sm = simulateWorkload(w4, smallConfig(4)).cycles;
+    EXPECT_LT(four_sm, one_sm);
+}
+
+TEST(GpuTest, WarpLimitRespectsRegisterFile)
+{
+    // Shrink the register file: the per-SM warp limit must shrink too,
+    // and the run must still complete correctly.
+    WorkloadParams p = tiny(WorkloadId::REF);
+    Workload w(WorkloadId::REF, p);
+    GpuConfig cfg = smallConfig(2);
+    cfg.regsPerSm = 8192; // few warps worth of registers
+    RunResult run = simulateWorkload(w, cfg);
+    EXPECT_GT(run.cycles, 0u);
+    EXPECT_EQ(compareImages(w.readFramebuffer(), w.renderReferenceImage())
+                  .differingPixels,
+              0u);
+}
+
+TEST(GpuTest, HigherLatencyMemorySlowsExecution)
+{
+    WorkloadParams p = tiny(WorkloadId::EXT);
+    Workload w1(WorkloadId::EXT, p);
+    Cycle fast = simulateWorkload(w1, smallConfig()).cycles;
+    GpuConfig slow_cfg = smallConfig();
+    slow_cfg.l1.latency = 80;
+    slow_cfg.fabric.l2.latency = 500;
+    Workload w2(WorkloadId::EXT, p);
+    Cycle slow = simulateWorkload(w2, slow_cfg).cycles;
+    EXPECT_GT(slow, fast);
+}
+
+TEST(GpuTest, SmallerL1IncreasesMisses)
+{
+    WorkloadParams p = tiny(WorkloadId::EXT);
+    auto misses = [&](Addr l1_size) {
+        Workload w(WorkloadId::EXT, p);
+        GpuConfig cfg = smallConfig();
+        cfg.l1.sizeBytes = l1_size;
+        RunResult r = simulateWorkload(w, cfg);
+        return r.l1.get("miss_capacity_conflict.shader")
+               + r.l1.get("miss_capacity_conflict.rtunit");
+    };
+    EXPECT_GT(misses(2 * 1024), misses(64 * 1024));
+}
+
+TEST(GpuTest, IssueWidthImprovesThroughput)
+{
+    WorkloadParams p = tiny(WorkloadId::REF);
+    p.width = 32;
+    p.height = 32;
+    Workload w1(WorkloadId::REF, p);
+    GpuConfig narrow = smallConfig(2);
+    narrow.issueWidth = 1;
+    Cycle one = simulateWorkload(w1, narrow).cycles;
+    Workload w2(WorkloadId::REF, p);
+    GpuConfig wide = smallConfig(2);
+    wide.issueWidth = 2;
+    Cycle two = simulateWorkload(w2, wide).cycles;
+    EXPECT_LT(two, one);
+}
+
+TEST(GpuTest, RtStallCounterFiresWhenUnitSaturated)
+{
+    WorkloadParams p = tiny(WorkloadId::EXT);
+    p.width = 32;
+    p.height = 32;
+    Workload w(WorkloadId::EXT, p);
+    GpuConfig cfg = smallConfig(1);
+    cfg.rt.maxWarps = 1; // single RT slot: issue stalls expected
+    RunResult run = simulateWorkload(w, cfg);
+    EXPECT_GT(run.core.get("stall_rt_full"), 0u);
+}
+
+TEST(GpuTest, AllIssuedWorkIsAccounted)
+{
+    for (SchedPolicy sched : {SchedPolicy::GTO, SchedPolicy::LRR}) {
+        Workload w(WorkloadId::RTV6, tiny(WorkloadId::RTV6));
+        GpuConfig cfg = smallConfig();
+        cfg.sched = sched;
+        RunResult run = simulateWorkload(w, cfg);
+        // Per-unit issue counts sum to the total.
+        EXPECT_EQ(run.core.get("issued"),
+                  run.core.get("issue_alu") + run.core.get("issue_sfu")
+                      + run.core.get("issue_ldst")
+                      + run.core.get("issue_rt")
+                      + run.core.get("issue_ctrl"));
+        // Each trace-ray issue corresponds to one RT-unit warp.
+        EXPECT_EQ(run.core.get("issue_rt"),
+                  run.rt.get("warps_submitted"));
+    }
+}
+
+TEST(GpuTest, FunctionalAndTimedInstructionCountsMatch)
+{
+    // The timed model executes functionally at issue; its dynamic
+    // instruction count must equal the functional runner's.
+    WorkloadParams p = tiny(WorkloadId::REF);
+    Workload wf(WorkloadId::REF, p);
+    StatGroup fstats;
+    wf.runFunctional(vptx::WarpCflow::Mode::Stack, &fstats);
+
+    Workload wt(WorkloadId::REF, p);
+    RunResult run = simulateWorkload(wt, smallConfig());
+    EXPECT_EQ(run.core.get("issued"), fstats.get("instructions"));
+}
+
+TEST(GpuTest, MobileConfigIsSlowerThanBaseline)
+{
+    WorkloadParams p = tiny(WorkloadId::EXT);
+    p.width = 32;
+    p.height = 32;
+    Workload w1(WorkloadId::EXT, p);
+    Cycle base = simulateWorkload(w1, baselineGpuConfig()).cycles;
+    Workload w2(WorkloadId::EXT, p);
+    Cycle mobile = simulateWorkload(w2, mobileGpuConfig()).cycles;
+    EXPECT_GT(mobile, base) << "8 SMs with half bandwidth must be slower";
+}
+
+} // namespace
+} // namespace vksim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the procedural mesh generators and the five scene generators
+ * (Table IV scale checks).
+ */
+
+#include <gtest/gtest.h>
+
+#include "scene/mesh.h"
+#include "scene/scenegen.h"
+
+namespace vksim {
+namespace {
+
+TEST(MeshTest, GridHasExpectedTriangleCount)
+{
+    TriangleMesh m = makeGridMesh(10.f, 10.f, 4, 3);
+    EXPECT_EQ(m.triangleCount(), 4u * 3u * 2u);
+    EXPECT_EQ(m.vertices().size(), 5u * 4u);
+}
+
+TEST(MeshTest, BoxSubdivisionScalesQuadratically)
+{
+    EXPECT_EQ(makeBoxMesh({0, 0, 0}, {1, 1, 1}, 1).triangleCount(), 12u);
+    EXPECT_EQ(makeBoxMesh({0, 0, 0}, {1, 1, 1}, 2).triangleCount(), 48u);
+    EXPECT_EQ(makeBoxMesh({0, 0, 0}, {1, 1, 1}, 4).triangleCount(), 192u);
+}
+
+TEST(MeshTest, BoxBoundsMatchInput)
+{
+    Vec3 lo{-2, 0, 1}, hi{3, 4, 5};
+    Aabb b = makeBoxMesh(lo, hi, 2).bounds();
+    EXPECT_FLOAT_EQ(b.lo.x, lo.x);
+    EXPECT_FLOAT_EQ(b.hi.z, hi.z);
+}
+
+TEST(MeshTest, CylinderTriangleCount)
+{
+    // side: 2*r*h, caps: 2*r
+    TriangleMesh m = makeCylinderMesh(1.f, 2.f, 8, 3);
+    EXPECT_EQ(m.triangleCount(), 2u * 8 * 3 + 2u * 8);
+}
+
+TEST(MeshTest, IcosphereSubdivision)
+{
+    EXPECT_EQ(makeIcosphereMesh(1.f, 0).triangleCount(), 20u);
+    EXPECT_EQ(makeIcosphereMesh(1.f, 2).triangleCount(), 320u);
+    // All vertices on the sphere.
+    TriangleMesh m = makeIcosphereMesh(2.f, 2);
+    for (const Vec3 &v : m.vertices())
+        EXPECT_NEAR(length(v), 2.f, 1e-4f);
+}
+
+TEST(MeshTest, ClothIsDeterministicPerSeed)
+{
+    TriangleMesh a = makeClothMesh(2.f, 3.f, 8, 8, 0.5f, 99);
+    TriangleMesh b = makeClothMesh(2.f, 3.f, 8, 8, 0.5f, 99);
+    TriangleMesh c = makeClothMesh(2.f, 3.f, 8, 8, 0.5f, 100);
+    ASSERT_EQ(a.vertices().size(), b.vertices().size());
+    bool differs_from_c = false;
+    for (std::size_t i = 0; i < a.vertices().size(); ++i) {
+        EXPECT_FLOAT_EQ(a.vertices()[i].z, b.vertices()[i].z);
+        if (a.vertices()[i].z != c.vertices()[i].z)
+            differs_from_c = true;
+    }
+    EXPECT_TRUE(differs_from_c);
+}
+
+TEST(MeshTest, AppendTransforms)
+{
+    TriangleMesh base = makeGridMesh(2.f, 2.f, 1, 1);
+    TriangleMesh combined;
+    combined.append(base, Mat4::translation({10.f, 0.f, 0.f}));
+    combined.append(base, Mat4::identity());
+    EXPECT_EQ(combined.triangleCount(), 4u);
+    Aabb b = combined.bounds();
+    EXPECT_NEAR(b.hi.x, 11.f, 1e-5f);
+    EXPECT_NEAR(b.lo.x, -1.f, 1e-5f);
+}
+
+TEST(SceneGenTest, TriSceneMatchesTable4)
+{
+    Scene s = makeTriScene();
+    EXPECT_EQ(s.totalPrimitives(), 1u);
+    EXPECT_EQ(s.instances.size(), 1u);
+}
+
+TEST(SceneGenTest, RefSceneMatchesTable4)
+{
+    Scene s = makeRefScene();
+    EXPECT_EQ(s.totalPrimitives(), 50u); // paper: 50 primitives
+}
+
+TEST(SceneGenTest, ExtSceneScalesTowardSponzaCount)
+{
+    Scene small = makeExtScene(0.1f);
+    Scene full = makeExtScene(1.0f);
+    EXPECT_LT(small.totalPrimitives(), full.totalPrimitives());
+    // Paper reports 283,265 primitives for Sponza; we match the scale.
+    EXPECT_GT(full.totalPrimitives(), 200000u);
+    EXPECT_LT(full.totalPrimitives(), 400000u);
+}
+
+TEST(SceneGenTest, Rtv6HasTwoProceduralGeometries)
+{
+    Scene s = makeRtv6Scene();
+    EXPECT_EQ(s.totalPrimitives(), 4080u); // paper: 4080 primitives
+    unsigned procedural_geoms = 0;
+    for (const Geometry &g : s.geometries)
+        if (g.kind == GeometryKind::Procedural)
+            ++procedural_geoms;
+    EXPECT_EQ(procedural_geoms, 2u);
+    // The two procedural instances use distinct hit groups.
+    EXPECT_NE(s.instances[1].sbtOffset, s.instances[2].sbtOffset);
+}
+
+TEST(SceneGenTest, Rtv5HasDepthOfFieldAndDielectrics)
+{
+    Scene s = makeRtv5Scene(3); // low detail for test speed
+    EXPECT_GT(s.camera.aperture, 0.f);
+    bool has_dielectric = false;
+    for (const Material &m : s.materials)
+        if (m.kind == static_cast<std::int32_t>(MaterialKind::Dielectric))
+            has_dielectric = true;
+    EXPECT_TRUE(has_dielectric);
+}
+
+TEST(SceneGenTest, MaterialIndicesInRange)
+{
+    for (const Scene &s :
+         {makeTriScene(), makeRefScene(), makeExtScene(0.1f),
+          makeRtv5Scene(3), makeRtv6Scene(500)}) {
+        for (const Instance &inst : s.instances) {
+            EXPECT_GE(inst.instanceCustomIndex, 0);
+            EXPECT_LT(static_cast<std::size_t>(inst.instanceCustomIndex),
+                      s.materials.size());
+        }
+        for (const Geometry &g : s.geometries)
+            for (const ProceduralPrimitive &p : g.prims) {
+                EXPECT_GE(p.materialIndex, 0);
+                EXPECT_LT(static_cast<std::size_t>(p.materialIndex),
+                          s.materials.size());
+            }
+    }
+}
+
+} // namespace
+} // namespace vksim

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Structural validation of serialized acceleration structures: walk the
+ * raw bytes in simulated memory from the TLAS root, following first-child
+ * pointers exactly as the RT unit does, and check every invariant of the
+ * Fig. 7 layouts — descriptors, child types, block alignment, quantized
+ * bounds conservativeness, instance indices, and full reachability of
+ * every primitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accel/serialize.h"
+#include "scene/scenegen.h"
+
+namespace vksim {
+namespace {
+
+struct BvhWalker
+{
+    const GlobalMemory &gmem;
+    const Scene &scene;
+    std::set<Addr> visited;
+    std::multiset<std::pair<int, int>> trianglesSeen; ///< (instance-free)
+    std::size_t topLeaves = 0;
+    std::size_t triangleLeaves = 0;
+    std::size_t proceduralLeaves = 0;
+    unsigned maxDepth = 0;
+
+    BvhWalker(const GlobalMemory &g, const Scene &s) : gmem(g), scene(s) {}
+
+    void
+    walkNode(Addr addr, NodeType type, unsigned depth, int geometry)
+    {
+        ASSERT_LT(depth, 64u) << "runaway depth: cycle in the BVH?";
+        maxDepth = std::max(maxDepth, depth);
+        ASSERT_EQ(addr % kNodeBlockSize, 0u) << "unaligned node";
+        // Instanced BLASes are shared subtrees (a DAG, not a tree):
+        // recurse for depth accounting but count each node once.
+        bool first_visit = visited.insert(addr).second;
+
+        switch (type) {
+          case NodeType::Internal: {
+            auto node = gmem.load<InternalNode>(addr);
+            ASSERT_GE(node.childCount, 1u);
+            ASSERT_LE(node.childCount, kBvhWidth);
+            // Parent frame must enclose each dequantized child box and
+            // each child box must enclose the child's own frame/content.
+            for (unsigned i = 0; i < node.childCount; ++i) {
+                NodeType ct = node.childType(i);
+                ASSERT_NE(ct, NodeType::Invalid);
+                Aabb cb = node.childBounds(i);
+                ASSERT_FALSE(cb.empty());
+                walkNode(node.childAddress(i), ct, depth + 1, geometry);
+                if (ct == NodeType::Internal) {
+                    auto child = gmem.load<InternalNode>(
+                        node.childAddress(i));
+                    // Child's quantization frame origin lies inside the
+                    // dequantized child box (conservative covering).
+                    Vec3 origin{child.originX, child.originY,
+                                child.originZ};
+                    EXPECT_TRUE(cb.contains(origin))
+                        << "child frame escapes its slot bounds";
+                }
+            }
+            break;
+          }
+          case NodeType::TopLeaf: {
+            auto leaf = gmem.load<TopLeafNode>(addr);
+            EXPECT_EQ(leafDescriptorType(leaf.leafDescriptor),
+                      NodeType::TopLeaf);
+            ASSERT_LT(leaf.instanceIndex, scene.instances.size());
+            const Instance &inst = scene.instances[leaf.instanceIndex];
+            EXPECT_EQ(leaf.instanceCustomIndex, inst.instanceCustomIndex);
+            EXPECT_EQ(leaf.sbtOffset, inst.sbtOffset);
+            if (first_visit)
+                ++topLeaves;
+            walkNode(leaf.blasRoot, NodeType::Internal, depth + 1,
+                     static_cast<int>(inst.geometryIndex));
+            break;
+          }
+          case NodeType::TriangleLeaf: {
+            auto leaf = gmem.load<TriangleLeafNode>(addr);
+            EXPECT_EQ(leafDescriptorType(leaf.leafDescriptor),
+                      NodeType::TriangleLeaf);
+            ASSERT_GE(geometry, 0);
+            const Geometry &geom =
+                scene.geometries[static_cast<std::size_t>(geometry)];
+            ASSERT_LT(leaf.primitiveIndex, geom.mesh.triangleCount());
+            // Stored vertices equal the host mesh's.
+            Vec3 v0, v1, v2;
+            geom.mesh.triangle(leaf.primitiveIndex, &v0, &v1, &v2);
+            EXPECT_EQ(leaf.v0[0], v0.x);
+            EXPECT_EQ(leaf.v1[1], v1.y);
+            EXPECT_EQ(leaf.v2[2], v2.z);
+            EXPECT_EQ(leaf.opaque, geom.opaque ? 1u : 0u);
+            if (first_visit)
+                ++triangleLeaves;
+            break;
+          }
+          case NodeType::ProceduralLeaf: {
+            auto leaf = gmem.load<ProceduralLeafNode>(addr);
+            EXPECT_EQ(leafDescriptorType(leaf.leafDescriptor),
+                      NodeType::ProceduralLeaf);
+            ASSERT_GE(geometry, 0);
+            const Geometry &geom =
+                scene.geometries[static_cast<std::size_t>(geometry)];
+            ASSERT_LT(leaf.primitiveIndex, geom.prims.size());
+            if (first_visit)
+                ++proceduralLeaves;
+            break;
+          }
+          default:
+            FAIL() << "invalid node type in serialized BVH";
+        }
+    }
+};
+
+class SerializedWalkTest
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    Scene
+    makeScene() const
+    {
+        std::string name = GetParam();
+        if (name == "tri")
+            return makeTriScene();
+        if (name == "ref")
+            return makeRefScene();
+        if (name == "ext")
+            return makeExtScene(0.12f);
+        if (name == "rtv5")
+            return makeRtv5Scene(3);
+        return makeRtv6Scene(700);
+    }
+};
+
+TEST_P(SerializedWalkTest, EveryNodeReachableAndWellFormed)
+{
+    Scene scene = makeScene();
+    GlobalMemory gmem;
+    AccelStruct accel = buildAccelStruct(scene, gmem);
+
+    BvhWalker walker(gmem, scene);
+    walker.walkNode(accel.tlasRoot, accel.tlasRootType, 1, -1);
+    if (::testing::Test::HasFatalFailure())
+        return;
+
+    // Every instance appears as exactly one TLAS leaf.
+    EXPECT_EQ(walker.topLeaves, scene.instances.size());
+
+    // Primitive leaves: one per primitive of every *unique* geometry
+    // (instanced BLASes are shared, so count distinct geometries once).
+    std::size_t expected_tris = 0;
+    std::size_t expected_prims = 0;
+    for (const Geometry &g : scene.geometries) {
+        if (g.kind == GeometryKind::Triangles)
+            expected_tris += g.mesh.triangleCount();
+        else
+            expected_prims += g.prims.size();
+    }
+    EXPECT_EQ(walker.triangleLeaves, expected_tris);
+    EXPECT_EQ(walker.proceduralLeaves, expected_prims);
+
+    // Depth accounting: AccelStats::treeDepth() counts internal-node
+    // levels plus the instance-leaf level; the walker additionally steps
+    // into primitive leaves, so its depth is at most treeDepth() + 1
+    // (equality when the deepest TLAS path hosts the deepest BLAS), and
+    // at least the minimal chain root -> topleaf -> blas root -> leaf.
+    EXPECT_LE(walker.maxDepth, accel.stats.treeDepth() + 1);
+    EXPECT_GE(walker.maxDepth, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, SerializedWalkTest,
+                         ::testing::Values("tri", "ref", "ext", "rtv5",
+                                           "rtv6"),
+                         [](const ::testing::TestParamInfo<const char *> &i) {
+                             return std::string(i.param);
+                         });
+
+} // namespace
+} // namespace vksim

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Integration tests of the timed GPU model: image correctness under
+ * timing, stat sanity, configuration effects (memory variants, RT-unit
+ * warp limits, schedulers, ITS, FCC), and the power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vulkansim.h"
+#include "power/power.h"
+
+namespace vksim {
+namespace {
+
+using wl::Workload;
+using wl::WorkloadId;
+using wl::WorkloadParams;
+
+WorkloadParams
+tinyParams(WorkloadId id)
+{
+    WorkloadParams p;
+    p.width = 16;
+    p.height = 16;
+    p.extScale = 0.1f;
+    p.rtv5Detail = 3;
+    p.rtv6Prims = 400;
+    return p;
+}
+
+GpuConfig
+fastConfig()
+{
+    GpuConfig cfg = baselineGpuConfig();
+    cfg.numSms = 4;
+    cfg.fabric.numPartitions = 2;
+    cfg.maxCycles = 100'000'000;
+    return cfg;
+}
+
+class TimedFidelityTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TimedFidelityTest, TimedRunRendersReferenceImage)
+{
+    auto id = static_cast<WorkloadId>(GetParam());
+    Workload workload(id, tinyParams(id));
+    RunResult run = simulateWorkload(workload, fastConfig());
+    EXPECT_GT(run.cycles, 0u);
+    Image sim = workload.readFramebuffer();
+    Image ref = workload.renderReferenceImage();
+    ImageDiff diff = compareImages(sim, ref);
+    EXPECT_EQ(diff.differingPixels, 0u) << wl::workloadName(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, TimedFidelityTest, ::testing::Values(0, 1, 2, 3, 4),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return std::string(
+            wl::workloadName(static_cast<WorkloadId>(info.param)));
+    });
+
+TEST(TimedStatsTest, CountersAreConsistent)
+{
+    Workload workload(WorkloadId::EXT, tinyParams(WorkloadId::EXT));
+    RunResult run = simulateWorkload(workload, fastConfig());
+
+    // Issue mix sums to total issues.
+    std::uint64_t mix = run.core.get("issue_alu") + run.core.get("issue_sfu")
+                        + run.core.get("issue_ldst")
+                        + run.core.get("issue_rt")
+                        + run.core.get("issue_ctrl");
+    EXPECT_EQ(mix, run.core.get("issued"));
+
+    // Every submitted RT warp completed.
+    EXPECT_EQ(run.rt.get("warps_submitted"), run.rt.get("warps_completed"));
+    EXPECT_GT(run.rt.get("warps_submitted"), 0u);
+
+    // SIMT efficiencies are probabilities.
+    EXPECT_GT(run.simtEfficiency(), 0.0);
+    EXPECT_LE(run.simtEfficiency(), 1.0);
+    EXPECT_GT(run.rtSimtEfficiency(), 0.0);
+    EXPECT_LE(run.rtSimtEfficiency(), 1.0);
+    EXPECT_LE(run.dramUtilization(), 1.0);
+    EXPECT_LE(run.dramEfficiency(), 1.0001);
+
+    // Caches saw both shader and RT-unit traffic.
+    EXPECT_GT(run.l1.get("accesses.shader"), 0u);
+    EXPECT_GT(run.l1.get("accesses.rtunit"), 0u);
+}
+
+TEST(TimedStatsTest, RtWarpLatencyHistogramFilled)
+{
+    Workload workload(WorkloadId::REF, tinyParams(WorkloadId::REF));
+    RunResult run = simulateWorkload(workload, fastConfig());
+    EXPECT_GT(run.rtWarpLatency.summary().count(), 0u);
+    EXPECT_GT(run.rtWarpLatency.summary().max(), 0.0);
+}
+
+TEST(MemoryVariantTest, PerfectVariantsAreFaster)
+{
+    WorkloadParams p = tinyParams(WorkloadId::EXT);
+    auto run_variant = [&](MemoryVariant v) {
+        Workload w(WorkloadId::EXT, p);
+        return simulateWorkload(w, applyMemoryVariant(fastConfig(), v))
+            .cycles;
+    };
+    Cycle base = run_variant(MemoryVariant::Baseline);
+    Cycle perfect_bvh = run_variant(MemoryVariant::PerfectBvh);
+    Cycle perfect_mem = run_variant(MemoryVariant::PerfectMem);
+    EXPECT_LT(perfect_bvh, base);
+    EXPECT_LT(perfect_mem, base);
+}
+
+TEST(MemoryVariantTest, RtCacheIsolatesRtTraffic)
+{
+    WorkloadParams p = tinyParams(WorkloadId::EXT);
+    Workload w(WorkloadId::EXT, p);
+    GpuConfig cfg = applyMemoryVariant(fastConfig(), MemoryVariant::RtCache);
+    RunResult run = simulateWorkload(w, cfg);
+    // With a dedicated RT cache, the L1 aggregation still sees rtunit
+    // accesses (merged stats) but the run must complete correctly.
+    Image sim = w.readFramebuffer();
+    Image ref = w.renderReferenceImage();
+    EXPECT_EQ(compareImages(sim, ref).differingPixels, 0u);
+}
+
+TEST(RtWarpLimitTest, MoreWarpsHelpOrMatch)
+{
+    WorkloadParams p = tinyParams(WorkloadId::EXT);
+    auto run_with = [&](unsigned warps) {
+        Workload w(WorkloadId::EXT, p);
+        GpuConfig cfg = fastConfig();
+        cfg.rt.maxWarps = warps;
+        return simulateWorkload(w, cfg).cycles;
+    };
+    Cycle one = run_with(1);
+    Cycle eight = run_with(8);
+    // Paper Fig. 16: raising the limit from one warp improves latency
+    // hiding substantially.
+    EXPECT_LT(eight, one);
+}
+
+TEST(SchedulerTest, LrrAlsoRendersCorrectly)
+{
+    WorkloadParams p = tinyParams(WorkloadId::REF);
+    Workload w(WorkloadId::REF, p);
+    GpuConfig cfg = fastConfig();
+    cfg.sched = SchedPolicy::LRR;
+    simulateWorkload(w, cfg);
+    EXPECT_EQ(compareImages(w.readFramebuffer(), w.renderReferenceImage())
+                  .differingPixels,
+              0u);
+}
+
+TEST(ItsTest, TimedItsRendersCorrectly)
+{
+    WorkloadParams p = tinyParams(WorkloadId::RTV6);
+    Workload w(WorkloadId::RTV6, p);
+    GpuConfig cfg = fastConfig();
+    cfg.its = true;
+    simulateWorkload(w, cfg);
+    EXPECT_EQ(compareImages(w.readFramebuffer(), w.renderReferenceImage())
+                  .differingPixels,
+              0u);
+}
+
+TEST(FccTest, TimedFccRendersCorrectlyAndAddsRtLoads)
+{
+    WorkloadParams p = tinyParams(WorkloadId::RTV6);
+    Workload base(WorkloadId::RTV6, p);
+    RunResult rb = simulateWorkload(base, fastConfig());
+    p.fcc = true;
+    Workload fcc(WorkloadId::RTV6, p);
+    RunResult rf = simulateWorkload(fcc, fastConfig());
+    EXPECT_EQ(compareImages(fcc.readFramebuffer(),
+                            fcc.renderReferenceImage())
+                  .differingPixels,
+              0u);
+    // FCC adds coalescing-buffer loads in the RT unit (paper Sec. VI-E).
+    EXPECT_GT(rf.rt.get("fcc_insert_loads") + rf.rt.get("fcc_insert_stores"),
+              0u);
+    EXPECT_EQ(rb.rt.get("fcc_insert_loads"), 0u);
+}
+
+TEST(PowerTest, BreakdownMatchesPaperShape)
+{
+    Workload w(WorkloadId::EXT, tinyParams(WorkloadId::EXT));
+    GpuConfig cfg = fastConfig();
+    RunResult run = simulateWorkload(w, cfg);
+    PowerReport power = estimatePower(run, cfg.numSms);
+    EXPECT_GT(power.totalJoules, 0.0);
+    EXPECT_NEAR(power.fractionOf(power.constantJoules)
+                    + power.fractionOf(power.staticJoules)
+                    + power.fractionOf(power.coreDynamicJoules)
+                    + power.fractionOf(power.cacheJoules)
+                    + power.fractionOf(power.dramJoules)
+                    + power.fractionOf(power.rtUnitJoules),
+                1.0, 1e-9);
+    // Paper Sec. VI-D: RT units < 1 % of GPU power.
+    EXPECT_LT(power.fractionOf(power.rtUnitJoules), 0.01);
+}
+
+TEST(OccupancyTraceTest, SamplesWhenEnabled)
+{
+    Workload w(WorkloadId::REF, tinyParams(WorkloadId::REF));
+    GpuConfig cfg = fastConfig();
+    cfg.occupancySamplePeriod = 100;
+    RunResult run = simulateWorkload(w, cfg);
+    EXPECT_GT(run.occupancyTrace.size(), 2u);
+    bool any_nonzero = false;
+    for (auto [cycle, rays] : run.occupancyTrace)
+        if (rays > 0)
+            any_nonzero = true;
+    EXPECT_TRUE(any_nonzero);
+}
+
+} // namespace
+} // namespace vksim

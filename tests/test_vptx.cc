@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Unit tests for the VPTX layer: SIMT-stack and ITS control flow,
+ * executor ALU semantics, call/ret register windows, and the trace-ray
+ * frame helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vptx/exec.h"
+#include "vptx/rt_runtime.h"
+
+namespace vksim::vptx {
+namespace {
+
+// --- WarpCflow ----------------------------------------------------------
+
+TEST(WarpCflowStackTest, UniformFlowSingleSplit)
+{
+    WarpCflow cf;
+    cf.init(0, 0xFFFFFFFFu, WarpCflow::Mode::Stack);
+    EXPECT_EQ(cf.runnableCount(), 1u);
+    cf.advance(0, 1);
+    EXPECT_EQ(cf.split(0).pc, 1u);
+    EXPECT_EQ(cf.split(0).mask, 0xFFFFFFFFu);
+}
+
+TEST(WarpCflowStackTest, DivergeRunsTakenFirstThenJoins)
+{
+    WarpCflow cf;
+    cf.init(10, 0xFu, WarpCflow::Mode::Stack);
+    // Branch at pc 10: lanes 0,1 to 20; lanes 2,3 fall through to 11;
+    // reconverge at 30.
+    cf.diverge(0, 20, 0x3u, 11, 0xCu, 30);
+    EXPECT_EQ(cf.split(0).pc, 20u);
+    EXPECT_EQ(cf.split(0).mask, 0x3u);
+    // Taken path reaches the reconvergence point.
+    cf.advance(0, 30);
+    EXPECT_EQ(cf.split(0).pc, 11u);
+    EXPECT_EQ(cf.split(0).mask, 0xCu);
+    // Fallthrough path reaches it too; everything joins.
+    cf.advance(0, 30);
+    EXPECT_EQ(cf.split(0).pc, 30u);
+    EXPECT_EQ(cf.split(0).mask, 0xFu);
+}
+
+TEST(WarpCflowStackTest, BranchDirectlyToReconvDoesNotRunAhead)
+{
+    // The guarded-call pattern: BraZ jumps straight to the join point.
+    WarpCflow cf;
+    cf.init(5, 0xFFu, WarpCflow::Mode::Stack);
+    cf.diverge(0, 8, 0xF0u, 6, 0x0Fu, 8);
+    // Only the fallthrough lanes may run (at pc 6); the taken lanes wait
+    // at the join.
+    EXPECT_EQ(cf.split(0).pc, 6u);
+    EXPECT_EQ(cf.split(0).mask, 0x0Fu);
+    cf.advance(0, 7);
+    cf.advance(0, 8);
+    EXPECT_EQ(cf.split(0).pc, 8u);
+    EXPECT_EQ(cf.split(0).mask, 0xFFu);
+}
+
+TEST(WarpCflowStackTest, NestedDivergenceJoinsInOrder)
+{
+    WarpCflow cf;
+    cf.init(0, 0xFu, WarpCflow::Mode::Stack);
+    cf.diverge(0, 10, 0x3u, 1, 0xCu, 40);  // outer
+    cf.diverge(0, 20, 0x1u, 11, 0x2u, 30); // inner on taken path
+    EXPECT_EQ(cf.split(0).mask, 0x1u);
+    cf.advance(0, 30); // inner taken joins
+    EXPECT_EQ(cf.split(0).mask, 0x2u);
+    cf.advance(0, 30); // inner fallthrough joins; inner join at 30
+    EXPECT_EQ(cf.split(0).pc, 30u);
+    EXPECT_EQ(cf.split(0).mask, 0x3u);
+    cf.advance(0, 40); // outer taken path joins
+    EXPECT_EQ(cf.split(0).mask, 0xCu);
+    cf.advance(0, 40);
+    EXPECT_EQ(cf.split(0).pc, 40u);
+    EXPECT_EQ(cf.split(0).mask, 0xFu);
+}
+
+TEST(WarpCflowStackTest, ExitLanesDropsEmptyEntries)
+{
+    WarpCflow cf;
+    cf.init(0, 0x3u, WarpCflow::Mode::Stack);
+    cf.exitLanes(0, 0x1u);
+    EXPECT_FALSE(cf.finished());
+    EXPECT_EQ(cf.liveMask(), 0x2u);
+    cf.exitLanes(0, 0x2u);
+    EXPECT_TRUE(cf.finished());
+}
+
+TEST(WarpCflowItsTest, SplitsAreIndependentlyRunnable)
+{
+    WarpCflow cf;
+    cf.init(0, 0xFFu, WarpCflow::Mode::Its);
+    cf.diverge(0, 10, 0x0Fu, 1, 0xF0u, 99);
+    EXPECT_EQ(cf.runnableCount(), 2u);
+    // Both splits can advance in any order.
+    int s0 = cf.runnableSplit(0);
+    int s1 = cf.runnableSplit(1);
+    cf.advance(s1, 2);
+    cf.advance(s0, 11);
+    EXPECT_EQ(cf.runnableCount(), 2u);
+}
+
+TEST(WarpCflowItsTest, SplitsMergeAtEqualPc)
+{
+    WarpCflow cf;
+    cf.init(0, 0xFFu, WarpCflow::Mode::Its);
+    cf.diverge(0, 10, 0x0Fu, 1, 0xF0u, 99);
+    // Move both to pc 50: they merge into one split.
+    cf.advance(cf.runnableSplit(0), 50);
+    EXPECT_EQ(cf.runnableCount(), 2u);
+    cf.advance(cf.runnableSplit(1), 50);
+    EXPECT_EQ(cf.runnableCount(), 1u);
+    EXPECT_EQ(cf.split(cf.runnableSplit(0)).mask, 0xFFu);
+}
+
+TEST(WarpCflowItsTest, BlockedSplitNotRunnableNotMerged)
+{
+    WarpCflow cf;
+    cf.init(0, 0xFFu, WarpCflow::Mode::Its);
+    cf.diverge(0, 10, 0x0Fu, 1, 0xF0u, 99);
+    int idx = cf.runnableSplit(0);
+    int id = cf.split(idx).id;
+    cf.blockAt(idx, 10);
+    EXPECT_EQ(cf.runnableCount(), 1u);
+    // Other split moves to pc 10: must NOT merge with the blocked one.
+    cf.advance(cf.runnableSplit(0), 10);
+    EXPECT_EQ(cf.splitCount(), 2u);
+    cf.unblockById(id);
+    // Now both at 10 and unblocked: merged.
+    EXPECT_EQ(cf.splitCount(), 1u);
+}
+
+// --- executor -----------------------------------------------------------
+
+/** Minimal launch fixture around a hand-built program. */
+struct ExecFixture
+{
+    GlobalMemory gmem;
+    Program program;
+    LaunchContext ctx;
+    Warp warp;
+
+    explicit ExecFixture(std::vector<Instr> code, unsigned num_regs = 16)
+    {
+        program.code = std::move(code);
+        ShaderInfo raygen;
+        raygen.name = "test";
+        raygen.stage = ShaderStage::RayGen;
+        raygen.entryPc = 0;
+        raygen.numRegs = static_cast<std::uint16_t>(num_regs);
+        program.shaders.push_back(raygen);
+        program.raygenShader = 0;
+
+        ctx.program = &program;
+        ctx.gmem = &gmem;
+        ctx.launchSize[0] = kWarpSize;
+        ctx.launchSize[1] = 1;
+        ctx.rtStackBase = gmem.allocate(
+            kWarpSize * kRtStackBytesPerThread, 64);
+        ctx.scratchBase = gmem.allocate(
+            kWarpSize * kRtScratchBytesPerThread, 64);
+        initWarp(warp, 0, ctx, WarpCflow::Mode::Stack);
+    }
+
+    StepResult
+    step()
+    {
+        WarpExecutor exec(ctx);
+        return exec.step(warp, warp.cflow.runnableSplit(0));
+    }
+};
+
+Instr
+movImm(int dst, std::uint64_t v)
+{
+    Instr i;
+    i.op = Opcode::MovImm;
+    i.dst = static_cast<std::int16_t>(dst);
+    i.imm = v;
+    return i;
+}
+
+Instr
+binop(Opcode op, int dst, int a, int b)
+{
+    Instr i;
+    i.op = op;
+    i.dst = static_cast<std::int16_t>(dst);
+    i.src0 = static_cast<std::int16_t>(a);
+    i.src1 = static_cast<std::int16_t>(b);
+    return i;
+}
+
+Instr
+exitInstr()
+{
+    Instr i;
+    i.op = Opcode::Exit;
+    return i;
+}
+
+std::uint64_t
+floatBits(float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, 4);
+    return u;
+}
+
+TEST(ExecutorTest, IntegerAndFloatAlu)
+{
+    ExecFixture fx({
+        movImm(0, 7),
+        movImm(1, 5),
+        binop(Opcode::Add, 2, 0, 1),
+        binop(Opcode::Mul, 3, 0, 1),
+        movImm(4, floatBits(1.5f)),
+        movImm(5, floatBits(2.5f)),
+        binop(Opcode::FAdd, 6, 4, 5),
+        binop(Opcode::FMul, 7, 4, 5),
+        exitInstr(),
+    });
+    while (!fx.warp.finished())
+        fx.step();
+    ThreadState &t = fx.warp.threads[0];
+    EXPECT_EQ(t.reg(2), 12u);
+    EXPECT_EQ(t.reg(3), 35u);
+    EXPECT_EQ(t.reg(6), floatBits(4.0f));
+    EXPECT_EQ(t.reg(7), floatBits(3.75f));
+}
+
+TEST(ExecutorTest, LoadStoreRoundTrip)
+{
+    ExecFixture fx({});
+    Addr buf = fx.gmem.allocate(64, 8);
+    Instr ld;
+    ld.op = Opcode::Ld;
+    ld.dst = 1;
+    ld.src0 = 0;
+    ld.size = 4;
+    Instr st;
+    st.op = Opcode::St;
+    st.src0 = 0;
+    st.src1 = 2;
+    st.imm = 16;
+    st.size = 4;
+    fx.program.code = {movImm(0, buf), movImm(2, 0xABCD), st, ld,
+                       exitInstr()};
+    fx.gmem.store<std::uint32_t>(buf, 0x1234);
+    while (!fx.warp.finished()) {
+        StepResult r = fx.step();
+        if (r.op == Opcode::Ld) {
+            EXPECT_EQ(r.accesses.size(), kWarpSize);
+            EXPECT_FALSE(r.accesses[0].write);
+            EXPECT_EQ(r.accesses[0].addr, buf);
+        }
+    }
+    EXPECT_EQ(fx.warp.threads[0].reg(1), 0x1234u);
+    EXPECT_EQ(fx.gmem.load<std::uint32_t>(buf + 16), 0xABCDu);
+}
+
+TEST(ExecutorTest, BranchDivergenceAndReconvergence)
+{
+    // r0 = lane id parity via launch id; branch on it; both paths set r2
+    // differently; after reconvergence r3 = 1 everywhere.
+    Instr lid;
+    lid.op = Opcode::LoadLaunchId;
+    lid.dst = 0;
+    lid.imm = 0;
+    Instr andi = binop(Opcode::And, 1, 0, 4); // r4 = 1
+    Instr bra;
+    bra.op = Opcode::Bra;
+    bra.src0 = 1;
+    bra.target = 6;
+    bra.reconv = 7;
+    ExecFixture fx({
+        lid,                 // 0
+        movImm(4, 1),        // 1
+        andi,                // 2
+        bra,                 // 3: odd lanes -> 6
+        movImm(2, 100),      // 4: even lanes
+        {},                  // 5: nop (Jmp emitted below replaces)
+        movImm(2, 200),      // 6: odd lanes
+        movImm(3, 1),        // 7: reconverged
+        exitInstr(),         // 8
+    });
+    Instr jmp;
+    jmp.op = Opcode::Jmp;
+    jmp.target = 7;
+    fx.program.code[5] = jmp;
+
+    while (!fx.warp.finished())
+        fx.step();
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        ThreadState &t = fx.warp.threads[lane];
+        EXPECT_EQ(t.reg(2), (lane & 1) ? 200u : 100u) << lane;
+        EXPECT_EQ(t.reg(3), 1u) << lane;
+    }
+}
+
+TEST(ExecutorTest, CallRetRegisterWindows)
+{
+    // Caller sets r0 = 11, calls f (window bump 8); callee sets its r0
+    // (= physical r8) to 77 and returns; caller's r0 unchanged.
+    Instr call;
+    call.op = Opcode::Call;
+    call.target = 3;
+    call.imm = 8;
+    Instr ret;
+    ret.op = Opcode::Ret;
+    ExecFixture fx({
+        movImm(0, 11), // 0
+        call,          // 1
+        exitInstr(),   // 2
+        movImm(0, 77), // 3 (callee)
+        ret,           // 4
+    });
+    while (!fx.warp.finished())
+        fx.step();
+    ThreadState &t = fx.warp.threads[0];
+    EXPECT_EQ(t.windowBase, 0u);
+    EXPECT_EQ(t.regs[0], 11u);
+    EXPECT_EQ(t.regs[8], 77u);
+    EXPECT_TRUE(t.callStack.empty());
+}
+
+TEST(ExecutorTest, SelectAndConversions)
+{
+    ExecFixture fx({
+        movImm(0, 0),
+        movImm(1, floatBits(-3.7f)),
+        movImm(2, 42),
+        {},
+        {},
+        exitInstr(),
+    });
+    Instr sel;
+    sel.op = Opcode::Select;
+    sel.dst = 3;
+    sel.src0 = 0;
+    sel.src1 = 1;
+    sel.src2 = 2;
+    fx.program.code[3] = sel;
+    Instr f2i;
+    f2i.op = Opcode::F2I;
+    f2i.dst = 4;
+    f2i.src0 = 1;
+    fx.program.code[4] = f2i;
+    while (!fx.warp.finished())
+        fx.step();
+    ThreadState &t = fx.warp.threads[0];
+    EXPECT_EQ(t.reg(3), 42u); // cond false -> src2
+    EXPECT_EQ(static_cast<std::int64_t>(t.reg(4)), -3);
+}
+
+TEST(RtRuntimeTest, RayRoundTripsThroughFrame)
+{
+    GlobalMemory gmem;
+    Addr frame = gmem.allocate(kRtFrameBytes, 64);
+    gmem.store<float>(frame + frame::kRayOriginX, 1.f);
+    gmem.store<float>(frame + frame::kRayOriginY, 2.f);
+    gmem.store<float>(frame + frame::kRayOriginZ, 3.f);
+    gmem.store<float>(frame + frame::kRayTmin, 0.5f);
+    gmem.store<float>(frame + frame::kRayDirX, 0.f);
+    gmem.store<float>(frame + frame::kRayDirY, 1.f);
+    gmem.store<float>(frame + frame::kRayDirZ, 0.f);
+    gmem.store<float>(frame + frame::kRayTmax, 99.f);
+    gmem.store<std::uint32_t>(frame + frame::kRayFlags, 5);
+
+    std::uint32_t flags = 0;
+    Ray ray = rt_runtime::readRay(gmem, frame, &flags);
+    EXPECT_FLOAT_EQ(ray.origin.y, 2.f);
+    EXPECT_FLOAT_EQ(ray.tmin, 0.5f);
+    EXPECT_FLOAT_EQ(ray.direction.y, 1.f);
+    EXPECT_FLOAT_EQ(ray.tmax, 99.f);
+    EXPECT_EQ(flags, 5u);
+}
+
+TEST(RtRuntimeTest, CoalescingTableGroupsByShaderId)
+{
+    // Build fake traversals via a scene-free path is heavy; instead test
+    // deferredShaderId mapping and the insertion cost accounting with a
+    // synthetic launch context.
+    LaunchContext ctx;
+    HitGroupRecord g0;
+    g0.intersection = 4;
+    HitGroupRecord g1;
+    g1.intersection = 5;
+    g1.anyHit = -1;
+    ctx.hitGroups = {g0, g1};
+
+    DeferredHit sphere;
+    sphere.sbtOffset = 0;
+    DeferredHit box;
+    box.sbtOffset = 1;
+    DeferredHit anyhit_default;
+    anyhit_default.sbtOffset = 1;
+    anyhit_default.anyHit = true;
+
+    EXPECT_EQ(rt_runtime::deferredShaderId(ctx, sphere), 4);
+    EXPECT_EQ(rt_runtime::deferredShaderId(ctx, box), 5);
+    EXPECT_EQ(rt_runtime::deferredShaderId(ctx, anyhit_default),
+              kDefaultAnyHitShader);
+}
+
+} // namespace
+} // namespace vksim::vptx

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the NIR builder and the NIR-to-VPTX translator, including the
+ * structure of the Algorithm 1 / Algorithm 3 traceRay expansions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/shaders.h"
+#include "xlate/translate.h"
+
+namespace vksim {
+namespace {
+
+using nir::Builder;
+using vptx::Opcode;
+
+/** Count instructions of a given opcode in a program. */
+unsigned
+countOp(const vptx::Program &prog, Opcode op)
+{
+    unsigned n = 0;
+    for (const vptx::Instr &i : prog.code)
+        if (i.op == op)
+            ++n;
+    return n;
+}
+
+xlate::PipelineDesc
+singleShaderPipeline(const nir::Shader &raygen, const nir::Shader &miss,
+                     const nir::Shader &chit)
+{
+    xlate::PipelineDesc desc;
+    desc.shaders = {&raygen, &chit, &miss};
+    desc.raygen = 0;
+    desc.missShaders = {2};
+    xlate::HitGroupDesc hg;
+    hg.closestHit = 1;
+    desc.hitGroups.push_back(hg);
+    return desc;
+}
+
+TEST(NirBuilderTest, StructuredBlocksNest)
+{
+    Builder b("t", vptx::ShaderStage::RayGen);
+    nir::Val c = b.constI(1);
+    b.beginIf(c);
+    b.constI(2);
+    b.beginElse();
+    b.beginLoop();
+    b.breakIf(c);
+    b.endLoop();
+    b.endIf();
+    nir::Shader s = b.finish();
+    ASSERT_EQ(s.body.size(), 2u);
+    EXPECT_EQ(s.body[1].kind, nir::Node::Kind::If);
+    EXPECT_EQ(s.body[1].thenBlock.size(), 1u);
+    ASSERT_EQ(s.body[1].elseBlock.size(), 1u);
+    EXPECT_EQ(s.body[1].elseBlock[0].kind, nir::Node::Kind::Loop);
+}
+
+TEST(NirBuilderTest, CountInstrsSeesNestedInstructions)
+{
+    Builder b("t", vptx::ShaderStage::RayGen);
+    nir::Val c = b.constI(1);
+    b.beginLoop();
+    b.iadd(c, c);
+    b.breakIf(c);
+    b.endLoop();
+    nir::Shader s = b.finish();
+    // const + (iadd + breakif) inside the loop.
+    EXPECT_EQ(nir::countInstrs(s), 3u);
+}
+
+TEST(TranslatorTest, EmptyIfLowersToBranchWithReconv)
+{
+    Builder rb("rg", vptx::ShaderStage::RayGen);
+    nir::Val c = rb.constI(1);
+    rb.beginIf(c);
+    rb.constI(7);
+    rb.endIf();
+    nir::Shader raygen = rb.finish();
+
+    Builder mb("miss", vptx::ShaderStage::Miss);
+    nir::Shader miss = mb.finish();
+    Builder cb("chit", vptx::ShaderStage::ClosestHit);
+    nir::Shader chit = cb.finish();
+
+    vptx::Program prog =
+        xlate::translate(singleShaderPipeline(raygen, miss, chit));
+    ASSERT_EQ(countOp(prog, Opcode::BraZ), 1u);
+    for (const vptx::Instr &i : prog.code)
+        if (i.op == Opcode::BraZ) {
+            EXPECT_EQ(i.target, i.reconv)
+                << "if without else reconverges at its target";
+            EXPECT_GT(i.target, 0u);
+        }
+    // Raygen ends with Exit, others with Ret.
+    EXPECT_EQ(countOp(prog, Opcode::Exit), 1u);
+    EXPECT_EQ(countOp(prog, Opcode::Ret), 2u);
+}
+
+TEST(TranslatorTest, LoopBreakTargetsLoopExit)
+{
+    Builder rb("rg", vptx::ShaderStage::RayGen);
+    nir::Val c = rb.constI(0);
+    rb.beginLoop();
+    rb.breakIf(c);
+    rb.endLoop();
+    nir::Shader raygen = rb.finish();
+    Builder mb("miss", vptx::ShaderStage::Miss);
+    nir::Shader miss = mb.finish();
+    Builder cb("chit", vptx::ShaderStage::ClosestHit);
+    nir::Shader chit = cb.finish();
+
+    vptx::Program prog =
+        xlate::translate(singleShaderPipeline(raygen, miss, chit));
+    // Find the Bra (break) and the back Jmp.
+    bool found_break = false;
+    for (std::size_t pc = 0; pc < prog.code.size(); ++pc) {
+        const vptx::Instr &i = prog.code[pc];
+        if (i.op == Opcode::Bra) {
+            found_break = true;
+            EXPECT_GT(i.target, pc);
+            EXPECT_EQ(i.target, i.reconv);
+        }
+        if (i.op == Opcode::Jmp) {
+            EXPECT_LT(i.target, pc) << "loop back-edge jumps backwards";
+        }
+    }
+    EXPECT_TRUE(found_break);
+}
+
+TEST(TranslatorTest, TraceRayExpandsPerAlgorithm1)
+{
+    // Use the real workload shaders: the path raygen traces rays.
+    nir::Shader raygen = wl::makeRaygenPath();
+    nir::Shader chit = wl::makeClosestHitSurface();
+    nir::Shader miss = wl::makeMissShader();
+    nir::Shader isect = wl::makeIntersectionSphere();
+
+    xlate::PipelineDesc desc;
+    desc.shaders = {&raygen, &chit, &miss, &isect};
+    desc.raygen = 0;
+    desc.missShaders = {2};
+    xlate::HitGroupDesc tri;
+    tri.closestHit = 1;
+    xlate::HitGroupDesc sph;
+    sph.closestHit = 1;
+    sph.intersection = 3;
+    desc.hitGroups = {tri, sph};
+
+    vptx::Program prog = xlate::translate(desc);
+    EXPECT_EQ(countOp(prog, Opcode::TraverseAS), 1u);
+    EXPECT_EQ(countOp(prog, Opcode::EndTraceRay), 1u);
+    EXPECT_EQ(countOp(prog, Opcode::RtPushFrame), 1u);
+    EXPECT_EQ(countOp(prog, Opcode::GetNextCoalescedCall), 0u);
+    // Calls: intersection chain (1) + default any-hit (inline commit) +
+    // closest-hit chain (1) + miss (1) = 3 calls.
+    EXPECT_EQ(countOp(prog, Opcode::Call), 3u);
+    EXPECT_EQ(countOp(prog, Opcode::CommitAnyHit), 1u);
+
+    // Every call target must be a valid shader entry.
+    for (const vptx::Instr &i : prog.code)
+        if (i.op == Opcode::Call) {
+            bool valid = false;
+            for (const vptx::ShaderInfo &s : prog.shaders)
+                if (s.entryPc == i.target)
+                    valid = true;
+            EXPECT_TRUE(valid) << "call to non-entry pc " << i.target;
+        }
+}
+
+TEST(TranslatorTest, FccUsesGetNextCoalescedCall)
+{
+    nir::Shader raygen = wl::makeRaygenPath();
+    nir::Shader chit = wl::makeClosestHitSurface();
+    nir::Shader miss = wl::makeMissShader();
+    nir::Shader isect = wl::makeIntersectionSphere();
+
+    xlate::PipelineDesc desc;
+    desc.shaders = {&raygen, &chit, &miss, &isect};
+    desc.raygen = 0;
+    desc.missShaders = {2};
+    xlate::HitGroupDesc sph;
+    sph.closestHit = 1;
+    sph.intersection = 3;
+    desc.hitGroups = {sph};
+
+    xlate::TranslateOptions opts;
+    opts.fcc = true;
+    vptx::Program prog = xlate::translate(desc, opts);
+    EXPECT_EQ(countOp(prog, Opcode::GetNextCoalescedCall), 1u);
+    // FCC reads shader ids from the coalescing buffer, not per-thread
+    // SBT lookups inside the loop.
+    EXPECT_EQ(countOp(prog, Opcode::TraverseAS), 1u);
+}
+
+TEST(TranslatorTest, BranchTargetsInBounds)
+{
+    for (bool fcc : {false, true}) {
+        nir::Shader raygen = wl::makeRaygenWhitted();
+        nir::Shader chit = wl::makeClosestHitSurface();
+        nir::Shader miss = wl::makeMissShader();
+        xlate::PipelineDesc desc;
+        desc.shaders = {&raygen, &chit, &miss};
+        desc.raygen = 0;
+        desc.missShaders = {2};
+        xlate::HitGroupDesc hg;
+        hg.closestHit = 1;
+        desc.hitGroups = {hg};
+        xlate::TranslateOptions opts;
+        opts.fcc = fcc;
+        vptx::Program prog = xlate::translate(desc, opts);
+        for (const vptx::Instr &i : prog.code) {
+            if (i.op == Opcode::Bra || i.op == Opcode::BraZ
+                || i.op == Opcode::Jmp || i.op == Opcode::Call) {
+                EXPECT_LT(i.target, prog.code.size());
+                EXPECT_NE(i.target, 0xDEADBEEFu);
+            }
+            if (i.op == Opcode::Bra || i.op == Opcode::BraZ) {
+                EXPECT_LE(i.reconv, prog.code.size());
+            }
+        }
+    }
+}
+
+TEST(DisassemblerTest, ProducesReadableListing)
+{
+    nir::Shader raygen = wl::makeRaygenBary();
+    nir::Shader chit = wl::makeClosestHitBary();
+    nir::Shader miss = wl::makeMissShader();
+    vptx::Program prog =
+        xlate::translate(singleShaderPipeline(raygen, miss, chit));
+    std::string text = vptx::disassemble(prog);
+    EXPECT_NE(text.find("traverseAS"), std::string::npos);
+    EXPECT_NE(text.find("endTraceRay"), std::string::npos);
+    EXPECT_NE(text.find("raygen"), std::string::npos);
+    EXPECT_NE(text.find("load_ray_launch_id"), std::string::npos);
+}
+
+} // namespace
+} // namespace vksim
