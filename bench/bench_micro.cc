@@ -76,14 +76,78 @@ BM_TimedSim(benchmark::State &state)
     GpuConfig config = baselineGpuConfig();
     config.numSms = 8;
     config.fabric.numPartitions = 2;
+    config.threads = 1;
+    std::int64_t sim_cycles = 0;
     for (auto _ : state) {
         wl::Workload workload(wl::WorkloadId::TRI, params);
         RunResult run = simulateWorkload(workload, config);
         benchmark::DoNotOptimize(run.cycles);
+        sim_cycles += static_cast<std::int64_t>(run.cycles);
     }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
     state.SetLabel("16x16 TRI cycle-level run per iteration");
 }
 BENCHMARK(BM_TimedSim)->Unit(benchmark::kMillisecond);
+
+/**
+ * Parallel-engine wall-clock mode (ISSUE: simulated-cycles-per-second at
+ * 1/2/4/8 engine threads). UseRealTime so the rate reflects the whole
+ * pool, not just the calling thread.
+ */
+void
+BM_TimedSimThreads(benchmark::State &state)
+{
+    wl::WorkloadParams params;
+    params.width = 32;
+    params.height = 32;
+    GpuConfig config = baselineGpuConfig();
+    config.numSms = 16;
+    config.fabric.numPartitions = 4;
+    config.threads = static_cast<unsigned>(state.range(0));
+    std::int64_t sim_cycles = 0;
+    for (auto _ : state) {
+        wl::Workload workload(wl::WorkloadId::TRI, params);
+        RunResult run = simulateWorkload(workload, config);
+        benchmark::DoNotOptimize(run.cycles);
+        sim_cycles += static_cast<std::int64_t>(run.cycles);
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
+    state.SetLabel("32x32 TRI, 16 SMs, engine threads = arg");
+}
+BENCHMARK(BM_TimedSimThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/** Parallel reference renderer (tile fan-out) at 1/2/4/8 threads. */
+void
+BM_ReferenceRenderThreads(benchmark::State &state)
+{
+    wl::WorkloadParams params;
+    params.width = 64;
+    params.height = 64;
+    wl::Workload workload(wl::WorkloadId::EXT, params);
+    std::int64_t pixels = 0;
+    for (auto _ : state) {
+        Image img = workload.renderReferenceImage(
+            nullptr, static_cast<unsigned>(state.range(0)));
+        benchmark::DoNotOptimize(img.data().data());
+        pixels += static_cast<std::int64_t>(params.width) * params.height;
+    }
+    state.SetItemsProcessed(pixels);
+}
+BENCHMARK(BM_ReferenceRenderThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

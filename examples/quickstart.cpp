@@ -8,6 +8,7 @@
  * then compare the images and print the headline statistics.
  *
  * Usage: quickstart [--width=64] [--height=64] [--out=quickstart.ppm]
+ *                   [--threads=N] [--serial] [--perf]
  */
 
 #include <cstdio>
@@ -35,8 +36,10 @@ main(int argc, char **argv)
                 workload.pipeline().program.shaders.size(),
                 workload.pipeline().program.code.size());
 
-    // 1. CPU reference.
-    Image reference = workload.renderReferenceImage();
+    const unsigned threads = opts.threadCount();
+
+    // 1. CPU reference (tiled across the engine threads).
+    Image reference = workload.renderReferenceImage(nullptr, threads);
 
     // 2. Functional simulation.
     StatGroup fstats;
@@ -50,6 +53,8 @@ main(int argc, char **argv)
 
     // 3. Cycle-level simulation (baseline Table III configuration).
     GpuConfig config = baselineGpuConfig();
+    config.threads = threads;
+    config.printPerfSummary = opts.getBool("perf");
     RunResult run = simulateWorkload(workload, config);
     Image timed = workload.readFramebuffer();
     ImageDiff tdiff = compareImages(timed, reference);

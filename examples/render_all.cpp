@@ -5,6 +5,7 @@
  * write the PPMs — a one-command gallery of the whole system.
  *
  * Usage: render_all [--size=48] [--mobile] [--outdir=.]
+ *                   [--threads=N] [--serial] [--perf]
  */
 
 #include <cstdio>
@@ -22,6 +23,9 @@ main(int argc, char **argv)
     std::string outdir = opts.get("outdir", ".");
     GpuConfig config =
         opts.getBool("mobile") ? mobileGpuConfig() : baselineGpuConfig();
+    const unsigned threads = opts.threadCount();
+    config.threads = threads;
+    config.printPerfSummary = opts.getBool("perf");
 
     std::printf("%-6s %10s %12s %8s %10s  %s\n", "scene", "prims",
                 "cycles", "SIMT", "img diff", "output");
@@ -34,8 +38,8 @@ main(int argc, char **argv)
         wl::Workload workload(id, params);
         RunResult run = simulateWorkload(workload, config);
         Image image = workload.readFramebuffer();
-        ImageDiff diff =
-            compareImages(image, workload.renderReferenceImage());
+        ImageDiff diff = compareImages(
+            image, workload.renderReferenceImage(nullptr, threads));
         std::string path = outdir + "/" + workload.name() + ".ppm";
         image.writePpm(path);
         std::printf("%-6s %10zu %12llu %7.1f%% %9.4f%%  %s\n",

@@ -3,14 +3,26 @@
 #include <algorithm>
 #include <array>
 #include <limits>
+#include <vector>
 
 #include "util/log.h"
+#include "util/threadpool.h"
 
 namespace vksim {
 
 namespace {
 
 constexpr unsigned kNumBins = 16;
+
+/**
+ * Node ranges at least this large run their per-prim scans (prim/centroid
+ * bounds, SAH bin accumulation) chunked on the shared thread pool. Chunk
+ * partials are merged in fixed chunk order; the reductions are float
+ * min/max and integer sums, so the result is exact and identical for any
+ * thread count. Below the threshold the fork-join overhead outweighs the
+ * scan.
+ */
+constexpr std::uint32_t kParallelBuildThreshold = 8192;
 
 struct BuildContext
 {
@@ -19,12 +31,81 @@ struct BuildContext
     std::vector<BinaryBvhNode> nodes;
 };
 
+/** Split [begin, end) into per-lane chunks for a parallel reduction. */
+struct ChunkPlan
+{
+    std::uint32_t begin;
+    std::uint32_t per;
+    unsigned count;
+
+    ChunkPlan(std::uint32_t b, std::uint32_t e, unsigned lanes)
+        : begin(b)
+    {
+        std::uint32_t n = e - b;
+        count = std::min<std::uint32_t>(n, lanes * 4u);
+        per = (n + count - 1) / count;
+    }
+
+    std::uint32_t chunkBegin(std::size_t c) const
+    {
+        return begin + static_cast<std::uint32_t>(c) * per;
+    }
+    std::uint32_t chunkEnd(std::size_t c, std::uint32_t e) const
+    {
+        return std::min<std::uint32_t>(e, chunkBegin(c) + per);
+    }
+};
+
 Aabb
 rangeBounds(const BuildContext &ctx, std::uint32_t begin, std::uint32_t end)
 {
+    if (end - begin < kParallelBuildThreshold) {
+        Aabb box;
+        for (std::uint32_t i = begin; i < end; ++i)
+            box.extend((*ctx.prims)[ctx.order[i]].bounds);
+        return box;
+    }
+    ThreadPool &pool = sharedThreadPool();
+    ChunkPlan plan(begin, end, pool.threadCount());
+    std::vector<Aabb> partial(plan.count);
+    pool.parallelFor(plan.count, [&](std::size_t c) {
+        Aabb box;
+        for (std::uint32_t i = plan.chunkBegin(c),
+                           e = plan.chunkEnd(c, end);
+             i < e; ++i)
+            box.extend((*ctx.prims)[ctx.order[i]].bounds);
+        partial[c] = box;
+    });
     Aabb box;
-    for (std::uint32_t i = begin; i < end; ++i)
-        box.extend((*ctx.prims)[ctx.order[i]].bounds);
+    for (const Aabb &p : partial)
+        box.extend(p);
+    return box;
+}
+
+Aabb
+centroidBounds(const BuildContext &ctx, std::uint32_t begin,
+               std::uint32_t end)
+{
+    if (end - begin < kParallelBuildThreshold) {
+        Aabb box;
+        for (std::uint32_t i = begin; i < end; ++i)
+            box.extend((*ctx.prims)[ctx.order[i]].bounds.center());
+        return box;
+    }
+    ThreadPool &pool = sharedThreadPool();
+    ChunkPlan plan(begin, end, pool.threadCount());
+    std::vector<Aabb> partial(plan.count);
+    pool.parallelFor(plan.count, [&](std::size_t c) {
+        Aabb box;
+        for (std::uint32_t i = plan.chunkBegin(c),
+                           e = plan.chunkEnd(c, end);
+             i < e; ++i)
+            box.extend((*ctx.prims)[ctx.order[i]].bounds.center());
+        partial[c] = box;
+    });
+    Aabb box;
+    for (const Aabb &p : partial)
+        box.extend(p);
     return box;
 }
 
@@ -45,9 +126,7 @@ buildRange(BuildContext &ctx, std::uint32_t begin, std::uint32_t end)
     }
 
     // Centroid bounds drive the binning axis.
-    Aabb centroid_bounds;
-    for (std::uint32_t i = begin; i < end; ++i)
-        centroid_bounds.extend((*ctx.prims)[ctx.order[i]].bounds.center());
+    Aabb centroid_bounds = centroidBounds(ctx, begin, end);
     int axis = maxDimension(centroid_bounds.extent());
     float axis_min = centroid_bounds.lo[axis];
     float axis_extent = centroid_bounds.extent()[axis];
@@ -67,10 +146,32 @@ buildRange(BuildContext &ctx, std::uint32_t begin, std::uint32_t end)
                                       * kNumBins);
             return std::clamp(b, 0, static_cast<int>(kNumBins) - 1);
         };
-        for (std::uint32_t i = begin; i < end; ++i) {
-            Bin &bin = bins[bin_of(ctx.order[i])];
-            bin.bounds.extend((*ctx.prims)[ctx.order[i]].bounds);
-            ++bin.count;
+        if (count < kParallelBuildThreshold) {
+            for (std::uint32_t i = begin; i < end; ++i) {
+                Bin &bin = bins[bin_of(ctx.order[i])];
+                bin.bounds.extend((*ctx.prims)[ctx.order[i]].bounds);
+                ++bin.count;
+            }
+        } else {
+            // Per-chunk private bins, folded in fixed chunk order.
+            ThreadPool &pool = sharedThreadPool();
+            ChunkPlan plan(begin, end, pool.threadCount());
+            std::vector<std::array<Bin, kNumBins>> partial(plan.count);
+            pool.parallelFor(plan.count, [&](std::size_t c) {
+                std::array<Bin, kNumBins> &local = partial[c];
+                for (std::uint32_t i = plan.chunkBegin(c),
+                                   e = plan.chunkEnd(c, end);
+                     i < e; ++i) {
+                    Bin &bin = local[bin_of(ctx.order[i])];
+                    bin.bounds.extend((*ctx.prims)[ctx.order[i]].bounds);
+                    ++bin.count;
+                }
+            });
+            for (const auto &local : partial)
+                for (unsigned b = 0; b < kNumBins; ++b) {
+                    bins[b].bounds.extend(local[b].bounds);
+                    bins[b].count += local[b].count;
+                }
         }
 
         // Prefix/suffix areas for the SAH cost of each split position.

@@ -1,8 +1,11 @@
 #include "gpu/gpu.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "util/log.h"
+#include "util/threadpool.h"
 
 namespace vksim {
 
@@ -82,19 +85,18 @@ RunResult::rtActiveFraction() const
 // --- SmCore ---------------------------------------------------------------
 
 SmCore::SmCore(unsigned sm_id, const GpuConfig &config,
-               const vptx::LaunchContext &ctx, MemFabric *fabric,
-               StatGroup *rt_stats, Histogram *rt_latency)
+               const vptx::LaunchContext &ctx, MemFabric *fabric)
     : smId_(sm_id), config_(config), ctx_(ctx), fabric_(fabric),
       executor_(ctx,
                 vptx::ExecOptions{config.fccEnabled,
                                   config.rt.shortStackEntries}),
-      stats_("sm" + std::to_string(sm_id)), rtStats_(rt_stats),
-      l1_(config.l1), rtUnit_(config.rt, &ctx, rt_stats)
+      stats_("sm" + std::to_string(sm_id)), l1_(config.l1),
+      rtUnit_(config.rt, &ctx, &rtStats_)
 {
     if (config_.useRtCache)
         rtCache_ = std::make_unique<Cache>(config_.rtCache);
     rtUnit_.setMemPort(this);
-    rtUnit_.setLatencyHistogram(rt_latency);
+    rtUnit_.setLatencyHistogram(&rtLatency_);
 
     // Per-thread register demand: the raygen window plus the largest
     // callee window (shader calls bump the register window).
@@ -145,7 +147,27 @@ SmCore::idle() const
         if (ws.warp)
             return false;
     return !rtUnit_.busy() && ldstOps_.empty() && l1Queue_.empty()
-           && tagReady_.empty();
+           && tagReady_.empty() && stagedRequests_.empty();
+}
+
+void
+SmCore::stageRequest(const MemRequest &req)
+{
+    stagedRequests_.push_back(req);
+}
+
+void
+SmCore::flushStagedRequests(Cycle now)
+{
+    for (const MemRequest &req : stagedRequests_)
+        fabric_->inject(req, now);
+    stagedRequests_.clear();
+}
+
+void
+SmCore::scheduleTag(Cycle at, std::uint64_t tag)
+{
+    tagReady_.push(TagEvent{at, tagSeq_++, tag});
 }
 
 unsigned
@@ -169,7 +191,7 @@ SmCore::rtIssueRead(Addr sector, std::uint64_t tag)
         cache.access(sector, false, AccessOrigin::RtUnit, full_tag, now_);
     switch (outcome) {
       case CacheOutcome::Hit:
-        tagReady_.emplace_back(now_ + cache.config().latency, full_tag);
+        scheduleTag(now_ + cache.config().latency, full_tag);
         return true;
       case CacheOutcome::MissNew: {
         MemRequest req;
@@ -177,7 +199,7 @@ SmCore::rtIssueRead(Addr sector, std::uint64_t tag)
         req.write = false;
         req.origin = AccessOrigin::RtUnit;
         req.smId = smId_;
-        fabric_->inject(req, now_);
+        stageRequest(req);
         return true;
       }
       case CacheOutcome::MissMerged:
@@ -198,7 +220,7 @@ SmCore::rtIssueWrite(Addr sector)
     req.write = true;
     req.origin = AccessOrigin::RtUnit;
     req.smId = smId_;
-    fabric_->inject(req, now_);
+    stageRequest(req);
     return true;
 }
 
@@ -400,9 +422,9 @@ SmCore::pumpL1(Cycle now)
                 wr.write = true;
                 wr.origin = req.origin;
                 wr.smId = smId_;
-                fabric_->inject(wr, now);
+                stageRequest(wr);
             } else {
-                tagReady_.emplace_back(now + l1_.config().latency, req.tag);
+                scheduleTag(now + l1_.config().latency, req.tag);
             }
             break;
           case CacheOutcome::MissNew: {
@@ -411,7 +433,7 @@ SmCore::pumpL1(Cycle now)
             mr.write = req.write;
             mr.origin = req.origin;
             mr.smId = smId_;
-            fabric_->inject(mr, now);
+            stageRequest(mr);
             break;
           }
           case CacheOutcome::MissMerged:
@@ -436,7 +458,7 @@ SmCore::drainFabric(Cycle now)
                            ? *rtCache_
                            : l1_;
         for (std::uint64_t tag : cache.fill(resp.addr, now))
-            tagReady_.emplace_back(now + cache.config().latency, tag);
+            scheduleTag(now + cache.config().latency, tag);
     }
 }
 
@@ -456,15 +478,11 @@ SmCore::retireWritebacks(Cycle now)
         }
     }
 
-    // Memory tags (L1 hit latency elapsed or fill arrived).
-    std::deque<std::pair<Cycle, std::uint64_t>> later;
-    while (!tagReady_.empty()) {
-        auto [at, tag] = tagReady_.front();
-        tagReady_.pop_front();
-        if (at > now) {
-            later.emplace_back(at, tag);
-            continue;
-        }
+    // Memory tags (L1 hit latency elapsed or fill arrived): pop only the
+    // due heap entries instead of re-queueing the whole deque every cycle.
+    while (!tagReady_.empty() && tagReady_.top().at <= now) {
+        std::uint64_t tag = tagReady_.top().tag;
+        tagReady_.pop();
         if (tag & kRtTagBit) {
             rtUnit_.onResponse(tag & ~kRtTagBit, now);
             continue;
@@ -484,7 +502,6 @@ SmCore::retireWritebacks(Cycle now)
             ldstOps_.erase(it);
         }
     }
-    tagReady_ = std::move(later);
 }
 
 void
@@ -495,7 +512,7 @@ SmCore::cycle(Cycle now)
     retireWritebacks(now);
 
     rtUnit_.cycle(now);
-    rtStats_->counter("unit_cycles").inc();
+    rtStats_.counter("unit_cycles").inc();
     for (const RtUnit::Completion &done : rtUnit_.drainCompletions())
         executor_.completeTraverse(*done.warp, done.splitId);
 
@@ -530,15 +547,29 @@ GpuSimulator::GpuSimulator(const GpuConfig &config,
 RunResult
 GpuSimulator::run()
 {
+    const auto host_start = std::chrono::steady_clock::now();
+
     RunResult result;
-    result.rtWarpLatency = Histogram(2000.0, 200);
+    result.rtWarpLatency =
+        Histogram(kRtLatencyBucketWidth, kRtLatencyBuckets);
 
     MemFabric fabric(config_.fabric, config_.numSms);
     std::vector<std::unique_ptr<SmCore>> sms;
     for (unsigned s = 0; s < config_.numSms; ++s)
-        sms.push_back(std::make_unique<SmCore>(s, config_, ctx_, &fabric,
-                                               &result.rt,
-                                               &result.rtWarpLatency));
+        sms.push_back(std::make_unique<SmCore>(s, config_, ctx_, &fabric));
+
+    // Parallel engine: SM cores cycle concurrently on a worker pool, with
+    // all SM→fabric traffic staged per SM and drained in fixed SM order
+    // at the cycle barrier, so results are bit-identical for any thread
+    // count (DESIGN.md, "Parallel engine & determinism contract").
+    // threads == 1 is the serial escape hatch.
+    const unsigned threads = std::min<unsigned>(
+        ThreadPool::resolveThreadCount(config_.threads),
+        std::max(1u, config_.numSms));
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1)
+        pool = std::make_unique<ThreadPool>(threads);
+    result.threadsUsed = threads;
 
     const std::uint32_t total_warps =
         (ctx_.totalThreads() + kWarpSize - 1) / kWarpSize;
@@ -558,8 +589,18 @@ GpuSimulator::run()
             }
         }
 
+        if (pool)
+            pool->parallelFor(sms.size(), [&](std::size_t s) {
+                sms[s]->cycle(now);
+            });
+        else
+            for (auto &sm : sms)
+                sm->cycle(now);
+
+        // Cycle barrier: drain staged SM traffic in fixed SM order, then
+        // advance the shared fabric.
         for (auto &sm : sms)
-            sm->cycle(now);
+            sm->flushStagedRequests(now);
         fabric.cycle(now);
 
         if (config_.occupancySamplePeriod
@@ -585,13 +626,16 @@ GpuSimulator::run()
 
     result.cycles = now;
 
-    // Aggregate per-SM statistics.
+    // Aggregate per-SM statistics in fixed SM order (determinism: the
+    // merge order never depends on the thread count).
     auto merge = [](StatGroup &dst, const StatGroup &src) {
         for (const auto &[name, counter] : src.counters())
             dst.counter(name).inc(counter.value());
     };
     for (auto &sm : sms) {
         merge(result.core, sm->stats());
+        merge(result.rt, sm->rtStats());
+        result.rtWarpLatency.merge(sm->rtLatency());
         merge(result.l1, sm->l1().stats());
         if (sm->rtCache())
             merge(result.l1, sm->rtCache()->stats());
@@ -599,6 +643,19 @@ GpuSimulator::run()
     merge(result.dram, fabric.dramStats());
     for (unsigned p = 0; p < fabric.numPartitions(); ++p)
         merge(result.l2, fabric.l2Stats(p));
+
+    result.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - host_start)
+            .count();
+    if (config_.printPerfSummary)
+        std::fprintf(stderr,
+                     "[vksim] perf: %.3f s host, %llu sim cycles, "
+                     "%.0f cycles/s, %u thread%s\n",
+                     result.hostSeconds,
+                     static_cast<unsigned long long>(result.cycles),
+                     result.cyclesPerHostSecond(), threads,
+                     threads == 1 ? "" : "s");
     return result;
 }
 

@@ -14,6 +14,7 @@
 
 #include <deque>
 #include <memory>
+#include <queue>
 #include <set>
 
 #include "dram/fabric.h"
@@ -58,6 +59,18 @@ struct GpuConfig
 
     /** Occupancy trace sampling period (0 disables; Fig. 18). */
     Cycle occupancySamplePeriod = 0;
+
+    /**
+     * Host worker threads for the parallel engine. 0 resolves via
+     * VKSIM_THREADS / hardware concurrency; 1 forces the serial engine
+     * (the `--serial` escape hatch). Results are bit-identical for every
+     * thread count — see DESIGN.md, "Parallel engine & determinism
+     * contract".
+     */
+    unsigned threads = 0;
+
+    /** Print a one-line end-of-run perf summary to stderr. */
+    bool printPerfSummary = false;
 };
 
 /** Baseline configuration of Table III. */
@@ -78,6 +91,18 @@ struct RunResult
     Histogram rtWarpLatency;  ///< RT-unit warp latency (Fig. 13)
     std::vector<std::pair<Cycle, unsigned>> occupancyTrace; ///< Fig. 18
 
+    double hostSeconds = 0.0; ///< wall-clock time of the run() call
+    unsigned threadsUsed = 1; ///< engine threads the run executed with
+
+    /** Simulated cycles per host second (simulator throughput). */
+    double
+    cyclesPerHostSecond() const
+    {
+        return hostSeconds > 0.0
+                   ? static_cast<double>(cycles) / hostSeconds
+                   : 0.0;
+    }
+
     /** Fraction of issue slots with a full warp (SIMT efficiency). */
     double simtEfficiency() const;
     /** RT-unit SIMT efficiency (active rays / resident ray slots). */
@@ -89,18 +114,39 @@ struct RunResult
     double rtActiveFraction() const;
 };
 
-/** One streaming multiprocessor. */
+/** RT-warp latency histogram geometry (paper Fig. 13). */
+inline constexpr double kRtLatencyBucketWidth = 2000.0;
+inline constexpr unsigned kRtLatencyBuckets = 200;
+
+/**
+ * One streaming multiprocessor.
+ *
+ * Thread-safety: cycle() may run concurrently with other SMs' cycle()
+ * calls. All SM→fabric traffic is *staged* locally during cycle() and
+ * only reaches the shared MemFabric when the owning simulator calls
+ * flushStagedRequests() — serially, in fixed SM order, at the cycle
+ * barrier. Each SM owns its caches, executor, and statistics (including
+ * the RT-unit stats, merged after the run), so cycle() touches no shared
+ * mutable state except the simulated GlobalMemory, which is internally
+ * synchronized and written at per-thread-disjoint addresses.
+ */
 class SmCore : public RtMemPort
 {
   public:
     SmCore(unsigned sm_id, const GpuConfig &config,
-           const vptx::LaunchContext &ctx, MemFabric *fabric,
-           StatGroup *rt_stats, Histogram *rt_latency);
+           const vptx::LaunchContext &ctx, MemFabric *fabric);
 
     /** Admit a warp if occupancy allows. @return accepted */
     bool tryAddWarp(std::uint32_t warp_id);
 
     void cycle(Cycle now);
+
+    /**
+     * Forward the memory requests staged during cycle(now) to the fabric,
+     * preserving their issue order. Must be called once per cycle, from a
+     * single thread, in ascending SM order (determinism contract).
+     */
+    void flushStagedRequests(Cycle now);
 
     /** No resident warps and no in-flight work. */
     bool idle() const;
@@ -111,6 +157,8 @@ class SmCore : public RtMemPort
     unsigned warpLimit() const { return warpLimit_; }
 
     StatGroup &stats() { return stats_; }
+    const StatGroup &rtStats() const { return rtStats_; }
+    const Histogram &rtLatency() const { return rtLatency_; }
     Cache &l1() { return l1_; }
     Cache *rtCache() { return rtCache_ ? rtCache_.get() : nullptr; }
     RtUnit &rtUnit() { return rtUnit_; }
@@ -152,6 +200,8 @@ class SmCore : public RtMemPort
     void pumpL1(Cycle now);
     void drainFabric(Cycle now);
     void retireWritebacks(Cycle now);
+    void stageRequest(const MemRequest &req);
+    void scheduleTag(Cycle at, std::uint64_t tag);
 
     unsigned smId_;
     const GpuConfig &config_;
@@ -159,8 +209,8 @@ class SmCore : public RtMemPort
     MemFabric *fabric_;
     vptx::WarpExecutor executor_;
     StatGroup stats_;
-    StatGroup *rtStats_;
-    Histogram *rtLatency_;
+    StatGroup rtStats_{"rt"};  ///< per-SM so parallel cycling is race-free
+    Histogram rtLatency_{kRtLatencyBucketWidth, kRtLatencyBuckets};
 
     Cache l1_;
     std::unique_ptr<Cache> rtCache_;
@@ -185,8 +235,34 @@ class SmCore : public RtMemPort
     std::unordered_map<std::uint64_t, LdstOp> ldstOps_;
     std::uint64_t nextLdstTag_ = 1;
     std::vector<PendingWriteback> writebacks_;
-    /// Completions scheduled after an L1 hit or fill (tag, ready cycle).
-    std::deque<std::pair<Cycle, std::uint64_t>> tagReady_;
+
+    /**
+     * Completion scheduled after an L1 hit or fill. Kept in a min-heap
+     * keyed on (ready cycle, insertion sequence) so retiring pops only
+     * the due entries instead of churning the whole queue every cycle;
+     * the sequence keeps equal-cycle retirement in FIFO order.
+     */
+    struct TagEvent
+    {
+        Cycle at;
+        std::uint64_t seq;
+        std::uint64_t tag;
+    };
+    struct TagEventAfter
+    {
+        bool
+        operator()(const TagEvent &a, const TagEvent &b) const
+        {
+            return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+        }
+    };
+    std::priority_queue<TagEvent, std::vector<TagEvent>, TagEventAfter>
+        tagReady_;
+    std::uint64_t tagSeq_ = 0;
+
+    /// SM→fabric traffic staged during cycle(), drained at the barrier.
+    std::vector<MemRequest> stagedRequests_;
+
     Cycle now_ = 0; ///< updated at each cycle() for the RT port callbacks
 };
 

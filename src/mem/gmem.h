@@ -7,13 +7,28 @@
  * descriptor sets, per-thread trace-ray stacks, and the framebuffer. The
  * functional model reads and writes values here while the timing model
  * sees only the addresses/sizes of the same accesses.
+ *
+ * Concurrency contract (parallel simulation engine): read()/write() and
+ * the typed load()/store() may be called from multiple SM worker threads
+ * at once, provided concurrent writers touch disjoint byte ranges — which
+ * the launch layout guarantees (per-thread stacks/scratch, per-pixel
+ * framebuffer slots). The page table itself is sharded and each shard is
+ * guarded by a shared_mutex so lazy page materialization is safe; page
+ * payload vectors never move once created, so data pointers stay valid
+ * without holding the lock. allocate()/setBrk()/regions() are setup-time
+ * (single-threaded) operations.
  */
 
 #ifndef VKSIM_MEM_GMEM_H
 #define VKSIM_MEM_GMEM_H
 
+#include <algorithm>
+#include <array>
 #include <cstring>
+#include <utility>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -76,11 +91,11 @@ class GlobalMemory
             Addr page = addr >> kPageBits;
             Addr off = addr & (kPageSize - 1);
             Addr chunk = std::min<Addr>(size, kPageSize - off);
-            auto it = pages_.find(page);
-            if (it == pages_.end())
+            const std::uint8_t *data = findPage(page);
+            if (data == nullptr)
                 std::memset(p, 0, chunk);
             else
-                std::memcpy(p, it->second.data() + off, chunk);
+                std::memcpy(p, data + off, chunk);
             addr += chunk;
             p += chunk;
             size -= chunk;
@@ -114,14 +129,30 @@ class GlobalMemory
     Addr
     residentBytes() const
     {
-        return static_cast<Addr>(pages_.size()) * kPageSize;
+        Addr pages = 0;
+        for (const Shard &shard : shards_) {
+            std::shared_lock<std::shared_mutex> lock(shard.mutex);
+            pages += static_cast<Addr>(shard.pages.size());
+        }
+        return pages * kPageSize;
     }
 
-    /** Materialized pages (for trace dump / debugging). */
-    const std::unordered_map<Addr, std::vector<std::uint8_t>> &
-    pages() const
+    /**
+     * Materialized pages sorted by page number (trace dump / debugging).
+     * Setup-time only: do not call concurrently with write().
+     */
+    std::vector<std::pair<Addr, const std::vector<std::uint8_t> *>>
+    snapshotPages() const
     {
-        return pages_;
+        std::vector<std::pair<Addr, const std::vector<std::uint8_t> *>> out;
+        for (const Shard &shard : shards_)
+            for (const auto &[page, data] : shard.pages)
+                out.emplace_back(page, &data);
+        std::sort(out.begin(), out.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        return out;
     }
 
     /** Restore the allocator cursor (trace replay). */
@@ -138,18 +169,58 @@ class GlobalMemory
     const std::vector<Region> &regions() const { return regions_; }
 
   private:
+    /// Page-table shards keep concurrent lazy materialization from
+    /// contending on a single lock (consecutive pages hash to
+    /// different shards).
+    static constexpr std::size_t kNumShards = 16;
+
+    struct Shard
+    {
+        mutable std::shared_mutex mutex;
+        std::unordered_map<Addr, std::vector<std::uint8_t>> pages;
+    };
+
+    Shard &
+    shardFor(Addr page)
+    {
+        return shards_[static_cast<std::size_t>(page) % kNumShards];
+    }
+
+    const Shard &
+    shardFor(Addr page) const
+    {
+        return shards_[static_cast<std::size_t>(page) % kNumShards];
+    }
+
     std::uint8_t *
     pageFor(Addr page)
     {
-        auto &vec = pages_[page];
+        Shard &shard = shardFor(page);
+        {
+            std::shared_lock<std::shared_mutex> lock(shard.mutex);
+            auto it = shard.pages.find(page);
+            if (it != shard.pages.end())
+                return it->second.data();
+        }
+        std::unique_lock<std::shared_mutex> lock(shard.mutex);
+        auto &vec = shard.pages[page];
         if (vec.empty())
             vec.resize(kPageSize, 0);
         return vec.data();
     }
 
+    const std::uint8_t *
+    findPage(Addr page) const
+    {
+        const Shard &shard = shardFor(page);
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        auto it = shard.pages.find(page);
+        return it == shard.pages.end() ? nullptr : it->second.data();
+    }
+
     // Address 0 is kept unmapped so it can serve as a null pointer.
     Addr brk_ = 0x1000;
-    std::unordered_map<Addr, std::vector<std::uint8_t>> pages_;
+    std::array<Shard, kNumShards> shards_;
     std::vector<Region> regions_;
 };
 

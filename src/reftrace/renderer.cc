@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "geom/sampling.h"
+#include "util/threadpool.h"
 
 namespace vksim {
 
@@ -215,17 +217,60 @@ shadeReferencePixel(const CpuTracer &tracer, ShadingMode mode,
     return Vec3(0.f);
 }
 
-Image
-renderReference(const CpuTracer &tracer, ShadingMode mode,
-                const ShadingParams &params, unsigned width,
-                unsigned height, TraceCounters *counters)
+namespace {
+
+/** Shade one row band [y0, y1) into img. */
+void
+renderBand(const CpuTracer &tracer, ShadingMode mode,
+           const ShadingParams &params, unsigned width, unsigned height,
+           unsigned y0, unsigned y1, Image &img, TraceCounters *counters)
 {
-    Image img(width, height);
-    for (unsigned y = 0; y < height; ++y)
+    for (unsigned y = y0; y < y1; ++y)
         for (unsigned x = 0; x < width; ++x) {
             Vec3 c = shadeReferencePixel(tracer, mode, params, x, y, width,
                                          height, counters);
             img.setPixel(x, y, c.x, c.y, c.z);
+        }
+}
+
+} // namespace
+
+Image
+renderReference(const CpuTracer &tracer, ShadingMode mode,
+                const ShadingParams &params, unsigned width,
+                unsigned height, TraceCounters *counters, unsigned threads)
+{
+    Image img(width, height);
+    unsigned lanes = ThreadPool::resolveThreadCount(threads);
+    if (lanes <= 1 || height <= 1) {
+        renderBand(tracer, mode, params, width, height, 0, height, img,
+                   counters);
+        return img;
+    }
+
+    // Row-band tiles, a few per lane for load balance. Pixels are
+    // independent (per-pixel RNG streams; disjoint image rows), so only
+    // the counters need care: each tile accumulates privately and the
+    // tiles are merged in fixed tile order after the join.
+    const unsigned tiles = std::min(height, lanes * 4u);
+    const unsigned rows_per_tile = (height + tiles - 1) / tiles;
+    std::vector<TraceCounters> tile_counters(counters ? tiles : 0);
+
+    ThreadPool pool(lanes);
+    pool.parallelFor(tiles, [&](std::size_t t) {
+        unsigned y0 = static_cast<unsigned>(t) * rows_per_tile;
+        unsigned y1 = std::min(height, y0 + rows_per_tile);
+        renderBand(tracer, mode, params, width, height, y0, y1, img,
+                   counters ? &tile_counters[t] : nullptr);
+    });
+
+    if (counters)
+        for (const TraceCounters &tc : tile_counters) {
+            counters->nodesVisited += tc.nodesVisited;
+            counters->boxTests += tc.boxTests;
+            counters->triangleTests += tc.triangleTests;
+            counters->transforms += tc.transforms;
+            counters->rays += tc.rays;
         }
     return img;
 }

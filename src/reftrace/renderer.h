@@ -65,10 +65,19 @@ Vec3 shadeReferencePixel(const CpuTracer &tracer, ShadingMode mode,
                          unsigned width, unsigned height,
                          TraceCounters *counters = nullptr);
 
-/** Render a full image on the CPU (reference renderer). */
+/**
+ * Render a full image on the CPU (reference renderer).
+ *
+ * Tiles (row bands) are rendered in parallel on `threads` host threads
+ * (0 = auto via VKSIM_THREADS / hardware concurrency, 1 = serial). The
+ * result is identical for every thread count: pixels are independent
+ * (per-pixel RNG streams) and per-tile TraceCounters are merged into
+ * `counters` in fixed tile order after the join.
+ */
 Image renderReference(const CpuTracer &tracer, ShadingMode mode,
                       const ShadingParams &params, unsigned width,
-                      unsigned height, TraceCounters *counters = nullptr);
+                      unsigned height, TraceCounters *counters = nullptr,
+                      unsigned threads = 1);
 
 } // namespace vksim
 

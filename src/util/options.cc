@@ -58,4 +58,17 @@ Options::getBool(const std::string &key, bool fallback) const
     return it->second != "0" && it->second != "false";
 }
 
+unsigned
+Options::threadCount() const
+{
+    if (getBool("serial"))
+        return 1;
+    long n = getInt("threads", 0);
+    if (n > 0)
+        return static_cast<unsigned>(n);
+    // 0 = auto: GpuSimulator/renderers resolve via VKSIM_THREADS or
+    // hardware concurrency (ThreadPool::resolveThreadCount).
+    return 0;
+}
+
 } // namespace vksim

@@ -25,6 +25,14 @@ class Options
     double getFloat(const std::string &key, double fallback) const;
     bool getBool(const std::string &key, bool fallback = false) const;
 
+    /**
+     * Engine thread count from `--threads=N` / `--serial` / the
+     * VKSIM_THREADS environment variable, in that precedence order.
+     * Returns the GpuConfig::threads convention: 0 = auto (hardware
+     * concurrency), 1 = serial engine.
+     */
+    unsigned threadCount() const;
+
   private:
     std::map<std::string, std::string> values_;
 };

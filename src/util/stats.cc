@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/log.h"
+
 namespace vksim {
+
+void
+Histogram::merge(const Histogram &other)
+{
+    vksim_assert(bucketWidth_ == other.bucketWidth_
+                 && buckets_.size() == other.buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    acc_.merge(other.acc_);
+}
 
 double
 Histogram::percentile(double frac) const

@@ -53,6 +53,24 @@ class Accumulator
     double max() const { return count_ ? max_ : 0.0; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
 
+    /**
+     * Fold another accumulator into this one. Merging per-shard
+     * accumulators in a fixed shard order gives results independent of
+     * how many threads produced the shards.
+     */
+    void
+    merge(const Accumulator &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0 || other.min_ < min_)
+            min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_)
+            max_ = other.max_;
+        sum_ += other.sum_;
+        count_ += other.count_;
+    }
+
     void
     reset()
     {
@@ -100,6 +118,12 @@ class Histogram
 
     /** Value below which `frac` (0..1) of the samples fall (approx.). */
     double percentile(double frac) const;
+
+    /**
+     * Fold a histogram with identical geometry into this one (bucket-wise
+     * addition). Panics when the bucket layout differs.
+     */
+    void merge(const Histogram &other);
 
     void
     reset()

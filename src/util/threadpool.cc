@@ -1,0 +1,165 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace vksim {
+
+namespace {
+
+/// The pool this thread is currently executing a job for (nesting guard).
+thread_local const ThreadPool *tl_activePool = nullptr;
+
+/// RAII marker for "this thread is inside a parallelFor body".
+struct ActivePoolScope
+{
+    explicit ActivePoolScope(const ThreadPool *pool)
+    {
+        tl_activePool = pool;
+    }
+    ~ActivePoolScope() { tl_activePool = nullptr; }
+};
+
+} // namespace
+
+unsigned
+ThreadPool::resolveThreadCount(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("VKSIM_THREADS")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unsigned lanes = resolveThreadCount(threads);
+    workers_.reserve(lanes - 1);
+    for (unsigned i = 0; i + 1 < lanes; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::runChunks(const std::function<void(std::size_t)> &body,
+                      std::size_t n, std::size_t chunk)
+{
+    for (;;) {
+        std::size_t begin =
+            nextIndex_.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n)
+            return;
+        std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::size_t n = 0;
+        std::size_t chunk = 1;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            body = body_;
+            n = jobSize_;
+            chunk = chunk_;
+        }
+        {
+            ActivePoolScope scope(this);
+            runChunks(*body, n, chunk);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--working_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (tl_activePool == this)
+        throw std::logic_error(
+            "nested ThreadPool::parallelFor on the same pool");
+
+    if (workers_.empty() || n == 1) {
+        ActivePoolScope scope(this);
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        body_ = &body;
+        jobSize_ = n;
+        // Chunked self-scheduling: big enough to amortize the atomic,
+        // small enough to balance uneven iteration costs.
+        chunk_ = std::max<std::size_t>(1, n / (threadCount() * 4u));
+        nextIndex_.store(0, std::memory_order_relaxed);
+        error_ = nullptr;
+        working_ = static_cast<unsigned>(workers_.size());
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    {
+        ActivePoolScope scope(this);
+        runChunks(body, n, chunk_);
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return working_ == 0; });
+    body_ = nullptr;
+    lock.unlock();
+
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+ThreadPool &
+sharedThreadPool()
+{
+    static ThreadPool pool(0);
+    return pool;
+}
+
+} // namespace vksim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic fork-join thread pool.
+ *
+ * A pool of persistent worker threads driven by a generation-counted
+ * barrier: parallelFor(n, body) publishes a job, wakes every worker, and
+ * all lanes (workers + the calling thread) pull index chunks from a shared
+ * atomic cursor until the range is exhausted. The call returns only after
+ * every lane has passed the completion barrier, so a parallelFor is a full
+ * fork-join phase — exactly the structure the parallel simulation engine
+ * needs for its stage-then-drain cycle barrier (see DESIGN.md, "Parallel
+ * engine & determinism contract").
+ *
+ * Determinism is the caller's contract, made easy to honour: iterations
+ * may run on any lane in any order, so bodies must only touch per-index
+ * state (or perform exactly-commutative reductions); every consumer in
+ * this repo stages per-index results and merges them in fixed index order
+ * after the join.
+ *
+ * Exceptions thrown by the body are captured (first one wins) and
+ * rethrown from parallelFor after the join. Nested parallelFor on the
+ * same pool is rejected with std::logic_error (the barrier is not
+ * reentrant). Empty ranges return immediately.
+ */
+
+#ifndef VKSIM_UTIL_THREADPOOL_H
+#define VKSIM_UTIL_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vksim {
+
+/** Persistent-worker fork-join pool with a barrier-style parallelFor. */
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool with `threads` total lanes (including the calling
+     * thread): `threads` workers minus one are spawned. 0 resolves via
+     * resolveThreadCount(); 1 spawns nothing and runs inline.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total lanes, including the calling thread. */
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run body(i) for every i in [0, n). Blocks until all iterations have
+     * completed (fork-join barrier). The first exception thrown by any
+     * iteration is rethrown here after the join.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Resolve a requested thread count: a positive request wins, else the
+     * VKSIM_THREADS environment variable, else hardware concurrency
+     * (never 0).
+     */
+    static unsigned resolveThreadCount(unsigned requested);
+
+  private:
+    void workerLoop();
+    void runChunks(const std::function<void(std::size_t)> &body,
+                   std::size_t n, std::size_t chunk);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::uint64_t generation_ = 0; ///< bumped per job; workers wait on it
+    unsigned working_ = 0;         ///< workers still inside the current job
+    bool shutdown_ = false;
+
+    // Current job (published under mutex_, consumed lock-free).
+    const std::function<void(std::size_t)> *body_ = nullptr;
+    std::size_t jobSize_ = 0;
+    std::size_t chunk_ = 1;
+    std::atomic<std::size_t> nextIndex_{0};
+
+    std::mutex errorMutex_;
+    std::exception_ptr error_;
+};
+
+/**
+ * Process-wide shared pool for coarse data-parallel helpers (BVH builder
+ * binning). Created lazily with resolveThreadCount(0) lanes.
+ */
+ThreadPool &sharedThreadPool();
+
+} // namespace vksim
+
+#endif // VKSIM_UTIL_THREADPOOL_H

@@ -117,12 +117,13 @@ dumpTrace(const std::string &path, const vptx::LaunchContext &ctx)
     }
     w.pod(prog.raygenShader);
 
-    // Memory image.
+    // Memory image (pages sorted so traces are byte-reproducible).
     w.u64(ctx.gmem->brk());
-    w.u64(ctx.gmem->pages().size());
-    for (const auto &[page, data] : ctx.gmem->pages()) {
+    auto pages = ctx.gmem->snapshotPages();
+    w.u64(pages.size());
+    for (const auto &[page, data] : pages) {
         w.u64(page);
-        w.bytes(data.data(), data.size());
+        w.bytes(data->data(), data->size());
     }
     std::fclose(f);
     return true;

@@ -249,10 +249,12 @@ Workload::readFramebuffer() const
 }
 
 Image
-Workload::renderReferenceImage(TraceCounters *counters) const
+Workload::renderReferenceImage(TraceCounters *counters,
+                               unsigned threads) const
 {
     return renderReference(*tracer_, shadingMode(), params_.shading,
-                           params_.width, params_.height, counters);
+                           params_.width, params_.height, counters,
+                           threads);
 }
 
 double

@@ -81,8 +81,12 @@ class Workload
     /** Read the framebuffer contents (after a run). */
     Image readFramebuffer() const;
 
-    /** Render the same image with the CPU reference renderer. */
-    Image renderReferenceImage(TraceCounters *counters = nullptr) const;
+    /**
+     * Render the same image with the CPU reference renderer.
+     * `threads` follows renderReference(): 0 = auto, 1 = serial.
+     */
+    Image renderReferenceImage(TraceCounters *counters = nullptr,
+                               unsigned threads = 1) const;
 
     /** Average BVH nodes visited per ray (Table IV). */
     double averageNodesPerRay() const;
