@@ -4,12 +4,25 @@
  * BVH construction throughput, serialized-BVH traversal rays/second, the
  * functional VPTX executor, and one timed-simulation step. These measure
  * the *simulator* (how fast experiments run), not the modelled GPU.
+ *
+ * Besides the normal console table, every run writes a machine-readable
+ * summary to BENCH_micro.json (override the path with the
+ * VKSIM_BENCH_OUT environment variable): a JSON array with one object
+ * per benchmark repetition, carrying name, iterations, real/cpu time,
+ * the time unit, items-per-second, and any user counters.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "core/vulkansim.h"
 #include "reftrace/tracer.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -149,6 +162,92 @@ BENCHMARK(BM_ReferenceRenderThreads)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Collects every finished run and dumps BENCH_micro.json on Finalize,
+ * while delegating to the stock console reporter so the usual table
+ * still prints. (Wrapping, rather than registering as a benchmark file
+ * reporter, sidesteps the library's --benchmark_out requirement.)
+ * Numbers go through formatJsonNumber for deterministic
+ * shortest-round-trip formatting.
+ */
+class JsonPointsReporter : public benchmark::BenchmarkReporter
+{
+  public:
+    explicit JsonPointsReporter(std::string path) : path_(std::move(path)) {}
+
+    bool ReportContext(const Context &context) override
+    {
+        return console_.ReportContext(context);
+    }
+
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        console_.ReportRuns(runs);
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            runs_.push_back(run);
+        }
+    }
+
+    void Finalize() override
+    {
+        console_.Finalize();
+        std::ofstream os(path_);
+        if (!os) {
+            std::fprintf(stderr, "bench_micro: cannot write %s\n",
+                         path_.c_str());
+            return;
+        }
+        os << "[\n";
+        for (std::size_t ii = 0; ii < runs_.size(); ++ii) {
+            const Run &run = runs_[ii];
+            os << "  {\"name\": \"" << run.benchmark_name() << "\","
+               << " \"iterations\": " << run.iterations << ","
+               << " \"real_time\": "
+               << vksim::formatJsonNumber(run.GetAdjustedRealTime()) << ","
+               << " \"cpu_time\": "
+               << vksim::formatJsonNumber(run.GetAdjustedCPUTime()) << ","
+               << " \"time_unit\": \""
+               << benchmark::GetTimeUnitString(run.time_unit) << "\"";
+            if (run.counters.find("items_per_second")
+                != run.counters.end()) {
+                os << ", \"items_per_second\": "
+                   << vksim::formatJsonNumber(
+                          run.counters.at("items_per_second"));
+            }
+            for (const auto &kv : run.counters) {
+                if (kv.first == "items_per_second")
+                    continue;
+                os << ", \"" << kv.first << "\": "
+                   << vksim::formatJsonNumber(kv.second);
+            }
+            if (!run.report_label.empty())
+                os << ", \"label\": \"" << run.report_label << "\"";
+            os << "}" << (ii + 1 < runs_.size() ? "," : "") << "\n";
+        }
+        os << "]\n";
+        std::printf("bench_micro: wrote %zu points to %s\n", runs_.size(),
+                    path_.c_str());
+    }
+
+  private:
+    std::string path_;
+    benchmark::ConsoleReporter console_;
+    std::vector<Run> runs_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    const char *out = std::getenv("VKSIM_BENCH_OUT");
+    JsonPointsReporter reporter(out ? out : "BENCH_micro.json");
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -6,13 +6,39 @@
  *
  * Usage: render_all [--size=48] [--mobile] [--outdir=.]
  *                   [--threads=N] [--serial] [--perf]
+ *                   [--stats-json=stats.json]
+ *                   [--timeline=trace.json] [--timeline-sample=64]
+ *                   [--timeline-max-events=1048576]
+ *
+ * --stats-json dumps the complete MetricsRegistry of every run into one
+ * JSON object keyed by scene name; the file is byte-identical for every
+ * --threads value (determinism contract). --timeline writes one
+ * Chrome-trace file per workload, the scene name inserted before the
+ * extension (trace.json -> trace.TRI.json, ...).
  */
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "core/vulkansim.h"
 #include "util/options.h"
+
+namespace {
+
+/** "out.json" + "TRI" -> "out.TRI.json"; no extension -> "out.TRI". */
+std::string
+perWorkloadPath(const std::string &path, const std::string &scene)
+{
+    auto dot = path.rfind('.');
+    auto slash = path.find_last_of('/');
+    if (dot == std::string::npos
+        || (slash != std::string::npos && dot < slash))
+        return path + "." + scene;
+    return path.substr(0, dot) + "." + scene + path.substr(dot);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -27,8 +53,27 @@ main(int argc, char **argv)
     config.threads = threads;
     config.printPerfSummary = opts.getBool("perf");
 
+    const std::string stats_path = opts.get("stats-json", "");
+    const std::string timeline_path = opts.get("timeline", "");
+    config.timeline.sampleInterval = static_cast<Cycle>(
+        opts.getInt("timeline-sample", 64));
+    config.timeline.maxEvents = static_cast<std::uint64_t>(
+        opts.getInt("timeline-max-events", 1 << 20));
+
+    std::ofstream stats_out;
+    if (!stats_path.empty()) {
+        stats_out.open(stats_path);
+        if (!stats_out) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         stats_path.c_str());
+            return 1;
+        }
+        stats_out << "{\n";
+    }
+
     std::printf("%-6s %10s %12s %8s %10s  %s\n", "scene", "prims",
                 "cycles", "SIMT", "img diff", "output");
+    bool first_stats = true;
     for (wl::WorkloadId id : wl::kAllWorkloads) {
         wl::WorkloadParams params;
         params.width = size;
@@ -36,6 +81,9 @@ main(int argc, char **argv)
         params.extScale = 0.25f;
         params.rtv5Detail = 5;
         wl::Workload workload(id, params);
+        if (!timeline_path.empty())
+            config.timeline.path =
+                perWorkloadPath(timeline_path, workload.name());
         RunResult run = simulateWorkload(workload, config);
         Image image = workload.readFramebuffer();
         ImageDiff diff = compareImages(
@@ -47,6 +95,16 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(run.cycles),
                     100.0 * run.simtEfficiency(),
                     100.0 * diff.differingFraction(), path.c_str());
+        if (stats_out.is_open()) {
+            stats_out << (first_stats ? "" : ",\n") << "\""
+                      << workload.name() << "\":\n";
+            run.metrics.writeJson(stats_out, 2);
+            first_stats = false;
+        }
+    }
+    if (stats_out.is_open()) {
+        stats_out << "\n}\n";
+        std::printf("stats json: %s\n", stats_path.c_str());
     }
     return 0;
 }

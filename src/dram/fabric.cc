@@ -35,7 +35,7 @@ DramChannel::enqueue(const MemRequest &req)
 }
 
 void
-DramChannel::tick(std::vector<MemRequest> *done)
+DramChannel::tick(std::vector<MemRequest> *done, Cycle core_now)
 {
     ++nowDram_;
     stats_->counter("cycles").inc();
@@ -117,6 +117,11 @@ DramChannel::tick(std::vector<MemRequest> *done)
                               : config_.tRp + config_.tRcd;
         bank.openRow = rowOf(req.addr);
         stats_->counter("row_misses").inc();
+        if (timeline_)
+            timeline_->instant("dram.ch" + std::to_string(channelId_)
+                                   + ".bank"
+                                   + std::to_string(bankOf(req.addr)),
+                               "row_activate", core_now);
     } else {
         stats_->counter("row_hits").inc();
     }
@@ -223,17 +228,37 @@ MemFabric::partitionCycle(Partition &p, Cycle now)
 }
 
 void
+MemFabric::setTimeline(TimelineShard *shard)
+{
+    timeline_ = shard;
+    for (unsigned p = 0; p < partitions_.size(); ++p)
+        partitions_[p].dram->setTimeline(shard, p);
+}
+
+void
 MemFabric::cycle(Cycle now)
 {
     for (Partition &p : partitions_)
         partitionCycle(p, now);
+
+    if (timeline_ && timeline_->sampleDue(now)) {
+        for (unsigned p = 0; p < partitions_.size(); ++p) {
+            const std::string prefix = "part" + std::to_string(p);
+            timeline_->counter(
+                prefix + ".inbound", now,
+                static_cast<double>(partitions_[p].inbound.size()));
+            timeline_->counter(
+                prefix + ".l2_mshrs", now,
+                static_cast<double>(partitions_[p].l2->mshrsInUse()));
+        }
+    }
 
     dramTickAccum_ += config_.dramClockRatio;
     while (dramTickAccum_ >= 1.0) {
         dramTickAccum_ -= 1.0;
         for (Partition &p : partitions_) {
             std::vector<MemRequest> done;
-            p.dram->tick(&done);
+            p.dram->tick(&done, now);
             for (const MemRequest &req : done) {
                 // Fill the L2 and answer every merged miss.
                 std::vector<std::uint64_t> targets =

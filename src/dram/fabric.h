@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cache/cache.h"
+#include "util/timeline.h"
 
 namespace vksim {
 
@@ -68,8 +69,20 @@ class DramChannel
 
     void enqueue(const MemRequest &req);
 
-    /** One DRAM-clock tick; completed reads are appended to `done`. */
-    void tick(std::vector<MemRequest> *done);
+    /**
+     * One DRAM-clock tick; completed reads are appended to `done`.
+     * `core_now` is the core-clock cycle, used only to timestamp
+     * timeline events so DRAM tracks share the trace's clock.
+     */
+    void tick(std::vector<MemRequest> *done, Cycle core_now = 0);
+
+    /** Timeline sink: row-activate instants on per-bank tracks. */
+    void
+    setTimeline(TimelineShard *shard, unsigned channel_id)
+    {
+        timeline_ = shard;
+        channelId_ = channel_id;
+    }
 
     bool
     idle() const
@@ -101,6 +114,8 @@ class DramChannel
     std::vector<Inflight> inflight_;
     std::uint64_t nowDram_ = 0;
     std::uint64_t busFreeAt_ = 0;
+    TimelineShard *timeline_ = nullptr;
+    unsigned channelId_ = 0;
 };
 
 /**
@@ -136,6 +151,13 @@ class MemFabric
 
     unsigned numPartitions() const { return config_.numPartitions; }
 
+    /**
+     * Timeline sink (the fabric's own shard; the fabric only mutates
+     * state at the single-threaded cycle barrier): sampled per-partition
+     * queue-depth / L2-MSHR counter tracks plus DRAM bank events.
+     */
+    void setTimeline(TimelineShard *shard);
+
   private:
     struct Partition
     {
@@ -158,6 +180,7 @@ class MemFabric
     std::vector<std::deque<std::pair<Cycle, MemRequest>>> responses_;
     double dramTickAccum_ = 0.0;
     StatGroup dramStats_{"dram"};
+    TimelineShard *timeline_ = nullptr;
 };
 
 } // namespace vksim

@@ -115,8 +115,15 @@ SmCore::SmCore(unsigned sm_id, const GpuConfig &config,
     warpLimit_ = std::max(warpLimit_, 1u);
 }
 
+void
+SmCore::setTimeline(TimelineShard *shard)
+{
+    timeline_ = shard;
+    rtUnit_.setTimeline(shard);
+}
+
 bool
-SmCore::tryAddWarp(std::uint32_t warp_id)
+SmCore::tryAddWarp(std::uint32_t warp_id, Cycle now)
 {
     unsigned resident = 0;
     for (const WarpSlot &slot : warps_)
@@ -127,6 +134,7 @@ SmCore::tryAddWarp(std::uint32_t warp_id)
     WarpSlot slot;
     slot.warp = std::make_unique<vptx::Warp>();
     slot.warpId = warp_id;
+    slot.dispatchedAt = now;
     vptx::initWarp(*slot.warp, warp_id, ctx_,
                    config_.its ? vptx::WarpCflow::Mode::Its
                                : vptx::WarpCflow::Mode::Stack);
@@ -527,12 +535,29 @@ SmCore::cycle(Cycle now)
 
     // Retire finished warps (slots are reused, never erased, so indices
     // held by in-flight writebacks stay valid).
-    for (WarpSlot &ws : warps_) {
+    for (std::size_t s = 0; s < warps_.size(); ++s) {
+        WarpSlot &ws = warps_[s];
         if (ws.warp && ws.warp->finished() && ws.pendingLoads == 0
             && !ws.warp->inRtUnit()) {
+            if (timeline_)
+                timeline_->complete("sched.slot" + std::to_string(s),
+                                    "warp" + std::to_string(ws.warpId),
+                                    ws.dispatchedAt, now);
             ws.warp.reset();
             ws.pendingRegs.clear();
         }
+    }
+
+    // Sampled counter tracks: scheduler occupancy, L1 (+ RT cache)
+    // MSHR pressure, RT-unit ray occupancy.
+    if (timeline_ && timeline_->sampleDue(now)) {
+        timeline_->counter("sched.resident_warps", now, residentWarps());
+        timeline_->counter("l1.mshrs", now, l1_.mshrsInUse());
+        if (rtCache_)
+            timeline_->counter("rtcache.mshrs", now,
+                               rtCache_->mshrsInUse());
+        timeline_->counter("rtunit.active_rays", now,
+                           rtUnit_.activeRays());
     }
 }
 
@@ -557,6 +582,21 @@ GpuSimulator::run()
     std::vector<std::unique_ptr<SmCore>> sms;
     for (unsigned s = 0; s < config_.numSms; ++s)
         sms.push_back(std::make_unique<SmCore>(s, config_, ctx_, &fabric));
+
+    // Timeline sink: one single-writer shard per SM plus one for the
+    // shared fabric (written only at the cycle barrier), merged in shard
+    // order at the end — deterministic for any thread count.
+    std::unique_ptr<Timeline> timeline;
+    if (config_.timeline.enabled()) {
+        timeline = std::make_unique<Timeline>(config_.timeline,
+                                              config_.numSms + 1);
+        for (unsigned s = 0; s < config_.numSms; ++s) {
+            timeline->setProcessName(s, "sm" + std::to_string(s));
+            sms[s]->setTimeline(timeline->shard(s));
+        }
+        timeline->setProcessName(config_.numSms, "fabric");
+        fabric.setTimeline(timeline->shard(config_.numSms));
+    }
 
     // Parallel engine: SM cores cycle concurrently on a worker pool, with
     // all SM→fabric traffic staged per SM and drained in fixed SM order
@@ -583,7 +623,7 @@ GpuSimulator::run()
              attempt < config_.numSms && next_warp < total_warps;
              ++attempt) {
             unsigned s = (rr_sm + attempt) % config_.numSms;
-            if (sms[s]->tryAddWarp(next_warp)) {
+            if (sms[s]->tryAddWarp(next_warp, now)) {
                 ++next_warp;
                 rr_sm = s + 1;
             }
@@ -643,6 +683,51 @@ GpuSimulator::run()
     merge(result.dram, fabric.dramStats());
     for (unsigned p = 0; p < fabric.numPartitions(); ++p)
         merge(result.l2, fabric.l2Stats(p));
+
+    // Unified metrics registry: fold every per-SM shard in fixed SM
+    // order (full fidelity — counters *and* accumulators), then the
+    // shared fabric, then derived ratios. Host wall-clock and thread
+    // count are deliberately excluded so the dump is bit-identical for
+    // every thread count.
+    MetricsRegistry &m = result.metrics;
+    for (auto &sm : sms) {
+        m.importGroup("gpu.core", sm->stats());
+        m.importGroup("gpu.rt", sm->rtStats());
+        m.importGroup("gpu.l1", sm->l1().stats());
+        if (sm->rtCache())
+            m.importGroup("gpu.rtcache", sm->rtCache()->stats());
+        m.histogram("gpu.rt.warp_latency_hist", kRtLatencyBucketWidth,
+                    kRtLatencyBuckets)
+            .merge(sm->rtLatency());
+    }
+    m.importGroup("gpu.dram", fabric.dramStats());
+    for (unsigned p = 0; p < fabric.numPartitions(); ++p)
+        m.importGroup("gpu.l2", fabric.l2Stats(p));
+    m.gauge("gpu.cycles").set(static_cast<double>(now));
+    m.gauge("gpu.occupancy_samples")
+        .set(static_cast<double>(result.occupancyTrace.size()));
+    m.gauge("gpu.derived.simt_efficiency").set(result.simtEfficiency());
+    m.gauge("gpu.derived.rt_simt_efficiency")
+        .set(result.rtSimtEfficiency());
+    m.gauge("gpu.derived.dram_utilization").set(result.dramUtilization());
+    m.gauge("gpu.derived.dram_efficiency").set(result.dramEfficiency());
+    m.gauge("gpu.derived.rt_active_fraction")
+        .set(result.rtActiveFraction());
+    if (ctx_.gmem) {
+        m.gauge("mem.heap_bytes")
+            .set(static_cast<double>(ctx_.gmem->brk()));
+        m.gauge("mem.resident_bytes")
+            .set(static_cast<double>(ctx_.gmem->residentBytes()));
+    }
+    if (timeline) {
+        m.gauge("timeline.events")
+            .set(static_cast<double>(timeline->eventCount()));
+        m.gauge("timeline.dropped_events")
+            .set(static_cast<double>(timeline->droppedCount()));
+        std::string err;
+        if (!timeline->writeFile(&err))
+            warnStr("timeline: " + err);
+    }
 
     result.hostSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now()

@@ -20,6 +20,8 @@
 #include "dram/fabric.h"
 #include "rtunit/rtunit.h"
 #include "util/image.h"
+#include "util/metrics.h"
+#include "util/timeline.h"
 #include "vptx/exec.h"
 
 namespace vksim {
@@ -71,6 +73,13 @@ struct GpuConfig
 
     /** Print a one-line end-of-run perf summary to stderr. */
     bool printPerfSummary = false;
+
+    /**
+     * Chrome-trace timeline sink (`--timeline=out.json`). Disabled when
+     * the path is empty. Events use simulated-cycle timestamps, so the
+     * file is bit-identical for every engine thread count.
+     */
+    TimelineConfig timeline;
 };
 
 /** Baseline configuration of Table III. */
@@ -90,6 +99,15 @@ struct RunResult
     StatGroup l2{"l2"};
     Histogram rtWarpLatency;  ///< RT-unit warp latency (Fig. 13)
     std::vector<std::pair<Cycle, unsigned>> occupancyTrace; ///< Fig. 18
+
+    /**
+     * The complete observability dump: every subsystem's counters,
+     * accumulators and histograms (per-SM shards folded in fixed SM
+     * order) plus derived ratio gauges. Deliberately excludes host
+     * wall-clock and thread count, so `metrics.toJson()` is byte-
+     * identical for every engine thread count (determinism contract).
+     */
+    MetricsRegistry metrics;
 
     double hostSeconds = 0.0; ///< wall-clock time of the run() call
     unsigned threadsUsed = 1; ///< engine threads the run executed with
@@ -136,8 +154,8 @@ class SmCore : public RtMemPort
     SmCore(unsigned sm_id, const GpuConfig &config,
            const vptx::LaunchContext &ctx, MemFabric *fabric);
 
-    /** Admit a warp if occupancy allows. @return accepted */
-    bool tryAddWarp(std::uint32_t warp_id);
+    /** Admit a warp if occupancy allows at cycle `now`. @return accepted */
+    bool tryAddWarp(std::uint32_t warp_id, Cycle now);
 
     void cycle(Cycle now);
 
@@ -156,7 +174,16 @@ class SmCore : public RtMemPort
 
     unsigned warpLimit() const { return warpLimit_; }
 
+    /**
+     * Attach this SM's timeline shard (single-writer: only this SM's
+     * worker thread appends). Emits per-warp-slot residency spans,
+     * RT-unit traversal spans, and sampled occupancy/MSHR counter
+     * tracks.
+     */
+    void setTimeline(TimelineShard *shard);
+
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
     const StatGroup &rtStats() const { return rtStats_; }
     const Histogram &rtLatency() const { return rtLatency_; }
     Cache &l1() { return l1_; }
@@ -175,6 +202,7 @@ class SmCore : public RtMemPort
         unsigned pendingLoads = 0;  ///< outstanding load instructions
         std::uint32_t warpId = 0;
         unsigned nextSplit = 0;     ///< ITS round robin within the warp
+        Cycle dispatchedAt = 0;     ///< admission cycle (timeline span)
     };
 
     /** Outstanding LDST instruction (load side). */
@@ -262,6 +290,8 @@ class SmCore : public RtMemPort
 
     /// SM→fabric traffic staged during cycle(), drained at the barrier.
     std::vector<MemRequest> stagedRequests_;
+
+    TimelineShard *timeline_ = nullptr;
 
     Cycle now_ = 0; ///< updated at each cycle() for the RT port callbacks
 };

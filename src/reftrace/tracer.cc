@@ -7,6 +7,17 @@
 
 namespace vksim {
 
+void
+TraceCounters::exportTo(MetricsRegistry &registry,
+                        const std::string &prefix) const
+{
+    registry.counter(prefix + ".nodes_visited").inc(nodesVisited);
+    registry.counter(prefix + ".box_tests").inc(boxTests);
+    registry.counter(prefix + ".triangle_tests").inc(triangleTests);
+    registry.counter(prefix + ".transforms").inc(transforms);
+    registry.counter(prefix + ".rays").inc(rays);
+}
+
 namespace {
 
 /** Object-space ray for an instance (direction left unnormalized). */

@@ -22,6 +22,7 @@
 #include "accel/traversal.h"
 #include "geom/ray.h"
 #include "scene/scene.h"
+#include "util/metrics.h"
 
 namespace vksim {
 
@@ -37,6 +38,10 @@ struct TraceCounters
     std::uint64_t triangleTests = 0;
     std::uint64_t transforms = 0;
     std::uint64_t rays = 0;
+
+    /** Register under `prefix.` in the unified metrics registry. */
+    void exportTo(MetricsRegistry &registry,
+                  const std::string &prefix) const;
 };
 
 /** BVH-based CPU tracer over the serialized acceleration structure. */

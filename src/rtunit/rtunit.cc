@@ -344,6 +344,10 @@ RtUnit::pumpWriteback(Cycle now)
             if (latencyHist_)
                 latencyHist_->sample(
                     static_cast<double>(now - entry.submitTime));
+            if (timeline_)
+                timeline_->complete(
+                    "rtunit.slot" + std::to_string(slot), "traverse",
+                    entry.submitTime, now);
             entry.valid = false;
             --liveEntries_;
             if (lastScheduled_ == static_cast<int>(slot))

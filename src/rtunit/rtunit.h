@@ -29,6 +29,7 @@
 #include "accel/traversal.h"
 #include "cache/cache.h"
 #include "util/stats.h"
+#include "util/timeline.h"
 #include "vptx/context.h"
 
 namespace vksim {
@@ -103,6 +104,12 @@ class RtUnit
 
     /** Optional warp-latency histogram (paper Fig. 13). */
     void setLatencyHistogram(Histogram *hist) { latencyHist_ = hist; }
+
+    /**
+     * Optional timeline sink (the owning SM's shard): one "X" span per
+     * traversal warp, submit to completion, on the "rtunit" track.
+     */
+    void setTimeline(TimelineShard *shard) { timeline_ = shard; }
 
   private:
     enum class LaneStatus : std::uint8_t
@@ -186,6 +193,7 @@ class RtUnit
         inflight_;
     std::uint64_t nextTag_ = 1;
     Histogram *latencyHist_ = nullptr;
+    TimelineShard *timeline_ = nullptr;
 };
 
 } // namespace vksim

@@ -1,0 +1,302 @@
+#include "util/jsonio.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace vksim {
+
+const JsonValue *
+JsonValue::member(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/** Recursive-descent parser over a string view with offset reporting. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(JsonValue *out, std::string *error)
+    {
+        bool ok = value(out) && (skipWs(), pos_ == text_.size());
+        if (!ok && error) {
+            std::ostringstream os;
+            os << (err_.empty() ? "unexpected trailing data" : err_)
+               << " at byte " << pos_;
+            *error = os.str();
+        }
+        return ok;
+    }
+
+  private:
+    bool
+    fail(const char *msg)
+    {
+        if (err_.empty())
+            err_ = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\t'
+                   || text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("invalid literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue *out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"':
+            out->kind = JsonValue::Kind::String;
+            return string(&out->str);
+          case 't':
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = true;
+            return literal("true");
+          case 'f':
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = false;
+            return literal("false");
+          case 'n':
+            out->kind = JsonValue::Kind::Null;
+            return literal("null");
+          default:
+            return number(out);
+        }
+    }
+
+    bool
+    object(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"'
+                || !string(&key))
+                return fail("expected object key");
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            JsonValue member;
+            if (!value(&member))
+                return false;
+            if (!out->object.emplace(key, std::move(member)).second)
+                return fail("duplicate object key");
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue elem;
+            if (!value(&elem))
+                return false;
+            out->array.push_back(std::move(elem));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    string(std::string *out)
+    {
+        ++pos_; // opening quote
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_];
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size())
+                    return fail("unterminated escape");
+                char e = text_[pos_ + 1];
+                pos_ += 2;
+                switch (e) {
+                  case '"': *out += '"'; break;
+                  case '\\': *out += '\\'; break;
+                  case '/': *out += '/'; break;
+                  case 'b': *out += '\b'; break;
+                  case 'f': *out += '\f'; break;
+                  case 'n': *out += '\n'; break;
+                  case 'r': *out += '\r'; break;
+                  case 't': *out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_ + i];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                    // UTF-8 encode (surrogate pairs not needed for our
+                    // own ASCII output; pass them through as-is).
+                    if (cp < 0x80) {
+                        *out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        *out += static_cast<char>(0xc0 | (cp >> 6));
+                        *out += static_cast<char>(0x80 | (cp & 0x3f));
+                    } else {
+                        *out += static_cast<char>(0xe0 | (cp >> 12));
+                        *out +=
+                            static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                        *out += static_cast<char>(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else {
+                *out += c;
+                ++pos_;
+            }
+        }
+        if (pos_ >= text_.size())
+            return fail("unterminated string");
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number(JsonValue *out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < text_.size()
+                   && std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        std::size_t int_start = pos_;
+        if (digits() == 0)
+            return fail("invalid number");
+        if (pos_ - int_start > 1 && text_[int_start] == '0')
+            return fail("leading zero in number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0)
+                return fail("digits required after '.'");
+        }
+        if (pos_ < text_.size()
+            && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size()
+                && (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (digits() == 0)
+                return fail("digits required in exponent");
+        }
+        out->kind = JsonValue::Kind::Number;
+        out->raw = text_.substr(start, pos_ - start);
+        out->number = std::strtod(out->raw.c_str(), nullptr);
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string err_;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue *out, std::string *error)
+{
+    *out = JsonValue{};
+    return Parser(text).parse(out, error);
+}
+
+bool
+readFile(const std::string &path, std::string *out, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+} // namespace vksim

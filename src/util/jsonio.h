@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser.
+ *
+ * Exists so the test suite can *parse back* the simulator's own
+ * machine-readable outputs (the metrics dump, the Chrome-trace timeline,
+ * the golden stats files) without an external dependency. Numbers keep
+ * their raw source text alongside the double value, so integer counters
+ * can be compared exactly even beyond 2^53.
+ */
+
+#ifndef VKSIM_UTIL_JSONIO_H
+#define VKSIM_UTIL_JSONIO_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vksim {
+
+/** A parsed JSON value (object keys sorted; duplicate keys rejected). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string raw;  ///< number literal exactly as written
+    std::string str;  ///< decoded string contents
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue *member(const std::string &key) const;
+};
+
+/**
+ * Parse a complete JSON document (trailing whitespace allowed, trailing
+ * garbage rejected). On failure returns false and sets `error` (when
+ * non-null) to a message with the byte offset.
+ */
+bool parseJson(const std::string &text, JsonValue *out,
+               std::string *error = nullptr);
+
+/** Read a whole file; returns false (and sets `error`) when unreadable. */
+bool readFile(const std::string &path, std::string *out,
+              std::string *error = nullptr);
+
+} // namespace vksim
+
+#endif // VKSIM_UTIL_JSONIO_H

@@ -1,0 +1,151 @@
+#include "util/timeline.h"
+
+#include <fstream>
+
+#include "util/metrics.h"
+
+namespace vksim {
+
+void
+TimelineShard::record(Event &&ev)
+{
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(ev));
+}
+
+void
+TimelineShard::complete(std::string track, std::string name, Cycle start,
+                        Cycle end)
+{
+    Event ev;
+    ev.phase = 'X';
+    ev.track = std::move(track);
+    ev.name = std::move(name);
+    ev.ts = start;
+    ev.dur = end >= start ? end - start : 0;
+    record(std::move(ev));
+}
+
+void
+TimelineShard::instant(std::string track, std::string name, Cycle ts)
+{
+    Event ev;
+    ev.phase = 'i';
+    ev.track = std::move(track);
+    ev.name = std::move(name);
+    ev.ts = ts;
+    record(std::move(ev));
+}
+
+void
+TimelineShard::counter(std::string track, Cycle ts, double value)
+{
+    Event ev;
+    ev.phase = 'C';
+    ev.track = std::move(track);
+    ev.ts = ts;
+    ev.value = value;
+    record(std::move(ev));
+}
+
+Timeline::Timeline(const TimelineConfig &config, unsigned num_shards)
+    : config_(config)
+{
+    std::uint64_t per_shard =
+        num_shards ? config_.maxEvents / num_shards : 0;
+    if (per_shard == 0)
+        per_shard = 1;
+    for (unsigned i = 0; i < num_shards; ++i) {
+        auto shard = std::make_unique<TimelineShard>();
+        shard->capacity_ = per_shard;
+        shard->sampleInterval_ = config_.sampleInterval;
+        shard->pid_ = i;
+        shards_.push_back(std::move(shard));
+    }
+}
+
+void
+Timeline::setProcessName(unsigned idx, std::string name)
+{
+    shards_[idx]->processName_ = std::move(name);
+}
+
+std::uint64_t
+Timeline::eventCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->events_.size();
+    return n;
+}
+
+std::uint64_t
+Timeline::droppedCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->dropped_;
+    return n;
+}
+
+void
+Timeline::writeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    auto sep = [&] {
+        os << (first ? "\n" : ",\n") << "  ";
+        first = false;
+    };
+    for (const auto &s : shards_) {
+        if (!s->processName_.empty()) {
+            sep();
+            os << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": "
+               << s->pid_ << ", \"tid\": 0, \"args\": {\"name\": \""
+               << s->processName_ << "\"}}";
+        }
+        for (const TimelineShard::Event &ev : s->events_) {
+            sep();
+            os << "{\"ph\": \"" << ev.phase << "\", \"name\": \""
+               << (ev.phase == 'C' ? ev.track : ev.name)
+               << "\", \"cat\": \"sim\", \"pid\": " << s->pid_
+               << ", \"tid\": \"" << ev.track << "\", \"ts\": " << ev.ts;
+            switch (ev.phase) {
+              case 'X':
+                os << ", \"dur\": " << ev.dur;
+                break;
+              case 'i':
+                os << ", \"s\": \"t\"";
+                break;
+              case 'C':
+                os << ", \"args\": {\"value\": "
+                   << formatJsonNumber(ev.value) << "}";
+                break;
+            }
+            os << "}";
+        }
+    }
+    os << (first ? "" : "\n") << "],\n"
+       << "\"displayTimeUnit\": \"ms\",\n"
+       << "\"otherData\": {\"clock\": \"sim_cycles\", "
+       << "\"sample_interval\": " << config_.sampleInterval
+       << ", \"dropped_events\": " << droppedCount() << "}}\n";
+}
+
+bool
+Timeline::writeFile(std::string *error) const
+{
+    std::ofstream out(config_.path, std::ios::binary);
+    if (!out) {
+        if (error)
+            *error = "cannot open " + config_.path + " for writing";
+        return false;
+    }
+    writeJson(out);
+    return static_cast<bool>(out);
+}
+
+} // namespace vksim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Chrome-trace (chrome://tracing / Perfetto "JSON Array" format) timeline
+ * sink for the timed simulator.
+ *
+ * Events carry *simulated-cycle* timestamps, never host time, so a trace
+ * is a property of the modelled machine: bit-identical for every engine
+ * thread count. Each recording site owns a TimelineShard (one per SM
+ * plus one for the shared memory fabric); shards are appended to by at
+ * most one thread at a time (the SM's worker during cycle(), or the
+ * single barrier thread for the fabric) and merged in fixed shard order
+ * when the file is written.
+ *
+ * Full-workload traces are kept bounded by two controls:
+ *  - sampleInterval: periodic counter tracks (occupancy, queue depths,
+ *    MSHRs in use) emit one sample every N cycles;
+ *  - maxEvents: a global event budget split evenly across shards — each
+ *    shard stops recording at its slice and counts what it dropped, so
+ *    the cut-off is deterministic too.
+ */
+
+#ifndef VKSIM_UTIL_TIMELINE_H
+#define VKSIM_UTIL_TIMELINE_H
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace vksim {
+
+/** Timeline sink configuration (CLI: --timeline=PATH etc.). */
+struct TimelineConfig
+{
+    std::string path;             ///< empty = sink disabled
+    Cycle sampleInterval = 64;    ///< counter-track sampling period
+    std::uint64_t maxEvents = 1u << 20; ///< global event budget
+
+    bool enabled() const { return !path.empty(); }
+};
+
+/** One single-writer event buffer (per SM / per fabric). */
+class TimelineShard
+{
+  public:
+    /** Duration event (ph "X"): [start, end] on `track`. */
+    void complete(std::string track, std::string name, Cycle start,
+                  Cycle end);
+
+    /** Instant event (ph "i"). */
+    void instant(std::string track, std::string name, Cycle ts);
+
+    /** Counter-track sample (ph "C"). */
+    void counter(std::string track, Cycle ts, double value);
+
+    /** True when a counter sample is due at `now`. */
+    bool
+    sampleDue(Cycle now) const
+    {
+        return sampleInterval_ != 0 && now % sampleInterval_ == 0;
+    }
+
+    std::uint64_t dropped() const { return dropped_; }
+    std::size_t eventCount() const { return events_.size(); }
+
+  private:
+    friend class Timeline;
+
+    struct Event
+    {
+        char phase;       ///< 'X', 'i' or 'C'
+        std::string track;
+        std::string name; ///< empty for counters (track names the series)
+        Cycle ts = 0;
+        Cycle dur = 0;
+        double value = 0.0;
+    };
+
+    void record(Event &&ev);
+
+    std::vector<Event> events_;
+    std::uint64_t capacity_ = 0;
+    Cycle sampleInterval_ = 0;
+    std::uint64_t dropped_ = 0;
+    unsigned pid_ = 0;
+    std::string processName_;
+};
+
+/** The whole trace: owns the shards, writes the JSON file. */
+class Timeline
+{
+  public:
+    /**
+     * `num_shards` single-writer buffers; shard `i` reports as Chrome
+     * process `i`. The event budget is split evenly across shards.
+     */
+    Timeline(const TimelineConfig &config, unsigned num_shards);
+
+    TimelineShard *shard(unsigned idx) { return shards_[idx].get(); }
+    unsigned numShards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    /** Label shard `idx`'s Chrome process (emitted as M-phase metadata). */
+    void setProcessName(unsigned idx, std::string name);
+
+    std::uint64_t eventCount() const;
+    std::uint64_t droppedCount() const;
+
+    /** Serialize all shards, in shard order, as one Chrome-trace doc. */
+    void writeJson(std::ostream &os) const;
+
+    /** Write to config.path. @return success (error goes to `error`). */
+    bool writeFile(std::string *error = nullptr) const;
+
+    const TimelineConfig &config() const { return config_; }
+
+  private:
+    TimelineConfig config_;
+    std::vector<std::unique_ptr<TimelineShard>> shards_;
+};
+
+} // namespace vksim
+
+#endif // VKSIM_UTIL_TIMELINE_H

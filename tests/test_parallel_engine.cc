@@ -158,6 +158,11 @@ expectSameRun(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.rtWarpLatency.summary().sum(),
               b.rtWarpLatency.summary().sum());
     EXPECT_EQ(a.occupancyTrace, b.occupancyTrace);
+
+    // The determinism contract extends to the unified metrics registry:
+    // the complete dump — counters, gauges, accumulators, histograms,
+    // including double-valued derived metrics — must be byte-identical.
+    EXPECT_EQ(a.metrics.toJson(), b.metrics.toJson());
 }
 
 class EngineDeterminismTest : public ::testing::TestWithParam<int>

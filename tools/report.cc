@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Paper-figure reporting harness: runs every evaluation workload on the
+ * timed simulator and regenerates the evaluation's figure/table data as
+ * CSV, plus a full per-scene metrics JSON — the machine-readable
+ * counterpart of the `bench_fig*` pretty-printers.
+ *
+ * Outputs (under --outdir, default "report"):
+ *   stats_<scene>.json        complete MetricsRegistry dump per scene
+ *   fig13_warp_latency.csv    RT warp-latency histogram (paper Fig. 13)
+ *   fig14_cache_breakdown.csv L1/L2 access breakdown by origin and miss
+ *                             class (paper Fig. 14)
+ *   fig16_dram.csv            DRAM utilization/efficiency/row locality
+ *                             (paper Fig. 16 metrics)
+ *   speedup_vs_reference.csv  simulator throughput vs the CPU reference
+ *                             renderer (host seconds per frame)
+ *
+ * Usage: report [--size=32] [--mobile] [--outdir=report] [--threads=N]
+ *               [--serial] [--timeline=trace.json]
+ *
+ * See EXPERIMENTS.md, "Machine-readable outputs".
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/vulkansim.h"
+#include "util/options.h"
+
+namespace {
+
+using namespace vksim;
+
+struct SceneReport
+{
+    std::string name;
+    RunResult run;
+    MetricsRegistry ref; ///< reference-renderer counters
+    double refSeconds = 0.0;
+};
+
+/** One cache's breakdown row set (per origin). */
+void
+writeCacheRows(std::ofstream &os, const std::string &scene,
+               const MetricsRegistry &m, const std::string &cache)
+{
+    for (const char *origin : {"shader", "rtunit"}) {
+        const std::string p = "gpu." + cache + ".";
+        const std::string o = origin;
+        os << scene << "," << cache << "," << origin << ","
+           << m.get(p + "accesses." + o) << ","
+           << m.get(p + "hits." + o) << ","
+           << m.get(p + "miss_compulsory." + o) << ","
+           << m.get(p + "miss_capacity_conflict." + o) << ","
+           << m.get(p + "write_miss." + o) << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    unsigned size = static_cast<unsigned>(opts.getInt("size", 32));
+    std::string outdir = opts.get("outdir", "report");
+    GpuConfig config =
+        opts.getBool("mobile") ? mobileGpuConfig() : baselineGpuConfig();
+    const unsigned threads = opts.threadCount();
+    config.threads = threads;
+    const std::string timeline_path = opts.get("timeline", "");
+
+    std::error_code ec;
+    std::filesystem::create_directories(outdir, ec);
+    if (ec) {
+        std::fprintf(stderr, "cannot create %s: %s\n", outdir.c_str(),
+                     ec.message().c_str());
+        return 1;
+    }
+
+    std::vector<SceneReport> reports;
+    for (wl::WorkloadId id : wl::kAllWorkloads) {
+        wl::WorkloadParams params;
+        params.width = size;
+        params.height = size;
+        params.extScale = 0.25f;
+        params.rtv5Detail = 5;
+        wl::Workload workload(id, params);
+
+        SceneReport rep;
+        rep.name = workload.name();
+        if (!timeline_path.empty()) {
+            config.timeline.path = outdir + "/timeline_" + rep.name
+                                   + ".json";
+        }
+        std::printf("report: simulating %s at %ux%u...\n",
+                    rep.name.c_str(), size, size);
+        rep.run = simulateWorkload(workload, config);
+
+        // Reference renderer: wall-clock and traversal counters for the
+        // speedup table.
+        TraceCounters counters;
+        auto ref_start = std::chrono::steady_clock::now();
+        Image ref = workload.renderReferenceImage(&counters, threads);
+        rep.refSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - ref_start)
+                             .count();
+        counters.exportTo(rep.ref, "reftrace");
+
+        std::ofstream stats(outdir + "/stats_" + rep.name + ".json");
+        rep.run.metrics.writeJson(stats);
+        stats << "\n";
+        reports.push_back(std::move(rep));
+    }
+
+    // Fig. 13: RT-unit warp latency histogram.
+    {
+        std::ofstream os(outdir + "/fig13_warp_latency.csv");
+        os << "scene,bucket_lo_cycles,bucket_hi_cycles,warps\n";
+        for (const SceneReport &rep : reports) {
+            const Histogram &h = rep.run.rtWarpLatency;
+            for (std::size_t b = 0; b < h.buckets().size(); ++b) {
+                if (h.buckets()[b] == 0)
+                    continue;
+                os << rep.name << ","
+                   << static_cast<std::uint64_t>(b * h.bucketWidth())
+                   << ","
+                   << static_cast<std::uint64_t>((b + 1)
+                                                 * h.bucketWidth())
+                   << "," << h.buckets()[b] << "\n";
+            }
+            if (h.overflow())
+                os << rep.name << ","
+                   << static_cast<std::uint64_t>(h.buckets().size()
+                                                 * h.bucketWidth())
+                   << ",inf," << h.overflow() << "\n";
+        }
+    }
+
+    // Fig. 14: cache access breakdown by origin and miss class.
+    {
+        std::ofstream os(outdir + "/fig14_cache_breakdown.csv");
+        os << "scene,cache,origin,accesses,hits,miss_compulsory,"
+              "miss_capacity_conflict,write_miss\n";
+        for (const SceneReport &rep : reports) {
+            writeCacheRows(os, rep.name, rep.run.metrics, "l1");
+            if (rep.run.metrics.get("gpu.rtcache.accesses.rtunit"))
+                writeCacheRows(os, rep.name, rep.run.metrics, "rtcache");
+            writeCacheRows(os, rep.name, rep.run.metrics, "l2");
+        }
+    }
+
+    // Fig. 16 metrics: DRAM utilization / efficiency / locality.
+    {
+        std::ofstream os(outdir + "/fig16_dram.csv");
+        os << "scene,requests,row_hits,row_misses,utilization,"
+              "efficiency,row_hit_rate,avg_blp\n";
+        for (const SceneReport &rep : reports) {
+            const MetricsRegistry &m = rep.run.metrics;
+            double hits =
+                static_cast<double>(m.get("gpu.dram.row_hits"));
+            double misses =
+                static_cast<double>(m.get("gpu.dram.row_misses"));
+            double blp_samples =
+                static_cast<double>(m.get("gpu.dram.blp_samples"));
+            os << rep.name << "," << m.get("gpu.dram.requests") << ","
+               << m.get("gpu.dram.row_hits") << ","
+               << m.get("gpu.dram.row_misses") << ","
+               << formatJsonNumber(rep.run.dramUtilization()) << ","
+               << formatJsonNumber(rep.run.dramEfficiency()) << ","
+               << formatJsonNumber(hits + misses > 0
+                                       ? hits / (hits + misses)
+                                       : 0.0)
+               << ","
+               << formatJsonNumber(
+                      blp_samples > 0
+                          ? m.get("gpu.dram.blp_sum") / blp_samples
+                          : 0.0)
+               << "\n";
+        }
+    }
+
+    // Simulator throughput vs the reference renderer.
+    {
+        std::ofstream os(outdir + "/speedup_vs_reference.csv");
+        os << "scene,sim_cycles,sim_host_s,sim_cycles_per_s,ref_host_s,"
+              "ref_rays,sim_slowdown_vs_ref\n";
+        for (const SceneReport &rep : reports) {
+            os << rep.name << "," << rep.run.cycles << ","
+               << formatJsonNumber(rep.run.hostSeconds) << ","
+               << formatJsonNumber(rep.run.cyclesPerHostSecond()) << ","
+               << formatJsonNumber(rep.refSeconds) << ","
+               << rep.ref.get("reftrace.rays") << ","
+               << formatJsonNumber(rep.refSeconds > 0
+                                       ? rep.run.hostSeconds
+                                             / rep.refSeconds
+                                       : 0.0)
+               << "\n";
+        }
+    }
+
+    std::printf("report: wrote %zu scene dumps and 4 CSVs to %s/\n",
+                reports.size(), outdir.c_str());
+    return 0;
+}
