@@ -3,9 +3,12 @@
  * Trace dump and replay, mirroring the paper artifact's trace runner:
  *   trace_runner --dump=tri.vktrace --workload=TRI [--width=..]
  *     builds a workload and dumps its launch (program + memory image);
- *   trace_runner --run=tri.vktrace [--mobile]
+ *   trace_runner --run=tri.vktrace [--mobile] [--threads=N]
+ *     [--check=off|basic|full]
  *     replays a dumped trace on the cycle-level simulator without any
- *     frontend (the artifact's "resimulate on any system" flow).
+ *     frontend (the artifact's "resimulate on any system" flow);
+ *     --check enables the self-validation sweeps of src/check (also
+ *     reachable via the VKSIM_CHECK environment variable).
  */
 
 #include <cstdio>
@@ -68,6 +71,14 @@ main(int argc, char **argv)
                     trace->program->code.size());
         GpuConfig config = opts.getBool("mobile") ? mobileGpuConfig()
                                                   : baselineGpuConfig();
+        config.threads = opts.threadCount();
+        if (opts.has("check")
+            && !check::parseCheckLevel(opts.get("check"),
+                                       &config.checkLevel)) {
+            std::fprintf(stderr, "bad --check level '%s' (off/basic/full)\n",
+                         opts.get("check").c_str());
+            return 1;
+        }
         GpuSimulator sim(config, trace->ctx);
         RunResult run = sim.run();
         std::printf("cycles: %llu  SIMT: %.1f%%  RT SIMT: %.1f%%  DRAM "
@@ -80,6 +91,7 @@ main(int argc, char **argv)
     }
 
     std::printf("usage:\n  trace_runner --dump=<file> --workload=TRI\n"
-                "  trace_runner --run=<file> [--mobile]\n");
+                "  trace_runner --run=<file> [--mobile] [--threads=N]"
+                " [--check=off|basic|full]\n");
     return 0;
 }

@@ -47,6 +47,19 @@ Cache::probe(Addr addr)
     return nullptr;
 }
 
+bool
+Cache::contains(Addr addr) const
+{
+    addr = sectorAlign(addr);
+    Addr tag = addr / kSectorBytes;
+    const Line *base =
+        &lines_[static_cast<std::size_t>(setIndex(addr)) * ways_];
+    for (unsigned w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
 void
 Cache::insert(Addr addr, Cycle now)
 {
@@ -72,21 +85,50 @@ Cache::access(Addr addr, bool write, AccessOrigin origin, std::uint64_t tag,
 {
     addr = sectorAlign(addr);
     std::string origin_name = originName(origin);
-    stats_.counter("accesses." + origin_name).inc();
-    if (write)
-        stats_.counter("writes." + origin_name).inc();
 
     Line *line = probe(addr);
     if (line) {
         line->lastUse = now;
+        stats_.counter("accesses." + origin_name).inc();
+        if (write)
+            stats_.counter("writes." + origin_name).inc();
         stats_.counter("hits." + origin_name).inc();
         return CacheOutcome::Hit;
     }
 
     if (write) {
         // Write-through, no-allocate: forwarded downstream by the caller.
+        stats_.counter("accesses." + origin_name).inc();
+        stats_.counter("writes." + origin_name).inc();
         stats_.counter("write_miss." + origin_name).inc();
         return CacheOutcome::MissNew;
+    }
+
+    // Resolve MSHR capacity before touching any miss statistic: a stalled
+    // access is retried verbatim, so counting it here would double-count
+    // the miss on every retry cycle — and the first stall's everSeen_
+    // insertion would downgrade the eventual successful access from
+    // compulsory to capacity/conflict.
+    auto it = mshrs_.find(addr);
+    if (it != mshrs_.end()
+        && it->second.targets.size() >= config_.mshrTargets) {
+        stats_.counter("mshr_target_stalls").inc();
+        return CacheOutcome::Stall;
+    }
+    if (it == mshrs_.end() && mshrs_.size() >= config_.numMshrs) {
+        stats_.counter("mshr_full_stalls").inc();
+        return CacheOutcome::Stall;
+    }
+
+    stats_.counter("accesses." + origin_name).inc();
+    if (it != mshrs_.end()) {
+        // Secondary miss folded into an in-flight fill. Counted only as
+        // a merge: the sector was never resident, so classifying it as a
+        // capacity/conflict miss (as the everSeen_ test would) skewed
+        // the Fig. 14 miss-cause breakdown by the full merge count.
+        it->second.targets.push_back(tag);
+        stats_.counter("mshr_merges").inc();
+        return CacheOutcome::MissMerged;
     }
 
     bool compulsory = everSeen_.insert(addr).second;
@@ -94,21 +136,6 @@ Cache::access(Addr addr, bool write, AccessOrigin origin, std::uint64_t tag,
         .counter((compulsory ? "miss_compulsory." : "miss_capacity_conflict.")
                  + origin_name)
         .inc();
-
-    auto it = mshrs_.find(addr);
-    if (it != mshrs_.end()) {
-        if (it->second.targets.size() >= config_.mshrTargets) {
-            stats_.counter("mshr_target_stalls").inc();
-            return CacheOutcome::Stall;
-        }
-        it->second.targets.push_back(tag);
-        stats_.counter("mshr_merges").inc();
-        return CacheOutcome::MissMerged;
-    }
-    if (mshrs_.size() >= config_.numMshrs) {
-        stats_.counter("mshr_full_stalls").inc();
-        return CacheOutcome::Stall;
-    }
     mshrs_[addr].targets.push_back(tag);
     return CacheOutcome::MissNew;
 }
@@ -130,6 +157,91 @@ Cache::fill(Addr addr, Cycle now)
     std::vector<std::uint64_t> targets = std::move(it->second.targets);
     mshrs_.erase(it);
     return targets;
+}
+
+std::uint64_t
+Cache::mshrTargetTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[addr, mshr] : mshrs_)
+        total += mshr.targets.size();
+    return total;
+}
+
+std::vector<Addr>
+Cache::mshrAddrs() const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(mshrs_.size());
+    for (const auto &[addr, mshr] : mshrs_)
+        addrs.push_back(addr);
+    return addrs;
+}
+
+void
+Cache::checkInvariants(check::Reporter &rep, const std::string &path,
+                       bool deep) const
+{
+    if (mshrs_.size() > config_.numMshrs)
+        rep.report(path + ".mshrs",
+                   std::to_string(mshrs_.size()) + " MSHRs in use, limit "
+                       + std::to_string(config_.numMshrs));
+    for (const auto &[addr, mshr] : mshrs_) {
+        if (addr != sectorAlign(addr))
+            rep.report(path + ".mshrs",
+                       "MSHR address 0x" + std::to_string(addr)
+                           + " not sector aligned");
+        if (mshr.targets.empty())
+            rep.report(path + ".mshrs", "MSHR with zero merged targets");
+        if (mshr.targets.size() > config_.mshrTargets)
+            rep.report(path + ".mshrs",
+                       "MSHR holds " + std::to_string(mshr.targets.size())
+                           + " targets, limit "
+                           + std::to_string(config_.mshrTargets));
+    }
+    if (!deep)
+        return;
+    // Deep scan: a (set, tag) pair must map to at most one valid line;
+    // duplicates would make hits/evictions depend on probe order.
+    for (unsigned set = 0; set < numSets_; ++set) {
+        const Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+        for (unsigned a = 0; a < ways_; ++a) {
+            if (!base[a].valid)
+                continue;
+            for (unsigned b = a + 1; b < ways_; ++b)
+                if (base[b].valid && base[b].tag == base[a].tag)
+                    rep.report(path + ".lines",
+                               "duplicate valid line for tag "
+                                   + std::to_string(base[a].tag) + " in set "
+                                   + std::to_string(set));
+        }
+    }
+}
+
+std::uint64_t
+Cache::stateDigest() const
+{
+    check::Digest d;
+    // Lines are in a deterministic array: mix in order (cheap, O(lines)).
+    for (const Line &l : lines_) {
+        if (!l.valid)
+            continue;
+        d.mix(l.tag);
+        d.mix(l.lastUse);
+    }
+    // MSHRs live in a hash map: XOR-fold per-entry digests so the result
+    // is independent of iteration order.
+    std::uint64_t fold = 0;
+    for (const auto &[addr, mshr] : mshrs_) {
+        check::Digest e;
+        e.mix(addr);
+        for (std::uint64_t t : mshr.targets)
+            e.mix(t);
+        fold ^= e.value();
+    }
+    d.mix(fold);
+    d.mix(mshrs_.size());
+    return d.value();
 }
 
 void

@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "check/check.h"
 #include "util/stats.h"
 #include "util/types.h"
 
@@ -99,6 +100,13 @@ class Cache
         return mshrs_.count(sectorAlign(addr)) != 0;
     }
 
+    /**
+     * Non-mutating presence peek: true if the sector is resident. Unlike
+     * access(), touches neither LRU state nor any statistic — for callers
+     * that must know whether an access would miss before committing it.
+     */
+    bool contains(Addr addr) const;
+
     unsigned
     mshrsInUse() const
     {
@@ -111,6 +119,27 @@ class Cache
 
     /** Invalidate everything (between launches). */
     void reset();
+
+    /** Sum of merged targets across all outstanding MSHRs. */
+    std::uint64_t mshrTargetTotal() const;
+
+    /** Sector addresses of all outstanding MSHRs (unspecified order). */
+    std::vector<Addr> mshrAddrs() const;
+
+    /**
+     * Validate internal bookkeeping (MSHR capacity/target limits; with
+     * `deep`, a full scan for duplicate valid lines within a set).
+     * Violations go to `rep` under `path`.
+     */
+    void checkInvariants(check::Reporter &rep, const std::string &path,
+                         bool deep) const;
+
+    /**
+     * Order-insensitive digest of the architectural state (valid lines,
+     * LRU stamps, outstanding MSHRs). Equal states hash equal regardless
+     * of hash-map iteration order.
+     */
+    std::uint64_t stateDigest() const;
 
   private:
     struct Line

@@ -1,0 +1,296 @@
+#include "check/accelcheck.h"
+
+#include <map>
+#include <string>
+
+namespace vksim {
+namespace check {
+
+namespace {
+
+/** Transform a point by 3x4 row-major affine rows (TopLeaf matrices). */
+Vec3
+transformPoint(const float m[12], const Vec3 &p)
+{
+    return {m[0] * p.x + m[1] * p.y + m[2] * p.z + m[3],
+            m[4] * p.x + m[5] * p.y + m[6] * p.z + m[7],
+            m[8] * p.x + m[9] * p.y + m[10] * p.z + m[11]};
+}
+
+Aabb
+transformAabb(const float m[12], const Aabb &box)
+{
+    Aabb out;
+    if (box.empty())
+        return out;
+    for (int corner = 0; corner < 8; ++corner) {
+        Vec3 p{corner & 1 ? box.hi.x : box.lo.x,
+               corner & 2 ? box.hi.y : box.lo.y,
+               corner & 4 ? box.hi.z : box.lo.z};
+        out.extend(transformPoint(m, p));
+    }
+    return out;
+}
+
+/**
+ * Recursive walker. Each check*() returns the subtree's true bounds
+ * recomputed from the leaves (empty when unknown or on a reported
+ * structural error that prevents descent).
+ */
+class AccelChecker
+{
+  public:
+    AccelChecker(const GlobalMemory &gmem, const AccelStruct &accel,
+                 const Scene *scene, Reporter &rep)
+        : gmem_(gmem), accel_(accel), scene_(scene), rep_(rep)
+    {
+        // Slack for the bound: stats are advisory, cycles are not.
+        nodeBudget_ = 4 * (accel.stats.totalNodes() + 1);
+    }
+
+    bool
+    run()
+    {
+        std::size_t before = rep_.violations().size();
+
+        // BLAS subtrees first (memoized): TopLeaf leaves reference them
+        // by root address, possibly many instances sharing one BLAS.
+        for (std::size_t g = 0; g < accel_.blasRoots.size(); ++g) {
+            Addr root = accel_.blasRoots[g];
+            if (root == 0)
+                continue; // empty geometry: never serialized
+            const Geometry *geom =
+                scene_ && g < scene_->geometries.size()
+                    ? &scene_->geometries[g]
+                    : nullptr;
+            blasBounds_[root] =
+                checkNode(root, NodeType::Internal, geom, /*in_tlas=*/false,
+                          "accel.blas" + std::to_string(g), 0);
+        }
+
+        checkNode(accel_.tlasRoot, accel_.tlasRootType, nullptr,
+                  /*in_tlas=*/true, "accel.tlas", 0);
+        return rep_.violations().size() == before;
+    }
+
+  private:
+    static constexpr unsigned kMaxDepth = 128;
+
+    Aabb
+    checkNode(Addr addr, NodeType type, const Geometry *geom, bool in_tlas,
+              const std::string &path, unsigned depth)
+    {
+        if (++visited_ > nodeBudget_) {
+            if (!budgetReported_) {
+                budgetReported_ = true;
+                rep_.report(path, "node walk exceeded "
+                                      + std::to_string(nodeBudget_)
+                                      + " nodes (cycle or corrupt links)");
+            }
+            return {};
+        }
+        if (depth > kMaxDepth) {
+            rep_.report(path, "depth exceeds " + std::to_string(kMaxDepth));
+            return {};
+        }
+        if (addr == 0 || addr % kNodeBlockSize != 0) {
+            rep_.report(path, "node address 0x" + toHex(addr)
+                                  + " not a valid 64 B block");
+            return {};
+        }
+        switch (type) {
+          case NodeType::Internal:
+            return checkInternal(addr, geom, in_tlas, path, depth);
+          case NodeType::TopLeaf:
+            return checkTopLeaf(addr, path);
+          case NodeType::TriangleLeaf:
+            return checkTriangleLeaf(addr, geom, path);
+          case NodeType::ProceduralLeaf:
+            return checkProceduralLeaf(addr, geom, path);
+          case NodeType::Invalid:
+            break;
+        }
+        rep_.report(path, "invalid node type");
+        return {};
+    }
+
+    Aabb
+    checkInternal(Addr addr, const Geometry *geom, bool in_tlas,
+                  const std::string &path, unsigned depth)
+    {
+        InternalNode node = gmem_.load<InternalNode>(addr);
+        Aabb bounds;
+        if (node.childCount < 1 || node.childCount > 6) {
+            rep_.report(path, "childCount " + std::to_string(node.childCount)
+                                  + " outside [1,6]");
+            return bounds;
+        }
+        if (node.firstChild % kNodeBlockSize != 0) {
+            rep_.report(path, "firstChild 0x" + toHex(node.firstChild)
+                                  + " not 64 B aligned");
+            return bounds;
+        }
+        for (unsigned i = 0; i < node.childCount; ++i) {
+            NodeType ct = node.childType(i);
+            std::string cpath = path + ".c" + std::to_string(i);
+            bool valid =
+                ct == NodeType::Internal
+                || (in_tlas ? ct == NodeType::TopLeaf
+                            : ct == NodeType::TriangleLeaf
+                                  || ct == NodeType::ProceduralLeaf);
+            if (!valid) {
+                rep_.report(cpath, "child type nibble "
+                                       + std::to_string(static_cast<int>(ct))
+                                       + (in_tlas ? " invalid in TLAS"
+                                                  : " invalid in BLAS"));
+                continue;
+            }
+            if (geom && ct == NodeType::TriangleLeaf
+                && geom->kind != GeometryKind::Triangles)
+                rep_.report(cpath, "triangle leaf in procedural BLAS");
+            if (geom && ct == NodeType::ProceduralLeaf
+                && geom->kind != GeometryKind::Procedural)
+                rep_.report(cpath, "procedural leaf in triangle BLAS");
+
+            Aabb true_box = checkNode(node.childAddress(i), ct, geom,
+                                      in_tlas, cpath, depth + 1);
+            Aabb claimed = node.childBounds(i);
+            // The floor/ceil quantizer must round trip conservatively:
+            // the 8-bit box may only ever grow relative to the true box.
+            if (!claimed.encloses(true_box))
+                rep_.report(cpath,
+                            "quantized child AABB does not enclose the "
+                            "child subtree's true bounds");
+            bounds.extend(true_box);
+        }
+        return bounds;
+    }
+
+    Aabb
+    checkTopLeaf(Addr addr, const std::string &path)
+    {
+        TopLeafNode leaf = gmem_.load<TopLeafNode>(addr);
+        if (leafDescriptorType(leaf.leafDescriptor) != NodeType::TopLeaf) {
+            rep_.report(path, "leaf descriptor tag is not TopLeaf");
+            return {};
+        }
+        auto blas = blasBounds_.find(leaf.blasRoot);
+        if (blas == blasBounds_.end()) {
+            rep_.report(path, "blasRoot 0x" + toHex(leaf.blasRoot)
+                                  + " is not a BLAS root of this structure");
+            return {};
+        }
+        if (scene_) {
+            if (leaf.instanceIndex >= scene_->instances.size()) {
+                rep_.report(path, "instanceIndex "
+                                      + std::to_string(leaf.instanceIndex)
+                                      + " out of range");
+                return {};
+            }
+            const Instance &inst = scene_->instances[leaf.instanceIndex];
+            if (inst.geometryIndex < accel_.blasRoots.size()
+                && accel_.blasRoots[inst.geometryIndex] != leaf.blasRoot)
+                rep_.report(path, "blasRoot does not match the instance's "
+                                  "geometry");
+            if (leaf.instanceCustomIndex != inst.instanceCustomIndex)
+                rep_.report(path, "instanceCustomIndex mirror mismatch");
+            if (leaf.sbtOffset != inst.sbtOffset)
+                rep_.report(path, "sbtOffset mirror mismatch");
+            if (inst.geometryIndex < scene_->geometries.size()
+                && leaf.geometryKind
+                       != static_cast<std::uint32_t>(
+                           scene_->geometries[inst.geometryIndex].kind))
+                rep_.report(path, "geometryKind mirror mismatch");
+        }
+        return transformAabb(leaf.objectToWorld, blas->second);
+    }
+
+    Aabb
+    checkTriangleLeaf(Addr addr, const Geometry *geom,
+                      const std::string &path)
+    {
+        TriangleLeafNode leaf = gmem_.load<TriangleLeafNode>(addr);
+        if (leafDescriptorType(leaf.leafDescriptor)
+            != NodeType::TriangleLeaf) {
+            rep_.report(path, "leaf descriptor tag is not TriangleLeaf");
+            return {};
+        }
+        Aabb box;
+        box.extend({leaf.v0[0], leaf.v0[1], leaf.v0[2]});
+        box.extend({leaf.v1[0], leaf.v1[1], leaf.v1[2]});
+        box.extend({leaf.v2[0], leaf.v2[1], leaf.v2[2]});
+        if (geom) {
+            if (leaf.primitiveIndex >= geom->primitiveCount()) {
+                rep_.report(path, "primitiveIndex "
+                                      + std::to_string(leaf.primitiveIndex)
+                                      + " out of range");
+                return box;
+            }
+            Vec3 v0, v1, v2;
+            geom->mesh.triangle(leaf.primitiveIndex, &v0, &v1, &v2);
+            if (v0.x != leaf.v0[0] || v0.y != leaf.v0[1]
+                || v0.z != leaf.v0[2] || v1.x != leaf.v1[0]
+                || v1.y != leaf.v1[1] || v1.z != leaf.v1[2]
+                || v2.x != leaf.v2[0] || v2.y != leaf.v2[1]
+                || v2.z != leaf.v2[2])
+                rep_.report(path,
+                            "leaf vertices differ from mesh triangle "
+                                + std::to_string(leaf.primitiveIndex));
+        }
+        return box;
+    }
+
+    Aabb
+    checkProceduralLeaf(Addr addr, const Geometry *geom,
+                        const std::string &path)
+    {
+        ProceduralLeafNode leaf = gmem_.load<ProceduralLeafNode>(addr);
+        if (leafDescriptorType(leaf.leafDescriptor)
+            != NodeType::ProceduralLeaf) {
+            rep_.report(path, "leaf descriptor tag is not ProceduralLeaf");
+            return {};
+        }
+        if (!geom)
+            return {};
+        if (leaf.primitiveIndex >= geom->primitiveCount()) {
+            rep_.report(path, "primitiveIndex "
+                                  + std::to_string(leaf.primitiveIndex)
+                                  + " out of range");
+            return {};
+        }
+        return geom->primitiveBounds(leaf.primitiveIndex);
+    }
+
+    static std::string
+    toHex(Addr a)
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string s;
+        do {
+            s.insert(s.begin(), digits[a & 0xF]);
+            a >>= 4;
+        } while (a != 0);
+        return s;
+    }
+
+    const GlobalMemory &gmem_;
+    const AccelStruct &accel_;
+    const Scene *scene_;
+    Reporter &rep_;
+    std::map<Addr, Aabb> blasBounds_;
+    std::size_t visited_ = 0;
+    std::size_t nodeBudget_;
+    bool budgetReported_ = false;
+};
+
+} // namespace
+
+bool
+checkAccelStruct(const GlobalMemory &gmem, const AccelStruct &accel,
+                 const Scene *scene, Reporter &rep)
+{
+    return AccelChecker(gmem, accel, scene, rep).run();
+}
+
+} // namespace check
+} // namespace vksim

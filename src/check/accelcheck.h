@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Structural validation of a serialized acceleration structure (the BVH
+ * leg of the checker). Walks the on-device node bytes exactly the way the
+ * RT unit's traversal does — parent childTypes nibbles give child types,
+ * children occupy consecutive 64 B blocks — and verifies:
+ *
+ *  - every node block address is 64-byte aligned and within bounds;
+ *  - childCount in [1,6] and every childTypes nibble is a valid NodeType
+ *    for its level (TopLeaf only in the TLAS, geometry leaves only in a
+ *    BLAS of the matching kind);
+ *  - each dequantized (8-bit quantized) child AABB conservatively
+ *    encloses the child subtree's true bounds recomputed bottom-up from
+ *    the leaf geometry — the round-trip guarantee the floor/ceil
+ *    quantizer must provide for traversal to be watertight;
+ *  - leaf descriptors carry the tag the parent promised, primitive and
+ *    instance indices are in range for the scene, every TopLeaf's
+ *    blasRoot is one of the structure's BLAS roots, and its cached
+ *    instance fields match the scene's instance;
+ *  - the walk terminates within the node count the builder reported
+ *    (guards against pointer cycles / overlapping layout).
+ *
+ * The scene pointer is optional; without it the scene-dependent checks
+ * (index ranges, procedural bounds, instance field mirrors) are skipped.
+ */
+
+#ifndef VKSIM_CHECK_ACCELCHECK_H
+#define VKSIM_CHECK_ACCELCHECK_H
+
+#include "accel/serialize.h"
+#include "check/check.h"
+#include "mem/gmem.h"
+#include "scene/scene.h"
+
+namespace vksim {
+namespace check {
+
+/**
+ * Validate the serialized structure `accel` in `gmem` against the scene
+ * it was built from. Violations go to `rep` (path prefix "accel.").
+ * @return true when no violations were reported.
+ */
+bool checkAccelStruct(const GlobalMemory &gmem, const AccelStruct &accel,
+                      const Scene *scene, Reporter &rep);
+
+} // namespace check
+} // namespace vksim
+
+#endif // VKSIM_CHECK_ACCELCHECK_H

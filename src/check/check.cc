@@ -1,0 +1,125 @@
+#include "check/check.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/log.h"
+
+namespace vksim {
+namespace check {
+
+bool
+parseCheckLevel(const std::string &text, CheckLevel *out)
+{
+    if (text == "off" || text == "0") {
+        *out = CheckLevel::Off;
+        return true;
+    }
+    if (text == "basic" || text == "1") {
+        *out = CheckLevel::Basic;
+        return true;
+    }
+    if (text == "full" || text == "2") {
+        *out = CheckLevel::Full;
+        return true;
+    }
+    return false;
+}
+
+const char *
+checkLevelName(CheckLevel level)
+{
+    switch (level) {
+      case CheckLevel::Off: return "off";
+      case CheckLevel::Basic: return "basic";
+      case CheckLevel::Full: return "full";
+    }
+    return "?";
+}
+
+CheckLevel
+defaultCheckLevel()
+{
+    static const CheckLevel cached = [] {
+        CheckLevel level = CheckLevel::Off;
+        if (const char *env = std::getenv("VKSIM_CHECK")) {
+            if (!parseCheckLevel(env, &level))
+                vksim_fatal("VKSIM_CHECK=" + std::string(env)
+                            + ": expected off|basic|full");
+        }
+        return level;
+    }();
+    return cached;
+}
+
+void
+Reporter::report(const std::string &path, const std::string &message)
+{
+    if (!collect_)
+        vksim_panic("invariant violation at cycle " + std::to_string(cycle_)
+                    + ": " + path + ": " + message);
+    violations_.push_back({path, message, cycle_});
+}
+
+DigestTrace::Divergence
+DigestTrace::firstDivergence(const DigestTrace &other) const
+{
+    Divergence d;
+    if (units != other.units || period != other.period) {
+        d.diverged = true;
+        return d;
+    }
+    std::size_t n = std::min(values.size(), other.values.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (values[i] != other.values[i]) {
+            d.diverged = true;
+            d.cycle = static_cast<Cycle>(i / units) * period;
+            d.unit = static_cast<unsigned>(i % units);
+            return d;
+        }
+    }
+    if (values.size() != other.values.size()) {
+        d.diverged = true;
+        d.cycle = static_cast<Cycle>(n / units) * period;
+    }
+    return d;
+}
+
+namespace {
+
+// The hook itself is guarded by a mutex (installation is rare, invocation
+// reads under the lock); the atomic flag keeps the executor's per-lane
+// fast path to a single relaxed load when no hook is installed.
+std::mutex g_hook_mutex;
+TraverseHook g_hook;
+std::atomic<bool> g_hook_active{false};
+
+} // namespace
+
+void
+setTraverseHook(TraverseHook hook)
+{
+    std::lock_guard<std::mutex> lock(g_hook_mutex);
+    g_hook = std::move(hook);
+    g_hook_active.store(static_cast<bool>(g_hook),
+                        std::memory_order_release);
+}
+
+bool
+traverseHookActive()
+{
+    return g_hook_active.load(std::memory_order_acquire);
+}
+
+void
+callTraverseHook(Addr frame_base, const RayTraversal &trav)
+{
+    std::lock_guard<std::mutex> lock(g_hook_mutex);
+    if (g_hook)
+        g_hook(frame_base, trav);
+}
+
+} // namespace check
+} // namespace vksim

@@ -1,0 +1,72 @@
+#include "check/diffhook.h"
+
+#include <cstring>
+#include <string>
+
+#include "accel/traversal.h"
+#include "vptx/rt_runtime.h"
+
+namespace vksim {
+namespace check {
+
+namespace {
+
+std::uint32_t
+floatBits(float f)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+void
+RefTraceDiff::onTraverseDone(Addr frame_base, const RayTraversal &trav)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t n = raysSeen_++;
+    if (n % samplePeriod_ != 0)
+        return;
+    if (!trav.deferred().empty()) {
+        // Final hit depends on intersection/any-hit shaders that run
+        // after this point; nothing to compare yet.
+        ++raysSkippedDeferred_;
+        return;
+    }
+    ++raysChecked_;
+
+    std::uint32_t flags = 0;
+    Ray ray = vptx::rt_runtime::readRay(gmem_, frame_base, &flags);
+    HitRecord ref = tracer_.trace(ray, flags);
+    const HitRecord &sim = trav.hit();
+
+    // With no deferred work the reference must agree exactly: the same
+    // serialized nodes, the same intersection arithmetic, so the same
+    // bits — any tolerance here would hide order-dependence bugs.
+    bool same = sim.valid() == ref.valid();
+    if (same && sim.valid())
+        same = floatBits(sim.t) == floatBits(ref.t)
+               && sim.primitiveIndex == ref.primitiveIndex
+               && sim.instanceIndex == ref.instanceIndex
+               && sim.kind == ref.kind;
+    if (same)
+        return;
+
+    ++mismatches_;
+    if (rep_) {
+        auto hitStr = [](const HitRecord &h) {
+            if (!h.valid())
+                return std::string("miss");
+            return "t=" + std::to_string(h.t) + " inst="
+                   + std::to_string(h.instanceIndex) + " prim="
+                   + std::to_string(h.primitiveIndex);
+        };
+        rep_->report("raydiff.frame0x" + std::to_string(frame_base),
+                     "sim {" + hitStr(sim) + "} != ref {" + hitStr(ref)
+                         + "}");
+    }
+}
+
+} // namespace check
+} // namespace vksim

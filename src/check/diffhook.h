@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-ray sim-vs-reference differential (the second leg of the checker).
+ *
+ * RefTraceDiff is a traversal-completion hook: each time the timed RT
+ * unit finishes a ray, the hook re-reads the original ray from its stack
+ * frame (the frame's ray words are never mutated by traversal — the
+ * in-flight copy's tmax shrinks, so replaying *that* would self-miss)
+ * and replays it through the CpuTracer over the same serialized BVH.
+ * The committed hit must match bit-for-bit in t and exactly in
+ * instance/primitive identity.
+ *
+ * Rays that collected deferred intersection/any-hit work are skipped:
+ * their final hit depends on shader execution, which completes after the
+ * traversal step this hook observes.
+ *
+ * The hook runs on SM worker threads; all mutable state is behind a
+ * mutex (validation throughput is not the simulator's critical path).
+ */
+
+#ifndef VKSIM_CHECK_DIFFHOOK_H
+#define VKSIM_CHECK_DIFFHOOK_H
+
+#include <cstdint>
+#include <mutex>
+
+#include "check/check.h"
+#include "mem/gmem.h"
+#include "reftrace/tracer.h"
+
+namespace vksim {
+namespace check {
+
+/** Sim-vs-reference per-ray differential state. */
+class RefTraceDiff
+{
+  public:
+    /**
+     * @param sample_period Replay every Nth completed ray (1 = all).
+     *        Reference replay is ~as expensive as the original
+     *        traversal, so large launches may want sparse sampling.
+     */
+    RefTraceDiff(const CpuTracer &tracer, const GlobalMemory &gmem,
+                 Reporter *rep, std::uint64_t sample_period = 1)
+        : tracer_(tracer), gmem_(gmem), rep_(rep),
+          samplePeriod_(sample_period == 0 ? 1 : sample_period)
+    {
+    }
+
+    /** The TraverseHook body. */
+    void onTraverseDone(Addr frame_base, const RayTraversal &trav);
+
+    std::uint64_t raysSeen() const { return raysSeen_; }
+    std::uint64_t raysChecked() const { return raysChecked_; }
+    std::uint64_t raysSkippedDeferred() const { return raysSkippedDeferred_; }
+    std::uint64_t mismatches() const { return mismatches_; }
+
+  private:
+    const CpuTracer &tracer_;
+    const GlobalMemory &gmem_;
+    Reporter *rep_;
+    std::uint64_t samplePeriod_;
+
+    std::mutex mutex_;
+    std::uint64_t raysSeen_ = 0;
+    std::uint64_t raysChecked_ = 0;
+    std::uint64_t raysSkippedDeferred_ = 0;
+    std::uint64_t mismatches_ = 0;
+};
+
+/**
+ * RAII installation of the global traverse hook: installs on
+ * construction, removes on destruction. One at a time process-wide.
+ */
+class ScopedTraverseHook
+{
+  public:
+    explicit ScopedTraverseHook(TraverseHook hook)
+    {
+        setTraverseHook(std::move(hook));
+    }
+
+    ~ScopedTraverseHook() { setTraverseHook({}); }
+
+    ScopedTraverseHook(const ScopedTraverseHook &) = delete;
+    ScopedTraverseHook &operator=(const ScopedTraverseHook &) = delete;
+};
+
+} // namespace check
+} // namespace vksim
+
+#endif // VKSIM_CHECK_DIFFHOOK_H

@@ -1,5 +1,10 @@
 #include "core/vulkansim.h"
 
+#include "check/accelcheck.h"
+#include "check/diffhook.h"
+#include "reftrace/tracer.h"
+#include "util/log.h"
+
 namespace vksim {
 
 GpuConfig
@@ -57,6 +62,24 @@ simulateWorkload(wl::Workload &workload, const GpuConfig &config)
     if (cfg.fccEnabled && cfg.its)
         vksim_fatal("FCC and ITS cannot be combined: the per-warp "
                     "coalescing buffer assumes serialized traverses");
+    if (cfg.checkLevel == check::CheckLevel::Full) {
+        // Static leg: validate the serialized BVH before simulating on
+        // it (layout round-trip, child-AABB containment, leaf backrefs).
+        check::Reporter rep;
+        checkAccelStruct(*workload.launch().gmem, workload.accel(),
+                         &workload.scene(), rep);
+        // Dynamic leg: replay sampled finished rays through the CPU
+        // reference tracer as the timed run completes them.
+        CpuTracer tracer(workload.scene(), *workload.launch().gmem,
+                         workload.accel());
+        check::RefTraceDiff diff(tracer, *workload.launch().gmem, &rep);
+        check::ScopedTraverseHook hook(
+            [&diff](Addr frame_base, const RayTraversal &trav) {
+                diff.onTraverseDone(frame_base, trav);
+            });
+        GpuSimulator sim(cfg, workload.launch());
+        return sim.run();
+    }
     GpuSimulator sim(cfg, workload.launch());
     return sim.run();
 }

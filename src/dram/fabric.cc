@@ -136,6 +136,81 @@ DramChannel::tick(std::vector<MemRequest> *done, Cycle core_now)
     inflight_.push_back({req, data_end});
 }
 
+bool
+DramChannel::hasRequest(Addr sector, bool write) const
+{
+    for (const MemRequest &r : queue_)
+        if (r.addr == sector && r.write == write)
+            return true;
+    for (const Inflight &f : inflight_)
+        if (f.req.addr == sector && f.req.write == write)
+            return true;
+    return false;
+}
+
+namespace {
+
+void
+mixRequest(check::Digest &d, const MemRequest &r)
+{
+    d.mix(r.addr);
+    d.mix(r.write);
+    d.mix(static_cast<std::uint64_t>(r.origin));
+    d.mix(r.smId);
+    d.mix(r.tag);
+}
+
+} // namespace
+
+void
+DramChannel::checkInvariants(check::Reporter &rep,
+                             const std::string &path) const
+{
+    if (queue_.size() > config_.queueSize)
+        rep.report(path + ".queue",
+                   std::to_string(queue_.size())
+                       + " queued requests, limit "
+                       + std::to_string(config_.queueSize));
+    for (const Bank &b : banks_)
+        if (b.readyAt > busFreeAt_)
+            rep.report(path + ".banks",
+                       "bank ready at " + std::to_string(b.readyAt)
+                           + " after the data bus frees at "
+                           + std::to_string(busFreeAt_));
+    for (const Inflight &f : inflight_)
+        if (f.doneAt <= nowDram_)
+            rep.report(path + ".inflight",
+                       "transfer done at " + std::to_string(f.doneAt)
+                           + " still in flight at DRAM cycle "
+                           + std::to_string(nowDram_));
+}
+
+std::uint64_t
+DramChannel::stateDigest() const
+{
+    check::Digest d;
+    for (const MemRequest &r : queue_)
+        mixRequest(d, r);
+    for (const Bank &b : banks_) {
+        d.mix(b.openRow);
+        d.mix(b.readyAt);
+    }
+    // inflight_ uses swap-remove, so its order is history-dependent even
+    // between identical runs sampled at different periods: XOR-fold.
+    std::uint64_t fold = 0;
+    for (const Inflight &f : inflight_) {
+        check::Digest e;
+        mixRequest(e, f.req);
+        e.mix(f.doneAt);
+        fold ^= e.value();
+    }
+    d.mix(fold);
+    d.mix(inflight_.size());
+    d.mix(nowDram_);
+    d.mix(busFreeAt_);
+    return d.value();
+}
+
 // --- MemFabric ------------------------------------------------------------
 
 MemFabric::MemFabric(const FabricConfig &config, unsigned num_sms)
@@ -184,6 +259,19 @@ MemFabric::partitionCycle(Partition &p, Cycle now)
     // Service up to one inbound request per cycle (L2 port).
     if (!p.inbound.empty() && p.inbound.front().first <= now) {
         MemRequest req = p.inbound.front().second;
+
+        // Writes always pass through to DRAM, and a read that is neither
+        // resident nor mergeable into an outstanding MSHR will allocate
+        // one and enqueue. If the DRAM queue can't take that request,
+        // hold it at the port *before* touching the L2: the old
+        // access-then-cancel retry loop re-ran Cache::access every cycle,
+        // inflating access/hit/miss counters for a single request.
+        bool needs_dram = req.write
+                          || (!p.l2->contains(req.addr)
+                              && !p.l2->mshrPending(req.addr));
+        if (needs_dram && !p.dram->canAccept())
+            return;
+
         std::uint64_t cookie = p.nextCookie;
         CacheOutcome outcome = p.l2->access(req.addr, req.write,
                                             req.origin, cookie, now);
@@ -192,26 +280,16 @@ MemFabric::partitionCycle(Partition &p, Cycle now)
           case CacheOutcome::Hit:
             if (req.write) {
                 // Write-through to DRAM.
-                if (p.dram->canAccept())
-                    p.dram->enqueue(req);
-                else
-                    consumed = false;
+                p.dram->enqueue(req);
             } else {
                 respond(req, now + p.l2->config().latency);
             }
             break;
           case CacheOutcome::MissNew:
-            if (p.dram->canAccept()) {
-                p.dram->enqueue(req);
-                if (!req.write) {
-                    ++p.nextCookie;
-                    p.pendingMiss.emplace(cookie, req);
-                }
-            } else {
-                // DRAM queue full: abandon and retry the access next cycle.
-                consumed = false;
-                if (!req.write)
-                    p.l2->cancelMshr(req.addr);
+            p.dram->enqueue(req);
+            if (!req.write) {
+                ++p.nextCookie;
+                p.pendingMiss.emplace(cookie, req);
             }
             break;
           case CacheOutcome::MissMerged:
@@ -298,6 +376,71 @@ MemFabric::idle() const
         if (!q.empty())
             return false;
     return true;
+}
+
+void
+MemFabric::checkInvariants(check::Reporter &rep, bool deep) const
+{
+    for (unsigned pi = 0; pi < partitions_.size(); ++pi) {
+        const Partition &p = partitions_[pi];
+        const std::string path = "fabric.part" + std::to_string(pi);
+        p.l2->checkInvariants(rep, path + ".l2", deep);
+        p.dram->checkInvariants(rep, path + ".dram");
+
+        // Every merged L2 read miss is parked in pendingMiss under its
+        // cookie, and nothing else is: the two books must balance.
+        std::uint64_t targets = p.l2->mshrTargetTotal();
+        if (targets != p.pendingMiss.size())
+            rep.report(path + ".pending_miss",
+                       std::to_string(targets)
+                           + " L2 MSHR targets vs "
+                           + std::to_string(p.pendingMiss.size())
+                           + " pending-miss records");
+
+        // An L2 read MSHR without a DRAM request would wait forever: the
+        // miss was enqueued when the MSHR was allocated and the fill
+        // erases the MSHR when the DRAM transfer retires, so at a cycle
+        // barrier the two must pair up exactly.
+        for (Addr addr : p.l2->mshrAddrs())
+            if (!p.dram->hasRequest(addr, false))
+                rep.report(path + ".l2.mshrs",
+                           "read MSHR for sector "
+                               + std::to_string(addr)
+                               + " has no matching DRAM request");
+    }
+}
+
+std::uint64_t
+MemFabric::stateDigest() const
+{
+    check::Digest d;
+    for (const Partition &p : partitions_) {
+        d.mix(p.l2->stateDigest());
+        d.mix(p.dram->stateDigest());
+        for (const auto &[ready, req] : p.inbound) {
+            d.mix(ready);
+            mixRequest(d, req);
+        }
+        d.mix(p.inbound.size());
+        // pendingMiss is a hash map: fold order-insensitively.
+        std::uint64_t fold = 0;
+        for (const auto &[cookie, req] : p.pendingMiss) {
+            check::Digest e;
+            e.mix(cookie);
+            mixRequest(e, req);
+            fold ^= e.value();
+        }
+        d.mix(fold);
+        d.mix(p.nextCookie);
+    }
+    for (const auto &q : responses_) {
+        for (const auto &[ready, req] : q) {
+            d.mix(ready);
+            mixRequest(d, req);
+        }
+        d.mix(q.size());
+    }
+    return d.value();
 }
 
 StatGroup &

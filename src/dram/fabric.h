@@ -90,6 +90,19 @@ class DramChannel
         return queue_.empty() && inflight_.empty();
     }
 
+    /**
+     * True if a request for `sector` with the given direction is waiting
+     * in the queue or in flight (used by the L2-MSHR cross-check).
+     */
+    bool hasRequest(Addr sector, bool write) const;
+
+    /** Validate queue bounds and bank/bus/inflight timing ordering. */
+    void checkInvariants(check::Reporter &rep,
+                         const std::string &path) const;
+
+    /** Order-insensitive digest of queue, bank and inflight state. */
+    std::uint64_t stateDigest() const;
+
   private:
     struct Bank
     {
@@ -157,6 +170,17 @@ class MemFabric
      * queue-depth / L2-MSHR counter tracks plus DRAM bank events.
      */
     void setTimeline(TimelineShard *shard);
+
+    /**
+     * Validate cross-layer bookkeeping at a cycle barrier: per-partition
+     * L2 MSHR limits, Σ L2 read-MSHR targets == pendingMiss entries, and
+     * every read MSHR backed by a matching DRAM request (queued or in
+     * flight). `deep` additionally scans L2 tag arrays for duplicates.
+     */
+    void checkInvariants(check::Reporter &rep, bool deep) const;
+
+    /** Order-insensitive digest of all partition + response state. */
+    std::uint64_t stateDigest() const;
 
   private:
     struct Partition

@@ -11,6 +11,17 @@ rayAabb(const Ray &ray, const Vec3 &inv_dir, const Aabb &box, float *t_entry)
     float t0 = ray.tmin;
     float t1 = ray.tmax;
     for (int axis = 0; axis < 3; ++axis) {
+        if (ray.direction[axis] == 0.0f) {
+            // Axis-parallel ray: the slab contributes no t interval, only
+            // an in/out test (boundary inclusive). The general path would
+            // evaluate 0 * ±inf = NaN when the origin sits exactly on a
+            // slab plane, and with a -0.0 direction the unswapped NaN
+            // flows through min() as a false miss.
+            if (ray.origin[axis] < box.lo[axis]
+                || ray.origin[axis] > box.hi[axis])
+                return false;
+            continue;
+        }
         float near = (box.lo[axis] - ray.origin[axis]) * inv_dir[axis];
         float far = (box.hi[axis] - ray.origin[axis]) * inv_dir[axis];
         if (near > far)
@@ -35,22 +46,25 @@ rayTriangle(const Ray &ray, const Vec3 &v0, const Vec3 &v1, const Vec3 &v2)
     Vec3 e2 = v2 - v0;
     Vec3 pvec = cross(ray.direction, e2);
     float det = dot(e1, pvec);
-    if (std::abs(det) < kEpsilon)
+    // Inverted comparison so a NaN det (degenerate/non-finite vertices,
+    // overflowed cross product) rejects instead of sailing past every
+    // subsequent range check and committing a NaN hit record.
+    if (!(std::abs(det) >= kEpsilon))
         return result;
 
     float inv_det = 1.0f / det;
     Vec3 tvec = ray.origin - v0;
     float u = dot(tvec, pvec) * inv_det;
-    if (u < 0.f || u > 1.f)
+    if (!(u >= 0.f) || u > 1.f)
         return result;
 
     Vec3 qvec = cross(tvec, e1);
     float v = dot(ray.direction, qvec) * inv_det;
-    if (v < 0.f || u + v > 1.f)
+    if (!(v >= 0.f) || u + v > 1.f)
         return result;
 
     float t = dot(e2, qvec) * inv_det;
-    if (t <= ray.tmin || t >= ray.tmax)
+    if (!(t > ray.tmin) || t >= ray.tmax)
         return result;
 
     result.hit = true;
@@ -87,6 +101,14 @@ rayBoxProcedural(const Ray &ray, const Aabb &box)
     float t0 = ray.tmin;
     float t1 = ray.tmax;
     for (int axis = 0; axis < 3; ++axis) {
+        if (ray.direction[axis] == 0.0f) {
+            // Same NaN hazard as rayAabb(): axis-parallel rays get a pure
+            // containment test instead of a 0 * inf slab evaluation.
+            if (ray.origin[axis] < box.lo[axis]
+                || ray.origin[axis] > box.hi[axis])
+                return -1.f;
+            continue;
+        }
         float near = (box.lo[axis] - ray.origin[axis]) * inv[axis];
         float far = (box.hi[axis] - ray.origin[axis]) * inv[axis];
         if (near > far)

@@ -545,6 +545,15 @@ SmCore::cycle(Cycle now)
                                     ws.dispatchedAt, now);
             ws.warp.reset();
             ws.pendingRegs.clear();
+            // Drop the retired warp's in-flight ALU/SFU writebacks: the
+            // slot can be reused next cycle, and a stale entry would
+            // release the new warp's scoreboard register early.
+            writebacks_.erase(
+                std::remove_if(writebacks_.begin(), writebacks_.end(),
+                               [s](const PendingWriteback &wb) {
+                                   return wb.slot == s;
+                               }),
+                writebacks_.end());
         }
     }
 
@@ -559,6 +568,158 @@ SmCore::cycle(Cycle now)
         timeline_->counter("rtunit.active_rays", now,
                            rtUnit_.activeRays());
     }
+}
+
+void
+SmCore::checkInvariants(check::Reporter &rep, Cycle now, bool deep) const
+{
+    const std::string path = "sm" + std::to_string(smId_);
+
+    if (!stagedRequests_.empty())
+        rep.report(path + ".staged",
+                   std::to_string(stagedRequests_.size())
+                       + " staged requests left after the barrier flush");
+
+    // LDST ops: referential integrity and per-slot load accounting.
+    std::vector<unsigned> loads(warps_.size(), 0);
+    std::vector<std::set<int>> covered(warps_.size());
+    for (const auto &[tag, op] : ldstOps_) {
+        if (op.slot >= warps_.size() || !warps_[op.slot].warp) {
+            rep.report(path + ".ldst",
+                       "outstanding load targets dead warp slot "
+                           + std::to_string(op.slot));
+            continue;
+        }
+        if (op.sectorsLeft == 0)
+            rep.report(path + ".ldst",
+                       "outstanding load with zero sectors left");
+        ++loads[op.slot];
+        if (op.dstReg >= 0)
+            covered[op.slot].insert(op.dstReg);
+    }
+
+    // Writebacks always target a live slot with the register still
+    // pending (retire purges a dead warp's entries; a stale one would
+    // release the successor warp's scoreboard early).
+    for (const PendingWriteback &wb : writebacks_) {
+        if (wb.slot >= warps_.size() || !warps_[wb.slot].warp) {
+            rep.report(path + ".writeback",
+                       "writeback targets dead warp slot "
+                           + std::to_string(wb.slot));
+            continue;
+        }
+        if (wb.at <= now)
+            rep.report(path + ".writeback",
+                       "writeback due at cycle " + std::to_string(wb.at)
+                           + " not retired");
+        if (!warps_[wb.slot].pendingRegs.count(wb.reg))
+            rep.report(path + ".writeback",
+                       "writeback for slot " + std::to_string(wb.slot)
+                           + " register " + std::to_string(wb.reg)
+                           + " which is not scoreboard-pending");
+        covered[wb.slot].insert(wb.reg);
+    }
+
+    for (unsigned s = 0; s < warps_.size(); ++s) {
+        const WarpSlot &ws = warps_[s];
+        const std::string slot_path = path + ".slot" + std::to_string(s);
+        if (!ws.warp) {
+            if (!ws.pendingRegs.empty())
+                rep.report(slot_path,
+                           "dead slot with pending scoreboard registers");
+            if (loads[s] != 0)
+                rep.report(slot_path, "dead slot with outstanding loads");
+            continue;
+        }
+        if (ws.pendingLoads != loads[s])
+            rep.report(slot_path,
+                       "pendingLoads=" + std::to_string(ws.pendingLoads)
+                           + " but " + std::to_string(loads[s])
+                           + " LDST ops are outstanding");
+        // Every scoreboard-pending register needs a completion source
+        // (an in-flight writeback or load), or issue stalls forever.
+        for (int reg : ws.pendingRegs)
+            if (!covered[s].count(reg))
+                rep.report(slot_path,
+                           "pending register " + std::to_string(reg)
+                               + " has no in-flight writeback or load");
+        ws.warp->cflow.checkWellFormed(rep, slot_path + ".cflow");
+    }
+
+    l1_.checkInvariants(rep, path + ".l1", deep);
+    if (rtCache_)
+        rtCache_->checkInvariants(rep, path + ".rtcache", deep);
+    rtUnit_.checkInvariants(rep, path + ".rtunit", now);
+}
+
+std::uint64_t
+SmCore::stateDigest() const
+{
+    check::Digest d;
+    for (const WarpSlot &ws : warps_) {
+        d.mix(ws.warp != nullptr);
+        if (!ws.warp)
+            continue;
+        d.mix(ws.warpId);
+        d.mix(ws.pendingLoads);
+        d.mix(ws.nextSplit);
+        d.mix(ws.dispatchedAt);
+        for (int reg : ws.pendingRegs)
+            d.mix(static_cast<std::uint64_t>(reg));
+        d.mix(ws.pendingRegs.size());
+        d.mix(ws.warp->cflow.stateDigest());
+    }
+    d.mix(warps_.size());
+    for (const L1Req &r : l1Queue_) {
+        d.mix(r.sector);
+        d.mix(r.write);
+        d.mix(static_cast<std::uint64_t>(r.origin));
+        d.mix(r.tag);
+    }
+    d.mix(l1Queue_.size());
+    // ldstOps_ (hash map) and writebacks_ (swap-removed vector) have
+    // history-dependent iteration order: fold order-insensitively.
+    std::uint64_t fold = 0;
+    for (const auto &[tag, op] : ldstOps_) {
+        check::Digest e;
+        e.mix(tag);
+        e.mix(op.slot);
+        e.mix(static_cast<std::uint64_t>(op.dstReg));
+        e.mix(op.sectorsLeft);
+        fold ^= e.value();
+    }
+    d.mix(fold);
+    d.mix(ldstOps_.size());
+    fold = 0;
+    for (const PendingWriteback &wb : writebacks_) {
+        check::Digest e;
+        e.mix(wb.at);
+        e.mix(wb.slot);
+        e.mix(static_cast<std::uint64_t>(wb.reg));
+        e.mix(wb.isLoad);
+        fold ^= e.value();
+    }
+    d.mix(fold);
+    d.mix(writebacks_.size());
+    // The tag heap pops in a deterministic order: drain a copy.
+    auto heap = tagReady_;
+    while (!heap.empty()) {
+        d.mix(heap.top().at);
+        d.mix(heap.top().seq);
+        d.mix(heap.top().tag);
+        heap.pop();
+    }
+    d.mix(tagSeq_);
+    d.mix(nextLdstTag_);
+    d.mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(greedyWarp_)));
+    d.mix(rrCursor_);
+    d.mix(sfuReadyAt_);
+    d.mix(l1_.stateDigest());
+    if (rtCache_)
+        d.mix(rtCache_->stateDigest());
+    d.mix(rtUnit_.stateDigest());
+    return d.value();
 }
 
 // --- GpuSimulator -----------------------------------------------------------
@@ -616,6 +777,36 @@ GpuSimulator::run()
     std::uint32_t next_warp = 0;
     unsigned rr_sm = 0;
 
+    // Self-validation and differential-harness plumbing. Invariants are
+    // swept at the cycle barrier, where no SM worker is running and all
+    // cross-unit bookkeeping must balance; a violation panics with its
+    // path and cycle. Digests are likewise collected at the barrier so
+    // they are bit-identical for any thread count.
+    const check::CheckLevel level = config_.checkLevel;
+    check::Reporter checker;
+    const bool digests_on = config_.digestTrace;
+    if (digests_on) {
+        result.digests.period = std::max<Cycle>(1, config_.digestPeriod);
+        result.digests.units = config_.numSms + 1;
+    }
+    auto sweep = [&](Cycle cycle, bool deep) {
+        checker.setCycle(cycle);
+        for (auto &sm : sms)
+            sm->checkInvariants(checker, cycle, deep);
+        fabric.checkInvariants(checker, deep);
+    };
+    auto collect_digests = [&](Cycle cycle) {
+        for (unsigned u = 0; u <= config_.numSms; ++u) {
+            std::uint64_t dg = u < config_.numSms
+                                   ? sms[u]->stateDigest()
+                                   : fabric.stateDigest();
+            if (cycle == config_.digestInjectCycle
+                && u == config_.digestInjectUnit)
+                dg ^= 1; // fault injection: perturb only the trace
+            result.digests.values.push_back(dg);
+        }
+    };
+
     Cycle now = 0;
     while (true) {
         // Dispatch pending warps to SMs with free slots (round robin).
@@ -643,6 +834,14 @@ GpuSimulator::run()
             sm->flushStagedRequests(now);
         fabric.cycle(now);
 
+        if (level != check::CheckLevel::Off) {
+            bool deep = now % check::kBasicSweepPeriod == 0;
+            if (level == check::CheckLevel::Full || deep)
+                sweep(now, deep);
+        }
+        if (digests_on && now % result.digests.period == 0)
+            collect_digests(now);
+
         if (config_.occupancySamplePeriod
             && now % config_.occupancySamplePeriod == 0) {
             unsigned rays = 0;
@@ -663,6 +862,10 @@ GpuSimulator::run()
                 break;
         }
     }
+
+    // Final deep sweep: the drained machine must balance exactly.
+    if (level != check::CheckLevel::Off)
+        sweep(now, true);
 
     result.cycles = now;
 

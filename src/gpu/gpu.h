@@ -17,6 +17,7 @@
 #include <queue>
 #include <set>
 
+#include "check/check.h"
 #include "dram/fabric.h"
 #include "rtunit/rtunit.h"
 #include "util/image.h"
@@ -75,6 +76,32 @@ struct GpuConfig
     bool printPerfSummary = false;
 
     /**
+     * Self-validation level (`--check=<level>` / VKSIM_CHECK): Basic
+     * sweeps cross-layer invariants every check::kBasicSweepPeriod
+     * cycles, Full sweeps shallow invariants every cycle (deep scans at
+     * the Basic period) and enables the per-ray reference differential.
+     * A violation panics with its path and cycle.
+     */
+    check::CheckLevel checkLevel = check::defaultCheckLevel();
+
+    /**
+     * Record per-cycle-barrier state digests of every SM plus the fabric
+     * (RunResult::digests) for the differential engine runner
+     * (tools/diffrun). Off by default: digesting is cheap but not free.
+     */
+    bool digestTrace = false;
+    Cycle digestPeriod = 1; ///< cycles between digest samples
+
+    /**
+     * Fault injection for validating the differential harness itself:
+     * XOR a bit into the digest of `digestInjectUnit` at cycle
+     * `digestInjectCycle` (default: never). The run is untouched; only
+     * its digest trace diverges.
+     */
+    Cycle digestInjectCycle = ~Cycle(0);
+    unsigned digestInjectUnit = 0;
+
+    /**
      * Chrome-trace timeline sink (`--timeline=out.json`). Disabled when
      * the path is empty. Events use simulated-cycle timestamps, so the
      * file is bit-identical for every engine thread count.
@@ -111,6 +138,9 @@ struct RunResult
 
     double hostSeconds = 0.0; ///< wall-clock time of the run() call
     unsigned threadsUsed = 1; ///< engine threads the run executed with
+
+    /** Per-barrier state digests (populated when digestTrace is set). */
+    check::DigestTrace digests;
 
     /** Simulated cycles per host second (simulator throughput). */
     double
@@ -193,6 +223,17 @@ class SmCore : public RtMemPort
     // RtMemPort
     bool rtIssueRead(Addr sector, std::uint64_t tag) override;
     bool rtIssueWrite(Addr sector) override;
+
+    /**
+     * Validate this SM's bookkeeping at a cycle barrier (after
+     * flushStagedRequests): scoreboard/load accounting, writeback and
+     * LDST referential integrity, plus the owned caches, RT unit and
+     * each resident warp's SIMT-stack well-formedness.
+     */
+    void checkInvariants(check::Reporter &rep, Cycle now, bool deep) const;
+
+    /** Order-insensitive digest of all SM-owned architectural state. */
+    std::uint64_t stateDigest() const;
 
   private:
     struct WarpSlot

@@ -37,6 +37,10 @@ RtUnit::RtUnit(const RtUnitConfig &config, const vptx::LaunchContext *ctx,
                StatGroup *stats)
     : config_(config), ctx_(ctx), stats_(stats)
 {
+    // The largest node (128 B TopLeaf) must fit in the queue in one
+    // piece, or the all-or-nothing memory scheduler could never place it.
+    vksim_assert(config_.memQueueSize
+                 >= 2 * kNodeBlockSize / kSectorBytes);
     entries_.resize(config_.maxWarps);
 }
 
@@ -167,36 +171,45 @@ RtUnit::memSchedule(Cycle now)
         }
         ls.nodeType = trav->pendingType();
         unsigned chunks = (size + kSectorBytes - 1) / kSectorBytes;
+
+        // All-or-nothing: a node's chunks go into the queue together or
+        // not at all. Queueing a prefix and marking the lane WaitingMem
+        // (the old behaviour) dropped the remaining chunks forever — the
+        // lane woke up after the partial fetch, under-counting memory
+        // traffic whenever the queue backed up. Plan first: how many
+        // chunks need new entries (the rest merge into queued sectors)?
+        auto find_queued = [&](Addr sector) -> MemQueueEntry * {
+            for (MemQueueEntry &q : memQueue_)
+                if (q.sector == sector)
+                    return &q;
+            return nullptr;
+        };
+        unsigned new_entries = 0;
+        for (unsigned c = 0; c < chunks; ++c)
+            if (!find_queued(sectorAlign(addr) + c * kSectorBytes))
+                ++new_entries;
+        if (memQueue_.size() + new_entries > config_.memQueueSize) {
+            stats_->counter("mem_queue_full_stalls").inc();
+            break; // queue full: this lane and the rest stay Ready
+        }
+
+        // Commit: the whole node fits.
         ls.chunksOutstanding = 0;
-        bool queued_all = true;
         for (unsigned c = 0; c < chunks; ++c) {
             Addr sector = sectorAlign(addr) + c * kSectorBytes;
-            // Merge with an already queued request for the same sector.
-            bool merged = false;
-            for (MemQueueEntry &q : memQueue_)
-                if (q.sector == sector) {
-                    q.targets.emplace_back(slot, lane);
-                    merged = true;
-                    stats_->counter("mem_merged").inc();
-                    break;
-                }
-            if (!merged) {
-                if (memQueue_.size() >= config_.memQueueSize) {
-                    queued_all = false;
-                    break;
-                }
-                MemQueueEntry q;
-                q.sector = sector;
-                q.targets.emplace_back(slot, lane);
-                memQueue_.push_back(std::move(q));
+            if (MemQueueEntry *q = find_queued(sector)) {
+                q->targets.emplace_back(slot, lane);
+                stats_->counter("mem_merged").inc();
+            } else {
+                MemQueueEntry q2;
+                q2.sector = sector;
+                q2.targets.emplace_back(slot, lane);
+                memQueue_.push_back(std::move(q2));
                 stats_->counter("mem_requests").inc();
             }
             ++ls.chunksOutstanding;
         }
-        if (ls.chunksOutstanding > 0)
-            ls.status = LaneStatus::WaitingMem;
-        if (!queued_all)
-            break; // queue full: remaining lanes stay Ready
+        ls.status = LaneStatus::WaitingMem;
     }
 
     // Check warps whose rays all finished during collection.
@@ -402,6 +415,178 @@ RtUnit::cycle(Cycle now)
         writeQueue_.clear();
 
     pumpWriteback(now);
+}
+
+void
+RtUnit::checkInvariants(check::Reporter &rep, const std::string &path,
+                        Cycle now) const
+{
+    auto lane_path = [&](unsigned slot, unsigned lane) {
+        return path + ".slot" + std::to_string(slot) + ".lane"
+               + std::to_string(lane);
+    };
+
+    // Outstanding chunks per (slot, lane) across queue + in-flight reads.
+    std::array<std::array<unsigned, kWarpSize>, 64> pending{};
+    vksim_assert(entries_.size() <= pending.size());
+    for (const MemQueueEntry &q : memQueue_)
+        for (auto [slot, lane] : q.targets)
+            ++pending[slot][lane];
+    for (const auto &[tag, targets] : inflight_)
+        for (auto [slot, lane] : targets)
+            ++pending[slot][lane];
+
+    unsigned live = 0;
+    for (unsigned slot = 0; slot < entries_.size(); ++slot) {
+        const WarpEntry &e = entries_[slot];
+        if (!e.valid) {
+            for (unsigned lane = 0; lane < kWarpSize; ++lane)
+                if (pending[slot][lane] != 0)
+                    rep.report(lane_path(slot, lane),
+                               "memory traffic targets an empty warp slot");
+            continue;
+        }
+        ++live;
+        unsigned lanes_live = 0;
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            const LaneState &ls = e.lanes[lane];
+            bool in_mask = (e.mask >> lane) & 1u;
+            if (ls.status != LaneStatus::Idle && !in_mask)
+                rep.report(lane_path(slot, lane),
+                           "active lane outside the split's mask");
+            bool counts_live = ls.status == LaneStatus::Ready
+                               || ls.status == LaneStatus::WaitingMem
+                               || ls.status == LaneStatus::InFifo
+                               || ls.status == LaneStatus::InOp;
+            if (counts_live)
+                ++lanes_live;
+            bool waiting = ls.status == LaneStatus::WaitingMem;
+            if (waiting != (ls.chunksOutstanding > 0))
+                rep.report(lane_path(slot, lane),
+                           "chunksOutstanding="
+                               + std::to_string(ls.chunksOutstanding)
+                               + " disagrees with WaitingMem status");
+            unsigned want = waiting ? ls.chunksOutstanding : 0;
+            if (pending[slot][lane] != want)
+                rep.report(lane_path(slot, lane),
+                           std::to_string(pending[slot][lane])
+                               + " queued/in-flight chunks target this "
+                                 "lane, which expects "
+                               + std::to_string(want));
+            if (ls.status == LaneStatus::InOp && ls.opDoneAt <= now)
+                rep.report(lane_path(slot, lane),
+                           "operation finished at cycle "
+                               + std::to_string(ls.opDoneAt)
+                               + " but the lane is still InOp");
+        }
+        if (lanes_live != e.lanesLive)
+            rep.report(path + ".slot" + std::to_string(slot),
+                       "lanesLive=" + std::to_string(e.lanesLive)
+                           + " but " + std::to_string(lanes_live)
+                           + " lanes are in a live status");
+    }
+    if (live != liveEntries_)
+        rep.report(path, "liveEntries=" + std::to_string(liveEntries_)
+                             + " but " + std::to_string(live)
+                             + " slots are valid");
+    if (memQueue_.size() > config_.memQueueSize)
+        rep.report(path + ".mem_queue",
+                   std::to_string(memQueue_.size())
+                       + " entries, limit "
+                       + std::to_string(config_.memQueueSize));
+
+    // Each Response-FIFO entry must name a valid InFifo lane, exactly
+    // once (the lane stays InFifo until the op scheduler pops it).
+    std::array<std::array<unsigned, kWarpSize>, 64> fifo{};
+    for (auto [slot, lane] : responseFifo_) {
+        if (slot >= entries_.size() || !entries_[slot].valid
+            || entries_[slot].lanes[lane].status != LaneStatus::InFifo) {
+            rep.report(path + ".response_fifo",
+                       "entry (" + std::to_string(slot) + ","
+                           + std::to_string(lane)
+                           + ") does not name a valid InFifo lane");
+            continue;
+        }
+        ++fifo[slot][lane];
+    }
+    for (unsigned slot = 0; slot < entries_.size(); ++slot) {
+        if (!entries_[slot].valid)
+            continue;
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            bool in_fifo =
+                entries_[slot].lanes[lane].status == LaneStatus::InFifo;
+            if (fifo[slot][lane] != (in_fifo ? 1u : 0u))
+                rep.report(lane_path(slot, lane),
+                           "InFifo lane appears "
+                               + std::to_string(fifo[slot][lane])
+                               + " times in the Response FIFO");
+        }
+    }
+}
+
+std::uint64_t
+RtUnit::stateDigest() const
+{
+    check::Digest d;
+    for (const WarpEntry &e : entries_) {
+        d.mix(e.valid);
+        if (!e.valid)
+            continue;
+        d.mix(static_cast<std::uint64_t>(e.splitId));
+        d.mix(e.mask);
+        d.mix(e.submitTime);
+        d.mix(e.lanesLive);
+        d.mix(e.inWriteback);
+        d.mix(e.spillWrites);
+        d.mix(e.deferredWrites);
+        for (Addr a : e.writebackQueue)
+            d.mix(a);
+        d.mix(e.writebackQueue.size());
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            const LaneState &ls = e.lanes[lane];
+            d.mix(static_cast<std::uint64_t>(ls.status));
+            d.mix(ls.chunksOutstanding);
+            d.mix(ls.opDoneAt);
+            d.mix(static_cast<std::uint64_t>(ls.nodeType));
+            const auto &lt = e.state->lanes[lane];
+            if (((e.mask >> lane) & 1u) && lt.traversal) {
+                d.mix(lt.traversal->nodesVisited());
+                d.mixFloat(lt.traversal->currentTmax());
+            }
+        }
+    }
+    for (const MemQueueEntry &q : memQueue_) {
+        d.mix(q.sector);
+        for (auto [slot, lane] : q.targets) {
+            d.mix(slot);
+            d.mix(lane);
+        }
+        d.mix(q.targets.size());
+    }
+    for (auto [slot, lane] : responseFifo_) {
+        d.mix(slot);
+        d.mix(lane);
+    }
+    for (Addr a : writeQueue_)
+        d.mix(a);
+    // inflight_ is a hash map: fold order-insensitively.
+    std::uint64_t fold = 0;
+    for (const auto &[tag, targets] : inflight_) {
+        check::Digest e;
+        e.mix(tag);
+        for (auto [slot, lane] : targets) {
+            e.mix(slot);
+            e.mix(lane);
+        }
+        fold ^= e.value();
+    }
+    d.mix(fold);
+    d.mix(inflight_.size());
+    d.mix(nextTag_);
+    d.mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(lastScheduled_)));
+    d.mix(liveEntries_);
+    return d.value();
 }
 
 std::vector<RtUnit::Completion>

@@ -111,6 +111,18 @@ class RtUnit
      */
     void setTimeline(TimelineShard *shard) { timeline_ = shard; }
 
+    /**
+     * Validate lane/queue bookkeeping at a cycle barrier: live-entry and
+     * live-lane counts, lane-status/chunk consistency, the conservation
+     * of outstanding chunks across the Memory Access Queue and in-flight
+     * reads, queue bounds, and Response-FIFO referential integrity.
+     */
+    void checkInvariants(check::Reporter &rep, const std::string &path,
+                         Cycle now) const;
+
+    /** Order-insensitive digest of all warp-buffer and queue state. */
+    std::uint64_t stateDigest() const;
+
   private:
     enum class LaneStatus : std::uint8_t
     {

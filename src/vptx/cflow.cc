@@ -264,6 +264,87 @@ WarpCflow::splitIndexById(int id) const
 }
 
 void
+WarpCflow::checkWellFormed(check::Reporter &rep,
+                           const std::string &path) const
+{
+    if (mode_ == Mode::Stack) {
+        // splits_[0] must mirror the stack top exactly.
+        if (splits_.size() != (stack_.empty() ? 0u : 1u)) {
+            rep.report(path, "stack-top mirror has "
+                                 + std::to_string(splits_.size())
+                                 + " splits");
+            return;
+        }
+        if (!stack_.empty()) {
+            const WarpSplit &s = splits_[0];
+            if (s.pc != stack_.back().pc || s.mask != stack_.back().mask
+                || s.id != 0 || s.blocked != stackBlocked_)
+                rep.report(path, "stack-top mirror out of sync with the "
+                                 "stack top");
+        }
+        for (std::size_t i = 0; i < stack_.size(); ++i) {
+            if (stack_[i].mask == 0)
+                rep.report(path, "stack entry " + std::to_string(i)
+                                     + " has an empty mask");
+            // Every deeper entry's lanes are live, so they must still be
+            // present in the root join continuation (exit removes a lane
+            // from every entry at once).
+            if (i > 0 && (stack_[i].mask & ~stack_[0].mask) != 0)
+                rep.report(path,
+                           "stack entry " + std::to_string(i)
+                               + " holds lanes missing from the root");
+        }
+        return;
+    }
+
+    if (!stack_.empty())
+        rep.report(path, "ITS mode with a non-empty SIMT stack");
+    Mask seen = 0;
+    for (std::size_t i = 0; i < splits_.size(); ++i) {
+        const WarpSplit &s = splits_[i];
+        if (s.mask == 0)
+            rep.report(path, "split " + std::to_string(i)
+                                 + " has an empty mask");
+        if ((s.mask & seen) != 0)
+            rep.report(path, "split " + std::to_string(i)
+                                 + " overlaps another split's lanes");
+        seen |= s.mask;
+        if (s.id <= 0 || s.id >= nextId_)
+            rep.report(path, "split " + std::to_string(i)
+                                 + " has out-of-range id "
+                                 + std::to_string(s.id));
+        for (std::size_t j = i + 1; j < splits_.size(); ++j)
+            if (splits_[j].id == s.id)
+                rep.report(path, "duplicate split id "
+                                     + std::to_string(s.id));
+    }
+}
+
+std::uint64_t
+WarpCflow::stateDigest() const
+{
+    check::Digest d;
+    d.mix(static_cast<std::uint64_t>(mode_));
+    for (const StackEntry &e : stack_) {
+        d.mix(e.pc);
+        d.mix(e.reconv);
+        d.mix(e.mask);
+    }
+    d.mix(stack_.size());
+    for (const WarpSplit &s : splits_) {
+        d.mix(s.pc);
+        d.mix(s.mask);
+        d.mix(s.blocked);
+        d.mix(static_cast<std::uint64_t>(s.id));
+        d.mix(s.reconv);
+    }
+    d.mix(splits_.size());
+    d.mix(static_cast<std::uint64_t>(nextId_));
+    d.mix(stackBlocked_);
+    return d.value();
+}
+
+void
 WarpCflow::dropEmptySplits()
 {
     splits_.erase(std::remove_if(splits_.begin(), splits_.end(),

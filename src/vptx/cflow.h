@@ -11,8 +11,10 @@
 #define VKSIM_VPTX_CFLOW_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "check/check.h"
 #include "util/types.h"
 
 namespace vksim::vptx {
@@ -106,6 +108,18 @@ class WarpCflow
 
     /** Union of live lanes across splits. */
     Mask liveMask() const;
+
+    /**
+     * Validate well-formedness. Stack mode: splits_[0] mirrors the stack
+     * top, all stack masks are non-empty and properly nested (deeper
+     * entries' masks are subsets of shallower ones). ITS mode: split
+     * masks are non-empty, pairwise disjoint, with unique stable ids.
+     */
+    void checkWellFormed(check::Reporter &rep,
+                         const std::string &path) const;
+
+    /** Digest of the full divergence state (stack + split tables). */
+    std::uint64_t stateDigest() const;
 
   private:
     struct StackEntry

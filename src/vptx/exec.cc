@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "check/check.h"
 #include "util/log.h"
 #include "util/stats.h"
 
@@ -509,6 +510,10 @@ WarpExecutor::completeTraverse(Warp &warp, int split_id)
             continue;
         LaneTraversal &lt = ts.lanes[lane];
         vksim_assert(lt.traversal && lt.traversal->done());
+        // Full-check differential: replay the finished ray through the
+        // CPU reference tracer before the frame's hit words are written.
+        if (check::traverseHookActive())
+            check::callTraverseHook(lt.frameBase, *lt.traversal);
         rt_runtime::writeResults(*ctx_.gmem, lt.frameBase, *lt.traversal);
     }
     if (options_.fccEnabled)

@@ -710,8 +710,11 @@ makeIntersectionBox()
     V3 lo = v3Load(b, c.primRec, offsetof(GpuProceduralRecord, lo));
     V3 hi = v3Load(b, c.primRec, offsetof(GpuProceduralRecord, hi));
 
-    // Mirror geom rayBoxProcedural(): slab test with safeInverse.
+    // Mirror geom rayBoxProcedural(): slab test with safeInverse, and the
+    // same axis-parallel guard — a zero direction component becomes a
+    // containment test so 0 * inf never reaches the min/max chain.
     Val one = b.constF(1.f);
+    Val zero = b.constF(0.f);
     V3 inv{b.fdiv(one, c.d.x), b.fdiv(one, c.d.y), b.fdiv(one, c.d.z)};
     Val t0 = b.var();
     b.assign(t0, c.tmin);
@@ -723,16 +726,21 @@ makeIntersectionBox()
     const Val los[3] = {lo.x, lo.y, lo.z};
     const Val his[3] = {hi.x, hi.y, hi.z};
     const Val origins[3] = {c.o.x, c.o.y, c.o.z};
+    const Val dirs[3] = {c.d.x, c.d.y, c.d.z};
     const Val invs[3] = {inv.x, inv.y, inv.z};
     for (int axis = 0; axis < 3; ++axis) {
+        Val is_par = b.feq(dirs[axis], zero);
+        Val outside = b.ior(b.flt(origins[axis], los[axis]),
+                            b.fgt(origins[axis], his[axis]));
         Val near = b.fmul(b.fsub(los[axis], origins[axis]), invs[axis]);
         Val far = b.fmul(b.fsub(his[axis], origins[axis]), invs[axis]);
         Val swap = b.fgt(near, far);
         Val n2 = b.select(swap, far, near);
         Val f2 = b.select(swap, near, far);
-        b.assign(t0, b.fmax(t0, n2));
-        b.assign(t1, b.fmin(t1, f2));
-        b.assign(miss, b.ior(miss, b.fgt(t0, t1)));
+        b.assign(t0, b.select(is_par, t0, b.fmax(t0, n2)));
+        b.assign(t1, b.select(is_par, t1, b.fmin(t1, f2)));
+        b.assign(miss,
+                 b.ior(miss, b.select(is_par, outside, b.fgt(t0, t1))));
     }
 
     b.beginIf(b.ieq(miss, b.constI(0)));

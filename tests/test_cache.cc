@@ -127,6 +127,84 @@ TEST(CacheTest, OriginAccountingSeparatesShaderAndRtUnit)
     EXPECT_EQ(c.stats().get("miss_compulsory.rtunit"), 1u);
 }
 
+TEST(CacheTest, SeventeenMergesToOneSectorStallWithoutMiscount)
+{
+    // Paper-default MSHR geometry: 16 merged targets per MSHR. Driving
+    // 17+ requests at one sector must stall the overflow — and the
+    // stalled retries must not perturb the access/miss/merge stat split.
+    CacheConfig cfg = smallCache(64, 0);
+    cfg.numMshrs = 64;
+    cfg.mshrTargets = 16;
+    Cache c(cfg);
+
+    EXPECT_EQ(c.access(0x400, false, AccessOrigin::RtUnit, 0, 0),
+              CacheOutcome::MissNew);
+    for (std::uint64_t i = 1; i < 16; ++i)
+        EXPECT_EQ(c.access(0x400, false, AccessOrigin::RtUnit, i, 0),
+                  CacheOutcome::MissMerged);
+    // Target list is full: overflow requests stall, repeatedly.
+    for (int retry = 0; retry < 4; ++retry)
+        EXPECT_EQ(c.access(0x400, false, AccessOrigin::RtUnit, 16, 0),
+                  CacheOutcome::Stall);
+
+    EXPECT_EQ(c.stats().get("accesses.rtunit"), 16u);
+    EXPECT_EQ(c.stats().get("miss_compulsory.rtunit"), 1u);
+    EXPECT_EQ(c.stats().get("miss_capacity_conflict.rtunit"), 0u);
+    EXPECT_EQ(c.stats().get("mshr_merges"), 15u);
+    EXPECT_EQ(c.stats().get("mshr_target_stalls"), 4u);
+
+    // The fill releases exactly the 16 merged cookies, none dropped.
+    std::vector<std::uint64_t> tags = c.fill(0x400, 1);
+    ASSERT_EQ(tags.size(), 16u);
+    for (std::uint64_t i = 0; i < 16; ++i)
+        EXPECT_EQ(tags[i], i);
+
+    // The stalled request retries against the now-resident line.
+    EXPECT_EQ(c.access(0x400, false, AccessOrigin::RtUnit, 16, 2),
+              CacheOutcome::Hit);
+    EXPECT_EQ(c.stats().get("accesses.rtunit"), 17u);
+}
+
+TEST(CacheTest, MshrFullStallRetriesCountOnce)
+{
+    // An access stalled on MSHR-pool exhaustion is retried verbatim by
+    // every caller in the memory system; only the attempt that finally
+    // goes through may touch the access/miss counters, and it must still
+    // classify as compulsory.
+    CacheConfig cfg = smallCache(16, 0);
+    cfg.numMshrs = 1;
+    Cache c(cfg);
+
+    EXPECT_EQ(c.access(0x000, false, AccessOrigin::Shader, 1, 0),
+              CacheOutcome::MissNew);
+    for (int retry = 0; retry < 3; ++retry)
+        EXPECT_EQ(c.access(0x200, false, AccessOrigin::Shader, 2, 0),
+                  CacheOutcome::Stall);
+    EXPECT_EQ(c.stats().get("accesses.shader"), 1u);
+
+    c.fill(0x000, 1);
+    EXPECT_EQ(c.access(0x200, false, AccessOrigin::Shader, 2, 2),
+              CacheOutcome::MissNew);
+    EXPECT_EQ(c.stats().get("accesses.shader"), 2u);
+    EXPECT_EQ(c.stats().get("miss_compulsory.shader"), 2u);
+    EXPECT_EQ(c.stats().get("miss_capacity_conflict.shader"), 0u);
+    EXPECT_EQ(c.stats().get("mshr_full_stalls"), 3u);
+}
+
+TEST(CacheTest, ContainsPeeksWithoutSideEffects)
+{
+    Cache c(smallCache(4, 0));
+    EXPECT_FALSE(c.contains(0x100));
+    c.access(0x100, false, AccessOrigin::Shader, 1, 0);
+    EXPECT_FALSE(c.contains(0x100)); // miss outstanding, not resident
+    c.fill(0x100, 1);
+    EXPECT_TRUE(c.contains(0x100));
+    EXPECT_TRUE(c.contains(0x10f)); // any address within the sector
+    // The peeks above must not have counted anything.
+    EXPECT_EQ(c.stats().get("accesses.shader"), 1u);
+    EXPECT_EQ(c.stats().get("hits.shader"), 0u);
+}
+
 TEST(CacheTest, ResetClearsEverything)
 {
     Cache c(smallCache(4, 0));

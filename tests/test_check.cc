@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Validation-subsystem tests: level parsing, digest/trace primitives,
+ * the collect-mode reporter, and end-to-end exercises of the harness on
+ * real workloads — Full-level invariant sweeps must come back clean on
+ * the serial and the threaded engine, the structural BVH checker must
+ * accept every builder output, and an injected digest fault must be
+ * localized to exactly the (cycle, unit) where it was planted (the
+ * harness's own false-negative test).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "check/accelcheck.h"
+#include "check/check.h"
+#include "core/vulkansim.h"
+#include "vptx/exec.h"
+#include "vptx/rtstack.h"
+
+namespace vksim {
+namespace {
+
+using wl::Workload;
+using wl::WorkloadId;
+using wl::WorkloadParams;
+
+WorkloadParams
+tiny(WorkloadId id)
+{
+    WorkloadParams p;
+    p.width = 16;
+    p.height = 16;
+    p.extScale = 0.1f;
+    p.rtv5Detail = 3;
+    p.rtv6Prims = 300;
+    return p;
+}
+
+GpuConfig
+smallConfig(unsigned sms = 2)
+{
+    GpuConfig cfg = baselineGpuConfig();
+    cfg.numSms = sms;
+    cfg.fabric.numPartitions = 2;
+    return cfg;
+}
+
+// --- level parsing -----------------------------------------------------
+
+TEST(CheckLevelTest, ParsesNamesAndNumbers)
+{
+    check::CheckLevel lvl = check::CheckLevel::Off;
+    EXPECT_TRUE(check::parseCheckLevel("basic", &lvl));
+    EXPECT_EQ(lvl, check::CheckLevel::Basic);
+    EXPECT_TRUE(check::parseCheckLevel("full", &lvl));
+    EXPECT_EQ(lvl, check::CheckLevel::Full);
+    EXPECT_TRUE(check::parseCheckLevel("off", &lvl));
+    EXPECT_EQ(lvl, check::CheckLevel::Off);
+    EXPECT_TRUE(check::parseCheckLevel("2", &lvl));
+    EXPECT_EQ(lvl, check::CheckLevel::Full);
+    EXPECT_TRUE(check::parseCheckLevel("0", &lvl));
+    EXPECT_EQ(lvl, check::CheckLevel::Off);
+}
+
+TEST(CheckLevelTest, RejectsUnknownSpellings)
+{
+    check::CheckLevel lvl = check::CheckLevel::Full;
+    EXPECT_FALSE(check::parseCheckLevel("extreme", &lvl));
+    EXPECT_FALSE(check::parseCheckLevel("", &lvl));
+    // An unparsable spelling must leave the output untouched.
+    EXPECT_EQ(lvl, check::CheckLevel::Full);
+}
+
+TEST(CheckLevelTest, NamesRoundTrip)
+{
+    for (check::CheckLevel lvl :
+         {check::CheckLevel::Off, check::CheckLevel::Basic,
+          check::CheckLevel::Full}) {
+        check::CheckLevel parsed = check::CheckLevel::Off;
+        EXPECT_TRUE(
+            check::parseCheckLevel(check::checkLevelName(lvl), &parsed));
+        EXPECT_EQ(parsed, lvl);
+    }
+}
+
+// --- digest primitives -------------------------------------------------
+
+TEST(DigestTest, OrderSensitive)
+{
+    check::Digest a, b;
+    a.mix(1);
+    a.mix(2);
+    b.mix(2);
+    b.mix(1);
+    EXPECT_NE(a.value(), b.value());
+}
+
+TEST(DigestTest, EqualInputsHashEqual)
+{
+    check::Digest a, b;
+    for (std::uint64_t v : {3ull, 1ull, 4ull, 1ull, 5ull}) {
+        a.mix(v);
+        b.mix(v);
+    }
+    EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(DigestTest, FloatMixIsBitExact)
+{
+    // The differential compares float state bit-exactly; the digest must
+    // distinguish +0.0 from -0.0 (their bit patterns differ even though
+    // they compare equal as floats).
+    check::Digest pos, neg;
+    pos.mixFloat(0.0f);
+    neg.mixFloat(-0.0f);
+    EXPECT_NE(pos.value(), neg.value());
+}
+
+// --- digest traces -----------------------------------------------------
+
+check::DigestTrace
+makeTrace(Cycle period, unsigned units, std::size_t samples)
+{
+    check::DigestTrace t;
+    t.period = period;
+    t.units = units;
+    for (std::size_t s = 0; s < samples; ++s)
+        for (unsigned u = 0; u < units; ++u)
+            t.values.push_back(1000 + s * units + u);
+    return t;
+}
+
+TEST(DigestTraceTest, IdenticalTracesDoNotDiverge)
+{
+    check::DigestTrace a = makeTrace(4, 3, 10);
+    EXPECT_FALSE(a.firstDivergence(a).diverged);
+}
+
+TEST(DigestTraceTest, LocalizesFirstMismatch)
+{
+    check::DigestTrace a = makeTrace(4, 3, 10);
+    check::DigestTrace b = a;
+    b.values[7 * 3 + 2] ^= 1; // sample 7, unit 2
+    b.values[9 * 3 + 0] ^= 1; // later corruption must not mask the first
+    check::DigestTrace::Divergence d = a.firstDivergence(b);
+    EXPECT_TRUE(d.diverged);
+    EXPECT_EQ(d.cycle, 7u * 4u);
+    EXPECT_EQ(d.unit, 2u);
+}
+
+TEST(DigestTraceTest, LengthMismatchDiverges)
+{
+    check::DigestTrace a = makeTrace(1, 2, 5);
+    check::DigestTrace b = makeTrace(1, 2, 4);
+    check::DigestTrace::Divergence d = a.firstDivergence(b);
+    EXPECT_TRUE(d.diverged);
+    EXPECT_EQ(d.cycle, 4u); // first sample present in only one trace
+}
+
+TEST(DigestTraceTest, ShapeMismatchDiverges)
+{
+    check::DigestTrace a = makeTrace(1, 2, 4);
+    check::DigestTrace b = makeTrace(1, 3, 4);
+    EXPECT_TRUE(a.firstDivergence(b).diverged);
+}
+
+// --- reporter ----------------------------------------------------------
+
+TEST(ReporterTest, CollectModeAccumulates)
+{
+    check::Reporter rep(/*collect=*/true);
+    EXPECT_TRUE(rep.ok());
+    rep.setCycle(42);
+    rep.report("sm0.l1.mshrs", "too many");
+    rep.report("fabric.p1", "queue overflow");
+    EXPECT_FALSE(rep.ok());
+    ASSERT_EQ(rep.violations().size(), 2u);
+    EXPECT_EQ(rep.violations()[0].path, "sm0.l1.mshrs");
+    EXPECT_EQ(rep.violations()[0].cycle, 42u);
+    rep.clear();
+    EXPECT_TRUE(rep.ok());
+}
+
+// --- end-to-end: checker on real workloads -----------------------------
+
+TEST(CheckEndToEndTest, AccelCheckerAcceptsEveryBuilderOutput)
+{
+    for (WorkloadId id : wl::kAllWorkloads) {
+        Workload w(id, tiny(id));
+        check::Reporter rep(/*collect=*/true);
+        EXPECT_TRUE(check::checkAccelStruct(*w.launch().gmem, w.accel(),
+                                            &w.scene(), rep))
+            << wl::workloadName(id) << ": "
+            << (rep.ok() ? "" : rep.violations().front().path + ": "
+                                    + rep.violations().front().message);
+    }
+}
+
+// Full-level sweeps walk every cross-layer invariant at every cycle
+// barrier and replay sampled rays through the reference tracer; a
+// violation panics, so simply completing the run is the assertion. Both
+// engines must survive it.
+TEST(CheckEndToEndTest, FullCheckCleanOnSerialEngine)
+{
+    Workload w(WorkloadId::REF, tiny(WorkloadId::REF));
+    GpuConfig cfg = smallConfig(2);
+    cfg.checkLevel = check::CheckLevel::Full;
+    cfg.threads = 1;
+    RunResult r = simulateWorkload(w, cfg);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(CheckEndToEndTest, FullCheckCleanOnThreadedEngine)
+{
+    Workload w(WorkloadId::EXT, tiny(WorkloadId::EXT));
+    GpuConfig cfg = smallConfig(2);
+    cfg.checkLevel = check::CheckLevel::Full;
+    cfg.threads = 2;
+    RunResult r = simulateWorkload(w, cfg);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(CheckEndToEndTest, FullCheckCleanWithItsAndRtCache)
+{
+    Workload w(WorkloadId::EXT, tiny(WorkloadId::EXT));
+    GpuConfig cfg = smallConfig(2);
+    cfg.its = true;
+    cfg.useRtCache = true;
+    cfg.checkLevel = check::CheckLevel::Full;
+    cfg.threads = 1;
+    RunResult r = simulateWorkload(w, cfg);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+// Regression for the stale-writeback bug: a warp that retires with an
+// SFU writeback still in flight (a dead register write right before
+// Exit) used to leave the entry in the writeback pipe, where it could
+// release the scoreboard register of whichever warp reused the slot.
+// The "writeback targets a live slot with the register pending"
+// invariant catches the stale entry at the first Full-level sweep after
+// retirement, so pre-fix this test dies on the sweep's panic.
+TEST(CheckEndToEndTest, RetiredWarpLeavesNoStaleWritebacks)
+{
+    using namespace vptx;
+    Program program;
+    float four = 4.0f;
+    std::uint32_t four_bits;
+    std::memcpy(&four_bits, &four, sizeof(four_bits));
+    Instr mov;
+    mov.op = Opcode::MovImm;
+    mov.dst = 1;
+    mov.imm = four_bits;
+    Instr sqrt_dead; // result never read: the writeback outlives the warp
+    sqrt_dead.op = Opcode::FSqrt;
+    sqrt_dead.dst = 2;
+    sqrt_dead.src0 = 1;
+    Instr exit_i;
+    exit_i.op = Opcode::Exit;
+    program.code = {mov, sqrt_dead, exit_i};
+    ShaderInfo raygen;
+    raygen.name = "stale_wb";
+    raygen.stage = ShaderStage::RayGen;
+    raygen.entryPc = 0;
+    raygen.numRegs = 8;
+    program.shaders.push_back(raygen);
+    program.raygenShader = 0;
+
+    GlobalMemory gmem;
+    LaunchContext ctx;
+    ctx.program = &program;
+    ctx.gmem = &gmem;
+    ctx.launchSize[0] = kWarpSize;
+    ctx.launchSize[1] = 2; // second warp reuses the retired slot
+    ctx.rtStackBase =
+        gmem.allocate(2 * kWarpSize * kRtStackBytesPerThread, 64);
+    ctx.scratchBase =
+        gmem.allocate(2 * kWarpSize * kRtScratchBytesPerThread, 64);
+
+    GpuConfig cfg = smallConfig(1);
+    cfg.maxWarpsPerSm = 1; // force slot reuse between the two warps
+    cfg.checkLevel = check::CheckLevel::Full;
+    cfg.threads = 1;
+    GpuSimulator sim(cfg, ctx);
+    RunResult r = sim.run();
+    EXPECT_GT(r.cycles, 0u);
+}
+
+// The harness's own false-negative check: plant a one-bit digest fault
+// at a known (cycle, unit) and require the differential to localize
+// exactly that sample — no earlier, no later, no other unit.
+TEST(CheckEndToEndTest, InjectedDigestFaultIsLocalized)
+{
+    WorkloadParams p = tiny(WorkloadId::TRI);
+    GpuConfig clean = smallConfig(2);
+    clean.digestTrace = true;
+    Workload w1(WorkloadId::TRI, p);
+    RunResult ref = simulateWorkload(w1, clean);
+    ASSERT_GT(ref.digests.samples(), 600u);
+
+    GpuConfig faulty = clean;
+    faulty.digestInjectCycle = 512;
+    faulty.digestInjectUnit = 1;
+    Workload w2(WorkloadId::TRI, p);
+    RunResult fault = simulateWorkload(w2, faulty);
+
+    check::DigestTrace::Divergence d =
+        ref.digests.firstDivergence(fault.digests);
+    ASSERT_TRUE(d.diverged);
+    EXPECT_EQ(d.cycle, 512u);
+    EXPECT_EQ(d.unit, 1u);
+
+    // The injection only touches the trace, not the simulation.
+    EXPECT_EQ(ref.cycles, fault.cycles);
+}
+
+// Digest sampling every cycle and every 16th cycle must agree wherever
+// both sample: the sparse trace is a strict subsequence.
+TEST(CheckEndToEndTest, SparseDigestTraceIsASubsequence)
+{
+    WorkloadParams p = tiny(WorkloadId::TRI);
+    GpuConfig dense = smallConfig(2);
+    dense.digestTrace = true;
+    Workload w1(WorkloadId::TRI, p);
+    RunResult a = simulateWorkload(w1, dense);
+
+    GpuConfig sparse = dense;
+    sparse.digestPeriod = 16;
+    Workload w2(WorkloadId::TRI, p);
+    RunResult b = simulateWorkload(w2, sparse);
+
+    ASSERT_EQ(a.digests.units, b.digests.units);
+    for (std::size_t s = 0; s < b.digests.samples(); ++s)
+        for (unsigned u = 0; u < b.digests.units; ++u)
+            ASSERT_EQ(b.digests.at(s, u), a.digests.at(s * 16, u))
+                << "sample " << s << " unit " << u;
+}
+
+} // namespace
+} // namespace vksim

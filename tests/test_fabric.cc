@@ -178,6 +178,47 @@ TEST(FabricTest, PerfectMemRespondsQuickly)
     EXPECT_LT(now, 2u * cfg.icntLatency + cfg.l2.latency + 5u);
 }
 
+TEST(FabricTest, DramBackpressureDoesNotInflateL2Stats)
+{
+    // Regression: when the DRAM queue refused a request, the partition
+    // re-ran Cache::access on every retry cycle (write-through hits were
+    // re-counted; read misses were cancelled and re-classified as
+    // capacity/conflict), so any DRAM backpressure inflated the L2
+    // access/miss statistics.
+    FabricConfig cfg = testFabric(1);
+    cfg.dram.queueSize = 2;
+    cfg.dram.tRcd = 40;
+    cfg.dram.tRp = 40;
+    cfg.dram.tCas = 40;
+    MemFabric fabric(cfg, 1);
+    Cycle now = 0;
+    const std::uint64_t kWrites = 12;
+    for (std::uint64_t i = 0; i < kWrites; ++i) {
+        MemRequest req;
+        req.addr = 0x8000 + static_cast<Addr>(i) * kSectorBytes;
+        req.smId = 0;
+        req.write = true;
+        fabric.inject(req, now);
+    }
+    MemRequest read;
+    read.addr = 0x9000;
+    read.smId = 0;
+    read.tag = 99;
+    fabric.inject(read, now);
+
+    unsigned got = 0;
+    for (; now < 60000 && (got < 1 || !fabric.idle()); ++now) {
+        fabric.cycle(now);
+        got += static_cast<unsigned>(fabric.drainResponses(0, now).size());
+    }
+    EXPECT_EQ(got, 1u);
+    EXPECT_EQ(fabric.l2Total("accesses.shader"), kWrites + 1);
+    EXPECT_EQ(fabric.l2Total("writes.shader"), kWrites);
+    EXPECT_EQ(fabric.l2Total("miss_compulsory.shader"), 1u);
+    EXPECT_EQ(fabric.l2Total("miss_capacity_conflict.shader"), 0u);
+    EXPECT_EQ(fabric.dramStats().get("requests"), kWrites + 1);
+}
+
 TEST(FabricTest, MshrMergeAtL2ReturnsAllTags)
 {
     MemFabric fabric(testFabric(1), 1);

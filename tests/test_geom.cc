@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "geom/intersect.h"
 #include "geom/mat4.h"
 #include "geom/sampling.h"
@@ -161,6 +163,69 @@ TEST(RayAabbTest, OriginInsideBoxHits)
     EXPECT_TRUE(rayAabb(ray, safeInverse(ray.direction), box, &t));
 }
 
+TEST(RayAabbTest, AxisParallelRayOnSlabPlane)
+{
+    // Regression: a zero direction component makes inv_dir ±inf, and an
+    // origin exactly on the slab plane evaluated 0 * inf = NaN. With a
+    // -0.0 component the near/far pair never swapped, so the NaN reached
+    // min() and produced a false miss on the node boundary.
+    Aabb box;
+    box.extend({-1, -1, -1});
+    box.extend({1, 1, 1});
+    Ray ray;
+    ray.origin = {-1.f, 0.f, -5.f}; // exactly on the lo.x plane
+    ray.direction = {-0.f, 0.f, 1.f};
+    float t = 0.f;
+    EXPECT_TRUE(rayAabb(ray, safeInverse(ray.direction), box, &t));
+    EXPECT_NEAR(t, 4.f, 1e-5f);
+
+    ray.origin = {1.f, 0.f, -5.f}; // exactly on the hi.x plane
+    EXPECT_TRUE(rayAabb(ray, safeInverse(ray.direction), box, &t));
+    EXPECT_NEAR(t, 4.f, 1e-5f);
+
+    // +0.0 on the boundary also hits (boundary inclusive).
+    ray.direction = {0.f, 0.f, 1.f};
+    ray.origin = {-1.f, 0.f, -5.f};
+    EXPECT_TRUE(rayAabb(ray, safeInverse(ray.direction), box, &t));
+
+    // An axis-parallel ray outside the slab still misses.
+    ray.origin = {1.5f, 0.f, -5.f};
+    EXPECT_FALSE(rayAabb(ray, safeInverse(ray.direction), box, &t));
+    ray.origin = {-1.5f, 0.f, -5.f};
+    ray.direction = {-0.f, 0.f, 1.f};
+    EXPECT_FALSE(rayAabb(ray, safeInverse(ray.direction), box, &t));
+}
+
+TEST(RayAabbTest, TwoAxisParallelEdgeRay)
+{
+    // Ray running exactly along a box edge: two zero components, origin
+    // on both slab planes.
+    Aabb box;
+    box.extend({-1, -1, -1});
+    box.extend({1, 1, 1});
+    Ray ray;
+    ray.origin = {-1.f, 1.f, -5.f};
+    ray.direction = {0.f, -0.f, 1.f};
+    float t = 0.f;
+    EXPECT_TRUE(rayAabb(ray, safeInverse(ray.direction), box, &t));
+    EXPECT_NEAR(t, 4.f, 1e-5f);
+}
+
+TEST(RayBoxProceduralTest, AxisParallelRayOnSlabPlane)
+{
+    // Same NaN-slab regression as rayAabb, through the procedural path.
+    Aabb box;
+    box.extend({-1, -1, -1});
+    box.extend({1, 1, 1});
+    Ray ray;
+    ray.origin = {-1.f, 0.f, -4.f};
+    ray.direction = {-0.f, 0.f, 1.f};
+    EXPECT_NEAR(rayBoxProcedural(ray, box), 3.f, 1e-5f);
+
+    ray.origin = {-1.5f, 0.f, -4.f};
+    EXPECT_LT(rayBoxProcedural(ray, box), 0.f);
+}
+
 TEST(RayTriangleTest, FrontAndBackHits)
 {
     Vec3 v0{-1, -1, 0}, v1{1, -1, 0}, v2{0, 1, 0};
@@ -210,6 +275,39 @@ TEST(RayTriangleTest, BarycentricsInterpolatePosition)
         EXPECT_NEAR(hit.u, u, 1e-3f);
         EXPECT_NEAR(hit.v, v, 1e-3f);
     }
+}
+
+TEST(RayTriangleTest, DegenerateTriangleRejected)
+{
+    // Zero-area triangle (repeated vertex): det == 0 must early-out.
+    Vec3 v0{0, 0, 0}, v1{1, 1, 0};
+    Ray ray;
+    ray.origin = {0.25f, 0.25f, -2.f};
+    ray.direction = {0, 0, 1};
+    EXPECT_FALSE(rayTriangle(ray, v0, v1, v1).hit);
+    EXPECT_FALSE(rayTriangle(ray, v0, v0, v1).hit);
+}
+
+TEST(RayTriangleTest, NonFiniteDeterminantRejected)
+{
+    // Regression: huge coincident edges overflow the cross/dot chain so
+    // det = inf - inf = NaN; NaN passed `abs(det) < eps` and every
+    // subsequent range check, committing a hit record with t = NaN.
+    Vec3 v0{0, 0, 0};
+    Vec3 v1{3e38f, -3e38f, 0.f};
+    Ray ray;
+    ray.origin = {0, 0, -2};
+    ray.direction = {0, 0, 1};
+    TriangleHit hit = rayTriangle(ray, v0, v1, v1);
+    EXPECT_FALSE(hit.hit);
+
+    // Any committed hit must carry finite parameters.
+    Vec3 a{-1, -1, 0}, b{1, -1, 0}, c{0, 1, 0};
+    hit = rayTriangle(ray, a, b, c);
+    ASSERT_TRUE(hit.hit);
+    EXPECT_TRUE(std::isfinite(hit.t));
+    EXPECT_TRUE(std::isfinite(hit.u));
+    EXPECT_TRUE(std::isfinite(hit.v));
 }
 
 TEST(RaySphereTest, NearestRootSelected)

@@ -272,6 +272,48 @@ TEST(RtUnitTest, ActiveRaysTrackLaneProgress)
     EXPECT_EQ(unit.activeRays(), 0u);
 }
 
+TEST(RtUnitTest, ChunkAccountingSurvivesQueueBackpressure)
+{
+    // Regression: when the Memory Access Queue filled up mid-node, the
+    // scheduler moved the lane to WaitingMem with only the chunks queued
+    // so far; the node's remaining 32 B chunks were never fetched, so
+    // traversal proceeded having "paid" for part of the node. Under
+    // backpressure this silently deflated RT-unit memory traffic.
+    //
+    // Conservation law: every node fetch is 64 B (2 chunks) except the
+    // 128 B TopLeaf (4 chunks), and each chunk becomes exactly one new
+    // request or one merge. With a tiny queue and a port that stalls in
+    // bursts, the totals must still balance.
+    RtFixture fx(8);
+    RtUnitConfig config;
+    config.memQueueSize = 4; // minimum: one TopLeaf node (4 chunks)
+    RtUnit unit = fx.makeUnit(config);
+    unit.submit(&fx.warp, 1, 0);
+    Cycle now = 0;
+    while (unit.busy() && now < 1000000) {
+        fx.port.stallReads = (now % 8) < 5; // bursty port backpressure
+        unit.cycle(now);
+        fx.port.stallReads = false;
+        fx.serviceAll(unit, now);
+        ++now;
+        unit.drainCompletions();
+    }
+    ASSERT_FALSE(unit.busy()) << "warp did not complete";
+
+    std::uint64_t expected_chunks = 0;
+    for (unsigned lane = 0; lane < 8; ++lane) {
+        const auto &trav = fx.warp.pendingTraverses[1].lanes[lane].traversal;
+        ASSERT_TRUE(trav->done()) << lane;
+        // 2 chunks per node plus 2 extra for each 128 B TopLeaf (one
+        // transform op per TopLeaf fetch).
+        expected_chunks += 2 * trav->nodesVisited() + 2 * trav->transforms();
+    }
+    EXPECT_EQ(fx.stats.get("mem_requests") + fx.stats.get("mem_merged"),
+              expected_chunks)
+        << "every 32 B chunk of every fetched node must be requested "
+           "or merged exactly once";
+}
+
 TEST(RtUnitTest, WritebackGeneratesHitStores)
 {
     RtFixture fx(8);
