@@ -4,7 +4,8 @@
  * paper's simplest benchmark) three ways —
  *   1. on the CPU reference renderer,
  *   2. on the functional simulator (NIR -> VPTX -> SIMT executor),
- *   3. on the full cycle-level GPU model with the RT unit —
+ *   3. on the full cycle-level GPU model with the RT unit, submitted
+ *      through the simulation service (the batch-of-one case) —
  * then compare the images and print the headline statistics.
  *
  * Usage: quickstart [--width=64] [--height=64] [--out=quickstart.ppm]
@@ -14,16 +15,26 @@
 #include <cstdio>
 
 #include "core/vulkansim.h"
-#include "util/options.h"
+#include "service/service.h"
+#include "util/cli.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace vksim;
-    Options opts(argc, argv);
+    Cli cli("quickstart [flags]",
+            "Render the TRI workload on the reference renderer, the "
+            "functional simulator, and the cycle-level model.");
+    cli.option("width", "px", "64", "launch width")
+        .option("height", "px", "64", "launch height")
+        .option("out", "file", "quickstart.ppm", "output PPM path");
+    addSimFlags(cli);
+    if (!cli.parse(argc, argv))
+        return cli.helpRequested() ? 0 : 1;
+
     wl::WorkloadParams params;
-    params.width = static_cast<unsigned>(opts.getInt("width", 64));
-    params.height = static_cast<unsigned>(opts.getInt("height", 64));
+    params.width = static_cast<unsigned>(cli.getInt("width"));
+    params.height = static_cast<unsigned>(cli.getInt("height"));
 
     std::printf("Building the TRI workload (%ux%u)...\n", params.width,
                 params.height);
@@ -36,7 +47,7 @@ main(int argc, char **argv)
                 workload.pipeline().program.shaders.size(),
                 workload.pipeline().program.code.size());
 
-    const unsigned threads = opts.threadCount();
+    const unsigned threads = cli.threadCount();
 
     // 1. CPU reference (tiled across the engine threads).
     Image reference = workload.renderReferenceImage(nullptr, threads);
@@ -51,13 +62,17 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(fstats.get("instructions")),
                 100.0 * fdiff.differingFraction());
 
-    // 3. Cycle-level simulation (baseline Table III configuration).
+    // 3. Cycle-level simulation (baseline Table III configuration),
+    // submitted through the service. A batch of one runs inline with the
+    // job's own engine thread count.
     GpuConfig config = baselineGpuConfig();
-    config.threads = threads;
-    config.printPerfSummary = opts.getBool("perf");
-    RunResult run = simulateWorkload(workload, config);
-    Image timed = workload.readFramebuffer();
-    ImageDiff tdiff = compareImages(timed, reference);
+    if (!applySimFlags(cli, &config))
+        return 1;
+    service::SimService svc;
+    const service::JobResult &result =
+        svc.submit(workload, config, "quickstart").get();
+    const RunResult &run = result.run;
+    ImageDiff tdiff = compareImages(result.image, reference);
     std::printf("timed sim: %llu cycles, SIMT efficiency %.1f%%, RT-unit "
                 "SIMT efficiency %.1f%%, %.4f%% pixels differ\n",
                 static_cast<unsigned long long>(run.cycles),
@@ -68,8 +83,8 @@ main(int argc, char **argv)
                 100.0 * run.dramUtilization(),
                 100.0 * run.dramEfficiency());
 
-    std::string out = opts.get("out", "quickstart.ppm");
-    if (timed.writePpm(out))
+    std::string out = cli.get("out");
+    if (result.image.writePpm(out))
         std::printf("wrote %s\n", out.c_str());
     return 0;
 }

@@ -4,6 +4,10 @@
  * simulator, verify each image against the CPU reference renderer, and
  * write the PPMs — a one-command gallery of the whole system.
  *
+ * All five scenes are one SimService batch: they simulate concurrently
+ * (whole jobs across service lanes) and share translated pipelines via
+ * the artifact cache.
+ *
  * Usage: render_all [--size=48] [--mobile] [--outdir=.]
  *                   [--threads=N] [--serial] [--perf]
  *                   [--stats-json=stats.json]
@@ -20,9 +24,11 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/vulkansim.h"
-#include "util/options.h"
+#include "service/service.h"
+#include "util/cli.h"
 
 namespace {
 
@@ -44,21 +50,26 @@ int
 main(int argc, char **argv)
 {
     using namespace vksim;
-    Options opts(argc, argv);
-    unsigned size = static_cast<unsigned>(opts.getInt("size", 48));
-    std::string outdir = opts.get("outdir", ".");
-    GpuConfig config =
-        opts.getBool("mobile") ? mobileGpuConfig() : baselineGpuConfig();
-    const unsigned threads = opts.threadCount();
-    config.threads = threads;
-    config.printPerfSummary = opts.getBool("perf");
+    Cli cli("render_all [flags]",
+            "Render all five evaluation workloads as one service batch "
+            "and verify each image against the CPU reference.");
+    cli.option("size", "px", "48", "launch width and height per scene")
+        .flag("mobile", "use the mobile Table III configuration")
+        .option("outdir", "dir", ".", "PPM output directory");
+    addSimFlags(cli);
+    if (!cli.parse(argc, argv))
+        return cli.helpRequested() ? 0 : 1;
 
-    const std::string stats_path = opts.get("stats-json", "");
-    const std::string timeline_path = opts.get("timeline", "");
-    config.timeline.sampleInterval = static_cast<Cycle>(
-        opts.getInt("timeline-sample", 64));
-    config.timeline.maxEvents = static_cast<std::uint64_t>(
-        opts.getInt("timeline-max-events", 1 << 20));
+    unsigned size = static_cast<unsigned>(cli.getInt("size"));
+    std::string outdir = cli.get("outdir");
+    GpuConfig config =
+        cli.getBool("mobile") ? mobileGpuConfig() : baselineGpuConfig();
+    if (!applySimFlags(cli, &config))
+        return 1;
+    const unsigned threads = cli.threadCount();
+
+    const std::string stats_path = cli.get("stats-json");
+    const std::string timeline_path = cli.get("timeline");
 
     std::ofstream stats_out;
     if (!stats_path.empty()) {
@@ -71,34 +82,45 @@ main(int argc, char **argv)
         stats_out << "{\n";
     }
 
+    // Submit the whole gallery as one batch.
+    service::SimService svc({threads});
+    std::vector<service::JobTicket> tickets;
+    for (wl::WorkloadId id : wl::kAllWorkloads) {
+        service::JobSpec spec;
+        spec.name = wl::workloadName(id);
+        spec.workload = id;
+        spec.params.width = size;
+        spec.params.height = size;
+        spec.params.extScale = 0.25f;
+        spec.params.rtv5Detail = 5;
+        spec.config = config;
+        spec.config.threads = 0; // parallelism lives at the service level
+        if (!timeline_path.empty())
+            spec.config.timeline.path =
+                perWorkloadPath(timeline_path, spec.name);
+        tickets.push_back(svc.submit(spec));
+    }
+    svc.flush();
+
     std::printf("%-6s %10s %12s %8s %10s  %s\n", "scene", "prims",
                 "cycles", "SIMT", "img diff", "output");
     bool first_stats = true;
-    for (wl::WorkloadId id : wl::kAllWorkloads) {
-        wl::WorkloadParams params;
-        params.width = size;
-        params.height = size;
-        params.extScale = 0.25f;
-        params.rtv5Detail = 5;
-        wl::Workload workload(id, params);
-        if (!timeline_path.empty())
-            config.timeline.path =
-                perWorkloadPath(timeline_path, workload.name());
-        RunResult run = simulateWorkload(workload, config);
-        Image image = workload.readFramebuffer();
+    for (service::JobTicket &ticket : tickets) {
+        const service::JobResult &result = ticket.get();
+        wl::Workload &workload = *result.workload;
         ImageDiff diff = compareImages(
-            image, workload.renderReferenceImage(nullptr, threads));
+            result.image, workload.renderReferenceImage(nullptr, threads));
         std::string path = outdir + "/" + workload.name() + ".ppm";
-        image.writePpm(path);
+        result.image.writePpm(path);
         std::printf("%-6s %10zu %12llu %7.1f%% %9.4f%%  %s\n",
                     workload.name(), workload.scene().totalPrimitives(),
-                    static_cast<unsigned long long>(run.cycles),
-                    100.0 * run.simtEfficiency(),
+                    static_cast<unsigned long long>(result.run.cycles),
+                    100.0 * result.run.simtEfficiency(),
                     100.0 * diff.differingFraction(), path.c_str());
         if (stats_out.is_open()) {
             stats_out << (first_stats ? "" : ",\n") << "\""
                       << workload.name() << "\":\n";
-            run.metrics.writeJson(stats_out, 2);
+            result.run.metrics.writeJson(stats_out, 2);
             first_stats = false;
         }
     }

@@ -8,6 +8,7 @@
  * Usage: sponza_atrium [--width=64] [--height=64] [--scale=0.25]
  *                      [--mobile] [--variant=baseline|rtcache|
  *                       perfectbvh|perfectmem] [--out=atrium.ppm]
+ *                      [--threads=N] [--serial] [--perf]
  */
 
 #include <cstdio>
@@ -15,17 +16,31 @@
 
 #include "core/vulkansim.h"
 #include "power/power.h"
-#include "util/options.h"
+#include "service/service.h"
+#include "util/cli.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace vksim;
-    Options opts(argc, argv);
+    Cli cli("sponza_atrium [flags]",
+            "Simulate the EXT atrium workload on a configurable GPU "
+            "(memory-system variants of paper Fig. 15).");
+    cli.option("width", "px", "64", "launch width")
+        .option("height", "px", "64", "launch height")
+        .option("scale", "f", "0.25", "tessellation fraction")
+        .flag("mobile", "use the mobile Table III configuration")
+        .option("variant", "name", "baseline",
+                "baseline|rtcache|perfectbvh|perfectmem")
+        .option("out", "file", "atrium.ppm", "output PPM path");
+    addSimFlags(cli);
+    if (!cli.parse(argc, argv))
+        return cli.helpRequested() ? 0 : 1;
+
     wl::WorkloadParams params;
-    params.width = static_cast<unsigned>(opts.getInt("width", 64));
-    params.height = static_cast<unsigned>(opts.getInt("height", 64));
-    params.extScale = static_cast<float>(opts.getFloat("scale", 0.25));
+    params.width = static_cast<unsigned>(cli.getInt("width"));
+    params.height = static_cast<unsigned>(cli.getInt("height"));
+    params.extScale = static_cast<float>(cli.getFloat("scale"));
 
     std::printf("Generating the atrium at scale %.2f...\n",
                 params.extScale);
@@ -36,19 +51,30 @@ main(int argc, char **argv)
                 workload.accel().stats.totalBytes / 1024.0);
 
     GpuConfig config =
-        opts.getBool("mobile") ? mobileGpuConfig() : baselineGpuConfig();
-    std::string variant = opts.get("variant", "baseline");
+        cli.getBool("mobile") ? mobileGpuConfig() : baselineGpuConfig();
+    if (!applySimFlags(cli, &config))
+        return 1;
+    std::string variant = cli.get("variant");
     if (variant == "rtcache")
         config = applyMemoryVariant(config, MemoryVariant::RtCache);
     else if (variant == "perfectbvh")
         config = applyMemoryVariant(config, MemoryVariant::PerfectBvh);
     else if (variant == "perfectmem")
         config = applyMemoryVariant(config, MemoryVariant::PerfectMem);
+    else if (variant != "baseline") {
+        std::fprintf(stderr, "unknown --variant=%s (use baseline, "
+                             "rtcache, perfectbvh, or perfectmem)\n",
+                     variant.c_str());
+        return 1;
+    }
 
     std::printf("Simulating on %u SMs (%s, %s)...\n", config.numSms,
-                opts.getBool("mobile") ? "mobile" : "baseline",
+                cli.getBool("mobile") ? "mobile" : "baseline",
                 variant.c_str());
-    RunResult run = simulateWorkload(workload, config);
+    service::SimService svc;
+    const service::JobResult &result =
+        svc.submit(workload, config, "atrium").get();
+    const RunResult &run = result.run;
 
     std::printf("cycles: %llu\n",
                 static_cast<unsigned long long>(run.cycles));
@@ -76,14 +102,14 @@ main(int argc, char **argv)
                     * (power.fractionOf(power.constantJoules)
                        + power.fractionOf(power.staticJoules)));
 
-    Image image = workload.readFramebuffer();
-    ImageDiff diff = compareImages(image, workload.renderReferenceImage());
+    ImageDiff diff =
+        compareImages(result.image, workload.renderReferenceImage());
     std::printf("image check: %.4f%% pixels differ from the reference "
                 "renderer\n",
                 100.0 * diff.differingFraction());
 
-    std::string out = opts.get("out", "atrium.ppm");
-    if (image.writePpm(out))
+    std::string out = cli.get("out");
+    if (result.image.writePpm(out))
         std::printf("wrote %s\n", out.c_str());
     return 0;
 }

@@ -15,7 +15,7 @@
 #include <string>
 
 #include "core/vulkansim.h"
-#include "util/options.h"
+#include "util/cli.h"
 #include "vulkan/trace.h"
 
 namespace {
@@ -38,18 +38,29 @@ int
 main(int argc, char **argv)
 {
     using namespace vksim;
-    Options opts(argc, argv);
+    Cli cli("trace_runner --dump=<file>|--run=<file> [flags]",
+            "Dump a workload launch to a trace file, or replay a dumped "
+            "trace on the cycle-level simulator without any frontend.");
+    cli.option("dump", "file", "", "dump a workload launch to this path")
+        .option("run", "file", "", "replay a dumped trace")
+        .option("workload", "name", "TRI", "TRI/REF/EXT/RTV5/RTV6 (dump)")
+        .option("width", "px", "48", "launch width (dump)")
+        .option("height", "px", "48", "launch height (dump)")
+        .option("scale", "f", "0.2", "EXT tessellation fraction (dump)")
+        .option("detail", "n", "4", "RTV5 statue subdivision (dump)")
+        .flag("mobile", "use the mobile Table III configuration (run)");
+    addSimFlags(cli);
+    if (!cli.parse(argc, argv))
+        return cli.helpRequested() ? 0 : 1;
 
-    if (opts.has("dump")) {
+    if (cli.has("dump")) {
         wl::WorkloadParams params;
-        params.width = static_cast<unsigned>(opts.getInt("width", 48));
-        params.height = static_cast<unsigned>(opts.getInt("height", 48));
-        params.extScale = static_cast<float>(opts.getFloat("scale", 0.2));
-        params.rtv5Detail =
-            static_cast<unsigned>(opts.getInt("detail", 4));
-        wl::Workload workload(workloadByName(opts.get("workload", "TRI")),
-                              params);
-        std::string path = opts.get("dump");
+        params.width = static_cast<unsigned>(cli.getInt("width"));
+        params.height = static_cast<unsigned>(cli.getInt("height"));
+        params.extScale = static_cast<float>(cli.getFloat("scale"));
+        params.rtv5Detail = static_cast<unsigned>(cli.getInt("detail"));
+        wl::Workload workload(workloadByName(cli.get("workload")), params);
+        std::string path = cli.get("dump");
         if (!dumpTrace(path, workload.launch()))
             return 1;
         std::printf("Trace dumped: %s (%zu instructions, %.1f MiB memory "
@@ -60,8 +71,8 @@ main(int argc, char **argv)
         return 0;
     }
 
-    if (opts.has("run")) {
-        std::string path = opts.get("run");
+    if (cli.has("run")) {
+        std::string path = cli.get("run");
         std::unique_ptr<LoadedTrace> trace = loadTrace(path);
         if (!trace)
             return 1;
@@ -69,16 +80,12 @@ main(int argc, char **argv)
                     path.c_str(), trace->ctx.launchSize[0],
                     trace->ctx.launchSize[1], trace->ctx.launchSize[2],
                     trace->program->code.size());
-        GpuConfig config = opts.getBool("mobile") ? mobileGpuConfig()
-                                                  : baselineGpuConfig();
-        config.threads = opts.threadCount();
-        if (opts.has("check")
-            && !check::parseCheckLevel(opts.get("check"),
-                                       &config.checkLevel)) {
-            std::fprintf(stderr, "bad --check level '%s' (off/basic/full)\n",
-                         opts.get("check").c_str());
+        GpuConfig config = cli.getBool("mobile") ? mobileGpuConfig()
+                                                 : baselineGpuConfig();
+        if (!applySimFlags(cli, &config))
             return 1;
-        }
+        // A replayed trace has no Workload to hand to the service: run
+        // the engine directly (the service is a frontend-level concern).
         GpuSimulator sim(config, trace->ctx);
         RunResult run = sim.run();
         std::printf("cycles: %llu  SIMT: %.1f%%  RT SIMT: %.1f%%  DRAM "

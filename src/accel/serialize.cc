@@ -311,4 +311,38 @@ buildAccelStruct(const Scene &scene, GlobalMemory &gmem)
     return accel;
 }
 
+AccelImage
+captureAccelImage(const GlobalMemory &gmem, Addr base_brk,
+                  std::size_t regions_before, const AccelStruct &accel)
+{
+    AccelImage image;
+    image.baseBrk = base_brk;
+    image.endBrk = gmem.brk();
+    vksim_assert(image.endBrk >= image.baseBrk);
+    image.bytes.resize(static_cast<std::size_t>(image.endBrk - image.baseBrk));
+    gmem.read(image.baseBrk, image.bytes.data(), image.bytes.size());
+    image.accel = accel;
+    const std::vector<GlobalMemory::Region> &all = gmem.regions();
+    vksim_assert(regions_before <= all.size());
+    image.regions.assign(all.begin()
+                             + static_cast<std::ptrdiff_t>(regions_before),
+                         all.end());
+    return image;
+}
+
+void
+installAccelImage(GlobalMemory &gmem, const AccelImage &image)
+{
+    if (gmem.brk() != image.baseBrk)
+        vksim_fatal("installAccelImage: allocator cursor "
+                    + std::to_string(gmem.brk()) + " does not match the "
+                    "captured base " + std::to_string(image.baseBrk)
+                    + "; accel images only install into a fresh device");
+    if (!image.bytes.empty())
+        gmem.write(image.baseBrk, image.bytes.data(), image.bytes.size());
+    gmem.setBrk(image.endBrk);
+    for (const GlobalMemory::Region &r : image.regions)
+        gmem.appendRegion(r.base, r.size, r.label);
+}
+
 } // namespace vksim

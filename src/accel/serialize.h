@@ -61,6 +61,41 @@ struct AccelStruct
  */
 AccelStruct buildAccelStruct(const Scene &scene, GlobalMemory &gmem);
 
+/**
+ * Relocatable snapshot of a serialized acceleration structure.
+ *
+ * Because every GlobalMemory bump-allocates deterministically from the
+ * same initial brk, a BVH built as the *first* allocation of one device
+ * occupies the same addresses on any other fresh device. The artifact
+ * cache (src/service) exploits this: build once, capture the byte image,
+ * and install it into each fresh GlobalMemory whose brk matches.
+ */
+struct AccelImage
+{
+    Addr baseBrk = 0; ///< allocator cursor when the build started
+    Addr endBrk = 0;  ///< allocator cursor when the build finished
+    std::vector<std::uint8_t> bytes; ///< gmem contents of [baseBrk, endBrk)
+    AccelStruct accel;               ///< handle (addresses inside the image)
+    std::vector<GlobalMemory::Region> regions; ///< labels added by the build
+};
+
+/**
+ * Snapshot the accel bytes `gmem` holds in [base_brk, gmem.brk()).
+ * `regions_before` is gmem.regions().size() at build start, so only the
+ * build's own labels are captured.
+ */
+AccelImage captureAccelImage(const GlobalMemory &gmem, Addr base_brk,
+                             std::size_t regions_before,
+                             const AccelStruct &accel);
+
+/**
+ * Replay a captured build into a fresh memory: write the bytes, advance
+ * the allocator past them, and re-record the region labels. Fatals if the
+ * allocator cursor does not match the capture's base (the image is not
+ * relocatable).
+ */
+void installAccelImage(GlobalMemory &gmem, const AccelImage &image);
+
 } // namespace vksim
 
 #endif // VKSIM_ACCEL_SERIALIZE_H

@@ -1,8 +1,9 @@
 #include "core/vulkansim.h"
 
-#include "check/accelcheck.h"
-#include "check/diffhook.h"
-#include "reftrace/tracer.h"
+#include <cstdio>
+#include <utility>
+
+#include "service/service.h"
 #include "util/log.h"
 
 namespace vksim {
@@ -53,46 +54,65 @@ rtxMatchedConfig(int step)
     return cfg;
 }
 
+void
+addSimFlags(Cli &cli)
+{
+    cli.option("threads", "N", "0",
+               "engine worker threads (0 = auto via VKSIM_THREADS / "
+               "hardware)")
+        .flag("serial", "run the serial engine (same as --threads=1)")
+        .flag("perf", "print a host-performance summary per run")
+        .option("check", "off|basic|full", "",
+                "self-validation level (default from VKSIM_CHECK)")
+        .option("stats-json", "file", "",
+                "dump the full metrics registry as JSON")
+        .option("timeline", "file", "",
+                "write a Chrome-trace timeline of the run")
+        .option("timeline-sample", "cycles", "64",
+                "timeline sampling interval in cycles")
+        .option("timeline-max-events", "N", "1048576",
+                "cap on buffered timeline events");
+}
+
+bool
+applySimFlags(const Cli &cli, GpuConfig *config)
+{
+    config->threads = cli.threadCount();
+    if (cli.getBool("perf"))
+        config->printPerfSummary = true;
+    if (cli.has("check")
+        && !check::parseCheckLevel(cli.get("check"),
+                                   &config->checkLevel)) {
+        std::fprintf(stderr, "bad --check level '%s' (off/basic/full)\n",
+                     cli.get("check").c_str());
+        return false;
+    }
+    config->timeline.path = cli.get("timeline");
+    config->timeline.sampleInterval =
+        static_cast<Cycle>(cli.getInt("timeline-sample"));
+    config->timeline.maxEvents =
+        static_cast<std::uint64_t>(cli.getInt("timeline-max-events"));
+    return true;
+}
+
 RunResult
 simulateWorkload(wl::Workload &workload, const GpuConfig &config)
 {
-    GpuConfig cfg = config;
-    cfg.fccEnabled = workload.params().fcc;
-    cfg.rt.fccEnabled = workload.params().fcc;
-    if (cfg.fccEnabled && cfg.its)
-        vksim_fatal("FCC and ITS cannot be combined: the per-warp "
-                    "coalescing buffer assumes serialized traverses");
-    if (cfg.checkLevel == check::CheckLevel::Full) {
-        // Static leg: validate the serialized BVH before simulating on
-        // it (layout round-trip, child-AABB containment, leaf backrefs).
-        check::Reporter rep;
-        checkAccelStruct(*workload.launch().gmem, workload.accel(),
-                         &workload.scene(), rep);
-        // Dynamic leg: replay sampled finished rays through the CPU
-        // reference tracer as the timed run completes them.
-        CpuTracer tracer(workload.scene(), *workload.launch().gmem,
-                         workload.accel());
-        check::RefTraceDiff diff(tracer, *workload.launch().gmem, &rep);
-        check::ScopedTraverseHook hook(
-            [&diff](Addr frame_base, const RayTraversal &trav) {
-                diff.onTraverseDone(frame_base, trav);
-            });
-        GpuSimulator sim(cfg, workload.launch());
-        return sim.run();
-    }
-    GpuSimulator sim(cfg, workload.launch());
-    return sim.run();
+    // Single-job batch: runs inline with the configured engine thread
+    // count, exactly like the pre-service direct call.
+    return service::defaultService().submit(workload, config).take().run;
 }
 
 SimOutcome
 simulate(wl::WorkloadId id, const wl::WorkloadParams &params,
          const GpuConfig &config)
 {
-    wl::Workload workload(id, params);
-    SimOutcome outcome;
-    outcome.run = simulateWorkload(workload, config);
-    outcome.image = workload.readFramebuffer();
-    return outcome;
+    service::JobSpec spec;
+    spec.workload = id;
+    spec.params = params;
+    spec.config = config;
+    service::JobResult result = service::defaultService().submit(spec).take();
+    return SimOutcome{std::move(result.run), std::move(result.image)};
 }
 
 } // namespace vksim

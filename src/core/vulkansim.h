@@ -10,6 +10,7 @@
 #define VKSIM_CORE_VULKANSIM_H
 
 #include "gpu/gpu.h"
+#include "util/cli.h"
 #include "workloads/workload.h"
 
 namespace vksim {
@@ -36,9 +37,32 @@ GpuConfig applyMemoryVariant(GpuConfig config, MemoryVariant variant);
 GpuConfig rtxMatchedConfig(int step);
 
 /**
+ * Register the simulator flags every example and tool shares on `cli`:
+ * --threads / --serial, --perf, --check, --stats-json, --timeline,
+ * --timeline-sample, --timeline-max-events. Pair with applySimFlags()
+ * after parsing.
+ */
+void addSimFlags(Cli &cli);
+
+/**
+ * Fold the parsed shared flags into `config` (thread count, perf
+ * summary, check level, timeline sink). Returns false after printing an
+ * error if a value does not parse (bad --check level). --stats-json is
+ * left to the caller: it names an output file, not a config knob.
+ */
+bool applySimFlags(const Cli &cli, GpuConfig *config);
+
+/**
  * Run the timed simulation of a prepared workload launch.
  * The run also executes functionally, so the workload's framebuffer
  * holds the rendered image afterwards.
+ *
+ * @deprecated Thin shim over service::SimService (a single-job batch on
+ * the process-wide defaultService(), so behavior and metrics are
+ * unchanged). New code — especially anything running more than one
+ * simulation — should submit jobs to a SimService and let it batch,
+ * share artifacts and parallelize; see DESIGN.md, "Service & batching
+ * contract".
  */
 RunResult simulateWorkload(wl::Workload &workload, const GpuConfig &config);
 
@@ -49,6 +73,10 @@ struct SimOutcome
     Image image;
 };
 
+/**
+ * @deprecated Shim over service::SimService::submit(JobSpec), kept for
+ * existing callers; same migration note as simulateWorkload().
+ */
 SimOutcome simulate(wl::WorkloadId id, const wl::WorkloadParams &params,
                     const GpuConfig &config);
 

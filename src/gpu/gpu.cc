@@ -45,6 +45,82 @@ mobileGpuConfig()
     return cfg;
 }
 
+std::vector<std::string>
+GpuConfig::validate() const
+{
+    std::vector<std::string> problems;
+    auto require = [&](bool ok, const std::string &message) {
+        if (!ok)
+            problems.push_back(message);
+    };
+    auto check_cache = [&](const CacheConfig &c, const std::string &who) {
+        require(c.sizeBytes != 0,
+                who + ".sizeBytes must be >= 1 (a zero-byte cache has no "
+                      "lines to hit)");
+        require(c.numMshrs != 0,
+                who + ".numMshrs must be >= 1 (every miss needs an MSHR; "
+                      "0 stalls all misses forever)");
+        require(c.mshrTargets != 0,
+                who + ".mshrTargets must be >= 1 (an MSHR must accept at "
+                      "least its own request)");
+    };
+
+    require(numSms != 0, "numSms must be >= 1 (0 SMs cannot run any warp)");
+    require(maxWarpsPerSm != 0,
+            "maxWarpsPerSm must be >= 1 (no warp could ever be admitted)");
+    require(regsPerSm != 0,
+            "regsPerSm must be >= 1 (the register file bounds occupancy)");
+    require(issueWidth != 0,
+            "issueWidth must be >= 1 (0 issues no instruction per cycle)");
+    require(ldstQueueSize != 0,
+            "ldstQueueSize must be >= 1 (memory instructions could never "
+            "leave the pipeline)");
+    require(sfuIssueInterval != 0,
+            "sfuIssueInterval must be >= 1 (SFU throughput divider)");
+    check_cache(l1, "l1");
+    if (useRtCache)
+        check_cache(rtCache, "rtCache");
+    check_cache(fabric.l2, "fabric.l2");
+    require(fabric.numPartitions != 0,
+            "fabric.numPartitions must be >= 1 (addresses have no home "
+            "L2 slice otherwise)");
+    require(fabric.dram.banks != 0,
+            "fabric.dram.banks must be >= 1");
+    require(fabric.dram.rowBytes != 0,
+            "fabric.dram.rowBytes must be >= 1");
+    require(fabric.dram.burstCycles != 0,
+            "fabric.dram.burstCycles must be >= 1 (a transfer must occupy "
+            "the data bus)");
+    require(fabric.dram.queueSize != 0,
+            "fabric.dram.queueSize must be >= 1 (the channel could never "
+            "accept a request)");
+    require(fabric.dramClockRatio > 0.0,
+            "fabric.dramClockRatio must be > 0 (DRAM would never tick)");
+    require(rt.maxWarps != 0,
+            "rt.maxWarps must be >= 1 (0 warps per RT unit means "
+            "traverseAS never completes)");
+    require(rt.memQueueSize != 0,
+            "rt.memQueueSize must be >= 1 (the RT unit stages node "
+            "fetches through the Memory Access Queue)");
+    require(rt.issuePerCycle != 0,
+            "rt.issuePerCycle must be >= 1 (queued RT fetches would "
+            "never reach the cache)");
+    require(rt.opsPerCycle != 0,
+            "rt.opsPerCycle must be >= 1 (the Response FIFO would never "
+            "drain)");
+    require(rt.shortStackEntries != 0,
+            "rt.shortStackEntries must be >= 1 (traversal needs at least "
+            "one short-stack slot)");
+    require(coreClockMhz > 0.0, "coreClockMhz must be > 0");
+    require(maxCycles != 0,
+            "maxCycles must be >= 1 (the watchdog would fire at cycle 0)");
+    if (fccEnabled && its)
+        problems.push_back(
+            "FCC and ITS cannot be combined: the per-warp coalescing "
+            "buffer assumes serialized traverses (disable one of them)");
+    return problems;
+}
+
 double
 RunResult::simtEfficiency() const
 {

@@ -107,6 +107,17 @@ struct GpuConfig
      * file is bit-identical for every engine thread count.
      */
     TimelineConfig timeline;
+
+    /**
+     * Sanity-check the configuration and return one actionable message
+     * per problem (empty = valid): zero-sized structural parameters
+     * (SMs, warps, queues, cache geometry) that would deadlock or crash
+     * the model, and inconsistent mode combinations (FCC + ITS).
+     * SimService::submit() calls this and rejects bad jobs up front;
+     * constructing a GpuSimulator directly performs no validation (tests
+     * deliberately build degenerate configs).
+     */
+    std::vector<std::string> validate() const;
 };
 
 /** Baseline configuration of Table III. */

@@ -168,6 +168,17 @@ class GlobalMemory
 
     const std::vector<Region> &regions() const { return regions_; }
 
+    /**
+     * Re-record a named region without allocating (artifact-image install:
+     * the bytes were captured from another GlobalMemory whose allocator
+     * already placed them, so only the label bookkeeping is replayed here).
+     */
+    void
+    appendRegion(Addr base, Addr size, const std::string &label)
+    {
+        regions_.push_back({base, size, label});
+    }
+
   private:
     /// Page-table shards keep concurrent lazy materialization from
     /// contending on a single lock (consecutive pages hash to

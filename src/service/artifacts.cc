@@ -1,0 +1,132 @@
+#include "service/artifacts.h"
+
+#include "check/check.h"
+#include "scene/scene.h"
+
+namespace vksim::service {
+
+namespace {
+
+void
+mixVec3(check::Digest &d, const Vec3 &v)
+{
+    d.mixFloat(v.x);
+    d.mixFloat(v.y);
+    d.mixFloat(v.z);
+}
+
+void
+mixMat4(check::Digest &d, const Mat4 &m)
+{
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            d.mixFloat(m.m[r][c]);
+}
+
+} // namespace
+
+std::uint64_t
+sceneGeometryKey(const Scene &scene)
+{
+    check::Digest d;
+    d.mix(scene.geometries.size());
+    for (const Geometry &geom : scene.geometries) {
+        d.mix(static_cast<std::uint64_t>(geom.kind));
+        d.mix(geom.opaque ? 1 : 0);
+        if (geom.kind == GeometryKind::Triangles) {
+            d.mix(geom.mesh.vertices().size());
+            for (const Vec3 &v : geom.mesh.vertices())
+                mixVec3(d, v);
+            d.mix(geom.mesh.indices().size());
+            for (std::uint32_t i : geom.mesh.indices())
+                d.mix(i);
+        } else {
+            d.mix(geom.prims.size());
+            for (const ProceduralPrimitive &p : geom.prims) {
+                mixVec3(d, p.bounds.lo);
+                mixVec3(d, p.bounds.hi);
+                d.mix(static_cast<std::uint64_t>(p.shape));
+                mixVec3(d, p.center);
+                d.mixFloat(p.radius);
+                d.mix(static_cast<std::uint64_t>(p.materialIndex));
+            }
+        }
+    }
+    d.mix(scene.instances.size());
+    for (const Instance &inst : scene.instances) {
+        d.mix(inst.geometryIndex);
+        mixMat4(d, inst.objectToWorld);
+        d.mix(static_cast<std::uint64_t>(inst.instanceCustomIndex));
+        d.mix(static_cast<std::uint64_t>(inst.sbtOffset));
+    }
+    return d.value();
+}
+
+template <typename T>
+std::shared_ptr<const T>
+ArtifactCache::fetch(
+    std::map<std::uint64_t, std::unique_ptr<Entry<T>>> &table,
+    std::uint64_t key, const std::function<T()> &builder, bool *hit,
+    std::uint64_t ArtifactCounters::*builds,
+    std::uint64_t ArtifactCounters::*hits)
+{
+    Entry<T> *entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_ptr<Entry<T>> &slot = table[key];
+        if (!slot)
+            slot = std::make_unique<Entry<T>>();
+        entry = slot.get();
+    }
+    // Build outside the table lock so distinct keys build concurrently;
+    // the entry lock makes same-key callers wait for the one build.
+    std::lock_guard<std::mutex> build_lock(entry->buildMutex);
+    bool was_hit = entry->built;
+    if (!entry->built) {
+        entry->value = std::make_shared<const T>(builder());
+        entry->built = true;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        counters_.*(was_hit ? hits : builds) += 1;
+    }
+    if (hit != nullptr)
+        *hit = was_hit;
+    return entry->value;
+}
+
+std::shared_ptr<const AccelImage>
+ArtifactCache::bvh(std::uint64_t key,
+                   const std::function<AccelImage()> &builder, bool *hit)
+{
+    return fetch(bvhs_, key, builder, hit, &ArtifactCounters::bvhBuilds,
+                 &ArtifactCounters::bvhHits);
+}
+
+std::shared_ptr<const RayTracingPipeline>
+ArtifactCache::pipeline(std::uint64_t key,
+                        const std::function<RayTracingPipeline()> &builder,
+                        bool *hit)
+{
+    return fetch(pipelines_, key, builder, hit,
+                 &ArtifactCounters::pipelineBuilds,
+                 &ArtifactCounters::pipelineHits);
+}
+
+ArtifactCounters
+ArtifactCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+void
+ArtifactCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    bvhs_.clear();
+    pipelines_.clear();
+    counters_ = ArtifactCounters{};
+}
+
+} // namespace vksim::service

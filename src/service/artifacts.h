@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Content-addressed artifact cache for the simulation service.
+ *
+ * Jobs in a batch frequently share expensive host-side build products:
+ * the same scene serialized into a BVH, the same shader pipeline
+ * translated to VPTX. The cache keys each product by an FNV-1a content
+ * digest (scene geometry bytes; shader IR + SBT layout + lowering mode)
+ * so sharing needs no cooperation from the submitter — two jobs that
+ * happen to describe the same geometry hit the same entry.
+ *
+ * What is cached:
+ *  - BVH artifacts: an AccelImage (accel/serialize.h) — the serialized
+ *    BVH bytes captured from a fresh device. Installation into another
+ *    fresh device is a memcpy because the deterministic bump allocator
+ *    places the first allocation identically everywhere.
+ *  - Pipeline artifacts: the host-side RayTracingPipeline from
+ *    Device::translatePipeline() (no device addresses). Each job
+ *    re-uploads the small SBT into its own device memory.
+ *
+ * Thread safety: lookups from concurrent jobs are safe. A per-entry
+ * mutex makes each key build exactly once — the first caller builds
+ * while later callers for the same key block, and distinct keys build
+ * concurrently. Counters are therefore deterministic for a fixed job
+ * set: builds == number of distinct keys, hits == lookups - builds,
+ * regardless of thread count or submission order.
+ */
+
+#ifndef VKSIM_SERVICE_ARTIFACTS_H
+#define VKSIM_SERVICE_ARTIFACTS_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "accel/serialize.h"
+#include "vulkan/device.h"
+
+namespace vksim {
+
+struct Scene;
+
+namespace service {
+
+/**
+ * Content digest of everything that determines a scene's serialized
+ * BVH: geometry kinds, opacity, mesh vertices/indices, procedural
+ * primitive parameters, and all instance fields. Camera, materials and
+ * lighting are excluded — they shade, they don't traverse.
+ */
+std::uint64_t sceneGeometryKey(const Scene &scene);
+
+/** Cache traffic counters (deterministic for a fixed job set). */
+struct ArtifactCounters
+{
+    std::uint64_t bvhBuilds = 0;
+    std::uint64_t bvhHits = 0;
+    std::uint64_t pipelineBuilds = 0;
+    std::uint64_t pipelineHits = 0;
+};
+
+/** The cache. One per SimService; see file comment for the contract. */
+class ArtifactCache
+{
+  public:
+    ArtifactCache() = default;
+
+    /**
+     * Fetch (or build-and-insert) the BVH artifact for `key`. `builder`
+     * runs at most once per key across all threads. If `hit` is
+     * non-null it is set to whether this lookup was served from cache.
+     */
+    std::shared_ptr<const AccelImage>
+    bvh(std::uint64_t key, const std::function<AccelImage()> &builder,
+        bool *hit = nullptr);
+
+    /** Same contract for translated pipelines. */
+    std::shared_ptr<const RayTracingPipeline>
+    pipeline(std::uint64_t key,
+             const std::function<RayTracingPipeline()> &builder,
+             bool *hit = nullptr);
+
+    /** Snapshot of the traffic counters. */
+    ArtifactCounters counters() const;
+
+    /** Drop all entries and zero the counters (tests). */
+    void clear();
+
+  private:
+    /**
+     * One slot per key. The entry-level mutex serializes the build;
+     * `built` flips only after `value` is fully constructed.
+     */
+    template <typename T> struct Entry
+    {
+        std::mutex buildMutex;
+        std::shared_ptr<const T> value;
+        bool built = false;
+    };
+
+    template <typename T>
+    std::shared_ptr<const T>
+    fetch(std::map<std::uint64_t, std::unique_ptr<Entry<T>>> &table,
+          std::uint64_t key, const std::function<T()> &builder, bool *hit,
+          std::uint64_t ArtifactCounters::*builds,
+          std::uint64_t ArtifactCounters::*hits);
+
+    mutable std::mutex mutex_; ///< guards the tables and counters
+    std::map<std::uint64_t, std::unique_ptr<Entry<AccelImage>>> bvhs_;
+    std::map<std::uint64_t, std::unique_ptr<Entry<RayTracingPipeline>>>
+        pipelines_;
+    ArtifactCounters counters_;
+};
+
+} // namespace service
+} // namespace vksim
+
+#endif // VKSIM_SERVICE_ARTIFACTS_H

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * SimService: the batched simulation front door.
+ *
+ * Callers describe *what* to simulate — a (workload, GpuConfig) pair per
+ * job — and the service decides *how*: jobs queue up via submit(), a
+ * flush() (or the first JobTicket::get()) runs the whole pending batch,
+ * and results come back through tickets. Batching is what enables the
+ * two things a loose collection of simulateWorkload() calls cannot do:
+ *
+ *  - Cross-job artifact sharing. All jobs in a service share one
+ *    content-addressed ArtifactCache, so the same scene's BVH is built
+ *    once and the same shader pipeline is translated once, no matter how
+ *    many configs sweep over them (see artifacts.h).
+ *  - Parallel scheduling without determinism loss. A multi-job batch
+ *    runs whole jobs concurrently on a private thread pool; a single-job
+ *    batch runs inline with the job's own intra-run SM parallelism.
+ *    Every per-job metrics dump is byte-identical regardless of service
+ *    thread count or submission order (each job is an isolated
+ *    deterministic simulation; its metrics exclude wall-clock).
+ *
+ * Scheduling rules (see DESIGN.md, "Service & batching contract"):
+ *  - In a multi-job batch, a job whose config.threads == 0 ("auto") is
+ *    forced to a serial engine (threads = 1): whole-job parallelism
+ *    replaces intra-job parallelism. An *explicit* config.threads > 0 is
+ *    honored — tools like diffrun exist to compare engine thread counts.
+ *  - Jobs at CheckLevel::Full run sequentially after the parallel ones:
+ *    the traverse hook they install is process-global.
+ *
+ * Thread model: submit()/flush()/get() are called from one controlling
+ * thread; job bodies run on the service's pool. The service validates
+ * configs at submit time (GpuConfig::validate()) and throws
+ * std::invalid_argument with the full list of problems, so a bad job in
+ * a sweep fails fast instead of deadlocking mid-batch.
+ */
+
+#ifndef VKSIM_SERVICE_SERVICE_H
+#define VKSIM_SERVICE_SERVICE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.h"
+#include "service/artifacts.h"
+#include "util/threadpool.h"
+#include "workloads/workload.h"
+
+namespace vksim::service {
+
+/** One simulation request: build this workload, run it on this config. */
+struct JobSpec
+{
+    /**
+     * Job name, the stable identity results are reported under. Empty =
+     * auto-assigned "job<N>" from the submission index.
+     */
+    std::string name;
+    wl::WorkloadId workload = wl::WorkloadId::TRI;
+    wl::WorkloadParams params;
+    GpuConfig config;
+};
+
+/** What a finished job hands back. */
+struct JobResult
+{
+    std::string name;
+    RunResult run;
+    Image image;
+    /** The built workload (null for externally prepared submissions). */
+    std::shared_ptr<wl::Workload> workload;
+    bool bvhCacheHit = false;      ///< BVH came from the artifact cache
+    bool pipelineCacheHit = false; ///< pipeline came from the cache
+    double buildSeconds = 0.0;     ///< host time building the workload
+};
+
+class SimService;
+
+/**
+ * Future-like handle to a submitted job. get() flushes the service if
+ * the batch has not run yet, then returns this job's result; it is valid
+ * for the lifetime of the service.
+ */
+class JobTicket
+{
+  public:
+    JobTicket() = default;
+
+    /** Block until the job has run and return its result. */
+    const JobResult &get();
+
+    /**
+     * get(), then move the result out of the service (RunResult is
+     * move-only). The ticket becomes invalid.
+     */
+    JobResult take();
+
+    bool valid() const { return state_ != nullptr; }
+
+  private:
+    friend class SimService;
+
+    struct State
+    {
+        JobResult result;
+        bool done = false;
+    };
+
+    JobTicket(SimService *service, std::shared_ptr<State> state)
+        : service_(service), state_(std::move(state))
+    {
+    }
+
+    SimService *service_ = nullptr;
+    std::shared_ptr<State> state_;
+};
+
+/** The batched simulation service. */
+class SimService
+{
+  public:
+    struct Config
+    {
+        /**
+         * Concurrent-job lanes for multi-job batches. 0 resolves via
+         * ThreadPool::resolveThreadCount (VKSIM_THREADS / hardware
+         * concurrency); 1 runs batches sequentially.
+         */
+        unsigned threads = 0;
+    };
+
+    SimService() : SimService(Config()) {}
+    explicit SimService(const Config &config);
+    ~SimService();
+
+    SimService(const SimService &) = delete;
+    SimService &operator=(const SimService &) = delete;
+
+    /**
+     * Queue a job. Validates the job's effective GpuConfig (with the
+     * workload's FCC mode folded in) and throws std::invalid_argument
+     * listing every problem if it is rejected. Execution is deferred to
+     * flush() / the first get().
+     */
+    JobTicket submit(const JobSpec &spec);
+
+    /**
+     * Queue a job over an externally prepared workload (the deprecated
+     * simulateWorkload() shim and tools that pre-build workloads to
+     * share them across jobs). The caller keeps `workload` alive until
+     * the batch has run; JobResult::workload stays null.
+     */
+    JobTicket submit(wl::Workload &workload, const GpuConfig &config,
+                     const std::string &name = "");
+
+    /** Run every pending job. No-op when nothing is pending. */
+    void flush();
+
+    /** Number of jobs accepted so far (auto-name indexing, tests). */
+    std::size_t submittedCount() const { return submitted_; }
+
+    /** Concurrent-job lanes multi-job batches will use. */
+    unsigned threadCount() const;
+
+    /** The shared artifact cache (counters, tests). */
+    ArtifactCache &artifacts() { return artifacts_; }
+    const ArtifactCache &artifacts() const { return artifacts_; }
+
+  private:
+    struct Job
+    {
+        JobSpec spec;
+        wl::Workload *external = nullptr; ///< non-null: pre-built
+        GpuConfig effective;              ///< validated, FCC folded in
+        std::shared_ptr<JobTicket::State> state;
+    };
+
+    friend class JobTicket;
+
+    void runJob(Job &job, bool force_serial_engine);
+    GpuConfig validatedConfig(const GpuConfig &config, bool fcc) const;
+
+    Config config_;
+    ArtifactCache artifacts_;
+    std::vector<Job> pending_;
+    /** Result states of every flushed batch: JobTicket::get() hands out
+     *  references that must outlive dropped tickets. */
+    std::vector<std::shared_ptr<JobTicket::State>> completed_;
+    std::size_t submitted_ = 0;
+    std::unique_ptr<ThreadPool> pool_; ///< created lazily on first batch
+};
+
+/**
+ * Process-wide service the deprecated simulateWorkload()/simulate()
+ * shims run on (auto thread count). Tools and tests that care about
+ * scheduling own their SimService instead.
+ */
+SimService &defaultService();
+
+/**
+ * Run a prepared workload launch on `config` exactly as a service job
+ * would (Full-check differential legs included). This is the single
+ * implementation both the service scheduler and the deprecated
+ * simulateWorkload() shim bottom out in.
+ */
+RunResult runPreparedWorkload(wl::Workload &workload,
+                              const GpuConfig &config);
+
+} // namespace vksim::service
+
+#endif // VKSIM_SERVICE_SERVICE_H

@@ -1,0 +1,148 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace vksim {
+
+Cli::Cli(std::string usage, std::string summary)
+    : usage_(std::move(usage)), summary_(std::move(summary))
+{
+}
+
+Cli &
+Cli::flag(const std::string &name, const std::string &help)
+{
+    specs_.push_back({name, "", "0", help, /*boolean=*/true});
+    return *this;
+}
+
+Cli &
+Cli::option(const std::string &name, const std::string &value_name,
+            const std::string &fallback, const std::string &help)
+{
+    specs_.push_back({name, value_name, fallback, help, /*boolean=*/false});
+    return *this;
+}
+
+const Cli::Spec *
+Cli::find(const std::string &name) const
+{
+    for (const Spec &s : specs_)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+bool
+Cli::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            std::fprintf(stderr,
+                         "%s: unexpected argument '%s' (flags are "
+                         "--name or --name=value; try --help)\n",
+                         argv[0], arg.c_str());
+            return false;
+        }
+        arg = arg.substr(2);
+        std::string key = arg;
+        std::string value;
+        bool has_value = false;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            key = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            has_value = true;
+        }
+        if (key == "help") {
+            printHelp();
+            helpRequested_ = true;
+            return false;
+        }
+        const Spec *spec = find(key);
+        if (spec == nullptr) {
+            std::fprintf(stderr, "%s: unknown flag --%s (try --help)\n",
+                         argv[0], key.c_str());
+            return false;
+        }
+        if (!spec->boolean && !has_value) {
+            std::fprintf(stderr,
+                         "%s: flag --%s needs a value: --%s=<%s>\n",
+                         argv[0], key.c_str(), key.c_str(),
+                         spec->valueName.c_str());
+            return false;
+        }
+        values_[key] = has_value ? value : "1";
+    }
+    return true;
+}
+
+bool
+Cli::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::string
+Cli::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it != values_.end())
+        return it->second;
+    const Spec *spec = find(name);
+    return spec != nullptr ? spec->fallback : std::string();
+}
+
+long
+Cli::getInt(const std::string &name) const
+{
+    return std::strtol(get(name).c_str(), nullptr, 10);
+}
+
+double
+Cli::getFloat(const std::string &name) const
+{
+    return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool
+Cli::getBool(const std::string &name) const
+{
+    std::string v = get(name);
+    return !v.empty() && v != "0" && v != "false";
+}
+
+void
+Cli::printHelp(std::FILE *out) const
+{
+    std::fprintf(out, "usage: %s\n", usage_.c_str());
+    if (!summary_.empty())
+        std::fprintf(out, "%s\n", summary_.c_str());
+    std::fprintf(out, "\nflags:\n");
+    for (const Spec &s : specs_) {
+        std::string left = "--" + s.name;
+        if (!s.boolean) {
+            left += "=<" + s.valueName + ">";
+            if (!s.fallback.empty())
+                left += " (default " + s.fallback + ")";
+        }
+        std::fprintf(out, "  %-44s %s\n", left.c_str(), s.help.c_str());
+    }
+    std::fprintf(out, "  %-44s %s\n", "--help", "show this help");
+}
+
+unsigned
+Cli::threadCount() const
+{
+    if (getBool("serial"))
+        return 1;
+    long n = getInt("threads");
+    if (n > 0)
+        return static_cast<unsigned>(n);
+    // 0 = auto: resolved downstream via VKSIM_THREADS or hardware
+    // concurrency (ThreadPool::resolveThreadCount).
+    return 0;
+}
+
+} // namespace vksim

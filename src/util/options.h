@@ -1,7 +1,11 @@
 /**
  * @file
- * Minimal command-line option parsing for the examples and benchmark
- * binaries: `--key=value` and `--flag` forms.
+ * Minimal command-line option parsing: `--key=value` and `--flag` forms,
+ * no registration, unknown flags ignored.
+ *
+ * @deprecated Only the bench_* pretty-printers still use this. The
+ * examples and tools moved to util/cli.h, which registers flags,
+ * generates --help, and rejects unknown flags.
  */
 
 #ifndef VKSIM_UTIL_OPTIONS_H

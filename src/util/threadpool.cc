@@ -127,6 +127,12 @@ ThreadPool::parallelFor(std::size_t n,
         return;
     }
 
+    // One job in flight at a time: concurrent callers (distinct threads)
+    // queue up here instead of corrupting the published job state. The
+    // nesting guard above ran first, so a worker lane can never reach
+    // this lock while holding it through its own job.
+    std::lock_guard<std::mutex> submit_lock(submitMutex_);
+
     {
         std::lock_guard<std::mutex> lock(mutex_);
         body_ = &body;

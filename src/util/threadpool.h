@@ -21,6 +21,12 @@
  * rethrown from parallelFor after the join. Nested parallelFor on the
  * same pool is rejected with std::logic_error (the barrier is not
  * reentrant). Empty ranges return immediately.
+ *
+ * Distinct *threads* may call parallelFor on the same pool concurrently:
+ * calls serialize on an internal submit lock, so at most one job is in
+ * flight and late callers simply wait their turn. This is what lets
+ * SimService job workers share sharedThreadPool() consumers (the BVH
+ * builder's parallel binning) without coordinating externally.
  */
 
 #ifndef VKSIM_UTIL_THREADPOOL_H
@@ -80,6 +86,9 @@ class ThreadPool
                    std::size_t n, std::size_t chunk);
 
     std::vector<std::thread> workers_;
+
+    /// Serializes whole parallelFor jobs from different caller threads.
+    std::mutex submitMutex_;
 
     std::mutex mutex_;
     std::condition_variable wake_;

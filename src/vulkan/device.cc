@@ -5,7 +5,7 @@
 namespace vksim {
 
 RayTracingPipeline
-Device::createRayTracingPipeline(const xlate::PipelineDesc &desc, bool fcc)
+Device::translatePipeline(const xlate::PipelineDesc &desc, bool fcc)
 {
     RayTracingPipeline pipeline;
     for (const nir::Shader *shader : desc.shaders) {
@@ -30,20 +30,41 @@ Device::createRayTracingPipeline(const xlate::PipelineDesc &desc, bool fcc)
     }
     for (int miss : desc.missShaders)
         pipeline.missShaders.push_back(xlate::shaderIdOf(miss));
+    return pipeline;
+}
 
+void
+Device::uploadShaderBindingTable(RayTracingPipeline *pipeline)
+{
     // Serialize the shader binding table to device memory; the trace-ray
     // lowering reads shader ids from here at run time.
-    if (!pipeline.hitGroups.empty()) {
-        pipeline.sbtHitGroupsAddr = uploadBuffer<vptx::HitGroupRecord>(
-            {pipeline.hitGroups.data(), pipeline.hitGroups.size()},
+    if (!pipeline->hitGroups.empty()) {
+        pipeline->sbtHitGroupsAddr = uploadBuffer<vptx::HitGroupRecord>(
+            {pipeline->hitGroups.data(), pipeline->hitGroups.size()},
             "sbt.hitgroups");
     }
-    if (!pipeline.missShaders.empty()) {
-        pipeline.sbtMissAddr = uploadBuffer<ShaderId>(
-            {pipeline.missShaders.data(), pipeline.missShaders.size()},
+    if (!pipeline->missShaders.empty()) {
+        pipeline->sbtMissAddr = uploadBuffer<ShaderId>(
+            {pipeline->missShaders.data(), pipeline->missShaders.size()},
             "sbt.miss");
     }
+}
+
+RayTracingPipeline
+Device::createRayTracingPipeline(const xlate::PipelineDesc &desc, bool fcc)
+{
+    RayTracingPipeline pipeline = translatePipeline(desc, fcc);
+    uploadShaderBindingTable(&pipeline);
     return pipeline;
+}
+
+Launch
+Device::createLaunch(const RayTracingPipeline &pipeline,
+                     const DescriptorSet &descriptors, Addr tlas_root,
+                     unsigned width, unsigned height, unsigned depth)
+{
+    return Launch(prepareLaunch(pipeline, descriptors, tlas_root, width,
+                                height, depth));
 }
 
 vptx::LaunchContext

@@ -59,6 +59,32 @@ struct RayTracingPipeline
     bool fcc = false; ///< lowered with function call coalescing
 };
 
+/**
+ * Handle to a prepared trace-rays launch (vkCmdTraceRaysKHR recorded into
+ * a command buffer). Only Device creates these; consumers reach the
+ * underlying LaunchContext through context() when handing it to an
+ * executor. Keeping the context behind a handle stops callers from
+ * assembling half-initialized LaunchContexts by hand.
+ */
+class Launch
+{
+  public:
+    Launch() = default;
+
+    vptx::LaunchContext &context() { return ctx_; }
+    const vptx::LaunchContext &context() const { return ctx_; }
+
+    unsigned width() const { return ctx_.launchSize[0]; }
+    unsigned height() const { return ctx_.launchSize[1]; }
+    unsigned depth() const { return ctx_.launchSize[2]; }
+
+  private:
+    friend class Device;
+    explicit Launch(vptx::LaunchContext ctx) : ctx_(std::move(ctx)) {}
+
+    vptx::LaunchContext ctx_;
+};
+
 /** The simulated device. */
 class Device
 {
@@ -93,17 +119,43 @@ class Device
     }
 
     /**
-     * Create a ray tracing pipeline: translate the NIR shaders to VPTX
-     * (Algorithm 1, or Algorithm 3 when `fcc`) and serialize the shader
-     * binding table to device memory.
+     * Host-only half of pipeline creation: validate the NIR shaders and
+     * translate them to one linked VPTX program (Algorithm 1, or
+     * Algorithm 3 when `fcc`), filling the hit-group / miss tables. The
+     * result touches no device memory (SBT addresses stay 0), so it is
+     * device-independent and cacheable across devices — the service
+     * artifact cache shares one translation between jobs.
+     */
+    static RayTracingPipeline translatePipeline(
+        const xlate::PipelineDesc &desc, bool fcc = false);
+
+    /**
+     * Device half of pipeline creation: serialize `pipeline`'s shader
+     * binding table into this device's memory, filling
+     * sbtHitGroupsAddr / sbtMissAddr.
+     */
+    void uploadShaderBindingTable(RayTracingPipeline *pipeline);
+
+    /**
+     * Create a ray tracing pipeline (vkCreateRayTracingPipelinesKHR):
+     * translatePipeline() + uploadShaderBindingTable().
      */
     RayTracingPipeline createRayTracingPipeline(
         const xlate::PipelineDesc &desc, bool fcc = false);
 
     /**
-     * Prepare a launch (vkCmdTraceRaysKHR): allocates the per-thread
+     * Record a launch (vkCmdTraceRaysKHR): allocates the per-thread
      * trace-ray stacks and scratch, binds descriptor sets and the SBT,
-     * and returns the LaunchContext the executors consume.
+     * and returns the Launch handle the executors consume.
+     */
+    Launch createLaunch(const RayTracingPipeline &pipeline,
+                        const DescriptorSet &descriptors, Addr tlas_root,
+                        unsigned width, unsigned height, unsigned depth = 1);
+
+    /**
+     * @deprecated Pre-service spelling of createLaunch() returning the
+     * raw LaunchContext. Kept for existing direct-model tests; new code
+     * should hold the Launch handle instead.
      */
     vptx::LaunchContext prepareLaunch(const RayTracingPipeline &pipeline,
                                       const DescriptorSet &descriptors,

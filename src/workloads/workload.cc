@@ -1,5 +1,6 @@
 #include "workloads/workload.h"
 
+#include "service/artifacts.h"
 #include "workloads/shaders.h"
 
 namespace vksim::wl {
@@ -40,7 +41,8 @@ Workload::shadingMode() const
     return ShadingMode::BaryColor;
 }
 
-Workload::Workload(WorkloadId id, const WorkloadParams &params)
+Workload::Workload(WorkloadId id, const WorkloadParams &params,
+                   service::ArtifactCache *artifacts)
     : id_(id), params_(params)
 {
     switch (id_) {
@@ -57,13 +59,49 @@ Workload::Workload(WorkloadId id, const WorkloadParams &params)
     scene_.camera.aspect = static_cast<float>(params_.width)
                            / static_cast<float>(params_.height);
 
-    accel_ = device_.buildAccelerationStructure(scene_);
-    buildShaders();
-    pipeline_ = device_.createRayTracingPipeline(pipeDesc_, params_.fcc);
+    if (artifacts != nullptr) {
+        // Cache-aware build. The BVH is this fresh device's *first*
+        // allocation, so a captured image from any other fresh device
+        // installs at identical addresses; a miss builds into our own
+        // memory and captures from it, leaving the same final state.
+        GlobalMemory &gm = device_.memory();
+        bvhKey_ = service::sceneGeometryKey(scene_);
+        std::shared_ptr<const AccelImage> image = artifacts->bvh(
+            bvhKey_,
+            [&] {
+                Addr base = gm.brk();
+                std::size_t regions_before = gm.regions().size();
+                AccelStruct built =
+                    device_.buildAccelerationStructure(scene_);
+                return captureAccelImage(gm, base, regions_before, built);
+            },
+            &bvhCacheHit_);
+        if (bvhCacheHit_)
+            installAccelImage(gm, *image);
+        accel_ = image->accel;
+
+        buildShaders();
+        pipelineKey_ = xlate::digestPipeline(pipeDesc_, params_.fcc);
+        std::shared_ptr<const RayTracingPipeline> translated =
+            artifacts->pipeline(
+                pipelineKey_,
+                [&] {
+                    return Device::translatePipeline(pipeDesc_,
+                                                     params_.fcc);
+                },
+                &pipelineCacheHit_);
+        pipeline_ = *translated; // host-side copy; SBT addresses are 0
+        device_.uploadShaderBindingTable(&pipeline_);
+    } else {
+        accel_ = device_.buildAccelerationStructure(scene_);
+        buildShaders();
+        pipeline_ =
+            device_.createRayTracingPipeline(pipeDesc_, params_.fcc);
+    }
     buildDescriptors();
-    launch_ = device_.prepareLaunch(pipeline_, descriptors_,
-                                    accel_.tlasRoot, params_.width,
-                                    params_.height);
+    launch_ = device_.createLaunch(pipeline_, descriptors_,
+                                   accel_.tlasRoot, params_.width,
+                                   params_.height);
     tracer_ = std::make_unique<CpuTracer>(scene_, device_.memory(), accel_);
 }
 
@@ -224,7 +262,7 @@ Workload::runFunctional(vptx::WarpCflow::Mode mode, StatGroup *stats_out)
 {
     vptx::ExecOptions options;
     options.fccEnabled = params_.fcc;
-    vptx::FunctionalRunner runner(launch_, options, mode);
+    vptx::FunctionalRunner runner(launch_.context(), options, mode);
     runner.run();
     if (stats_out)
         *stats_out = runner.stats();

@@ -16,6 +16,10 @@
 #include "vulkan/device.h"
 #include "workloads/layout.h"
 
+namespace vksim::service {
+class ArtifactCache;
+} // namespace vksim::service
+
 namespace vksim::wl {
 
 /** Workload identifiers, named as in the paper. */
@@ -56,7 +60,15 @@ WorkloadParams paperScaleParams(WorkloadId id);
 class Workload
 {
   public:
-    Workload(WorkloadId id, const WorkloadParams &params);
+    /**
+     * Assemble the workload: scene, BVH, pipeline, descriptors, launch.
+     * With a non-null `artifacts` cache the expensive build products
+     * (serialized BVH, translated pipeline) are fetched from / inserted
+     * into the cache instead of always being rebuilt; the resulting
+     * device memory is bit-identical either way.
+     */
+    Workload(WorkloadId id, const WorkloadParams &params,
+             service::ArtifactCache *artifacts = nullptr);
 
     WorkloadId id() const { return id_; }
     const char *name() const { return workloadName(id_); }
@@ -65,10 +77,25 @@ class Workload
     Device &device() { return device_; }
     const AccelStruct &accel() const { return accel_; }
     const RayTracingPipeline &pipeline() const { return pipeline_; }
-    vptx::LaunchContext &launch() { return launch_; }
-    const vptx::LaunchContext &launch() const { return launch_; }
+    vptx::LaunchContext &launch() { return launch_.context(); }
+    const vptx::LaunchContext &launch() const { return launch_.context(); }
     Addr framebuffer() const { return framebufferAddr_; }
     ShadingMode shadingMode() const;
+
+    /** Whether the BVH came from the artifact cache. @{ */
+    bool bvhCacheHit() const { return bvhCacheHit_; }
+    bool pipelineCacheHit() const { return pipelineCacheHit_; }
+    /** @} */
+
+    /**
+     * Artifact-cache content keys (0 when built without a cache). Jobs
+     * sharing a key share the artifact; batch reports group on these
+     * because key sharing — unlike the hit/miss flags — is independent
+     * of which job happened to build first. @{
+     */
+    std::uint64_t bvhKey() const { return bvhKey_; }
+    std::uint64_t pipelineKey() const { return pipelineKey_; }
+    /** @} */
 
     /**
      * Run the launch on the functional simulator and return the rendered
@@ -104,8 +131,12 @@ class Workload
     RayTracingPipeline pipeline_;
     xlate::PipelineDesc pipeDesc_;
     DescriptorSet descriptors_;
-    vptx::LaunchContext launch_;
+    Launch launch_;
     Addr framebufferAddr_ = 0;
+    bool bvhCacheHit_ = false;
+    bool pipelineCacheHit_ = false;
+    std::uint64_t bvhKey_ = 0;
+    std::uint64_t pipelineKey_ = 0;
     std::unique_ptr<CpuTracer> tracer_;
 };
 

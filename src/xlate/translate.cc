@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "check/check.h"
 #include "util/log.h"
 #include "vptx/context.h"
 #include "vptx/rtstack.h"
@@ -661,6 +662,63 @@ translate(const PipelineDesc &pipeline, const TranslateOptions &options)
 {
     Translator t(pipeline, options);
     return t.run();
+}
+
+namespace {
+
+void
+digestInstr(check::Digest &d, const nir::Instr &instr)
+{
+    d.mix(static_cast<std::uint64_t>(instr.op));
+    d.mix(static_cast<std::uint64_t>(instr.dst));
+    d.mix(instr.srcs.size());
+    for (nir::Val v : instr.srcs)
+        d.mix(static_cast<std::uint64_t>(v));
+    d.mix(instr.imm);
+    d.mix(instr.size);
+}
+
+void
+digestBlock(check::Digest &d, const std::vector<nir::Node> &block)
+{
+    d.mix(block.size());
+    for (const nir::Node &node : block) {
+        d.mix(static_cast<std::uint64_t>(node.kind));
+        d.mix(static_cast<std::uint64_t>(node.cond));
+        digestInstr(d, node.instr);
+        digestBlock(d, node.thenBlock);
+        digestBlock(d, node.elseBlock);
+        digestBlock(d, node.body);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+digestPipeline(const PipelineDesc &pipeline, bool fcc)
+{
+    check::Digest d;
+    d.mix(fcc ? 1 : 0);
+    d.mix(pipeline.shaders.size());
+    for (const nir::Shader *shader : pipeline.shaders) {
+        d.mix(shader->name.size());
+        for (char c : shader->name)
+            d.mix(static_cast<std::uint8_t>(c));
+        d.mix(static_cast<std::uint64_t>(shader->stage));
+        d.mix(static_cast<std::uint64_t>(shader->numValues));
+        digestBlock(d, shader->body);
+    }
+    d.mix(static_cast<std::uint64_t>(pipeline.raygen));
+    d.mix(pipeline.missShaders.size());
+    for (int m : pipeline.missShaders)
+        d.mix(static_cast<std::uint64_t>(m));
+    d.mix(pipeline.hitGroups.size());
+    for (const HitGroupDesc &g : pipeline.hitGroups) {
+        d.mix(static_cast<std::uint64_t>(g.closestHit));
+        d.mix(static_cast<std::uint64_t>(g.anyHit));
+        d.mix(static_cast<std::uint64_t>(g.intersection));
+    }
+    return d.value();
 }
 
 } // namespace vksim::xlate

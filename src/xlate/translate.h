@@ -52,6 +52,15 @@ shaderIdOf(int index)
 vptx::Program translate(const PipelineDesc &pipeline,
                         const TranslateOptions &options = {});
 
+/**
+ * Content digest of everything that determines the translated program
+ * and SBT layout: every shader's IR (walked recursively), the raygen /
+ * miss / hit-group tables, and the lowering mode (`fcc`). Two pipelines
+ * with equal digests translate to identical vptx::Programs, so the
+ * service artifact cache keys on this.
+ */
+std::uint64_t digestPipeline(const PipelineDesc &pipeline, bool fcc);
+
 } // namespace vksim::xlate
 
 #endif // VKSIM_XLATE_TRANSLATE_H

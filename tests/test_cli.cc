@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the unified driver command-line parser (src/util/cli) and
+ * the shared simulator flag set (addSimFlags/applySimFlags): defaults,
+ * explicit values, error handling for unknown/malformed flags, --help,
+ * and the --threads/--serial -> GpuConfig mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/vulkansim.h"
+#include "util/cli.h"
+
+namespace vksim {
+namespace {
+
+/** argv builder: parse("--a=1", "--b") style calls. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args)
+        : args_(std::move(args))
+    {
+        ptrs_.push_back(const_cast<char *>("test"));
+        for (std::string &a : args_)
+            ptrs_.push_back(a.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> args_;
+    std::vector<char *> ptrs_;
+};
+
+Cli
+makeCli()
+{
+    Cli cli("test [flags]", "test parser");
+    cli.option("width", "px", "64", "launch width")
+        .option("scale", "f", "0.25", "a float")
+        .flag("mobile", "a boolean");
+    return cli;
+}
+
+TEST(Cli, DefaultsApplyWhenFlagsAbsent)
+{
+    Cli cli = makeCli();
+    Argv a({});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_EQ(cli.getInt("width"), 64);
+    EXPECT_DOUBLE_EQ(cli.getFloat("scale"), 0.25);
+    EXPECT_FALSE(cli.getBool("mobile"));
+    EXPECT_FALSE(cli.has("width"));
+    EXPECT_FALSE(cli.helpRequested());
+}
+
+TEST(Cli, ExplicitValuesOverrideDefaults)
+{
+    Cli cli = makeCli();
+    Argv a({"--width=128", "--scale=0.5", "--mobile"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_EQ(cli.getInt("width"), 128);
+    EXPECT_DOUBLE_EQ(cli.getFloat("scale"), 0.5);
+    EXPECT_TRUE(cli.getBool("mobile"));
+    EXPECT_TRUE(cli.has("width"));
+}
+
+TEST(Cli, BooleanFlagAcceptsExplicitValue)
+{
+    Cli cli = makeCli();
+    Argv a({"--mobile=0"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_FALSE(cli.getBool("mobile"));
+    EXPECT_TRUE(cli.has("mobile"));
+}
+
+TEST(Cli, UnknownFlagIsAnError)
+{
+    Cli cli = makeCli();
+    Argv a({"--nonsense=3"});
+    EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+    EXPECT_FALSE(cli.helpRequested());
+}
+
+TEST(Cli, PositionalArgumentIsAnError)
+{
+    Cli cli = makeCli();
+    Argv a({"stray"});
+    EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+    EXPECT_FALSE(cli.helpRequested());
+}
+
+TEST(Cli, ValueFlagWithoutValueIsAnError)
+{
+    Cli cli = makeCli();
+    Argv a({"--width"});
+    EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+    EXPECT_FALSE(cli.helpRequested());
+}
+
+TEST(Cli, HelpReturnsFalseAndSetsHelpRequested)
+{
+    Cli cli = makeCli();
+    Argv a({"--help"});
+    EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+    EXPECT_TRUE(cli.helpRequested());
+}
+
+TEST(Cli, SimFlagsMapOntoGpuConfig)
+{
+    Cli cli = makeCli();
+    addSimFlags(cli);
+    Argv a({"--threads=3", "--perf", "--check=full",
+            "--stats-json=out.json", "--timeline=t.json",
+            "--timeline-sample=128"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_EQ(cli.threadCount(), 3u);
+
+    GpuConfig config = baselineGpuConfig();
+    ASSERT_TRUE(applySimFlags(cli, &config));
+    EXPECT_EQ(config.threads, 3u);
+    EXPECT_TRUE(config.printPerfSummary);
+    EXPECT_EQ(config.checkLevel, check::CheckLevel::Full);
+    EXPECT_EQ(config.timeline.path, "t.json");
+    EXPECT_EQ(config.timeline.sampleInterval, 128u);
+    EXPECT_EQ(cli.get("stats-json"), "out.json");
+}
+
+TEST(Cli, SerialBeatsThreads)
+{
+    Cli cli = makeCli();
+    addSimFlags(cli);
+    Argv a({"--serial", "--threads=8"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_EQ(cli.threadCount(), 1u);
+}
+
+TEST(Cli, ThreadsDefaultIsAuto)
+{
+    Cli cli = makeCli();
+    addSimFlags(cli);
+    Argv a({});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_EQ(cli.threadCount(), 0u);
+}
+
+TEST(Cli, BadCheckLevelRejected)
+{
+    Cli cli = makeCli();
+    addSimFlags(cli);
+    Argv a({"--check=bogus"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    GpuConfig config = baselineGpuConfig();
+    EXPECT_FALSE(applySimFlags(cli, &config));
+}
+
+} // namespace
+} // namespace vksim

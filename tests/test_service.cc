@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the batched simulation service (src/service): artifact-cache
+ * accounting (one build per content key, hits for every re-use), bit
+ * identity of cached vs freshly built artifacts, equivalence of the
+ * deprecated simulateWorkload() shim, submit-time GpuConfig validation,
+ * and the batch determinism contract — per-job metrics dumps are
+ * byte-identical no matter the service thread count or the submission
+ * order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/vulkansim.h"
+#include "service/service.h"
+
+namespace vksim {
+namespace {
+
+wl::WorkloadParams
+smallParams()
+{
+    wl::WorkloadParams params;
+    params.width = 8;
+    params.height = 8;
+    params.rtv6Prims = 128;
+    return params;
+}
+
+std::string
+metricsJson(const RunResult &run)
+{
+    std::ostringstream os;
+    run.metrics.writeJson(os, 2);
+    return os.str();
+}
+
+TEST(ArtifactCache, SecondWorkloadOnSameSceneHitsBothCaches)
+{
+    service::SimService svc({1});
+    wl::Workload first(wl::WorkloadId::TRI, smallParams(),
+                       &svc.artifacts());
+    wl::Workload second(wl::WorkloadId::TRI, smallParams(),
+                        &svc.artifacts());
+
+    EXPECT_FALSE(first.bvhCacheHit());
+    EXPECT_FALSE(first.pipelineCacheHit());
+    EXPECT_TRUE(second.bvhCacheHit());
+    EXPECT_TRUE(second.pipelineCacheHit());
+    EXPECT_EQ(first.bvhKey(), second.bvhKey());
+    EXPECT_EQ(first.pipelineKey(), second.pipelineKey());
+
+    const service::ArtifactCounters &c = svc.artifacts().counters();
+    EXPECT_EQ(c.bvhBuilds, 1u);
+    EXPECT_EQ(c.bvhHits, 1u);
+    EXPECT_EQ(c.pipelineBuilds, 1u);
+    EXPECT_EQ(c.pipelineHits, 1u);
+}
+
+TEST(ArtifactCache, DistinctScenesAndPipelinesGetDistinctKeys)
+{
+    service::SimService svc({1});
+    wl::Workload tri(wl::WorkloadId::TRI, smallParams(),
+                     &svc.artifacts());
+    wl::Workload rtv6(wl::WorkloadId::RTV6, smallParams(),
+                      &svc.artifacts());
+
+    EXPECT_NE(tri.bvhKey(), rtv6.bvhKey());
+    EXPECT_NE(tri.pipelineKey(), rtv6.pipelineKey());
+    const service::ArtifactCounters &c = svc.artifacts().counters();
+    EXPECT_EQ(c.bvhBuilds, 2u);
+    EXPECT_EQ(c.bvhHits, 0u);
+    EXPECT_EQ(c.pipelineBuilds, 2u);
+}
+
+TEST(ArtifactCache, FccVariantSharesBvhButNotPipeline)
+{
+    service::SimService svc({1});
+    wl::WorkloadParams params = smallParams();
+    wl::Workload base(wl::WorkloadId::RTV6, params, &svc.artifacts());
+    params.fcc = true;
+    wl::Workload fcc(wl::WorkloadId::RTV6, params, &svc.artifacts());
+
+    EXPECT_EQ(base.bvhKey(), fcc.bvhKey());
+    EXPECT_TRUE(fcc.bvhCacheHit());
+    EXPECT_NE(base.pipelineKey(), fcc.pipelineKey());
+    EXPECT_FALSE(fcc.pipelineCacheHit());
+}
+
+TEST(ArtifactCache, CachedWorkloadRunsIdenticallyToUncached)
+{
+    // The uncached baseline: a workload built the classic way.
+    wl::Workload plain(wl::WorkloadId::TRI, smallParams());
+
+    // The cached path, exercised on its install (hit) side: the first
+    // cache-aware build populates the cache, the second installs the
+    // captured BVH image into a fresh device.
+    service::SimService svc({1});
+    wl::Workload warm(wl::WorkloadId::TRI, smallParams(),
+                      &svc.artifacts());
+    wl::Workload cached(wl::WorkloadId::TRI, smallParams(),
+                        &svc.artifacts());
+    ASSERT_TRUE(cached.bvhCacheHit());
+
+    GpuConfig config = baselineGpuConfig();
+    config.threads = 1;
+    RunResult plain_run = service::runPreparedWorkload(plain, config);
+    RunResult cached_run = service::runPreparedWorkload(cached, config);
+
+    EXPECT_EQ(plain_run.cycles, cached_run.cycles);
+    EXPECT_EQ(metricsJson(plain_run), metricsJson(cached_run));
+    ImageDiff diff = compareImages(plain.readFramebuffer(),
+                                   cached.readFramebuffer(), 0.f);
+    EXPECT_EQ(diff.differingPixels, 0u);
+}
+
+TEST(SimService, SingleJobBatchHonorsEngineThreads)
+{
+    service::SimService svc({4});
+    wl::Workload workload(wl::WorkloadId::TRI, smallParams(),
+                          &svc.artifacts());
+    GpuConfig config = baselineGpuConfig();
+    config.threads = 1;
+    const service::JobResult &result =
+        svc.submit(workload, config, "solo").get();
+    EXPECT_EQ(result.run.threadsUsed, 1u);
+    EXPECT_EQ(result.name, "solo");
+    EXPECT_GT(result.run.cycles, 0u);
+}
+
+TEST(SimService, GetAutoFlushesTheBatch)
+{
+    service::SimService svc({2});
+    service::JobSpec spec;
+    spec.workload = wl::WorkloadId::TRI;
+    spec.params = smallParams();
+    spec.config = baselineGpuConfig();
+    spec.config.threads = 0;
+    service::JobTicket a = svc.submit(spec);
+    service::JobTicket b = svc.submit(spec);
+    EXPECT_EQ(svc.submittedCount(), 2u);
+
+    // No explicit flush(): the first get() runs the whole batch.
+    const service::JobResult &ra = a.get();
+    const service::JobResult &rb = b.get();
+    EXPECT_EQ(ra.name, "job0");
+    EXPECT_EQ(rb.name, "job1");
+    EXPECT_EQ(ra.run.cycles, rb.run.cycles);
+    EXPECT_NE(ra.workload, nullptr);
+}
+
+TEST(SimService, BuildsPerKeyIsOneAcrossParallelBatch)
+{
+    service::SimService svc({4});
+    service::JobSpec spec;
+    spec.workload = wl::WorkloadId::TRI;
+    spec.params = smallParams();
+    spec.config = baselineGpuConfig();
+    spec.config.threads = 0;
+    std::vector<service::JobTicket> tickets;
+    for (int i = 0; i < 6; ++i)
+        tickets.push_back(svc.submit(spec));
+    svc.flush();
+    for (service::JobTicket &t : tickets)
+        EXPECT_GT(t.get().run.cycles, 0u);
+
+    // Six jobs race for the same scene and pipeline: each artifact is
+    // built exactly once, every other job gets a cache hit.
+    const service::ArtifactCounters &c = svc.artifacts().counters();
+    EXPECT_EQ(c.bvhBuilds, 1u);
+    EXPECT_EQ(c.bvhHits, 5u);
+    EXPECT_EQ(c.pipelineBuilds, 1u);
+    EXPECT_EQ(c.pipelineHits, 5u);
+}
+
+TEST(SimService, DeprecatedShimMatchesServiceSubmission)
+{
+    GpuConfig config = baselineGpuConfig();
+    config.threads = 1;
+
+    wl::Workload via_shim(wl::WorkloadId::TRI, smallParams());
+    RunResult shim_run = simulateWorkload(via_shim, config);
+
+    service::SimService svc({1});
+    wl::Workload via_service(wl::WorkloadId::TRI, smallParams(),
+                             &svc.artifacts());
+    const service::JobResult &service_result =
+        svc.submit(via_service, config, "direct").get();
+
+    EXPECT_EQ(shim_run.cycles, service_result.run.cycles);
+    EXPECT_EQ(metricsJson(shim_run), metricsJson(service_result.run));
+    ImageDiff diff = compareImages(via_shim.readFramebuffer(),
+                                   service_result.image, 0.f);
+    EXPECT_EQ(diff.differingPixels, 0u);
+}
+
+TEST(SimService, SubmitRejectsInvalidConfigWithActionableMessage)
+{
+    service::SimService svc({1});
+    service::JobSpec spec;
+    spec.workload = wl::WorkloadId::TRI;
+    spec.params = smallParams();
+    spec.config = baselineGpuConfig();
+    spec.config.numSms = 0;
+    spec.config.l1.numMshrs = 0;
+    try {
+        svc.submit(spec);
+        FAIL() << "submit() accepted an invalid GpuConfig";
+    } catch (const std::invalid_argument &e) {
+        std::string message = e.what();
+        EXPECT_NE(message.find("numSms"), std::string::npos) << message;
+        EXPECT_NE(message.find("l1"), std::string::npos) << message;
+    }
+}
+
+TEST(SimService, SubmitRejectsFccPlusIts)
+{
+    service::SimService svc({1});
+    service::JobSpec spec;
+    spec.workload = wl::WorkloadId::RTV6;
+    spec.params = smallParams();
+    spec.params.fcc = true;
+    spec.config = baselineGpuConfig();
+    spec.config.its = true;
+    try {
+        svc.submit(spec);
+        FAIL() << "submit() accepted FCC combined with ITS";
+    } catch (const std::invalid_argument &e) {
+        std::string message = e.what();
+        EXPECT_NE(message.find("FCC"), std::string::npos) << message;
+        EXPECT_NE(message.find("ITS"), std::string::npos) << message;
+    }
+}
+
+/** The acceptance-criteria determinism sweep, in miniature: the same
+ *  four jobs, submitted in different orders to services with different
+ *  lane counts, must produce byte-identical per-job metrics dumps. */
+TEST(SimService, BatchStatsAreByteIdenticalAcrossThreadsAndOrder)
+{
+    struct NamedSpec
+    {
+        const char *name;
+        wl::WorkloadId id;
+        bool mobile;
+    };
+    const std::vector<NamedSpec> jobs = {
+        {"tri_base", wl::WorkloadId::TRI, false},
+        {"tri_mobile", wl::WorkloadId::TRI, true},
+        {"rtv6_base", wl::WorkloadId::RTV6, false},
+        {"rtv6_mobile", wl::WorkloadId::RTV6, true},
+    };
+
+    auto runBatch = [&](unsigned service_threads,
+                        const std::vector<std::size_t> &order) {
+        service::SimService svc({service_threads});
+        std::vector<service::JobTicket> tickets;
+        for (std::size_t idx : order) {
+            const NamedSpec &j = jobs[idx];
+            service::JobSpec spec;
+            spec.name = j.name;
+            spec.workload = j.id;
+            spec.params = smallParams();
+            spec.config =
+                j.mobile ? mobileGpuConfig() : baselineGpuConfig();
+            spec.config.threads = 0;
+            tickets.push_back(svc.submit(spec));
+        }
+        svc.flush();
+        std::map<std::string, std::string> stats;
+        for (service::JobTicket &t : tickets) {
+            const service::JobResult &r = t.get();
+            stats[r.name] = metricsJson(r.run);
+        }
+        // Both services see two distinct scenes (TRI, RTV6), whatever
+        // the order or lane count.
+        EXPECT_EQ(svc.artifacts().counters().bvhBuilds, 2u);
+        EXPECT_EQ(svc.artifacts().counters().bvhHits, 2u);
+        return stats;
+    };
+
+    std::map<std::string, std::string> serial =
+        runBatch(1, {0, 1, 2, 3});
+    std::map<std::string, std::string> parallel =
+        runBatch(4, {3, 1, 0, 2});
+    std::map<std::string, std::string> wide = runBatch(8, {2, 3, 0, 1});
+
+    ASSERT_EQ(serial.size(), jobs.size());
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial, wide);
+}
+
+} // namespace
+} // namespace vksim

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Manifest-driven batch runner: the command-line face of SimService.
+ *
+ * Reads a JSON manifest describing N jobs (workload + scale + GPU
+ * configuration each), submits them all to one SimService — so jobs run
+ * concurrently and share BVH/pipeline artifacts through the content-
+ * addressed cache — and writes one consolidated results file:
+ *
+ *   {
+ *     "artifacts": {"bvh_builds": ..., "bvh_hits": ...,
+ *                   "pipeline_builds": ..., "pipeline_hits": ...},
+ *     "jobs": {
+ *       "<name>": {"workload": ..., "cycles": ...,
+ *                  "bvh_shared": ..., "pipeline_shared": ...,
+ *                  "stats": { <full metrics registry> }},
+ *       ...
+ *     }
+ *   }
+ *
+ * Jobs are keyed by name and written in sorted name order; the file
+ * contains no wall-clock or thread-count fields, so it is byte-identical
+ * for any --threads value and any manifest job order (the determinism
+ * contract, extended to batches). Wall-clock goes to stdout only.
+ *
+ * Manifest format — {"jobs": [ {...}, ... ]} with per-job fields:
+ *   name     string   job name (default: "<workload><index>")
+ *   workload string   TRI | REF | EXT | RTV5 | RTV6     (required)
+ *   width    number   launch width in pixels (default 32)
+ *   height   number   launch height (default: width)
+ *   scale    number   EXT tessellation fraction (default 0.25)
+ *   detail   number   RTV5 subdivision (default 5)
+ *   prims    number   RTV6 primitive count (default 400)
+ *   fcc      bool     lower traceRay with FCC (default false)
+ *   config   string   baseline | mobile (default baseline)
+ *   variant  string   baseline | rtcache | perfectbvh | perfectmem
+ *
+ * Usage: batchrun --manifest=jobs.json [--out=results.json]
+ *                 [--threads=N] [--serial] [--check=off|basic|full]
+ *
+ * --threads sets the *service* lanes (concurrent jobs); each job's
+ * engine runs serially inside its lane. See tools/manifests/ for the CI
+ * smoke manifest and the Figure-15 sweep.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/vulkansim.h"
+#include "service/service.h"
+#include "util/cli.h"
+#include "util/jsonio.h"
+
+namespace {
+
+using namespace vksim;
+
+/** Numeric member with a default. */
+double
+numberOr(const JsonValue &job, const std::string &key, double fallback)
+{
+    const JsonValue *v = job.member(key);
+    return v != nullptr && v->isNumber() ? v->number : fallback;
+}
+
+std::string
+stringOr(const JsonValue &job, const std::string &key,
+         const std::string &fallback)
+{
+    const JsonValue *v = job.member(key);
+    return v != nullptr && v->isString() ? v->str : fallback;
+}
+
+bool
+boolOr(const JsonValue &job, const std::string &key, bool fallback)
+{
+    const JsonValue *v = job.member(key);
+    return v != nullptr && v->kind == JsonValue::Kind::Bool ? v->boolean
+                                                            : fallback;
+}
+
+bool
+workloadByName(const std::string &name, wl::WorkloadId *out)
+{
+    for (wl::WorkloadId id : wl::kAllWorkloads) {
+        if (name == wl::workloadName(id)) {
+            *out = id;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Parse one manifest entry into a JobSpec; false + message on error. */
+bool
+parseJob(const JsonValue &job, std::size_t index, const GpuConfig &base,
+         service::JobSpec *out, std::string *error)
+{
+    std::string workload = stringOr(job, "workload", "");
+    if (!workloadByName(workload, &out->workload)) {
+        *error = "job " + std::to_string(index) + ": unknown workload '"
+                 + workload + "' (use TRI/REF/EXT/RTV5/RTV6)";
+        return false;
+    }
+    out->params.width =
+        static_cast<unsigned>(numberOr(job, "width", 32));
+    out->params.height = static_cast<unsigned>(
+        numberOr(job, "height", out->params.width));
+    out->params.extScale =
+        static_cast<float>(numberOr(job, "scale", 0.25));
+    out->params.rtv5Detail =
+        static_cast<unsigned>(numberOr(job, "detail", 5));
+    out->params.rtv6Prims =
+        static_cast<unsigned>(numberOr(job, "prims", 400));
+    out->params.fcc = boolOr(job, "fcc", false);
+    out->name = stringOr(job, "name", workload + std::to_string(index));
+
+    std::string config = stringOr(job, "config", "baseline");
+    if (config == "mobile")
+        out->config = mobileGpuConfig();
+    else if (config == "baseline")
+        out->config = baselineGpuConfig();
+    else {
+        *error = "job " + std::to_string(index) + ": unknown config '"
+                 + config + "' (use baseline or mobile)";
+        return false;
+    }
+    // Shared flags (check level etc.) folded into the per-job base.
+    out->config.checkLevel = base.checkLevel;
+    out->config.printPerfSummary = base.printPerfSummary;
+
+    std::string variant = stringOr(job, "variant", "baseline");
+    if (variant == "rtcache")
+        out->config = applyMemoryVariant(out->config, MemoryVariant::RtCache);
+    else if (variant == "perfectbvh")
+        out->config =
+            applyMemoryVariant(out->config, MemoryVariant::PerfectBvh);
+    else if (variant == "perfectmem")
+        out->config =
+            applyMemoryVariant(out->config, MemoryVariant::PerfectMem);
+    else if (variant != "baseline") {
+        *error = "job " + std::to_string(index) + ": unknown variant '"
+                 + variant
+                 + "' (use baseline/rtcache/perfectbvh/perfectmem)";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("batchrun --manifest=<jobs.json> [flags]",
+            "Run a manifest of simulation jobs through one SimService "
+            "(parallel jobs, shared artifact cache, one results file).");
+    cli.option("manifest", "file", "", "JSON job manifest (required)")
+        .option("out", "file", "batch_results.json",
+                "consolidated results file");
+    vksim::addSimFlags(cli);
+    if (!cli.parse(argc, argv))
+        return cli.helpRequested() ? 0 : 1;
+
+    std::string manifest_path = cli.get("manifest");
+    if (manifest_path.empty()) {
+        std::fprintf(stderr, "batchrun: --manifest is required "
+                             "(try --help)\n");
+        return 1;
+    }
+
+    std::string text, error;
+    if (!readFile(manifest_path, &text, &error)) {
+        std::fprintf(stderr, "batchrun: %s\n", error.c_str());
+        return 1;
+    }
+    JsonValue manifest;
+    if (!parseJson(text, &manifest, &error)) {
+        std::fprintf(stderr, "batchrun: %s: %s\n", manifest_path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    const JsonValue *jobs = manifest.member("jobs");
+    if (jobs == nullptr || !jobs->isArray() || jobs->array.empty()) {
+        std::fprintf(stderr,
+                     "batchrun: %s: expected a non-empty \"jobs\" array\n",
+                     manifest_path.c_str());
+        return 1;
+    }
+
+    GpuConfig base = baselineGpuConfig();
+    if (!vksim::applySimFlags(cli, &base))
+        return 1;
+
+    service::SimService svc({cli.threadCount()});
+    std::vector<service::JobTicket> tickets;
+    for (std::size_t i = 0; i < jobs->array.size(); ++i) {
+        service::JobSpec spec;
+        if (!parseJob(jobs->array[i], i, base, &spec, &error)) {
+            std::fprintf(stderr, "batchrun: %s: %s\n",
+                         manifest_path.c_str(), error.c_str());
+            return 1;
+        }
+        try {
+            tickets.push_back(svc.submit(spec));
+        } catch (const std::invalid_argument &e) {
+            std::fprintf(stderr, "batchrun: job '%s' rejected: %s\n",
+                         spec.name.c_str(), e.what());
+            return 1;
+        }
+    }
+
+    std::printf("batchrun: %zu job(s) from %s on %u service thread(s)\n",
+                tickets.size(), manifest_path.c_str(), svc.threadCount());
+    auto start = std::chrono::steady_clock::now();
+    svc.flush();
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+    // Collect results sorted by job name; count key sharing (stable
+    // under any execution order, unlike per-job hit/miss flags).
+    std::map<std::string, const service::JobResult *> by_name;
+    std::map<std::uint64_t, unsigned> bvh_key_uses;
+    std::map<std::uint64_t, unsigned> pipeline_key_uses;
+    for (service::JobTicket &ticket : tickets) {
+        const service::JobResult &result = ticket.get();
+        if (by_name.count(result.name) != 0) {
+            std::fprintf(stderr, "batchrun: duplicate job name '%s'\n",
+                         result.name.c_str());
+            return 1;
+        }
+        by_name[result.name] = &result;
+        ++bvh_key_uses[result.workload->bvhKey()];
+        ++pipeline_key_uses[result.workload->pipelineKey()];
+    }
+
+    service::ArtifactCounters counters = svc.artifacts().counters();
+    std::string out_path = cli.get("out");
+    std::ofstream os(out_path);
+    if (!os) {
+        std::fprintf(stderr, "batchrun: cannot open %s for writing\n",
+                     out_path.c_str());
+        return 1;
+    }
+    os << "{\n\"artifacts\": {\n"
+       << "  \"bvh_builds\": " << counters.bvhBuilds << ",\n"
+       << "  \"bvh_hits\": " << counters.bvhHits << ",\n"
+       << "  \"pipeline_builds\": " << counters.pipelineBuilds << ",\n"
+       << "  \"pipeline_hits\": " << counters.pipelineHits << "\n"
+       << "},\n\"jobs\": {\n";
+    bool first = true;
+    for (const auto &[name, result] : by_name) {
+        const wl::Workload &workload = *result->workload;
+        os << (first ? "" : ",\n") << "\"" << name << "\": {\n"
+           << "  \"workload\": \"" << workload.name() << "\",\n"
+           << "  \"cycles\": " << result->run.cycles << ",\n"
+           << "  \"bvh_shared\": "
+           << (bvh_key_uses[workload.bvhKey()] > 1 ? "true" : "false")
+           << ",\n"
+           << "  \"pipeline_shared\": "
+           << (pipeline_key_uses[workload.pipelineKey()] > 1 ? "true"
+                                                             : "false")
+           << ",\n  \"stats\":\n";
+        result->run.metrics.writeJson(os, 2);
+        os << "\n}";
+        first = false;
+    }
+    os << "\n}\n}\n";
+    os.close();
+
+    std::printf("batchrun: artifact cache: %llu BVH build(s) + %llu "
+                "hit(s), %llu pipeline build(s) + %llu hit(s)\n",
+                static_cast<unsigned long long>(counters.bvhBuilds),
+                static_cast<unsigned long long>(counters.bvhHits),
+                static_cast<unsigned long long>(counters.pipelineBuilds),
+                static_cast<unsigned long long>(counters.pipelineHits));
+    std::printf("batchrun: wrote %s (%zu jobs in %.2fs wall)\n",
+                out_path.c_str(), by_name.size(), seconds);
+    return 0;
+}

@@ -14,6 +14,11 @@
  *  3. the same launch on the 2-thread engine, digest-compared against
  *     the serial run (determinism contract).
  *
+ * Both simulations of a trial are service jobs sharing the artifact
+ * cache, so the trial's BVH is built and checked once and the
+ * minimization loop (which shrinks only the launch, not the scene)
+ * rebuilds nothing.
+ *
  * A digest divergence or accel violation is minimized by halving the
  * launch dimensions while the failure reproduces, then reported as a
  * single-trial repro command line:
@@ -29,7 +34,8 @@
 
 #include "check/accelcheck.h"
 #include "core/vulkansim.h"
-#include "util/options.h"
+#include "service/service.h"
+#include "util/cli.h"
 #include "util/rng.h"
 
 namespace {
@@ -86,9 +92,9 @@ makeTrial(std::uint64_t seed)
  *  description (digest divergence / accel violation). Invariant
  *  violations inside the simulation panic directly. */
 std::string
-runTrial(const Trial &t)
+runTrial(service::SimService &svc, const Trial &t)
 {
-    wl::Workload w(t.id, t.params);
+    wl::Workload w(t.id, t.params, &svc.artifacts());
 
     check::Reporter accel_rep(/*collect=*/true);
     check::checkAccelStruct(*w.launch().gmem, w.accel(), &w.scene(),
@@ -99,14 +105,21 @@ runTrial(const Trial &t)
                + std::to_string(accel_rep.violations().size()) + " total)";
     }
 
+    wl::Workload w2(t.id, t.params, &svc.artifacts());
+
     GpuConfig serial = t.config;
     serial.threads = 1;
-    RunResult ref = simulateWorkload(w, serial);
-
-    wl::Workload w2(t.id, t.params);
     GpuConfig threaded = t.config;
     threaded.threads = 2;
-    RunResult par = simulateWorkload(w2, threaded);
+
+    // One batch, two jobs. Full-check jobs run sequentially in
+    // submission order (the traverse hook is process-global), with the
+    // explicit engine thread counts honored.
+    service::JobTicket serial_job = svc.submit(w, serial, "serial");
+    service::JobTicket threaded_job = svc.submit(w2, threaded, "threaded");
+    svc.flush();
+    const RunResult &ref = serial_job.get().run;
+    const RunResult &par = threaded_job.get().run;
 
     check::DigestTrace::Divergence div =
         ref.digests.firstDivergence(par.digests);
@@ -126,29 +139,31 @@ runTrial(const Trial &t)
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-
-    if (opts.getBool("help")) {
-        std::printf("usage: checkfuzz [--seeds=N] [--seed=N] "
-                    "[--width=N --height=N]\n");
-        return 0;
-    }
+    Cli cli("checkfuzz [flags]",
+            "Deterministic fuzz sweep over workloads and configurations "
+            "with the full checker stack enabled.");
+    cli.option("seeds", "N", "10", "number of trials (seeds 0..N-1)")
+        .option("seed", "N", "", "replay exactly one trial")
+        .option("width", "px", "", "override the trial's launch width")
+        .option("height", "px", "", "override the trial's launch height");
+    if (!cli.parse(argc, argv))
+        return cli.helpRequested() ? 0 : 1;
 
     std::uint64_t first = 0;
-    std::uint64_t count = static_cast<std::uint64_t>(opts.getInt("seeds", 10));
-    if (opts.has("seed")) {
-        first = static_cast<std::uint64_t>(opts.getInt("seed", 0));
+    std::uint64_t count = static_cast<std::uint64_t>(cli.getInt("seeds"));
+    if (cli.has("seed")) {
+        first = static_cast<std::uint64_t>(cli.getInt("seed"));
         count = 1;
     }
 
+    service::SimService svc;
     int failures = 0;
     for (std::uint64_t seed = first; seed < first + count; ++seed) {
         Trial t = makeTrial(seed);
-        if (opts.has("width"))
-            t.params.width = static_cast<unsigned>(opts.getInt("width", 8));
-        if (opts.has("height"))
-            t.params.height =
-                static_cast<unsigned>(opts.getInt("height", 8));
+        if (cli.has("width"))
+            t.params.width = static_cast<unsigned>(cli.getInt("width"));
+        if (cli.has("height"))
+            t.params.height = static_cast<unsigned>(cli.getInt("height"));
         std::printf("seed %llu: %s %ux%u sms=%u its=%d fcc=%d rtcache=%d "
                     "memq=%u ...\n",
                     static_cast<unsigned long long>(seed),
@@ -158,7 +173,7 @@ main(int argc, char **argv)
                     t.config.useRtCache ? 1 : 0, t.config.rt.memQueueSize);
         std::fflush(stdout);
 
-        std::string failure = runTrial(t);
+        std::string failure = runTrial(svc, t);
         if (failure.empty()) {
             std::printf("seed %llu: ok\n",
                         static_cast<unsigned long long>(seed));
@@ -179,7 +194,7 @@ main(int argc, char **argv)
                 smaller.params.height = min.params.height / 2;
             else
                 break;
-            if (runTrial(smaller).empty())
+            if (runTrial(svc, smaller).empty())
                 break;
             min = smaller;
         }

@@ -7,6 +7,11 @@
  * (DESIGN.md); any divergence is localized to the SM (or the fabric)
  * and the barrier cycle where the engines first disagreed.
  *
+ * Both runs are service jobs in one batch: the workloads are built
+ * against the service's artifact cache (one BVH build, one pipeline
+ * translation for the pair) and the explicit per-job engine thread
+ * counts are honored — comparing engine thread counts is the point.
+ *
  *   diffrun --workload=REF [--width=64 --height=64] [--threads=8]
  *           [--check=basic|full] [--period=1] [--mobile]
  *
@@ -22,7 +27,8 @@
 #include <string>
 
 #include "core/vulkansim.h"
-#include "util/options.h"
+#include "service/service.h"
+#include "util/cli.h"
 
 namespace {
 
@@ -52,37 +58,39 @@ int
 main(int argc, char **argv)
 {
     using namespace vksim;
-    Options opts(argc, argv);
-
-    if (opts.getBool("help")) {
-        std::printf(
-            "usage: diffrun [--workload=TRI] [--width=N --height=N]\n"
-            "               [--threads=N] [--check=off|basic|full]\n"
-            "               [--period=N] [--mobile]\n"
-            "               [--inject-cycle=C [--inject-unit=U]]\n");
-        return 0;
-    }
+    Cli cli("diffrun [flags]",
+            "Digest-compare the serial engine against the N-thread "
+            "engine on one workload launch.");
+    cli.option("workload", "name", "TRI", "TRI/REF/EXT/RTV5/RTV6")
+        .option("width", "px", "64", "launch width")
+        .option("height", "px", "64", "launch height")
+        .option("scale", "f", "0.2", "EXT tessellation fraction")
+        .option("detail", "n", "4", "RTV5 statue subdivision")
+        .flag("mobile", "use the mobile Table III configuration")
+        .option("period", "cycles", "1", "digest sampling period")
+        .option("inject-cycle", "C", "",
+                "self-test: corrupt the threaded digest at cycle C")
+        .option("inject-unit", "U", "0",
+                "self-test: unit whose digest is corrupted");
+    addSimFlags(cli);
+    if (!cli.parse(argc, argv))
+        return cli.helpRequested() ? 0 : 1;
 
     wl::WorkloadParams params;
-    params.width = static_cast<unsigned>(opts.getInt("width", 64));
-    params.height = static_cast<unsigned>(opts.getInt("height", 64));
-    params.extScale = static_cast<float>(opts.getFloat("scale", 0.2));
-    params.rtv5Detail = static_cast<unsigned>(opts.getInt("detail", 4));
-    wl::WorkloadId id = workloadByName(opts.get("workload", "TRI"));
+    params.width = static_cast<unsigned>(cli.getInt("width"));
+    params.height = static_cast<unsigned>(cli.getInt("height"));
+    params.extScale = static_cast<float>(cli.getFloat("scale"));
+    params.rtv5Detail = static_cast<unsigned>(cli.getInt("detail"));
+    wl::WorkloadId id = workloadByName(cli.get("workload"));
 
     GpuConfig config =
-        opts.getBool("mobile") ? mobileGpuConfig() : baselineGpuConfig();
-    config.digestTrace = true;
-    config.digestPeriod =
-        static_cast<Cycle>(opts.getInt("period", 1));
-    if (opts.has("check")
-        && !check::parseCheckLevel(opts.get("check"), &config.checkLevel)) {
-        std::fprintf(stderr, "bad --check level '%s' (off/basic/full)\n",
-                     opts.get("check").c_str());
+        cli.getBool("mobile") ? mobileGpuConfig() : baselineGpuConfig();
+    if (!applySimFlags(cli, &config))
         return 1;
-    }
+    config.digestTrace = true;
+    config.digestPeriod = static_cast<Cycle>(cli.getInt("period"));
 
-    unsigned threads = static_cast<unsigned>(opts.getInt("threads", 0));
+    const unsigned threads = cli.threadCount();
 
     GpuConfig serial = config;
     serial.threads = 1;
@@ -90,11 +98,16 @@ main(int argc, char **argv)
 
     GpuConfig parallel = config;
     parallel.threads = threads; // 0 = auto (hardware concurrency)
-    if (opts.has("inject-cycle")) {
+    if (cli.has("inject-cycle")) {
         parallel.digestInjectCycle =
-            static_cast<Cycle>(opts.getInt("inject-cycle", 0));
+            static_cast<Cycle>(cli.getInt("inject-cycle"));
         parallel.digestInjectUnit =
-            static_cast<unsigned>(opts.getInt("inject-unit", 0));
+            static_cast<unsigned>(cli.getInt("inject-unit"));
+    }
+    if (parallel.threads == 0) {
+        // An auto engine request must survive batching (the service
+        // would serialize it); pin it to the resolved count instead.
+        parallel.threads = ThreadPool::resolveThreadCount(0);
     }
 
     std::printf("diffrun: %s %ux%u, check=%s, digest period %llu\n",
@@ -102,14 +115,20 @@ main(int argc, char **argv)
                 check::checkLevelName(config.checkLevel),
                 static_cast<unsigned long long>(config.digestPeriod));
 
-    wl::Workload w1(id, params);
-    RunResult ref = simulateWorkload(w1, serial);
+    // Two externally built workloads (shared artifacts), one batch.
+    service::SimService svc;
+    wl::Workload w1(id, params, &svc.artifacts());
+    wl::Workload w2(id, params, &svc.artifacts());
+    service::JobTicket serial_job = svc.submit(w1, serial, "serial");
+    service::JobTicket threaded_job = svc.submit(w2, parallel, "threaded");
+    svc.flush();
+
+    const RunResult &ref = serial_job.get().run;
     std::printf("  serial:   %llu cycles, %zu digest samples x %u units\n",
                 static_cast<unsigned long long>(ref.cycles),
                 ref.digests.samples(), ref.digests.units);
 
-    wl::Workload w2(id, params);
-    RunResult par = simulateWorkload(w2, parallel);
+    const RunResult &par = threaded_job.get().run;
     std::printf("  threaded: %llu cycles (%u engine threads)\n",
                 static_cast<unsigned long long>(par.cycles),
                 par.threadsUsed);

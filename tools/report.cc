@@ -5,6 +5,11 @@
  * CSV, plus a full per-scene metrics JSON — the machine-readable
  * counterpart of the `bench_fig*` pretty-printers.
  *
+ * The five scenes are submitted to one SimService batch, so they
+ * simulate concurrently (one job per service lane) and share translated
+ * pipelines through the artifact cache; the emitted files are
+ * byte-identical for any --threads value.
+ *
  * Outputs (under --outdir, default "report"):
  *   stats_<scene>.json        complete MetricsRegistry dump per scene
  *   fig13_warp_latency.csv    RT warp-latency histogram (paper Fig. 13)
@@ -29,7 +34,8 @@
 #include <vector>
 
 #include "core/vulkansim.h"
-#include "util/options.h"
+#include "service/service.h"
+#include "util/cli.h"
 
 namespace {
 
@@ -38,9 +44,13 @@ using namespace vksim;
 struct SceneReport
 {
     std::string name;
-    RunResult run;
+    /** The service-owned result (RunResult is move-only; the service
+     *  keeps results alive for its lifetime). */
+    const service::JobResult *job = nullptr;
     MetricsRegistry ref; ///< reference-renderer counters
     double refSeconds = 0.0;
+
+    const RunResult &run() const { return job->run; }
 };
 
 /** One cache's breakdown row set (per origin). */
@@ -65,14 +75,24 @@ writeCacheRows(std::ofstream &os, const std::string &scene,
 int
 main(int argc, char **argv)
 {
-    Options opts(argc, argv);
-    unsigned size = static_cast<unsigned>(opts.getInt("size", 32));
-    std::string outdir = opts.get("outdir", "report");
+    Cli cli("report [flags]",
+            "Regenerate the paper-figure CSVs and per-scene metrics "
+            "dumps (all workloads, one SimService batch).");
+    cli.option("size", "px", "32", "launch width and height per scene")
+        .flag("mobile", "use the mobile Table III configuration")
+        .option("outdir", "dir", "report", "output directory");
+    addSimFlags(cli);
+    if (!cli.parse(argc, argv))
+        return cli.helpRequested() ? 0 : 1;
+
+    unsigned size = static_cast<unsigned>(cli.getInt("size"));
+    std::string outdir = cli.get("outdir");
     GpuConfig config =
-        opts.getBool("mobile") ? mobileGpuConfig() : baselineGpuConfig();
-    const unsigned threads = opts.threadCount();
-    config.threads = threads;
-    const std::string timeline_path = opts.get("timeline", "");
+        cli.getBool("mobile") ? mobileGpuConfig() : baselineGpuConfig();
+    const unsigned threads = cli.threadCount();
+    if (!applySimFlags(cli, &config))
+        return 1;
+    const std::string timeline_path = cli.get("timeline");
 
     std::error_code ec;
     std::filesystem::create_directories(outdir, ec);
@@ -82,37 +102,51 @@ main(int argc, char **argv)
         return 1;
     }
 
-    std::vector<SceneReport> reports;
+    // Submit all five scenes as one batch: the service runs them in
+    // parallel lanes and shares artifacts across them.
+    service::SimService svc({threads});
+    std::vector<service::JobTicket> tickets;
     for (wl::WorkloadId id : wl::kAllWorkloads) {
-        wl::WorkloadParams params;
-        params.width = size;
-        params.height = size;
-        params.extScale = 0.25f;
-        params.rtv5Detail = 5;
-        wl::Workload workload(id, params);
+        service::JobSpec spec;
+        spec.name = wl::workloadName(id);
+        spec.workload = id;
+        spec.params.width = size;
+        spec.params.height = size;
+        spec.params.extScale = 0.25f;
+        spec.params.rtv5Detail = 5;
+        spec.config = config;
+        // Parallelism lives at the service level here: each job's engine
+        // stays on auto (forced serial inside a multi-job batch).
+        spec.config.threads = 0;
+        if (!timeline_path.empty())
+            spec.config.timeline.path =
+                outdir + "/timeline_" + spec.name + ".json";
+        tickets.push_back(svc.submit(spec));
+    }
+    std::printf("report: simulating %zu scenes at %ux%u on %u service "
+                "thread(s)...\n",
+                tickets.size(), size, size, svc.threadCount());
+    svc.flush();
 
+    std::vector<SceneReport> reports;
+    for (service::JobTicket &ticket : tickets) {
+        const service::JobResult &result = ticket.get();
         SceneReport rep;
-        rep.name = workload.name();
-        if (!timeline_path.empty()) {
-            config.timeline.path = outdir + "/timeline_" + rep.name
-                                   + ".json";
-        }
-        std::printf("report: simulating %s at %ux%u...\n",
-                    rep.name.c_str(), size, size);
-        rep.run = simulateWorkload(workload, config);
+        rep.name = result.name;
+        rep.job = &result;
 
         // Reference renderer: wall-clock and traversal counters for the
         // speedup table.
         TraceCounters counters;
         auto ref_start = std::chrono::steady_clock::now();
-        Image ref = workload.renderReferenceImage(&counters, threads);
+        result.workload->renderReferenceImage(&counters, threads);
         rep.refSeconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - ref_start)
                              .count();
         counters.exportTo(rep.ref, "reftrace");
 
         std::ofstream stats(outdir + "/stats_" + rep.name + ".json");
-        rep.run.metrics.writeJson(stats);
+        rep.run().metrics.writeJson(stats);
         stats << "\n";
         reports.push_back(std::move(rep));
     }
@@ -122,7 +156,7 @@ main(int argc, char **argv)
         std::ofstream os(outdir + "/fig13_warp_latency.csv");
         os << "scene,bucket_lo_cycles,bucket_hi_cycles,warps\n";
         for (const SceneReport &rep : reports) {
-            const Histogram &h = rep.run.rtWarpLatency;
+            const Histogram &h = rep.run().rtWarpLatency;
             for (std::size_t b = 0; b < h.buckets().size(); ++b) {
                 if (h.buckets()[b] == 0)
                     continue;
@@ -147,10 +181,10 @@ main(int argc, char **argv)
         os << "scene,cache,origin,accesses,hits,miss_compulsory,"
               "miss_capacity_conflict,write_miss\n";
         for (const SceneReport &rep : reports) {
-            writeCacheRows(os, rep.name, rep.run.metrics, "l1");
-            if (rep.run.metrics.get("gpu.rtcache.accesses.rtunit"))
-                writeCacheRows(os, rep.name, rep.run.metrics, "rtcache");
-            writeCacheRows(os, rep.name, rep.run.metrics, "l2");
+            writeCacheRows(os, rep.name, rep.run().metrics, "l1");
+            if (rep.run().metrics.get("gpu.rtcache.accesses.rtunit"))
+                writeCacheRows(os, rep.name, rep.run().metrics, "rtcache");
+            writeCacheRows(os, rep.name, rep.run().metrics, "l2");
         }
     }
 
@@ -160,7 +194,7 @@ main(int argc, char **argv)
         os << "scene,requests,row_hits,row_misses,utilization,"
               "efficiency,row_hit_rate,avg_blp\n";
         for (const SceneReport &rep : reports) {
-            const MetricsRegistry &m = rep.run.metrics;
+            const MetricsRegistry &m = rep.run().metrics;
             double hits =
                 static_cast<double>(m.get("gpu.dram.row_hits"));
             double misses =
@@ -170,8 +204,8 @@ main(int argc, char **argv)
             os << rep.name << "," << m.get("gpu.dram.requests") << ","
                << m.get("gpu.dram.row_hits") << ","
                << m.get("gpu.dram.row_misses") << ","
-               << formatJsonNumber(rep.run.dramUtilization()) << ","
-               << formatJsonNumber(rep.run.dramEfficiency()) << ","
+               << formatJsonNumber(rep.run().dramUtilization()) << ","
+               << formatJsonNumber(rep.run().dramEfficiency()) << ","
                << formatJsonNumber(hits + misses > 0
                                        ? hits / (hits + misses)
                                        : 0.0)
@@ -190,13 +224,13 @@ main(int argc, char **argv)
         os << "scene,sim_cycles,sim_host_s,sim_cycles_per_s,ref_host_s,"
               "ref_rays,sim_slowdown_vs_ref\n";
         for (const SceneReport &rep : reports) {
-            os << rep.name << "," << rep.run.cycles << ","
-               << formatJsonNumber(rep.run.hostSeconds) << ","
-               << formatJsonNumber(rep.run.cyclesPerHostSecond()) << ","
+            os << rep.name << "," << rep.run().cycles << ","
+               << formatJsonNumber(rep.run().hostSeconds) << ","
+               << formatJsonNumber(rep.run().cyclesPerHostSecond()) << ","
                << formatJsonNumber(rep.refSeconds) << ","
                << rep.ref.get("reftrace.rays") << ","
                << formatJsonNumber(rep.refSeconds > 0
-                                       ? rep.run.hostSeconds
+                                       ? rep.run().hostSeconds
                                              / rep.refSeconds
                                        : 0.0)
                << "\n";
