@@ -104,6 +104,44 @@ BM_TimedSim(benchmark::State &state)
 BENCHMARK(BM_TimedSim)->Unit(benchmark::kMillisecond);
 
 /**
+ * Idle-skip speedup on a DRAM-bound scene: a small ray-traced launch on
+ * the full 30-SM baseline machine leaves most SMs without warps and the
+ * busy ones latency-bound on DRAM, so the event-stepped scheduler
+ * (Arg 1) sleeps cold SMs and fast-forwards event-free fabric cycles,
+ * while lock-step mode (Arg 0) cycles all 30 SMs every cycle. Both args
+ * simulate the identical machine and produce identical stats; compare
+ * sim_cycles_per_s for the speedup.
+ */
+void
+BM_IdleSkip(benchmark::State &state)
+{
+    wl::WorkloadParams params;
+    params.width = 16;
+    params.height = 16;
+    params.rtv6Prims = 400;
+    GpuConfig config = baselineGpuConfig(); // 30 SMs, timed DRAM model
+    config.threads = 1;
+    config.idleSkip = state.range(0) != 0;
+    std::int64_t sim_cycles = 0;
+    std::int64_t skipped = 0;
+    for (auto _ : state) {
+        wl::Workload workload(wl::WorkloadId::RTV6, params);
+        RunResult run = simulateWorkload(workload, config);
+        benchmark::DoNotOptimize(run.cycles);
+        sim_cycles += static_cast<std::int64_t>(run.cycles);
+        skipped += static_cast<std::int64_t>(run.smCyclesSkipped);
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
+    state.counters["sm_cycles_skipped"] = benchmark::Counter(
+        static_cast<double>(skipped), benchmark::Counter::kAvgIterations);
+    state.SetLabel(config.idleSkip
+                       ? "16x16 RTV6, 30 SMs, idle-skip on"
+                       : "16x16 RTV6, 30 SMs, lock-step");
+}
+BENCHMARK(BM_IdleSkip)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/**
  * Parallel-engine wall-clock mode (ISSUE: simulated-cycles-per-second at
  * 1/2/4/8 engine threads). UseRealTime so the rate reflects the whole
  * pool, not just the calling thread.

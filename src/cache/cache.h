@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "check/check.h"
+#include "core/clockedunit.h"
 #include "util/stats.h"
 #include "util/types.h"
 
@@ -64,11 +65,20 @@ enum class CacheOutcome
 /**
  * Tag-array + MSHR model. The cache stores no data (functional state
  * lives in GlobalMemory); it tracks presence, LRU and outstanding misses.
+ *
+ * As a ClockedUnit the cache is *passive*: it has no pipeline of its
+ * own (timing is imposed by its owner), so cycle() is a no-op, idle()
+ * means "no outstanding MSHRs" and it never schedules an event.
  */
-class Cache
+class Cache : public ClockedUnit
 {
   public:
     explicit Cache(const CacheConfig &config);
+
+    /** ClockedUnit: passive — owners drive all timing. */
+    void cycle(Cycle now) override { (void)now; }
+    bool idle() const override { return mshrs_.empty(); }
+    Cycle nextEventCycle() const override { return kNoPendingEvent; }
 
     /**
      * Access `addr` (sector aligned) at time `now`.

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ClockDomain: a first-class clock-ratio descriptor.
+ *
+ * The DRAM clock used to be a fractional tick accumulator buried inside
+ * MemFabric::cycle(). Promoting it to a named object lets the engine
+ * scheduler reason about clock-domain crossings in one place: how many
+ * child-domain ticks a parent-domain cycle produces, and — critically
+ * for idle-skip — how many it *would* produce (peek) without mutating
+ * the accumulator.
+ *
+ * Bit-exactness note: advance() must replicate the historical IEEE-754
+ * sequence exactly (`accum += ratio; while (accum >= 1.0) accum -= 1.0`)
+ * so a fast-forwarded run accumulates the same rounding as a lock-step
+ * run. peek() runs the same sequence on a copy.
+ */
+
+#ifndef VKSIM_CORE_CLOCKDOMAIN_H
+#define VKSIM_CORE_CLOCKDOMAIN_H
+
+namespace vksim {
+
+class ClockDomain
+{
+  public:
+    ClockDomain() = default;
+    explicit ClockDomain(double ratio) : ratio_(ratio) {}
+
+    /** Child ticks per parent cycle (e.g. dramClockRatio). */
+    double ratio() const { return ratio_; }
+
+    void setRatio(double ratio) { ratio_ = ratio; }
+
+    /**
+     * Advance one parent cycle; returns the number of child-domain
+     * ticks that elapse. The exact FP sequence is part of the
+     * determinism contract — do not "simplify" it.
+     */
+    unsigned advance()
+    {
+        accum_ += ratio_;
+        unsigned ticks = 0;
+        while (accum_ >= 1.0) {
+            accum_ -= 1.0;
+            ++ticks;
+        }
+        return ticks;
+    }
+
+    /** What advance() would return, without mutating the accumulator. */
+    unsigned peek() const
+    {
+        double a = accum_ + ratio_;
+        unsigned ticks = 0;
+        while (a >= 1.0) {
+            a -= 1.0;
+            ++ticks;
+        }
+        return ticks;
+    }
+
+  private:
+    double ratio_ = 1.0;
+    double accum_ = 0.0;
+};
+
+} // namespace vksim
+
+#endif // VKSIM_CORE_CLOCKDOMAIN_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ClockedUnit: the stepping contract every timed unit implements.
+ *
+ * The engine scheduler (src/gpu/scheduler.h) no longer assumes a flat
+ * "cycle everything every cycle" machine. Instead each timed unit —
+ * SmCore, RtUnit, Cache, DramChannel, MemFabric — exposes the same
+ * four-point interface:
+ *
+ *  - cycle(now): advance one tick of the unit's *own* clock domain.
+ *  - idle(): no work this unit could make progress on right now.
+ *  - nextEventCycle(): the earliest tick (again in the unit's own
+ *    domain) at which the unit's observable state can change without
+ *    new external input. 0 means "every cycle"; kNoPendingEvent means
+ *    "never, until something is injected".
+ *  - wakeHint(now): external input arrived (warp dispatch, response
+ *    delivery); a sleeping unit must be resumed at `now`.
+ *
+ * The contract that makes idle-skip behavior-neutral: while a unit is
+ * asleep the scheduler may not call cycle() on it, and in exchange the
+ * unit guarantees that lock-step cycling over that span would have been
+ * a pure counter replay — no state transition, no stat other than the
+ * per-cycle heartbeat counters, no digest change. See DESIGN.md,
+ * "Stepping contract".
+ */
+
+#ifndef VKSIM_CORE_CLOCKEDUNIT_H
+#define VKSIM_CORE_CLOCKEDUNIT_H
+
+#include "util/types.h"
+
+namespace vksim {
+
+/** nextEventCycle() value meaning "no pending event at all". */
+inline constexpr Cycle kNoPendingEvent = ~Cycle(0);
+
+class ClockedUnit
+{
+  public:
+    virtual ~ClockedUnit() = default;
+
+    /** Advance one tick of this unit's clock domain. */
+    virtual void cycle(Cycle now) = 0;
+
+    /** True when the unit has no work it could progress on its own. */
+    virtual bool idle() const = 0;
+
+    /**
+     * Earliest tick (in this unit's clock domain) at which observable
+     * state can change without new external input. Conservative answers
+     * toward 0 are always safe; kNoPendingEvent promises quiescence.
+     */
+    virtual Cycle nextEventCycle() const = 0;
+
+    /** External input arrived; a sleeping unit must resume at `now`. */
+    virtual void wakeHint(Cycle now) { (void)now; }
+};
+
+} // namespace vksim
+
+#endif // VKSIM_CORE_CLOCKEDUNIT_H

@@ -61,6 +61,10 @@ addSimFlags(Cli &cli)
                "engine worker threads (0 = auto via VKSIM_THREADS / "
                "hardware)")
         .flag("serial", "run the serial engine (same as --threads=1)")
+        .flag("no-idle-skip",
+              "lock-step stepping: cycle every unit every cycle "
+              "(idle-skip is behavior-neutral; this is the debugging / "
+              "cross-check escape hatch)")
         .flag("perf", "print a host-performance summary per run")
         .option("check", "off|basic|full", "",
                 "self-validation level (default from VKSIM_CHECK)")
@@ -78,6 +82,8 @@ bool
 applySimFlags(const Cli &cli, GpuConfig *config)
 {
     config->threads = cli.threadCount();
+    if (cli.getBool("no-idle-skip"))
+        config->idleSkip = false;
     if (cli.getBool("perf"))
         config->printPerfSummary = true;
     if (cli.has("check")

@@ -35,7 +35,7 @@ DramChannel::enqueue(const MemRequest &req)
 }
 
 void
-DramChannel::tick(std::vector<MemRequest> *done, Cycle core_now)
+DramChannel::cycle(Cycle now)
 {
     ++nowDram_;
     stats_->counter("cycles").inc();
@@ -44,7 +44,7 @@ DramChannel::tick(std::vector<MemRequest> *done, Cycle core_now)
     for (std::size_t i = 0; i < inflight_.size();) {
         if (inflight_[i].doneAt <= nowDram_) {
             if (!inflight_[i].req.write)
-                done->push_back(inflight_[i].req);
+                completed_.push_back(inflight_[i].req);
             inflight_[i] = inflight_.back();
             inflight_.pop_back();
         } else {
@@ -75,7 +75,7 @@ DramChannel::tick(std::vector<MemRequest> *done, Cycle core_now)
         // Zero-latency DRAM: service everything immediately.
         while (!queue_.empty()) {
             if (!queue_.front().write)
-                done->push_back(queue_.front());
+                completed_.push_back(queue_.front());
             stats_->counter("requests").inc();
             queue_.pop_front();
         }
@@ -121,7 +121,7 @@ DramChannel::tick(std::vector<MemRequest> *done, Cycle core_now)
             timeline_->instant("dram.ch" + std::to_string(channelId_)
                                    + ".bank"
                                    + std::to_string(bankOf(req.addr)),
-                               "row_activate", core_now);
+                               "row_activate", now);
     } else {
         stats_->counter("row_hits").inc();
     }
@@ -134,6 +134,48 @@ DramChannel::tick(std::vector<MemRequest> *done, Cycle core_now)
     busFreeAt_ = data_end;
     bank.readyAt = data_end;
     inflight_.push_back({req, data_end});
+}
+
+void
+DramChannel::tickQuiescent()
+{
+    // Must mirror cycle()'s per-tick preamble exactly: same counters,
+    // same order. The retire loop and the FR-FCFS scan are omitted
+    // because the caller proved (nextEventCycle()) they would find
+    // nothing — on such a tick cycle() is this preamble and a scan
+    // that picks no request.
+    ++nowDram_;
+    stats_->counter("cycles").inc();
+    if (!queue_.empty() || !inflight_.empty())
+        stats_->counter("cycles_with_pending").inc();
+    unsigned busy_banks = 0;
+    for (const Bank &b : banks_)
+        if (b.readyAt > nowDram_)
+            ++busy_banks;
+    if (busy_banks > 0) {
+        stats_->counter("blp_samples").inc();
+        stats_->counter("blp_sum").inc(busy_banks);
+    }
+    if (busFreeAt_ > nowDram_)
+        stats_->counter("data_bus_busy").inc();
+}
+
+Cycle
+DramChannel::nextEventCycle() const
+{
+    if (perfect_)
+        return queue_.empty() ? kNoPendingEvent : nowDram_ + 1;
+    Cycle next = kNoPendingEvent;
+    // Soonest in-flight retirement (transfers already due fire on the
+    // next tick, because retirement happens after ++nowDram_).
+    for (const Inflight &f : inflight_)
+        next = std::min(next, std::max<Cycle>(f.doneAt, nowDram_ + 1));
+    // Soonest tick a queued request finds its bank ready for FR-FCFS.
+    for (const MemRequest &r : queue_)
+        next = std::min(next,
+                        std::max<Cycle>(banks_[bankOf(r.addr)].readyAt,
+                                        nowDram_ + 1));
+    return next;
 }
 
 bool
@@ -214,7 +256,7 @@ DramChannel::stateDigest() const
 // --- MemFabric ------------------------------------------------------------
 
 MemFabric::MemFabric(const FabricConfig &config, unsigned num_sms)
-    : config_(config)
+    : config_(config), dramClock_(config.dramClockRatio)
 {
     partitions_.resize(config_.numPartitions);
     for (unsigned p = 0; p < config_.numPartitions; ++p) {
@@ -331,13 +373,11 @@ MemFabric::cycle(Cycle now)
         }
     }
 
-    dramTickAccum_ += config_.dramClockRatio;
-    while (dramTickAccum_ >= 1.0) {
-        dramTickAccum_ -= 1.0;
+    unsigned ticks = dramClock_.advance();
+    for (unsigned t = 0; t < ticks; ++t) {
         for (Partition &p : partitions_) {
-            std::vector<MemRequest> done;
-            p.dram->tick(&done, now);
-            for (const MemRequest &req : done) {
+            p.dram->cycle(now);
+            for (const MemRequest &req : p.dram->completed()) {
                 // Fill the L2 and answer every merged miss.
                 std::vector<std::uint64_t> targets =
                     p.l2->fill(req.addr, now);
@@ -349,8 +389,50 @@ MemFabric::cycle(Cycle now)
                     p.pendingMiss.erase(it);
                 }
             }
+            p.dram->clearCompleted();
         }
     }
+}
+
+bool
+MemFabric::quiescentCycle(Cycle now)
+{
+    // An inbound request that would be *consumed* this cycle mutates L2
+    // or DRAM state — only a request held at the port (needs DRAM, DRAM
+    // queue full) makes partitionCycle a provable no-op.
+    for (const Partition &p : partitions_) {
+        if (p.inbound.empty() || p.inbound.front().first > now)
+            continue;
+        const MemRequest &req = p.inbound.front().second;
+        bool needs_dram = req.write
+                          || (!p.l2->contains(req.addr)
+                              && !p.l2->mshrPending(req.addr));
+        if (!needs_dram || p.dram->canAccept())
+            return false;
+    }
+
+    // Counter-track samples must be emitted by the real path.
+    if (timeline_ && timeline_->sampleDue(now))
+        return false;
+
+    // Every DRAM tick that would land in this core cycle must be event
+    // free on every channel (no retirement, no issuable request).
+    unsigned ticks = dramClock_.peek();
+    if (ticks > 0) {
+        for (const Partition &p : partitions_) {
+            Cycle next = p.dram->nextEventCycle();
+            if (next != kNoPendingEvent
+                && next <= p.dram->dramNow() + ticks)
+                return false;
+        }
+    }
+
+    // Commit: advance the clock crossing and replay the counters.
+    unsigned committed = dramClock_.advance();
+    for (unsigned t = 0; t < committed; ++t)
+        for (Partition &p : partitions_)
+            p.dram->tickQuiescent();
+    return true;
 }
 
 std::vector<MemRequest>

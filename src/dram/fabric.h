@@ -7,7 +7,8 @@
  * Sec. VI-C.
  *
  * The DRAM runs in its own clock domain (memory clock / core clock ratio
- * from Table III) via a fractional tick accumulator.
+ * from Table III) via a ClockDomain descriptor (src/core/clockdomain.h)
+ * the engine scheduler can inspect.
  */
 
 #ifndef VKSIM_DRAM_FABRIC_H
@@ -18,6 +19,8 @@
 #include <vector>
 
 #include "cache/cache.h"
+#include "core/clockdomain.h"
+#include "core/clockedunit.h"
 #include "util/timeline.h"
 
 namespace vksim {
@@ -56,7 +59,7 @@ struct FabricConfig
 };
 
 /** A banked DRAM channel with FR-FCFS scheduling. */
-class DramChannel
+class DramChannel : public ClockedUnit
 {
   public:
     DramChannel(const DramConfig &config, bool perfect, StatGroup *stats);
@@ -70,11 +73,36 @@ class DramChannel
     void enqueue(const MemRequest &req);
 
     /**
-     * One DRAM-clock tick; completed reads are appended to `done`.
-     * `core_now` is the core-clock cycle, used only to timestamp
-     * timeline events so DRAM tracks share the trace's clock.
+     * One DRAM-clock tick; completed reads land in completed().
+     * `now` is the *core*-clock cycle, used only to timestamp timeline
+     * events so DRAM tracks share the trace's clock.
      */
-    void tick(std::vector<MemRequest> *done, Cycle core_now = 0);
+    void cycle(Cycle now) override;
+
+    /** Reads retired by cycle() calls since the last clearCompleted(). */
+    const std::vector<MemRequest> &completed() const { return completed_; }
+    void clearCompleted() { completed_.clear(); }
+
+    /**
+     * A counter-only tick: advances the DRAM clock and the per-cycle
+     * utilization statistics exactly as cycle() would, without the
+     * scheduler scan. Only legal when the caller has proved (via
+     * nextEventCycle()) that a real tick could neither retire a
+     * transfer nor issue a queued request — a "quiescent" tick is then
+     * bit-identical to a real one.
+     */
+    void tickQuiescent();
+
+    /**
+     * ClockedUnit: earliest DRAM tick (this channel's own clock) at
+     * which state can change — the soonest in-flight retirement or the
+     * soonest tick a queued request finds its bank ready. Requests and
+     * retirements already due fire on the *next* tick (nowDram_ + 1).
+     */
+    Cycle nextEventCycle() const override;
+
+    /** Current tick of this channel's clock (nextEventCycle's frame). */
+    std::uint64_t dramNow() const { return nowDram_; }
 
     /** Timeline sink: row-activate instants on per-bank tracks. */
     void
@@ -85,7 +113,7 @@ class DramChannel
     }
 
     bool
-    idle() const
+    idle() const override
     {
         return queue_.empty() && inflight_.empty();
     }
@@ -125,6 +153,7 @@ class DramChannel
     std::deque<MemRequest> queue_;
     std::vector<Bank> banks_;
     std::vector<Inflight> inflight_;
+    std::vector<MemRequest> completed_;
     std::uint64_t nowDram_ = 0;
     std::uint64_t busFreeAt_ = 0;
     TimelineShard *timeline_ = nullptr;
@@ -135,7 +164,7 @@ class DramChannel
  * Interconnect + partitions. The owning GPU model calls cycle() once per
  * core clock and drains per-SM responses.
  */
-class MemFabric
+class MemFabric : public ClockedUnit
 {
   public:
     MemFabric(const FabricConfig &config, unsigned num_sms);
@@ -147,13 +176,45 @@ class MemFabric
     void inject(const MemRequest &req, Cycle now);
 
     /** Advance one core-clock cycle. */
-    void cycle(Cycle now);
+    void cycle(Cycle now) override;
+
+    /**
+     * The idle-skip fast path: advance one core cycle touching only
+     * per-cycle counters, *if* this cycle is provably a pure counter
+     * replay of cycle(now) — no inbound request would be consumed, no
+     * timeline sample is due, and no DRAM tick in this core cycle could
+     * retire a transfer or issue a queued request. Returns true when
+     * the quiescent cycle was committed (cycle(now) must NOT run too),
+     * false when nothing was done and the caller must run cycle(now).
+     */
+    bool quiescentCycle(Cycle now);
 
     /** Responses ready for SM `sm` at `now` (drained destructively). */
     std::vector<MemRequest> drainResponses(unsigned sm, Cycle now);
 
+    /** Any response queued for SM `sm` (ready or not) — wake check. */
+    bool
+    hasResponse(unsigned sm) const
+    {
+        return !responses_[sm].empty();
+    }
+
     /** All queues empty (for drain detection). */
-    bool idle() const;
+    bool idle() const override;
+
+    /**
+     * ClockedUnit: the fabric's conservative event estimate in core
+     * cycles. The exact skip decision lives in quiescentCycle(); this
+     * answers only "anything pending at all?" for the active-set logic.
+     */
+    Cycle nextEventCycle() const override
+    {
+        return idle() ? kNoPendingEvent : 0;
+    }
+
+    /** The core→DRAM clock-domain descriptor (first-class; the engine
+     *  scheduler reads the ratio from here, not from FabricConfig). */
+    const ClockDomain &dramClock() const { return dramClock_; }
 
     StatGroup &l2Stats(unsigned partition);
     StatGroup &dramStats() { return dramStats_; }
@@ -202,7 +263,8 @@ class MemFabric
     std::vector<Partition> partitions_;
     /// Per-SM response queues (ready cycle, request).
     std::vector<std::deque<std::pair<Cycle, MemRequest>>> responses_;
-    double dramTickAccum_ = 0.0;
+    /// Core→DRAM clock crossing (was a bare fractional accumulator).
+    ClockDomain dramClock_;
     StatGroup dramStats_{"dram"};
     TimelineShard *timeline_ = nullptr;
 };

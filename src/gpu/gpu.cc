@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cstdio>
 
+#include "gpu/scheduler.h"
 #include "util/log.h"
+#include "util/simerror.h"
 #include "util/threadpool.h"
 
 namespace vksim {
@@ -232,6 +234,43 @@ SmCore::idle() const
             return false;
     return !rtUnit_.busy() && ldstOps_.empty() && l1Queue_.empty()
            && tagReady_.empty() && stagedRequests_.empty();
+}
+
+bool
+SmCore::sleepable() const
+{
+    // idle() plus the two residues it tolerates: in-flight ALU/SFU
+    // writebacks (which retire on their own clock) and RT-unit write
+    // queues. With all of these empty, cycle() provably reduces to the
+    // counter replay catchUpIdleCycles() performs.
+    return idle() && writebacks_.empty() && rtUnit_.quiescent();
+}
+
+void
+SmCore::catchUpIdleCycles(Cycle from, Cycle to)
+{
+    if (to <= from)
+        return;
+    // What cycle() does on a sleepable SM, n times over: the RT unit
+    // heartbeat, the empty-issue counter, and any due timeline counter
+    // samples (whose values are frozen while asleep).
+    const Cycle n = to - from;
+    rtStats_.counter("unit_cycles").inc(n);
+    stats_.counter("idle_issue_cycles").inc(n);
+    if (timeline_ && timeline_->sampleInterval() != 0) {
+        const Cycle interval = timeline_->sampleInterval();
+        for (Cycle t = ((from + interval - 1) / interval) * interval;
+             t < to; t += interval) {
+            timeline_->counter("sched.resident_warps", t,
+                               residentWarps());
+            timeline_->counter("l1.mshrs", t, l1_.mshrsInUse());
+            if (rtCache_)
+                timeline_->counter("rtcache.mshrs", t,
+                                   rtCache_->mshrsInUse());
+            timeline_->counter("rtunit.active_rays", t,
+                               rtUnit_.activeRays());
+        }
+    }
 }
 
 void
@@ -853,6 +892,11 @@ GpuSimulator::run()
     std::uint32_t next_warp = 0;
     unsigned rr_sm = 0;
 
+    // Idle-skip active set (DESIGN.md, "Stepping contract"): quiescent
+    // SMs sleep, wake on dispatch or response delivery, and have their
+    // skipped spans replayed in bulk — bit-identical either way.
+    EngineScheduler sched(sms, config_.idleSkip);
+
     // Self-validation and differential-harness plumbing. Invariants are
     // swept at the cycle barrier, where no SM worker is running and all
     // cross-unit bookkeeping must balance; a violation panics with its
@@ -865,16 +909,41 @@ GpuSimulator::run()
         result.digests.period = std::max<Cycle>(1, config_.digestPeriod);
         result.digests.units = config_.numSms + 1;
     }
-    auto sweep = [&](Cycle cycle, bool deep) {
+    // A unit is swept only while awake: a sleeping SM's state (hence its
+    // invariants) is frozen by construction, and a fabric that just took
+    // a provably event-free cycle likewise cannot have broken anything a
+    // shallow sweep would catch. Deferred units are re-covered on wake
+    // and by the final deep sweep. The probe instrumentation lets tests
+    // observe the deferral (see GpuConfig::sweepProbeCycle).
+    auto probe_unit = [&](unsigned unit, Cycle cycle) {
+        if (result.sweepProbeHitCycle == ~Cycle(0)
+            && unit == config_.sweepProbeUnit
+            && cycle >= config_.sweepProbeCycle)
+            result.sweepProbeHitCycle = cycle;
+    };
+    auto sweep = [&](Cycle cycle, bool deep, bool fabric_quiet) {
         checker.setCycle(cycle);
-        for (auto &sm : sms)
-            sm->checkInvariants(checker, cycle, deep);
-        fabric.checkInvariants(checker, deep);
+        for (unsigned s = 0; s < config_.numSms; ++s) {
+            if (sched.asleep(s)) {
+                ++result.sweepUnitSkips;
+                continue;
+            }
+            sms[s]->checkInvariants(checker, cycle, deep);
+            ++result.sweepUnitChecks;
+            probe_unit(s, cycle);
+        }
+        if (fabric_quiet && !deep) {
+            ++result.sweepUnitSkips;
+        } else {
+            fabric.checkInvariants(checker, deep);
+            ++result.sweepUnitChecks;
+            probe_unit(config_.numSms, cycle);
+        }
     };
     auto collect_digests = [&](Cycle cycle) {
         for (unsigned u = 0; u <= config_.numSms; ++u) {
             std::uint64_t dg = u < config_.numSms
-                                   ? sms[u]->stateDigest()
+                                   ? sched.digest(u)
                                    : fabric.stateDigest();
             if (cycle == config_.digestInjectCycle
                 && u == config_.digestInjectUnit)
@@ -886,34 +955,55 @@ GpuSimulator::run()
     Cycle now = 0;
     while (true) {
         // Dispatch pending warps to SMs with free slots (round robin).
+        // A sleeping SM is woken *before* the dispatch attempt so its
+        // skipped span replays against the still-frozen state.
         for (unsigned attempt = 0;
              attempt < config_.numSms && next_warp < total_warps;
              ++attempt) {
             unsigned s = (rr_sm + attempt) % config_.numSms;
+            if (sched.asleep(s))
+                sched.wake(s, now);
             if (sms[s]->tryAddWarp(next_warp, now)) {
                 ++next_warp;
                 rr_sm = s + 1;
             }
         }
 
-        if (pool)
-            pool->parallelFor(sms.size(), [&](std::size_t s) {
-                sms[s]->cycle(now);
+        const std::vector<unsigned> &active = sched.active();
+        if (pool && active.size() > 1)
+            pool->parallelFor(active.size(), [&](std::size_t i) {
+                sms[active[i]]->cycle(now);
             });
         else
-            for (auto &sm : sms)
-                sm->cycle(now);
+            for (unsigned s : active)
+                sms[s]->cycle(now);
 
-        // Cycle barrier: drain staged SM traffic in fixed SM order, then
-        // advance the shared fabric.
-        for (auto &sm : sms)
-            sm->flushStagedRequests(now);
-        fabric.cycle(now);
+        // Cycle barrier: drain staged SM traffic in fixed (ascending)
+        // SM order — sleeping SMs stage nothing — then advance the
+        // shared fabric. When every SM sleeps, the fabric may take the
+        // counter-only fast path through a provably event-free cycle.
+        for (unsigned s : active)
+            sms[s]->flushStagedRequests(now);
+
+        const bool fabric_quiet =
+            sched.allAsleep() && fabric.quiescentCycle(now);
+        if (!fabric_quiet)
+            fabric.cycle(now);
+
+        // Deliverable response for a sleeping SM → wake it for the next
+        // cycle. Unreachable under the current sleep gate (sleeping SMs
+        // have no outstanding reads), but early wakes are always
+        // correct, so this stays as the safety net the wake-condition
+        // contract promises.
+        if (sched.enabled())
+            for (unsigned s = 0; s < config_.numSms; ++s)
+                if (sched.asleep(s) && fabric.hasResponse(s))
+                    sched.wake(s, now + 1);
 
         if (level != check::CheckLevel::Off) {
             bool deep = now % check::kBasicSweepPeriod == 0;
             if (level == check::CheckLevel::Full || deep)
-                sweep(now, deep);
+                sweep(now, deep, fabric_quiet);
         }
         if (digests_on && now % result.digests.period == 0)
             collect_digests(now);
@@ -928,20 +1018,35 @@ GpuSimulator::run()
 
         ++now;
         if (now >= config_.maxCycles)
-            vksim_fatal("GPU simulation exceeded the cycle watchdog");
+            throw SimError(
+                "GPU simulation exceeded the cycle watchdog ("
+                    + std::to_string(config_.maxCycles)
+                    + " cycles): the workload is runaway or the "
+                      "configuration cannot drain; raise maxCycles if "
+                      "the run is legitimately this long",
+                now);
 
         if (next_warp >= total_warps) {
             bool all_idle = fabric.idle();
-            for (auto &sm : sms)
-                all_idle = all_idle && sm->idle();
+            for (unsigned s = 0; s < config_.numSms && all_idle; ++s)
+                all_idle = sched.asleep(s) || sms[s]->idle();
             if (all_idle)
                 break;
         }
+
+        // Sleep transitions happen last: an SM that just went quiescent
+        // has executed cycle(now); the first cycle it skips is now + 1.
+        sched.reconcile(now);
     }
+
+    // Replay still-sleeping SMs to the end of the run, then the final
+    // deep sweep covers the fully caught-up machine.
+    sched.finish(now);
+    result.smCyclesSkipped = sched.skippedSmCycles();
 
     // Final deep sweep: the drained machine must balance exactly.
     if (level != check::CheckLevel::Off)
-        sweep(now, true);
+        sweep(now, true, false);
 
     result.cycles = now;
 
@@ -1015,11 +1120,14 @@ GpuSimulator::run()
     if (config_.printPerfSummary)
         std::fprintf(stderr,
                      "[vksim] perf: %.3f s host, %llu sim cycles, "
-                     "%.0f cycles/s, %u thread%s\n",
+                     "%.0f cycles/s, %u thread%s, %llu SM-cycles "
+                     "skipped\n",
                      result.hostSeconds,
                      static_cast<unsigned long long>(result.cycles),
                      result.cyclesPerHostSecond(), threads,
-                     threads == 1 ? "" : "s");
+                     threads == 1 ? "" : "s",
+                     static_cast<unsigned long long>(
+                         result.smCyclesSkipped));
     return result;
 }
 

@@ -18,6 +18,7 @@
 #include <set>
 
 #include "check/check.h"
+#include "core/clockedunit.h"
 #include "dram/fabric.h"
 #include "rtunit/rtunit.h"
 #include "util/image.h"
@@ -58,7 +59,17 @@ struct GpuConfig
     SchedPolicy sched = SchedPolicy::GTO;
 
     double coreClockMhz = 1365.0;
-    Cycle maxCycles = 500'000'000; ///< runaway watchdog
+    Cycle maxCycles = 500'000'000; ///< runaway watchdog (throws SimError)
+
+    /**
+     * Event-stepped idle skipping (`--no-idle-skip` disables): the
+     * engine scheduler puts quiescent SMs to sleep, wakes them on warp
+     * dispatch or response delivery, and fast-forwards the memory
+     * fabric through provably event-free cycles. Behavior-neutral by
+     * contract — stats JSON, digest traces, and images are bit-identical
+     * with this on or off (see DESIGN.md, "Stepping contract").
+     */
+    bool idleSkip = true;
 
     /** Occupancy trace sampling period (0 disables; Fig. 18). */
     Cycle occupancySamplePeriod = 0;
@@ -100,6 +111,17 @@ struct GpuConfig
      */
     Cycle digestInjectCycle = ~Cycle(0);
     unsigned digestInjectUnit = 0;
+
+    /**
+     * Sweep-probe instrumentation (tests only): record in
+     * RunResult::sweepProbeHitCycle the first cycle >= sweepProbeCycle
+     * at which unit `sweepProbeUnit` (SM index, or numSms for the
+     * fabric) was actually included in an invariant sweep. Lets tests
+     * observe that sweeps over sleeping units are deferred to wake /
+     * the final sweep rather than silently dropped.
+     */
+    Cycle sweepProbeCycle = ~Cycle(0);
+    unsigned sweepProbeUnit = 0;
 
     /**
      * Chrome-trace timeline sink (`--timeline=out.json`). Disabled when
@@ -150,6 +172,17 @@ struct RunResult
     double hostSeconds = 0.0; ///< wall-clock time of the run() call
     unsigned threadsUsed = 1; ///< engine threads the run executed with
 
+    /**
+     * Idle-skip engine observability. Deliberately *not* imported into
+     * `metrics` (they depend on whether skipping ran, which must not
+     * perturb the byte-identical stats dump) — exposed for tests, the
+     * perf summary and the benchmarks.
+     */
+    std::uint64_t smCyclesSkipped = 0;  ///< SM-cycles not simulated
+    std::uint64_t sweepUnitChecks = 0;  ///< per-unit invariant sweeps run
+    std::uint64_t sweepUnitSkips = 0;   ///< sweeps skipped (unit asleep)
+    Cycle sweepProbeHitCycle = ~Cycle(0); ///< see GpuConfig::sweepProbeCycle
+
     /** Per-barrier state digests (populated when digestTrace is set). */
     check::DigestTrace digests;
 
@@ -189,7 +222,7 @@ inline constexpr unsigned kRtLatencyBuckets = 200;
  * mutable state except the simulated GlobalMemory, which is internally
  * synchronized and written at per-thread-disjoint addresses.
  */
-class SmCore : public RtMemPort
+class SmCore : public RtMemPort, public ClockedUnit
 {
   public:
     SmCore(unsigned sm_id, const GpuConfig &config,
@@ -198,7 +231,7 @@ class SmCore : public RtMemPort
     /** Admit a warp if occupancy allows at cycle `now`. @return accepted */
     bool tryAddWarp(std::uint32_t warp_id, Cycle now);
 
-    void cycle(Cycle now);
+    void cycle(Cycle now) override;
 
     /**
      * Forward the memory requests staged during cycle(now) to the fabric,
@@ -208,7 +241,31 @@ class SmCore : public RtMemPort
     void flushStagedRequests(Cycle now);
 
     /** No resident warps and no in-flight work. */
-    bool idle() const;
+    bool idle() const override;
+
+    /**
+     * Stronger than idle(): cycling this SM would be a pure counter
+     * replay (no pending writebacks, RT unit fully quiescent down to
+     * its write queue), so the scheduler may put it to sleep. See
+     * catchUpIdleCycles() for exactly what such a cycle does.
+     */
+    bool sleepable() const;
+
+    /**
+     * Replay the per-cycle effects of [from, to) sleeping cycles in
+     * bulk: the heartbeat counters cycle() unconditionally advances on
+     * a sleepable SM (rt.unit_cycles, core.idle_issue_cycles) and any
+     * timeline counter samples due in the span, emitted with the
+     * frozen (unchanged) values. Bit-identical to calling cycle() for
+     * each cycle of the span while sleepable() held.
+     */
+    void catchUpIdleCycles(Cycle from, Cycle to);
+
+    /** ClockedUnit: nothing self-scheduled while sleepable. */
+    Cycle nextEventCycle() const override
+    {
+        return sleepable() ? kNoPendingEvent : 0;
+    }
 
     /** Currently resident (live) warps. */
     unsigned residentWarps() const;

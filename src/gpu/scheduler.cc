@@ -1,0 +1,71 @@
+#include "gpu/scheduler.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace vksim {
+
+EngineScheduler::EngineScheduler(
+    std::vector<std::unique_ptr<SmCore>> &sms, bool enabled)
+    : sms_(sms), enabled_(enabled)
+{
+    units_.resize(sms_.size());
+    active_.reserve(sms_.size());
+    for (unsigned s = 0; s < sms_.size(); ++s)
+        active_.push_back(s);
+}
+
+void
+EngineScheduler::wake(unsigned sm, Cycle resume)
+{
+    Unit &u = units_[sm];
+    if (u.awake)
+        return;
+    vksim_assert(resume >= u.sleepSince);
+    sms_[sm]->catchUpIdleCycles(u.sleepSince, resume);
+    skipped_ += resume - u.sleepSince;
+    u.awake = true;
+    u.digestValid = false;
+    active_.insert(
+        std::lower_bound(active_.begin(), active_.end(), sm), sm);
+}
+
+void
+EngineScheduler::reconcile(Cycle from)
+{
+    if (!enabled_)
+        return;
+    std::size_t kept = 0;
+    for (unsigned sm : active_) {
+        if (sms_[sm]->sleepable()) {
+            units_[sm].awake = false;
+            units_[sm].sleepSince = from;
+        } else {
+            active_[kept++] = sm;
+        }
+    }
+    active_.resize(kept);
+}
+
+std::uint64_t
+EngineScheduler::digest(unsigned sm)
+{
+    Unit &u = units_[sm];
+    if (u.awake)
+        return sms_[sm]->stateDigest();
+    if (!u.digestValid) {
+        u.digest = sms_[sm]->stateDigest();
+        u.digestValid = true;
+    }
+    return u.digest;
+}
+
+void
+EngineScheduler::finish(Cycle end)
+{
+    for (unsigned sm = 0; sm < units_.size(); ++sm)
+        wake(sm, end);
+}
+
+} // namespace vksim

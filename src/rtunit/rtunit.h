@@ -28,6 +28,7 @@
 
 #include "accel/traversal.h"
 #include "cache/cache.h"
+#include "core/clockedunit.h"
 #include "util/stats.h"
 #include "util/timeline.h"
 #include "vptx/context.h"
@@ -64,7 +65,7 @@ struct RtUnitConfig
 };
 
 /** The per-SM ray tracing accelerator. */
-class RtUnit
+class RtUnit : public ClockedUnit
 {
   public:
     RtUnit(const RtUnitConfig &config, const vptx::LaunchContext *ctx,
@@ -85,7 +86,7 @@ class RtUnit
     void onResponse(std::uint64_t tag, Cycle now);
 
     /** Advance one core cycle. */
-    void cycle(Cycle now);
+    void cycle(Cycle now) override;
 
     /** A finished traverse (functional completion is the SM's job). */
     struct Completion
@@ -98,6 +99,25 @@ class RtUnit
 
     /** Any warps resident? */
     bool busy() const { return liveEntries_ > 0; }
+
+    /**
+     * Totally quiescent: no resident warps *and* every queue drained.
+     * Stronger than !busy() — a fully quiescent unit's cycle() is a
+     * provable no-op, which is what the sleep gate needs.
+     */
+    bool quiescent() const
+    {
+        return liveEntries_ == 0 && memQueue_.empty()
+               && responseFifo_.empty() && writeQueue_.empty()
+               && inflight_.empty() && completions_.empty();
+    }
+
+    /** ClockedUnit: a quiescent RT unit has nothing scheduled. */
+    bool idle() const override { return quiescent(); }
+    Cycle nextEventCycle() const override
+    {
+        return quiescent() ? kNoPendingEvent : 0;
+    }
 
     /** Rays still traversing right now (Fig. 18 occupancy). */
     unsigned activeRays() const;

@@ -1,0 +1,253 @@
+#include "service/manifest.h"
+
+#include <cstddef>
+
+#include "core/vulkansim.h"
+
+namespace vksim::service {
+
+namespace {
+
+/** The complete set of keys a job entry may carry. */
+const char *const kJobKeys[] = {"name",   "workload", "width",
+                                "height", "scale",    "detail",
+                                "prims",  "fcc",      "config",
+                                "variant"};
+
+std::string
+jobPrefix(std::size_t index)
+{
+    return "job " + std::to_string(index) + ": ";
+}
+
+bool
+knownJobKey(const std::string &key)
+{
+    for (const char *k : kJobKeys)
+        if (key == k)
+            return true;
+    return false;
+}
+
+std::string
+validJobKeys()
+{
+    std::string keys;
+    for (const char *k : kJobKeys) {
+        if (!keys.empty())
+            keys += ", ";
+        keys += k;
+    }
+    return keys;
+}
+
+/**
+ * Typed field accessors: each returns false (with a message naming the
+ * job, the key, and the expected type) when the field is present but
+ * has the wrong JSON type. Absent fields keep the default.
+ */
+bool
+numberField(const JsonValue &job, std::size_t index,
+            const std::string &key, double *out, std::string *error)
+{
+    const JsonValue *v = job.member(key);
+    if (v == nullptr)
+        return true;
+    if (!v->isNumber()) {
+        *error = jobPrefix(index) + "field \"" + key
+                 + "\" must be a number";
+        return false;
+    }
+    *out = v->number;
+    return true;
+}
+
+bool
+stringField(const JsonValue &job, std::size_t index,
+            const std::string &key, std::string *out, std::string *error)
+{
+    const JsonValue *v = job.member(key);
+    if (v == nullptr)
+        return true;
+    if (!v->isString()) {
+        *error = jobPrefix(index) + "field \"" + key
+                 + "\" must be a string";
+        return false;
+    }
+    *out = v->str;
+    return true;
+}
+
+bool
+boolField(const JsonValue &job, std::size_t index, const std::string &key,
+          bool *out, std::string *error)
+{
+    const JsonValue *v = job.member(key);
+    if (v == nullptr)
+        return true;
+    if (v->kind != JsonValue::Kind::Bool) {
+        *error = jobPrefix(index) + "field \"" + key
+                 + "\" must be true or false";
+        return false;
+    }
+    *out = v->boolean;
+    return true;
+}
+
+bool
+workloadByName(const std::string &name, wl::WorkloadId *out)
+{
+    for (wl::WorkloadId id : wl::kAllWorkloads) {
+        if (name == wl::workloadName(id)) {
+            *out = id;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Validate and convert one manifest entry. */
+bool
+parseJob(const JsonValue &job, std::size_t index, const GpuConfig &base,
+         JobSpec *out, std::string *error)
+{
+    if (!job.isObject()) {
+        *error = jobPrefix(index) + "expected a JSON object";
+        return false;
+    }
+    // Unknown keys are hard errors: a misspelled "variant" silently
+    // running the baseline is the worst failure mode a sweep can have.
+    // JsonValue::object is a sorted map, so the first unknown key
+    // reported is deterministic.
+    for (const auto &[key, value] : job.object) {
+        (void)value;
+        if (!knownJobKey(key)) {
+            *error = jobPrefix(index) + "unknown key \"" + key
+                     + "\" (valid keys: " + validJobKeys() + ")";
+            return false;
+        }
+    }
+
+    std::string workload;
+    if (!stringField(job, index, "workload", &workload, error))
+        return false;
+    if (workload.empty()) {
+        *error = jobPrefix(index)
+                 + "missing required field \"workload\" "
+                   "(use TRI/REF/EXT/RTV5/RTV6)";
+        return false;
+    }
+    if (!workloadByName(workload, &out->workload)) {
+        *error = jobPrefix(index) + "unknown workload '" + workload
+                 + "' (use TRI/REF/EXT/RTV5/RTV6)";
+        return false;
+    }
+
+    double width = 32.0;
+    if (!numberField(job, index, "width", &width, error))
+        return false;
+    out->params.width = static_cast<unsigned>(width);
+    double height = width;
+    if (!numberField(job, index, "height", &height, error))
+        return false;
+    out->params.height = static_cast<unsigned>(height);
+    double scale = 0.25;
+    if (!numberField(job, index, "scale", &scale, error))
+        return false;
+    out->params.extScale = static_cast<float>(scale);
+    double detail = 5.0;
+    if (!numberField(job, index, "detail", &detail, error))
+        return false;
+    out->params.rtv5Detail = static_cast<unsigned>(detail);
+    double prims = 400.0;
+    if (!numberField(job, index, "prims", &prims, error))
+        return false;
+    out->params.rtv6Prims = static_cast<unsigned>(prims);
+    if (!boolField(job, index, "fcc", &out->params.fcc, error))
+        return false;
+
+    out->name = workload + std::to_string(index);
+    if (!stringField(job, index, "name", &out->name, error))
+        return false;
+
+    std::string config = "baseline";
+    if (!stringField(job, index, "config", &config, error))
+        return false;
+    if (config == "mobile")
+        out->config = mobileGpuConfig();
+    else if (config == "baseline")
+        out->config = baselineGpuConfig();
+    else {
+        *error = jobPrefix(index) + "unknown config '" + config
+                 + "' (use baseline or mobile)";
+        return false;
+    }
+    // Shared flags (check level etc.) folded into the per-job base.
+    out->config.checkLevel = base.checkLevel;
+    out->config.printPerfSummary = base.printPerfSummary;
+    out->config.idleSkip = base.idleSkip;
+
+    std::string variant = "baseline";
+    if (!stringField(job, index, "variant", &variant, error))
+        return false;
+    if (variant == "rtcache")
+        out->config = applyMemoryVariant(out->config, MemoryVariant::RtCache);
+    else if (variant == "perfectbvh")
+        out->config =
+            applyMemoryVariant(out->config, MemoryVariant::PerfectBvh);
+    else if (variant == "perfectmem")
+        out->config =
+            applyMemoryVariant(out->config, MemoryVariant::PerfectMem);
+    else if (variant != "baseline") {
+        *error = jobPrefix(index) + "unknown variant '" + variant
+                 + "' (use baseline/rtcache/perfectbvh/perfectmem)";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseManifest(const JsonValue &root, const GpuConfig &base,
+              std::vector<JobSpec> *out, std::string *error)
+{
+    if (!root.isObject()) {
+        *error = "manifest must be a JSON object with a \"jobs\" array";
+        return false;
+    }
+    for (const auto &[key, value] : root.object) {
+        (void)value;
+        if (key != "jobs") {
+            *error = "unknown top-level key \"" + key
+                     + "\" (the manifest is {\"jobs\": [...]})";
+            return false;
+        }
+    }
+    const JsonValue *jobs = root.member("jobs");
+    if (jobs == nullptr || !jobs->isArray() || jobs->array.empty()) {
+        *error = "expected a non-empty \"jobs\" array";
+        return false;
+    }
+    out->clear();
+    out->reserve(jobs->array.size());
+    for (std::size_t i = 0; i < jobs->array.size(); ++i) {
+        JobSpec spec;
+        if (!parseJob(jobs->array[i], i, base, &spec, error))
+            return false;
+        out->push_back(std::move(spec));
+    }
+    return true;
+}
+
+bool
+parseManifestText(const std::string &text, const GpuConfig &base,
+                  std::vector<JobSpec> *out, std::string *error)
+{
+    JsonValue root;
+    if (!parseJson(text, &root, error))
+        return false;
+    return parseManifest(root, base, out, error);
+}
+
+} // namespace vksim::service

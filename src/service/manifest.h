@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Batch-manifest parsing: the JSON job-list format consumed by
+ * tools/batchrun, validated strictly and turned into service::JobSpec
+ * entries.
+ *
+ * Validation happens up front, before anything touches a SimService:
+ * unknown keys (top-level or per-job), missing required fields, and
+ * wrongly typed values are all rejected with a message that names the
+ * offending job, the bad key, and the valid choices. A typo'd manifest
+ * therefore fails in milliseconds with a pointer at the typo, not after
+ * half a sweep has already simulated.
+ *
+ * Format — {"jobs": [ {...}, ... ]} with per-job fields:
+ *   name     string   job name (default: "<workload><index>")
+ *   workload string   TRI | REF | EXT | RTV5 | RTV6     (required)
+ *   width    number   launch width in pixels (default 32)
+ *   height   number   launch height (default: width)
+ *   scale    number   EXT tessellation fraction (default 0.25)
+ *   detail   number   RTV5 subdivision (default 5)
+ *   prims    number   RTV6 primitive count (default 400)
+ *   fcc      bool     lower traceRay with FCC (default false)
+ *   config   string   baseline | mobile (default baseline)
+ *   variant  string   baseline | rtcache | perfectbvh | perfectmem
+ */
+
+#ifndef VKSIM_SERVICE_MANIFEST_H
+#define VKSIM_SERVICE_MANIFEST_H
+
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "util/jsonio.h"
+
+namespace vksim::service {
+
+/**
+ * Parse and validate a batch manifest into JobSpecs. `base` carries the
+ * shared command-line flags (check level, perf summary) folded into
+ * every job's config. Returns false and sets *error on the first
+ * problem; *out is only meaningful on success.
+ */
+bool parseManifest(const JsonValue &root, const GpuConfig &base,
+                   std::vector<JobSpec> *out, std::string *error);
+
+/**
+ * parseManifest over raw JSON text; syntax errors are reported through
+ * *error the same way validation errors are.
+ */
+bool parseManifestText(const std::string &text, const GpuConfig &base,
+                       std::vector<JobSpec> *out, std::string *error);
+
+} // namespace vksim::service
+
+#endif // VKSIM_SERVICE_MANIFEST_H

@@ -60,6 +60,10 @@ JobTicket::get()
     if (!state_->done)
         service_->flush();
     vksim_assert(state_->done);
+    if (state_->failed)
+        throw SimError("job '" + state_->result.name
+                           + "' failed: " + state_->error,
+                       state_->errorCycle);
     return state_->result;
 }
 
@@ -153,8 +157,18 @@ SimService::runJob(Job &job, bool force_serial_engine)
         result.bvhCacheHit = workload->bvhCacheHit();
         result.pipelineCacheHit = workload->pipelineCacheHit();
     }
-    result.run = runPreparedWorkload(*workload, cfg);
-    result.image = workload->readFramebuffer();
+    // A SimError (cycle watchdog, other per-run failures) is parked on
+    // the ticket instead of propagating: job bodies run on the service
+    // pool, where an escaping exception would abort the whole batch.
+    // JobTicket::get() rethrows it to the caller of *this* job only.
+    try {
+        result.run = runPreparedWorkload(*workload, cfg);
+        result.image = workload->readFramebuffer();
+    } catch (const SimError &e) {
+        job.state->failed = true;
+        job.state->error = e.what();
+        job.state->errorCycle = e.cycle();
+    }
     job.state->done = true;
 }
 

@@ -43,6 +43,7 @@
 
 #include "gpu/gpu.h"
 #include "service/artifacts.h"
+#include "util/simerror.h"
 #include "util/threadpool.h"
 #include "workloads/workload.h"
 
@@ -86,7 +87,13 @@ class JobTicket
   public:
     JobTicket() = default;
 
-    /** Block until the job has run and return its result. */
+    /**
+     * Block until the job has run and return its result. A job that
+     * failed with a recoverable SimError (e.g. the cycle watchdog)
+     * rethrows that error *here*, from the ticket of the failed job
+     * only — the rest of the batch runs to completion and its tickets
+     * stay healthy.
+     */
     const JobResult &get();
 
     /**
@@ -97,6 +104,9 @@ class JobTicket
 
     bool valid() const { return state_ != nullptr; }
 
+    /** Ran and failed? (get() would rethrow; false before the flush.) */
+    bool failed() const { return state_ != nullptr && state_->failed; }
+
   private:
     friend class SimService;
 
@@ -104,6 +114,9 @@ class JobTicket
     {
         JobResult result;
         bool done = false;
+        bool failed = false;       ///< done, but with a SimError
+        std::string error;         ///< the SimError message
+        Cycle errorCycle = ~Cycle(0);
     };
 
     JobTicket(SimService *service, std::shared_ptr<State> state)

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SimError: a recoverable simulation failure.
+ *
+ * Historically every runtime failure in the engine went through
+ * vksim_fatal(), which aborts the process — correct for programming
+ * errors, but wrong for *per-job* conditions like the cycle watchdog
+ * tripping on a runaway workload: one bad job in a SimService batch
+ * would kill every other job's results along with the service process.
+ *
+ * SimError is thrown instead for failures scoped to a single simulation
+ * run. SimService::runJob() catches it and parks the error on the job's
+ * ticket; JobTicket::get() rethrows it to the caller that asked for
+ * that job, leaving the rest of the batch intact.
+ */
+
+#ifndef VKSIM_UTIL_SIMERROR_H
+#define VKSIM_UTIL_SIMERROR_H
+
+#include <stdexcept>
+#include <string>
+
+#include "util/types.h"
+
+namespace vksim {
+
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &message,
+                      Cycle cycle = ~Cycle(0))
+        : std::runtime_error(message), cycle_(cycle)
+    {
+    }
+
+    /** Sim cycle at which the failure occurred (~Cycle(0) = unknown). */
+    Cycle cycle() const { return cycle_; }
+
+  private:
+    Cycle cycle_;
+};
+
+} // namespace vksim
+
+#endif // VKSIM_UTIL_SIMERROR_H

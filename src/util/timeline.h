@@ -62,6 +62,9 @@ class TimelineShard
         return sampleInterval_ != 0 && now % sampleInterval_ == 0;
     }
 
+    /** Counter-sample period in cycles (0 = sampling disabled). */
+    Cycle sampleInterval() const { return sampleInterval_; }
+
     std::uint64_t dropped() const { return dropped_; }
     std::size_t eventCount() const { return events_.size(); }
 

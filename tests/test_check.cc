@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <sstream>
 
 #include "check/accelcheck.h"
 #include "check/check.h"
@@ -313,6 +314,77 @@ TEST(CheckEndToEndTest, InjectedDigestFaultIsLocalized)
 
     // The injection only touches the trace, not the simulation.
     EXPECT_EQ(ref.cycles, fault.cycles);
+}
+
+// --- idle-skip x invariant sweeps --------------------------------------
+
+// The scheduler proves sleeping units frozen, so Full-level sweeps skip
+// them. The run must be observably identical (stats, cycles) while the
+// per-unit sweep count drops; lock-step mode must sweep everything and
+// skip nothing. (That skipped units still *catch* violations once awake
+// is covered by RetiredWarpLeavesNoStaleWritebacks above, which plants
+// a real violation and runs with idle-skip at its default, on.)
+TEST(CheckEndToEndTest, FullSweepsSkipSleepingUnits)
+{
+    WorkloadParams p = tiny(WorkloadId::TRI);
+    p.width = 8;
+    p.height = 8; // 2 warps on 4 SMs: half the machine sleeps all run
+    GpuConfig cfg = smallConfig(4);
+    cfg.checkLevel = check::CheckLevel::Full;
+    cfg.threads = 1;
+
+    Workload w_skip(WorkloadId::TRI, p);
+    RunResult skip = simulateWorkload(w_skip, cfg);
+
+    GpuConfig lockstep = cfg;
+    lockstep.idleSkip = false;
+    Workload w_lock(WorkloadId::TRI, p);
+    RunResult lock = simulateWorkload(w_lock, lockstep);
+
+    // Identical observable behavior...
+    EXPECT_EQ(skip.cycles, lock.cycles);
+    std::ostringstream sj, lj;
+    skip.metrics.writeJson(sj, 2);
+    lock.metrics.writeJson(lj, 2);
+    EXPECT_EQ(sj.str(), lj.str());
+
+    // ...but far fewer unit sweeps: the warp-less SMs are asleep.
+    EXPECT_EQ(lock.sweepUnitSkips, 0u);
+    EXPECT_GT(skip.sweepUnitSkips, 0u);
+    EXPECT_LT(skip.sweepUnitChecks, lock.sweepUnitChecks);
+    EXPECT_GT(skip.smCyclesSkipped, 0u);
+    EXPECT_EQ(lock.smCyclesSkipped, 0u);
+}
+
+// The probe pins down *when* a deferred unit is re-covered: in
+// lock-step mode a Full sweep touches every SM every cycle, so the
+// probe fires exactly at the requested cycle; with idle-skip on, an SM
+// that never receives a warp sleeps through the whole run and is only
+// swept again by the final deep sweep over the woken machine.
+TEST(CheckEndToEndTest, SleepingUnitSweepIsDeferredToWake)
+{
+    WorkloadParams p = tiny(WorkloadId::TRI);
+    p.width = 8;
+    p.height = 4; // one warp: SMs 1-3 never see work
+    GpuConfig cfg = smallConfig(4);
+    cfg.checkLevel = check::CheckLevel::Full;
+    cfg.threads = 1;
+    cfg.sweepProbeCycle = 64;
+    cfg.sweepProbeUnit = 3;
+
+    GpuConfig lockstep = cfg;
+    lockstep.idleSkip = false;
+    Workload w_lock(WorkloadId::TRI, p);
+    RunResult lock = simulateWorkload(w_lock, lockstep);
+    ASSERT_GT(lock.cycles, 64u);
+    EXPECT_EQ(lock.sweepProbeHitCycle, 64u);
+
+    Workload w_skip(WorkloadId::TRI, p);
+    RunResult skip = simulateWorkload(w_skip, cfg);
+    EXPECT_NE(skip.sweepProbeHitCycle, ~Cycle(0));
+    EXPECT_GT(skip.sweepProbeHitCycle, 64u);
+    // The final deep sweep (cycle == total cycles) is what re-covers it.
+    EXPECT_EQ(skip.sweepProbeHitCycle, skip.cycles);
 }
 
 // Digest sampling every cycle and every 16th cycle must agree wherever

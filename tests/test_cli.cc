@@ -3,7 +3,10 @@
  * Tests for the unified driver command-line parser (src/util/cli) and
  * the shared simulator flag set (addSimFlags/applySimFlags): defaults,
  * explicit values, error handling for unknown/malformed flags, --help,
- * and the --threads/--serial -> GpuConfig mapping.
+ * and the --threads/--serial -> GpuConfig mapping. Also covers the
+ * batch-manifest validator (service/manifest.h) batchrun is built on:
+ * unknown keys, missing required fields, and mistyped values must be
+ * rejected with actionable messages before anything is submitted.
  */
 
 #include <gtest/gtest.h>
@@ -12,6 +15,7 @@
 #include <vector>
 
 #include "core/vulkansim.h"
+#include "service/manifest.h"
 #include "util/cli.h"
 
 namespace vksim {
@@ -157,6 +161,125 @@ TEST(Cli, BadCheckLevelRejected)
     ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
     GpuConfig config = baselineGpuConfig();
     EXPECT_FALSE(applySimFlags(cli, &config));
+}
+
+TEST(Cli, NoIdleSkipFlagMapsOntoGpuConfig)
+{
+    Cli cli = makeCli();
+    addSimFlags(cli);
+    Argv a({"--no-idle-skip"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    GpuConfig config = baselineGpuConfig();
+    EXPECT_TRUE(config.idleSkip);
+    ASSERT_TRUE(applySimFlags(cli, &config));
+    EXPECT_FALSE(config.idleSkip);
+}
+
+/** parseManifestText over a literal, returning only success. */
+bool
+parseText(const std::string &text, std::vector<service::JobSpec> *out,
+          std::string *error)
+{
+    return service::parseManifestText(text, baselineGpuConfig(), out,
+                                      error);
+}
+
+TEST(Manifest, ValidManifestParsesWithDefaults)
+{
+    std::vector<service::JobSpec> specs;
+    std::string error;
+    ASSERT_TRUE(parseText(R"({"jobs": [
+        {"workload": "TRI"},
+        {"workload": "RTV6", "name": "big", "width": 64, "prims": 900,
+         "fcc": true, "config": "mobile", "variant": "rtcache"}
+    ]})",
+                          &specs, &error))
+        << error;
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].workload, wl::WorkloadId::TRI);
+    EXPECT_EQ(specs[0].name, "TRI0");
+    EXPECT_EQ(specs[0].params.width, 32u);
+    EXPECT_EQ(specs[0].params.height, 32u);
+    EXPECT_EQ(specs[1].workload, wl::WorkloadId::RTV6);
+    EXPECT_EQ(specs[1].name, "big");
+    EXPECT_EQ(specs[1].params.width, 64u);
+    EXPECT_EQ(specs[1].params.rtv6Prims, 900u);
+    EXPECT_TRUE(specs[1].params.fcc);
+    EXPECT_TRUE(specs[1].config.useRtCache);
+}
+
+TEST(Manifest, UnknownJobKeyRejectedWithValidKeyList)
+{
+    std::vector<service::JobSpec> specs;
+    std::string error;
+    EXPECT_FALSE(parseText(
+        R"({"jobs": [{"workload": "TRI", "varient": "rtcache"}]})",
+        &specs, &error));
+    EXPECT_NE(error.find("job 0"), std::string::npos) << error;
+    EXPECT_NE(error.find("varient"), std::string::npos) << error;
+    EXPECT_NE(error.find("variant"), std::string::npos) << error;
+}
+
+TEST(Manifest, MissingWorkloadIsActionable)
+{
+    std::vector<service::JobSpec> specs;
+    std::string error;
+    EXPECT_FALSE(parseText(R"({"jobs": [{"workload": "TRI"},
+                                        {"width": 32}]})",
+                           &specs, &error));
+    EXPECT_NE(error.find("job 1"), std::string::npos) << error;
+    EXPECT_NE(error.find("workload"), std::string::npos) << error;
+    EXPECT_NE(error.find("RTV6"), std::string::npos) << error;
+}
+
+TEST(Manifest, UnknownTopLevelKeyRejected)
+{
+    std::vector<service::JobSpec> specs;
+    std::string error;
+    EXPECT_FALSE(parseText(
+        R"({"jobs": [{"workload": "TRI"}], "threads": 4})", &specs,
+        &error));
+    EXPECT_NE(error.find("threads"), std::string::npos) << error;
+}
+
+TEST(Manifest, MistypedFieldRejected)
+{
+    std::vector<service::JobSpec> specs;
+    std::string error;
+    EXPECT_FALSE(parseText(
+        R"({"jobs": [{"workload": "TRI", "width": "32"}]})", &specs,
+        &error));
+    EXPECT_NE(error.find("width"), std::string::npos) << error;
+    EXPECT_NE(error.find("number"), std::string::npos) << error;
+}
+
+TEST(Manifest, UnknownVariantAndConfigRejected)
+{
+    std::vector<service::JobSpec> specs;
+    std::string error;
+    EXPECT_FALSE(parseText(
+        R"({"jobs": [{"workload": "TRI", "variant": "magic"}]})", &specs,
+        &error));
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+    EXPECT_NE(error.find("perfectmem"), std::string::npos) << error;
+    EXPECT_FALSE(parseText(
+        R"({"jobs": [{"workload": "TRI", "config": "desktop"}]})", &specs,
+        &error));
+    EXPECT_NE(error.find("desktop"), std::string::npos) << error;
+    EXPECT_NE(error.find("mobile"), std::string::npos) << error;
+}
+
+TEST(Manifest, EmptyOrMalformedJobsRejected)
+{
+    std::vector<service::JobSpec> specs;
+    std::string error;
+    EXPECT_FALSE(parseText(R"({"jobs": []})", &specs, &error));
+    EXPECT_NE(error.find("jobs"), std::string::npos) << error;
+    EXPECT_FALSE(parseText(R"([1, 2])", &specs, &error));
+    EXPECT_FALSE(parseText(R"({"jobs": [42]})", &specs, &error));
+    EXPECT_NE(error.find("object"), std::string::npos) << error;
+    EXPECT_FALSE(parseText("{nope", &specs, &error));
+    EXPECT_FALSE(error.empty());
 }
 
 } // namespace

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The idle-skip acceptance suite (DESIGN.md, "Stepping contract"):
+ * event-stepped clocking — sleeping quiescent SMs, bulk-replaying their
+ * heartbeat on wake, and fast-forwarding the fabric through provably
+ * event-free cycles — must be *unobservable*. For every workload, a run
+ * with idle-skip enabled must match the lock-step run bit for bit:
+ * cycle count, every stat group, the full metrics JSON, the digest
+ * trace, the occupancy trace, and the rendered image — on the serial
+ * and the threaded engine alike. The only permitted difference is the
+ * skip telemetry itself (RunResult::smCyclesSkipped), which is kept out
+ * of the metrics registry for exactly that reason.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/vulkansim.h"
+
+namespace vksim {
+namespace {
+
+using wl::Workload;
+using wl::WorkloadId;
+using wl::WorkloadParams;
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.width = 16;
+    p.height = 16;
+    p.extScale = 0.1f;
+    p.rtv5Detail = 3;
+    p.rtv6Prims = 400;
+    return p;
+}
+
+GpuConfig
+engineConfig(bool idle_skip, unsigned threads)
+{
+    GpuConfig cfg = baselineGpuConfig();
+    cfg.numSms = 8; // enough SMs that some go quiescent mid-run
+    cfg.fabric.numPartitions = 2;
+    cfg.maxCycles = 100'000'000;
+    cfg.occupancySamplePeriod = 64;
+    cfg.digestTrace = true;
+    cfg.idleSkip = idle_skip;
+    cfg.threads = threads;
+    return cfg;
+}
+
+void
+expectSameStats(const StatGroup &a, const StatGroup &b, const char *what)
+{
+    ASSERT_EQ(a.counters().size(), b.counters().size()) << what;
+    auto ib = b.counters().begin();
+    for (const auto &[name, counter] : a.counters()) {
+        EXPECT_EQ(name, ib->first) << what;
+        EXPECT_EQ(counter.value(), ib->second.value())
+            << what << "." << name;
+        ++ib;
+    }
+}
+
+void
+expectSameRun(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    expectSameStats(a.core, b.core, "core");
+    expectSameStats(a.rt, b.rt, "rt");
+    expectSameStats(a.l1, b.l1, "l1");
+    expectSameStats(a.dram, b.dram, "dram");
+    expectSameStats(a.l2, b.l2, "l2");
+    EXPECT_EQ(a.occupancyTrace, b.occupancyTrace);
+    EXPECT_EQ(a.metrics.toJson(), b.metrics.toJson());
+
+    // The digest trace hashes the complete architectural state of every
+    // unit at every sample; equality here means skipped cycles left no
+    // trace anywhere in the machine.
+    ASSERT_EQ(a.digests.units, b.digests.units);
+    ASSERT_EQ(a.digests.period, b.digests.period);
+    ASSERT_EQ(a.digests.values.size(), b.digests.values.size());
+    EXPECT_FALSE(a.digests.firstDivergence(b.digests).diverged);
+}
+
+class IdleSkipEquivalenceTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IdleSkipEquivalenceTest, BitIdenticalToLockStep)
+{
+    auto id = static_cast<WorkloadId>(GetParam());
+
+    // The lock-step reference: every unit cycled every cycle.
+    Workload ref_wl(id, tinyParams());
+    RunResult ref =
+        simulateWorkload(ref_wl, engineConfig(/*idle_skip=*/false, 1));
+    Image ref_img = ref_wl.readFramebuffer();
+    EXPECT_EQ(ref.smCyclesSkipped, 0u);
+
+    for (unsigned threads : {1u, 4u}) {
+        Workload skip_wl(id, tinyParams());
+        RunResult skip = simulateWorkload(
+            skip_wl, engineConfig(/*idle_skip=*/true, threads));
+        expectSameRun(ref, skip);
+        EXPECT_EQ(ref_img.data(), skip_wl.readFramebuffer().data())
+            << "framebuffer differs at " << threads << " threads";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, IdleSkipEquivalenceTest, ::testing::Values(0, 1, 2, 3, 4),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return std::string(
+            wl::workloadName(static_cast<WorkloadId>(info.param)));
+    });
+
+// The scheduler must actually skip something on a workload with cold
+// SMs, or the suite above is vacuous.
+TEST(IdleSkipTest, ColdSmsAreSkipped)
+{
+    WorkloadParams p = tinyParams();
+    p.width = 8;
+    p.height = 4; // one warp on an 8-SM machine
+    Workload w(WorkloadId::TRI, p);
+    RunResult run = simulateWorkload(w, engineConfig(true, 1));
+    // Seven SMs sleep essentially the whole run.
+    EXPECT_GT(run.smCyclesSkipped, 6u * run.cycles);
+}
+
+} // namespace
+} // namespace vksim

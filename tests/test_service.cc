@@ -295,5 +295,48 @@ TEST(SimService, BatchStatsAreByteIdenticalAcrossThreadsAndOrder)
     EXPECT_EQ(serial, wide);
 }
 
+/** Satellite of the clocked-core PR: a runaway job must fail its own
+ *  ticket with a structured SimError — not kill the whole service
+ *  process the way the old vksim_fatal watchdog did — and its batch
+ *  siblings must run to completion untouched. */
+TEST(SimService, WatchdogFailsOneTicketNotTheBatch)
+{
+    service::SimService svc({2});
+
+    service::JobSpec runaway;
+    runaway.name = "runaway";
+    runaway.workload = wl::WorkloadId::TRI;
+    runaway.params = smallParams();
+    runaway.config = baselineGpuConfig();
+    runaway.config.threads = 0;
+    runaway.config.maxCycles = 10; // guaranteed watchdog trip
+
+    service::JobSpec healthy = runaway;
+    healthy.name = "healthy";
+    healthy.config.maxCycles = 50'000'000;
+
+    service::JobTicket bad = svc.submit(runaway);
+    service::JobTicket good = svc.submit(healthy);
+    svc.flush();
+
+    EXPECT_TRUE(bad.failed());
+    try {
+        bad.get();
+        FAIL() << "get() on a watchdog-tripped job did not throw";
+    } catch (const SimError &e) {
+        std::string message = e.what();
+        EXPECT_NE(message.find("runaway"), std::string::npos) << message;
+        EXPECT_NE(message.find("watchdog"), std::string::npos) << message;
+        EXPECT_EQ(e.cycle(), 10u);
+    }
+
+    EXPECT_FALSE(good.failed());
+    const service::JobResult &result = good.get();
+    EXPECT_EQ(result.name, "healthy");
+    EXPECT_GT(result.run.cycles, 10u);
+    EXPECT_EQ(result.image.width(), 8u);
+    EXPECT_EQ(result.image.height(), 8u);
+}
+
 } // namespace
 } // namespace vksim

@@ -203,6 +203,37 @@ TEST(PowerTest, BreakdownMatchesPaperShape)
     EXPECT_LT(power.fractionOf(power.rtUnitJoules), 0.01);
 }
 
+// The DRAM clock-domain ratio is now a first-class ClockDomain on the
+// fabric: sweeping it must behave physically (a faster DRAM clock never
+// slows the run down) and every crossing must survive a Full-level
+// invariant sweep, including the non-integer ratio shipped in the
+// baseline config (3500 MHz DRAM over 1365 MHz core).
+TEST(ClockDomainTest, FasterDramClockIsMonotoneAndCheckerClean)
+{
+    WorkloadParams p = tinyParams(WorkloadId::EXT);
+    auto run_ratio = [&](double ratio) {
+        Workload w(WorkloadId::EXT, p);
+        GpuConfig cfg = fastConfig();
+        cfg.fabric.dramClockRatio = ratio;
+        cfg.checkLevel = check::CheckLevel::Full;
+        cfg.threads = 1;
+        RunResult r = simulateWorkload(w, cfg);
+        EXPECT_EQ(compareImages(w.readFramebuffer(),
+                                w.renderReferenceImage())
+                      .differingPixels,
+                  0u)
+            << "ratio " << ratio;
+        return r.cycles;
+    };
+    // Ratios in ascending DRAM speed: 1.0 < 2.0 < 3500/1365 (~2.56).
+    Cycle unit = run_ratio(1.0);
+    Cycle doubled = run_ratio(2.0);
+    Cycle paper = run_ratio(3500.0 / 1365.0);
+    EXPECT_GE(unit, doubled);
+    EXPECT_GE(doubled, paper);
+    EXPECT_GT(unit, paper);
+}
+
 TEST(OccupancyTraceTest, SamplesWhenEnabled)
 {
     Workload w(WorkloadId::REF, tinyParams(WorkloadId::REF));

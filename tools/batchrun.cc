@@ -23,17 +23,9 @@
  * for any --threads value and any manifest job order (the determinism
  * contract, extended to batches). Wall-clock goes to stdout only.
  *
- * Manifest format — {"jobs": [ {...}, ... ]} with per-job fields:
- *   name     string   job name (default: "<workload><index>")
- *   workload string   TRI | REF | EXT | RTV5 | RTV6     (required)
- *   width    number   launch width in pixels (default 32)
- *   height   number   launch height (default: width)
- *   scale    number   EXT tessellation fraction (default 0.25)
- *   detail   number   RTV5 subdivision (default 5)
- *   prims    number   RTV6 primitive count (default 400)
- *   fcc      bool     lower traceRay with FCC (default false)
- *   config   string   baseline | mobile (default baseline)
- *   variant  string   baseline | rtcache | perfectbvh | perfectmem
+ * The manifest format (and its strict validation: unknown keys, missing
+ * required fields, and mistyped values are all rejected before anything
+ * is submitted) lives in service/manifest.h.
  *
  * Usage: batchrun --manifest=jobs.json [--out=results.json]
  *                 [--threads=N] [--serial] [--check=off|basic|full]
@@ -41,6 +33,10 @@
  * --threads sets the *service* lanes (concurrent jobs); each job's
  * engine runs serially inside its lane. See tools/manifests/ for the CI
  * smoke manifest and the Figure-15 sweep.
+ *
+ * A job that fails with a recoverable SimError (e.g. the cycle
+ * watchdog) is reported on stderr and omitted from the results file;
+ * the rest of the batch still completes and batchrun exits nonzero.
  */
 
 #include <chrono>
@@ -51,111 +47,16 @@
 #include <vector>
 
 #include "core/vulkansim.h"
+#include "service/manifest.h"
 #include "service/service.h"
 #include "util/cli.h"
 #include "util/jsonio.h"
 
-namespace {
-
-using namespace vksim;
-
-/** Numeric member with a default. */
-double
-numberOr(const JsonValue &job, const std::string &key, double fallback)
-{
-    const JsonValue *v = job.member(key);
-    return v != nullptr && v->isNumber() ? v->number : fallback;
-}
-
-std::string
-stringOr(const JsonValue &job, const std::string &key,
-         const std::string &fallback)
-{
-    const JsonValue *v = job.member(key);
-    return v != nullptr && v->isString() ? v->str : fallback;
-}
-
-bool
-boolOr(const JsonValue &job, const std::string &key, bool fallback)
-{
-    const JsonValue *v = job.member(key);
-    return v != nullptr && v->kind == JsonValue::Kind::Bool ? v->boolean
-                                                            : fallback;
-}
-
-bool
-workloadByName(const std::string &name, wl::WorkloadId *out)
-{
-    for (wl::WorkloadId id : wl::kAllWorkloads) {
-        if (name == wl::workloadName(id)) {
-            *out = id;
-            return true;
-        }
-    }
-    return false;
-}
-
-/** Parse one manifest entry into a JobSpec; false + message on error. */
-bool
-parseJob(const JsonValue &job, std::size_t index, const GpuConfig &base,
-         service::JobSpec *out, std::string *error)
-{
-    std::string workload = stringOr(job, "workload", "");
-    if (!workloadByName(workload, &out->workload)) {
-        *error = "job " + std::to_string(index) + ": unknown workload '"
-                 + workload + "' (use TRI/REF/EXT/RTV5/RTV6)";
-        return false;
-    }
-    out->params.width =
-        static_cast<unsigned>(numberOr(job, "width", 32));
-    out->params.height = static_cast<unsigned>(
-        numberOr(job, "height", out->params.width));
-    out->params.extScale =
-        static_cast<float>(numberOr(job, "scale", 0.25));
-    out->params.rtv5Detail =
-        static_cast<unsigned>(numberOr(job, "detail", 5));
-    out->params.rtv6Prims =
-        static_cast<unsigned>(numberOr(job, "prims", 400));
-    out->params.fcc = boolOr(job, "fcc", false);
-    out->name = stringOr(job, "name", workload + std::to_string(index));
-
-    std::string config = stringOr(job, "config", "baseline");
-    if (config == "mobile")
-        out->config = mobileGpuConfig();
-    else if (config == "baseline")
-        out->config = baselineGpuConfig();
-    else {
-        *error = "job " + std::to_string(index) + ": unknown config '"
-                 + config + "' (use baseline or mobile)";
-        return false;
-    }
-    // Shared flags (check level etc.) folded into the per-job base.
-    out->config.checkLevel = base.checkLevel;
-    out->config.printPerfSummary = base.printPerfSummary;
-
-    std::string variant = stringOr(job, "variant", "baseline");
-    if (variant == "rtcache")
-        out->config = applyMemoryVariant(out->config, MemoryVariant::RtCache);
-    else if (variant == "perfectbvh")
-        out->config =
-            applyMemoryVariant(out->config, MemoryVariant::PerfectBvh);
-    else if (variant == "perfectmem")
-        out->config =
-            applyMemoryVariant(out->config, MemoryVariant::PerfectMem);
-    else if (variant != "baseline") {
-        *error = "job " + std::to_string(index) + ": unknown variant '"
-                 + variant
-                 + "' (use baseline/rtcache/perfectbvh/perfectmem)";
-        return false;
-    }
-    return true;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
+    using namespace vksim;
+
     Cli cli("batchrun --manifest=<jobs.json> [flags]",
             "Run a manifest of simulation jobs through one SimService "
             "(parallel jobs, shared artifact cache, one results file).");
@@ -178,33 +79,23 @@ main(int argc, char **argv)
         std::fprintf(stderr, "batchrun: %s\n", error.c_str());
         return 1;
     }
-    JsonValue manifest;
-    if (!parseJson(text, &manifest, &error)) {
-        std::fprintf(stderr, "batchrun: %s: %s\n", manifest_path.c_str(),
-                     error.c_str());
-        return 1;
-    }
-    const JsonValue *jobs = manifest.member("jobs");
-    if (jobs == nullptr || !jobs->isArray() || jobs->array.empty()) {
-        std::fprintf(stderr,
-                     "batchrun: %s: expected a non-empty \"jobs\" array\n",
-                     manifest_path.c_str());
-        return 1;
-    }
 
     GpuConfig base = baselineGpuConfig();
     if (!vksim::applySimFlags(cli, &base))
         return 1;
 
+    // Validate the whole manifest before submitting anything: a typo in
+    // job 7 is reported in milliseconds, not after jobs 0-6 simulated.
+    std::vector<service::JobSpec> specs;
+    if (!service::parseManifestText(text, base, &specs, &error)) {
+        std::fprintf(stderr, "batchrun: %s: %s\n", manifest_path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+
     service::SimService svc({cli.threadCount()});
     std::vector<service::JobTicket> tickets;
-    for (std::size_t i = 0; i < jobs->array.size(); ++i) {
-        service::JobSpec spec;
-        if (!parseJob(jobs->array[i], i, base, &spec, &error)) {
-            std::fprintf(stderr, "batchrun: %s: %s\n",
-                         manifest_path.c_str(), error.c_str());
-            return 1;
-        }
+    for (const service::JobSpec &spec : specs) {
         try {
             tickets.push_back(svc.submit(spec));
         } catch (const std::invalid_argument &e) {
@@ -223,20 +114,29 @@ main(int argc, char **argv)
                          .count();
 
     // Collect results sorted by job name; count key sharing (stable
-    // under any execution order, unlike per-job hit/miss flags).
+    // under any execution order, unlike per-job hit/miss flags). Failed
+    // jobs are reported and skipped; their siblings are unaffected.
     std::map<std::string, const service::JobResult *> by_name;
     std::map<std::uint64_t, unsigned> bvh_key_uses;
     std::map<std::uint64_t, unsigned> pipeline_key_uses;
+    unsigned failed = 0;
     for (service::JobTicket &ticket : tickets) {
-        const service::JobResult &result = ticket.get();
-        if (by_name.count(result.name) != 0) {
+        const service::JobResult *result = nullptr;
+        try {
+            result = &ticket.get();
+        } catch (const SimError &e) {
+            std::fprintf(stderr, "batchrun: %s\n", e.what());
+            ++failed;
+            continue;
+        }
+        if (by_name.count(result->name) != 0) {
             std::fprintf(stderr, "batchrun: duplicate job name '%s'\n",
-                         result.name.c_str());
+                         result->name.c_str());
             return 1;
         }
-        by_name[result.name] = &result;
-        ++bvh_key_uses[result.workload->bvhKey()];
-        ++pipeline_key_uses[result.workload->pipelineKey()];
+        by_name[result->name] = result;
+        ++bvh_key_uses[result->workload->bvhKey()];
+        ++pipeline_key_uses[result->workload->pipelineKey()];
     }
 
     service::ArtifactCounters counters = svc.artifacts().counters();
@@ -281,5 +181,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(counters.pipelineHits));
     std::printf("batchrun: wrote %s (%zu jobs in %.2fs wall)\n",
                 out_path.c_str(), by_name.size(), seconds);
-    return 0;
+    if (failed > 0)
+        std::fprintf(stderr, "batchrun: %u job(s) failed\n", failed);
+    return failed > 0 ? 1 : 0;
 }
