@@ -14,6 +14,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -142,36 +143,72 @@ BM_IdleSkip(benchmark::State &state)
 BENCHMARK(BM_IdleSkip)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 /**
- * Parallel-engine wall-clock mode (ISSUE: simulated-cycles-per-second at
- * 1/2/4/8 engine threads). UseRealTime so the rate reflects the whole
- * pool, not just the calling thread.
+ * Parallel-engine scaling on the DRAM-bound 30-SM RTV6 scene (the same
+ * machine/launch BM_IdleSkip measures): real-time sim-cycles/s over the
+ * full thread series, with the first point pinned to the 1-thread
+ * lock-step oracle (epoch = 1) as the speedup baseline. The remaining
+ * points run the epoch-stepped engine (default epoch length), which is
+ * what lets the per-SM workers amortize the cycle barrier and scale.
+ * Each point also records parallel efficiency — speedup over the
+ * 1-thread epoch run divided by the thread count — so BENCH_micro.json
+ * tracks scaling regressions, not just single-point throughput.
+ * UseRealTime so the rate reflects the whole pool, not just the calling
+ * thread.
  */
 void
 BM_TimedSimThreads(benchmark::State &state)
 {
+    // Rates from earlier points in the series (benchmarks registered
+    // with the same function run in registration order).
+    static double lockstep_rate = 0;
+    static double epoch_one_thread_rate = 0;
+
     wl::WorkloadParams params;
-    params.width = 32;
-    params.height = 32;
-    GpuConfig config = baselineGpuConfig();
-    config.numSms = 16;
-    config.fabric.numPartitions = 4;
+    params.width = 16;
+    params.height = 16;
+    params.rtv6Prims = 400;
+    GpuConfig config = baselineGpuConfig(); // 30 SMs, timed DRAM model
     config.threads = static_cast<unsigned>(state.range(0));
+    config.epochCycles = static_cast<unsigned>(state.range(1));
     std::int64_t sim_cycles = 0;
+    auto wall_start = std::chrono::steady_clock::now();
     for (auto _ : state) {
-        wl::Workload workload(wl::WorkloadId::TRI, params);
+        wl::Workload workload(wl::WorkloadId::RTV6, params);
         RunResult run = simulateWorkload(workload, config);
         benchmark::DoNotOptimize(run.cycles);
         sim_cycles += static_cast<std::int64_t>(run.cycles);
     }
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+    double rate = wall > 0 ? static_cast<double>(sim_cycles) / wall : 0;
+
+    const unsigned threads = config.threads;
+    const bool lockstep = config.epochCycles == 1;
+    if (threads == 1 && lockstep)
+        lockstep_rate = rate;
+    if (threads == 1 && !lockstep)
+        epoch_one_thread_rate = rate;
+
     state.counters["sim_cycles_per_s"] = benchmark::Counter(
         static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
-    state.SetLabel("32x32 TRI, 16 SMs, engine threads = arg");
+    state.counters["epoch_cycles"] =
+        static_cast<double>(config.epochCycles);
+    if (lockstep_rate > 0)
+        state.counters["speedup_vs_lockstep"] = rate / lockstep_rate;
+    if (epoch_one_thread_rate > 0)
+        state.counters["parallel_efficiency"] =
+            rate / (epoch_one_thread_rate * threads);
+    state.SetLabel(
+        "16x16 RTV6, 30 SMs, threads = arg0, "
+        + std::string(lockstep ? "lock-step" : "epoch-stepped"));
 }
 BENCHMARK(BM_TimedSimThreads)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->Args({1, 1})  // lock-step oracle baseline
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({4, 64})
+    ->Args({8, 64})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -65,6 +65,10 @@ addSimFlags(Cli &cli)
               "lock-step stepping: cycle every unit every cycle "
               "(idle-skip is behavior-neutral; this is the debugging / "
               "cross-check escape hatch)")
+        .option("epoch-cycles", "N", "",
+                "epoch-stepped engine: cycles each SM advances between "
+                "barriers, clamped to the fabric response-latency skew "
+                "bound (1 = classic lock-step oracle; default 64)")
         .flag("perf", "print a host-performance summary per run")
         .option("check", "off|basic|full", "",
                 "self-validation level (default from VKSIM_CHECK)")
@@ -84,6 +88,16 @@ applySimFlags(const Cli &cli, GpuConfig *config)
     config->threads = cli.threadCount();
     if (cli.getBool("no-idle-skip"))
         config->idleSkip = false;
+    if (cli.has("epoch-cycles")) {
+        int epochs = cli.getInt("epoch-cycles");
+        if (epochs < 1) {
+            std::fprintf(stderr,
+                         "bad --epoch-cycles '%d' (must be >= 1)\n",
+                         epochs);
+            return false;
+        }
+        config->epochCycles = static_cast<unsigned>(epochs);
+    }
     if (cli.getBool("perf"))
         config->printPerfSummary = true;
     if (cli.has("check")

@@ -267,6 +267,7 @@ MemFabric::MemFabric(const FabricConfig &config, unsigned num_sms)
             config_.dram, config_.perfectMem, &dramStats_);
     }
     responses_.resize(num_sms);
+    respCursor_.resize(num_sms, 0);
 }
 
 unsigned
@@ -358,6 +359,18 @@ MemFabric::setTimeline(TimelineShard *shard)
 void
 MemFabric::cycle(Cycle now)
 {
+    // Trim drained responses the clock has passed: no digest of cycle
+    // `now` or later can need an entry that became deliverable at or
+    // before `now` (the lock-step queue would have popped it by now).
+    for (unsigned sm = 0; sm < responses_.size(); ++sm) {
+        auto &q = responses_[sm];
+        std::size_t &cur = respCursor_[sm];
+        while (cur > 0 && q.front().first <= now) {
+            q.pop_front();
+            --cur;
+        }
+    }
+
     for (Partition &p : partitions_)
         partitionCycle(p, now);
 
@@ -440,9 +453,10 @@ MemFabric::drainResponses(unsigned sm, Cycle now)
 {
     std::vector<MemRequest> out;
     auto &q = responses_[sm];
-    while (!q.empty() && q.front().first <= now) {
-        out.push_back(q.front().second);
-        q.pop_front();
+    std::size_t &cur = respCursor_[sm];
+    while (cur < q.size() && q[cur].first <= now) {
+        out.push_back(q[cur].second);
+        ++cur;
     }
     return out;
 }
@@ -454,8 +468,8 @@ MemFabric::idle() const
         if (!p.inbound.empty() || !p.pendingMiss.empty()
             || !p.dram->idle())
             return false;
-    for (const auto &q : responses_)
-        if (!q.empty())
+    for (unsigned sm = 0; sm < responses_.size(); ++sm)
+        if (respCursor_[sm] < responses_[sm].size())
             return false;
     return true;
 }
@@ -493,7 +507,7 @@ MemFabric::checkInvariants(check::Reporter &rep, bool deep) const
 }
 
 std::uint64_t
-MemFabric::stateDigest() const
+MemFabric::stateDigest(Cycle now) const
 {
     check::Digest d;
     for (const Partition &p : partitions_) {
@@ -516,11 +530,19 @@ MemFabric::stateDigest() const
         d.mix(p.nextCookie);
     }
     for (const auto &q : responses_) {
+        // Only responses the lock-step queue would still hold after the
+        // cycle-`now` barrier: every SM drains at exactly the ready
+        // cycle, so entries with ready <= now are gone by then whether
+        // or not an epoch worker has drained them yet.
+        std::size_t live = 0;
         for (const auto &[ready, req] : q) {
+            if (ready <= now)
+                continue;
             d.mix(ready);
             mixRequest(d, req);
+            ++live;
         }
-        d.mix(q.size());
+        d.mix(live);
     }
     return d.value();
 }

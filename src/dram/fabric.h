@@ -189,14 +189,22 @@ class MemFabric : public ClockedUnit
      */
     bool quiescentCycle(Cycle now);
 
-    /** Responses ready for SM `sm` at `now` (drained destructively). */
+    /**
+     * Responses ready for SM `sm` at `now`. Drained entries are only
+     * *marked* consumed (per-SM cursor) and linger in the queue until
+     * the fabric clock passes their ready cycle: under epoch stepping
+     * an SM drains ahead of the fabric replay, and the state digest of
+     * an earlier replay cycle must still see what the lock-step queue
+     * held then. The cursor makes this safe to call from SM workers —
+     * each touches only its own queue.
+     */
     std::vector<MemRequest> drainResponses(unsigned sm, Cycle now);
 
-    /** Any response queued for SM `sm` (ready or not) — wake check. */
+    /** Any undrained response queued for SM `sm` (ready or not). */
     bool
     hasResponse(unsigned sm) const
     {
-        return !responses_[sm].empty();
+        return respCursor_[sm] < responses_[sm].size();
     }
 
     /** All queues empty (for drain detection). */
@@ -240,8 +248,15 @@ class MemFabric : public ClockedUnit
      */
     void checkInvariants(check::Reporter &rep, bool deep) const;
 
-    /** Order-insensitive digest of all partition + response state. */
-    std::uint64_t stateDigest() const;
+    /**
+     * Order-insensitive digest of all partition + response state *as of
+     * core cycle `now`*: only responses still undeliverable at `now`
+     * (ready > now) are folded in, which is exactly what the lock-step
+     * queue holds after the cycle-`now` barrier. This keeps the digest
+     * independent of how far ahead of the fabric replay the SM workers
+     * have already drained (epoch stepping).
+     */
+    std::uint64_t stateDigest(Cycle now) const;
 
   private:
     struct Partition
@@ -263,6 +278,10 @@ class MemFabric : public ClockedUnit
     std::vector<Partition> partitions_;
     /// Per-SM response queues (ready cycle, request).
     std::vector<std::deque<std::pair<Cycle, MemRequest>>> responses_;
+    /// Per-SM count of drained (consumed but not yet trimmed) entries
+    /// at the front of the matching responses_ deque; see
+    /// drainResponses().
+    std::vector<std::size_t> respCursor_;
     /// Core→DRAM clock crossing (was a bare fractional accumulator).
     ClockDomain dramClock_;
     StatGroup dramStats_{"dram"};

@@ -113,6 +113,9 @@ GpuConfig::validate() const
     require(rt.shortStackEntries != 0,
             "rt.shortStackEntries must be >= 1 (traversal needs at least "
             "one short-stack slot)");
+    require(epochCycles != 0,
+            "epochCycles must be >= 1 (1 = lock-step; the engine clamps "
+            "larger values to the fabric response-latency skew bound)");
     require(coreClockMhz > 0.0, "coreClockMhz must be > 0");
     require(maxCycles != 0,
             "maxCycles must be >= 1 (the watchdog would fire at cycle 0)");
@@ -276,15 +279,40 @@ SmCore::catchUpIdleCycles(Cycle from, Cycle to)
 void
 SmCore::stageRequest(const MemRequest &req)
 {
-    stagedRequests_.push_back(req);
+    // now_ is the cycle of the running cycle() call; the RT-unit port
+    // callbacks land here too, so every staged request is tagged with
+    // the cycle it was issued in.
+    stagedRequests_.push_back(StagedRequest{now_, req});
 }
 
 void
 SmCore::flushStagedRequests(Cycle now)
 {
-    for (const MemRequest &req : stagedRequests_)
-        fabric_->inject(req, now);
+    for (const StagedRequest &sr : stagedRequests_)
+        fabric_->inject(sr.req, now);
     stagedRequests_.clear();
+    stagedCursor_ = 0;
+}
+
+bool
+SmCore::flushStagedCycle(Cycle c)
+{
+    bool injected = false;
+    while (stagedCursor_ < stagedRequests_.size()
+           && stagedRequests_[stagedCursor_].at == c) {
+        fabric_->inject(stagedRequests_[stagedCursor_].req, c);
+        ++stagedCursor_;
+        injected = true;
+    }
+    return injected;
+}
+
+void
+SmCore::clearStaged()
+{
+    vksim_assert(stagedCursor_ == stagedRequests_.size());
+    stagedRequests_.clear();
+    stagedCursor_ = 0;
 }
 
 void
@@ -944,7 +972,7 @@ GpuSimulator::run()
         for (unsigned u = 0; u <= config_.numSms; ++u) {
             std::uint64_t dg = u < config_.numSms
                                    ? sched.digest(u)
-                                   : fabric.stateDigest();
+                                   : fabric.stateDigest(cycle);
             if (cycle == config_.digestInjectCycle
                 && u == config_.digestInjectUnit)
                 dg ^= 1; // fault injection: perturb only the trace
@@ -952,91 +980,359 @@ GpuSimulator::run()
         }
     };
 
-    Cycle now = 0;
-    while (true) {
-        // Dispatch pending warps to SMs with free slots (round robin).
-        // A sleeping SM is woken *before* the dispatch attempt so its
-        // skipped span replays against the still-frozen state.
+    // Effective epoch length (DESIGN.md, "Stepping contract"): the
+    // requested epoch is clamped to the architectural skew bound — the
+    // minimum fabric response latency. Both response paths (L2 hit and
+    // DRAM fill) go through MemFabric::respond() with the L2 hit
+    // latency added, then the interconnect latency, so a response the
+    // fabric produces at cycle c becomes deliverable no earlier than
+    // c + l2.latency + icntLatency. An epoch no longer than that bound
+    // can never produce a response inside the span the SMs have already
+    // run, which is what makes epoch stepping bit-identical to the
+    // lock-step oracle. Full-level checking sweeps shallow invariants
+    // at every cycle barrier — a barrier only lock-step has.
+    const Cycle skew_bound = std::max<Cycle>(
+        1, config_.fabric.l2.latency + config_.fabric.icntLatency);
+    Cycle epoch_len =
+        std::min<Cycle>(std::max(1u, config_.epochCycles), skew_bound);
+    if (level == check::CheckLevel::Full)
+        epoch_len = 1;
+    result.epochCyclesUsed = static_cast<unsigned>(epoch_len);
+
+    // Warp dispatch, shared by both engines: round robin over SMs with
+    // free slots. A sleeping SM is woken *before* the dispatch attempt
+    // so its skipped span replays against the still-frozen state.
+    auto dispatch_warps = [&](Cycle cycle) {
         for (unsigned attempt = 0;
              attempt < config_.numSms && next_warp < total_warps;
              ++attempt) {
             unsigned s = (rr_sm + attempt) % config_.numSms;
             if (sched.asleep(s))
-                sched.wake(s, now);
-            if (sms[s]->tryAddWarp(next_warp, now)) {
+                sched.wake(s, cycle);
+            if (sms[s]->tryAddWarp(next_warp, cycle)) {
                 ++next_warp;
                 rr_sm = s + 1;
             }
         }
-
-        const std::vector<unsigned> &active = sched.active();
-        if (pool && active.size() > 1)
-            pool->parallelFor(active.size(), [&](std::size_t i) {
-                sms[active[i]]->cycle(now);
-            });
-        else
-            for (unsigned s : active)
-                sms[s]->cycle(now);
-
-        // Cycle barrier: drain staged SM traffic in fixed (ascending)
-        // SM order — sleeping SMs stage nothing — then advance the
-        // shared fabric. When every SM sleeps, the fabric may take the
-        // counter-only fast path through a provably event-free cycle.
-        for (unsigned s : active)
-            sms[s]->flushStagedRequests(now);
-
-        const bool fabric_quiet =
-            sched.allAsleep() && fabric.quiescentCycle(now);
-        if (!fabric_quiet)
-            fabric.cycle(now);
-
-        // Deliverable response for a sleeping SM → wake it for the next
-        // cycle. Unreachable under the current sleep gate (sleeping SMs
-        // have no outstanding reads), but early wakes are always
-        // correct, so this stays as the safety net the wake-condition
-        // contract promises.
-        if (sched.enabled())
-            for (unsigned s = 0; s < config_.numSms; ++s)
-                if (sched.asleep(s) && fabric.hasResponse(s))
-                    sched.wake(s, now + 1);
-
-        if (level != check::CheckLevel::Off) {
-            bool deep = now % check::kBasicSweepPeriod == 0;
-            if (level == check::CheckLevel::Full || deep)
-                sweep(now, deep, fabric_quiet);
-        }
-        if (digests_on && now % result.digests.period == 0)
-            collect_digests(now);
-
-        if (config_.occupancySamplePeriod
-            && now % config_.occupancySamplePeriod == 0) {
-            unsigned rays = 0;
-            for (auto &sm : sms)
-                rays += sm->rtUnit().activeRays();
-            result.occupancyTrace.emplace_back(now, rays);
-        }
-
-        ++now;
-        if (now >= config_.maxCycles)
+    };
+    auto watchdog = [&](Cycle cycle) {
+        if (cycle >= config_.maxCycles)
             throw SimError(
                 "GPU simulation exceeded the cycle watchdog ("
                     + std::to_string(config_.maxCycles)
                     + " cycles): the workload is runaway or the "
                       "configuration cannot drain; raise maxCycles if "
                       "the run is legitimately this long",
-                now);
+                cycle);
+    };
 
-        if (next_warp >= total_warps) {
-            bool all_idle = fabric.idle();
-            for (unsigned s = 0; s < config_.numSms && all_idle; ++s)
-                all_idle = sched.asleep(s) || sms[s]->idle();
-            if (all_idle)
-                break;
+    Cycle now = 0;
+    if (epoch_len == 1) {
+        // --- Lock-step oracle: one barrier per cycle -------------------
+        while (true) {
+            dispatch_warps(now);
+
+            const std::vector<unsigned> &active = sched.active();
+            if (pool && active.size() > 1)
+                pool->parallelFor(active.size(), [&](std::size_t i) {
+                    sms[active[i]]->cycle(now);
+                });
+            else
+                for (unsigned s : active)
+                    sms[s]->cycle(now);
+
+            // Cycle barrier: drain staged SM traffic in fixed
+            // (ascending) SM order — sleeping SMs stage nothing — then
+            // advance the shared fabric. When every SM sleeps, the
+            // fabric may take the counter-only fast path through a
+            // provably event-free cycle.
+            for (unsigned s : active)
+                sms[s]->flushStagedRequests(now);
+
+            const bool fabric_quiet =
+                sched.allAsleep() && fabric.quiescentCycle(now);
+            if (!fabric_quiet)
+                fabric.cycle(now);
+
+            // Deliverable response for a sleeping SM → wake it for the
+            // next cycle. Unreachable under the current sleep gate
+            // (sleeping SMs have no outstanding reads), but early wakes
+            // are always correct, so this stays as the safety net the
+            // wake-condition contract promises.
+            if (sched.enabled())
+                for (unsigned s = 0; s < config_.numSms; ++s)
+                    if (sched.asleep(s) && fabric.hasResponse(s))
+                        sched.wake(s, now + 1);
+
+            if (level != check::CheckLevel::Off) {
+                bool deep = now % check::kBasicSweepPeriod == 0;
+                if (level == check::CheckLevel::Full || deep)
+                    sweep(now, deep, fabric_quiet);
+            }
+            if (digests_on && now % result.digests.period == 0)
+                collect_digests(now);
+
+            if (config_.occupancySamplePeriod
+                && now % config_.occupancySamplePeriod == 0) {
+                unsigned rays = 0;
+                for (auto &sm : sms)
+                    rays += sm->rtUnit().activeRays();
+                result.occupancyTrace.emplace_back(now, rays);
+            }
+
+            ++now;
+            watchdog(now);
+
+            if (next_warp >= total_warps) {
+                bool all_idle = fabric.idle();
+                for (unsigned s = 0; s < config_.numSms && all_idle; ++s)
+                    all_idle = sched.asleep(s) || sms[s]->idle();
+                if (all_idle)
+                    break;
+            }
+
+            // Sleep transitions happen last: an SM that just went
+            // quiescent has executed cycle(now); the first cycle it
+            // skips is now + 1.
+            sched.reconcile(now);
         }
+    } else {
+        // --- Epoch-stepped engine --------------------------------------
+        // Workers advance each active SM through the whole span
+        // [now, epoch_end) between barriers. During the span an SM
+        // touches the shared fabric only to drain its own response
+        // queue — which the fabric, idle between barriers, cannot grow
+        // — and stages all outbound traffic per cycle. The barrier then
+        // replays the fabric through the same span, injecting each
+        // cycle's staged requests in ascending SM order first: the
+        // exact injection sequence the lock-step barrier produces. The
+        // epoch clamp above guarantees no replayed cycle creates a
+        // response an SM should already have drained.
+        const Cycle occ_period = config_.occupancySamplePeriod;
+        const Cycle dig_period = digests_on ? result.digests.period : 0;
+        const unsigned units = config_.numSms + 1;
 
-        // Sleep transitions happen last: an SM that just went quiescent
-        // has executed cycle(now); the first cycle it skips is now + 1.
-        sched.reconcile(now);
+        // parked[s]: first cycle of the span the worker did NOT execute
+        // (== epoch end when the SM ran the whole span). A worker parks
+        // as soon as sleepable() holds — the same predicate, at the
+        // same point in the cycle stream, that reconcile() applies at a
+        // lock-step barrier.
+        std::vector<Cycle> parked(config_.numSms, 0);
+        std::vector<unsigned> occ_scratch;
+
+        while (true) {
+            dispatch_warps(now);
+
+            // Epoch span: one cycle while dispatch is in progress (the
+            // round robin must observe per-cycle occupancy), the full
+            // epoch after. Basic-level sweeps only fire at
+            // kBasicSweepPeriod multiples; chop the span so such a
+            // cycle is always its epoch's *last* — the one cycle at
+            // which every SM's live state is barrier-synchronized.
+            const Cycle e_start = now;
+            Cycle epoch_end =
+                e_start + (next_warp < total_warps ? 1 : epoch_len);
+            if (level == check::CheckLevel::Basic) {
+                const Cycle p = check::kBasicSweepPeriod;
+                Cycle next_sweep = ((e_start + p - 1) / p) * p;
+                epoch_end = std::min(epoch_end, next_sweep + 1);
+            }
+
+            // Preallocate this epoch's digest samples (sample-major,
+            // matching the lock-step trace layout). Workers fill their
+            // own SM's slots for the cycles they execute plus the
+            // frozen tail after parking; sleeping SMs' columns and the
+            // fabric column are filled serially at the barrier.
+            const std::size_t dig_base = result.digests.values.size();
+            Cycle dig_first = 0;
+            if (dig_period) {
+                dig_first =
+                    ((e_start + dig_period - 1) / dig_period) * dig_period;
+                std::size_t count =
+                    dig_first < epoch_end
+                        ? (epoch_end - 1 - dig_first) / dig_period + 1
+                        : 0;
+                result.digests.values.resize(dig_base + count * units);
+            }
+            Cycle occ_first = 0;
+            if (occ_period) {
+                occ_first =
+                    ((e_start + occ_period - 1) / occ_period) * occ_period;
+                std::size_t count =
+                    occ_first < epoch_end
+                        ? (epoch_end - 1 - occ_first) / occ_period + 1
+                        : 0;
+                occ_scratch.assign(count * config_.numSms, 0);
+            }
+            auto digest_at = [&](Cycle c, unsigned unit, std::uint64_t dg) {
+                if (c == config_.digestInjectCycle
+                    && unit == config_.digestInjectUnit)
+                    dg ^= 1; // fault injection: perturb only the trace
+                std::size_t sample = (c - dig_first) / dig_period;
+                result.digests.values[dig_base + sample * units + unit] =
+                    dg;
+            };
+            auto occ_at = [&](Cycle c, unsigned sm, unsigned rays) {
+                std::size_t sample = (c - occ_first) / occ_period;
+                occ_scratch[sample * config_.numSms + sm] = rays;
+            };
+
+            // Fork: each lane runs one SM over the span, touching only
+            // that SM and its disjoint sample slots.
+            const std::vector<unsigned> active = sched.active();
+            auto run_sm = [&](unsigned s) {
+                SmCore &sm = *sms[s];
+                Cycle c = e_start;
+                for (; c < epoch_end && !sm.sleepable(); ++c) {
+                    sm.cycle(c);
+                    if (dig_period && c % dig_period == 0)
+                        digest_at(c, s, sm.stateDigest());
+                    if (occ_period && c % occ_period == 0)
+                        occ_at(c, s, sm.rtUnit().activeRays());
+                }
+                // parked[s] <= epoch_end: first span cycle not executed
+                // because the SM went sleepable there. The sentinel
+                // epoch_end + 1 means the SM ran the whole span and is
+                // NOT sleepable at its end — it must block termination
+                // and stay active, exactly like an SM that lock-step's
+                // reconcile() would keep awake.
+                parked[s] =
+                    c == epoch_end && !sm.sleepable() ? epoch_end + 1 : c;
+                if (c == epoch_end)
+                    return;
+                // Frozen tail: a parked SM's architectural state (hence
+                // its digest and ray occupancy) cannot change for the
+                // rest of the span.
+                if (dig_period) {
+                    std::uint64_t frozen = sm.stateDigest();
+                    for (Cycle t =
+                             ((c + dig_period - 1) / dig_period)
+                             * dig_period;
+                         t < epoch_end; t += dig_period)
+                        digest_at(t, s, frozen);
+                }
+                if (occ_period) {
+                    unsigned rays = sm.rtUnit().activeRays();
+                    for (Cycle t =
+                             ((c + occ_period - 1) / occ_period)
+                             * occ_period;
+                         t < epoch_end; t += occ_period)
+                        occ_at(t, s, rays);
+                }
+            };
+            if (pool && active.size() > 1)
+                pool->parallelFor(active.size(), [&](std::size_t i) {
+                    run_sm(active[i]);
+                });
+            else
+                for (unsigned s : active)
+                    run_sm(s);
+
+            // Barrier: replay the fabric through the span. A cycle may
+            // take the counter-only fast path only if no SM executed it
+            // and no traffic lands in it — the epoch-mode equivalent of
+            // the lock-step all-asleep gate.
+            bool terminated = false;
+            for (Cycle c = e_start; c < epoch_end; ++c) {
+                bool injected = false;
+                for (unsigned s : active)
+                    injected = sms[s]->flushStagedCycle(c) || injected;
+
+                bool no_sm_ran = true;
+                for (unsigned s : active)
+                    no_sm_ran = no_sm_ran && parked[s] <= c;
+                if (injected || !no_sm_ran || !fabric.quiescentCycle(c))
+                    fabric.cycle(c);
+
+                if (dig_period && c % dig_period == 0)
+                    digest_at(c, config_.numSms, fabric.stateDigest(c));
+
+                watchdog(c + 1);
+
+                // Termination, to the exact lock-step cycle: the run
+                // ends at c + 1 when the fabric drained and every SM is
+                // asleep or parked by then. An unparked SM still had
+                // work at c + 1 (it was not sleepable there), so
+                // lock-step would not have stopped either.
+                if (next_warp >= total_warps && fabric.idle()) {
+                    bool all_done = true;
+                    for (unsigned s : active)
+                        all_done = all_done && parked[s] <= c + 1;
+                    if (all_done) {
+                        now = c + 1;
+                        terminated = true;
+                        break;
+                    }
+                }
+            }
+            if (!terminated)
+                now = epoch_end;
+
+            // Drop preallocated samples past the committed span (early
+            // termination only), then fill the sleeping SMs' frozen
+            // columns for the samples that remain.
+            if (dig_period) {
+                std::size_t kept =
+                    dig_first < now
+                        ? (now - 1 - dig_first) / dig_period + 1
+                        : 0;
+                result.digests.values.resize(dig_base + kept * units);
+                for (unsigned s = 0; s < config_.numSms; ++s) {
+                    if (!sched.asleep(s))
+                        continue;
+                    std::uint64_t dg = sched.digest(s);
+                    for (Cycle t = dig_first; t < now; t += dig_period)
+                        digest_at(t, s, dg);
+                }
+            }
+            if (occ_period) {
+                for (Cycle t = occ_first; t < now; t += occ_period) {
+                    std::size_t sample = (t - occ_first) / occ_period;
+                    unsigned rays = 0;
+                    for (unsigned s = 0; s < config_.numSms; ++s)
+                        rays += sched.asleep(s)
+                                    ? sms[s]->rtUnit().activeRays()
+                                    : occ_scratch[sample * config_.numSms
+                                                  + s];
+                    result.occupancyTrace.emplace_back(t, rays);
+                }
+            }
+
+            for (unsigned s : active)
+                sms[s]->clearStaged();
+
+            // Mid-epoch parks become sleeps: with idle-skip on the
+            // scheduler takes over the parked span (replayed at wake,
+            // counted as skipped); with it off the heartbeat replay
+            // happens here and the SM stays active — exactly what a
+            // lock-step engine cycling a quiescent core records.
+            for (unsigned s : active) {
+                if (parked[s] >= now)
+                    continue;
+                if (sched.enabled())
+                    sched.sleepAt(s, parked[s]);
+                else
+                    sms[s]->catchUpIdleCycles(parked[s], now);
+            }
+
+            // Response-wake safety net, as in lock-step (unreachable by
+            // construction: a sleepable SM has no outstanding reads).
+            if (sched.enabled())
+                for (unsigned s = 0; s < config_.numSms; ++s)
+                    if (sched.asleep(s) && fabric.hasResponse(s))
+                        sched.wake(s, now);
+
+            // Basic-level sweep at the chopped boundary: the last
+            // committed cycle is the only one of the span at which
+            // every SM's live state equals its lock-step barrier state.
+            if (level == check::CheckLevel::Basic
+                && (now - 1) % check::kBasicSweepPeriod == 0)
+                sweep(now - 1, true, false);
+
+            if (terminated)
+                break;
+            sched.reconcile(now);
+        }
     }
 
     // Replay still-sleeping SMs to the end of the run, then the final
@@ -1120,12 +1416,12 @@ GpuSimulator::run()
     if (config_.printPerfSummary)
         std::fprintf(stderr,
                      "[vksim] perf: %.3f s host, %llu sim cycles, "
-                     "%.0f cycles/s, %u thread%s, %llu SM-cycles "
-                     "skipped\n",
+                     "%.0f cycles/s, %u thread%s, %u-cycle epochs, "
+                     "%llu SM-cycles skipped\n",
                      result.hostSeconds,
                      static_cast<unsigned long long>(result.cycles),
                      result.cyclesPerHostSecond(), threads,
-                     threads == 1 ? "" : "s",
+                     threads == 1 ? "" : "s", result.epochCyclesUsed,
                      static_cast<unsigned long long>(
                          result.smCyclesSkipped));
     return result;

@@ -71,6 +71,26 @@ struct GpuConfig
      */
     bool idleSkip = true;
 
+    /**
+     * Epoch-stepped parallel engine (`--epoch-cycles`): SM workers
+     * advance their cores through multi-cycle epochs between barriers,
+     * with all SM→fabric traffic staged per (SM, cycle) and replayed
+     * against the fabric in deterministic (cycle, SM) order at the
+     * epoch boundary. 1 = classic lock-step (one barrier per cycle, the
+     * certification oracle for tools/diffrun).
+     *
+     * Behavior-neutral by construction: the engine clamps the epoch to
+     * the architectural skew bound (the minimum fabric response latency,
+     * fabric.l2.latency + fabric.icntLatency), below which no response
+     * can become deliverable inside the span an SM has already run, and
+     * chops epochs to one cycle while warp dispatch is still in
+     * progress (dispatch is a cross-SM round-robin that must see
+     * per-cycle occupancy). Stats JSON, digest traces, images and cycle
+     * counts are bit-identical for every epochCycles and thread count
+     * (DESIGN.md, "Stepping contract").
+     */
+    unsigned epochCycles = 64;
+
     /** Occupancy trace sampling period (0 disables; Fig. 18). */
     Cycle occupancySamplePeriod = 0;
 
@@ -173,6 +193,14 @@ struct RunResult
     unsigned threadsUsed = 1; ///< engine threads the run executed with
 
     /**
+     * Epoch length the engine actually stepped with after clamping to
+     * the skew bound (1 = lock-step). Telemetry like threadsUsed:
+     * excluded from `metrics` so the stats dump stays byte-identical
+     * across stepping modes.
+     */
+    unsigned epochCyclesUsed = 1;
+
+    /**
      * Idle-skip engine observability. Deliberately *not* imported into
      * `metrics` (they depend on whether skipping ran, which must not
      * perturb the byte-identical stats dump) — exposed for tests, the
@@ -239,6 +267,25 @@ class SmCore : public RtMemPort, public ClockedUnit
      * single thread, in ascending SM order (determinism contract).
      */
     void flushStagedRequests(Cycle now);
+
+    /**
+     * Epoch-mode drain: inject the requests this SM staged during its
+     * cycle(c) call — and only those — preserving issue order. The
+     * barrier replays an epoch by calling this for every cycle of the
+     * span in ascending (cycle, SM) order, reproducing exactly the
+     * injection sequence lock-step flushing would have produced. Must
+     * be called with non-decreasing `c` between clearStaged() calls.
+     * @return true if any request was injected.
+     */
+    bool flushStagedCycle(Cycle c);
+
+    /**
+     * End-of-epoch reset of the staging queue. Panics if the epoch
+     * replay left staged requests behind (every staged request carries
+     * a cycle inside the span just replayed, so a leftover means the
+     * barrier skipped a cycle).
+     */
+    void clearStaged();
 
     /** No resident warps and no in-flight work. */
     bool idle() const override;
@@ -397,8 +444,21 @@ class SmCore : public RtMemPort, public ClockedUnit
         tagReady_;
     std::uint64_t tagSeq_ = 0;
 
-    /// SM→fabric traffic staged during cycle(), drained at the barrier.
-    std::vector<MemRequest> stagedRequests_;
+    /**
+     * SM→fabric traffic staged during cycle(), drained at the barrier.
+     * Each entry carries the cycle it was staged in so an epoch barrier
+     * can replay the span's injections in exact (cycle, SM) order;
+     * entries are appended in non-decreasing cycle order, so
+     * flushStagedCycle only needs the cursor below. Excluded from
+     * stateDigest(): at every barrier the queue is empty.
+     */
+    struct StagedRequest
+    {
+        Cycle at;
+        MemRequest req;
+    };
+    std::vector<StagedRequest> stagedRequests_;
+    std::size_t stagedCursor_ = 0; ///< epoch drain progress
 
     TimelineShard *timeline_ = nullptr;
 

@@ -48,6 +48,19 @@ EngineScheduler::reconcile(Cycle from)
     active_.resize(kept);
 }
 
+void
+EngineScheduler::sleepAt(unsigned sm, Cycle from)
+{
+    Unit &u = units_[sm];
+    if (!u.awake)
+        return;
+    vksim_assert(sms_[sm]->sleepable());
+    u.awake = false;
+    u.sleepSince = from;
+    active_.erase(
+        std::lower_bound(active_.begin(), active_.end(), sm));
+}
+
 std::uint64_t
 EngineScheduler::digest(unsigned sm)
 {

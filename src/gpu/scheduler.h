@@ -69,6 +69,16 @@ class EngineScheduler
     void reconcile(Cycle from);
 
     /**
+     * Epoch-barrier sleep transfer: an SM worker proved `sm` sleepable
+     * before executing cycle `from` and parked it mid-epoch; move it to
+     * the sleeping set with that cycle as the first one skipped. The
+     * caller vouches that the SM has not been cycled at or past `from`
+     * (same semantics reconcile() derives itself for boundary sleeps).
+     * No-op when already asleep.
+     */
+    void sleepAt(unsigned sm, Cycle from);
+
+    /**
      * This SM's barrier digest: live for awake SMs, memoized while
      * asleep (a sleeping SM's architectural state cannot change, and
      * SmCore::stateDigest() deliberately excludes the cycle counter).

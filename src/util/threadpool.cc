@@ -21,6 +21,27 @@ struct ActivePoolScope
     ~ActivePoolScope() { tl_activePool = nullptr; }
 };
 
+/**
+ * Bounded spin before parking on a condition variable. The engine
+ * re-arms the pool once per barrier — every cycle in lock-step mode —
+ * so a full futex sleep/wake round trip per barrier dominates the cost
+ * of cycling small SM sets. A few thousand pause iterations cover the
+ * inter-barrier gap of a busy simulation; an idle pool still parks.
+ */
+constexpr unsigned kSpinIterations = 4096;
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
 } // namespace
 
 unsigned
@@ -40,6 +61,11 @@ ThreadPool::resolveThreadCount(unsigned requested)
 ThreadPool::ThreadPool(unsigned threads)
 {
     unsigned lanes = resolveThreadCount(threads);
+    // Spinning only pays off when every lane can hold a core through
+    // the barrier; oversubscribed lanes should yield their time slice
+    // to whoever holds the actual work and park immediately.
+    spinIters_ =
+        std::thread::hardware_concurrency() >= lanes ? kSpinIterations : 0;
     workers_.reserve(lanes - 1);
     for (unsigned i = 0; i + 1 < lanes; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -49,7 +75,7 @@ ThreadPool::~ThreadPool()
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        shutdown_ = true;
+        shutdown_.store(true, std::memory_order_release);
     }
     wake_.notify_all();
     for (std::thread &t : workers_)
@@ -83,29 +109,31 @@ ThreadPool::workerLoop()
 {
     std::uint64_t seen = 0;
     for (;;) {
-        const std::function<void(std::size_t)> *body = nullptr;
-        std::size_t n = 0;
-        std::size_t chunk = 1;
-        {
+        // Spin-then-park: poll for the next job lock-free for a bounded
+        // interval (covers the barrier-to-barrier gap of a running
+        // engine), then fall back to the condition variable so an idle
+        // pool costs nothing.
+        for (unsigned i = 0; i < spinIters_ && !jobReady(seen); ++i)
+            cpuRelax();
+        if (!jobReady(seen)) {
             std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [&] {
-                return shutdown_ || generation_ != seen;
-            });
-            if (shutdown_)
-                return;
-            seen = generation_;
-            body = body_;
-            n = jobSize_;
-            chunk = chunk_;
+            wake_.wait(lock, [&] { return jobReady(seen); });
         }
+        if (shutdown_.load(std::memory_order_acquire))
+            return;
+        // The acquire load of generation_ in jobReady() ordered the job
+        // fields (published before the release bump): safe to read them
+        // without the mutex.
+        seen = generation_.load(std::memory_order_acquire);
         {
             ActivePoolScope scope(this);
-            runChunks(*body, n, chunk);
+            runChunks(*body_, jobSize_, chunk_);
         }
-        {
+        if (working_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last worker out: take the mutex so a caller between its
+            // predicate check and wait cannot miss the notification.
             std::lock_guard<std::mutex> lock(mutex_);
-            if (--working_ == 0)
-                done_.notify_all();
+            done_.notify_all();
         }
     }
 }
@@ -142,8 +170,11 @@ ThreadPool::parallelFor(std::size_t n,
         chunk_ = std::max<std::size_t>(1, n / (threadCount() * 4u));
         nextIndex_.store(0, std::memory_order_relaxed);
         error_ = nullptr;
-        working_ = static_cast<unsigned>(workers_.size());
-        ++generation_;
+        working_.store(static_cast<unsigned>(workers_.size()),
+                       std::memory_order_relaxed);
+        // Release-publish: a spinning worker that sees the new
+        // generation is guaranteed to see every job field above.
+        generation_.fetch_add(1, std::memory_order_release);
     }
     wake_.notify_all();
 
@@ -152,10 +183,19 @@ ThreadPool::parallelFor(std::size_t n,
         runChunks(body, n, chunk_);
     }
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return working_ == 0; });
+    // Join, spin first: the workers' remaining chunks drain within the
+    // same barrier interval the spin covers on their side.
+    for (unsigned i = 0;
+         i < spinIters_ && working_.load(std::memory_order_acquire) != 0;
+         ++i)
+        cpuRelax();
+    if (working_.load(std::memory_order_acquire) != 0) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] {
+            return working_.load(std::memory_order_acquire) == 0;
+        });
+    }
     body_ = nullptr;
-    lock.unlock();
 
     if (error_)
         std::rethrow_exception(error_);

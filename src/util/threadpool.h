@@ -87,15 +87,32 @@ class ThreadPool
 
     std::vector<std::thread> workers_;
 
+    /// Bounded spin budget before parking at either barrier side; 0
+    /// when the lanes oversubscribe the host cores (set once in the
+    /// constructor).
+    unsigned spinIters_ = 0;
+
     /// Serializes whole parallelFor jobs from different caller threads.
     std::mutex submitMutex_;
+
+    /// True once a new job (vs `seen`) or shutdown is observable. Safe
+    /// to poll without mutex_: generation_ is release-published after
+    /// the job fields.
+    bool
+    jobReady(std::uint64_t seen) const
+    {
+        return shutdown_.load(std::memory_order_acquire)
+               || generation_.load(std::memory_order_acquire) != seen;
+    }
 
     std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable done_;
-    std::uint64_t generation_ = 0; ///< bumped per job; workers wait on it
-    unsigned working_ = 0;         ///< workers still inside the current job
-    bool shutdown_ = false;
+    /// Bumped per job; workers spin then park on it (see workerLoop).
+    std::atomic<std::uint64_t> generation_{0};
+    /// Workers still inside the current job.
+    std::atomic<unsigned> working_{0};
+    std::atomic<bool> shutdown_{false};
 
     // Current job (published under mutex_, consumed lock-free).
     const std::function<void(std::size_t)> *body_ = nullptr;

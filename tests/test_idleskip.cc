@@ -1,15 +1,17 @@
 /**
  * @file
- * The idle-skip acceptance suite (DESIGN.md, "Stepping contract"):
- * event-stepped clocking — sleeping quiescent SMs, bulk-replaying their
- * heartbeat on wake, and fast-forwarding the fabric through provably
- * event-free cycles — must be *unobservable*. For every workload, a run
- * with idle-skip enabled must match the lock-step run bit for bit:
- * cycle count, every stat group, the full metrics JSON, the digest
- * trace, the occupancy trace, and the rendered image — on the serial
- * and the threaded engine alike. The only permitted difference is the
- * skip telemetry itself (RunResult::smCyclesSkipped), which is kept out
- * of the metrics registry for exactly that reason.
+ * The stepping-equivalence acceptance suite (DESIGN.md, "Stepping
+ * contract"): event-stepped clocking — sleeping quiescent SMs,
+ * bulk-replaying their heartbeat on wake, fast-forwarding the fabric
+ * through provably event-free cycles, and advancing SMs through
+ * multi-cycle epochs between barriers — must be *unobservable*. For
+ * every workload, a run with idle-skip enabled must match the
+ * lock-step run bit for bit at every epoch length: cycle count, every
+ * stat group, the full metrics JSON, the digest trace, the occupancy
+ * trace, and the rendered image — on the serial and the threaded
+ * engine alike. The only permitted difference is the skip telemetry
+ * itself (RunResult::smCyclesSkipped), which is kept out of the
+ * metrics registry for exactly that reason.
  */
 
 #include <gtest/gtest.h>
@@ -38,7 +40,7 @@ tinyParams()
 }
 
 GpuConfig
-engineConfig(bool idle_skip, unsigned threads)
+engineConfig(bool idle_skip, unsigned threads, unsigned epoch_cycles)
 {
     GpuConfig cfg = baselineGpuConfig();
     cfg.numSms = 8; // enough SMs that some go quiescent mid-run
@@ -48,6 +50,7 @@ engineConfig(bool idle_skip, unsigned threads)
     cfg.digestTrace = true;
     cfg.idleSkip = idle_skip;
     cfg.threads = threads;
+    cfg.epochCycles = epoch_cycles;
     return cfg;
 }
 
@@ -93,20 +96,25 @@ TEST_P(IdleSkipEquivalenceTest, BitIdenticalToLockStep)
 {
     auto id = static_cast<WorkloadId>(GetParam());
 
-    // The lock-step reference: every unit cycled every cycle.
+    // The lock-step reference: every unit cycled every cycle, one
+    // barrier per cycle (epochCycles = 1 pins the oracle engine).
     Workload ref_wl(id, tinyParams());
-    RunResult ref =
-        simulateWorkload(ref_wl, engineConfig(/*idle_skip=*/false, 1));
+    RunResult ref = simulateWorkload(
+        ref_wl, engineConfig(/*idle_skip=*/false, 1, /*epoch_cycles=*/1));
     Image ref_img = ref_wl.readFramebuffer();
     EXPECT_EQ(ref.smCyclesSkipped, 0u);
+    EXPECT_EQ(ref.epochCyclesUsed, 1u);
 
-    for (unsigned threads : {1u, 4u}) {
-        Workload skip_wl(id, tinyParams());
-        RunResult skip = simulateWorkload(
-            skip_wl, engineConfig(/*idle_skip=*/true, threads));
-        expectSameRun(ref, skip);
-        EXPECT_EQ(ref_img.data(), skip_wl.readFramebuffer().data())
-            << "framebuffer differs at " << threads << " threads";
+    for (unsigned epoch : {1u, 32u, 128u}) {
+        for (unsigned threads : {1u, 4u}) {
+            Workload skip_wl(id, tinyParams());
+            RunResult skip = simulateWorkload(
+                skip_wl, engineConfig(/*idle_skip=*/true, threads, epoch));
+            expectSameRun(ref, skip);
+            EXPECT_EQ(ref_img.data(), skip_wl.readFramebuffer().data())
+                << "framebuffer differs at " << threads << " threads, "
+                << epoch << "-cycle epochs";
+        }
     }
 }
 
@@ -125,7 +133,7 @@ TEST(IdleSkipTest, ColdSmsAreSkipped)
     p.width = 8;
     p.height = 4; // one warp on an 8-SM machine
     Workload w(WorkloadId::TRI, p);
-    RunResult run = simulateWorkload(w, engineConfig(true, 1));
+    RunResult run = simulateWorkload(w, engineConfig(true, 1, 64));
     // Seven SMs sleep essentially the whole run.
     EXPECT_GT(run.smCyclesSkipped, 6u * run.cycles);
 }

@@ -15,13 +15,23 @@
  *                  "bvh_shared": ..., "pipeline_shared": ...,
  *                  "stats": { <full metrics registry> }},
  *       ...
+ *     },
+ *     "perf": {
+ *       "<name>": {"sim_cycles_per_s": ..., "stepping": ...,
+ *                  "epoch_cycles": ..., "threads": ...},
+ *       ...
  *     }
  *   }
  *
- * Jobs are keyed by name and written in sorted name order; the file
- * contains no wall-clock or thread-count fields, so it is byte-identical
- * for any --threads value and any manifest job order (the determinism
- * contract, extended to batches). Wall-clock goes to stdout only.
+ * Jobs are keyed by name and written in sorted name order. Everything
+ * outside the trailing "perf" section contains no wall-clock or
+ * thread-count fields, so it is byte-identical for any --threads value
+ * and any manifest job order (the determinism contract, extended to
+ * batches). "perf" is explicitly host telemetry — per-job simulated
+ * cycles per wall second plus the stepping mode that produced them, so
+ * sweeps can report speedups straight from the results file — and is
+ * excluded from byte-identity comparisons (CI strips it before
+ * diffing; see .github/workflows/ci.yml).
  *
  * The manifest format (and its strict validation: unknown keys, missing
  * required fields, and mistyped values are all rejected before anything
@@ -168,6 +178,25 @@ main(int argc, char **argv)
            << ",\n  \"stats\":\n";
         result->run.metrics.writeJson(os, 2);
         os << "\n}";
+        first = false;
+    }
+    // Host telemetry lives in its own trailing section so determinism
+    // checks can compare everything above it byte-for-byte and drop
+    // this block (it varies run to run by construction).
+    os << "\n},\n\"perf\": {\n";
+    first = true;
+    char rate[64];
+    for (const auto &[name, result] : by_name) {
+        std::snprintf(rate, sizeof rate, "%.1f",
+                      result->run.cyclesPerHostSecond());
+        os << (first ? "" : ",\n") << "\"" << name << "\": {\n"
+           << "  \"sim_cycles_per_s\": " << rate << ",\n"
+           << "  \"stepping\": \""
+           << (result->run.epochCyclesUsed > 1 ? "epoch" : "lock-step")
+           << "\",\n"
+           << "  \"epoch_cycles\": " << result->run.epochCyclesUsed
+           << ",\n"
+           << "  \"threads\": " << result->run.threadsUsed << "\n}";
         first = false;
     }
     os << "\n}\n}\n";

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Compare two batchrun results files under the determinism contract.
+
+Everything in the consolidated results file except the trailing "perf"
+section is covered by the byte-identity contract (see batchrun.cc);
+"perf" is host telemetry — sim-cycles per wall second, stepping mode,
+thread count — and varies run to run by construction. This helper
+strips "perf" from both files and requires the rest to be identical,
+so CI can keep a hard determinism gate while batchrun still reports
+per-job throughput.
+
+Usage: compare_results.py A.json B.json
+Exits 0 when identical outside "perf", 1 with a diff summary otherwise.
+"""
+
+import json
+import sys
+
+
+def load_checked(path):
+    with open(path) as f:
+        data = json.load(f)
+    data.pop("perf", None)
+    return data
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    a, b = load_checked(argv[1]), load_checked(argv[2])
+    if a == b:
+        print(f"{argv[1]} and {argv[2]} are identical outside 'perf'")
+        return 0
+    print(f"{argv[1]} and {argv[2]} differ in determinism-checked fields:",
+          file=sys.stderr)
+    for section in sorted(set(a) | set(b)):
+        if a.get(section) == b.get(section):
+            continue
+        sa, sb = a.get(section), b.get(section)
+        if isinstance(sa, dict) and isinstance(sb, dict):
+            for key in sorted(set(sa) | set(sb)):
+                if sa.get(key) != sb.get(key):
+                    print(f"  {section}.{key}", file=sys.stderr)
+        else:
+            print(f"  {section}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
