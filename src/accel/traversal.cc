@@ -282,4 +282,153 @@ RayTraversal::run()
         step();
 }
 
+namespace {
+
+void
+putVec3(serial::Writer &w, const Vec3 &v)
+{
+    w.f32(v.x);
+    w.f32(v.y);
+    w.f32(v.z);
+}
+
+Vec3
+getVec3(serial::Reader &r)
+{
+    Vec3 v;
+    v.x = r.f32();
+    v.y = r.f32();
+    v.z = r.f32();
+    return v;
+}
+
+void
+putRay(serial::Writer &w, const Ray &ray)
+{
+    putVec3(w, ray.origin);
+    w.f32(ray.tmin);
+    putVec3(w, ray.direction);
+    w.f32(ray.tmax);
+}
+
+Ray
+getRay(serial::Reader &r)
+{
+    Ray ray;
+    ray.origin = getVec3(r);
+    ray.tmin = r.f32();
+    ray.direction = getVec3(r);
+    ray.tmax = r.f32();
+    return ray;
+}
+
+} // namespace
+
+void
+RayTraversal::saveState(serial::Writer &w) const
+{
+    w.u32(flags_);
+    putRay(w, worldRay_);
+    putRay(w, objectRay_);
+    putVec3(w, worldInvDir_);
+    putVec3(w, objectInvDir_);
+    w.i32(currentInstance_);
+    w.i32(currentCustomIndex_);
+    w.i32(currentSbtOffset_);
+    auto put_entry = [&](const StackEntry &e) {
+        w.u64(e.addr);
+        w.u32(static_cast<std::uint32_t>(e.type));
+        w.i32(e.instance);
+    };
+    w.u64(shortStack_.size());
+    w.u32(shortTop_);
+    for (unsigned i = 0; i < shortTop_; ++i)
+        put_entry(shortStack_[i]);
+    w.u64(spilled_.size());
+    for (const StackEntry &e : spilled_)
+        put_entry(e);
+    w.b(havePending_);
+    if (havePending_)
+        put_entry(pending_);
+    w.b(done_);
+    w.f32(hit_.t);
+    w.f32(hit_.u);
+    w.f32(hit_.v);
+    w.i32(hit_.instanceIndex);
+    w.i32(hit_.primitiveIndex);
+    w.i32(hit_.instanceCustomIndex);
+    w.i32(hit_.sbtOffset);
+    w.u8(static_cast<std::uint8_t>(hit_.kind));
+    w.u64(deferred_.size());
+    for (const DeferredHit &d : deferred_) {
+        w.i32(d.instanceIndex);
+        w.i32(d.primitiveIndex);
+        w.i32(d.instanceCustomIndex);
+        w.i32(d.sbtOffset);
+        w.b(d.anyHit);
+        w.f32(d.t);
+        w.f32(d.u);
+        w.f32(d.v);
+    }
+    w.u64(nodesVisited_);
+    w.u64(boxTests_);
+    w.u64(triangleTests_);
+    w.u64(transforms_);
+    w.u64(stackSpills_);
+}
+
+RayTraversal::RayTraversal(const GlobalMemory &gmem, serial::Reader &r)
+    : gmem_(gmem), sink_(nullptr), flags_(r.u32())
+{
+    worldRay_ = getRay(r);
+    objectRay_ = getRay(r);
+    worldInvDir_ = getVec3(r);
+    objectInvDir_ = getVec3(r);
+    currentInstance_ = r.i32();
+    currentCustomIndex_ = r.i32();
+    currentSbtOffset_ = r.i32();
+    auto get_entry = [&] {
+        StackEntry e;
+        e.addr = r.u64();
+        e.type = static_cast<NodeType>(r.u32());
+        e.instance = r.i32();
+        return e;
+    };
+    shortStack_.resize(r.u64());
+    shortTop_ = r.u32();
+    for (unsigned i = 0; i < shortTop_; ++i)
+        shortStack_[i] = get_entry();
+    spilled_.resize(r.u64());
+    for (StackEntry &e : spilled_)
+        e = get_entry();
+    havePending_ = r.b();
+    if (havePending_)
+        pending_ = get_entry();
+    done_ = r.b();
+    hit_.t = r.f32();
+    hit_.u = r.f32();
+    hit_.v = r.f32();
+    hit_.instanceIndex = r.i32();
+    hit_.primitiveIndex = r.i32();
+    hit_.instanceCustomIndex = r.i32();
+    hit_.sbtOffset = r.i32();
+    hit_.kind = static_cast<HitKind>(r.u8());
+    deferred_.resize(r.u64());
+    for (DeferredHit &d : deferred_) {
+        d.instanceIndex = r.i32();
+        d.primitiveIndex = r.i32();
+        d.instanceCustomIndex = r.i32();
+        d.sbtOffset = r.i32();
+        d.anyHit = r.b();
+        d.t = r.f32();
+        d.u = r.f32();
+        d.v = r.f32();
+    }
+    nodesVisited_ = r.u64();
+    boxTests_ = r.u64();
+    triangleTests_ = r.u64();
+    transforms_ = r.u64();
+    stackSpills_ = r.u64();
+}
+
 } // namespace vksim

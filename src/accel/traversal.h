@@ -27,6 +27,7 @@
 #include "geom/mat4.h"
 #include "geom/ray.h"
 #include "mem/gmem.h"
+#include "util/serial.h"
 
 namespace vksim {
 
@@ -112,6 +113,17 @@ class RayTraversal
                  std::uint32_t flags = kRayFlagNone,
                  TraversalMemSink *sink = nullptr,
                  unsigned short_stack_entries = kShortStackEntries);
+
+    /**
+     * Restore constructor (checkpointing): binds `gmem` and reads every
+     * other field from a stream previously produced by saveState(). The
+     * memory-traffic sink is *not* restored — the owning RT unit
+     * re-links it via setSink() when it restores its own entries.
+     */
+    RayTraversal(const GlobalMemory &gmem, serial::Reader &r);
+
+    /** Serialize the full traversal state (checkpointing). */
+    void saveState(serial::Writer &w) const;
 
     /** True when no work remains. */
     bool done() const { return done_; }

@@ -1,5 +1,7 @@
 #include "cache/cache.h"
 
+#include <algorithm>
+
 #include "util/log.h"
 
 namespace vksim {
@@ -252,6 +254,62 @@ Cache::reset()
     mshrs_.clear();
     everSeen_.clear();
     stats_.reset();
+}
+
+void
+Cache::saveState(serial::Writer &w) const
+{
+    w.u64(lines_.size());
+    for (const Line &l : lines_) {
+        w.u64(l.tag);
+        w.b(l.valid);
+        w.u64(l.lastUse);
+    }
+    std::vector<Addr> mshr_addrs;
+    mshr_addrs.reserve(mshrs_.size());
+    for (const auto &[addr, mshr] : mshrs_)
+        mshr_addrs.push_back(addr);
+    std::sort(mshr_addrs.begin(), mshr_addrs.end());
+    w.u64(mshr_addrs.size());
+    for (Addr addr : mshr_addrs) {
+        const Mshr &m = mshrs_.at(addr);
+        w.u64(addr);
+        w.u64(m.targets.size());
+        for (std::uint64_t t : m.targets)
+            w.u64(t);
+    }
+    std::vector<Addr> seen(everSeen_.begin(), everSeen_.end());
+    std::sort(seen.begin(), seen.end());
+    w.u64(seen.size());
+    for (Addr a : seen)
+        w.u64(a);
+    stats_.saveState(w);
+}
+
+void
+Cache::loadState(serial::Reader &r)
+{
+    std::uint64_t num_lines = r.u64();
+    vksim_assert(num_lines == lines_.size());
+    for (Line &l : lines_) {
+        l.tag = r.u64();
+        l.valid = r.b();
+        l.lastUse = r.u64();
+    }
+    mshrs_.clear();
+    std::uint64_t num_mshrs = r.u64();
+    for (std::uint64_t i = 0; i < num_mshrs; ++i) {
+        Addr addr = r.u64();
+        Mshr &m = mshrs_[addr];
+        m.targets.resize(r.u64());
+        for (std::uint64_t &t : m.targets)
+            t = r.u64();
+    }
+    everSeen_.clear();
+    std::uint64_t num_seen = r.u64();
+    for (std::uint64_t i = 0; i < num_seen; ++i)
+        everSeen_.insert(r.u64());
+    stats_.loadState(r);
 }
 
 } // namespace vksim

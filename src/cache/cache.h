@@ -20,6 +20,7 @@
 
 #include "check/check.h"
 #include "core/clockedunit.h"
+#include "util/serial.h"
 #include "util/stats.h"
 #include "util/types.h"
 
@@ -150,6 +151,15 @@ class Cache : public ClockedUnit
      * of hash-map iteration order.
      */
     std::uint64_t stateDigest() const;
+
+    /**
+     * Serialize / restore tag array, MSHRs, miss-classification history
+     * and statistics (checkpointing). Lookup-only unordered containers
+     * are written sorted by key so the byte stream is independent of
+     * hash-map iteration order.
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     struct Line

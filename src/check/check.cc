@@ -67,22 +67,41 @@ DigestTrace::Divergence
 DigestTrace::firstDivergence(const DigestTrace &other) const
 {
     Divergence d;
-    if (units != other.units || period != other.period) {
+    if (units != other.units || period != other.period
+        || (start > other.start ? start - other.start
+                                : other.start - start)
+                   % period
+               != 0) {
         d.diverged = true;
         return d;
     }
-    std::size_t n = std::min(values.size(), other.values.size());
+    if (units == 0)
+        return d; // both traces empty (digests were not recorded)
+    // Align on the later start: the earlier trace's leading samples have
+    // no counterpart in the other and cannot be compared.
+    const Cycle common = std::max(start, other.start);
+    const std::size_t skip_a =
+        static_cast<std::size_t>((common - start) / period) * units;
+    const std::size_t skip_b =
+        static_cast<std::size_t>((common - other.start) / period) * units;
+    const std::size_t n_a = values.size() > skip_a
+                                ? values.size() - skip_a
+                                : 0;
+    const std::size_t n_b = other.values.size() > skip_b
+                                ? other.values.size() - skip_b
+                                : 0;
+    std::size_t n = std::min(n_a, n_b);
     for (std::size_t i = 0; i < n; ++i) {
-        if (values[i] != other.values[i]) {
+        if (values[skip_a + i] != other.values[skip_b + i]) {
             d.diverged = true;
-            d.cycle = static_cast<Cycle>(i / units) * period;
+            d.cycle = common + static_cast<Cycle>(i / units) * period;
             d.unit = static_cast<unsigned>(i % units);
             return d;
         }
     }
-    if (values.size() != other.values.size()) {
+    if (n_a != n_b) {
         d.diverged = true;
-        d.cycle = static_cast<Cycle>(n / units) * period;
+        d.cycle = common + static_cast<Cycle>(n / units) * period;
     }
     return d;
 }

@@ -142,6 +142,15 @@ struct DigestTrace
 {
     Cycle period = 1;   ///< cycles between samples
     unsigned units = 0; ///< digests per sample (numSms + 1 fabric slot)
+    /**
+     * Simulated cycle of the first sample. 0 for a run started from
+     * scratch; a run resumed from a checkpoint records only the suffix
+     * it executed, starting at the first period multiple >= the resume
+     * cycle. firstDivergence() aligns the two traces on their common
+     * cycle range, so a resumed suffix can be compared directly against
+     * the uninterrupted oracle's full trace.
+     */
+    Cycle start = 0;
     std::vector<std::uint64_t> values; ///< sample-major, then unit
 
     std::size_t
@@ -163,7 +172,13 @@ struct DigestTrace
         unsigned unit = 0;///< unit index (== numSms means the fabric)
     };
 
-    /** First (cycle, unit) where the two traces disagree. */
+    /**
+     * First (cycle, unit) where the two traces disagree over their
+     * common cycle range [max(start, other.start), min(end, end)].
+     * Samples before the later trace's start are not comparable and are
+     * skipped; traces ending at different cycles diverge at the shorter
+     * trace's end.
+     */
     Divergence firstDivergence(const DigestTrace &other) const;
 };
 

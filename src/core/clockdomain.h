@@ -59,6 +59,26 @@ class ClockDomain
         return ticks;
     }
 
+    /**
+     * The fractional-tick accumulator as raw IEEE-754 bits, for
+     * checkpointing. The value is part of the bit-exact determinism
+     * contract, so it round-trips as bits, never through decimal.
+     */
+    unsigned long long
+    accumBits() const
+    {
+        unsigned long long bits;
+        static_assert(sizeof(bits) == sizeof(accum_));
+        __builtin_memcpy(&bits, &accum_, sizeof(bits));
+        return bits;
+    }
+
+    void
+    restoreAccumBits(unsigned long long bits)
+    {
+        __builtin_memcpy(&accum_, &bits, sizeof(accum_));
+    }
+
   private:
     double ratio_ = 1.0;
     double accum_ = 0.0;

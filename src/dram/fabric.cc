@@ -253,6 +253,84 @@ DramChannel::stateDigest() const
     return d.value();
 }
 
+namespace {
+
+void
+putRequest(serial::Writer &w, const MemRequest &r)
+{
+    w.u64(r.addr);
+    w.b(r.write);
+    w.u8(static_cast<std::uint8_t>(r.origin));
+    w.u32(r.smId);
+    w.u64(r.tag);
+}
+
+MemRequest
+getRequest(serial::Reader &r)
+{
+    MemRequest req;
+    req.addr = r.u64();
+    req.write = r.b();
+    req.origin = static_cast<AccessOrigin>(r.u8());
+    req.smId = r.u32();
+    req.tag = r.u64();
+    return req;
+}
+
+} // namespace
+
+void
+DramChannel::saveState(serial::Writer &w) const
+{
+    w.u64(queue_.size());
+    for (const MemRequest &r : queue_)
+        putRequest(w, r);
+    w.u64(banks_.size());
+    for (const Bank &b : banks_) {
+        w.u64(b.openRow);
+        w.u64(b.readyAt);
+    }
+    w.u64(inflight_.size());
+    for (const Inflight &f : inflight_) {
+        putRequest(w, f.req);
+        w.u64(f.doneAt);
+    }
+    w.u64(completed_.size());
+    for (const MemRequest &r : completed_)
+        putRequest(w, r);
+    w.u64(nowDram_);
+    w.u64(busFreeAt_);
+}
+
+void
+DramChannel::loadState(serial::Reader &r)
+{
+    queue_.clear();
+    std::uint64_t num_queued = r.u64();
+    for (std::uint64_t i = 0; i < num_queued; ++i)
+        queue_.push_back(getRequest(r));
+    std::uint64_t num_banks = r.u64();
+    vksim_assert(num_banks == banks_.size());
+    for (Bank &b : banks_) {
+        b.openRow = r.u64();
+        b.readyAt = r.u64();
+    }
+    inflight_.clear();
+    std::uint64_t num_inflight = r.u64();
+    for (std::uint64_t i = 0; i < num_inflight; ++i) {
+        Inflight f;
+        f.req = getRequest(r);
+        f.doneAt = r.u64();
+        inflight_.push_back(f);
+    }
+    completed_.clear();
+    std::uint64_t num_done = r.u64();
+    for (std::uint64_t i = 0; i < num_done; ++i)
+        completed_.push_back(getRequest(r));
+    nowDram_ = r.u64();
+    busFreeAt_ = r.u64();
+}
+
 // --- MemFabric ------------------------------------------------------------
 
 MemFabric::MemFabric(const FabricConfig &config, unsigned num_sms)
@@ -545,6 +623,85 @@ MemFabric::stateDigest(Cycle now) const
         d.mix(live);
     }
     return d.value();
+}
+
+void
+MemFabric::saveState(serial::Writer &w) const
+{
+    w.u64(partitions_.size());
+    for (const Partition &p : partitions_) {
+        p.l2->saveState(w);
+        p.dram->saveState(w);
+        w.u64(p.inbound.size());
+        for (const auto &[ready, req] : p.inbound) {
+            w.u64(ready);
+            putRequest(w, req);
+        }
+        // pendingMiss is a hash map: write sorted by cookie.
+        std::vector<std::uint64_t> cookies;
+        cookies.reserve(p.pendingMiss.size());
+        for (const auto &[cookie, req] : p.pendingMiss)
+            cookies.push_back(cookie);
+        std::sort(cookies.begin(), cookies.end());
+        w.u64(cookies.size());
+        for (std::uint64_t cookie : cookies) {
+            w.u64(cookie);
+            putRequest(w, p.pendingMiss.at(cookie));
+        }
+        w.u64(p.nextCookie);
+    }
+    // Full response deques, drained-but-untrimmed entries included: the
+    // digest of a replayed cycle must still see them after restore.
+    w.u64(responses_.size());
+    for (unsigned sm = 0; sm < responses_.size(); ++sm) {
+        const auto &q = responses_[sm];
+        w.u64(q.size());
+        for (const auto &[ready, req] : q) {
+            w.u64(ready);
+            putRequest(w, req);
+        }
+        w.u64(respCursor_[sm]);
+    }
+    w.u64(dramClock_.accumBits());
+    dramStats_.saveState(w);
+}
+
+void
+MemFabric::loadState(serial::Reader &r)
+{
+    std::uint64_t num_parts = r.u64();
+    vksim_assert(num_parts == partitions_.size());
+    for (Partition &p : partitions_) {
+        p.l2->loadState(r);
+        p.dram->loadState(r);
+        p.inbound.clear();
+        std::uint64_t num_inbound = r.u64();
+        for (std::uint64_t i = 0; i < num_inbound; ++i) {
+            Cycle ready = r.u64();
+            p.inbound.emplace_back(ready, getRequest(r));
+        }
+        p.pendingMiss.clear();
+        std::uint64_t num_pending = r.u64();
+        for (std::uint64_t i = 0; i < num_pending; ++i) {
+            std::uint64_t cookie = r.u64();
+            p.pendingMiss.emplace(cookie, getRequest(r));
+        }
+        p.nextCookie = r.u64();
+    }
+    std::uint64_t num_sms = r.u64();
+    vksim_assert(num_sms == responses_.size());
+    for (unsigned sm = 0; sm < responses_.size(); ++sm) {
+        auto &q = responses_[sm];
+        q.clear();
+        std::uint64_t num_resp = r.u64();
+        for (std::uint64_t i = 0; i < num_resp; ++i) {
+            Cycle ready = r.u64();
+            q.emplace_back(ready, getRequest(r));
+        }
+        respCursor_[sm] = r.u64();
+    }
+    dramClock_.restoreAccumBits(r.u64());
+    dramStats_.loadState(r);
 }
 
 StatGroup &

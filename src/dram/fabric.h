@@ -131,6 +131,16 @@ class DramChannel : public ClockedUnit
     /** Order-insensitive digest of queue, bank and inflight state. */
     std::uint64_t stateDigest() const;
 
+    /**
+     * Serialize / restore channel state (checkpointing). The inflight
+     * list uses swap-remove, so its *container order* is behaviorally
+     * relevant (the retire scan walks it front to back) and is written
+     * verbatim. The shared DRAM StatGroup is serialized once at the
+     * fabric level, not here.
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
+
   private:
     struct Bank
     {
@@ -257,6 +267,16 @@ class MemFabric : public ClockedUnit
      * have already drained (epoch stepping).
      */
     std::uint64_t stateDigest(Cycle now) const;
+
+    /**
+     * Serialize / restore the full fabric: every partition's L2 slice,
+     * DRAM channel, inbound queue and pending-miss table (written sorted
+     * by cookie), the per-SM response queues *including* drained-but-
+     * untrimmed entries plus their cursors, the core→DRAM clock-crossing
+     * accumulator (exact FP bits), and the shared DRAM statistics.
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     struct Partition

@@ -1,0 +1,174 @@
+#include "gpu/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "gpu/gpu.h"
+#include "util/serial.h"
+#include "util/simerror.h"
+
+namespace vksim {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'V', 'K', 'S', 'I', 'M', 'C', 'K', 'P'};
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+digestCache(serial::Writer &w, const CacheConfig &c)
+{
+    w.u64(c.sizeBytes);
+    w.u32(c.assoc);
+    w.u32(c.latency);
+    w.u32(c.numMshrs);
+    w.u32(c.mshrTargets);
+}
+
+} // namespace
+
+std::uint64_t
+gpuConfigDigest(const GpuConfig &config)
+{
+    // Serialize the structural fields into a canonical byte stream and
+    // hash that: the digest changes exactly when a field that shapes
+    // simulated behavior changes.
+    serial::Writer w;
+    w.u32(config.numSms);
+    w.u32(config.maxWarpsPerSm);
+    w.u32(config.regsPerSm);
+    w.u32(config.issueWidth);
+    w.u32(config.aluLatency);
+    w.u32(config.sfuLatency);
+    w.u32(config.sfuIssueInterval);
+    w.u32(config.ldstQueueSize);
+    digestCache(w, config.l1);
+    w.b(config.useRtCache);
+    if (config.useRtCache)
+        digestCache(w, config.rtCache);
+    w.u32(config.fabric.numPartitions);
+    w.u32(config.fabric.icntLatency);
+    digestCache(w, config.fabric.l2);
+    w.u32(config.fabric.dram.banks);
+    w.u64(config.fabric.dram.rowBytes);
+    w.u32(config.fabric.dram.tRcd);
+    w.u32(config.fabric.dram.tRp);
+    w.u32(config.fabric.dram.tCas);
+    w.u32(config.fabric.dram.burstCycles);
+    w.u32(config.fabric.dram.queueSize);
+    w.f64(config.fabric.dramClockRatio);
+    w.b(config.fabric.perfectMem);
+    w.u32(config.rt.maxWarps);
+    w.u32(config.rt.memQueueSize);
+    w.u32(config.rt.issuePerCycle);
+    w.u32(config.rt.opsPerCycle);
+    w.u32(config.rt.boxLatency);
+    w.u32(config.rt.triLatency);
+    w.u32(config.rt.transformLatency);
+    w.u32(config.rt.shortStackEntries);
+    w.b(config.rt.perfectBvh);
+    w.b(config.rt.fccEnabled);
+    w.b(config.its);
+    w.b(config.fccEnabled);
+    w.u8(static_cast<std::uint8_t>(config.sched));
+    w.u64(config.occupancySamplePeriod);
+    return fnv1a(w.buffer().data(), w.buffer().size());
+}
+
+void
+writeSnapshotFile(const std::string &path, const EngineSnapshot &snap)
+{
+    serial::Writer w;
+    w.bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+    w.u32(kSnapshotVersion);
+    w.u64(snap.configDigest);
+    w.u64(snap.cycle);
+    w.u64(snap.bytes.size());
+    w.u64(fnv1a(snap.bytes.data(), snap.bytes.size()));
+    w.bytes(snap.bytes.data(), snap.bytes.size());
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw SimError("cannot open snapshot temp file " + tmp
+                       + " for writing: check that the directory exists "
+                         "and is writable");
+    const std::vector<std::uint8_t> &buf = w.buffer();
+    bool ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+    ok = std::fflush(f) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw SimError("short write while saving snapshot to " + tmp
+                       + ": disk full or I/O error");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SimError("cannot rename snapshot temp file over " + path);
+    }
+}
+
+EngineSnapshot
+readSnapshotFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw SimError("cannot open snapshot file " + path
+                       + ": it does not exist or is unreadable");
+    std::vector<std::uint8_t> raw;
+    std::uint8_t chunk[65536];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        raw.insert(raw.end(), chunk, chunk + n);
+    std::fclose(f);
+
+    serial::Reader r(raw);
+    char magic[sizeof(kSnapshotMagic)];
+    if (r.remaining() < sizeof(magic))
+        throw SimError("snapshot file " + path
+                       + " is truncated before the header: re-create the "
+                         "checkpoint, this file is unusable");
+    r.bytes(magic, sizeof(magic));
+    if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0)
+        throw SimError("snapshot file " + path
+                       + " has a bad magic: this is not a vksim engine "
+                         "snapshot");
+    std::uint32_t version = r.u32();
+    if (version != kSnapshotVersion)
+        throw SimError(
+            "snapshot file " + path + " has version "
+            + std::to_string(version) + " but this build reads version "
+            + std::to_string(kSnapshotVersion)
+            + ": re-create the checkpoint with the current binary "
+              "(snapshot layouts are not cross-version compatible)");
+
+    EngineSnapshot snap;
+    snap.configDigest = r.u64();
+    snap.cycle = r.u64();
+    std::uint64_t payload_size = r.u64();
+    std::uint64_t payload_digest = r.u64();
+    if (r.remaining() != payload_size)
+        throw SimError("snapshot file " + path + " is truncated: header "
+                       + "promises " + std::to_string(payload_size)
+                       + " payload bytes but " + std::to_string(r.remaining())
+                       + " remain; the file was torn mid-write — re-create "
+                         "the checkpoint");
+    snap.bytes.resize(payload_size);
+    r.bytes(snap.bytes.data(), payload_size);
+    if (fnv1a(snap.bytes.data(), snap.bytes.size()) != payload_digest)
+        throw SimError("snapshot file " + path + " failed payload digest "
+                       + "verification: the contents are corrupt — "
+                         "re-create the checkpoint");
+    return snap;
+}
+
+} // namespace vksim

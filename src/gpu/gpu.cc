@@ -123,6 +123,16 @@ GpuConfig::validate() const
         problems.push_back(
             "FCC and ITS cannot be combined: the per-warp coalescing "
             "buffer assumes serialized traverses (disable one of them)");
+    if (checkpoint.enabled() && timeline.enabled())
+        problems.push_back(
+            "checkpointing and the timeline sink cannot be combined: a "
+            "resumed run cannot reconstruct the pre-snapshot timeline "
+            "events, so the trace would be silently incomplete (disable "
+            "one of them)");
+    if (checkpoint.every != 0 && checkpoint.path.empty())
+        problems.push_back(
+            "checkpoint.every is set but checkpoint.path is empty: "
+            "auto-snapshots need a file to land in");
     return problems;
 }
 
@@ -865,6 +875,258 @@ SmCore::stateDigest() const
     return d.value();
 }
 
+namespace {
+
+void
+saveWarp(serial::Writer &w, const vptx::Warp &warp)
+{
+    w.u32(warp.warpId);
+    for (const vptx::ThreadState &t : warp.threads) {
+        w.u64(t.regs.size());
+        for (std::uint64_t v : t.regs)
+            w.u64(v);
+        w.u32(t.windowBase);
+        w.u64(t.callStack.size());
+        for (const auto &f : t.callStack) {
+            w.u32(f.retPc);
+            w.u32(f.savedWindow);
+        }
+        w.u32(t.rtDepth);
+        for (int i = 0; i < 3; ++i)
+            w.u32(t.launchId[i]);
+        w.u32(t.tid);
+        w.b(t.exited);
+    }
+    warp.cflow.saveState(w);
+    w.u64(warp.fccRows.size());
+    for (const vptx::CoalescedRow &row : warp.fccRows) {
+        w.i32(row.shaderId);
+        w.u32(row.mask);
+        for (std::uint16_t e : row.entryIdx)
+            w.u32(e);
+    }
+    // pendingTraverses is a hash map: write sorted by split id.
+    std::vector<int> splits;
+    splits.reserve(warp.pendingTraverses.size());
+    for (const auto &[id, st] : warp.pendingTraverses)
+        splits.push_back(id);
+    std::sort(splits.begin(), splits.end());
+    w.u64(splits.size());
+    for (int id : splits) {
+        const vptx::TraverseState &st = warp.pendingTraverses.at(id);
+        w.i32(id);
+        w.u32(st.mask);
+        w.u64(st.lanes.size());
+        for (const vptx::LaneTraversal &lt : st.lanes) {
+            w.u64(lt.frameBase);
+            w.b(lt.traversal != nullptr);
+            if (lt.traversal)
+                lt.traversal->saveState(w);
+        }
+    }
+}
+
+void
+loadWarp(serial::Reader &r, vptx::Warp &warp, const GlobalMemory &gmem)
+{
+    warp.warpId = r.u32();
+    for (vptx::ThreadState &t : warp.threads) {
+        t.regs.resize(r.u64());
+        for (std::uint64_t &v : t.regs)
+            v = r.u64();
+        t.windowBase = r.u32();
+        t.callStack.resize(r.u64());
+        for (auto &f : t.callStack) {
+            f.retPc = r.u32();
+            f.savedWindow = r.u32();
+        }
+        t.rtDepth = r.u32();
+        for (int i = 0; i < 3; ++i)
+            t.launchId[i] = r.u32();
+        t.tid = r.u32();
+        t.exited = r.b();
+    }
+    warp.cflow.loadState(r);
+    warp.fccRows.resize(r.u64());
+    for (vptx::CoalescedRow &row : warp.fccRows) {
+        row.shaderId = r.i32();
+        row.mask = r.u32();
+        for (std::uint16_t &e : row.entryIdx)
+            e = static_cast<std::uint16_t>(r.u32());
+    }
+    warp.pendingTraverses.clear();
+    std::uint64_t num_splits = r.u64();
+    for (std::uint64_t i = 0; i < num_splits; ++i) {
+        int id = r.i32();
+        vptx::TraverseState &st = warp.pendingTraverses[id];
+        st.mask = r.u32();
+        st.lanes.resize(r.u64());
+        for (vptx::LaneTraversal &lt : st.lanes) {
+            lt.frameBase = r.u64();
+            if (r.b())
+                lt.traversal = std::make_unique<RayTraversal>(gmem, r);
+        }
+    }
+}
+
+} // namespace
+
+void
+SmCore::saveState(serial::Writer &w) const
+{
+    vksim_assert(stagedRequests_.empty());
+    w.u64(warps_.size());
+    for (const WarpSlot &ws : warps_) {
+        w.b(ws.warp != nullptr);
+        if (!ws.warp)
+            continue;
+        w.u32(ws.warpId);
+        w.u32(ws.pendingLoads);
+        w.u32(ws.nextSplit);
+        w.u64(ws.dispatchedAt);
+        w.u64(ws.pendingRegs.size());
+        for (int reg : ws.pendingRegs)
+            w.i32(reg);
+        saveWarp(w, *ws.warp);
+    }
+    w.u64(l1Queue_.size());
+    for (const L1Req &q : l1Queue_) {
+        w.u64(q.sector);
+        w.b(q.write);
+        w.u8(static_cast<std::uint8_t>(q.origin));
+        w.u64(q.tag);
+    }
+    // ldstOps_ is a hash map: write sorted by tag.
+    std::vector<std::uint64_t> tags;
+    tags.reserve(ldstOps_.size());
+    for (const auto &[tag, op] : ldstOps_)
+        tags.push_back(tag);
+    std::sort(tags.begin(), tags.end());
+    w.u64(tags.size());
+    for (std::uint64_t tag : tags) {
+        const LdstOp &op = ldstOps_.at(tag);
+        w.u64(tag);
+        w.u32(op.slot);
+        w.i32(op.dstReg);
+        w.u32(op.sectorsLeft);
+    }
+    w.u64(nextLdstTag_);
+    // writebacks_ uses swap-remove, so its container order is behavior-
+    // relevant (the retire scan walks it front to back): write verbatim.
+    w.u64(writebacks_.size());
+    for (const PendingWriteback &wb : writebacks_) {
+        w.u64(wb.at);
+        w.u32(wb.slot);
+        w.i32(wb.reg);
+        w.b(wb.isLoad);
+    }
+    // The tag heap pops in a deterministic order: drain a copy.
+    auto heap = tagReady_;
+    w.u64(heap.size());
+    while (!heap.empty()) {
+        w.u64(heap.top().at);
+        w.u64(heap.top().seq);
+        w.u64(heap.top().tag);
+        heap.pop();
+    }
+    w.u64(tagSeq_);
+    w.i32(greedyWarp_);
+    w.u32(rrCursor_);
+    w.u64(sfuReadyAt_);
+    w.u64(now_);
+    stats_.saveState(w);
+    rtStats_.saveState(w);
+    rtLatency_.saveState(w);
+    l1_.saveState(w);
+    if (rtCache_)
+        rtCache_->saveState(w);
+    auto slot_of = [this](const vptx::Warp *warp) -> std::uint32_t {
+        for (std::uint32_t s = 0; s < warps_.size(); ++s)
+            if (warps_[s].warp.get() == warp)
+                return s;
+        vksim_panic("RT unit holds a warp not resident in any slot");
+        return 0;
+    };
+    rtUnit_.saveState(w, slot_of);
+}
+
+void
+SmCore::loadState(serial::Reader &r)
+{
+    vksim_assert(stagedRequests_.empty());
+    std::uint64_t num_slots = r.u64();
+    warps_.clear();
+    warps_.resize(num_slots);
+    for (WarpSlot &ws : warps_) {
+        if (!r.b())
+            continue;
+        ws.warpId = r.u32();
+        ws.pendingLoads = r.u32();
+        ws.nextSplit = r.u32();
+        ws.dispatchedAt = r.u64();
+        std::uint64_t num_regs = r.u64();
+        for (std::uint64_t i = 0; i < num_regs; ++i)
+            ws.pendingRegs.insert(r.i32());
+        ws.warp = std::make_unique<vptx::Warp>();
+        loadWarp(r, *ws.warp, *ctx_.gmem);
+    }
+    l1Queue_.clear();
+    std::uint64_t num_l1 = r.u64();
+    for (std::uint64_t i = 0; i < num_l1; ++i) {
+        L1Req q;
+        q.sector = r.u64();
+        q.write = r.b();
+        q.origin = static_cast<AccessOrigin>(r.u8());
+        q.tag = r.u64();
+        l1Queue_.push_back(q);
+    }
+    ldstOps_.clear();
+    std::uint64_t num_ops = r.u64();
+    for (std::uint64_t i = 0; i < num_ops; ++i) {
+        std::uint64_t tag = r.u64();
+        LdstOp op;
+        op.slot = r.u32();
+        op.dstReg = r.i32();
+        op.sectorsLeft = r.u32();
+        ldstOps_.emplace(tag, op);
+    }
+    nextLdstTag_ = r.u64();
+    writebacks_.clear();
+    std::uint64_t num_wb = r.u64();
+    for (std::uint64_t i = 0; i < num_wb; ++i) {
+        PendingWriteback wb;
+        wb.at = r.u64();
+        wb.slot = r.u32();
+        wb.reg = r.i32();
+        wb.isLoad = r.b();
+        writebacks_.push_back(wb);
+    }
+    tagReady_ = {};
+    std::uint64_t num_tags = r.u64();
+    for (std::uint64_t i = 0; i < num_tags; ++i) {
+        TagEvent ev;
+        ev.at = r.u64();
+        ev.seq = r.u64();
+        ev.tag = r.u64();
+        tagReady_.push(ev);
+    }
+    tagSeq_ = r.u64();
+    greedyWarp_ = r.i32();
+    rrCursor_ = r.u32();
+    sfuReadyAt_ = r.u64();
+    now_ = r.u64();
+    stats_.loadState(r);
+    rtStats_.loadState(r);
+    rtLatency_.loadState(r);
+    l1_.loadState(r);
+    if (rtCache_)
+        rtCache_->loadState(r);
+    rtUnit_.loadState(r, [this](std::uint32_t slot) {
+        vksim_assert(slot < warps_.size() && warps_[slot].warp);
+        return warps_[slot].warp.get();
+    });
+}
+
 // --- GpuSimulator -----------------------------------------------------------
 
 GpuSimulator::GpuSimulator(const GpuConfig &config,
@@ -1026,10 +1288,117 @@ GpuSimulator::run()
                 cycle);
     };
 
+    // Checkpoint plumbing (DESIGN.md, "Persistence & recovery
+    // contract"). Snapshots are captured only here, at the loop top of
+    // either engine: the staged SM→fabric queues are empty, the fabric
+    // has cycled through now - 1, and dispatch for `now` has not run —
+    // exactly the state the per-barrier digests certify. The config
+    // digest covers only structural fields, so a snapshot moves freely
+    // across thread counts, idle-skip settings, and epoch lengths.
+    const CheckpointConfig &ckpt = config_.checkpoint;
+    const std::uint64_t cfg_digest = gpuConfigDigest(config_);
+    bool oneshot_pending = ckpt.snapshotAt != ~Cycle(0);
+    Cycle next_auto_ckpt = ckpt.every ? ckpt.every : ~Cycle(0);
+    auto capture = [&](Cycle at) {
+        serial::Writer w;
+        w.u64(ctx_.gmem->brk());
+        const auto pages = ctx_.gmem->snapshotPages();
+        w.u64(pages.size());
+        for (const auto &[pg, data] : pages) {
+            w.u64(pg);
+            w.u64(data->size());
+            w.bytes(data->data(), data->size());
+        }
+        w.u32(next_warp);
+        w.u32(rr_sm);
+        sched.saveState(w);
+        for (const auto &sm : sms)
+            sm->saveState(w);
+        fabric.saveState(w);
+        w.u64(result.occupancyTrace.size());
+        for (const auto &[c, rays] : result.occupancyTrace) {
+            w.u64(c);
+            w.u32(rays);
+        }
+        auto snap = std::make_shared<EngineSnapshot>();
+        snap->cycle = at;
+        snap->configDigest = cfg_digest;
+        snap->bytes = w.take();
+        return snap;
+    };
+    auto maybe_snapshot = [&](Cycle at) {
+        if (oneshot_pending && at >= ckpt.snapshotAt) {
+            if (ckpt.exact && at != ckpt.snapshotAt)
+                throw SimError(
+                    "exact snapshot cycle "
+                        + std::to_string(ckpt.snapshotAt)
+                        + " is not an epoch barrier of this engine "
+                          "(nearest barrier: cycle " + std::to_string(at)
+                        + "): snapshots are only defined at barriers — "
+                          "run with epochCycles=1 or drop the exact "
+                          "requirement",
+                    at);
+            result.snapshot = capture(at);
+            oneshot_pending = false;
+        }
+        if (ckpt.every && at >= next_auto_ckpt) {
+            writeSnapshotFile(ckpt.path, *capture(at));
+            next_auto_ckpt = (at / ckpt.every + 1) * ckpt.every;
+        }
+    };
+
     Cycle now = 0;
+    if (ckpt.resume) {
+        const EngineSnapshot &snap = *ckpt.resume;
+        if (snap.configDigest != cfg_digest)
+            throw SimError(
+                "engine snapshot was captured under a different "
+                "structural GPU configuration (config digest mismatch): "
+                "restore with the same SM/cache/DRAM/RT geometry the "
+                "snapshot was taken under");
+        serial::Reader r(snap.bytes);
+        // The snapshot's page set is a superset of the freshly built
+        // image (pages only materialize, never vanish), so overwriting
+        // page by page reproduces the exact memory state.
+        const Addr brk = r.u64();
+        const std::uint64_t num_pages = r.u64();
+        std::vector<std::uint8_t> page;
+        for (std::uint64_t i = 0; i < num_pages; ++i) {
+            const Addr pg = r.u64();
+            page.resize(r.u64());
+            r.bytes(page.data(), page.size());
+            ctx_.gmem->write(pg << GlobalMemory::kPageBits, page.data(),
+                             page.size());
+        }
+        ctx_.gmem->setBrk(brk);
+        next_warp = r.u32();
+        rr_sm = r.u32();
+        sched.loadState(r);
+        for (const auto &sm : sms)
+            sm->loadState(r);
+        fabric.loadState(r);
+        const std::uint64_t num_occ = r.u64();
+        result.occupancyTrace.reserve(num_occ);
+        for (std::uint64_t i = 0; i < num_occ; ++i) {
+            const Cycle c = r.u64();
+            const unsigned rays = r.u32();
+            result.occupancyTrace.emplace_back(c, rays);
+        }
+        vksim_assert(r.done());
+        now = snap.cycle;
+        // The resumed trace's first sample is the first period multiple
+        // the loop will reach; record it so start-aligned comparison
+        // against an uninterrupted oracle lines up.
+        if (digests_on)
+            result.digests.start = ((now + result.digests.period - 1)
+                                    / result.digests.period)
+                                   * result.digests.period;
+    }
+
     if (epoch_len == 1) {
         // --- Lock-step oracle: one barrier per cycle -------------------
         while (true) {
+            maybe_snapshot(now);
             dispatch_warps(now);
 
             const std::vector<unsigned> &active = sched.active();
@@ -1121,6 +1490,7 @@ GpuSimulator::run()
         std::vector<unsigned> occ_scratch;
 
         while (true) {
+            maybe_snapshot(now);
             dispatch_warps(now);
 
             // Epoch span: one cycle while dispatch is in progress (the
@@ -1334,6 +1704,18 @@ GpuSimulator::run()
             sched.reconcile(now);
         }
     }
+
+    // A one-shot snapshot request past the end of the run is a caller
+    // error, not a silent no-op: the returned RunResult would otherwise
+    // carry a null snapshot the caller has no way to distinguish from
+    // "forgot to ask".
+    if (oneshot_pending)
+        throw SimError("snapshot cycle " + std::to_string(ckpt.snapshotAt)
+                           + " was never reached at a barrier: the run "
+                             "ended at cycle " + std::to_string(now)
+                           + " — request a snapshot inside the run's "
+                             "cycle span",
+                       now);
 
     // Replay still-sleeping SMs to the end of the run, then the final
     // deep sweep covers the fully caught-up machine.

@@ -20,6 +20,7 @@
 #include "check/check.h"
 #include "core/clockedunit.h"
 #include "dram/fabric.h"
+#include "gpu/checkpoint.h"
 #include "rtunit/rtunit.h"
 #include "util/image.h"
 #include "util/metrics.h"
@@ -151,6 +152,17 @@ struct GpuConfig
     TimelineConfig timeline;
 
     /**
+     * Engine checkpoint/restore (auto-snapshot period, one-shot capture,
+     * resume source). Snapshots are taken at epoch barriers only; a run
+     * resumed from one is bit-identical to the uninterrupted oracle for
+     * every thread count, idle-skip setting and epoch length (DESIGN.md,
+     * "Persistence & recovery contract"). Mutually exclusive with the
+     * timeline sink: a resumed timeline would be missing the pre-snapshot
+     * events, so validate() rejects the combination.
+     */
+    CheckpointConfig checkpoint;
+
+    /**
      * Sanity-check the configuration and return one actionable message
      * per problem (empty = valid): zero-sized structural parameters
      * (SMs, warps, queues, cache geometry) that would deadlock or crash
@@ -213,6 +225,14 @@ struct RunResult
 
     /** Per-barrier state digests (populated when digestTrace is set). */
     check::DigestTrace digests;
+
+    /**
+     * The one-shot engine snapshot requested via
+     * GpuConfig::checkpoint.snapshotAt (null when none was requested).
+     * Feed it back through CheckpointConfig::resume to continue the run
+     * in a fresh engine.
+     */
+    std::shared_ptr<const EngineSnapshot> snapshot;
 
     /** Simulated cycles per host second (simulator throughput). */
     double
@@ -349,6 +369,16 @@ class SmCore : public RtMemPort, public ClockedUnit
 
     /** Order-insensitive digest of all SM-owned architectural state. */
     std::uint64_t stateDigest() const;
+
+    /**
+     * Serialize / restore every piece of SM-owned state the digest walk
+     * covers — resident warps (threads, SIMT stacks, parked traverses),
+     * scoreboard and LDST bookkeeping, the tag-event heap, the owned
+     * caches, the RT unit and all statistics. Only legal at an epoch
+     * barrier: the staged-request queue must be empty (asserted).
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     struct WarpSlot

@@ -81,4 +81,32 @@ EngineScheduler::finish(Cycle end)
         wake(sm, end);
 }
 
+void
+EngineScheduler::saveState(serial::Writer &w) const
+{
+    w.u64(units_.size());
+    for (const Unit &u : units_) {
+        w.b(u.awake);
+        w.u64(u.sleepSince);
+    }
+    w.u64(skipped_);
+}
+
+void
+EngineScheduler::loadState(serial::Reader &r)
+{
+    std::uint64_t num_units = r.u64();
+    vksim_assert(num_units == units_.size());
+    active_.clear();
+    for (unsigned sm = 0; sm < units_.size(); ++sm) {
+        Unit &u = units_[sm];
+        u.awake = r.b();
+        u.sleepSince = r.u64();
+        u.digestValid = false;
+        if (u.awake)
+            active_.push_back(sm);
+    }
+    skipped_ = r.u64();
+}
+
 } // namespace vksim

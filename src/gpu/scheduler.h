@@ -91,6 +91,15 @@ class EngineScheduler
     /** Total SM-cycles skipped instead of simulated (perf telemetry). */
     std::uint64_t skippedSmCycles() const { return skipped_; }
 
+    /**
+     * Serialize / restore the sleep set (checkpointing). Memoized
+     * digests are a pure cache and are not serialized; loadState
+     * invalidates them and rebuilds the active list from the awake
+     * flags. `enabled_` is construction-time config, not state.
+     */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
+
   private:
     struct Unit
     {

@@ -597,4 +597,162 @@ RtUnit::drainCompletions()
     return out;
 }
 
+void
+RtUnit::saveState(
+    serial::Writer &w,
+    const std::function<std::uint32_t(const vptx::Warp *)> &slot_of) const
+{
+    w.u64(entries_.size());
+    for (const WarpEntry &e : entries_) {
+        w.b(e.valid);
+        if (!e.valid)
+            continue;
+        w.u32(slot_of(e.warp));
+        w.i32(e.splitId);
+        w.u32(e.mask);
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            const LaneState &ls = e.lanes[lane];
+            w.u8(static_cast<std::uint8_t>(ls.status));
+            w.u32(ls.chunksOutstanding);
+            w.u64(ls.opDoneAt);
+            w.u32(static_cast<std::uint32_t>(ls.nodeType));
+        }
+        w.u64(e.submitTime);
+        w.u32(e.lanesLive);
+        w.u64(e.writebackQueue.size());
+        for (Addr a : e.writebackQueue)
+            w.u64(a);
+        w.b(e.inWriteback);
+        w.u64(e.spillWrites);
+        w.u64(e.deferredWrites);
+    }
+    w.u64(memQueue_.size());
+    for (const MemQueueEntry &q : memQueue_) {
+        w.u64(q.sector);
+        w.u64(q.targets.size());
+        for (auto [slot, lane] : q.targets) {
+            w.u32(slot);
+            w.u32(lane);
+        }
+    }
+    w.u64(responseFifo_.size());
+    for (auto [slot, lane] : responseFifo_) {
+        w.u32(slot);
+        w.u32(lane);
+    }
+    w.u64(writeQueue_.size());
+    for (Addr a : writeQueue_)
+        w.u64(a);
+    w.u64(completions_.size());
+    for (const Completion &c : completions_) {
+        w.u32(slot_of(c.warp));
+        w.i32(c.splitId);
+    }
+    // inflight_ is a hash map: write sorted by tag for a canonical stream.
+    std::vector<std::uint64_t> tags;
+    tags.reserve(inflight_.size());
+    for (const auto &[tag, targets] : inflight_)
+        tags.push_back(tag);
+    std::sort(tags.begin(), tags.end());
+    w.u64(tags.size());
+    for (std::uint64_t tag : tags) {
+        const auto &targets = inflight_.at(tag);
+        w.u64(tag);
+        w.u64(targets.size());
+        for (auto [slot, lane] : targets) {
+            w.u32(slot);
+            w.u32(lane);
+        }
+    }
+    w.u64(nextTag_);
+    w.i32(lastScheduled_);
+    w.u32(liveEntries_);
+}
+
+void
+RtUnit::loadState(
+    serial::Reader &r,
+    const std::function<vptx::Warp *(std::uint32_t)> &warp_of)
+{
+    std::uint64_t num_entries = r.u64();
+    vksim_assert(num_entries == entries_.size());
+    for (unsigned slot = 0; slot < entries_.size(); ++slot) {
+        WarpEntry &e = entries_[slot];
+        e = WarpEntry{};
+        e.valid = r.b();
+        if (!e.valid)
+            continue;
+        e.warp = warp_of(r.u32());
+        e.splitId = r.i32();
+        e.mask = r.u32();
+        // Re-link into the freshly restored warp exactly as submit() does.
+        e.state = &e.warp->pendingTraverses.at(e.splitId);
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            LaneState &ls = e.lanes[lane];
+            ls.status = static_cast<LaneStatus>(r.u8());
+            ls.chunksOutstanding = r.u32();
+            ls.opDoneAt = r.u64();
+            ls.nodeType = static_cast<NodeType>(r.u32());
+            e.sinks[lane].unit = this;
+            e.sinks[lane].slot = slot;
+            e.sinks[lane].lane = lane;
+            if (((e.mask >> lane) & 1u) && e.state->lanes[lane].traversal)
+                e.state->lanes[lane].traversal->setSink(&e.sinks[lane]);
+        }
+        e.submitTime = r.u64();
+        e.lanesLive = r.u32();
+        std::uint64_t wb = r.u64();
+        for (std::uint64_t i = 0; i < wb; ++i)
+            e.writebackQueue.push_back(r.u64());
+        e.inWriteback = r.b();
+        e.spillWrites = r.u64();
+        e.deferredWrites = r.u64();
+    }
+    memQueue_.clear();
+    std::uint64_t num_mem = r.u64();
+    for (std::uint64_t i = 0; i < num_mem; ++i) {
+        MemQueueEntry q;
+        q.sector = r.u64();
+        q.targets.resize(r.u64());
+        for (auto &[slot, lane] : q.targets) {
+            slot = r.u32();
+            lane = r.u32();
+        }
+        memQueue_.push_back(std::move(q));
+    }
+    responseFifo_.clear();
+    std::uint64_t num_fifo = r.u64();
+    for (std::uint64_t i = 0; i < num_fifo; ++i) {
+        unsigned slot = r.u32();
+        unsigned lane = r.u32();
+        responseFifo_.emplace_back(slot, lane);
+    }
+    writeQueue_.clear();
+    std::uint64_t num_writes = r.u64();
+    for (std::uint64_t i = 0; i < num_writes; ++i)
+        writeQueue_.push_back(r.u64());
+    completions_.clear();
+    std::uint64_t num_done = r.u64();
+    for (std::uint64_t i = 0; i < num_done; ++i) {
+        Completion c;
+        c.warp = warp_of(r.u32());
+        c.splitId = r.i32();
+        completions_.push_back(c);
+    }
+    inflight_.clear();
+    std::uint64_t num_inflight = r.u64();
+    for (std::uint64_t i = 0; i < num_inflight; ++i) {
+        std::uint64_t tag = r.u64();
+        auto &targets = inflight_[tag];
+        targets.resize(r.u64());
+        for (auto &[slot, lane] : targets) {
+            slot = r.u32();
+            lane = r.u32();
+        }
+    }
+    nextTag_ = r.u64();
+    lastScheduled_ = r.i32();
+    liveEntries_ = r.u32();
+}
+
 } // namespace vksim

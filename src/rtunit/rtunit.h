@@ -24,6 +24,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "accel/traversal.h"
@@ -142,6 +143,23 @@ class RtUnit : public ClockedUnit
 
     /** Order-insensitive digest of all warp-buffer and queue state. */
     std::uint64_t stateDigest() const;
+
+    /**
+     * Serialize / restore the full warp-buffer and queue state
+     * (checkpointing). Warp identities cross the serialization boundary
+     * as SM warp-slot indices: `slot_of` maps a resident warp pointer to
+     * its slot at save time, `warp_of` resolves the slot back to the
+     * freshly restored warp at load time. loadState re-links each
+     * entry's TraverseState pointer and per-lane traversal sinks exactly
+     * the way submit() wires them.
+     */
+    void saveState(
+        serial::Writer &w,
+        const std::function<std::uint32_t(const vptx::Warp *)> &slot_of)
+        const;
+    void loadState(
+        serial::Reader &r,
+        const std::function<vptx::Warp *(std::uint32_t)> &warp_of);
 
   private:
     enum class LaneStatus : std::uint8_t

@@ -2,6 +2,8 @@
 
 #include "check/check.h"
 #include "scene/scene.h"
+#include "service/diskstore.h"
+#include "util/serial.h"
 
 namespace vksim::service {
 
@@ -99,7 +101,25 @@ std::shared_ptr<const AccelImage>
 ArtifactCache::bvh(std::uint64_t key,
                    const std::function<AccelImage()> &builder, bool *hit)
 {
-    return fetch(bvhs_, key, builder, hit, &ArtifactCounters::bvhBuilds,
+    // Disk tier: probe before building, store after a fresh build. The
+    // wrapper runs under the per-entry build mutex, so each key probes
+    // and stores at most once per process.
+    std::function<AccelImage()> through = [this, key, &builder] {
+        if (disk_) {
+            if (auto bytes = disk_->get(DiskStore::Kind::Bvh, key)) {
+                serial::Reader r(*bytes);
+                return decodeAccelImage(r);
+            }
+        }
+        AccelImage image = builder();
+        if (disk_) {
+            serial::Writer w;
+            encodeAccelImage(w, image);
+            disk_->put(DiskStore::Kind::Bvh, key, w.buffer());
+        }
+        return image;
+    };
+    return fetch(bvhs_, key, through, hit, &ArtifactCounters::bvhBuilds,
                  &ArtifactCounters::bvhHits);
 }
 
@@ -108,7 +128,22 @@ ArtifactCache::pipeline(std::uint64_t key,
                         const std::function<RayTracingPipeline()> &builder,
                         bool *hit)
 {
-    return fetch(pipelines_, key, builder, hit,
+    std::function<RayTracingPipeline()> through = [this, key, &builder] {
+        if (disk_) {
+            if (auto bytes = disk_->get(DiskStore::Kind::Pipeline, key)) {
+                serial::Reader r(*bytes);
+                return decodePipeline(r);
+            }
+        }
+        RayTracingPipeline pipeline = builder();
+        if (disk_) {
+            serial::Writer w;
+            encodePipeline(w, pipeline);
+            disk_->put(DiskStore::Kind::Pipeline, key, w.buffer());
+        }
+        return pipeline;
+    };
+    return fetch(pipelines_, key, through, hit,
                  &ArtifactCounters::pipelineBuilds,
                  &ArtifactCounters::pipelineHits);
 }

@@ -44,6 +44,8 @@ struct Scene;
 
 namespace service {
 
+class DiskStore;
+
 /**
  * Content digest of everything that determines a scene's serialized
  * BVH: geometry kinds, opacity, mesh vertices/indices, procedural
@@ -66,6 +68,19 @@ class ArtifactCache
 {
   public:
     ArtifactCache() = default;
+
+    /**
+     * Layer an on-disk store (diskstore.h) under this cache. A memory
+     * miss probes the disk before running the builder; a fresh build is
+     * stored back. Corrupt disk artifacts fail digest verification
+     * inside DiskStore::get() and behave exactly like misses, so the
+     * in-memory counters keep their contract: builds-or-disk-loads ==
+     * distinct keys, hits == lookups - that. Pass nullptr to detach.
+     * Not thread-safe against in-flight fetches: install before
+     * submitting jobs.
+     */
+    void setDiskStore(DiskStore *store) { disk_ = store; }
+    DiskStore *diskStore() const { return disk_; }
 
     /**
      * Fetch (or build-and-insert) the BVH artifact for `key`. `builder`
@@ -107,6 +122,7 @@ class ArtifactCache
           std::uint64_t ArtifactCounters::*builds,
           std::uint64_t ArtifactCounters::*hits);
 
+    DiskStore *disk_ = nullptr; ///< optional durable tier (not owned)
     mutable std::mutex mutex_; ///< guards the tables and counters
     std::map<std::uint64_t, std::unique_ptr<Entry<AccelImage>>> bvhs_;
     std::map<std::uint64_t, std::unique_ptr<Entry<RayTracingPipeline>>>

@@ -1,0 +1,156 @@
+#include "service/batchreport.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "gpu/checkpoint.h"
+#include "service/service.h"
+#include "util/log.h"
+#include "workloads/workload.h"
+
+namespace vksim::service {
+
+namespace {
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+void
+writeBatchResults(std::ostream &os, const std::vector<JobRecord> &records)
+{
+    std::map<std::string, const JobRecord *> by_name;
+    std::map<std::uint64_t, unsigned> bvh_key_uses;
+    std::map<std::uint64_t, unsigned> pipeline_key_uses;
+    for (const JobRecord &record : records) {
+        vksim_assert(by_name.count(record.name) == 0);
+        by_name[record.name] = &record;
+        ++bvh_key_uses[record.bvhKey];
+        ++pipeline_key_uses[record.pipelineKey];
+    }
+
+    // builds = distinct keys, hits = lookups - builds: the numbers the
+    // live ArtifactCache counters are contractually equal to for an
+    // uninterrupted batch, derived so resumed batches report the same.
+    const std::uint64_t bvh_builds = bvh_key_uses.size();
+    const std::uint64_t pipeline_builds = pipeline_key_uses.size();
+    os << "{\n\"artifacts\": {\n"
+       << "  \"bvh_builds\": " << bvh_builds << ",\n"
+       << "  \"bvh_hits\": " << records.size() - bvh_builds << ",\n"
+       << "  \"pipeline_builds\": " << pipeline_builds << ",\n"
+       << "  \"pipeline_hits\": " << records.size() - pipeline_builds
+       << "\n},\n\"jobs\": {\n";
+    bool first = true;
+    for (const auto &[name, record] : by_name) {
+        os << (first ? "" : ",\n") << "\"" << name << "\": {\n"
+           << "  \"workload\": \"" << record->workloadName << "\",\n"
+           << "  \"cycles\": " << record->cycles << ",\n"
+           << "  \"bvh_shared\": "
+           << (bvh_key_uses[record->bvhKey] > 1 ? "true" : "false")
+           << ",\n"
+           << "  \"pipeline_shared\": "
+           << (pipeline_key_uses[record->pipelineKey] > 1 ? "true"
+                                                          : "false")
+           << ",\n  \"stats\":\n"
+           << record->statsJson << "\n}";
+        first = false;
+    }
+    // Host telemetry lives in its own trailing section so determinism
+    // checks can compare everything above it byte-for-byte and drop
+    // this block (it varies run to run by construction).
+    os << "\n},\n\"perf\": {\n";
+    first = true;
+    char rate[64];
+    for (const auto &[name, record] : by_name) {
+        std::snprintf(rate, sizeof rate, "%.1f",
+                      record->simCyclesPerSecond);
+        os << (first ? "" : ",\n") << "\"" << name << "\": {\n"
+           << "  \"sim_cycles_per_s\": " << rate << ",\n"
+           << "  \"stepping\": \""
+           << (record->epochCyclesUsed > 1 ? "epoch" : "lock-step")
+           << "\",\n"
+           << "  \"epoch_cycles\": " << record->epochCyclesUsed << ",\n"
+           << "  \"threads\": " << record->threadsUsed << "\n}";
+        first = false;
+    }
+    os << "\n}\n}\n";
+}
+
+std::string
+failureSummary(const std::vector<std::string> &failed_names)
+{
+    if (failed_names.empty())
+        return "";
+    std::vector<std::string> sorted = failed_names;
+    std::sort(sorted.begin(), sorted.end());
+    std::string summary =
+        std::to_string(sorted.size()) + " job(s) failed: ";
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        summary += (i ? ", " : "") + sorted[i];
+    return summary;
+}
+
+void
+encodeJobRecord(serial::Writer &w, const JobRecord &record)
+{
+    w.str(record.name);
+    w.str(record.workloadName);
+    w.u64(record.cycles);
+    w.u64(record.bvhKey);
+    w.u64(record.pipelineKey);
+    w.str(record.statsJson);
+    w.u32(record.epochCyclesUsed);
+    w.u32(record.threadsUsed);
+    // simCyclesPerSecond is deliberately not persisted: it is host
+    // telemetry of the process that ran the job, meaningless later.
+}
+
+JobRecord
+decodeJobRecord(serial::Reader &r)
+{
+    JobRecord record;
+    record.name = r.str();
+    record.workloadName = r.str();
+    record.cycles = r.u64();
+    record.bvhKey = r.u64();
+    record.pipelineKey = r.u64();
+    record.statsJson = r.str();
+    record.epochCyclesUsed = r.u32();
+    record.threadsUsed = r.u32();
+    return record;
+}
+
+std::uint64_t
+jobKey(const JobSpec &spec)
+{
+    serial::Writer w;
+    w.str(spec.name);
+    w.str(wl::workloadName(spec.workload));
+    w.u32(spec.params.width);
+    w.u32(spec.params.height);
+    w.f32(spec.params.extScale);
+    w.u32(spec.params.rtv5Detail);
+    w.u32(spec.params.rtv6Prims);
+    w.u32(spec.params.shading.maxDepth);
+    w.u32(spec.params.shading.aoSamples);
+    w.f32(spec.params.shading.aoRadius);
+    w.u32(spec.params.shading.maxBounces);
+    w.f32(spec.params.shading.ambientStrength);
+    w.u32(spec.params.shading.frameSeed);
+    w.b(spec.params.fcc);
+    w.b(spec.params.divergentRaygen);
+    w.u64(gpuConfigDigest(spec.config));
+    return fnv1a(w.buffer().data(), w.buffer().size());
+}
+
+} // namespace vksim::service

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Batch result consolidation for tools/batchrun, extracted so the
+ * reporting rules are unit-testable without running simulations.
+ *
+ * A JobRecord is everything the consolidated results file needs from
+ * one finished job. Records are also what the durable batch queue
+ * persists to the disk store (Kind::Result) when a store is attached:
+ * a --resume rerun loads the records of already-finished jobs and
+ * renders them through the exact same writer as freshly run jobs, which
+ * is what makes an interrupted-then-resumed batch's results file
+ * byte-identical to an uninterrupted run's.
+ *
+ * Determinism rules the writer enforces (DESIGN.md, "Service & batching
+ * contract"):
+ *  - Jobs are emitted in sorted name order.
+ *  - The "artifacts" section is *derived* from the records' content
+ *    keys (builds = distinct keys, hits = records - builds) rather than
+ *    read from live cache counters. For an uninterrupted run the two
+ *    are equal by the ArtifactCache contract; for a resumed run only
+ *    the derived form is well-defined (the predecessor process did some
+ *    of the building).
+ *  - Everything above the trailing "perf" section excludes wall-clock
+ *    and thread-count data. "perf" is host telemetry, excluded from
+ *    byte-identity comparisons (tools/compare_results.py strips it).
+ */
+
+#ifndef VKSIM_SERVICE_BATCHREPORT_H
+#define VKSIM_SERVICE_BATCHREPORT_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/serial.h"
+
+namespace vksim::service {
+
+struct JobSpec;
+
+/** Everything the results file needs from one finished job. */
+struct JobRecord
+{
+    std::string name;
+    std::string workloadName;
+    std::uint64_t cycles = 0;
+    std::uint64_t bvhKey = 0;      ///< artifact content keys: sharing
+    std::uint64_t pipelineKey = 0; ///< is derived from key equality
+    std::string statsJson; ///< metrics registry, writeJson(os, 2) form
+    unsigned epochCyclesUsed = 0;
+    unsigned threadsUsed = 0;
+    /** Wall telemetry ("perf" section only; 0 for record-loaded jobs). */
+    double simCyclesPerSecond = 0.0;
+};
+
+/**
+ * Write the consolidated results JSON (artifacts summary derived from
+ * the records, jobs in sorted name order, trailing perf section).
+ * Records must have unique names.
+ */
+void writeBatchResults(std::ostream &os,
+                       const std::vector<JobRecord> &records);
+
+/**
+ * One-line failure summary naming every failed job (sorted), e.g.
+ * "2 job(s) failed: EXT1, TRI0". Empty string when nothing failed —
+ * batchrun's exit status and stderr report are driven by this.
+ */
+std::string failureSummary(const std::vector<std::string> &failed_names);
+
+/** JobRecord <-> bytes codec for DiskStore Kind::Result payloads. */
+void encodeJobRecord(serial::Writer &w, const JobRecord &record);
+JobRecord decodeJobRecord(serial::Reader &r);
+
+/**
+ * Durable identity of a job within a batch: FNV-1a over the job's name,
+ * workload, scale parameters, and the structural GPU-config digest.
+ * Keys persisted results and engine snapshots in the disk store, so a
+ * manifest edit that changes what a job *means* changes its key and
+ * invalidates stale artifacts instead of resuming into them.
+ */
+std::uint64_t jobKey(const JobSpec &spec);
+
+} // namespace vksim::service
+
+#endif // VKSIM_SERVICE_BATCHREPORT_H

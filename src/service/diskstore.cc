@@ -1,0 +1,321 @@
+#include "service/diskstore.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <unistd.h>
+
+#include "util/simerror.h"
+
+namespace vksim::service {
+
+namespace {
+
+constexpr char kStoreMagic[8] = {'V', 'K', 'S', 'I', 'M', 'A', 'R', 'T'};
+constexpr std::uint32_t kStoreFormatVersion = 1;
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+const char *
+kindDir(DiskStore::Kind kind)
+{
+    switch (kind) {
+      case DiskStore::Kind::Bvh: return "bvh";
+      case DiskStore::Kind::Pipeline: return "pipeline";
+      case DiskStore::Kind::Result: return "result";
+    }
+    return "unknown";
+}
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace
+
+DiskStore::DiskStore(std::string root) : root_(std::move(root))
+{
+    std::error_code ec;
+    for (const char *dir : {"bvh", "pipeline", "result", "snapshots"})
+        std::filesystem::create_directories(root_ + "/" + dir, ec);
+    if (ec)
+        throw SimError("cannot create artifact store directories under "
+                       + root_ + ": " + ec.message());
+}
+
+std::string
+DiskStore::snapshotPath(std::uint64_t job_key) const
+{
+    return root_ + "/snapshots/" + hexKey(job_key) + ".ckpt";
+}
+
+std::string
+DiskStore::path(Kind kind, std::uint64_t key) const
+{
+    return root_ + "/" + kindDir(kind) + "/" + hexKey(key) + ".bin";
+}
+
+std::optional<std::vector<std::uint8_t>>
+DiskStore::get(Kind kind, std::uint64_t key) const
+{
+    const std::string file = path(kind, key);
+    std::FILE *f = std::fopen(file.c_str(), "rb");
+    if (!f) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.misses;
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> raw;
+    std::uint8_t chunk[65536];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        raw.insert(raw.end(), chunk, chunk + n);
+    std::fclose(f);
+
+    // Verify everything the header promises; any mismatch means the
+    // file is not the artifact it claims to be — evict it and miss.
+    auto evict = [&]() -> std::optional<std::vector<std::uint8_t>> {
+        std::remove(file.c_str());
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.corruptEvictions;
+        ++counters_.misses;
+        return std::nullopt;
+    };
+    serial::Reader r(raw);
+    char magic[sizeof(kStoreMagic)];
+    if (r.remaining() < sizeof(magic))
+        return evict();
+    r.bytes(magic, sizeof(magic));
+    if (std::memcmp(magic, kStoreMagic, sizeof(magic)) != 0)
+        return evict();
+    if (r.remaining() < 4 + 4 + 8 + 8 + 8)
+        return evict();
+    if (r.u32() != kStoreFormatVersion)
+        return evict();
+    if (r.u32() != static_cast<std::uint32_t>(kind))
+        return evict();
+    if (r.u64() != key)
+        return evict();
+    const std::uint64_t payload_size = r.u64();
+    const std::uint64_t payload_digest = r.u64();
+    if (r.remaining() != payload_size)
+        return evict();
+    std::vector<std::uint8_t> payload(payload_size);
+    r.bytes(payload.data(), payload.size());
+    if (fnv1a(payload.data(), payload.size()) != payload_digest)
+        return evict();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.loads;
+    return payload;
+}
+
+void
+DiskStore::put(Kind kind, std::uint64_t key,
+               const std::vector<std::uint8_t> &payload) const
+{
+    serial::Writer w;
+    w.bytes(kStoreMagic, sizeof(kStoreMagic));
+    w.u32(kStoreFormatVersion);
+    w.u32(static_cast<std::uint32_t>(kind));
+    w.u64(key);
+    w.u64(payload.size());
+    w.u64(fnv1a(payload.data(), payload.size()));
+    w.bytes(payload.data(), payload.size());
+
+    const std::string file = path(kind, key);
+    // Same-key writers racing from different processes write identical
+    // content, so last-rename-wins is safe — but give each process its
+    // own temp file so the writes themselves stay private.
+    const std::string tmp =
+        file + ".tmp" + std::to_string(static_cast<long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw SimError("cannot open artifact temp file " + tmp
+                       + " for writing: check that the store root "
+                         "exists and is writable");
+    const std::vector<std::uint8_t> &buf = w.buffer();
+    bool ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+    ok = std::fflush(f) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw SimError("short write while storing artifact " + file
+                       + ": disk full or I/O error");
+    }
+    if (std::rename(tmp.c_str(), file.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SimError("cannot rename artifact temp file over " + file);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.stores;
+}
+
+void
+DiskStore::remove(Kind kind, std::uint64_t key) const
+{
+    std::remove(path(kind, key).c_str());
+}
+
+DiskStore::Counters
+DiskStore::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+// --- Payload codecs ---------------------------------------------------------
+
+void
+encodeAccelImage(serial::Writer &w, const AccelImage &image)
+{
+    w.u64(image.baseBrk);
+    w.u64(image.endBrk);
+    w.u64(image.bytes.size());
+    w.bytes(image.bytes.data(), image.bytes.size());
+    w.u64(image.accel.tlasRoot);
+    w.u32(static_cast<std::uint32_t>(image.accel.tlasRootType));
+    w.u64(image.accel.blasRoots.size());
+    for (Addr root : image.accel.blasRoots)
+        w.u64(root);
+    const AccelStats &s = image.accel.stats;
+    w.u64(s.tlasInternalNodes);
+    w.u64(s.tlasLeaves);
+    w.u64(s.blasInternalNodes);
+    w.u64(s.blasLeaves);
+    w.u32(s.tlasDepth);
+    w.u32(s.maxBlasDepth);
+    w.u64(s.totalBytes);
+    w.u64(image.regions.size());
+    for (const GlobalMemory::Region &region : image.regions) {
+        w.u64(region.base);
+        w.u64(region.size);
+        w.str(region.label);
+    }
+}
+
+AccelImage
+decodeAccelImage(serial::Reader &r)
+{
+    AccelImage image;
+    image.baseBrk = r.u64();
+    image.endBrk = r.u64();
+    image.bytes.resize(r.u64());
+    r.bytes(image.bytes.data(), image.bytes.size());
+    image.accel.tlasRoot = r.u64();
+    image.accel.tlasRootType = static_cast<NodeType>(r.u32());
+    image.accel.blasRoots.resize(r.u64());
+    for (Addr &root : image.accel.blasRoots)
+        root = r.u64();
+    AccelStats &s = image.accel.stats;
+    s.tlasInternalNodes = r.u64();
+    s.tlasLeaves = r.u64();
+    s.blasInternalNodes = r.u64();
+    s.blasLeaves = r.u64();
+    s.tlasDepth = r.u32();
+    s.maxBlasDepth = r.u32();
+    s.totalBytes = r.u64();
+    image.regions.resize(r.u64());
+    for (GlobalMemory::Region &region : image.regions) {
+        region.base = r.u64();
+        region.size = r.u64();
+        region.label = r.str();
+    }
+    return image;
+}
+
+void
+encodePipeline(serial::Writer &w, const RayTracingPipeline &pipeline)
+{
+    const vptx::Program &prog = pipeline.program;
+    w.u64(prog.code.size());
+    for (const vptx::Instr &instr : prog.code) {
+        w.u32(static_cast<std::uint32_t>(instr.op));
+        w.i32(instr.dst);
+        w.i32(instr.src0);
+        w.i32(instr.src1);
+        w.i32(instr.src2);
+        w.u8(instr.size);
+        w.u32(instr.target);
+        w.u32(instr.reconv);
+        w.u64(instr.imm);
+    }
+    w.u64(prog.shaders.size());
+    for (const vptx::ShaderInfo &shader : prog.shaders) {
+        w.str(shader.name);
+        w.u8(static_cast<std::uint8_t>(shader.stage));
+        w.u32(shader.entryPc);
+        w.u32(shader.numRegs);
+    }
+    w.i32(prog.raygenShader);
+    w.u64(pipeline.hitGroups.size());
+    for (const vptx::HitGroupRecord &hg : pipeline.hitGroups) {
+        w.i32(hg.closestHit);
+        w.i32(hg.anyHit);
+        w.i32(hg.intersection);
+    }
+    w.u64(pipeline.missShaders.size());
+    for (std::int32_t miss : pipeline.missShaders)
+        w.i32(miss);
+    // SBT device addresses are 0 in cached artifacts (each job uploads
+    // its own copy); serialized anyway so the codec is total.
+    w.u64(pipeline.sbtHitGroupsAddr);
+    w.u64(pipeline.sbtMissAddr);
+    w.b(pipeline.fcc);
+}
+
+RayTracingPipeline
+decodePipeline(serial::Reader &r)
+{
+    RayTracingPipeline pipeline;
+    vptx::Program &prog = pipeline.program;
+    prog.code.resize(r.u64());
+    for (vptx::Instr &instr : prog.code) {
+        instr.op = static_cast<vptx::Opcode>(r.u32());
+        instr.dst = static_cast<std::int16_t>(r.i32());
+        instr.src0 = static_cast<std::int16_t>(r.i32());
+        instr.src1 = static_cast<std::int16_t>(r.i32());
+        instr.src2 = static_cast<std::int16_t>(r.i32());
+        instr.size = r.u8();
+        instr.target = r.u32();
+        instr.reconv = r.u32();
+        instr.imm = r.u64();
+    }
+    prog.shaders.resize(r.u64());
+    for (vptx::ShaderInfo &shader : prog.shaders) {
+        shader.name = r.str();
+        shader.stage = static_cast<vptx::ShaderStage>(r.u8());
+        shader.entryPc = r.u32();
+        shader.numRegs = static_cast<std::uint16_t>(r.u32());
+    }
+    prog.raygenShader = r.i32();
+    pipeline.hitGroups.resize(r.u64());
+    for (vptx::HitGroupRecord &hg : pipeline.hitGroups) {
+        hg.closestHit = r.i32();
+        hg.anyHit = r.i32();
+        hg.intersection = r.i32();
+    }
+    pipeline.missShaders.resize(r.u64());
+    for (std::int32_t &miss : pipeline.missShaders)
+        miss = r.i32();
+    pipeline.sbtHitGroupsAddr = r.u64();
+    pipeline.sbtMissAddr = r.u64();
+    pipeline.fcc = r.b();
+    return pipeline;
+}
+
+} // namespace vksim::service

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * On-disk content-addressed artifact store (DESIGN.md, "Persistence &
+ * recovery contract").
+ *
+ * The in-memory ArtifactCache makes products shareable *within* one
+ * service; the DiskStore makes them durable *across* processes. Both
+ * speak the same keys — the FNV-1a content digests of artifacts.h /
+ * xlate::digestPipeline() — so a batch restarted after a crash reloads
+ * the BVHs and translated pipelines its predecessor built instead of
+ * rebuilding them.
+ *
+ * Layout: one file per artifact at `<root>/<kind>/<16-hex-key>.bin`.
+ * Every file carries a self-describing header (magic, format version,
+ * kind, key, payload size, FNV-1a payload digest) and is committed by
+ * writing to a `.tmp` sibling and renaming it into place, so a crash
+ * mid-store never leaves a readable-but-torn artifact.
+ *
+ * Verification-on-load is absolute: a file whose magic, version, kind,
+ * key, size, or payload digest does not check out is *evicted* (the
+ * file is unlinked) and reported as a miss — corrupt bytes are never
+ * served, the artifact is simply rebuilt and re-stored.
+ *
+ * Thread safety: get()/put() may be called from concurrent jobs. The
+ * atomic-rename commit makes racing same-key writers converge on one
+ * complete file; counters are mutex-guarded.
+ */
+
+#ifndef VKSIM_SERVICE_DISKSTORE_H
+#define VKSIM_SERVICE_DISKSTORE_H
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/serialize.h"
+#include "util/serial.h"
+#include "vulkan/device.h"
+
+namespace vksim::service {
+
+class DiskStore
+{
+  public:
+    /** Artifact namespaces; each gets its own subdirectory. */
+    enum class Kind : std::uint32_t
+    {
+        Bvh = 1,      ///< serialized AccelImage
+        Pipeline = 2, ///< translated RayTracingPipeline
+        Result = 3,   ///< per-job result record (batch resume)
+    };
+
+    /** Number of traffic events since construction. */
+    struct Counters
+    {
+        std::uint64_t loads = 0;  ///< verified payloads served
+        std::uint64_t misses = 0; ///< absent keys
+        std::uint64_t stores = 0; ///< payloads committed
+        std::uint64_t corruptEvictions = 0; ///< failed verification
+    };
+
+    /** Opens (and lazily creates) the store rooted at `root`. */
+    explicit DiskStore(std::string root);
+
+    /**
+     * Load and verify the payload stored under (kind, key). Returns
+     * nullopt when the key is absent — or when the file on disk fails
+     * verification, in which case it is unlinked first (see file
+     * comment). Never throws for bad content; throws SimError only for
+     * environmental failures (unreadable root).
+     */
+    std::optional<std::vector<std::uint8_t>> get(Kind kind,
+                                                 std::uint64_t key) const;
+
+    /** Commit `payload` under (kind, key) atomically. */
+    void put(Kind kind, std::uint64_t key,
+             const std::vector<std::uint8_t> &payload) const;
+
+    /** Unlink the artifact (job-completion cleanup); absent is fine. */
+    void remove(Kind kind, std::uint64_t key) const;
+
+    /** Absolute path an artifact lives at (tests, diagnostics). */
+    std::string path(Kind kind, std::uint64_t key) const;
+
+    /**
+     * Path for a job's engine snapshot (gpu/checkpoint.h file format,
+     * which carries its own header and digest — snapshots are not
+     * DiskStore artifacts, they just live under the same root in
+     * `<root>/snapshots/`, keyed like Kind::Result records).
+     */
+    std::string snapshotPath(std::uint64_t job_key) const;
+
+    const std::string &root() const { return root_; }
+    Counters counters() const;
+
+  private:
+    std::string root_;
+    mutable std::mutex mutex_; ///< guards counters_
+    mutable Counters counters_;
+};
+
+/** AccelImage <-> bytes codec for Kind::Bvh payloads. */
+void encodeAccelImage(serial::Writer &w, const AccelImage &image);
+AccelImage decodeAccelImage(serial::Reader &r);
+
+/** RayTracingPipeline <-> bytes codec for Kind::Pipeline payloads. */
+void encodePipeline(serial::Writer &w, const RayTracingPipeline &pipeline);
+RayTracingPipeline decodePipeline(serial::Reader &r);
+
+} // namespace vksim::service
+
+#endif // VKSIM_SERVICE_DISKSTORE_H

@@ -12,7 +12,7 @@ namespace {
 const char *const kJobKeys[] = {"name",   "workload", "width",
                                 "height", "scale",    "detail",
                                 "prims",  "fcc",      "config",
-                                "variant"};
+                                "variant", "priority"};
 
 std::string
 jobPrefix(std::size_t index)
@@ -165,6 +165,10 @@ parseJob(const JsonValue &job, std::size_t index, const GpuConfig &base,
     out->params.rtv6Prims = static_cast<unsigned>(prims);
     if (!boolField(job, index, "fcc", &out->params.fcc, error))
         return false;
+    double priority = 0.0;
+    if (!numberField(job, index, "priority", &priority, error))
+        return false;
+    out->priority = static_cast<int>(priority);
 
     out->name = workload + std::to_string(index);
     if (!stringField(job, index, "name", &out->name, error))

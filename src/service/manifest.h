@@ -22,6 +22,8 @@
  *   fcc      bool     lower traceRay with FCC (default false)
  *   config   string   baseline | mobile (default baseline)
  *   variant  string   baseline | rtcache | perfectbvh | perfectmem
+ *   priority number   scheduling priority: higher starts earlier
+ *                     (default 0; never affects results)
  */
 
 #ifndef VKSIM_SERVICE_MANIFEST_H

@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -110,6 +111,7 @@ SimService::submit(const JobSpec &spec)
     job.effective = validatedConfig(spec.config, spec.params.fcc);
     job.state = std::make_shared<JobTicket::State>();
     job.state->result.name = job.spec.name;
+    job.submitIndex = submitted_;
     pending_.push_back(std::move(job));
     ++submitted_;
     return JobTicket(this, pending_.back().state);
@@ -128,9 +130,48 @@ SimService::submit(wl::Workload &workload, const GpuConfig &config,
     job.effective = validatedConfig(config, workload.params().fcc);
     job.state = std::make_shared<JobTicket::State>();
     job.state->result.name = job.spec.name;
+    job.submitIndex = submitted_;
     pending_.push_back(std::move(job));
     ++submitted_;
     return JobTicket(this, pending_.back().state);
+}
+
+bool
+SimService::cancel(const JobTicket &ticket)
+{
+    if (ticket.state_ == nullptr || ticket.state_->done)
+        return false;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].state != ticket.state_)
+            continue;
+        // Park a "cancelled" failure on the ticket — get() throws it —
+        // and keep the state alive like any finished job's.
+        ticket.state_->failed = true;
+        ticket.state_->error = "cancelled before execution";
+        ticket.state_->done = true;
+        completed_.push_back(pending_[i].state);
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+SimService::executionOrder() const
+{
+    std::vector<const Job *> order;
+    order.reserve(pending_.size());
+    for (const Job &job : pending_)
+        order.push_back(&job);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Job *a, const Job *b) {
+                         return a->spec.priority > b->spec.priority;
+                     });
+    std::vector<std::string> names;
+    names.reserve(order.size());
+    for (const Job *job : order)
+        names.push_back(job->spec.name);
+    return names;
 }
 
 unsigned
@@ -164,6 +205,12 @@ SimService::runJob(Job &job, bool force_serial_engine)
     try {
         result.run = runPreparedWorkload(*workload, cfg);
         result.image = workload->readFramebuffer();
+        // The durable-queue hook: persist this job the moment it
+        // finishes, not after the whole batch — a crash between two
+        // jobs must not lose the first one. A hook failure (disk full)
+        // fails this ticket like an engine error would.
+        if (config_.onJobComplete)
+            config_.onJobComplete(result);
     } catch (const SimError &e) {
         job.state->failed = true;
         job.state->error = e.what();
@@ -179,6 +226,13 @@ SimService::flush()
         return;
     std::vector<Job> batch;
     batch.swap(pending_);
+    // Priority order (descending, stable): higher-priority jobs start
+    // first — serially this is strict ordering, in parallel it decides
+    // which jobs claim the first lanes. Results are unaffected.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Job &a, const Job &b) {
+                         return a.spec.priority > b.spec.priority;
+                     });
 
     if (batch.size() == 1) {
         // A lone job keeps its intra-run SM parallelism (threads as

@@ -60,6 +60,12 @@ struct JobSpec
     wl::WorkloadId workload = wl::WorkloadId::TRI;
     wl::WorkloadParams params;
     GpuConfig config;
+    /**
+     * Scheduling priority: higher runs earlier within a batch; ties
+     * keep submission order. Priority affects *when* a job runs, never
+     * its result — every job is an isolated deterministic simulation.
+     */
+    int priority = 0;
 };
 
 /** What a finished job hands back. */
@@ -140,6 +146,17 @@ class SimService
          * concurrency); 1 runs batches sequentially.
          */
         unsigned threads = 0;
+
+        /**
+         * Invoked on the executing thread the moment each job finishes
+         * successfully — *before* flush() returns — so callers can
+         * persist results incrementally (tools/batchrun writes each
+         * job's result record to the on-disk store here; a crash
+         * between two jobs then loses at most the in-flight one). May
+         * run concurrently for different jobs; a SimError thrown here
+         * fails this job's ticket like an engine error would.
+         */
+        std::function<void(const JobResult &)> onJobComplete;
     };
 
     SimService() : SimService(Config()) {}
@@ -169,6 +186,21 @@ class SimService
     /** Run every pending job. No-op when nothing is pending. */
     void flush();
 
+    /**
+     * Cancel a job that has not run yet. Returns true and marks the
+     * ticket failed (get() throws a "cancelled" SimError) when the job
+     * was still pending; returns false — and changes nothing — once
+     * the job has been flushed (finished work is never discarded).
+     */
+    bool cancel(const JobTicket &ticket);
+
+    /**
+     * Names of the pending jobs in the order the next flush() will run
+     * (or start) them: descending priority, submission order within a
+     * priority level. Observability for tests and tools.
+     */
+    std::vector<std::string> executionOrder() const;
+
     /** Number of jobs accepted so far (auto-name indexing, tests). */
     std::size_t submittedCount() const { return submitted_; }
 
@@ -186,6 +218,7 @@ class SimService
         wl::Workload *external = nullptr; ///< non-null: pre-built
         GpuConfig effective;              ///< validated, FCC folded in
         std::shared_ptr<JobTicket::State> state;
+        std::size_t submitIndex = 0; ///< priority tie-break
     };
 
     friend class JobTicket;

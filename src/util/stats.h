@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/serial.h"
+
 namespace vksim {
 
 /** A monotonically increasing 64-bit event counter. */
@@ -78,6 +80,38 @@ class Accumulator
         sum_ = min_ = max_ = 0.0;
     }
 
+    /**
+     * Overwrite the raw internal state (checkpoint restore). `min` and
+     * `max` are the raw stored fields, which are 0 when count is 0 —
+     * pass exactly what the matching accessors returned at save time.
+     */
+    void
+    restore(std::uint64_t count, double sum, double min, double max)
+    {
+        count_ = count;
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
+    }
+
+    void
+    saveState(serial::Writer &w) const
+    {
+        w.u64(count_);
+        w.f64(sum_);
+        w.f64(min_);
+        w.f64(max_);
+    }
+
+    void
+    loadState(serial::Reader &r)
+    {
+        count_ = r.u64();
+        sum_ = r.f64();
+        min_ = r.f64();
+        max_ = r.f64();
+    }
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -133,6 +167,39 @@ class Histogram
         acc_.reset();
     }
 
+    /**
+     * Overwrite bucket counts and the summary accumulator (checkpoint
+     * restore). The bucket count must match this histogram's geometry.
+     */
+    void
+    restore(std::vector<std::uint64_t> buckets, std::uint64_t overflow,
+            const Accumulator &summary)
+    {
+        buckets_ = std::move(buckets);
+        overflow_ = overflow;
+        acc_ = summary;
+    }
+
+    void
+    saveState(serial::Writer &w) const
+    {
+        w.u64(buckets_.size());
+        for (std::uint64_t b : buckets_)
+            w.u64(b);
+        w.u64(overflow_);
+        acc_.saveState(w);
+    }
+
+    void
+    loadState(serial::Reader &r)
+    {
+        buckets_.resize(r.u64());
+        for (std::uint64_t &b : buckets_)
+            b = r.u64();
+        overflow_ = r.u64();
+        acc_.loadState(r);
+    }
+
   private:
     double bucketWidth_;
     std::vector<std::uint64_t> buckets_;
@@ -177,6 +244,44 @@ class StatGroup
     std::string dump() const;
 
     void reset();
+
+    /**
+     * Serialize / restore every named counter and accumulator
+     * (checkpointing). loadState replaces the group's contents with
+     * exactly the saved set; the group name itself is construction-time
+     * identity and is not serialized.
+     */
+    void
+    saveState(serial::Writer &w) const
+    {
+        w.u64(counters_.size());
+        for (const auto &[name, c] : counters_) {
+            w.str(name);
+            w.u64(c.value());
+        }
+        w.u64(accums_.size());
+        for (const auto &[name, a] : accums_) {
+            w.str(name);
+            a.saveState(w);
+        }
+    }
+
+    void
+    loadState(serial::Reader &r)
+    {
+        counters_.clear();
+        accums_.clear();
+        std::uint64_t nc = r.u64();
+        for (std::uint64_t i = 0; i < nc; ++i) {
+            std::string name = r.str();
+            counters_[name].set(r.u64());
+        }
+        std::uint64_t na = r.u64();
+        for (std::uint64_t i = 0; i < na; ++i) {
+            std::string name = r.str();
+            accums_[name].loadState(r);
+        }
+    }
 
   private:
     std::string name_;

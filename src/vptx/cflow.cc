@@ -354,4 +354,48 @@ WarpCflow::dropEmptySplits()
                   splits_.end());
 }
 
+void
+WarpCflow::saveState(serial::Writer &w) const
+{
+    w.u8(mode_ == Mode::Its ? 1 : 0);
+    w.u64(stack_.size());
+    for (const StackEntry &e : stack_) {
+        w.u32(e.pc);
+        w.u32(e.reconv);
+        w.u32(e.mask);
+    }
+    w.u64(splits_.size());
+    for (const WarpSplit &s : splits_) {
+        w.u32(s.pc);
+        w.u32(s.mask);
+        w.b(s.blocked);
+        w.i32(s.id);
+        w.u32(s.reconv);
+    }
+    w.i32(nextId_);
+    w.b(stackBlocked_);
+}
+
+void
+WarpCflow::loadState(serial::Reader &r)
+{
+    mode_ = r.u8() ? Mode::Its : Mode::Stack;
+    stack_.resize(r.u64());
+    for (StackEntry &e : stack_) {
+        e.pc = r.u32();
+        e.reconv = r.u32();
+        e.mask = r.u32();
+    }
+    splits_.resize(r.u64());
+    for (WarpSplit &s : splits_) {
+        s.pc = r.u32();
+        s.mask = r.u32();
+        s.blocked = r.b();
+        s.id = r.i32();
+        s.reconv = r.u32();
+    }
+    nextId_ = r.i32();
+    stackBlocked_ = r.b();
+}
+
 } // namespace vksim::vptx

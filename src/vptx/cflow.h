@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "check/check.h"
+#include "util/serial.h"
 #include "util/types.h"
 
 namespace vksim::vptx {
@@ -120,6 +121,10 @@ class WarpCflow
 
     /** Digest of the full divergence state (stack + split tables). */
     std::uint64_t stateDigest() const;
+
+    /** Serialize / restore the full divergence state (checkpointing). */
+    void saveState(serial::Writer &w) const;
+    void loadState(serial::Reader &r);
 
   private:
     struct StackEntry

@@ -66,9 +66,14 @@ Workload::Workload(WorkloadId id, const WorkloadParams &params,
         // memory and captures from it, leaving the same final state.
         GlobalMemory &gm = device_.memory();
         bvhKey_ = service::sceneGeometryKey(scene_);
+        // Whether the build ran against *our* memory. A cache hit — or
+        // a disk-store load, which also skips the builder — leaves gm
+        // untouched, so the captured image must be installed.
+        bool built_here = false;
         std::shared_ptr<const AccelImage> image = artifacts->bvh(
             bvhKey_,
             [&] {
+                built_here = true;
                 Addr base = gm.brk();
                 std::size_t regions_before = gm.regions().size();
                 AccelStruct built =
@@ -76,7 +81,7 @@ Workload::Workload(WorkloadId id, const WorkloadParams &params,
                 return captureAccelImage(gm, base, regions_before, built);
             },
             &bvhCacheHit_);
-        if (bvhCacheHit_)
+        if (!built_here)
             installAccelImage(gm, *image);
         accel_ = image->accel;
 

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Crash-recovery integration test (DESIGN.md, "Persistence & recovery
+# contract"): SIGKILL a batchrun mid-batch — after at least one job has
+# completed into the store and at least one engine auto-checkpoint has
+# been written — then rerun with --resume and require the results file
+# to be byte-identical (outside "perf") to an uninterrupted run's.
+#
+# Usage: crash_resume_test.sh <batchrun> <manifest.json> <compare_results.py>
+set -u
+
+BATCHRUN=$1
+MANIFEST=$2
+COMPARE=$3
+EVERY=5000
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "crash_resume: oracle run (uninterrupted)"
+"$BATCHRUN" --manifest="$MANIFEST" --out="$WORK/oracle.json" --serial \
+            --store="$WORK/store_oracle" --checkpoint-every=$EVERY \
+    || { echo "crash_resume: oracle batchrun failed" >&2; exit 1; }
+
+echo "crash_resume: crash run (SIGKILL mid-batch)"
+"$BATCHRUN" --manifest="$MANIFEST" --out="$WORK/crash.json" --serial \
+            --store="$WORK/store" --checkpoint-every=$EVERY &
+PID=$!
+
+# The manifest runs its small jobs first (priority) and its long job
+# last, so waiting for one result record AND one snapshot guarantees we
+# kill mid-batch with both recovery paths populated.
+for _ in $(seq 1 2400); do
+    if ls "$WORK"/store/snapshots/*.ckpt >/dev/null 2>&1 \
+        && ls "$WORK"/store/result/*.bin >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.05
+done
+
+if ! kill -0 "$PID" 2>/dev/null; then
+    wait "$PID"
+    echo "crash_resume: batchrun finished before it could be killed;" \
+         "grow the manifest's long job" >&2
+    exit 1
+fi
+kill -9 "$PID"
+wait "$PID" 2>/dev/null
+echo "crash_resume: killed pid $PID"
+
+if [ -e "$WORK/crash.json" ]; then
+    echo "crash_resume: results file exists after a mid-batch crash" >&2
+    exit 1
+fi
+ls "$WORK"/store/snapshots/*.ckpt >/dev/null 2>&1 \
+    || { echo "crash_resume: no auto-checkpoint on disk" >&2; exit 1; }
+ls "$WORK"/store/result/*.bin >/dev/null 2>&1 \
+    || { echo "crash_resume: no completed-job record on disk" >&2; exit 1; }
+
+echo "crash_resume: resume run"
+"$BATCHRUN" --manifest="$MANIFEST" --out="$WORK/resume.json" --serial \
+            --store="$WORK/store" --checkpoint-every=$EVERY --resume \
+    || { echo "crash_resume: resumed batchrun failed" >&2; exit 1; }
+
+python3 "$COMPARE" "$WORK/oracle.json" "$WORK/resume.json" \
+    || { echo "crash_resume: resumed results differ from oracle" >&2
+         exit 1; }
+echo "crash_resume: PASS"

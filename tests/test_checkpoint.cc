@@ -1,0 +1,698 @@
+/**
+ * @file
+ * The persistence acceptance suite (DESIGN.md, "Persistence & recovery
+ * contract"): engine snapshots taken at epoch barriers must restore
+ * into a fresh engine bit-identically — digest trace, metrics JSON,
+ * occupancy trace, and rendered image all equal to the uninterrupted
+ * oracle — for every thread count, idle-skip setting, and epoch length,
+ * and *across* those execution modes (a snapshot from a threaded
+ * epoch-stepped run restores into a serial lock-step engine). The
+ * on-disk halves are held to the same standard: snapshot files and
+ * DiskStore artifacts verify their payload digests on load, and corrupt
+ * bytes are never served — a truncated or bit-flipped file is an
+ * actionable error (snapshots) or a silent evict-and-rebuild
+ * (artifacts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/vulkansim.h"
+#include "gpu/checkpoint.h"
+#include "service/artifacts.h"
+#include "service/diskstore.h"
+#include "util/serial.h"
+
+namespace vksim {
+namespace {
+
+using wl::Workload;
+using wl::WorkloadId;
+using wl::WorkloadParams;
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.width = 16;
+    p.height = 16;
+    p.extScale = 0.1f;
+    p.rtv5Detail = 3;
+    p.rtv6Prims = 400;
+    return p;
+}
+
+/** Per-workload launch sizes keeping the sweep's runtime in budget:
+ *  RTV5 traces far more work per ray than TRI, so it sweeps at 8x8. */
+WorkloadParams
+paramsFor(WorkloadId id)
+{
+    WorkloadParams p = tinyParams();
+    if (id == WorkloadId::RTV5)
+        p.width = p.height = 8;
+    return p;
+}
+
+GpuConfig
+engineConfig(bool idle_skip, unsigned threads, unsigned epoch_cycles)
+{
+    GpuConfig cfg = baselineGpuConfig();
+    cfg.numSms = 8;
+    cfg.fabric.numPartitions = 2;
+    cfg.maxCycles = 100'000'000;
+    cfg.occupancySamplePeriod = 64;
+    cfg.digestTrace = true;
+    cfg.idleSkip = idle_skip;
+    cfg.threads = threads;
+    cfg.epochCycles = epoch_cycles;
+    return cfg;
+}
+
+/** A per-test scratch directory, wiped on entry for idempotent reruns. */
+std::string
+scratchDir(const std::string &name)
+{
+    std::string dir = ::testing::TempDir() + "vksim_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+std::vector<std::uint8_t>
+readAllBytes(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::vector<std::uint8_t> bytes;
+    if (f) {
+        std::uint8_t chunk[4096];
+        std::size_t n;
+        while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+            bytes.insert(bytes.end(), chunk, chunk + n);
+        std::fclose(f);
+    }
+    return bytes;
+}
+
+void
+writeAllBytes(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+}
+
+/**
+ * The restored-run acceptance check: everything observable about a
+ * resumed run must match the oracle. The resumed digest trace covers
+ * only the suffix it executed; firstDivergence() aligns the traces on
+ * their common cycle range.
+ */
+void
+expectResumedRunMatches(const RunResult &oracle, const Image &oracle_img,
+                        const RunResult &resumed, Workload &resumed_wl)
+{
+    EXPECT_EQ(resumed.cycles, oracle.cycles);
+    EXPECT_EQ(resumed.metrics.toJson(), oracle.metrics.toJson());
+    EXPECT_EQ(resumed.occupancyTrace, oracle.occupancyTrace);
+    ASSERT_EQ(resumed.digests.units, oracle.digests.units);
+    ASSERT_EQ(resumed.digests.period, oracle.digests.period);
+    EXPECT_GT(resumed.digests.start, 0u);
+    EXPECT_LT(resumed.digests.values.size(), oracle.digests.values.size());
+    check::DigestTrace::Divergence d =
+        oracle.digests.firstDivergence(resumed.digests);
+    EXPECT_FALSE(d.diverged)
+        << "restored run first diverges from the oracle at cycle "
+        << d.cycle << ", unit " << d.unit;
+    EXPECT_EQ(oracle_img.data(), resumed_wl.readFramebuffer().data());
+}
+
+class CheckpointRoundTripTest : public ::testing::TestWithParam<int>
+{
+};
+
+/**
+ * The tentpole acceptance sweep: run to a pseudo-random epoch barrier,
+ * snapshot, restore into a fresh engine, and require the restored run
+ * to be bit-identical to the uninterrupted oracle over {serial, 4
+ * threads} x {idle-skip on/off} x epoch lengths {1, 64}. The snapshot
+ * leg itself must also be unperturbed — capturing is observational.
+ */
+TEST_P(CheckpointRoundTripTest, RestoredRunMatchesOracle)
+{
+    auto id = static_cast<WorkloadId>(GetParam());
+
+    const WorkloadParams params = paramsFor(id);
+    Workload oracle_wl(id, params);
+    RunResult oracle = simulateWorkload(
+        oracle_wl, engineConfig(/*idle_skip=*/false, 1, /*epoch=*/1));
+    Image oracle_img = oracle_wl.readFramebuffer();
+    const Cycle total = oracle.cycles;
+    ASSERT_GT(total, 16u);
+
+    std::mt19937 rng(0xC0FFEEu + static_cast<unsigned>(GetParam()));
+    for (unsigned epoch : {1u, 64u}) {
+        for (unsigned threads : {1u, 4u}) {
+            for (bool skip : {false, true}) {
+                SCOPED_TRACE(::testing::Message()
+                             << "epoch=" << epoch << " threads=" << threads
+                             << " idleSkip=" << skip);
+                const Cycle want =
+                    total / 4 + rng() % std::max<Cycle>(1, total / 2);
+
+                GpuConfig snap_cfg = engineConfig(skip, threads, epoch);
+                snap_cfg.checkpoint.snapshotAt = want;
+                Workload snap_wl(id, params);
+                RunResult snap_run = simulateWorkload(snap_wl, snap_cfg);
+
+                // Capturing must not perturb the run it observes.
+                EXPECT_EQ(snap_run.cycles, oracle.cycles);
+                EXPECT_EQ(snap_run.metrics.toJson(),
+                          oracle.metrics.toJson());
+                ASSERT_NE(snap_run.snapshot, nullptr);
+                EXPECT_GE(snap_run.snapshot->cycle, want);
+                EXPECT_LT(snap_run.snapshot->cycle, total);
+
+                GpuConfig res_cfg = engineConfig(skip, threads, epoch);
+                res_cfg.checkpoint.resume = snap_run.snapshot;
+                Workload res_wl(id, params);
+                RunResult resumed = simulateWorkload(res_wl, res_cfg);
+                expectResumedRunMatches(oracle, oracle_img, resumed,
+                                        res_wl);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, CheckpointRoundTripTest,
+    ::testing::Values(static_cast<int>(WorkloadId::TRI),
+                      static_cast<int>(WorkloadId::RTV5)),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return std::string(
+            wl::workloadName(static_cast<WorkloadId>(info.param)));
+    });
+
+/**
+ * Snapshots must move freely across execution modes: a snapshot taken
+ * by a 4-thread epoch-stepped idle-skipping engine restores into a
+ * serial lock-step engine (and back) with bit-identical results.
+ */
+TEST(CheckpointTest, SnapshotCrossesExecutionModes)
+{
+    Workload oracle_wl(WorkloadId::TRI, tinyParams());
+    RunResult oracle = simulateWorkload(oracle_wl, engineConfig(false, 1, 1));
+    Image oracle_img = oracle_wl.readFramebuffer();
+
+    GpuConfig threaded = engineConfig(true, 4, 64);
+    threaded.checkpoint.snapshotAt = oracle.cycles / 2;
+    Workload snap_wl(WorkloadId::TRI, tinyParams());
+    RunResult snap_run = simulateWorkload(snap_wl, threaded);
+    ASSERT_NE(snap_run.snapshot, nullptr);
+
+    // Threaded epoch-stepped snapshot -> serial lock-step engine.
+    GpuConfig serial = engineConfig(false, 1, 1);
+    serial.checkpoint.resume = snap_run.snapshot;
+    Workload serial_wl(WorkloadId::TRI, tinyParams());
+    RunResult serial_run = simulateWorkload(serial_wl, serial);
+    expectResumedRunMatches(oracle, oracle_img, serial_run, serial_wl);
+
+    // And back: serial lock-step snapshot -> threaded epoch engine.
+    GpuConfig lockstep = engineConfig(false, 1, 1);
+    lockstep.checkpoint.snapshotAt = oracle.cycles / 3;
+    Workload lock_wl(WorkloadId::TRI, tinyParams());
+    RunResult lock_run = simulateWorkload(lock_wl, lockstep);
+    ASSERT_NE(lock_run.snapshot, nullptr);
+
+    GpuConfig threaded2 = engineConfig(true, 4, 64);
+    threaded2.checkpoint.resume = lock_run.snapshot;
+    Workload threaded_wl(WorkloadId::TRI, tinyParams());
+    RunResult threaded_run = simulateWorkload(threaded_wl, threaded2);
+    expectResumedRunMatches(oracle, oracle_img, threaded_run, threaded_wl);
+}
+
+/** One run with a one-shot snapshot request; returns the barrier hit. */
+Cycle
+snapshotCycle(const GpuConfig &base, Cycle at, bool exact)
+{
+    GpuConfig cfg = base;
+    cfg.checkpoint.snapshotAt = at;
+    cfg.checkpoint.exact = exact;
+    Workload wl(WorkloadId::TRI, tinyParams());
+    RunResult run = simulateWorkload(wl, cfg);
+    EXPECT_NE(run.snapshot, nullptr);
+    return run.snapshot ? run.snapshot->cycle : ~Cycle(0);
+}
+
+/**
+ * Snapshots are only defined at epoch barriers. With exact=false the
+ * request rounds up to the next barrier; with exact=true a mid-epoch
+ * cycle is a hard API error, not a silent approximation.
+ */
+TEST(CheckpointTest, ExactSnapshotMustLandOnBarrier)
+{
+    Workload plain_wl(WorkloadId::TRI, tinyParams());
+    const Cycle total =
+        simulateWorkload(plain_wl, engineConfig(false, 1, 64)).cycles;
+    ASSERT_GT(total, 16u);
+
+    const GpuConfig epoch64 = engineConfig(false, 1, 64);
+    const Cycle barrier = snapshotCycle(epoch64, total / 2, false);
+    ASSERT_LT(barrier, total);
+
+    // exact=true at a real barrier succeeds and lands exactly there.
+    EXPECT_EQ(snapshotCycle(epoch64, barrier, true), barrier);
+
+    // Find a cycle that is provably mid-epoch: a non-exact request at
+    // `probe` landing *later* than `probe` means `probe` is no barrier.
+    Cycle probe = barrier + 1;
+    bool found_mid_epoch = false;
+    for (int attempts = 0; attempts < 8 && probe < total; ++attempts) {
+        const Cycle landed = snapshotCycle(epoch64, probe, false);
+        if (landed > probe) {
+            found_mid_epoch = true;
+            break;
+        }
+        probe = landed + 1;
+    }
+    ASSERT_TRUE(found_mid_epoch)
+        << "every probed cycle was a barrier; epoch structure changed?";
+    try {
+        snapshotCycle(epoch64, probe, true);
+        FAIL() << "exact mid-epoch snapshot at cycle " << probe
+               << " did not throw";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("barrier"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // A lock-step engine (epochCycles=1) has a barrier at every cycle,
+    // so the same exact request that failed above succeeds there.
+    EXPECT_EQ(snapshotCycle(engineConfig(false, 1, 1), probe, true), probe);
+}
+
+/** A snapshot request beyond the end of the run is an error, not a
+ *  silently absent RunResult::snapshot. */
+TEST(CheckpointTest, SnapshotBeyondEndOfRunIsAnError)
+{
+    Workload plain_wl(WorkloadId::TRI, tinyParams());
+    const Cycle total =
+        simulateWorkload(plain_wl, engineConfig(false, 1, 1)).cycles;
+
+    GpuConfig cfg = engineConfig(false, 1, 1);
+    cfg.checkpoint.snapshotAt = total * 2;
+    Workload wl(WorkloadId::TRI, tinyParams());
+    try {
+        simulateWorkload(wl, cfg);
+        FAIL() << "snapshot request beyond the run did not throw";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("never reached"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+/** A snapshot only restores under the structural config it was taken
+ *  under; behavior-neutral knobs are excluded from the digest. */
+TEST(CheckpointTest, ResumeRejectsDifferentStructuralConfig)
+{
+    GpuConfig cfg = engineConfig(false, 1, 1);
+    Workload wl(WorkloadId::TRI, tinyParams());
+    cfg.checkpoint.snapshotAt = 64;
+    RunResult run = simulateWorkload(wl, cfg);
+    ASSERT_NE(run.snapshot, nullptr);
+
+    GpuConfig other = engineConfig(false, 1, 1);
+    other.numSms = 4; // structural change
+    other.checkpoint.resume = run.snapshot;
+    Workload other_wl(WorkloadId::TRI, tinyParams());
+    try {
+        simulateWorkload(other_wl, other);
+        FAIL() << "resume under a different structural config did not "
+                  "throw";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("structural"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // The digest deliberately ignores execution-mode knobs...
+    GpuConfig modes = engineConfig(true, 4, 64);
+    EXPECT_EQ(gpuConfigDigest(engineConfig(false, 1, 1)),
+              gpuConfigDigest(modes));
+    // ...but tracks anything that shapes simulated behavior.
+    GpuConfig structural = engineConfig(false, 1, 1);
+    structural.fabric.icntLatency += 1;
+    EXPECT_NE(gpuConfigDigest(engineConfig(false, 1, 1)),
+              gpuConfigDigest(structural));
+}
+
+TEST(CheckpointTest, ValidateRejectsBadCheckpointCombos)
+{
+    GpuConfig cfg = baselineGpuConfig();
+    cfg.checkpoint.every = 1024; // no path
+    EXPECT_FALSE(cfg.validate().empty());
+
+    cfg = baselineGpuConfig();
+    cfg.checkpoint.every = 1024;
+    cfg.checkpoint.path = "/tmp/snap.ckpt";
+    EXPECT_TRUE(cfg.validate().empty());
+
+    cfg.timeline.path = "/tmp/timeline.json";
+    EXPECT_FALSE(cfg.validate().empty());
+}
+
+/**
+ * The auto-checkpoint loop end to end: a run with --checkpoint-every
+ * semantics leaves a verifiable snapshot file behind, and a fresh
+ * engine resumed from that file finishes bit-identically.
+ */
+TEST(CheckpointTest, AutoCheckpointWritesResumableFile)
+{
+    const std::string dir = scratchDir("auto_ckpt");
+    const std::string path = dir + "/job.ckpt";
+
+    Workload oracle_wl(WorkloadId::TRI, tinyParams());
+    RunResult oracle = simulateWorkload(oracle_wl, engineConfig(false, 1, 1));
+    Image oracle_img = oracle_wl.readFramebuffer();
+
+    GpuConfig cfg = engineConfig(false, 1, 64);
+    cfg.checkpoint.every = std::max<Cycle>(64, oracle.cycles / 4);
+    cfg.checkpoint.path = path;
+    Workload wl(WorkloadId::TRI, tinyParams());
+    RunResult run = simulateWorkload(wl, cfg);
+    EXPECT_EQ(run.cycles, oracle.cycles);
+
+    EngineSnapshot snap = readSnapshotFile(path);
+    EXPECT_GT(snap.cycle, 0u);
+    EXPECT_LT(snap.cycle, oracle.cycles);
+    EXPECT_EQ(snap.configDigest, gpuConfigDigest(cfg));
+
+    GpuConfig res_cfg = engineConfig(false, 1, 64);
+    res_cfg.checkpoint.resume =
+        std::make_shared<EngineSnapshot>(std::move(snap));
+    Workload res_wl(WorkloadId::TRI, tinyParams());
+    RunResult resumed = simulateWorkload(res_wl, res_cfg);
+    expectResumedRunMatches(oracle, oracle_img, resumed, res_wl);
+}
+
+// --- Snapshot file verification --------------------------------------------
+
+EngineSnapshot
+sampleSnapshot()
+{
+    EngineSnapshot snap;
+    snap.cycle = 12345;
+    snap.configDigest = 0xfeedfacecafef00dull;
+    snap.bytes.resize(4096);
+    for (std::size_t i = 0; i < snap.bytes.size(); ++i)
+        snap.bytes[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    return snap;
+}
+
+TEST(SnapshotFileTest, RoundTrip)
+{
+    const std::string path = scratchDir("snapfile_rt") + "/s.ckpt";
+    EngineSnapshot snap = sampleSnapshot();
+    writeSnapshotFile(path, snap);
+    EngineSnapshot back = readSnapshotFile(path);
+    EXPECT_EQ(back.cycle, snap.cycle);
+    EXPECT_EQ(back.configDigest, snap.configDigest);
+    EXPECT_EQ(back.bytes, snap.bytes);
+}
+
+TEST(SnapshotFileTest, TruncatedFileIsAnActionableError)
+{
+    const std::string path = scratchDir("snapfile_trunc") + "/s.ckpt";
+    writeSnapshotFile(path, sampleSnapshot());
+    std::vector<std::uint8_t> bytes = readAllBytes(path);
+    bytes.resize(bytes.size() - 7);
+    writeAllBytes(path, bytes);
+    try {
+        readSnapshotFile(path);
+        FAIL() << "truncated snapshot file did not throw";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SnapshotFileTest, BitFlipFailsDigestVerification)
+{
+    const std::string path = scratchDir("snapfile_flip") + "/s.ckpt";
+    writeSnapshotFile(path, sampleSnapshot());
+    std::vector<std::uint8_t> bytes = readAllBytes(path);
+    // Header is magic(8) + version(4) + digest(8) + cycle(8) + size(8)
+    // + payload digest(8) = 44 bytes; flip one payload bit.
+    ASSERT_GT(bytes.size(), 60u);
+    bytes[44 + 10] ^= 0x20;
+    writeAllBytes(path, bytes);
+    try {
+        readSnapshotFile(path);
+        FAIL() << "bit-flipped snapshot file did not throw";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("corrupt"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SnapshotFileTest, UnknownVersionIsAnActionableError)
+{
+    const std::string path = scratchDir("snapfile_ver") + "/s.ckpt";
+    writeSnapshotFile(path, sampleSnapshot());
+    std::vector<std::uint8_t> bytes = readAllBytes(path);
+    // The u32 version field sits right after the 8-byte magic.
+    bytes[8] = 0xff;
+    bytes[9] = 0xff;
+    writeAllBytes(path, bytes);
+    try {
+        readSnapshotFile(path);
+        FAIL() << "unknown snapshot version did not throw";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SnapshotFileTest, BadMagicAndMissingFileThrow)
+{
+    const std::string dir = scratchDir("snapfile_magic");
+    const std::string path = dir + "/s.ckpt";
+    writeAllBytes(path, {'n', 'o', 't', 'a', 's', 'n', 'a', 'p', 0, 0});
+    EXPECT_THROW(readSnapshotFile(path), SimError);
+    EXPECT_THROW(readSnapshotFile(dir + "/absent.ckpt"), SimError);
+}
+
+// --- DiskStore --------------------------------------------------------------
+
+std::vector<std::uint8_t>
+samplePayload()
+{
+    std::vector<std::uint8_t> payload(512);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(i ^ 0x5a);
+    return payload;
+}
+
+TEST(DiskStoreTest, PutGetRoundTripAndMiss)
+{
+    service::DiskStore store(scratchDir("store_rt"));
+    const std::vector<std::uint8_t> payload = samplePayload();
+
+    EXPECT_FALSE(store.get(service::DiskStore::Kind::Bvh, 42).has_value());
+    store.put(service::DiskStore::Kind::Bvh, 42, payload);
+    auto back = store.get(service::DiskStore::Kind::Bvh, 42);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, payload);
+
+    // Kinds are separate namespaces: same key, different artifact.
+    EXPECT_FALSE(
+        store.get(service::DiskStore::Kind::Pipeline, 42).has_value());
+
+    service::DiskStore::Counters c = store.counters();
+    EXPECT_EQ(c.loads, 1u);
+    EXPECT_EQ(c.stores, 1u);
+    EXPECT_EQ(c.misses, 2u);
+    EXPECT_EQ(c.corruptEvictions, 0u);
+}
+
+TEST(DiskStoreTest, CorruptArtifactIsEvictedNeverServed)
+{
+    service::DiskStore store(scratchDir("store_corrupt"));
+    const auto kind = service::DiskStore::Kind::Result;
+    store.put(kind, 7, samplePayload());
+
+    // Bit-flip the payload on disk: get() must evict, not serve.
+    std::vector<std::uint8_t> bytes = readAllBytes(store.path(kind, 7));
+    bytes[bytes.size() - 3] ^= 0x01;
+    writeAllBytes(store.path(kind, 7), bytes);
+
+    EXPECT_FALSE(store.get(kind, 7).has_value());
+    EXPECT_EQ(store.counters().corruptEvictions, 1u);
+    EXPECT_FALSE(std::filesystem::exists(store.path(kind, 7)));
+
+    // Re-storing rebuilds a healthy entry.
+    store.put(kind, 7, samplePayload());
+    ASSERT_TRUE(store.get(kind, 7).has_value());
+    EXPECT_EQ(store.counters().corruptEvictions, 1u);
+}
+
+TEST(DiskStoreTest, TruncatedArtifactIsEvicted)
+{
+    service::DiskStore store(scratchDir("store_trunc"));
+    const auto kind = service::DiskStore::Kind::Bvh;
+    store.put(kind, 9, samplePayload());
+    std::vector<std::uint8_t> bytes = readAllBytes(store.path(kind, 9));
+    bytes.resize(bytes.size() / 2);
+    writeAllBytes(store.path(kind, 9), bytes);
+
+    EXPECT_FALSE(store.get(kind, 9).has_value());
+    EXPECT_EQ(store.counters().corruptEvictions, 1u);
+    EXPECT_FALSE(std::filesystem::exists(store.path(kind, 9)));
+}
+
+TEST(DiskStoreTest, KindAndKeyAreVerifiedNotTrusted)
+{
+    service::DiskStore store(scratchDir("store_key"));
+    const auto kind = service::DiskStore::Kind::Bvh;
+    store.put(kind, 1, samplePayload());
+
+    // A file renamed under another key self-identifies as key 1 and is
+    // rejected under key 2 — content addressing is verified, not
+    // trusted from the filename.
+    std::filesystem::copy_file(store.path(kind, 1), store.path(kind, 2));
+    EXPECT_FALSE(store.get(kind, 2).has_value());
+    EXPECT_EQ(store.counters().corruptEvictions, 1u);
+    // The honest copy is untouched.
+    EXPECT_TRUE(store.get(kind, 1).has_value());
+}
+
+// --- ArtifactCache disk layering -------------------------------------------
+
+AccelImage
+sampleImage()
+{
+    AccelImage image;
+    image.baseBrk = 0x10000;
+    image.endBrk = 0x20000;
+    image.bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+    image.accel.tlasRoot = 0x10040;
+    image.accel.blasRoots = {0x10100, 0x10200};
+    image.accel.stats.tlasInternalNodes = 3;
+    image.accel.stats.blasLeaves = 9;
+    image.accel.stats.tlasDepth = 2;
+    image.accel.stats.totalBytes = 8;
+    image.regions.push_back({0x10000, 0x40, "tlas"});
+    return image;
+}
+
+TEST(DiskStoreTest, CacheLayersOverDiskAcrossProcessLifetimes)
+{
+    const std::string root = scratchDir("store_layer");
+    service::DiskStore store(root);
+    int builds = 0;
+    auto builder = [&]() {
+        ++builds;
+        return sampleImage();
+    };
+
+    // First "process": memory miss, disk miss, builder runs, stored.
+    service::ArtifactCache first;
+    first.setDiskStore(&store);
+    auto a = first.bvh(0xabc, builder);
+    EXPECT_EQ(builds, 1);
+    EXPECT_TRUE(
+        store.get(service::DiskStore::Kind::Bvh, 0xabc).has_value());
+
+    // Second "process": fresh cache, same store — served from disk, the
+    // builder never runs, and the decoded image is bit-identical.
+    service::ArtifactCache second;
+    second.setDiskStore(&store);
+    auto b = second.bvh(0xabc, builder);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(a->bytes, b->bytes);
+    EXPECT_EQ(a->baseBrk, b->baseBrk);
+    EXPECT_EQ(a->accel.tlasRoot, b->accel.tlasRoot);
+    EXPECT_EQ(a->accel.blasRoots, b->accel.blasRoots);
+    ASSERT_EQ(a->regions.size(), b->regions.size());
+    EXPECT_EQ(a->regions[0].label, b->regions[0].label);
+
+    // Corrupt the stored artifact: the next fresh cache rebuilds and
+    // re-stores instead of serving the corrupt bytes.
+    std::vector<std::uint8_t> bytes =
+        readAllBytes(store.path(service::DiskStore::Kind::Bvh, 0xabc));
+    bytes.back() ^= 0x80;
+    writeAllBytes(store.path(service::DiskStore::Kind::Bvh, 0xabc), bytes);
+
+    service::ArtifactCache third;
+    third.setDiskStore(&store);
+    auto c = third.bvh(0xabc, builder);
+    EXPECT_EQ(builds, 2);
+    EXPECT_EQ(a->bytes, c->bytes);
+    EXPECT_EQ(store.counters().corruptEvictions, 1u);
+
+    // ...and the rebuild healed the store for the next consumer.
+    service::ArtifactCache fourth;
+    fourth.setDiskStore(&store);
+    auto d = fourth.bvh(0xabc, builder);
+    EXPECT_EQ(builds, 2);
+    EXPECT_EQ(a->bytes, d->bytes);
+}
+
+TEST(DiskStoreTest, PipelineCodecRoundTrips)
+{
+    RayTracingPipeline pipeline;
+    vptx::Instr instr{};
+    instr.op = static_cast<vptx::Opcode>(3);
+    instr.dst = 4;
+    instr.src0 = -1;
+    instr.src1 = 7;
+    instr.src2 = 2;
+    instr.size = 8;
+    instr.target = 12;
+    instr.reconv = 34;
+    instr.imm = 0x123456789abcdef0ull;
+    pipeline.program.code = {instr};
+    vptx::ShaderInfo shader;
+    shader.name = "raygen_main";
+    shader.stage = static_cast<vptx::ShaderStage>(0);
+    shader.entryPc = 0;
+    shader.numRegs = 24;
+    pipeline.program.shaders = {shader};
+    pipeline.program.raygenShader = 0;
+    pipeline.hitGroups.push_back({1, -1, 2, 0});
+    pipeline.missShaders = {3};
+    pipeline.fcc = true;
+
+    serial::Writer w;
+    service::encodePipeline(w, pipeline);
+    serial::Reader r(w.buffer());
+    RayTracingPipeline back = service::decodePipeline(r);
+    EXPECT_TRUE(r.done());
+    ASSERT_EQ(back.program.code.size(), 1u);
+    EXPECT_EQ(back.program.code[0].op, instr.op);
+    EXPECT_EQ(back.program.code[0].dst, instr.dst);
+    EXPECT_EQ(back.program.code[0].src0, instr.src0);
+    EXPECT_EQ(back.program.code[0].imm, instr.imm);
+    ASSERT_EQ(back.program.shaders.size(), 1u);
+    EXPECT_EQ(back.program.shaders[0].name, "raygen_main");
+    EXPECT_EQ(back.program.shaders[0].numRegs, 24u);
+    ASSERT_EQ(back.hitGroups.size(), 1u);
+    EXPECT_EQ(back.hitGroups[0].closestHit, 1);
+    EXPECT_EQ(back.hitGroups[0].anyHit, -1);
+    EXPECT_EQ(back.missShaders, pipeline.missShaders);
+    EXPECT_TRUE(back.fcc);
+}
+
+} // namespace
+} // namespace vksim

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/vulkansim.h"
+#include "service/batchreport.h"
 #include "service/manifest.h"
 #include "util/cli.h"
 
@@ -280,6 +281,40 @@ TEST(Manifest, EmptyOrMalformedJobsRejected)
     EXPECT_NE(error.find("object"), std::string::npos) << error;
     EXPECT_FALSE(parseText("{nope", &specs, &error));
     EXPECT_FALSE(error.empty());
+}
+
+TEST(Manifest, PriorityParsesAndRejectsMistypes)
+{
+    std::vector<service::JobSpec> specs;
+    std::string error;
+    ASSERT_TRUE(parseText(R"({"jobs": [
+        {"workload": "TRI", "priority": 7},
+        {"workload": "TRI", "priority": -2},
+        {"workload": "TRI"}
+    ]})",
+                          &specs, &error))
+        << error;
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0].priority, 7);
+    EXPECT_EQ(specs[1].priority, -2);
+    EXPECT_EQ(specs[2].priority, 0);
+
+    EXPECT_FALSE(parseText(
+        R"({"jobs": [{"workload": "TRI", "priority": "high"}]})", &specs,
+        &error));
+    EXPECT_NE(error.find("priority"), std::string::npos) << error;
+    EXPECT_NE(error.find("number"), std::string::npos) << error;
+}
+
+/** Regression for the batchrun partial-failure report: failed jobs are
+ *  listed by name (sorted), and a clean batch produces no summary. */
+TEST(BatchReport, FailureSummaryListsFailedJobsByName)
+{
+    EXPECT_EQ(service::failureSummary({}), "");
+    EXPECT_EQ(service::failureSummary({"solo"}),
+              "1 job(s) failed: solo");
+    EXPECT_EQ(service::failureSummary({"zeta", "alpha", "mid"}),
+              "3 job(s) failed: alpha, mid, zeta");
 }
 
 } // namespace

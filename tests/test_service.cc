@@ -338,5 +338,81 @@ TEST(SimService, WatchdogFailsOneTicketNotTheBatch)
     EXPECT_EQ(result.image.height(), 8u);
 }
 
+/** Priority decides *when* a job runs, never its result: the execution
+ *  order is descending priority with submission order as tie-break. */
+TEST(SimService, PriorityOrdersExecutionNotResults)
+{
+    service::SimService svc({1});
+    service::JobSpec spec;
+    spec.workload = wl::WorkloadId::TRI;
+    spec.params = smallParams();
+    spec.config = baselineGpuConfig();
+    spec.config.threads = 0;
+
+    spec.name = "background";
+    spec.priority = -5;
+    service::JobTicket background = svc.submit(spec);
+    spec.name = "urgent";
+    spec.priority = 10;
+    service::JobTicket urgent = svc.submit(spec);
+    spec.name = "first_normal";
+    spec.priority = 0;
+    service::JobTicket first_normal = svc.submit(spec);
+    spec.name = "second_normal";
+    spec.priority = 0;
+    service::JobTicket second_normal = svc.submit(spec);
+
+    const std::vector<std::string> order = svc.executionOrder();
+    const std::vector<std::string> expected = {
+        "urgent", "first_normal", "second_normal", "background"};
+    EXPECT_EQ(order, expected);
+
+    svc.flush();
+    EXPECT_TRUE(svc.executionOrder().empty());
+    // All four are the same simulation; priority left no trace.
+    const std::string urgent_stats = metricsJson(urgent.get().run);
+    EXPECT_EQ(urgent_stats, metricsJson(background.get().run));
+    EXPECT_EQ(urgent_stats, metricsJson(first_normal.get().run));
+    EXPECT_EQ(urgent_stats, metricsJson(second_normal.get().run));
+}
+
+TEST(SimService, CancelFailsPendingTicketOnlyAndNeverDiscardsWork)
+{
+    service::SimService svc({1});
+    service::JobSpec spec;
+    spec.workload = wl::WorkloadId::TRI;
+    spec.params = smallParams();
+    spec.config = baselineGpuConfig();
+    spec.config.threads = 0;
+
+    spec.name = "doomed";
+    service::JobTicket doomed = svc.submit(spec);
+    spec.name = "survivor";
+    service::JobTicket survivor = svc.submit(spec);
+
+    EXPECT_TRUE(svc.cancel(doomed));
+    EXPECT_TRUE(doomed.failed());
+    EXPECT_EQ(svc.executionOrder(),
+              std::vector<std::string>{"survivor"});
+    try {
+        doomed.get();
+        FAIL() << "get() on a cancelled job did not throw";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("cancelled"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    svc.flush();
+    EXPECT_FALSE(survivor.failed());
+    EXPECT_GT(survivor.get().run.cycles, 0u);
+    // Flushed work is never discarded: cancel is a no-op now.
+    EXPECT_FALSE(svc.cancel(survivor));
+    EXPECT_GT(survivor.get().run.cycles, 0u);
+    // And an invalid ticket is a clean false, not a crash.
+    service::JobTicket invalid;
+    EXPECT_FALSE(svc.cancel(invalid));
+}
+
 } // namespace
 } // namespace vksim

@@ -5,33 +5,32 @@
  * Reads a JSON manifest describing N jobs (workload + scale + GPU
  * configuration each), submits them all to one SimService — so jobs run
  * concurrently and share BVH/pipeline artifacts through the content-
- * addressed cache — and writes one consolidated results file:
- *
- *   {
- *     "artifacts": {"bvh_builds": ..., "bvh_hits": ...,
- *                   "pipeline_builds": ..., "pipeline_hits": ...},
- *     "jobs": {
- *       "<name>": {"workload": ..., "cycles": ...,
- *                  "bvh_shared": ..., "pipeline_shared": ...,
- *                  "stats": { <full metrics registry> }},
- *       ...
- *     },
- *     "perf": {
- *       "<name>": {"sim_cycles_per_s": ..., "stepping": ...,
- *                  "epoch_cycles": ..., "threads": ...},
- *       ...
- *     }
- *   }
+ * addressed cache — and writes one consolidated results file (see
+ * service/batchreport.h for the exact format and determinism rules).
  *
  * Jobs are keyed by name and written in sorted name order. Everything
  * outside the trailing "perf" section contains no wall-clock or
  * thread-count fields, so it is byte-identical for any --threads value
  * and any manifest job order (the determinism contract, extended to
- * batches). "perf" is explicitly host telemetry — per-job simulated
- * cycles per wall second plus the stepping mode that produced them, so
- * sweeps can report speedups straight from the results file — and is
- * excluded from byte-identity comparisons (CI strips it before
- * diffing; see .github/workflows/ci.yml).
+ * batches). "perf" is explicitly host telemetry and is excluded from
+ * byte-identity comparisons (CI strips it before diffing; see
+ * .github/workflows/ci.yml).
+ *
+ * Persistence (DESIGN.md, "Persistence & recovery contract"):
+ *
+ *   --store=<dir>          attach the on-disk artifact store: BVHs and
+ *                          translated pipelines become durable across
+ *                          processes, and each finished job's result
+ *                          record is persisted.
+ *   --checkpoint-every=N   each job's engine auto-snapshots its full
+ *                          state every N cycles into the store.
+ *   --resume               jobs whose result records are already in the
+ *                          store are served from them without running;
+ *                          interrupted jobs restart from their latest
+ *                          engine snapshot. A crashed batch rerun with
+ *                          --resume produces a results file that is
+ *                          byte-identical (minus "perf") to an
+ *                          uninterrupted run's.
  *
  * The manifest format (and its strict validation: unknown keys, missing
  * required fields, and mistyped values are all rejected before anything
@@ -39,6 +38,7 @@
  *
  * Usage: batchrun --manifest=jobs.json [--out=results.json]
  *                 [--threads=N] [--serial] [--check=off|basic|full]
+ *                 [--store=dir] [--checkpoint-every=N] [--resume]
  *
  * --threads sets the *service* lanes (concurrent jobs); each job's
  * engine runs serially inside its lane. See tools/manifests/ for the CI
@@ -46,21 +46,42 @@
  *
  * A job that fails with a recoverable SimError (e.g. the cycle
  * watchdog) is reported on stderr and omitted from the results file;
- * the rest of the batch still completes and batchrun exits nonzero.
+ * the rest of the batch still completes, the failed jobs are listed by
+ * name, and batchrun exits nonzero. A results file that cannot be
+ * fully written (disk full) is also an error — a partial file must
+ * never read as a clean batch.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <set>
+#include <sstream>
 #include <string>
+#include <sys/stat.h>
 #include <vector>
 
 #include "core/vulkansim.h"
+#include "gpu/checkpoint.h"
+#include "service/batchreport.h"
+#include "service/diskstore.h"
 #include "service/manifest.h"
 #include "service/service.h"
 #include "util/cli.h"
 #include "util/jsonio.h"
+
+namespace {
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -72,7 +93,17 @@ main(int argc, char **argv)
             "(parallel jobs, shared artifact cache, one results file).");
     cli.option("manifest", "file", "", "JSON job manifest (required)")
         .option("out", "file", "batch_results.json",
-                "consolidated results file");
+                "consolidated results file")
+        .option("store", "dir", "",
+                "on-disk artifact store root (durable BVH/pipeline "
+                "artifacts + per-job result records)")
+        .option("checkpoint-every", "cycles", "0",
+                "auto-snapshot each job's engine state every N cycles "
+                "into the store (requires --store)")
+        .flag("resume",
+              "serve jobs already completed in --store from their "
+              "result records; resume interrupted jobs from their "
+              "latest engine snapshot");
     vksim::addSimFlags(cli);
     if (!cli.parse(argc, argv))
         return cli.helpRequested() ? 0 : 1;
@@ -102,54 +133,173 @@ main(int argc, char **argv)
                      error.c_str());
         return 1;
     }
+    std::set<std::string> names;
+    for (const service::JobSpec &spec : specs)
+        if (!names.insert(spec.name).second) {
+            std::fprintf(stderr, "batchrun: duplicate job name '%s'\n",
+                         spec.name.c_str());
+            return 1;
+        }
 
-    service::SimService svc({cli.threadCount()});
-    std::vector<service::JobTicket> tickets;
-    for (const service::JobSpec &spec : specs) {
+    const Cycle checkpoint_every =
+        static_cast<Cycle>(cli.getInt("checkpoint-every"));
+    const bool resume = cli.getBool("resume");
+    std::unique_ptr<service::DiskStore> store;
+    if (!cli.get("store").empty()) {
         try {
-            tickets.push_back(svc.submit(spec));
+            store = std::make_unique<service::DiskStore>(cli.get("store"));
+        } catch (const SimError &e) {
+            std::fprintf(stderr, "batchrun: %s\n", e.what());
+            return 1;
+        }
+    }
+    if ((resume || checkpoint_every != 0) && store == nullptr) {
+        std::fprintf(stderr, "batchrun: --resume and --checkpoint-every "
+                             "need --store=<dir> to persist into\n");
+        return 1;
+    }
+
+    // Per-job persistence targets, keyed by job name for the
+    // completion hook below (populated before the flush, read-only
+    // during it — jobs may complete concurrently).
+    struct PersistInfo
+    {
+        std::uint64_t key = 0;
+        std::string snapshotPath;
+    };
+    std::map<std::string, PersistInfo> persist;
+
+    auto makeRecord = [](const service::JobResult &result) {
+        service::JobRecord record;
+        record.name = result.name;
+        record.workloadName = result.workload->name();
+        record.cycles = result.run.cycles;
+        record.bvhKey = result.workload->bvhKey();
+        record.pipelineKey = result.workload->pipelineKey();
+        std::ostringstream stats;
+        result.run.metrics.writeJson(stats, 2);
+        record.statsJson = stats.str();
+        record.epochCyclesUsed = result.run.epochCyclesUsed;
+        record.threadsUsed = result.run.threadsUsed;
+        record.simCyclesPerSecond = result.run.cyclesPerHostSecond();
+        return record;
+    };
+
+    service::SimService::Config svc_config;
+    svc_config.threads = cli.threadCount();
+    if (store) {
+        // The durable-queue hook: persist each job's result record the
+        // moment it finishes — then retire its snapshot (a completed
+        // job resumes from its record, never its engine) — so a crash
+        // between two jobs loses at most the in-flight one.
+        svc_config.onJobComplete =
+            [&](const service::JobResult &result) {
+                auto it = persist.find(result.name);
+                if (it == persist.end())
+                    return;
+                serial::Writer w;
+                service::encodeJobRecord(w, makeRecord(result));
+                store->put(service::DiskStore::Kind::Result,
+                           it->second.key, w.buffer());
+                if (!it->second.snapshotPath.empty())
+                    std::remove(it->second.snapshotPath.c_str());
+            };
+    }
+    service::SimService svc(svc_config);
+    if (store)
+        svc.artifacts().setDiskStore(store.get());
+
+    // Completed-job records: loaded from the store on --resume, filled
+    // in from tickets after the flush. One uniform vector feeds the
+    // writer so record-loaded and freshly run jobs are byte-equivalent.
+    std::vector<service::JobRecord> records;
+    struct Submitted
+    {
+        service::JobTicket ticket;
+        std::string name;
+    };
+    std::vector<Submitted> submitted;
+    std::size_t resumed_from_snapshot = 0;
+
+    for (const service::JobSpec &spec : specs) {
+        Submitted entry;
+        entry.name = spec.name;
+        PersistInfo info;
+        info.key = store ? service::jobKey(spec) : 0;
+        service::JobSpec effective = spec;
+        if (resume) {
+            if (auto bytes = store->get(service::DiskStore::Kind::Result,
+                                        info.key)) {
+                serial::Reader r(*bytes);
+                records.push_back(service::decodeJobRecord(r));
+                std::printf("batchrun: job '%s' already complete in "
+                            "store, skipping\n",
+                            spec.name.c_str());
+                continue;
+            }
+        }
+        if (store && checkpoint_every != 0) {
+            info.snapshotPath = store->snapshotPath(info.key);
+            effective.config.checkpoint.every = checkpoint_every;
+            effective.config.checkpoint.path = info.snapshotPath;
+            if (resume && fileExists(info.snapshotPath)) {
+                try {
+                    effective.config.checkpoint.resume =
+                        std::make_shared<EngineSnapshot>(
+                            readSnapshotFile(info.snapshotPath));
+                    ++resumed_from_snapshot;
+                } catch (const SimError &e) {
+                    // A torn/corrupt snapshot is recoverable: the job
+                    // just restarts from cycle 0.
+                    std::fprintf(stderr,
+                                 "batchrun: job '%s': %s — restarting "
+                                 "from cycle 0\n",
+                                 spec.name.c_str(), e.what());
+                }
+            }
+        }
+        if (store)
+            persist[spec.name] = info;
+        try {
+            entry.ticket = svc.submit(effective);
         } catch (const std::invalid_argument &e) {
             std::fprintf(stderr, "batchrun: job '%s' rejected: %s\n",
                          spec.name.c_str(), e.what());
             return 1;
         }
+        submitted.push_back(std::move(entry));
     }
 
-    std::printf("batchrun: %zu job(s) from %s on %u service thread(s)\n",
-                tickets.size(), manifest_path.c_str(), svc.threadCount());
+    std::printf("batchrun: %zu job(s) from %s on %u service thread(s)",
+                submitted.size(), manifest_path.c_str(),
+                svc.threadCount());
+    if (!records.empty() || resumed_from_snapshot != 0)
+        std::printf(" (%zu from store, %zu from snapshot)",
+                    records.size(), resumed_from_snapshot);
+    std::printf("\n");
     auto start = std::chrono::steady_clock::now();
     svc.flush();
     double seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
 
-    // Collect results sorted by job name; count key sharing (stable
-    // under any execution order, unlike per-job hit/miss flags). Failed
-    // jobs are reported and skipped; their siblings are unaffected.
-    std::map<std::string, const service::JobResult *> by_name;
-    std::map<std::uint64_t, unsigned> bvh_key_uses;
-    std::map<std::uint64_t, unsigned> pipeline_key_uses;
-    unsigned failed = 0;
-    for (service::JobTicket &ticket : tickets) {
+    // Collect results. Failed jobs are reported and skipped — their
+    // siblings are unaffected — and listed by name at exit.
+    std::vector<std::string> failed_names;
+    for (Submitted &entry : submitted) {
         const service::JobResult *result = nullptr;
         try {
-            result = &ticket.get();
+            result = &entry.ticket.get();
         } catch (const SimError &e) {
             std::fprintf(stderr, "batchrun: %s\n", e.what());
-            ++failed;
+            failed_names.push_back(entry.name);
             continue;
         }
-        if (by_name.count(result->name) != 0) {
-            std::fprintf(stderr, "batchrun: duplicate job name '%s'\n",
-                         result->name.c_str());
-            return 1;
-        }
-        by_name[result->name] = result;
-        ++bvh_key_uses[result->workload->bvhKey()];
-        ++pipeline_key_uses[result->workload->pipelineKey()];
+        // Store persistence already happened in the completion hook;
+        // this record only feeds the consolidated results file.
+        records.push_back(makeRecord(*result));
     }
 
-    service::ArtifactCounters counters = svc.artifacts().counters();
     std::string out_path = cli.get("out");
     std::ofstream os(out_path);
     if (!os) {
@@ -157,60 +307,38 @@ main(int argc, char **argv)
                      out_path.c_str());
         return 1;
     }
-    os << "{\n\"artifacts\": {\n"
-       << "  \"bvh_builds\": " << counters.bvhBuilds << ",\n"
-       << "  \"bvh_hits\": " << counters.bvhHits << ",\n"
-       << "  \"pipeline_builds\": " << counters.pipelineBuilds << ",\n"
-       << "  \"pipeline_hits\": " << counters.pipelineHits << "\n"
-       << "},\n\"jobs\": {\n";
-    bool first = true;
-    for (const auto &[name, result] : by_name) {
-        const wl::Workload &workload = *result->workload;
-        os << (first ? "" : ",\n") << "\"" << name << "\": {\n"
-           << "  \"workload\": \"" << workload.name() << "\",\n"
-           << "  \"cycles\": " << result->run.cycles << ",\n"
-           << "  \"bvh_shared\": "
-           << (bvh_key_uses[workload.bvhKey()] > 1 ? "true" : "false")
-           << ",\n"
-           << "  \"pipeline_shared\": "
-           << (pipeline_key_uses[workload.pipelineKey()] > 1 ? "true"
-                                                             : "false")
-           << ",\n  \"stats\":\n";
-        result->run.metrics.writeJson(os, 2);
-        os << "\n}";
-        first = false;
-    }
-    // Host telemetry lives in its own trailing section so determinism
-    // checks can compare everything above it byte-for-byte and drop
-    // this block (it varies run to run by construction).
-    os << "\n},\n\"perf\": {\n";
-    first = true;
-    char rate[64];
-    for (const auto &[name, result] : by_name) {
-        std::snprintf(rate, sizeof rate, "%.1f",
-                      result->run.cyclesPerHostSecond());
-        os << (first ? "" : ",\n") << "\"" << name << "\": {\n"
-           << "  \"sim_cycles_per_s\": " << rate << ",\n"
-           << "  \"stepping\": \""
-           << (result->run.epochCyclesUsed > 1 ? "epoch" : "lock-step")
-           << "\",\n"
-           << "  \"epoch_cycles\": " << result->run.epochCyclesUsed
-           << ",\n"
-           << "  \"threads\": " << result->run.threadsUsed << "\n}";
-        first = false;
-    }
-    os << "\n}\n}\n";
+    service::writeBatchResults(os, records);
     os.close();
+    if (!os) {
+        std::fprintf(stderr, "batchrun: failed writing %s (disk full "
+                             "or I/O error); the file is incomplete\n",
+                     out_path.c_str());
+        return 1;
+    }
 
+    service::ArtifactCounters counters = svc.artifacts().counters();
     std::printf("batchrun: artifact cache: %llu BVH build(s) + %llu "
                 "hit(s), %llu pipeline build(s) + %llu hit(s)\n",
                 static_cast<unsigned long long>(counters.bvhBuilds),
                 static_cast<unsigned long long>(counters.bvhHits),
                 static_cast<unsigned long long>(counters.pipelineBuilds),
                 static_cast<unsigned long long>(counters.pipelineHits));
+    if (store) {
+        service::DiskStore::Counters disk = store->counters();
+        std::printf("batchrun: disk store: %llu load(s), %llu store(s), "
+                    "%llu miss(es), %llu corrupt evicted\n",
+                    static_cast<unsigned long long>(disk.loads),
+                    static_cast<unsigned long long>(disk.stores),
+                    static_cast<unsigned long long>(disk.misses),
+                    static_cast<unsigned long long>(
+                        disk.corruptEvictions));
+    }
     std::printf("batchrun: wrote %s (%zu jobs in %.2fs wall)\n",
-                out_path.c_str(), by_name.size(), seconds);
-    if (failed > 0)
-        std::fprintf(stderr, "batchrun: %u job(s) failed\n", failed);
-    return failed > 0 ? 1 : 0;
+                out_path.c_str(), records.size(), seconds);
+    std::string failures = service::failureSummary(failed_names);
+    if (!failures.empty()) {
+        std::fprintf(stderr, "batchrun: %s\n", failures.c_str());
+        return 1;
+    }
+    return 0;
 }
