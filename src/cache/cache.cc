@@ -19,7 +19,17 @@ originName(AccessOrigin o)
 Cache::Cache(const CacheConfig &config)
     : config_(config), stats_(config.name)
 {
-    Addr num_lines = config_.sizeBytes / kSectorBytes;
+    vksim_assert(config_.lineBytes >= kSectorBytes);
+    vksim_assert(config_.lineBytes % kSectorBytes == 0);
+    sectorsPerLine_ =
+        static_cast<unsigned>(config_.lineBytes / kSectorBytes);
+    vksim_assert(sectorsPerLine_ <= 32);
+    sectored_ = sectorsPerLine_ > 1;
+    fullMask_ = sectorsPerLine_ == 32
+                    ? ~std::uint32_t(0)
+                    : (std::uint32_t(1) << sectorsPerLine_) - 1;
+
+    Addr num_lines = config_.sizeBytes / config_.lineBytes;
     vksim_assert(num_lines > 0);
     if (config_.assoc == 0) {
         numSets_ = 1;
@@ -35,50 +45,66 @@ Cache::Cache(const CacheConfig &config)
 unsigned
 Cache::setIndex(Addr addr) const
 {
-    return static_cast<unsigned>((addr / kSectorBytes) % numSets_);
+    return static_cast<unsigned>((addr / config_.lineBytes) % numSets_);
+}
+
+unsigned
+Cache::sectorOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr % config_.lineBytes)
+                                 / kSectorBytes);
 }
 
 Cache::Line *
-Cache::probe(Addr addr)
+Cache::probeLine(Addr addr)
 {
-    Addr tag = addr / kSectorBytes;
+    Addr tag = addr / config_.lineBytes;
     Line *base = &lines_[static_cast<std::size_t>(setIndex(addr)) * ways_];
     for (unsigned w = 0; w < ways_; ++w)
-        if (base[w].valid && base[w].tag == tag)
+        if (base[w].validMask != 0 && base[w].tag == tag)
             return &base[w];
     return nullptr;
+}
+
+const Cache::Line *
+Cache::probeLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->probeLine(addr);
 }
 
 bool
 Cache::contains(Addr addr) const
 {
     addr = sectorAlign(addr);
-    Addr tag = addr / kSectorBytes;
-    const Line *base =
-        &lines_[static_cast<std::size_t>(setIndex(addr)) * ways_];
-    for (unsigned w = 0; w < ways_; ++w)
-        if (base[w].valid && base[w].tag == tag)
-            return true;
-    return false;
+    const Line *line = probeLine(addr);
+    return line != nullptr
+           && ((line->validMask >> sectorOf(addr)) & 1u) != 0;
 }
 
-void
+Cache::Line *
 Cache::insert(Addr addr, Cycle now)
 {
-    Addr tag = addr / kSectorBytes;
+    Addr tag = addr / config_.lineBytes;
     Line *base = &lines_[static_cast<std::size_t>(setIndex(addr)) * ways_];
     Line *victim = &base[0];
     for (unsigned w = 0; w < ways_; ++w) {
-        if (!base[w].valid) {
+        if (base[w].validMask == 0) {
             victim = &base[w];
             break;
         }
         if (base[w].lastUse < victim->lastUse)
             victim = &base[w];
     }
+    if (sectored_ && victim->validMask != 0) {
+        stats_.counter("line_evictions").inc();
+        if (victim->dirtyMask != 0 && victim->dirtyMask != fullMask_)
+            stats_.counter("evict_partial_dirty").inc();
+    }
     victim->tag = tag;
-    victim->valid = true;
+    victim->validMask = 0;
+    victim->dirtyMask = 0;
     victim->lastUse = now;
+    return victim;
 }
 
 CacheOutcome
@@ -88,9 +114,12 @@ Cache::access(Addr addr, bool write, AccessOrigin origin, std::uint64_t tag,
     addr = sectorAlign(addr);
     std::string origin_name = originName(origin);
 
-    Line *line = probe(addr);
-    if (line) {
+    Line *line = probeLine(addr);
+    std::uint32_t sector_bit = std::uint32_t(1) << sectorOf(addr);
+    if (line != nullptr && (line->validMask & sector_bit) != 0) {
         line->lastUse = now;
+        if (write)
+            line->dirtyMask |= sector_bit;
         stats_.counter("accesses." + origin_name).inc();
         if (write)
             stats_.counter("writes." + origin_name).inc();
@@ -138,6 +167,15 @@ Cache::access(Addr addr, bool write, AccessOrigin origin, std::uint64_t tag,
         .counter((compulsory ? "miss_compulsory." : "miss_capacity_conflict.")
                  + origin_name)
         .inc();
+    if (sectored_) {
+        // Sector/line split (only meaningful with multi-sector lines, so
+        // the counters are not even created in the seed configuration):
+        // every primary read miss is a sector miss; the subset with no
+        // matching tag at all also missed the line.
+        stats_.counter("sector_miss." + origin_name).inc();
+        if (line == nullptr)
+            stats_.counter("line_miss." + origin_name).inc();
+    }
     mshrs_[addr].targets.push_back(tag);
     return CacheOutcome::MissNew;
 }
@@ -152,8 +190,34 @@ std::vector<std::uint64_t>
 Cache::fill(Addr addr, Cycle now)
 {
     addr = sectorAlign(addr);
-    insert(addr, now);
     auto it = mshrs_.find(addr);
+    std::size_t merged = it == mshrs_.end() ? 0 : it->second.targets.size();
+
+    std::uint32_t fill_bits = config_.fillPolicy == CacheFillPolicy::LineFill
+                                  ? fullMask_
+                                  : std::uint32_t(1) << sectorOf(addr);
+    Line *line = probeLine(addr);
+    if (line != nullptr) {
+        // Sector fill into an already-tagged line (only reachable with
+        // multi-sector lines: a single-sector resident line never has an
+        // outstanding MSHR).
+        line->validMask |= fill_bits;
+        line->lastUse = now;
+    } else {
+        // Streaming reservation: allocate the tag only when the merged
+        // target count proves reuse; a low-reuse fill answers its
+        // targets without touching the tag array.
+        bool allocate = config_.streamingThreshold == 0
+                        || merged >= config_.streamingThreshold;
+        if (allocate) {
+            insert(addr, now)->validMask |= fill_bits;
+            if (config_.streamingThreshold != 0)
+                stats_.counter("streaming_alloc_fills").inc();
+        } else {
+            stats_.counter("streaming_bypass_fills").inc();
+        }
+    }
+
     if (it == mshrs_.end())
         return {};
     std::vector<std::uint64_t> targets = std::move(it->second.targets);
@@ -201,6 +265,19 @@ Cache::checkInvariants(check::Reporter &rep, const std::string &path,
                            + " targets, limit "
                            + std::to_string(config_.mshrTargets));
     }
+    for (const Line &l : lines_) {
+        if ((l.validMask & ~fullMask_) != 0)
+            rep.report(path + ".lines",
+                       "valid mask " + std::to_string(l.validMask)
+                           + " has bits beyond the "
+                           + std::to_string(sectorsPerLine_)
+                           + "-sector line");
+        if ((l.dirtyMask & ~l.validMask) != 0)
+            rep.report(path + ".lines",
+                       "dirty mask " + std::to_string(l.dirtyMask)
+                           + " marks invalid sectors (valid mask "
+                           + std::to_string(l.validMask) + ")");
+    }
     if (!deep)
         return;
     // Deep scan: a (set, tag) pair must map to at most one valid line;
@@ -208,10 +285,10 @@ Cache::checkInvariants(check::Reporter &rep, const std::string &path,
     for (unsigned set = 0; set < numSets_; ++set) {
         const Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
         for (unsigned a = 0; a < ways_; ++a) {
-            if (!base[a].valid)
+            if (base[a].validMask == 0)
                 continue;
             for (unsigned b = a + 1; b < ways_; ++b)
-                if (base[b].valid && base[b].tag == base[a].tag)
+                if (base[b].validMask != 0 && base[b].tag == base[a].tag)
                     rep.report(path + ".lines",
                                "duplicate valid line for tag "
                                    + std::to_string(base[a].tag) + " in set "
@@ -225,11 +302,18 @@ Cache::stateDigest() const
 {
     check::Digest d;
     // Lines are in a deterministic array: mix in order (cheap, O(lines)).
+    // The sector masks join the digest only for sectored caches, so the
+    // seed (single-sector) configuration digests exactly as it always
+    // did — digest traces stay byte-identical with the policies off.
     for (const Line &l : lines_) {
-        if (!l.valid)
+        if (l.validMask == 0)
             continue;
         d.mix(l.tag);
         d.mix(l.lastUse);
+        if (sectored_) {
+            d.mix(l.validMask);
+            d.mix(l.dirtyMask);
+        }
     }
     // MSHRs live in a hash map: XOR-fold per-entry digests so the result
     // is independent of iteration order.
@@ -262,7 +346,8 @@ Cache::saveState(serial::Writer &w) const
     w.u64(lines_.size());
     for (const Line &l : lines_) {
         w.u64(l.tag);
-        w.b(l.valid);
+        w.u32(l.validMask);
+        w.u32(l.dirtyMask);
         w.u64(l.lastUse);
     }
     std::vector<Addr> mshr_addrs;
@@ -293,7 +378,8 @@ Cache::loadState(serial::Reader &r)
     vksim_assert(num_lines == lines_.size());
     for (Line &l : lines_) {
         l.tag = r.u64();
-        l.valid = r.b();
+        l.validMask = r.u32();
+        l.dirtyMask = r.u32();
         l.lastUse = r.u64();
     }
     mshrs_.clear();

@@ -8,6 +8,15 @@
  * Requests are 32-byte sectors (the RT unit splits larger node reads into
  * 32 B chunks, Sec. III-C3; the LDST unit coalesces lane accesses into
  * the same granularity).
+ *
+ * Tagging granularity is a policy knob: with the default
+ * `lineBytes == kSectorBytes` every sector carries its own tag (the
+ * original GPGPU-Sim-4.0-era model this repo seeded with, bit-identical
+ * by contract). Larger lines turn the tag array into a true sectored
+ * cache — one tag per line, per-sector valid/dirty bits — with a
+ * selectable fill policy and an optional streaming reservation policy
+ * (limited tag allocation for low-reuse fills, per the Accel-Sim memory
+ * study, arXiv 1810.07269). See DESIGN.md, "Memory model contract".
  */
 
 #ifndef VKSIM_CACHE_CACHE_H
@@ -43,6 +52,23 @@ sectorAlign(Addr a)
     return a & ~(kSectorBytes - 1);
 }
 
+/**
+ * What a fill brings into a sectored line (only meaningful when
+ * `lineBytes > kSectorBytes`; single-sector lines have nothing else to
+ * fill).
+ */
+enum class CacheFillPolicy : std::uint8_t
+{
+    /** Validate only the missed sector (classic sector fill). */
+    SectorFill = 0,
+    /**
+     * Validate the whole line on a sector miss (line-fill-on-sector-miss:
+     * models fetching the full line; the extra DRAM traffic of the
+     * over-fetch is not modeled — see DESIGN.md).
+     */
+    LineFill = 1
+};
+
 /** Cache geometry and timing. */
 struct CacheConfig
 {
@@ -52,6 +78,29 @@ struct CacheConfig
     unsigned latency = 20;    ///< hit latency in cycles
     unsigned numMshrs = 64;
     unsigned mshrTargets = 16; ///< max merged requests per MSHR
+
+    /**
+     * Bytes per tag (line size). The default, kSectorBytes, reproduces
+     * the seed per-sector tagging bit-identically (one tag per 32 B
+     * sector, no sector bookkeeping in stats or digests). Larger values
+     * (a power-of-two multiple of kSectorBytes, at most 32 sectors per
+     * line) enable line-granularity tags with per-sector valid/dirty
+     * bits plus the `sector_miss`/`line_miss` stat split.
+     */
+    Addr lineBytes = kSectorBytes;
+
+    /** Fill policy for sectored lines (ignored at lineBytes == 32). */
+    CacheFillPolicy fillPolicy = CacheFillPolicy::SectorFill;
+
+    /**
+     * Streaming reservation policy (0 = off): a fill allocates a tag
+     * only when its MSHR merged at least this many targets while the
+     * miss was outstanding — a low-reuse (streaming) fill bypasses the
+     * tag array and only answers its merged targets. Bypass/allocation
+     * decisions are counted in `streaming_bypass_fills` /
+     * `streaming_alloc_fills`.
+     */
+    unsigned streamingThreshold = 0;
 };
 
 /** Outcome of a timing access. */
@@ -85,6 +134,9 @@ class Cache : public ClockedUnit
      * Access `addr` (sector aligned) at time `now`.
      * Writes are write-through/no-allocate: they update LRU on hit and
      * never allocate; the caller forwards them downstream regardless.
+     * On a write hit to a sectored line the sector's dirty bit is set —
+     * bookkeeping for the eviction statistics only, the data itself
+     * already went downstream.
      *
      * @param tag Caller cookie returned by readyTargets() when the miss
      *            data arrives.
@@ -94,7 +146,10 @@ class Cache : public ClockedUnit
 
     /**
      * Fill for a previously missed sector. Returns the merged caller
-     * tags now satisfied (available after `latency`).
+     * tags now satisfied (available after `latency`). Under the
+     * streaming reservation policy a fill whose MSHR merged fewer than
+     * `streamingThreshold` targets bypasses the tag array (the targets
+     * are still answered).
      */
     std::vector<std::uint64_t> fill(Addr addr, Cycle now);
 
@@ -112,9 +167,10 @@ class Cache : public ClockedUnit
     }
 
     /**
-     * Non-mutating presence peek: true if the sector is resident. Unlike
-     * access(), touches neither LRU state nor any statistic — for callers
-     * that must know whether an access would miss before committing it.
+     * Non-mutating presence peek: true if the sector is resident (line
+     * tag present *and* the sector's valid bit set). Unlike access(),
+     * touches neither LRU state nor any statistic — for callers that
+     * must know whether an access would miss before committing it.
      */
     bool contains(Addr addr) const;
 
@@ -138,17 +194,19 @@ class Cache : public ClockedUnit
     std::vector<Addr> mshrAddrs() const;
 
     /**
-     * Validate internal bookkeeping (MSHR capacity/target limits; with
-     * `deep`, a full scan for duplicate valid lines within a set).
-     * Violations go to `rep` under `path`.
+     * Validate internal bookkeeping (MSHR capacity/target limits and
+     * sector-mask sanity; with `deep`, a full scan for duplicate valid
+     * lines within a set). Violations go to `rep` under `path`.
      */
     void checkInvariants(check::Reporter &rep, const std::string &path,
                          bool deep) const;
 
     /**
      * Order-insensitive digest of the architectural state (valid lines,
-     * LRU stamps, outstanding MSHRs). Equal states hash equal regardless
-     * of hash-map iteration order.
+     * LRU stamps, outstanding MSHRs; sector valid/dirty masks when the
+     * cache is sectored). Equal states hash equal regardless of
+     * hash-map iteration order. With the default single-sector lines
+     * the digest is computed exactly as the seed model computed it.
      */
     std::uint64_t stateDigest() const;
 
@@ -165,7 +223,8 @@ class Cache : public ClockedUnit
     struct Line
     {
         Addr tag = ~Addr(0);
-        bool valid = false;
+        std::uint32_t validMask = 0; ///< per-sector valid bits (0 = free)
+        std::uint32_t dirtyMask = 0; ///< per-sector written-while-resident
         Cycle lastUse = 0;
     };
 
@@ -175,12 +234,17 @@ class Cache : public ClockedUnit
     };
 
     unsigned setIndex(Addr addr) const;
-    Line *probe(Addr addr);
-    void insert(Addr addr, Cycle now);
+    unsigned sectorOf(Addr addr) const;
+    Line *probeLine(Addr addr);
+    const Line *probeLine(Addr addr) const;
+    Line *insert(Addr addr, Cycle now);
 
     CacheConfig config_;
     unsigned numSets_;
     unsigned ways_;
+    unsigned sectorsPerLine_;
+    bool sectored_; ///< lineBytes > kSectorBytes
+    std::uint32_t fullMask_;
     std::vector<Line> lines_; ///< numSets_ x ways_
     std::unordered_map<Addr, Mshr> mshrs_;
     std::unordered_set<Addr> everSeen_; ///< for compulsory classification

@@ -23,6 +23,25 @@ applyMemoryVariant(GpuConfig config, MemoryVariant variant)
       case MemoryVariant::PerfectMem:
         config.fabric.perfectMem = true;
         break;
+      case MemoryVariant::Modern:
+        // Line-tagged sectored caches: 128-byte lines over the 32-byte
+        // sectors, sector-fill, with fill-time streaming reservation in
+        // the L1 (a fill allocates a tag only when the miss gathered at
+        // least two coalesced targets; single-use streams bypass).
+        config.l1.lineBytes = 128;
+        config.l1.streamingThreshold = 2;
+        config.fabric.l2.lineBytes = 128;
+        // HBM-style channel timing: 4 bank groups with long/short
+        // column-to-column spacing, activate-to-activate spacing, and
+        // periodic all-bank refresh (tREFI/tRFC in DRAM cycles).
+        config.fabric.dram.bankGroups = 4;
+        config.fabric.dram.tCcdL = 6;
+        config.fabric.dram.tCcdS = 4;
+        config.fabric.dram.tRrd = 8;
+        config.fabric.dram.tRefi = 3900;
+        config.fabric.dram.tRfc = 160;
+        config.fabric.interleave = L2Interleave::XorFold;
+        break;
     }
     return config;
 }

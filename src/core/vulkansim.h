@@ -15,13 +15,20 @@
 
 namespace vksim {
 
-/** Memory-system variants of the paper's Figure 15. */
+/**
+ * Memory-system variants of the paper's Figure 15, plus the Modern
+ * fidelity preset (DESIGN.md, "Memory model contract"): 128-byte
+ * line-tagged sectored L1/L2 with streaming reservation in the L1, and
+ * a bank-grouped DRAM channel with tCCDL/tCCDS, tRRD activation
+ * spacing, periodic refresh, and XOR-folded L2 interleaving.
+ */
 enum class MemoryVariant
 {
     Baseline,   ///< shared L1 for shader + RT accesses
     RtCache,    ///< dedicated RT cache next to the L1
     PerfectBvh, ///< zero-latency RT-unit memory accesses
-    PerfectMem  ///< zero-latency DRAM
+    PerfectMem, ///< zero-latency DRAM
+    Modern      ///< sectored caches + bank-grouped DRAM with refresh
 };
 
 /** Apply a memory variant to a configuration. */

@@ -10,9 +10,17 @@ namespace vksim {
 
 DramChannel::DramChannel(const DramConfig &config, bool perfect,
                          StatGroup *stats)
-    : config_(config), perfect_(perfect), stats_(stats)
+    : config_(config), perfect_(perfect),
+      modernTimings_(config.bankGroups > 0 || config.tCcdL > 0
+                     || config.tCcdS > 0 || config.tRrd > 0
+                     || config.tRefi > 0),
+      stats_(stats)
 {
     banks_.resize(config_.banks);
+    if (config_.bankGroups > 0)
+        groupNextColumnAt_.resize(config_.bankGroups, 0);
+    if (config_.tRefi > 0)
+        nextRefreshAt_ = config_.tRefi;
 }
 
 unsigned
@@ -27,6 +35,51 @@ DramChannel::rowOf(Addr addr) const
     return addr / (config_.rowBytes * config_.banks);
 }
 
+unsigned
+DramChannel::groupOf(unsigned bank) const
+{
+    // Row-interleaved consecutive banks land in different groups.
+    return bank % config_.bankGroups;
+}
+
+std::uint64_t
+DramChannel::earliestIssue(const MemRequest &r) const
+{
+    // Exact while the channel state is frozen (between real cycles):
+    // every constraint below can only be *raised* by a real cycle, and
+    // nextEventCycle() forces one at each constraint-changing tick
+    // (issue, retirement, refresh). With the modern knobs off this is
+    // exactly the seed readiness rule (bank.readyAt).
+    const Bank &bank = banks_[bankOf(r.addr)];
+    std::uint64_t t = bank.readyAt;
+    if (modernTimings_) {
+        t = std::max(t, nextColumnAt_);
+        if (!groupNextColumnAt_.empty())
+            t = std::max(t, groupNextColumnAt_[groupOf(bankOf(r.addr))]);
+        if (bank.openRow != rowOf(r.addr))
+            t = std::max(t, nextActivateAt_);
+    }
+    return t;
+}
+
+void
+DramChannel::processRefresh()
+{
+    // All-bank refresh: close every row and hold the banks for tRFC.
+    // Processed by real cycle() calls only — nextEventCycle() reports
+    // the tREFI boundary, so idle-skip runs a real cycle exactly at the
+    // refresh tick and a fast-forwarded run mutates bank state on the
+    // same tick a lock-step run would.
+    while (nextRefreshAt_ != 0 && nowDram_ >= nextRefreshAt_) {
+        for (Bank &b : banks_) {
+            b.openRow = ~Addr(0);
+            b.readyAt = std::max(b.readyAt, nowDram_ + config_.tRfc);
+        }
+        stats_->counter("refreshes").inc();
+        nextRefreshAt_ += config_.tRefi;
+    }
+}
+
 void
 DramChannel::enqueue(const MemRequest &req)
 {
@@ -39,6 +92,9 @@ DramChannel::cycle(Cycle now)
 {
     ++nowDram_;
     stats_->counter("cycles").inc();
+
+    if (config_.tRefi > 0)
+        processRefresh();
 
     // Retire inflight transfers.
     for (std::size_t i = 0; i < inflight_.size();) {
@@ -82,10 +138,25 @@ DramChannel::cycle(Cycle now)
         return;
     }
 
+    // Ready-bank pre-check: if even the least-busy bank cannot accept a
+    // column this tick (or the tCCDS window is still closed), the
+    // FR-FCFS scan below cannot pick anything — skip both O(queue)
+    // passes. O(banks) against a queue that is often 4x deeper.
+    {
+        std::uint64_t min_ready = ~std::uint64_t(0);
+        for (const Bank &b : banks_)
+            min_ready = std::min(min_ready, b.readyAt);
+        if (modernTimings_)
+            min_ready = std::max(min_ready, nextColumnAt_);
+        if (min_ready > nowDram_)
+            return;
+    }
+
     // FR-FCFS: prefer the oldest row hit on a ready bank, else the oldest
-    // request whose bank is ready.
+    // request whose bank is ready (readiness folds in the bank-group
+    // column windows, tRRD and refresh holds via earliestIssue()).
     auto ready = [&](const MemRequest &r) {
-        return banks_[bankOf(r.addr)].readyAt <= nowDram_;
+        return earliestIssue(r) <= nowDram_;
     };
     auto row_hit = [&](const MemRequest &r) {
         return banks_[bankOf(r.addr)].openRow == rowOf(r.addr);
@@ -108,7 +179,8 @@ DramChannel::cycle(Cycle now)
 
     MemRequest req = *pick;
     queue_.erase(pick);
-    Bank &bank = banks_[bankOf(req.addr)];
+    unsigned bank_index = bankOf(req.addr);
+    Bank &bank = banks_[bank_index];
     bool hit = bank.openRow == rowOf(req.addr);
     unsigned access_latency = config_.tCas;
     if (!hit) {
@@ -117,15 +189,24 @@ DramChannel::cycle(Cycle now)
                               : config_.tRp + config_.tRcd;
         bank.openRow = rowOf(req.addr);
         stats_->counter("row_misses").inc();
+        if (config_.tRrd > 0)
+            nextActivateAt_ = nowDram_ + config_.tRrd;
         if (timeline_)
             timeline_->instant("dram.ch" + std::to_string(channelId_)
                                    + ".bank"
-                                   + std::to_string(bankOf(req.addr)),
+                                   + std::to_string(bank_index),
                                "row_activate", now);
     } else {
         stats_->counter("row_hits").inc();
     }
     stats_->counter("requests").inc();
+
+    // Column-to-column windows: a short one against every group (tCCDS)
+    // and a long one against this request's own group (tCCDL).
+    if (config_.tCcdS > 0)
+        nextColumnAt_ = nowDram_ + config_.tCcdS;
+    if (!groupNextColumnAt_.empty())
+        groupNextColumnAt_[groupOf(bank_index)] = nowDram_ + config_.tCcdL;
 
     // Data transfer occupies the shared bus after the column access.
     std::uint64_t data_start =
@@ -166,15 +247,23 @@ DramChannel::nextEventCycle() const
     if (perfect_)
         return queue_.empty() ? kNoPendingEvent : nowDram_ + 1;
     Cycle next = kNoPendingEvent;
+    // Refresh mutates digested bank state, so the tREFI boundary is an
+    // event even on an otherwise empty channel: idle-skip must run a
+    // real cycle exactly there or a fast-forwarded run would process
+    // the refresh late with different readyAt stamps.
+    if (nextRefreshAt_ != 0)
+        next = std::min(next,
+                        std::max<Cycle>(nextRefreshAt_, nowDram_ + 1));
     // Soonest in-flight retirement (transfers already due fire on the
     // next tick, because retirement happens after ++nowDram_).
     for (const Inflight &f : inflight_)
         next = std::min(next, std::max<Cycle>(f.doneAt, nowDram_ + 1));
-    // Soonest tick a queued request finds its bank ready for FR-FCFS.
+    // Soonest tick a queued request clears its bank, column-window and
+    // activate constraints for FR-FCFS (exact between real cycles; see
+    // earliestIssue()).
     for (const MemRequest &r : queue_)
         next = std::min(next,
-                        std::max<Cycle>(banks_[bankOf(r.addr)].readyAt,
-                                        nowDram_ + 1));
+                        std::max<Cycle>(earliestIssue(r), nowDram_ + 1));
     return next;
 }
 
@@ -213,12 +302,16 @@ DramChannel::checkInvariants(check::Reporter &rep,
                    std::to_string(queue_.size())
                        + " queued requests, limit "
                        + std::to_string(config_.queueSize));
-    for (const Bank &b : banks_)
-        if (b.readyAt > busFreeAt_)
-            rep.report(path + ".banks",
-                       "bank ready at " + std::to_string(b.readyAt)
-                           + " after the data bus frees at "
-                           + std::to_string(busFreeAt_));
+    // Without refresh every readyAt stamp comes from a data transfer, so
+    // no bank can be busy past the bus; a refresh hold (tRFC) is the one
+    // legitimate exception.
+    if (config_.tRefi == 0)
+        for (const Bank &b : banks_)
+            if (b.readyAt > busFreeAt_)
+                rep.report(path + ".banks",
+                           "bank ready at " + std::to_string(b.readyAt)
+                               + " after the data bus frees at "
+                               + std::to_string(busFreeAt_));
     for (const Inflight &f : inflight_)
         if (f.doneAt <= nowDram_)
             rep.report(path + ".inflight",
@@ -250,6 +343,16 @@ DramChannel::stateDigest() const
     d.mix(inflight_.size());
     d.mix(nowDram_);
     d.mix(busFreeAt_);
+    // The bank-group / activate / refresh windows join the digest only
+    // when some modern knob is on, so seed-configuration digest traces
+    // stay byte-identical.
+    if (modernTimings_) {
+        d.mix(nextColumnAt_);
+        for (std::uint64_t g : groupNextColumnAt_)
+            d.mix(g);
+        d.mix(nextActivateAt_);
+        d.mix(nextRefreshAt_);
+    }
     return d.value();
 }
 
@@ -300,6 +403,12 @@ DramChannel::saveState(serial::Writer &w) const
         putRequest(w, r);
     w.u64(nowDram_);
     w.u64(busFreeAt_);
+    w.u64(nextColumnAt_);
+    w.u64(groupNextColumnAt_.size());
+    for (std::uint64_t g : groupNextColumnAt_)
+        w.u64(g);
+    w.u64(nextActivateAt_);
+    w.u64(nextRefreshAt_);
 }
 
 void
@@ -329,6 +438,13 @@ DramChannel::loadState(serial::Reader &r)
         completed_.push_back(getRequest(r));
     nowDram_ = r.u64();
     busFreeAt_ = r.u64();
+    nextColumnAt_ = r.u64();
+    std::uint64_t num_groups = r.u64();
+    vksim_assert(num_groups == groupNextColumnAt_.size());
+    for (std::uint64_t &g : groupNextColumnAt_)
+        g = r.u64();
+    nextActivateAt_ = r.u64();
+    nextRefreshAt_ = r.u64();
 }
 
 // --- MemFabric ------------------------------------------------------------
@@ -351,7 +467,11 @@ MemFabric::MemFabric(const FabricConfig &config, unsigned num_sms)
 unsigned
 MemFabric::partitionOf(Addr addr) const
 {
-    return static_cast<unsigned>((addr / 256) % config_.numPartitions);
+    // Pure function of (addr, config): no state to digest or serialize.
+    Addr block = addr / 256;
+    if (config_.interleave == L2Interleave::XorFold)
+        block ^= (block >> 7) ^ (block >> 13);
+    return static_cast<unsigned>(block % config_.numPartitions);
 }
 
 bool

@@ -35,7 +35,13 @@ struct MemRequest
     std::uint64_t tag = 0; ///< requester cookie, echoed in the response
 };
 
-/** DRAM channel timing (in DRAM clock cycles). */
+/**
+ * DRAM channel timing (in DRAM clock cycles).
+ *
+ * The bank-group / refresh block below is the HBM/GDDR6-style upgrade
+ * (arXiv 1810.07269): all knobs default to 0 = off, under which the
+ * scheduler behaves bit-identically to the seed flat-bank model.
+ */
 struct DramConfig
 {
     unsigned banks = 16;
@@ -45,6 +51,37 @@ struct DramConfig
     unsigned tCas = 20;       ///< column access
     unsigned burstCycles = 2; ///< bus cycles per 32 B transfer
     unsigned queueSize = 64;
+
+    /**
+     * Bank groups (0 = no grouping). Bank b belongs to group
+     * b % bankGroups, so consecutive row-interleaved banks land in
+     * different groups (the favorable striping).
+     */
+    unsigned bankGroups = 0;
+    unsigned tCcdL = 0; ///< column-to-column, same bank group
+    unsigned tCcdS = 0; ///< column-to-column, different bank group
+    unsigned tRrd = 0;  ///< activate-to-activate across banks
+    /**
+     * Refresh: every tREFI ticks all banks close their rows and are
+     * unavailable for tRFC ticks (0 = no refresh). Refresh is processed
+     * by real cycle() calls only; nextEventCycle() reports the refresh
+     * tick so idle-skip never silently crosses one.
+     */
+    unsigned tRefi = 0;
+    unsigned tRfc = 0;
+};
+
+/** How the fabric hashes addresses onto L2 partitions. */
+enum class L2Interleave : std::uint8_t
+{
+    /** Seed policy: consecutive 256 B blocks round-robin partitions. */
+    Linear256 = 0,
+    /**
+     * XOR-fold the upper block bits into the partition index, breaking
+     * the power-of-two stride camping the linear hash suffers on
+     * BVH-node strides (Accel-Sim lineage partition hash).
+     */
+    XorFold = 1
 };
 
 /** Fabric configuration. */
@@ -56,6 +93,7 @@ struct FabricConfig
     DramConfig dram;
     double dramClockRatio = 3500.0 / 1365.0;
     bool perfectMem = false;    ///< zero-latency DRAM (paper Fig. 15)
+    L2Interleave interleave = L2Interleave::Linear256;
 };
 
 /** A banked DRAM channel with FR-FCFS scheduling. */
@@ -156,9 +194,16 @@ class DramChannel : public ClockedUnit
 
     unsigned bankOf(Addr addr) const;
     Addr rowOf(Addr addr) const;
+    unsigned groupOf(unsigned bank) const;
+    /** Earliest tick request `r` could issue, given current bank, CCD,
+     *  RRD and row state (exact while the channel state is frozen). */
+    std::uint64_t earliestIssue(const MemRequest &r) const;
+    void processRefresh();
 
     DramConfig config_;
     bool perfect_;
+    /** Any bank-group / activate / refresh constraint enabled. */
+    bool modernTimings_;
     StatGroup *stats_;
     std::deque<MemRequest> queue_;
     std::vector<Bank> banks_;
@@ -166,6 +211,13 @@ class DramChannel : public ClockedUnit
     std::vector<MemRequest> completed_;
     std::uint64_t nowDram_ = 0;
     std::uint64_t busFreeAt_ = 0;
+    /** Earliest tick the next column command may issue to any group
+     *  (tCCDS) / to each specific group (tCCDL). Always <= now when the
+     *  knobs are off, so the seed scheduler is untouched. */
+    std::uint64_t nextColumnAt_ = 0;
+    std::vector<std::uint64_t> groupNextColumnAt_;
+    std::uint64_t nextActivateAt_ = 0; ///< tRRD window
+    std::uint64_t nextRefreshAt_ = 0;  ///< next tREFI boundary (0 = off)
     TimelineShard *timeline_ = nullptr;
     unsigned channelId_ = 0;
 };

@@ -32,6 +32,9 @@ digestCache(serial::Writer &w, const CacheConfig &c)
     w.u32(c.latency);
     w.u32(c.numMshrs);
     w.u32(c.mshrTargets);
+    w.u64(c.lineBytes);
+    w.u8(static_cast<std::uint8_t>(c.fillPolicy));
+    w.u32(c.streamingThreshold);
 }
 
 } // namespace
@@ -65,7 +68,14 @@ gpuConfigDigest(const GpuConfig &config)
     w.u32(config.fabric.dram.tCas);
     w.u32(config.fabric.dram.burstCycles);
     w.u32(config.fabric.dram.queueSize);
+    w.u32(config.fabric.dram.bankGroups);
+    w.u32(config.fabric.dram.tCcdL);
+    w.u32(config.fabric.dram.tCcdS);
+    w.u32(config.fabric.dram.tRrd);
+    w.u32(config.fabric.dram.tRefi);
+    w.u32(config.fabric.dram.tRfc);
     w.f64(config.fabric.dramClockRatio);
+    w.u8(static_cast<std::uint8_t>(config.fabric.interleave));
     w.b(config.fabric.perfectMem);
     w.u32(config.rt.maxWarps);
     w.u32(config.rt.memQueueSize);

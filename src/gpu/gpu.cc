@@ -65,6 +65,21 @@ GpuConfig::validate() const
         require(c.mshrTargets != 0,
                 who + ".mshrTargets must be >= 1 (an MSHR must accept at "
                       "least its own request)");
+        require(c.lineBytes >= kSectorBytes,
+                who + ".lineBytes must be >= 32 (a line holds at least "
+                      "one 32-byte sector)");
+        require(c.lineBytes % kSectorBytes == 0,
+                who + ".lineBytes must be a multiple of 32 (lines are "
+                      "tiled from 32-byte sectors)");
+        require((c.lineBytes & (c.lineBytes - 1)) == 0,
+                who + ".lineBytes must be a power of two (set indexing "
+                      "shifts by the line size)");
+        require(c.lineBytes <= 32 * kSectorBytes,
+                who + ".lineBytes must be <= 1024 (per-sector valid and "
+                      "dirty state is a 32-bit mask)");
+        require(c.lineBytes == 0 || c.sizeBytes % c.lineBytes == 0,
+                who + ".sizeBytes must be a multiple of lineBytes (the "
+                      "cache is a whole number of lines)");
     };
 
     require(numSms != 0, "numSms must be >= 1 (0 SMs cannot run any warp)");
@@ -98,6 +113,21 @@ GpuConfig::validate() const
             "accept a request)");
     require(fabric.dramClockRatio > 0.0,
             "fabric.dramClockRatio must be > 0 (DRAM would never tick)");
+    require(fabric.dram.bankGroups == 0
+                || fabric.dram.banks % fabric.dram.bankGroups == 0,
+            "fabric.dram.bankGroups must divide banks (groups are "
+            "bank % bankGroups, so ragged groups would be lopsided)");
+    require(fabric.dram.tCcdL == 0 || fabric.dram.bankGroups != 0,
+            "fabric.dram.tCcdL needs bankGroups >= 1 (the long CCD "
+            "spacing applies within a bank group)");
+    require(fabric.dram.tCcdL == 0 || fabric.dram.tCcdS == 0
+                || fabric.dram.tCcdL >= fabric.dram.tCcdS,
+            "fabric.dram.tCcdL must be >= tCcdS (same-group "
+            "column-to-column spacing cannot be shorter than "
+            "cross-group)");
+    require(fabric.dram.tRefi == 0 || fabric.dram.tRfc != 0,
+            "fabric.dram.tRfc must be >= 1 when tRefi is set (a refresh "
+            "that takes zero cycles would be unobservable)");
     require(rt.maxWarps != 0,
             "rt.maxWarps must be >= 1 (0 warps per RT unit means "
             "traverseAS never completes)");

@@ -202,9 +202,11 @@ parseJob(const JsonValue &job, std::size_t index, const GpuConfig &base,
     else if (variant == "perfectmem")
         out->config =
             applyMemoryVariant(out->config, MemoryVariant::PerfectMem);
+    else if (variant == "modern")
+        out->config = applyMemoryVariant(out->config, MemoryVariant::Modern);
     else if (variant != "baseline") {
         *error = jobPrefix(index) + "unknown variant '" + variant
-                 + "' (use baseline/rtcache/perfectbvh/perfectmem)";
+                 + "' (use baseline/rtcache/perfectbvh/perfectmem/modern)";
         return false;
     }
     return true;

@@ -114,6 +114,66 @@ TEST(MemoryVariantTest, PerfectVariantsAreFaster)
     EXPECT_LT(perfect_mem, base);
 }
 
+TEST(MemoryVariantTest, ModernMemRendersCorrectlyAndCountsSectors)
+{
+    // The Modern preset (sectored 128 B lines, streaming reservation,
+    // bank-grouped DRAM with refresh, XOR-folded interleave) is a pure
+    // timing policy: the image must still match the reference exactly,
+    // and the sector-level counters — never created in the default
+    // configuration — must show up and balance.
+    GpuConfig cfg = applyMemoryVariant(fastConfig(), MemoryVariant::Modern);
+    ASSERT_TRUE(cfg.validate().empty());
+    Workload w(WorkloadId::RTV5, tinyParams(WorkloadId::RTV5));
+    RunResult run = simulateWorkload(w, cfg);
+    EXPECT_GT(run.cycles, 0u);
+    ImageDiff diff =
+        compareImages(w.readFramebuffer(), w.renderReferenceImage());
+    EXPECT_EQ(diff.differingPixels, 0u);
+
+    // Every line miss is also a sector miss; refreshes fired.
+    std::uint64_t sector_misses = run.l1.get("sector_miss.shader")
+                                  + run.l1.get("sector_miss.rtunit");
+    std::uint64_t line_misses = run.l1.get("line_miss.shader")
+                                + run.l1.get("line_miss.rtunit");
+    EXPECT_GT(sector_misses, 0u);
+    EXPECT_GT(line_misses, 0u);
+    EXPECT_LE(line_misses, sector_misses);
+    EXPECT_GT(run.dram.get("refreshes"), 0u);
+    // The streaming policy made an allocate/bypass decision per fill.
+    EXPECT_GT(run.l1.get("streaming_alloc_fills")
+                  + run.l1.get("streaming_bypass_fills"),
+              0u);
+}
+
+TEST(MemoryVariantTest, ModernMemEpochThreadsIdleSkipStayBitIdentical)
+{
+    // The determinism contract with every modern policy ON: the
+    // epoch-stepped multi-threaded engine and the no-idle-skip engine
+    // must both match the serial lock-step oracle digest-for-digest and
+    // produce the identical metrics dump.
+    GpuConfig base = applyMemoryVariant(fastConfig(), MemoryVariant::Modern);
+    base.digestTrace = true;
+
+    auto run = [&](unsigned threads, unsigned epoch, bool idle_skip) {
+        GpuConfig cfg = base;
+        cfg.threads = threads;
+        cfg.epochCycles = epoch;
+        cfg.idleSkip = idle_skip;
+        Workload w(WorkloadId::TRI, tinyParams(WorkloadId::TRI));
+        return simulateWorkload(w, cfg);
+    };
+
+    RunResult oracle = run(1, 1, true);
+    RunResult epoch = run(4, 64, true);
+    RunResult noskip = run(4, 1, false);
+    EXPECT_EQ(oracle.cycles, epoch.cycles);
+    EXPECT_EQ(oracle.cycles, noskip.cycles);
+    EXPECT_FALSE(oracle.digests.firstDivergence(epoch.digests).diverged);
+    EXPECT_FALSE(oracle.digests.firstDivergence(noskip.digests).diverged);
+    EXPECT_EQ(oracle.metrics.toJson(), epoch.metrics.toJson());
+    EXPECT_EQ(oracle.metrics.toJson(), noskip.metrics.toJson());
+}
+
 TEST(MemoryVariantTest, RtCacheIsolatesRtTraffic)
 {
     WorkloadParams p = tinyParams(WorkloadId::EXT);

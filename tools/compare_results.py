@@ -9,42 +9,154 @@ strips "perf" from both files and requires the rest to be identical,
 so CI can keep a hard determinism gate while batchrun still reports
 per-job throughput.
 
+The comparison is deliberately defensive: a crashed or interrupted
+batchrun can leave a file with no "perf" section, a partial one, or
+with jobs present on only one side. None of those may crash the gate —
+a malformed file is a clean (exit 2) diagnostic, a one-sided job is an
+ordinary reported difference.
+
 Usage: compare_results.py A.json B.json
-Exits 0 when identical outside "perf", 1 with a diff summary otherwise.
+       compare_results.py --self-test
+Exits 0 when identical outside "perf", 1 with a diff summary,
+2 on unreadable/malformed input (or bad usage).
 """
 
 import json
 import sys
+import tempfile
 
 
 def load_checked(path):
-    with open(path) as f:
-        data = json.load(f)
+    """Load a results file, tolerating absent/partial perf sections.
+
+    Returns the comparable payload, or raises ValueError with a clean
+    one-line diagnostic (never a traceback) for unusable files.
+    """
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise ValueError(f"{path}: cannot read: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        raise ValueError(f"{path}: not valid JSON ({e.msg} at line "
+                         f"{e.lineno}); was the batch interrupted?")
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: top level is {type(data).__name__}, "
+                         "expected a results object")
     data.pop("perf", None)
     return data
 
 
+def diff_paths(a, b, prefix=""):
+    """Yield dotted paths where `a` and `b` differ (depth-limited walk)."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key not in a:
+                yield f"{path} (only in second file)"
+            elif key not in b:
+                yield f"{path} (only in first file)"
+            else:
+                yield from diff_paths(a[key], b[key], path)
+    elif a != b:
+        yield prefix or "(document root)"
+
+
+def compare(path_a, path_b, out=sys.stdout, err=sys.stderr):
+    try:
+        a, b = load_checked(path_a), load_checked(path_b)
+    except ValueError as e:
+        print(e, file=err)
+        return 2
+    if a == b:
+        print(f"{path_a} and {path_b} are identical outside 'perf'",
+              file=out)
+        return 0
+    print(f"{path_a} and {path_b} differ in determinism-checked fields:",
+          file=err)
+    for path in diff_paths(a, b):
+        print(f"  {path}", file=err)
+    return 1
+
+
+def self_test():
+    """Exercise the comparator against the failure shapes it must absorb."""
+    import io
+    import os
+
+    base = {
+        "artifacts": {"bvh_builds": 1},
+        "jobs": {"a": {"cycles": 10, "stats": {"x": 1}}},
+        "perf": {"a": {"sim_cycles_per_s": 123.4}},
+    }
+
+    def write(obj, raw=None):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False)
+        if raw is not None:
+            f.write(raw)
+        else:
+            json.dump(obj, f)
+        f.close()
+        return f.name
+
+    failures = []
+    tmp = []
+
+    def check(name, got, want):
+        if got != want:
+            failures.append(f"{name}: expected exit {want}, got {got}")
+
+    def run(pa, pb):
+        return compare(pa, pb, out=io.StringIO(), err=io.StringIO())
+
+    # Identical payloads with *different* perf sections: equal.
+    other_perf = dict(base, perf={"a": {"sim_cycles_per_s": 999.9}})
+    tmp += [write(base), write(other_perf)]
+    check("perf-ignored", run(tmp[-2], tmp[-1]), 0)
+
+    # Missing perf on one side, partial perf on the other: still equal.
+    no_perf = {k: v for k, v in base.items() if k != "perf"}
+    partial_perf = dict(base, perf={"a": {}})
+    tmp += [write(no_perf), write(partial_perf)]
+    check("perf-missing-or-partial", run(tmp[-2], tmp[-1]), 0)
+
+    # A job present on only one side: a reported diff, not a crash.
+    one_sided = dict(base, jobs=dict(base["jobs"], b={"cycles": 5}))
+    tmp += [write(base), write(one_sided)]
+    check("one-sided-job", run(tmp[-2], tmp[-1]), 1)
+
+    # A genuine stats divergence inside a shared job.
+    drift = dict(base,
+                 jobs={"a": {"cycles": 10, "stats": {"x": 2}}})
+    tmp += [write(base), write(drift)]
+    check("stats-drift", run(tmp[-2], tmp[-1]), 1)
+
+    # Torn / non-JSON / wrong-shape / absent files: clean exit 2.
+    tmp.append(write(None, raw='{"jobs": {'))
+    check("torn-json", run(tmp[0], tmp[-1]), 2)
+    tmp.append(write(None, raw='[1, 2, 3]'))
+    check("non-object", run(tmp[0], tmp[-1]), 2)
+    check("absent-file", run(tmp[0], tmp[0] + ".does-not-exist"), 2)
+
+    for path in tmp:
+        os.unlink(path)
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print(f"self-test passed ({7} cases)")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    a, b = load_checked(argv[1]), load_checked(argv[2])
-    if a == b:
-        print(f"{argv[1]} and {argv[2]} are identical outside 'perf'")
-        return 0
-    print(f"{argv[1]} and {argv[2]} differ in determinism-checked fields:",
-          file=sys.stderr)
-    for section in sorted(set(a) | set(b)):
-        if a.get(section) == b.get(section):
-            continue
-        sa, sb = a.get(section), b.get(section)
-        if isinstance(sa, dict) and isinstance(sb, dict):
-            for key in sorted(set(sa) | set(sb)):
-                if sa.get(key) != sb.get(key):
-                    print(f"  {section}.{key}", file=sys.stderr)
-        else:
-            print(f"  {section}", file=sys.stderr)
-    return 1
+    return compare(argv[1], argv[2])
 
 
 if __name__ == "__main__":

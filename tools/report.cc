@@ -19,9 +19,15 @@
  *                             (paper Fig. 16 metrics)
  *   speedup_vs_reference.csv  simulator throughput vs the CPU reference
  *                             renderer (host seconds per frame)
+ *   correlation.csv           per-scene simulated cycles against the
+ *                             analytical hardware-proxy estimate, with
+ *                             the batch Pearson r and fitted slope on a
+ *                             trailing summary row (the Fig. 11/19-style
+ *                             fidelity check; see EXPERIMENTS.md,
+ *                             "Memory-fidelity correlation sweep")
  *
- * Usage: report [--size=32] [--mobile] [--outdir=report] [--threads=N]
- *               [--serial] [--timeline=trace.json]
+ * Usage: report [--size=32] [--mobile] [--modern-mem] [--outdir=report]
+ *               [--threads=N] [--serial] [--timeline=trace.json]
  *
  * See EXPERIMENTS.md, "Machine-readable outputs".
  */
@@ -34,6 +40,7 @@
 #include <vector>
 
 #include "core/vulkansim.h"
+#include "hwproxy/hwproxy.h"
 #include "service/service.h"
 #include "util/cli.h"
 
@@ -80,6 +87,9 @@ main(int argc, char **argv)
             "dumps (all workloads, one SimService batch).");
     cli.option("size", "px", "32", "launch width and height per scene")
         .flag("mobile", "use the mobile Table III configuration")
+        .flag("modern-mem",
+              "apply the Modern memory variant (sectored caches, "
+              "streaming reservation, bank-grouped DRAM with refresh)")
         .option("outdir", "dir", "report", "output directory");
     addSimFlags(cli);
     if (!cli.parse(argc, argv))
@@ -89,6 +99,8 @@ main(int argc, char **argv)
     std::string outdir = cli.get("outdir");
     GpuConfig config =
         cli.getBool("mobile") ? mobileGpuConfig() : baselineGpuConfig();
+    if (cli.getBool("modern-mem"))
+        config = applyMemoryVariant(config, MemoryVariant::Modern);
     const unsigned threads = cli.threadCount();
     if (!applySimFlags(cli, &config))
         return 1;
@@ -237,7 +249,36 @@ main(int argc, char **argv)
         }
     }
 
-    std::printf("report: wrote %zu scene dumps and 4 CSVs to %s/\n",
+    // Correlation against the analytical hardware proxy: the closed
+    // fidelity loop for memory-model changes. Each scene contributes a
+    // (proxy cycles, simulated cycles) point; the trailing summary row
+    // carries the Pearson r and the least-squares slope through the
+    // origin over the whole batch.
+    {
+        std::ofstream os(outdir + "/correlation.csv");
+        os << "scene,hwproxy_cycles,sim_cycles,sim_over_proxy\n";
+        std::vector<double> hw, sim;
+        for (const SceneReport &rep : reports) {
+            WorkloadProfile profile = profileWorkload(*rep.job->workload);
+            double proxy =
+                estimateHardwareCycles(profile, serializedRtProxy());
+            double cycles = static_cast<double>(rep.run().cycles);
+            hw.push_back(proxy);
+            sim.push_back(cycles);
+            os << rep.name << "," << formatJsonNumber(proxy) << ","
+               << rep.run().cycles << ","
+               << formatJsonNumber(proxy > 0 ? cycles / proxy : 0.0)
+               << "\n";
+        }
+        Correlation corr = correlate(hw, sim);
+        os << "SUMMARY," << formatJsonNumber(corr.coefficient) << ","
+           << formatJsonNumber(corr.slope) << ",\n";
+        std::printf("report: hwproxy correlation r=%.4f slope=%.4f over "
+                    "%zu scenes\n",
+                    corr.coefficient, corr.slope, reports.size());
+    }
+
+    std::printf("report: wrote %zu scene dumps and 5 CSVs to %s/\n",
                 reports.size(), outdir.c_str());
     return 0;
 }
