@@ -9,6 +9,7 @@
  */
 
 #include "bench/common.h"
+#include "service/service.h"
 
 int
 main()
@@ -23,11 +24,11 @@ main()
          {wl::WorkloadId::REF, wl::WorkloadId::EXT, wl::WorkloadId::RTV6}) {
         wl::Workload w1(id, bench::benchParams(id));
         GpuConfig gto = baselineGpuConfig();
-        RunResult rg = simulateWorkload(w1, gto);
+        RunResult rg = service::defaultService().submit(w1, gto).take().run;
         wl::Workload w2(id, bench::benchParams(id));
         GpuConfig lrr = baselineGpuConfig();
         lrr.sched = SchedPolicy::LRR;
-        RunResult rl = simulateWorkload(w2, lrr);
+        RunResult rl = service::defaultService().submit(w2, lrr).take().run;
         std::printf("%-8s %12llu %12llu %10.3f\n", wl::workloadName(id),
                     static_cast<unsigned long long>(rg.cycles),
                     static_cast<unsigned long long>(rl.cycles),
@@ -42,7 +43,7 @@ main()
                        bench::benchParams(wl::WorkloadId::EXT));
         GpuConfig cfg = baselineGpuConfig();
         cfg.rt.shortStackEntries = entries;
-        RunResult run = simulateWorkload(w, cfg);
+        RunResult run = service::defaultService().submit(w, cfg).take().run;
         std::printf("%8u %12llu %14llu\n", entries,
                     static_cast<unsigned long long>(run.cycles),
                     static_cast<unsigned long long>(
@@ -59,7 +60,7 @@ main()
         cfg.rt.boxLatency *= scale;
         cfg.rt.triLatency *= scale;
         cfg.rt.transformLatency *= scale;
-        RunResult run = simulateWorkload(w, cfg);
+        RunResult run = service::defaultService().submit(w, cfg).take().run;
         std::printf("%7ux %12llu\n", scale,
                     static_cast<unsigned long long>(run.cycles));
     }

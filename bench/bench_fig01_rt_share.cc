@@ -10,6 +10,7 @@
  */
 
 #include "bench/common.h"
+#include "service/service.h"
 
 int
 main()
@@ -25,7 +26,7 @@ main()
     unsigned n = 0;
     for (wl::WorkloadId id : wl::kAllWorkloads) {
         wl::Workload workload(id, bench::benchParams(id));
-        RunResult run = simulateWorkload(workload, baselineGpuConfig());
+        RunResult run = service::defaultService().submit(workload, baselineGpuConfig()).take().run;
         double busy = 100.0 * run.rtActiveFraction();
         double trace_share =
             100.0 * run.core.get("issue_rt")

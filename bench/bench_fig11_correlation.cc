@@ -10,6 +10,7 @@
 
 #include "bench/common.h"
 #include "hwproxy/hwproxy.h"
+#include "service/service.h"
 
 int
 main()
@@ -27,7 +28,7 @@ main()
         wl::Workload workload(id, bench::benchParams(id));
         WorkloadProfile profile = profileWorkload(workload);
         double hw_cycles = estimateHardwareCycles(profile);
-        RunResult run = simulateWorkload(workload, baselineGpuConfig());
+        RunResult run = service::defaultService().submit(workload, baselineGpuConfig()).take().run;
         hw.push_back(hw_cycles);
         sim.push_back(static_cast<double>(run.cycles));
         std::printf("%-8s %16.0f %18llu\n", workload.name(), hw_cycles,

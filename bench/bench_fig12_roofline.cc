@@ -10,6 +10,7 @@
  */
 
 #include "bench/common.h"
+#include "service/service.h"
 
 namespace {
 
@@ -28,7 +29,7 @@ runConfig(const char *label, const vksim::GpuConfig &config)
                 "intensity", "perf (ops/cyc)", "of mem roof");
     for (wl::WorkloadId id : wl::kAllWorkloads) {
         wl::Workload workload(id, bench::benchParams(id));
-        RunResult run = simulateWorkload(workload, config);
+        RunResult run = service::defaultService().submit(workload, config).take().run;
         double ops = static_cast<double>(run.rt.get("ops_box")
                                          + run.rt.get("ops_triangle")
                                          + run.rt.get("ops_transform"));

@@ -7,6 +7,7 @@
  */
 
 #include "bench/common.h"
+#include "service/service.h"
 
 int
 main()
@@ -24,7 +25,7 @@ main()
     GpuConfig config = baselineGpuConfig();
     config.numSms = 8;
     config.fabric.numPartitions = 2;
-    RunResult run = simulateWorkload(workload, config);
+    RunResult run = service::defaultService().submit(workload, config).take().run;
 
     const Histogram &h = run.rtWarpLatency;
     std::printf("RT warps: %llu, mean latency %.0f cycles, max %.0f\n",

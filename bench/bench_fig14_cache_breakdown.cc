@@ -8,6 +8,7 @@
  */
 
 #include "bench/common.h"
+#include "service/service.h"
 
 namespace {
 
@@ -43,7 +44,7 @@ main()
 
     for (wl::WorkloadId id : wl::kAllWorkloads) {
         wl::Workload workload(id, bench::benchParams(id));
-        RunResult run = simulateWorkload(workload, baselineGpuConfig());
+        RunResult run = service::defaultService().submit(workload, baselineGpuConfig()).take().run;
         std::printf("%s:\n", workload.name());
         printBreakdown("L1D", run.l1);
         printBreakdown("L2", run.l2);

@@ -8,6 +8,7 @@
  */
 
 #include "bench/common.h"
+#include "service/service.h"
 
 int
 main()
@@ -30,7 +31,7 @@ main()
             wl::Workload workload(id, bench::benchParams(id));
             GpuConfig config =
                 applyMemoryVariant(baselineGpuConfig(), variants[v]);
-            cycles[v] = simulateWorkload(workload, config).cycles;
+            cycles[v] = service::defaultService().submit(workload, config).take().run.cycles;
         }
         std::printf("%-8s %14llu", wl::workloadName(id),
                     static_cast<unsigned long long>(cycles[0]));

@@ -9,6 +9,7 @@
  */
 
 #include "bench/common.h"
+#include "service/service.h"
 
 namespace {
 
@@ -24,7 +25,7 @@ sweep(const char *label, const vksim::GpuConfig &base_config,
         wl::Workload workload(id, bench::benchParams(id));
         GpuConfig config = base_config;
         config.rt.maxWarps = warps;
-        RunResult run = simulateWorkload(workload, config);
+        RunResult run = service::defaultService().submit(workload, config).take().run;
         double rh = static_cast<double>(run.dram.get("row_hits"));
         double rm = static_cast<double>(run.dram.get("row_misses"));
         double row_pct = rh + rm > 0 ? 100.0 * rh / (rh + rm) : 0.0;

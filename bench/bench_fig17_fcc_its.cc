@@ -10,6 +10,7 @@
  */
 
 #include "bench/common.h"
+#include "service/service.h"
 
 namespace {
 
@@ -43,10 +44,10 @@ main()
         GpuConfig mobile = mobileGpuConfig();
         wl::WorkloadParams params = bench::benchParams(wl::WorkloadId::RTV6);
         wl::Workload base(wl::WorkloadId::RTV6, params);
-        RunResult rb = simulateWorkload(base, mobile);
+        RunResult rb = service::defaultService().submit(base, mobile).take().run;
         params.fcc = true;
         wl::Workload fcc(wl::WorkloadId::RTV6, params);
-        RunResult rf = simulateWorkload(fcc, mobile);
+        RunResult rf = service::defaultService().submit(fcc, mobile).take().run;
 
         double speedup = static_cast<double>(rb.cycles) / rf.cycles;
         std::uint64_t base_rt_loads = rb.rt.get("mem_requests");
@@ -78,11 +79,11 @@ main()
         params.width = 48;
         params.height = 48;
         wl::Workload w1(id, params);
-        RunResult rs = simulateWorkload(w1, contendedConfig());
+        RunResult rs = service::defaultService().submit(w1, contendedConfig()).take().run;
         GpuConfig its = contendedConfig();
         its.its = true;
         wl::Workload w2(id, params);
-        RunResult ri = simulateWorkload(w2, its);
+        RunResult ri = service::defaultService().submit(w2, its).take().run;
         std::printf("%-10s %14llu %12llu %10.3f\n", wl::workloadName(id),
                     static_cast<unsigned long long>(rs.cycles),
                     static_cast<unsigned long long>(ri.cycles),
@@ -96,11 +97,11 @@ main()
         params.height = 48;
         params.divergentRaygen = true;
         wl::Workload w1(wl::WorkloadId::EXT, params);
-        RunResult rs = simulateWorkload(w1, contendedConfig());
+        RunResult rs = service::defaultService().submit(w1, contendedConfig()).take().run;
         GpuConfig its = contendedConfig();
         its.its = true;
         wl::Workload w2(wl::WorkloadId::EXT, params);
-        RunResult ri = simulateWorkload(w2, its);
+        RunResult ri = service::defaultService().submit(w2, its).take().run;
         std::printf("%-10s %14llu %12llu %10.3f  (paper: ~1.06)\n",
                     "EXT-div",
                     static_cast<unsigned long long>(rs.cycles),

@@ -8,6 +8,7 @@
  */
 
 #include "bench/common.h"
+#include "service/service.h"
 
 namespace {
 
@@ -25,7 +26,7 @@ runMode(bool its)
     config.fabric.numPartitions = 2;
     config.its = its;
     config.occupancySamplePeriod = 500;
-    return simulateWorkload(workload, config);
+    return service::defaultService().submit(workload, config).take().run;
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 
 #include "bench/common.h"
 #include "hwproxy/hwproxy.h"
+#include "service/service.h"
 
 int
 main()
@@ -40,7 +41,7 @@ main()
         for (wl::WorkloadId id : ids) {
             wl::Workload workload(id, bench::benchParams(id));
             RunResult run =
-                simulateWorkload(workload, rtxMatchedConfig(step));
+                service::defaultService().submit(workload, rtxMatchedConfig(step)).take().run;
             sim.push_back(static_cast<double>(run.cycles));
         }
         Correlation corr = correlate(hw, sim);

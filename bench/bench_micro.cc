@@ -21,9 +21,13 @@
 #include <string>
 #include <vector>
 
+#include "accel/nodetest.h"
 #include "core/vulkansim.h"
 #include "reftrace/tracer.h"
 #include "util/metrics.h"
+#include "util/rng.h"
+#include "service/service.h"
+#include "vptx/exec.h"
 
 namespace {
 
@@ -94,7 +98,7 @@ BM_TimedSim(benchmark::State &state)
     std::int64_t sim_cycles = 0;
     for (auto _ : state) {
         wl::Workload workload(wl::WorkloadId::TRI, params);
-        RunResult run = simulateWorkload(workload, config);
+        RunResult run = service::defaultService().submit(workload, config).take().run;
         benchmark::DoNotOptimize(run.cycles);
         sim_cycles += static_cast<std::int64_t>(run.cycles);
     }
@@ -127,7 +131,7 @@ BM_IdleSkip(benchmark::State &state)
     std::int64_t skipped = 0;
     for (auto _ : state) {
         wl::Workload workload(wl::WorkloadId::RTV6, params);
-        RunResult run = simulateWorkload(workload, config);
+        RunResult run = service::defaultService().submit(workload, config).take().run;
         benchmark::DoNotOptimize(run.cycles);
         sim_cycles += static_cast<std::int64_t>(run.cycles);
         skipped += static_cast<std::int64_t>(run.smCyclesSkipped);
@@ -174,7 +178,7 @@ BM_TimedSimThreads(benchmark::State &state)
     auto wall_start = std::chrono::steady_clock::now();
     for (auto _ : state) {
         wl::Workload workload(wl::WorkloadId::RTV6, params);
-        RunResult run = simulateWorkload(workload, config);
+        RunResult run = service::defaultService().submit(workload, config).take().run;
         benchmark::DoNotOptimize(run.cycles);
         sim_cycles += static_cast<std::int64_t>(run.cycles);
     }
@@ -211,6 +215,165 @@ BENCHMARK(BM_TimedSimThreads)
     ->Args({8, 64})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Interpreter dispatch cost: the same vptx-bound launch through the
+ * legacy structural-ISA interpreter (Arg 0) and the pre-decoded
+ * micro-op stream (Arg 1). Both arms execute the identical dynamic
+ * instruction sequence (the differential suite asserts bit-identity),
+ * so items_per_second measures pure dispatch + operand-plumbing
+ * overhead; compare the two arms for the micro-op speedup.
+ */
+void
+BM_VptxDispatch(benchmark::State &state)
+{
+    using vptx::Instr;
+    using vptx::Opcode;
+    // Synthetic vptx-bound kernel: a counted loop of dependent ALU work
+    // (the shader-library loop idiom — BraZ to the exit, Jmp back) so
+    // the benchmark measures interpreter dispatch, not BVH traversal.
+    auto op = [](Opcode o, int dst = -1, int s0 = -1, int s1 = -1) {
+        Instr i;
+        i.op = o;
+        i.dst = static_cast<std::int16_t>(dst);
+        i.src0 = static_cast<std::int16_t>(s0);
+        i.src1 = static_cast<std::int16_t>(s1);
+        return i;
+    };
+    auto imm = [&op](Opcode o, int dst, std::uint64_t v) {
+        Instr i = op(o, dst);
+        i.imm = v;
+        return i;
+    };
+    std::vector<Instr> code = {
+        imm(Opcode::LoadLaunchId, 1, 0),
+        imm(Opcode::MovImm, 0, 100), // loop counter
+        imm(Opcode::MovImm, 2, 0x9E3779B97F4A7C15ull),
+        imm(Opcode::MovImm, 4, 1),
+    };
+    const std::uint32_t loop_start = static_cast<std::uint32_t>(code.size());
+    for (int rep = 0; rep < 4; ++rep) {
+        code.push_back(op(Opcode::Add, 3, 1, 2));
+        code.push_back(op(Opcode::Xor, 1, 1, 3));
+        code.push_back(op(Opcode::Mul, 3, 3, 2));
+        code.push_back(op(Opcode::Shr, 5, 3, 4));
+        code.push_back(op(Opcode::Or, 1, 1, 5));
+        code.push_back(op(Opcode::U2F, 6, 5));
+        code.push_back(op(Opcode::FMul, 7, 6, 6));
+        code.push_back(op(Opcode::F2U, 8, 7));
+    }
+    code.push_back(op(Opcode::Sub, 0, 0, 4));
+    Instr exit_branch = op(Opcode::BraZ, -1, 0);
+    const std::uint32_t loop_exit =
+        static_cast<std::uint32_t>(code.size()) + 2;
+    exit_branch.target = loop_exit;
+    exit_branch.reconv = loop_exit;
+    code.push_back(exit_branch);
+    Instr back = op(Opcode::Jmp);
+    back.target = loop_start;
+    code.push_back(back);
+    code.push_back(op(Opcode::Exit));
+
+    vptx::Program program;
+    program.code = std::move(code);
+    vptx::ShaderInfo raygen;
+    raygen.name = "dispatch_bench";
+    raygen.stage = vptx::ShaderStage::RayGen;
+    raygen.entryPc = 0;
+    raygen.numRegs = 12;
+    program.shaders.push_back(raygen);
+    program.raygenShader = 0;
+
+    GlobalMemory gmem;
+    vptx::LaunchContext ctx;
+    ctx.program = &program;
+    ctx.gmem = &gmem;
+    ctx.launchSize[0] = 64;
+    ctx.launchSize[1] = 4; // 256 threads = 8 warps
+    ctx.rtStackBase =
+        gmem.allocate(256 * vptx::kRtStackBytesPerThread, 64);
+    ctx.scratchBase =
+        gmem.allocate(256 * vptx::kRtScratchBytesPerThread, 64);
+
+    vptx::ExecOptions opts;
+    opts.structuralDispatch = state.range(0) == 0;
+    std::int64_t instrs = 0;
+    for (auto _ : state) {
+        vptx::FunctionalRunner runner(ctx, opts);
+        runner.run();
+        benchmark::DoNotOptimize(runner.decodeCount());
+        instrs += static_cast<std::int64_t>(
+            runner.stats().get("instructions"));
+    }
+    state.SetItemsProcessed(instrs);
+    state.SetLabel(opts.structuralDispatch
+                       ? "ALU loop kernel, structural-ISA interpreter"
+                       : "ALU loop kernel, pre-decoded micro-ops");
+}
+BENCHMARK(BM_VptxDispatch)->Arg(0)->Arg(1);
+
+/**
+ * Six-wide quantized-AABB node test: scalar reference (Arg 0) vs the
+ * SSE2 kernel (Arg 1) over a fixed corpus of random nodes and rays
+ * (including axis-parallel directions that take the containment path).
+ * items_per_second counts node tests, i.e. six child boxes each.
+ */
+void
+BM_NodeTestSimd(benchmark::State &state)
+{
+    const bool simd = state.range(0) != 0;
+    Pcg32 rng(7);
+    std::vector<InternalNode> nodes(64);
+    for (InternalNode &node : nodes) {
+        node.originX = rng.nextRange(-40.f, 40.f);
+        node.originY = rng.nextRange(-40.f, 40.f);
+        node.originZ = rng.nextRange(-40.f, 40.f);
+        node.expX = node.expY = node.expZ = -3;
+        node.childCount = 6;
+        for (unsigned i = 0; i < 6; ++i)
+            for (int axis = 0; axis < 3; ++axis) {
+                std::uint8_t a =
+                    static_cast<std::uint8_t>(rng.nextBelow(200));
+                node.qlo[i][axis] = a;
+                node.qhi[i][axis] = static_cast<std::uint8_t>(
+                    a + 1 + rng.nextBelow(55));
+            }
+    }
+    struct BenchRay
+    {
+        Ray ray;
+        Vec3 inv;
+    };
+    std::vector<BenchRay> rays(256);
+    for (BenchRay &br : rays) {
+        br.ray.origin = {rng.nextRange(-60.f, 60.f),
+                         rng.nextRange(-60.f, 60.f),
+                         rng.nextRange(-60.f, 60.f)};
+        br.ray.direction = {
+            rng.nextBelow(8) == 0 ? 0.f : rng.nextRange(-1.f, 1.f),
+            rng.nextBelow(8) == 0 ? 0.f : rng.nextRange(-1.f, 1.f),
+            rng.nextBelow(8) == 0 ? 0.f : rng.nextRange(-1.f, 1.f)};
+        br.ray.tmin = 0.f;
+        br.ray.tmax = 1e30f;
+        br.inv = safeInverse(br.ray.direction);
+    }
+
+    std::int64_t tests = 0;
+    for (auto _ : state) {
+        unsigned acc = 0;
+        for (const BenchRay &br : rays)
+            for (const InternalNode &node : nodes) {
+                float t[6];
+                acc += simd ? nodeTest6(node, br.ray, br.inv, 6, t)
+                            : nodeTest6Scalar(node, br.ray, br.inv, 6, t);
+            }
+        benchmark::DoNotOptimize(acc);
+        tests += static_cast<std::int64_t>(rays.size() * nodes.size());
+    }
+    state.SetItemsProcessed(tests);
+    state.SetLabel(simd ? "SSE2 six-wide kernel" : "scalar rayAabb loop");
+}
+BENCHMARK(BM_NodeTestSimd)->Arg(0)->Arg(1);
 
 /** Parallel reference renderer (tile fan-out) at 1/2/4/8 threads. */
 void

@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.h"
+#include "service/service.h"
 
 int
 main()
@@ -21,7 +22,7 @@ main()
     unsigned n = 0;
     for (wl::WorkloadId id : wl::kAllWorkloads) {
         wl::Workload workload(id, bench::benchParams(id));
-        RunResult run = simulateWorkload(workload, baselineGpuConfig());
+        RunResult run = service::defaultService().submit(workload, baselineGpuConfig()).take().run;
         double total =
             static_cast<double>(std::max<std::uint64_t>(
                 1, run.core.get("issued")));

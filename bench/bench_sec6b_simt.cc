@@ -7,6 +7,7 @@
  */
 
 #include "bench/common.h"
+#include "service/service.h"
 
 int
 main()
@@ -22,7 +23,7 @@ main()
     unsigned n = 0;
     for (wl::WorkloadId id : wl::kAllWorkloads) {
         wl::Workload workload(id, bench::benchParams(id));
-        RunResult run = simulateWorkload(workload, baselineGpuConfig());
+        RunResult run = service::defaultService().submit(workload, baselineGpuConfig()).take().run;
         double rt_eff = 100.0 * run.rtSimtEfficiency();
         double rays_per_warp =
             run.rt.get("warps_submitted")

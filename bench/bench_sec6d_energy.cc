@@ -8,6 +8,7 @@
 
 #include "bench/common.h"
 #include "power/power.h"
+#include "service/service.h"
 
 int
 main()
@@ -22,7 +23,7 @@ main()
                 "const+stat", "core dyn", "caches", "DRAM", "RT units");
     for (wl::WorkloadId id : wl::kAllWorkloads) {
         wl::Workload workload(id, bench::benchParams(id));
-        RunResult run = simulateWorkload(workload, config);
+        RunResult run = service::defaultService().submit(workload, config).take().run;
         PowerReport p = estimatePower(run, config.numSms);
         std::printf("%-8s %9.1f %11.1f%% %8.1f%% %8.1f%% %8.1f%% %13.3f%%\n",
                     workload.name(), p.averageWatts,

@@ -38,7 +38,7 @@ main()
     // Live demonstration: translate RTV6 and count custom instructions.
     wl::Workload workload(wl::WorkloadId::RTV6,
                           bench::benchParams(wl::WorkloadId::RTV6));
-    const vptx::Program &prog = workload.pipeline().program;
+    const vptx::Program &prog = workload.pipeline().program();
     std::map<std::string, unsigned> counts;
     for (const vptx::Instr &instr : prog.code) {
         switch (instr.op) {

@@ -77,7 +77,7 @@ main(int argc, char **argv)
     const RunResult &fcc_run = fcc.run;
 
     std::printf("pipeline shaders:\n");
-    for (const auto &shader : base.workload->pipeline().program.shaders)
+    for (const auto &shader : base.workload->pipeline().program().shaders)
         std::printf("  [%s] %s (%u regs)\n",
                     vptx::shaderStageName(shader.stage),
                     shader.name.c_str(), shader.numRegs);

@@ -44,8 +44,8 @@ main(int argc, char **argv)
                 workload.accel().stats.treeDepth(),
                 workload.accel().stats.totalNodes());
     std::printf("  pipeline: %zu shaders, %zu VPTX instructions\n",
-                workload.pipeline().program.shaders.size(),
-                workload.pipeline().program.code.size());
+                workload.pipeline().program().shaders.size(),
+                workload.pipeline().program().code.size());
 
     const unsigned threads = cli.threadCount();
 

@@ -65,7 +65,7 @@ main(int argc, char **argv)
             return 1;
         std::printf("Trace dumped: %s (%zu instructions, %.1f MiB memory "
                     "image)\n",
-                    path.c_str(), workload.pipeline().program.code.size(),
+                    path.c_str(), workload.pipeline().program().code.size(),
                     workload.device().memory().residentBytes()
                         / (1024.0 * 1024.0));
         return 0;

@@ -1,0 +1,168 @@
+#include "accel/nodetest.h"
+
+#include <cmath>
+
+#include "geom/intersect.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define VKSIM_NODETEST_SIMD 1
+#else
+#define VKSIM_NODETEST_SIMD 0
+#endif
+
+namespace vksim {
+
+unsigned
+nodeTest6Scalar(const InternalNode &node, const Ray &ray,
+                const Vec3 &inv_dir, unsigned child_count, float t_entry[6])
+{
+    unsigned hit_mask = 0;
+    for (unsigned i = 0; i < child_count; ++i) {
+        float t = 0.f;
+        if (rayAabb(ray, inv_dir, node.childBounds(i), &t)) {
+            hit_mask |= 1u << i;
+            t_entry[i] = t;
+        }
+    }
+    return hit_mask;
+}
+
+#if VKSIM_NODETEST_SIMD
+
+namespace {
+
+/** select(mask ? a : b) without NaN-sensitive blend instructions. */
+inline __m128
+blendMask(__m128 mask, __m128 a, __m128 b)
+{
+    return _mm_or_ps(_mm_and_ps(mask, a), _mm_andnot_ps(mask, b));
+}
+
+/**
+ * The slab test for one axis over 4 children, mirroring rayAabb()'s
+ * scalar sequence exactly:
+ *   near = (lo - o) * inv;  far = (hi - o) * inv
+ *   if (near > far) swap            — NaN compares false: no swap
+ *   t0 = max(t0, near)              — std::max keeps t0 on NaN near
+ *   t1 = min(t1, far)               — std::min keeps t1 on NaN far
+ * Axis-parallel rays (dir == 0) instead take the containment test; the
+ * caller selects that per axis since the direction is per-ray.
+ */
+inline void
+slabAxis(__m128 lo, __m128 hi, float o, float inv, __m128 &t0, __m128 &t1)
+{
+    const __m128 ov = _mm_set1_ps(o);
+    const __m128 iv = _mm_set1_ps(inv);
+    __m128 near_t = _mm_mul_ps(_mm_sub_ps(lo, ov), iv);
+    __m128 far_t = _mm_mul_ps(_mm_sub_ps(hi, ov), iv);
+    const __m128 swap = _mm_cmpgt_ps(near_t, far_t);
+    const __m128 n2 = blendMask(swap, far_t, near_t);
+    far_t = blendMask(swap, near_t, far_t);
+    near_t = n2;
+    // t0 = (t0 < near) ? near : t0;  t1 = (far < t1) ? far : t1
+    t0 = blendMask(_mm_cmplt_ps(t0, near_t), near_t, t0);
+    t1 = blendMask(_mm_cmplt_ps(far_t, t1), far_t, t1);
+}
+
+/** Containment test for an axis-parallel axis: o < lo || o > hi. */
+inline __m128
+containMiss(__m128 lo, __m128 hi, float o)
+{
+    const __m128 ov = _mm_set1_ps(o);
+    return _mm_or_ps(_mm_cmplt_ps(ov, lo), _mm_cmpgt_ps(ov, hi));
+}
+
+} // namespace
+
+unsigned
+nodeTest6(const InternalNode &node, const Ray &ray, const Vec3 &inv_dir,
+          unsigned child_count, float t_entry[6])
+{
+    // Dequantize with the exact childBounds() expressions (scalar: the
+    // bit pattern must match the reference path; padding lanes reuse
+    // child 0 so no lane computes on garbage).
+    const float sx = std::ldexp(1.0f, node.expX);
+    const float sy = std::ldexp(1.0f, node.expY);
+    const float sz = std::ldexp(1.0f, node.expZ);
+    alignas(16) float lox[8], loy[8], loz[8], hix[8], hiy[8], hiz[8];
+    for (unsigned i = 0; i < 8; ++i) {
+        const unsigned c = i < child_count ? i : 0;
+        lox[i] = node.originX + node.qlo[c][0] * sx;
+        loy[i] = node.originY + node.qlo[c][1] * sy;
+        loz[i] = node.originZ + node.qlo[c][2] * sz;
+        hix[i] = node.originX + node.qhi[c][0] * sx;
+        hiy[i] = node.originY + node.qhi[c][1] * sy;
+        hiz[i] = node.originZ + node.qhi[c][2] * sz;
+    }
+
+    alignas(16) float t0_out[8];
+    alignas(16) std::uint32_t miss_out[8];
+    for (unsigned block = 0; block < 2; ++block) {
+        const unsigned b = block * 4;
+        __m128 t0 = _mm_set1_ps(ray.tmin);
+        __m128 t1 = _mm_set1_ps(ray.tmax);
+        __m128 miss = _mm_setzero_ps();
+        if (ray.direction.x == 0.0f)
+            miss = _mm_or_ps(miss, containMiss(_mm_load_ps(lox + b),
+                                               _mm_load_ps(hix + b),
+                                               ray.origin.x));
+        else
+            slabAxis(_mm_load_ps(lox + b), _mm_load_ps(hix + b),
+                     ray.origin.x, inv_dir.x, t0, t1);
+        if (ray.direction.y == 0.0f)
+            miss = _mm_or_ps(miss, containMiss(_mm_load_ps(loy + b),
+                                               _mm_load_ps(hiy + b),
+                                               ray.origin.y));
+        else
+            slabAxis(_mm_load_ps(loy + b), _mm_load_ps(hiy + b),
+                     ray.origin.y, inv_dir.y, t0, t1);
+        if (ray.direction.z == 0.0f)
+            miss = _mm_or_ps(miss, containMiss(_mm_load_ps(loz + b),
+                                               _mm_load_ps(hiz + b),
+                                               ray.origin.z));
+        else
+            slabAxis(_mm_load_ps(loz + b), _mm_load_ps(hiz + b),
+                     ray.origin.z, inv_dir.z, t0, t1);
+        // Interval became empty (t0 > t1 is sticky: t0 only grows, t1
+        // only shrinks, and NaN near/far never enter them) — equivalent
+        // to the scalar early return.
+        miss = _mm_or_ps(miss, _mm_cmpgt_ps(t0, t1));
+        _mm_store_ps(t0_out + b, t0);
+        _mm_store_ps(reinterpret_cast<float *>(miss_out + b), miss);
+    }
+
+    unsigned hit_mask = 0;
+    for (unsigned i = 0; i < child_count; ++i) {
+        if (miss_out[i])
+            continue;
+        hit_mask |= 1u << i;
+        t_entry[i] = t0_out[i];
+    }
+    return hit_mask;
+}
+
+bool
+nodeTestUsesSimd()
+{
+    return true;
+}
+
+#else // !VKSIM_NODETEST_SIMD
+
+unsigned
+nodeTest6(const InternalNode &node, const Ray &ray, const Vec3 &inv_dir,
+          unsigned child_count, float t_entry[6])
+{
+    return nodeTest6Scalar(node, ray, inv_dir, child_count, t_entry);
+}
+
+bool
+nodeTestUsesSimd()
+{
+    return false;
+}
+
+#endif // VKSIM_NODETEST_SIMD
+
+} // namespace vksim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Six-wide ray/AABB test against one internal node's quantized child
+ * boxes — the innermost loop of BVH traversal, shared by the timed RT
+ * unit model and the functional reference tracer (both go through
+ * RayTraversal::processInternal).
+ *
+ * The SIMD path is bit-exact with calling rayAabb() per child: it
+ * dequantizes with the same scalar expressions and replicates the slab
+ * test's NaN behaviour (no min/max instructions whose NaN operand
+ * asymmetry differs from the std::min/std::max idiom — explicit
+ * compare + blend only). The scalar path is the reference for the
+ * SIMD-vs-scalar equivalence test and non-x86 builds.
+ */
+
+#ifndef VKSIM_ACCEL_NODETEST_H
+#define VKSIM_ACCEL_NODETEST_H
+
+#include "accel/layout.h"
+#include "geom/ray.h"
+
+namespace vksim {
+
+/**
+ * Test `ray` against children [0, child_count) of `node`.
+ *
+ * @param inv_dir Precomputed safeInverse(ray.direction).
+ * @param child_count Number of valid children (caller clamps to 6).
+ * @param[out] t_entry Per-child slab entry t; valid only for hit children.
+ * @return Bitmask of hit children (bit i = child i).
+ */
+unsigned nodeTest6(const InternalNode &node, const Ray &ray,
+                   const Vec3 &inv_dir, unsigned child_count,
+                   float t_entry[6]);
+
+/** Reference implementation: rayAabb() per child (same contract). */
+unsigned nodeTest6Scalar(const InternalNode &node, const Ray &ray,
+                         const Vec3 &inv_dir, unsigned child_count,
+                         float t_entry[6]);
+
+/** True when nodeTest6() dispatches to the SIMD kernel. */
+bool nodeTestUsesSimd();
+
+} // namespace vksim
+
+#endif // VKSIM_ACCEL_NODETEST_H

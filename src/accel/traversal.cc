@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accel/nodetest.h"
 #include "geom/intersect.h"
 #include "util/log.h"
 
@@ -121,13 +122,13 @@ RayTraversal::processInternal(const InternalNode &node, TraversalStep *out)
     // Clamp against corrupt node data: childCount beyond the 6-wide
     // format would overflow the local hit list.
     unsigned child_count = std::min<unsigned>(node.childCount, 6);
-    for (unsigned i = 0; i < child_count; ++i) {
-        ++out->boxTests;
-        ++boxTests_;
-        float t_entry = 0.f;
-        if (rayAabb(ray, inv, node.childBounds(i), &t_entry))
-            hits[hit_count++] = {t_entry, i};
-    }
+    out->boxTests += child_count;
+    boxTests_ += child_count;
+    float t_entry[6];
+    unsigned hit_mask = nodeTest6(node, ray, inv, child_count, t_entry);
+    for (unsigned i = 0; i < child_count; ++i)
+        if (hit_mask & (1u << i))
+            hits[hit_count++] = {t_entry[i], i};
     // Push far-to-near so the nearest child is popped first.
     std::sort(hits, hits + hit_count,
               [](const ChildHit &a, const ChildHit &b) { return a.t > b.t; });

@@ -38,7 +38,7 @@ RefTraceDiff::onTraverseDone(Addr frame_base, const RayTraversal &trav)
 
     std::uint32_t flags = 0;
     Ray ray = vptx::rt_runtime::readRay(gmem_, frame_base, &flags);
-    HitRecord ref = tracer_.trace(ray, flags);
+    HitRecord ref = backend_.trace(ray, flags);
     const HitRecord &sim = trav.hit();
 
     // With no deferred work the reference must agree exactly: the same

@@ -6,9 +6,10 @@
  * unit finishes a ray, the hook re-reads the original ray from its stack
  * frame (the frame's ray words are never mutated by traversal — the
  * in-flight copy's tmax shrinks, so replaying *that* would self-miss)
- * and replays it through the CpuTracer over the same serialized BVH.
- * The committed hit must match bit-for-bit in t and exactly in
- * instance/primitive identity.
+ * and replays it through an ExecBackend over the same serialized BVH —
+ * normally the functional CpuTracer, but any backend (execbackend.h)
+ * plugs in. The committed hit must match bit-for-bit in t and exactly
+ * in instance/primitive identity.
  *
  * Rays that collected deferred intersection/any-hit work are skipped:
  * their final hit depends on shader execution, which completes after the
@@ -25,8 +26,8 @@
 #include <mutex>
 
 #include "check/check.h"
+#include "check/execbackend.h"
 #include "mem/gmem.h"
-#include "reftrace/tracer.h"
 
 namespace vksim {
 namespace check {
@@ -40,9 +41,9 @@ class RefTraceDiff
      *        Reference replay is ~as expensive as the original
      *        traversal, so large launches may want sparse sampling.
      */
-    RefTraceDiff(const CpuTracer &tracer, const GlobalMemory &gmem,
+    RefTraceDiff(const ExecBackend &backend, const GlobalMemory &gmem,
                  Reporter *rep, std::uint64_t sample_period = 1)
-        : tracer_(tracer), gmem_(gmem), rep_(rep),
+        : backend_(backend), gmem_(gmem), rep_(rep),
           samplePeriod_(sample_period == 0 ? 1 : sample_period)
     {
     }
@@ -56,7 +57,7 @@ class RefTraceDiff
     std::uint64_t mismatches() const { return mismatches_; }
 
   private:
-    const CpuTracer &tracer_;
+    const ExecBackend &backend_;
     const GlobalMemory &gmem_;
     Reporter *rep_;
     std::uint64_t samplePeriod_;

@@ -1,0 +1,24 @@
+#include "check/execbackend.h"
+
+#include "accel/traversal.h"
+#include "reftrace/tracer.h"
+
+namespace vksim {
+
+HitRecord
+RtReplayBackend::trace(const Ray &ray, std::uint32_t flags,
+                       TraceCounters *counters) const
+{
+    RayTraversal trav(gmem_, tlasRoot_, ray, flags);
+    trav.run();
+    if (counters) {
+        counters->nodesVisited += trav.nodesVisited();
+        counters->boxTests += trav.boxTests();
+        counters->triangleTests += trav.triangleTests();
+        counters->transforms += trav.transforms();
+        counters->rays += 1;
+    }
+    return trav.hit();
+}
+
+} // namespace vksim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The execution-backend seam of the differential checker.
+ *
+ * The simulator answers a closest-hit query two independent ways: the
+ * timed models step the RayTraversal state machine cycle-by-cycle, and
+ * the functional reference tracer (reftrace) runs the same machine to
+ * completion and resolves deferred shader work analytically. ExecBackend
+ * gives both sides one interface, so the sim-vs-reference differential
+ * (diffhook.h) — and any future cross-checking harness — can drive
+ * either backend without per-backend glue.
+ *
+ * Implementations:
+ *  - CpuTracer (reftrace/tracer.h): the functional reference.
+ *  - RtReplayBackend (here): the timing side's traversal semantics —
+ *    the exact state machine the RT unit steps, run to completion in
+ *    one call. No deferred-work resolution; callers comparing against
+ *    it skip rays with deferred intersection/any-hit work, exactly as
+ *    RefTraceDiff already does.
+ */
+
+#ifndef VKSIM_CHECK_EXECBACKEND_H
+#define VKSIM_CHECK_EXECBACKEND_H
+
+#include <cstdint>
+
+#include "geom/ray.h"
+#include "mem/gmem.h"
+
+namespace vksim {
+
+struct TraceCounters; // reftrace/tracer.h
+
+/** A closest-hit query engine; see file comment. */
+class ExecBackend
+{
+  public:
+    virtual ~ExecBackend() = default;
+
+    /**
+     * Answer the closest-hit query for `ray`. Traversal counters are
+     * accumulated when `counters` is non-null.
+     */
+    virtual HitRecord trace(const Ray &ray, std::uint32_t flags,
+                            TraceCounters *counters = nullptr) const = 0;
+
+    /** Stable identifier for reports ("reftrace", "rtreplay", ...). */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * The timing side as a backend: replays a ray through RayTraversal over
+ * the serialized BVH — the exact state machine the timed RT unit steps —
+ * without the cycle model around it.
+ */
+class RtReplayBackend : public ExecBackend
+{
+  public:
+    RtReplayBackend(const GlobalMemory &gmem, Addr tlas_root)
+        : gmem_(gmem), tlasRoot_(tlas_root)
+    {
+    }
+
+    HitRecord trace(const Ray &ray, std::uint32_t flags,
+                    TraceCounters *counters = nullptr) const override;
+
+    const char *name() const override { return "rtreplay"; }
+
+  private:
+    const GlobalMemory &gmem_;
+    Addr tlasRoot_;
+};
+
+} // namespace vksim
+
+#endif // VKSIM_CHECK_EXECBACKEND_H

@@ -1,10 +1,6 @@
 #include "core/vulkansim.h"
 
 #include <cstdio>
-#include <utility>
-
-#include "service/service.h"
-#include "util/log.h"
 
 namespace vksim {
 
@@ -132,26 +128,6 @@ applySimFlags(const Cli &cli, GpuConfig *config)
     config->timeline.maxEvents =
         static_cast<std::uint64_t>(cli.getInt("timeline-max-events"));
     return true;
-}
-
-RunResult
-simulateWorkload(wl::Workload &workload, const GpuConfig &config)
-{
-    // Single-job batch: runs inline with the configured engine thread
-    // count, exactly like the pre-service direct call.
-    return service::defaultService().submit(workload, config).take().run;
-}
-
-SimOutcome
-simulate(wl::WorkloadId id, const wl::WorkloadParams &params,
-         const GpuConfig &config)
-{
-    service::JobSpec spec;
-    spec.workload = id;
-    spec.params = params;
-    spec.config = config;
-    service::JobResult result = service::defaultService().submit(spec).take();
-    return SimOutcome{std::move(result.run), std::move(result.image)};
 }
 
 } // namespace vksim

@@ -59,33 +59,10 @@ void addSimFlags(Cli &cli);
  */
 bool applySimFlags(const Cli &cli, GpuConfig *config);
 
-/**
- * Run the timed simulation of a prepared workload launch.
- * The run also executes functionally, so the workload's framebuffer
- * holds the rendered image afterwards.
- *
- * @deprecated Thin shim over service::SimService (a single-job batch on
- * the process-wide defaultService(), so behavior and metrics are
- * unchanged). New code — especially anything running more than one
- * simulation — should submit jobs to a SimService and let it batch,
- * share artifacts and parallelize; see DESIGN.md, "Service & batching
- * contract".
- */
-RunResult simulateWorkload(wl::Workload &workload, const GpuConfig &config);
-
-/** Convenience: build a workload and simulate it in one call. */
-struct SimOutcome
-{
-    RunResult run;
-    Image image;
-};
-
-/**
- * @deprecated Shim over service::SimService::submit(JobSpec), kept for
- * existing callers; same migration note as simulateWorkload().
- */
-SimOutcome simulate(wl::WorkloadId id, const wl::WorkloadParams &params,
-                    const GpuConfig &config);
+// Single-run simulation goes through service::SimService (service.h):
+//   service::defaultService().submit(workload, config).take().run
+// The deprecated simulateWorkload()/simulate() shims that used to live
+// here are gone; see DESIGN.md, "Service & batching contract".
 
 } // namespace vksim
 

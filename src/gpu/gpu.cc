@@ -471,20 +471,21 @@ SmCore::issueFromWarp(unsigned slot, Cycle now)
         warp.cflow.runnableSplit(ws.nextSplit % runnable);
     ws.nextSplit++;
 
+    // Single decode per issue attempt: scoreboard, structural-hazard
+    // checks and the functional step all consume this micro-op.
     const vptx::WarpSplit &split = warp.cflow.split(split_idx);
-    const vptx::Instr &instr = ctx_.program->code[split.pc];
+    const vptx::MicroOp &uop = executor_.fetch(split.pc);
 
     // Scoreboard: stall on pending source or destination registers.
-    for (int reg : {static_cast<int>(instr.dst), static_cast<int>(instr.src0),
-                    static_cast<int>(instr.src1),
-                    static_cast<int>(instr.src2)})
+    for (int reg : {static_cast<int>(uop.dst), static_cast<int>(uop.src0),
+                    static_cast<int>(uop.src1), static_cast<int>(uop.src2)})
         if (reg >= 0 && ws.pendingRegs.count(reg)) {
             stats_.counter("stall_scoreboard").inc();
             return false;
         }
 
     // Structural hazards.
-    vptx::ExecUnit unit = vptx::execUnitOf(instr.op);
+    vptx::ExecUnit unit = uop.unit;
     switch (unit) {
       case vptx::ExecUnit::LDST:
         if (l1Queue_.size() >= config_.ldstQueueSize) {
@@ -508,8 +509,8 @@ SmCore::issueFromWarp(unsigned slot, Cycle now)
         break;
     }
 
-    // Functional execution at issue.
-    vptx::StepResult res = executor_.step(warp, split_idx);
+    // Functional execution at issue (re-using the fetched micro-op).
+    vptx::StepResult res = executor_.step(warp, split_idx, uop);
     stats_.counter("issued").inc();
     stats_.counter("issue_active_lanes").inc(res.activeLanes);
     switch (res.unit) {
@@ -911,10 +912,13 @@ void
 saveWarp(serial::Writer &w, const vptx::Warp &warp)
 {
     w.u32(warp.warpId);
-    for (const vptx::ThreadState &t : warp.threads) {
-        w.u64(t.regs.size());
-        for (std::uint64_t v : t.regs)
-            w.u64(v);
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        const vptx::ThreadState &t = warp.threads[lane];
+        const std::uint32_t nregs = warp.regs.laneSize(lane);
+        const std::uint64_t *row = warp.regs.row(lane);
+        w.u64(nregs);
+        for (std::uint32_t i = 0; i < nregs; ++i)
+            w.u64(row[i]);
         w.u32(t.windowBase);
         w.u64(t.callStack.size());
         for (const auto &f : t.callStack) {
@@ -946,12 +950,14 @@ saveWarp(serial::Writer &w, const vptx::Warp &warp)
         const vptx::TraverseState &st = warp.pendingTraverses.at(id);
         w.i32(id);
         w.u32(st.mask);
-        w.u64(st.lanes.size());
-        for (const vptx::LaneTraversal &lt : st.lanes) {
-            w.u64(lt.frameBase);
-            w.b(lt.traversal != nullptr);
-            if (lt.traversal)
-                lt.traversal->saveState(w);
+        // Legacy wire format: a full-width per-lane table.
+        w.u64(kWarpSize);
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            const RayTraversal *trav = st.ray(lane);
+            w.u64(st.frameBase(lane));
+            w.b(trav != nullptr);
+            if (trav)
+                trav->saveState(w);
         }
     }
 }
@@ -960,10 +966,15 @@ void
 loadWarp(serial::Reader &r, vptx::Warp &warp, const GlobalMemory &gmem)
 {
     warp.warpId = r.u32();
-    for (vptx::ThreadState &t : warp.threads) {
-        t.regs.resize(r.u64());
-        for (std::uint64_t &v : t.regs)
-            v = r.u64();
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        vptx::ThreadState &t = warp.threads[lane];
+        t.rf = &warp.regs;
+        t.lane = static_cast<std::uint8_t>(lane);
+        const auto nregs = static_cast<std::uint32_t>(r.u64());
+        warp.regs.setLaneSize(lane, nregs);
+        std::uint64_t *row = warp.regs.row(lane);
+        for (std::uint32_t i = 0; i < nregs; ++i)
+            row[i] = r.u64();
         t.windowBase = r.u32();
         t.callStack.resize(r.u64());
         for (auto &f : t.callStack) {
@@ -989,12 +1000,16 @@ loadWarp(serial::Reader &r, vptx::Warp &warp, const GlobalMemory &gmem)
     for (std::uint64_t i = 0; i < num_splits; ++i) {
         int id = r.i32();
         vptx::TraverseState &st = warp.pendingTraverses[id];
-        st.mask = r.u32();
-        st.lanes.resize(r.u64());
-        for (vptx::LaneTraversal &lt : st.lanes) {
-            lt.frameBase = r.u64();
+        const vptx::Mask mask = r.u32();
+        st.reset(mask);
+        const std::uint64_t num_lanes = r.u64();
+        vksim_assert(num_lanes == kWarpSize);
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            Addr fb = r.u64();
             if (r.b())
-                lt.traversal = std::make_unique<RayTraversal>(gmem, r);
+                st.addRay(lane, fb, RayTraversal(gmem, r));
+            else
+                st.setFrameBase(lane, fb);
         }
     }
 }
@@ -1771,6 +1786,7 @@ GpuSimulator::run()
         merge(result.l1, sm->l1().stats());
         if (sm->rtCache())
             merge(result.l1, sm->rtCache()->stats());
+        result.uopDecodes += sm->uopDecodes();
     }
     merge(result.dram, fabric.dramStats());
     for (unsigned p = 0; p < fabric.numPartitions(); ++p)

@@ -221,6 +221,13 @@ struct RunResult
     std::uint64_t smCyclesSkipped = 0;  ///< SM-cycles not simulated
     std::uint64_t sweepUnitChecks = 0;  ///< per-unit invariant sweeps run
     std::uint64_t sweepUnitSkips = 0;   ///< sweeps skipped (unit asleep)
+
+    /**
+     * Micro-op fetches across all SM executors. Telemetry like the skip
+     * counters above (excluded from `metrics`): the decode-count
+     * regression test asserts exactly one decode per issue attempt.
+     */
+    std::uint64_t uopDecodes = 0;
     Cycle sweepProbeHitCycle = ~Cycle(0); ///< see GpuConfig::sweepProbeCycle
 
     /** Per-barrier state digests (populated when digestTrace is set). */
@@ -369,6 +376,9 @@ class SmCore : public RtMemPort, public ClockedUnit
 
     /** Order-insensitive digest of all SM-owned architectural state. */
     std::uint64_t stateDigest() const;
+
+    /** Micro-op fetches this SM's executor performed (telemetry). */
+    std::uint64_t uopDecodes() const { return executor_.decodeCount(); }
 
     /**
      * Serialize / restore every piece of SM-owned state the digest walk

@@ -20,6 +20,7 @@
 
 #include "accel/serialize.h"
 #include "accel/traversal.h"
+#include "check/execbackend.h"
 #include "geom/ray.h"
 #include "scene/scene.h"
 #include "util/metrics.h"
@@ -44,8 +45,11 @@ struct TraceCounters
                   const std::string &prefix) const;
 };
 
-/** BVH-based CPU tracer over the serialized acceleration structure. */
-class CpuTracer
+/**
+ * BVH-based CPU tracer over the serialized acceleration structure; the
+ * functional ExecBackend of the differential checker.
+ */
+class CpuTracer : public ExecBackend
 {
   public:
     /** Decides any-hit acceptance; default accepts everything. */
@@ -59,7 +63,9 @@ class CpuTracer
 
     /** Closest-hit query. Counters are accumulated when non-null. */
     HitRecord trace(const Ray &ray, std::uint32_t flags = kRayFlagNone,
-                    TraceCounters *counters = nullptr) const;
+                    TraceCounters *counters = nullptr) const override;
+
+    const char *name() const override { return "reftrace"; }
 
     /** Occlusion query (terminate on first hit). */
     bool occluded(const Ray &ray, TraceCounters *counters = nullptr) const;

@@ -15,7 +15,7 @@ RtUnit::LaneSink::stackSpill(unsigned bytes, bool is_write)
     entry.spillWrites += 1;
     if (is_write) {
         // Spill into the tail of the per-thread frame area.
-        Addr base = entry.state->lanes[lane].frameBase;
+        Addr base = entry.state->frameBase(lane);
         unit->queueWrite(base + vptx::kRtFrameBytes - kSectorBytes);
     }
     unit->stats_->counter("stack_spills").inc();
@@ -25,7 +25,7 @@ void
 RtUnit::LaneSink::intersectionWrite(unsigned bytes)
 {
     WarpEntry &entry = unit->entries_[slot];
-    Addr base = entry.state->lanes[lane].frameBase;
+    Addr base = entry.state->frameBase(lane);
     Addr addr = vptx::deferredEntryAddr(
         base, static_cast<unsigned>(entry.deferredWrites % vptx::kMaxDeferred));
     ++entry.deferredWrites;
@@ -84,10 +84,10 @@ RtUnit::submit(vptx::Warp *warp, int split_id, Cycle now)
         entry.sinks[lane].unit = this;
         entry.sinks[lane].slot = slot;
         entry.sinks[lane].lane = lane;
-        if (!(entry.mask & (1u << lane))
-            || !entry.state->lanes[lane].traversal)
+        RayTraversal *trav = entry.state->ray(lane);
+        if (!(entry.mask & (1u << lane)) || !trav)
             continue;
-        entry.state->lanes[lane].traversal->setSink(&entry.sinks[lane]);
+        trav->setSink(&entry.sinks[lane]);
         entry.lanes[lane].status = LaneStatus::Ready;
         ++entry.lanesLive;
     }
@@ -161,7 +161,7 @@ RtUnit::memSchedule(Cycle now)
         LaneState &ls = entry.lanes[lane];
         if (ls.status != LaneStatus::Ready)
             continue;
-        RayTraversal *trav = entry.state->lanes[lane].traversal.get();
+        RayTraversal *trav = entry.state->ray(lane);
         Addr addr;
         unsigned size;
         if (!trav->nextFetch(&addr, &size)) {
@@ -289,7 +289,7 @@ RtUnit::finishOps(Cycle now)
             LaneState &ls = entry.lanes[lane];
             if (ls.status != LaneStatus::InOp || ls.opDoneAt > now)
                 continue;
-            RayTraversal *trav = entry.state->lanes[lane].traversal.get();
+            RayTraversal *trav = entry.state->ray(lane);
             trav->step();
             if (trav->done()) {
                 ls.status = LaneStatus::Done;
@@ -313,7 +313,7 @@ RtUnit::startWriteback(WarpEntry &entry, unsigned slot, Cycle now)
     for (unsigned lane = 0; lane < kWarpSize; ++lane) {
         if (!(entry.mask & (1u << lane)))
             continue;
-        Addr base = entry.state->lanes[lane].frameBase;
+        Addr base = entry.state->frameBase(lane);
         entry.writebackQueue.push_back(
             sectorAlign(base + vptx::frame::kHitT));
     }
@@ -321,8 +321,8 @@ RtUnit::startWriteback(WarpEntry &entry, unsigned slot, Cycle now)
     if (config_.fccEnabled && ctx_) {
         std::vector<vptx::CoalescedRow> rows;
         vptx::rt_runtime::FccBuildCost cost =
-            vptx::rt_runtime::buildCoalescingTable(entry.state->lanes,
-                                                   entry.mask, *ctx_, &rows);
+            vptx::rt_runtime::buildCoalescingTable(*entry.state, *ctx_,
+                                                   &rows);
         Addr fcc_base = ctx_->fccBase
                         + (entry.warp->warpId) * vptx::kFccBytesPerWarp;
         for (std::uint64_t i = 0; i < cost.loads + cost.stores; ++i)
@@ -548,10 +548,10 @@ RtUnit::stateDigest() const
             d.mix(ls.chunksOutstanding);
             d.mix(ls.opDoneAt);
             d.mix(static_cast<std::uint64_t>(ls.nodeType));
-            const auto &lt = e.state->lanes[lane];
-            if (((e.mask >> lane) & 1u) && lt.traversal) {
-                d.mix(lt.traversal->nodesVisited());
-                d.mixFloat(lt.traversal->currentTmax());
+            const RayTraversal *trav = e.state->ray(lane);
+            if (((e.mask >> lane) & 1u) && trav) {
+                d.mix(trav->nodesVisited());
+                d.mixFloat(trav->currentTmax());
             }
         }
     }
@@ -696,8 +696,9 @@ RtUnit::loadState(
             e.sinks[lane].unit = this;
             e.sinks[lane].slot = slot;
             e.sinks[lane].lane = lane;
-            if (((e.mask >> lane) & 1u) && e.state->lanes[lane].traversal)
-                e.state->lanes[lane].traversal->setSink(&e.sinks[lane]);
+            RayTraversal *trav = e.state->ray(lane);
+            if (((e.mask >> lane) & 1u) && trav)
+                trav->setSink(&e.sinks[lane]);
         }
         e.submitTime = r.u64();
         e.lanesLive = r.u32();

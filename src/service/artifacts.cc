@@ -68,7 +68,8 @@ template <typename T>
 std::shared_ptr<const T>
 ArtifactCache::fetch(
     std::map<std::uint64_t, std::unique_ptr<Entry<T>>> &table,
-    std::uint64_t key, const std::function<T()> &builder, bool *hit,
+    std::uint64_t key,
+    const std::function<std::shared_ptr<const T>()> &builder, bool *hit,
     std::uint64_t ArtifactCounters::*builds,
     std::uint64_t ArtifactCounters::*hits)
 {
@@ -85,7 +86,7 @@ ArtifactCache::fetch(
     std::lock_guard<std::mutex> build_lock(entry->buildMutex);
     bool was_hit = entry->built;
     if (!entry->built) {
-        entry->value = std::make_shared<const T>(builder());
+        entry->value = builder();
         entry->built = true;
     }
     {
@@ -104,11 +105,13 @@ ArtifactCache::bvh(std::uint64_t key,
     // Disk tier: probe before building, store after a fresh build. The
     // wrapper runs under the per-entry build mutex, so each key probes
     // and stores at most once per process.
-    std::function<AccelImage()> through = [this, key, &builder] {
+    std::function<std::shared_ptr<const AccelImage>()> through =
+        [this, key, &builder]() -> std::shared_ptr<const AccelImage> {
         if (disk_) {
             if (auto bytes = disk_->get(DiskStore::Kind::Bvh, key)) {
                 serial::Reader r(*bytes);
-                return decodeAccelImage(r);
+                return std::make_shared<const AccelImage>(
+                    decodeAccelImage(r));
             }
         }
         AccelImage image = builder();
@@ -117,28 +120,31 @@ ArtifactCache::bvh(std::uint64_t key,
             encodeAccelImage(w, image);
             disk_->put(DiskStore::Kind::Bvh, key, w.buffer());
         }
-        return image;
+        return std::make_shared<const AccelImage>(std::move(image));
     };
     return fetch(bvhs_, key, through, hit, &ArtifactCounters::bvhBuilds,
                  &ArtifactCounters::bvhHits);
 }
 
-std::shared_ptr<const RayTracingPipeline>
-ArtifactCache::pipeline(std::uint64_t key,
-                        const std::function<RayTracingPipeline()> &builder,
-                        bool *hit)
+std::shared_ptr<const CompiledPipeline>
+ArtifactCache::pipeline(
+    std::uint64_t key,
+    const std::function<std::shared_ptr<const CompiledPipeline>()> &builder,
+    bool *hit)
 {
-    std::function<RayTracingPipeline()> through = [this, key, &builder] {
+    std::function<std::shared_ptr<const CompiledPipeline>()> through =
+        [this, key, &builder]() -> std::shared_ptr<const CompiledPipeline> {
         if (disk_) {
             if (auto bytes = disk_->get(DiskStore::Kind::Pipeline, key)) {
                 serial::Reader r(*bytes);
-                return decodePipeline(r);
+                return std::make_shared<const CompiledPipeline>(
+                    decodePipeline(r));
             }
         }
-        RayTracingPipeline pipeline = builder();
+        std::shared_ptr<const CompiledPipeline> pipeline = builder();
         if (disk_) {
             serial::Writer w;
-            encodePipeline(w, pipeline);
+            encodePipeline(w, *pipeline);
             disk_->put(DiskStore::Kind::Pipeline, key, w.buffer());
         }
         return pipeline;

@@ -14,9 +14,10 @@
  *    BVH bytes captured from a fresh device. Installation into another
  *    fresh device is a memcpy because the deterministic bump allocator
  *    places the first allocation identically everywhere.
- *  - Pipeline artifacts: the host-side RayTracingPipeline from
- *    Device::translatePipeline() (no device addresses). Each job
- *    re-uploads the small SBT into its own device memory.
+ *  - Pipeline artifacts: the CompiledPipeline from
+ *    Device::translatePipeline() (program + pre-decoded micro-op
+ *    stream + SBT layout, no device addresses). Each job re-uploads
+ *    the small SBT into its own device memory.
  *
  * Thread safety: lookups from concurrent jobs are safe. A per-entry
  * mutex makes each key build exactly once — the first caller builds
@@ -91,10 +92,16 @@ class ArtifactCache
     bvh(std::uint64_t key, const std::function<AccelImage()> &builder,
         bool *hit = nullptr);
 
-    /** Same contract for translated pipelines. */
-    std::shared_ptr<const RayTracingPipeline>
+    /**
+     * Same contract for compiled pipelines. The builder returns the
+     * shared_ptr Device::translatePipeline() hands out; the cache stores
+     * it as-is, so every job sharing a key shares one CompiledPipeline
+     * instance (and one micro-op stream).
+     */
+    std::shared_ptr<const CompiledPipeline>
     pipeline(std::uint64_t key,
-             const std::function<RayTracingPipeline()> &builder,
+             const std::function<std::shared_ptr<const CompiledPipeline>()>
+                 &builder,
              bool *hit = nullptr);
 
     /** Snapshot of the traffic counters. */
@@ -118,14 +125,15 @@ class ArtifactCache
     template <typename T>
     std::shared_ptr<const T>
     fetch(std::map<std::uint64_t, std::unique_ptr<Entry<T>>> &table,
-          std::uint64_t key, const std::function<T()> &builder, bool *hit,
-          std::uint64_t ArtifactCounters::*builds,
+          std::uint64_t key,
+          const std::function<std::shared_ptr<const T>()> &builder,
+          bool *hit, std::uint64_t ArtifactCounters::*builds,
           std::uint64_t ArtifactCounters::*hits);
 
     DiskStore *disk_ = nullptr; ///< optional durable tier (not owned)
     mutable std::mutex mutex_; ///< guards the tables and counters
     std::map<std::uint64_t, std::unique_ptr<Entry<AccelImage>>> bvhs_;
-    std::map<std::uint64_t, std::unique_ptr<Entry<RayTracingPipeline>>>
+    std::map<std::uint64_t, std::unique_ptr<Entry<CompiledPipeline>>>
         pipelines_;
     ArtifactCounters counters_;
 };

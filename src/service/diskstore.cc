@@ -239,9 +239,9 @@ decodeAccelImage(serial::Reader &r)
 }
 
 void
-encodePipeline(serial::Writer &w, const RayTracingPipeline &pipeline)
+encodePipeline(serial::Writer &w, const CompiledPipeline &pipeline)
 {
-    const vptx::Program &prog = pipeline.program;
+    const vptx::Program &prog = pipeline.program();
     w.u64(prog.code.size());
     for (const vptx::Instr &instr : prog.code) {
         w.u32(static_cast<std::uint32_t>(instr.op));
@@ -262,27 +262,22 @@ encodePipeline(serial::Writer &w, const RayTracingPipeline &pipeline)
         w.u32(shader.numRegs);
     }
     w.i32(prog.raygenShader);
-    w.u64(pipeline.hitGroups.size());
-    for (const vptx::HitGroupRecord &hg : pipeline.hitGroups) {
+    w.u64(pipeline.hitGroups().size());
+    for (const vptx::HitGroupRecord &hg : pipeline.hitGroups()) {
         w.i32(hg.closestHit);
         w.i32(hg.anyHit);
         w.i32(hg.intersection);
     }
-    w.u64(pipeline.missShaders.size());
-    for (std::int32_t miss : pipeline.missShaders)
+    w.u64(pipeline.missShaders().size());
+    for (std::int32_t miss : pipeline.missShaders())
         w.i32(miss);
-    // SBT device addresses are 0 in cached artifacts (each job uploads
-    // its own copy); serialized anyway so the codec is total.
-    w.u64(pipeline.sbtHitGroupsAddr);
-    w.u64(pipeline.sbtMissAddr);
-    w.b(pipeline.fcc);
+    w.b(pipeline.fcc());
 }
 
-RayTracingPipeline
+CompiledPipeline
 decodePipeline(serial::Reader &r)
 {
-    RayTracingPipeline pipeline;
-    vptx::Program &prog = pipeline.program;
+    vptx::Program prog;
     prog.code.resize(r.u64());
     for (vptx::Instr &instr : prog.code) {
         instr.op = static_cast<vptx::Opcode>(r.u32());
@@ -303,19 +298,18 @@ decodePipeline(serial::Reader &r)
         shader.numRegs = static_cast<std::uint16_t>(r.u32());
     }
     prog.raygenShader = r.i32();
-    pipeline.hitGroups.resize(r.u64());
-    for (vptx::HitGroupRecord &hg : pipeline.hitGroups) {
+    std::vector<vptx::HitGroupRecord> hit_groups(r.u64());
+    for (vptx::HitGroupRecord &hg : hit_groups) {
         hg.closestHit = r.i32();
         hg.anyHit = r.i32();
         hg.intersection = r.i32();
     }
-    pipeline.missShaders.resize(r.u64());
-    for (std::int32_t &miss : pipeline.missShaders)
+    std::vector<ShaderId> miss_shaders(r.u64());
+    for (std::int32_t &miss : miss_shaders)
         miss = r.i32();
-    pipeline.sbtHitGroupsAddr = r.u64();
-    pipeline.sbtMissAddr = r.u64();
-    pipeline.fcc = r.b();
-    return pipeline;
+    const bool fcc = r.b();
+    return CompiledPipeline(std::move(prog), std::move(hit_groups),
+                            std::move(miss_shaders), fcc);
 }
 
 } // namespace vksim::service

@@ -48,7 +48,7 @@ class DiskStore
     enum class Kind : std::uint32_t
     {
         Bvh = 1,      ///< serialized AccelImage
-        Pipeline = 2, ///< translated RayTracingPipeline
+        Pipeline = 2, ///< translated CompiledPipeline
         Result = 3,   ///< per-job result record (batch resume)
     };
 
@@ -105,9 +105,14 @@ class DiskStore
 void encodeAccelImage(serial::Writer &w, const AccelImage &image);
 AccelImage decodeAccelImage(serial::Reader &r);
 
-/** RayTracingPipeline <-> bytes codec for Kind::Pipeline payloads. */
-void encodePipeline(serial::Writer &w, const RayTracingPipeline &pipeline);
-RayTracingPipeline decodePipeline(serial::Reader &r);
+/**
+ * CompiledPipeline <-> bytes codec for Kind::Pipeline payloads. The
+ * micro-op stream is not serialized: it is a pure function of the
+ * program, so decode rebuilds it (the CompiledPipeline constructor
+ * does), and the encoding version is part of the digest key instead.
+ */
+void encodePipeline(serial::Writer &w, const CompiledPipeline &pipeline);
+CompiledPipeline decodePipeline(serial::Reader &r);
 
 } // namespace vksim::service
 

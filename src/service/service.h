@@ -6,7 +6,7 @@
  * job — and the service decides *how*: jobs queue up via submit(), a
  * flush() (or the first JobTicket::get()) runs the whole pending batch,
  * and results come back through tickets. Batching is what enables the
- * two things a loose collection of simulateWorkload() calls cannot do:
+ * two things a loose collection of one-off simulation calls cannot do:
  *
  *  - Cross-job artifact sharing. All jobs in a service share one
  *    content-addressed ArtifactCache, so the same scene's BVH is built
@@ -175,10 +175,10 @@ class SimService
     JobTicket submit(const JobSpec &spec);
 
     /**
-     * Queue a job over an externally prepared workload (the deprecated
-     * simulateWorkload() shim and tools that pre-build workloads to
-     * share them across jobs). The caller keeps `workload` alive until
-     * the batch has run; JobResult::workload stays null.
+     * Queue a job over an externally prepared workload (single-run
+     * callers and tools that pre-build workloads to share them across
+     * jobs). The caller keeps `workload` alive until the batch has run;
+     * JobResult::workload stays null.
      */
     JobTicket submit(wl::Workload &workload, const GpuConfig &config,
                      const std::string &name = "");
@@ -237,17 +237,17 @@ class SimService
 };
 
 /**
- * Process-wide service the deprecated simulateWorkload()/simulate()
- * shims run on (auto thread count). Tools and tests that care about
- * scheduling own their SimService instead.
+ * Process-wide convenience service (auto thread count) for callers
+ * running a simulation outside any batching context — the idiom is
+ * defaultService().submit(workload, config).take().run. Tools and
+ * tests that care about scheduling own their SimService instead.
  */
 SimService &defaultService();
 
 /**
  * Run a prepared workload launch on `config` exactly as a service job
  * would (Full-check differential legs included). This is the single
- * implementation both the service scheduler and the deprecated
- * simulateWorkload() shim bottom out in.
+ * implementation every submission path bottoms out in.
  */
 RunResult runPreparedWorkload(wl::Workload &workload,
                               const GpuConfig &config);

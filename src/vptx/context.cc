@@ -1,0 +1,74 @@
+#include "vptx/context.h"
+
+#include <algorithm>
+
+#include "accel/traversal.h"
+#include "util/log.h"
+
+namespace vksim::vptx {
+
+void
+WarpRegFile::grow(unsigned lane, std::uint32_t new_size)
+{
+    if (new_size > stride_) {
+        // Restride: RayTraversal-free flat buffer, so one allocation and
+        // a per-lane copy of each lane's logical prefix suffice. Slots
+        // beyond a lane's logical size are always zero by invariant.
+        std::uint32_t new_stride = std::max(new_size, stride_ * 2);
+        std::vector<std::uint64_t> fresh(
+            static_cast<std::size_t>(kWarpSize) * new_stride, 0);
+        for (unsigned l = 0; l < kWarpSize; ++l)
+            std::copy_n(data_.data() + static_cast<std::size_t>(l) * stride_,
+                        size_[l],
+                        fresh.data()
+                            + static_cast<std::size_t>(l) * new_stride);
+        data_.swap(fresh);
+        stride_ = new_stride;
+    }
+    size_[lane] = new_size;
+}
+
+TraverseState::TraverseState()
+{
+    rayIdx_.fill(-1);
+}
+
+TraverseState::~TraverseState() = default;
+TraverseState::TraverseState(TraverseState &&) noexcept = default;
+TraverseState &TraverseState::operator=(TraverseState &&) noexcept = default;
+
+void
+TraverseState::reset(Mask m)
+{
+    mask = m;
+    rays_.clear();
+    rays_.reserve(popcount(m));
+    rayIdx_.fill(-1);
+    frameBase_.fill(0);
+}
+
+RayTraversal &
+TraverseState::addRay(unsigned lane, Addr frame_base, RayTraversal &&ray)
+{
+    vksim_assert(lane < kWarpSize && rayIdx_[lane] < 0);
+    rayIdx_[lane] = static_cast<std::int8_t>(rays_.size());
+    frameBase_[lane] = frame_base;
+    rays_.push_back(std::move(ray));
+    return rays_.back();
+}
+
+RayTraversal *
+TraverseState::ray(unsigned lane)
+{
+    const std::int8_t idx = rayIdx_[lane];
+    return idx < 0 ? nullptr : &rays_[static_cast<unsigned>(idx)];
+}
+
+const RayTraversal *
+TraverseState::ray(unsigned lane) const
+{
+    const std::int8_t idx = rayIdx_[lane];
+    return idx < 0 ? nullptr : &rays_[static_cast<unsigned>(idx)];
+}
+
+} // namespace vksim::vptx

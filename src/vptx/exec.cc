@@ -1,11 +1,23 @@
 #include "vptx/exec.h"
 
+#include <bit>
 #include <cmath>
 #include <cstring>
 
 #include "check/check.h"
 #include "util/log.h"
 #include "util/stats.h"
+
+/**
+ * Threaded dispatch: GCC/Clang computed goto gives the per-opcode lane
+ * handlers a dense label table; other compilers fall back to a dense
+ * switch over the contiguous opcode byte (also a jump table in practice).
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define VKSIM_UOP_THREADED 1
+#else
+#define VKSIM_UOP_THREADED 0
+#endif
 
 namespace vksim::vptx {
 
@@ -83,9 +95,23 @@ touchesMemory(Opcode op)
     }
 }
 
+WarpExecutor::WarpExecutor(const LaunchContext &ctx, ExecOptions options)
+    : ctx_(ctx), options_(options)
+{
+    if (ctx.uops) {
+        uops_ = ctx.uops;
+    } else {
+        // Hand-assembled contexts (tests) carry no compiled stream:
+        // pre-decode a private copy once at construction.
+        ownedUops_ = std::make_unique<MicroProgram>(*ctx.program);
+        uops_ = ownedUops_.get();
+    }
+}
+
 void
-WarpExecutor::execLane(Warp &warp, ThreadState &t, const Instr &instr,
-                       StepResult &result, unsigned lane)
+WarpExecutor::execLaneStructural(Warp &warp, ThreadState &t,
+                                 const Instr &instr, StepResult &result,
+                                 unsigned lane)
 {
     GlobalMemory &gmem = *ctx_.gmem;
     auto src = [&](int idx) { return t.reg(idx); };
@@ -382,12 +408,12 @@ WarpExecutor::execLane(Warp &warp, ThreadState &t, const Instr &instr,
       }
 
       default:
-        vksim_panic("unhandled opcode in execLane");
+        vksim_panic("unhandled opcode in execLaneStructural");
     }
 }
 
 StepResult
-WarpExecutor::step(Warp &warp, int split_idx)
+WarpExecutor::stepStructural(Warp &warp, int split_idx)
 {
     const WarpSplit split = warp.cflow.split(split_idx);
     std::uint32_t pc = split.pc;
@@ -471,16 +497,14 @@ WarpExecutor::step(Warp &warp, int split_idx)
 
       case Opcode::TraverseAS: {
         TraverseState &ts = warp.pendingTraverses[split.id];
-        ts.mask = mask;
-        ts.lanes.clear();
-        ts.lanes.resize(kWarpSize);
+        ts.reset(mask);
         forEachLane([&](unsigned lane, ThreadState &t) {
             vksim_assert(t.rtDepth > 0);
             Addr fb = ctx_.frameBase(t.tid, t.rtDepth - 1);
-            ts.lanes[lane].frameBase = fb;
-            ts.lanes[lane].traversal = rt_runtime::makeTraversal(
-                *ctx_.gmem, ctx_.tlasRoot, fb, nullptr,
-                options_.shortStackEntries);
+            ts.addRay(lane, fb,
+                      rt_runtime::makeTraversal(
+                          *ctx_.gmem, ctx_.tlasRoot, fb, nullptr,
+                          options_.shortStackEntries));
         });
         result.startedTraverse = true;
         result.traverseSplitId = split.id;
@@ -493,10 +517,490 @@ WarpExecutor::step(Warp &warp, int split_idx)
     }
 
     forEachLane([&](unsigned lane, ThreadState &t) {
-        execLane(warp, t, instr, result, lane);
+        execLaneStructural(warp, t, instr, result, lane);
     });
     warp.cflow.advance(split_idx, pc + 1);
     return result;
+}
+
+StepResult
+WarpExecutor::step(Warp &warp, int split_idx)
+{
+    if (options_.structuralDispatch)
+        return stepStructural(warp, split_idx);
+    return step(warp, split_idx, fetch(warp.cflow.split(split_idx).pc));
+}
+
+StepResult
+WarpExecutor::step(Warp &warp, int split_idx, const MicroOp &u)
+{
+    const WarpSplit split = warp.cflow.split(split_idx);
+    const std::uint32_t pc = split.pc;
+    const Mask mask = split.mask;
+    vksim_assert(mask != 0 && !split.blocked);
+
+    StepResult result;
+    result.op = u.op;
+    result.unit = u.unit;
+    result.activeLanes = popcount(mask);
+    result.dstReg = u.dst;
+
+    switch (u.cls) {
+      case UopClass::Lane:
+        execLanes(warp, mask, u, result);
+        warp.cflow.advance(split_idx, pc + 1);
+        return result;
+
+      case UopClass::Bra: {
+        const bool invert = (u.flags & kUopBraInvert) != 0;
+        Mask taken = 0;
+        for (Mask rem = mask; rem != 0; rem &= rem - 1) {
+            const auto lane =
+                static_cast<unsigned>(std::countr_zero(rem));
+            ThreadState &t = warp.threads[lane];
+            warp.regs.ensure(lane, t.windowBase + u.maxReg - 1);
+            const bool cond =
+                warp.regs.row(lane)[t.windowBase
+                                    + static_cast<unsigned>(u.src0)]
+                != 0;
+            if (cond != invert)
+                taken |= 1u << lane;
+        }
+        warp.cflow.diverge(split_idx, u.target, taken, pc + 1,
+                           mask & ~taken, u.reconv);
+        return result;
+      }
+
+      case UopClass::Jmp:
+        warp.cflow.advance(split_idx, u.target);
+        return result;
+
+      case UopClass::Exit:
+        warp.cflow.exitLanes(split_idx, mask);
+        result.exited = true;
+        return result;
+
+      case UopClass::Call:
+        for (Mask rem = mask; rem != 0; rem &= rem - 1) {
+            ThreadState &t =
+                warp.threads[static_cast<unsigned>(std::countr_zero(rem))];
+            t.callStack.push_back({pc + 1, t.windowBase});
+            t.windowBase += static_cast<unsigned>(u.imm);
+        }
+        warp.cflow.advance(split_idx, u.target);
+        return result;
+
+      case UopClass::Ret: {
+        // Group lanes by return pc (can diverge under ITS merging).
+        std::uint32_t ret0 = 0;
+        bool first = true;
+        Mask matched = 0;
+        for (Mask rem = mask; rem != 0; rem &= rem - 1) {
+            const auto lane =
+                static_cast<unsigned>(std::countr_zero(rem));
+            ThreadState &t = warp.threads[lane];
+            vksim_assert(!t.callStack.empty());
+            const std::uint32_t r = t.callStack.back().retPc;
+            if (first) {
+                ret0 = r;
+                first = false;
+            }
+            if (r == ret0)
+                matched |= 1u << lane;
+        }
+        if (warp.cflow.mode() == WarpCflow::Mode::Stack)
+            vksim_assert(matched == mask);
+        for (Mask rem = matched; rem != 0; rem &= rem - 1) {
+            ThreadState &t =
+                warp.threads[static_cast<unsigned>(std::countr_zero(rem))];
+            t.windowBase = t.callStack.back().savedWindow;
+            t.callStack.pop_back();
+        }
+        warp.cflow.diverge(split_idx, ret0, matched, pc, mask & ~matched,
+                           kNoReconv);
+        return result;
+      }
+
+      case UopClass::Traverse: {
+        TraverseState &ts = warp.pendingTraverses[split.id];
+        ts.reset(mask);
+        for (Mask rem = mask; rem != 0; rem &= rem - 1) {
+            const auto lane =
+                static_cast<unsigned>(std::countr_zero(rem));
+            ThreadState &t = warp.threads[lane];
+            vksim_assert(t.rtDepth > 0);
+            Addr fb = ctx_.frameBase(t.tid, t.rtDepth - 1);
+            ts.addRay(lane, fb,
+                      rt_runtime::makeTraversal(
+                          *ctx_.gmem, ctx_.tlasRoot, fb, nullptr,
+                          options_.shortStackEntries));
+        }
+        result.startedTraverse = true;
+        result.traverseSplitId = split.id;
+        warp.cflow.blockAt(split_idx, pc + 1);
+        return result;
+      }
+    }
+    vksim_panic("unhandled uop class");
+}
+
+void
+WarpExecutor::execLanes(Warp &warp, Mask mask, const MicroOp &u,
+                        StepResult &result)
+{
+    GlobalMemory &gmem = *ctx_.gmem;
+    WarpRegFile &rf = warp.regs;
+
+    // Window-relative register row for `lane`, grown once to the
+    // instruction's pre-decoded register high-water mark (u.maxReg >= 1
+    // for every opcode that reaches this). Re-fetch after any growth.
+    auto laneRegs = [&](unsigned lane, ThreadState &t) {
+        rf.ensure(lane, t.windowBase + u.maxReg - 1);
+        return rf.row(lane) + t.windowBase;
+    };
+    auto forLanes = [&](auto &&fn) {
+        for (Mask rem = mask; rem != 0; rem &= rem - 1) {
+            const auto lane =
+                static_cast<unsigned>(std::countr_zero(rem));
+            fn(lane, warp.threads[lane]);
+        }
+    };
+
+#if VKSIM_UOP_THREADED
+#define VKSIM_UOP(name) L_##name
+#define VKSIM_UOP_END goto L_Done
+    // Dense label table indexed by the opcode byte. Opcodes handled at
+    // step() level (control flow, traverse) must never reach execLanes;
+    // their slots trap.
+    static const void *const kDispatch[] = {
+        &&L_Nop, &&L_MovImm, &&L_Mov, &&L_Add, &&L_Sub, &&L_Mul, &&L_And,
+        &&L_Or, &&L_Xor, &&L_Shl, &&L_Shr, &&L_ISetEq, &&L_ISetNe,
+        &&L_ISetLt, &&L_ISetGe, &&L_FAdd, &&L_FSub, &&L_FMul, &&L_FDiv,
+        &&L_FMin, &&L_FMax, &&L_FAbs, &&L_FNeg, &&L_FFloor, &&L_FSetLt,
+        &&L_FSetLe, &&L_FSetGt, &&L_FSetGe, &&L_FSetEq, &&L_FSetNe,
+        &&L_FSqrt, &&L_FRsqrt, &&L_FSin, &&L_FCos, &&L_I2F, &&L_U2F,
+        &&L_F2I, &&L_F2U, &&L_Select, &&L_Ld, &&L_St, &&L_BadOp, &&L_BadOp,
+        &&L_BadOp, &&L_BadOp, &&L_BadOp, &&L_BadOp, &&L_RtPushFrame,
+        &&L_BadOp, &&L_EndTraceRay, &&L_RtAllocMem, &&L_LoadLaunchId,
+        &&L_LoadLaunchSize, &&L_RtFrameAddr, &&L_ReportIntersection,
+        &&L_CommitAnyHit, &&L_DescBase, &&L_GetNextCoalescedCall,
+    };
+    static_assert(
+        sizeof(kDispatch) / sizeof(kDispatch[0])
+        == static_cast<std::size_t>(Opcode::GetNextCoalescedCall) + 1);
+    goto *kDispatch[static_cast<unsigned>(u.op)];
+#else
+#define VKSIM_UOP(name) case Opcode::name
+#define VKSIM_UOP_END goto L_Done
+    switch (u.op) {
+#endif
+
+// Binary ALU handler: integer operands a/b and float views fa/fb.
+#define VKSIM_UOP_BIN(name, ...)                                              \
+    VKSIM_UOP(name) : {                                                       \
+        forLanes([&](unsigned lane, ThreadState &t) {                         \
+            std::uint64_t *R = laneRegs(lane, t);                             \
+            const std::uint64_t a = R[u.src0], b = R[u.src1];                 \
+            const float fa = asFloat(a), fb = asFloat(b);                     \
+            (void)fa;                                                         \
+            (void)fb;                                                         \
+            R[u.dst] = (__VA_ARGS__);                                         \
+        });                                                                   \
+        VKSIM_UOP_END;                                                        \
+    }
+
+// Unary ALU handler: integer operand a and float view fa.
+#define VKSIM_UOP_UN(name, ...)                                               \
+    VKSIM_UOP(name) : {                                                       \
+        forLanes([&](unsigned lane, ThreadState &t) {                         \
+            std::uint64_t *R = laneRegs(lane, t);                             \
+            const std::uint64_t a = R[u.src0];                                \
+            const float fa = asFloat(a);                                      \
+            (void)a;                                                          \
+            (void)fa;                                                         \
+            R[u.dst] = (__VA_ARGS__);                                         \
+        });                                                                   \
+        VKSIM_UOP_END;                                                        \
+    }
+
+    VKSIM_UOP(Nop) : { VKSIM_UOP_END; }
+
+    VKSIM_UOP(MovImm) : {
+        forLanes([&](unsigned lane, ThreadState &t) {
+            laneRegs(lane, t)[u.dst] = u.imm;
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP_UN(Mov, a)
+
+    VKSIM_UOP_BIN(Add, a + b)
+    VKSIM_UOP_BIN(Sub, a - b)
+    VKSIM_UOP_BIN(Mul, a *b)
+    VKSIM_UOP_BIN(And, a &b)
+    VKSIM_UOP_BIN(Or, a | b)
+    VKSIM_UOP_BIN(Xor, a ^ b)
+    VKSIM_UOP_BIN(Shl, a << (b & 63))
+    VKSIM_UOP_BIN(Shr, a >> (b & 63))
+    VKSIM_UOP_BIN(ISetEq, boolVal(a == b))
+    VKSIM_UOP_BIN(ISetNe, boolVal(a != b))
+    VKSIM_UOP_BIN(ISetLt, boolVal(static_cast<std::int64_t>(a)
+                                  < static_cast<std::int64_t>(b)))
+    VKSIM_UOP_BIN(ISetGe, boolVal(static_cast<std::int64_t>(a)
+                                  >= static_cast<std::int64_t>(b)))
+
+    VKSIM_UOP_BIN(FAdd, fromFloat(fa + fb))
+    VKSIM_UOP_BIN(FSub, fromFloat(fa - fb))
+    VKSIM_UOP_BIN(FMul, fromFloat(fa *fb))
+    VKSIM_UOP_BIN(FDiv, fromFloat(fa / fb))
+    VKSIM_UOP_BIN(FMin, fromFloat(std::fmin(fa, fb)))
+    VKSIM_UOP_BIN(FMax, fromFloat(std::fmax(fa, fb)))
+    VKSIM_UOP_UN(FAbs, fromFloat(std::fabs(fa)))
+    VKSIM_UOP_UN(FNeg, fromFloat(-fa))
+    VKSIM_UOP_UN(FFloor, fromFloat(std::floor(fa)))
+    VKSIM_UOP_BIN(FSetLt, boolVal(fa < fb))
+    VKSIM_UOP_BIN(FSetLe, boolVal(fa <= fb))
+    VKSIM_UOP_BIN(FSetGt, boolVal(fa > fb))
+    VKSIM_UOP_BIN(FSetGe, boolVal(fa >= fb))
+    VKSIM_UOP_BIN(FSetEq, boolVal(fa == fb))
+    VKSIM_UOP_BIN(FSetNe, boolVal(fa != fb))
+
+    VKSIM_UOP_UN(FSqrt, fromFloat(std::sqrt(fa)))
+    VKSIM_UOP_UN(FRsqrt, fromFloat(1.0f / std::sqrt(fa)))
+    VKSIM_UOP_UN(FSin, fromFloat(std::sin(fa)))
+    VKSIM_UOP_UN(FCos, fromFloat(std::cos(fa)))
+
+    VKSIM_UOP_UN(I2F, fromFloat(static_cast<float>(
+                          static_cast<std::int64_t>(a))))
+    VKSIM_UOP_UN(U2F, fromFloat(static_cast<float>(a)))
+    VKSIM_UOP_UN(F2I, static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(fa)))
+    VKSIM_UOP_UN(F2U, fa <= 0.f ? 0 : static_cast<std::uint64_t>(fa))
+
+    VKSIM_UOP(Select) : {
+        forLanes([&](unsigned lane, ThreadState &t) {
+            std::uint64_t *R = laneRegs(lane, t);
+            R[u.dst] = R[u.src0] ? R[u.src1] : R[u.src2];
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP(Ld) : {
+        forLanes([&](unsigned lane, ThreadState &t) {
+            std::uint64_t *R = laneRegs(lane, t);
+            Addr addr = R[u.src0] + u.imm;
+            std::uint64_t value = 0;
+            gmem.read(addr, &value, u.size);
+            R[u.dst] = value;
+            result.accesses.push_back(
+                {static_cast<std::uint8_t>(lane), false, u.size, addr});
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP(St) : {
+        forLanes([&](unsigned lane, ThreadState &t) {
+            std::uint64_t *R = laneRegs(lane, t);
+            Addr addr = R[u.src0] + u.imm;
+            std::uint64_t value = R[u.src1];
+            gmem.write(addr, &value, u.size);
+            result.accesses.push_back(
+                {static_cast<std::uint8_t>(lane), true, u.size, addr});
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP(RtPushFrame) : {
+        forLanes([&](unsigned, ThreadState &t) {
+            vksim_assert(t.rtDepth < kMaxTraceDepth);
+            ++t.rtDepth;
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP(EndTraceRay) : {
+        forLanes([&](unsigned, ThreadState &t) {
+            vksim_assert(t.rtDepth > 0);
+            --t.rtDepth;
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP(RtAllocMem) : {
+        forLanes([&](unsigned lane, ThreadState &t) {
+            laneRegs(lane, t)[u.dst] = ctx_.scratchAddr(t.tid) + u.imm;
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP(LoadLaunchId) : {
+        forLanes([&](unsigned lane, ThreadState &t) {
+            laneRegs(lane, t)[u.dst] = t.launchId[u.imm];
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP(LoadLaunchSize) : {
+        forLanes([&](unsigned lane, ThreadState &t) {
+            laneRegs(lane, t)[u.dst] = ctx_.launchSize[u.imm];
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP(RtFrameAddr) : {
+        forLanes([&](unsigned lane, ThreadState &t) {
+            vksim_assert(t.rtDepth > 0);
+            laneRegs(lane, t)[u.dst] =
+                ctx_.frameBase(t.tid, t.rtDepth - 1);
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP(DescBase) : {
+        forLanes([&](unsigned lane, ThreadState &t) {
+            laneRegs(lane, t)[u.dst] = ctx_.descBase[u.imm];
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP(ReportIntersection) : {
+        forLanes([&](unsigned lane, ThreadState &t) {
+            std::uint64_t *R = laneRegs(lane, t);
+            vksim_assert(t.rtDepth > 0);
+            Addr fb = ctx_.frameBase(t.tid, t.rtDepth - 1);
+            auto cur =
+                gmem.load<std::uint32_t>(fb + frame::kCurrentDeferred);
+            Addr entry = deferredEntryAddr(fb, cur);
+            float hit_t = gmem.load<float>(fb + frame::kHitT);
+            float tmin = gmem.load<float>(fb + frame::kRayTmin);
+            result.accesses.push_back(
+                {static_cast<std::uint8_t>(lane), false, 16, entry});
+            result.accesses.push_back(
+                {static_cast<std::uint8_t>(lane), false, 8,
+                 fb + frame::kRayTmin});
+            float tval = asFloat(R[u.src0]);
+            bool commit = tval > tmin && tval < hit_t;
+            if (commit) {
+                gmem.store<float>(fb + frame::kHitT, tval);
+                gmem.store<float>(fb + frame::kHitU, 0.f);
+                gmem.store<float>(fb + frame::kHitV, 0.f);
+                gmem.store<std::int32_t>(
+                    fb + frame::kHitInstance,
+                    gmem.load<std::int32_t>(entry + frame::kDefInstance));
+                gmem.store<std::int32_t>(
+                    fb + frame::kHitPrimitive,
+                    gmem.load<std::int32_t>(entry + frame::kDefPrim));
+                gmem.store<std::int32_t>(
+                    fb + frame::kHitCustomIndex,
+                    gmem.load<std::int32_t>(entry
+                                            + frame::kDefCustomIndex));
+                gmem.store<std::int32_t>(
+                    fb + frame::kHitSbtOffset,
+                    gmem.load<std::int32_t>(entry + frame::kDefSbtOffset));
+                gmem.store<std::uint32_t>(
+                    fb + frame::kHitKind,
+                    static_cast<std::uint32_t>(HitKind::Procedural));
+                result.accesses.push_back(
+                    {static_cast<std::uint8_t>(lane), true, 32,
+                     fb + frame::kHitT});
+            }
+            if (u.dst >= 0)
+                R[u.dst] = boolVal(commit);
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP(CommitAnyHit) : {
+        forLanes([&](unsigned lane, ThreadState &t) {
+            vksim_assert(t.rtDepth > 0);
+            Addr fb = ctx_.frameBase(t.tid, t.rtDepth - 1);
+            auto cur =
+                gmem.load<std::uint32_t>(fb + frame::kCurrentDeferred);
+            Addr entry = deferredEntryAddr(fb, cur);
+            float cand_t = gmem.load<float>(entry + frame::kDefT);
+            float hit_t = gmem.load<float>(fb + frame::kHitT);
+            result.accesses.push_back(
+                {static_cast<std::uint8_t>(lane), false, 32, entry});
+            bool commit = cand_t < hit_t;
+            if (commit) {
+                gmem.store<float>(fb + frame::kHitT, cand_t);
+                gmem.store<float>(fb + frame::kHitU,
+                                  gmem.load<float>(entry + frame::kDefU));
+                gmem.store<float>(fb + frame::kHitV,
+                                  gmem.load<float>(entry + frame::kDefV));
+                gmem.store<std::int32_t>(
+                    fb + frame::kHitInstance,
+                    gmem.load<std::int32_t>(entry + frame::kDefInstance));
+                gmem.store<std::int32_t>(
+                    fb + frame::kHitPrimitive,
+                    gmem.load<std::int32_t>(entry + frame::kDefPrim));
+                gmem.store<std::int32_t>(
+                    fb + frame::kHitCustomIndex,
+                    gmem.load<std::int32_t>(entry
+                                            + frame::kDefCustomIndex));
+                gmem.store<std::int32_t>(
+                    fb + frame::kHitSbtOffset,
+                    gmem.load<std::int32_t>(entry + frame::kDefSbtOffset));
+                gmem.store<std::uint32_t>(
+                    fb + frame::kHitKind,
+                    static_cast<std::uint32_t>(HitKind::Triangle));
+                result.accesses.push_back(
+                    {static_cast<std::uint8_t>(lane), true, 32,
+                     fb + frame::kHitT});
+            }
+            if (u.dst >= 0)
+                laneRegs(lane, t)[u.dst] = boolVal(commit);
+        });
+        VKSIM_UOP_END;
+    }
+
+    VKSIM_UOP(GetNextCoalescedCall) : {
+        forLanes([&](unsigned lane, ThreadState &t) {
+            std::uint64_t *R = laneRegs(lane, t);
+            std::uint64_t row_idx = R[u.src0];
+            Addr row_addr = ctx_.fccBase
+                            + (t.tid / kWarpSize) * kFccBytesPerWarp
+                            + row_idx * kFccRowBytes;
+            result.accesses.push_back(
+                {static_cast<std::uint8_t>(lane), false, 8, row_addr});
+            if (row_idx >= warp.fccRows.size()) {
+                R[u.dst] = static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(-1));
+                return;
+            }
+            const CoalescedRow &row = warp.fccRows[row_idx];
+            if (row.mask & (1u << lane)) {
+                R[u.dst] = static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(row.shaderId));
+                vksim_assert(t.rtDepth > 0);
+                Addr fb = ctx_.frameBase(t.tid, t.rtDepth - 1);
+                gmem.store<std::uint32_t>(fb + frame::kCurrentDeferred,
+                                          row.entryIdx[lane]);
+                result.accesses.push_back(
+                    {static_cast<std::uint8_t>(lane), true, 4,
+                     fb + frame::kCurrentDeferred});
+            } else {
+                R[u.dst] = 0;
+            }
+        });
+        VKSIM_UOP_END;
+    }
+
+#if VKSIM_UOP_THREADED
+L_BadOp:
+    vksim_panic("unhandled opcode in execLanes");
+#else
+      default:
+        vksim_panic("unhandled opcode in execLanes");
+    }
+#endif
+
+L_Done:;
+
+#undef VKSIM_UOP
+#undef VKSIM_UOP_END
+#undef VKSIM_UOP_BIN
+#undef VKSIM_UOP_UN
 }
 
 void
@@ -508,17 +1012,16 @@ WarpExecutor::completeTraverse(Warp &warp, int split_id)
     for (unsigned lane = 0; lane < kWarpSize; ++lane) {
         if (!(ts.mask & (1u << lane)))
             continue;
-        LaneTraversal &lt = ts.lanes[lane];
-        vksim_assert(lt.traversal && lt.traversal->done());
+        RayTraversal *trav = ts.ray(lane);
+        vksim_assert(trav && trav->done());
         // Full-check differential: replay the finished ray through the
         // CPU reference tracer before the frame's hit words are written.
         if (check::traverseHookActive())
-            check::callTraverseHook(lt.frameBase, *lt.traversal);
-        rt_runtime::writeResults(*ctx_.gmem, lt.frameBase, *lt.traversal);
+            check::callTraverseHook(ts.frameBase(lane), *trav);
+        rt_runtime::writeResults(*ctx_.gmem, ts.frameBase(lane), *trav);
     }
     if (options_.fccEnabled)
-        rt_runtime::buildCoalescingTable(ts.lanes, ts.mask, ctx_,
-                                         &warp.fccRows);
+        rt_runtime::buildCoalescingTable(ts, ctx_, &warp.fccRows);
     warp.pendingTraverses.erase(it);
     warp.cflow.unblockById(split_id);
 }
@@ -530,7 +1033,7 @@ WarpExecutor::runTraverseFunctional(Warp &warp, int split_id)
     for (unsigned lane = 0; lane < kWarpSize; ++lane) {
         if (!(ts.mask & (1u << lane)))
             continue;
-        ts.lanes[lane].traversal->run();
+        ts.ray(lane)->run();
     }
     completeTraverse(warp, split_id);
 }
@@ -543,11 +1046,15 @@ initWarp(Warp &warp, std::uint32_t warp_id, const LaunchContext &ctx,
     const std::uint32_t total = ctx.totalThreads();
     std::uint32_t width = ctx.launchSize[0];
     std::uint32_t height = ctx.launchSize[1];
+    const ShaderInfo &raygen = ctx.program->shaders[static_cast<std::size_t>(
+        ctx.program->raygenShader)];
 
     Mask live = 0;
     for (unsigned lane = 0; lane < kWarpSize; ++lane) {
         ThreadState &t = warp.threads[lane];
         t = ThreadState{};
+        t.rf = &warp.regs;
+        t.lane = static_cast<std::uint8_t>(lane);
         std::uint32_t tid = warp_id * kWarpSize + lane;
         t.tid = tid;
         if (tid >= total)
@@ -556,12 +1063,8 @@ initWarp(Warp &warp, std::uint32_t warp_id, const LaunchContext &ctx,
         t.launchId[0] = tid % width;
         t.launchId[1] = (tid / width) % height;
         t.launchId[2] = tid / (width * height);
-        const ShaderInfo &raygen = ctx.program->shaders[static_cast<
-            std::size_t>(ctx.program->raygenShader)];
-        t.regs.assign(raygen.numRegs + 16, 0);
     }
-    const ShaderInfo &raygen = ctx.program->shaders[static_cast<std::size_t>(
-        ctx.program->raygenShader)];
+    warp.regs.init(live, raygen.numRegs + 16u);
     warp.cflow.init(raygen.entryPc, live, mode);
     warp.fccRows.clear();
     warp.pendingTraverses.clear();

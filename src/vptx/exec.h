@@ -4,14 +4,26 @@
  * warp split, shared by the functional-only runner and the timed SM model
  * (which executes functionally at issue, GPGPU-Sim style, and models
  * latency separately from the returned StepResult).
+ *
+ * The hot path dispatches over the pre-decoded micro-op stream
+ * (vptx/uop.h): the timing model fetches the MicroOp once per issue
+ * attempt — serving the scoreboard, structural-hazard checks and the
+ * functional step from the same decode — and the per-lane handlers run
+ * as a dense table / computed-goto threaded loop over the warp's
+ * structure-of-arrays register file. The legacy structural-ISA
+ * interpreter is retained behind ExecOptions::structuralDispatch as the
+ * reference for differential tests and the dispatch benchmark.
  */
 
 #ifndef VKSIM_VPTX_EXEC_H
 #define VKSIM_VPTX_EXEC_H
 
+#include <memory>
+
 #include "util/stats.h"
 #include "vptx/context.h"
 #include "vptx/rt_runtime.h"
+#include "vptx/uop.h"
 
 namespace vksim::vptx {
 
@@ -39,18 +51,34 @@ struct ExecOptions
     bool fccEnabled = false; ///< function call coalescing (Sec. IV-A)
     /** Short-stack entries per ray (ablation; paper uses 8). */
     unsigned shortStackEntries = 8;
+    /**
+     * Execute through the legacy structural-ISA interpreter instead of
+     * the micro-op stream (reference path for differential tests and
+     * BM_VptxDispatch; never decodes micro-ops).
+     */
+    bool structuralDispatch = false;
 };
 
 /**
  * Executes VPTX instructions against warp state. Stateless apart from the
- * launch context reference, so one executor serves all warps of a launch.
+ * launch context reference and the decode telemetry, so one executor
+ * serves all warps of a launch.
  */
 class WarpExecutor
 {
   public:
-    WarpExecutor(const LaunchContext &ctx, ExecOptions options = {})
-        : ctx_(ctx), options_(options)
+    WarpExecutor(const LaunchContext &ctx, ExecOptions options = {});
+
+    /**
+     * Pre-decoded micro-op at `pc`. Counts one decode: the timing model
+     * calls this exactly once per issue attempt and feeds the result to
+     * step(), so decode count per dynamic instruction is exactly 1.
+     */
+    const MicroOp &
+    fetch(std::uint32_t pc)
     {
+        ++decodes_;
+        return uops_->at(pc);
     }
 
     /**
@@ -58,6 +86,12 @@ class WarpExecutor
      * active lanes, updating thread state, memory, and control flow.
      */
     StepResult step(Warp &warp, int split_idx);
+
+    /** As above with the already-fetched micro-op (no re-decode). */
+    StepResult step(Warp &warp, int split_idx, const MicroOp &u);
+
+    /** Legacy structural-ISA path (reference for differential tests). */
+    StepResult stepStructural(Warp &warp, int split_idx);
 
     /**
      * Finish a parked traverseAS: write traversal results to the frames,
@@ -71,12 +105,23 @@ class WarpExecutor
 
     const ExecOptions &options() const { return options_; }
 
+    /** The micro-op stream this executor dispatches over. */
+    const MicroProgram &uops() const { return *uops_; }
+
+    /** Micro-op fetches performed (decode-count regression telemetry). */
+    std::uint64_t decodeCount() const { return decodes_; }
+
   private:
-    void execLane(Warp &warp, ThreadState &t, const Instr &instr,
-                  StepResult &result, unsigned lane);
+    void execLanes(Warp &warp, Mask mask, const MicroOp &u,
+                   StepResult &result);
+    void execLaneStructural(Warp &warp, ThreadState &t, const Instr &instr,
+                            StepResult &result, unsigned lane);
 
     const LaunchContext &ctx_;
     ExecOptions options_;
+    const MicroProgram *uops_ = nullptr;
+    std::unique_ptr<MicroProgram> ownedUops_; ///< fallback when ctx has none
+    std::uint64_t decodes_ = 0;
 };
 
 /**
@@ -95,6 +140,9 @@ class FunctionalRunner
 
     /** Instruction-issue statistics (per exec unit and total). */
     const StatGroup &stats() const { return stats_; }
+
+    /** Micro-op fetches the run performed (1 per dynamic instruction). */
+    std::uint64_t decodeCount() const { return exec_.decodeCount(); }
 
   private:
     const LaunchContext &ctx_;

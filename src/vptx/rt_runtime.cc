@@ -22,14 +22,14 @@ readRay(const GlobalMemory &gmem, Addr frame_base, std::uint32_t *flags_out)
     return ray;
 }
 
-std::unique_ptr<RayTraversal>
+RayTraversal
 makeTraversal(const GlobalMemory &gmem, Addr tlas_root, Addr frame_base,
               TraversalMemSink *sink, unsigned short_stack_entries)
 {
     std::uint32_t flags = 0;
     Ray ray = readRay(gmem, frame_base, &flags);
-    return std::make_unique<RayTraversal>(gmem, tlas_root, ray, flags,
-                                          sink, short_stack_entries);
+    return RayTraversal(gmem, tlas_root, ray, flags, sink,
+                        short_stack_entries);
 }
 
 Addr
@@ -93,15 +93,16 @@ deferredShaderId(const LaunchContext &ctx, const DeferredHit &d)
 }
 
 FccBuildCost
-buildCoalescingTable(const std::vector<LaneTraversal> &lanes, Mask mask,
-                     const LaunchContext &ctx, std::vector<CoalescedRow> *rows)
+buildCoalescingTable(const TraverseState &ts, const LaunchContext &ctx,
+                     std::vector<CoalescedRow> *rows)
 {
     FccBuildCost cost;
     rows->clear();
     for (unsigned lane = 0; lane < kWarpSize; ++lane) {
-        if (!(mask & (1u << lane)) || !lanes[lane].traversal)
+        const RayTraversal *trav = ts.ray(lane);
+        if (!(ts.mask & (1u << lane)) || !trav)
             continue;
-        const auto &deferred = lanes[lane].traversal->deferred();
+        const auto &deferred = trav->deferred();
         auto count = std::min<std::size_t>(deferred.size(), kMaxDeferred);
         for (std::size_t i = 0; i < count; ++i) {
             std::int32_t sid = deferredShaderId(ctx, deferred[i]);

@@ -12,8 +12,6 @@
 #ifndef VKSIM_VPTX_RT_RUNTIME_H
 #define VKSIM_VPTX_RT_RUNTIME_H
 
-#include <memory>
-
 #include "accel/traversal.h"
 #include "vptx/context.h"
 
@@ -26,7 +24,7 @@ Ray readRay(const GlobalMemory &gmem, Addr frame_base,
             std::uint32_t *flags_out = nullptr);
 
 /** Create the traversal state machine for the frame's ray. */
-std::unique_ptr<RayTraversal> makeTraversal(
+RayTraversal makeTraversal(
     const GlobalMemory &gmem, Addr tlas_root, Addr frame_base,
     TraversalMemSink *sink = nullptr,
     unsigned short_stack_entries = RayTraversal::kShortStackEntries);
@@ -45,7 +43,7 @@ Addr writeResults(GlobalMemory &gmem, Addr frame_base,
  * shader id in insertion order; rows fill thread-mask bits as matching
  * entries arrive (paper Sec. IV-A and Fig. 9).
  *
- * @param lanes Per-lane traversals (null for inactive lanes).
+ * @param ts The split's parked traversal state (mask + per-lane rays).
  * @param ctx Launch context (maps sbt offsets to shader ids).
  * @param[out] rows The coalescing table.
  * @return Number of (load, store) accesses the insertion performed, for
@@ -57,9 +55,9 @@ struct FccBuildCost
     std::uint64_t stores = 0;
 };
 
-FccBuildCost buildCoalescingTable(
-    const std::vector<LaneTraversal> &lanes, Mask mask,
-    const LaunchContext &ctx, std::vector<CoalescedRow> *rows);
+FccBuildCost buildCoalescingTable(const TraverseState &ts,
+                                  const LaunchContext &ctx,
+                                  std::vector<CoalescedRow> *rows);
 
 /** Shader id a deferred entry dispatches to (any-hit or intersection). */
 std::int32_t deferredShaderId(const LaunchContext &ctx,

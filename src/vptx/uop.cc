@@ -1,0 +1,71 @@
+#include "vptx/uop.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace vksim::vptx {
+
+namespace {
+
+UopClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Bra:
+      case Opcode::BraZ:
+        return UopClass::Bra;
+      case Opcode::Jmp:
+        return UopClass::Jmp;
+      case Opcode::Exit:
+        return UopClass::Exit;
+      case Opcode::Call:
+        return UopClass::Call;
+      case Opcode::Ret:
+        return UopClass::Ret;
+      case Opcode::TraverseAS:
+        return UopClass::Traverse;
+      default:
+        return UopClass::Lane;
+    }
+}
+
+std::uint16_t
+maxRegOf(const Instr &instr)
+{
+    int hi = std::max({static_cast<int>(instr.dst),
+                       static_cast<int>(instr.src0),
+                       static_cast<int>(instr.src1),
+                       static_cast<int>(instr.src2)});
+    return hi < 0 ? 0 : static_cast<std::uint16_t>(hi + 1);
+}
+
+} // namespace
+
+MicroProgram::MicroProgram(const Program &program)
+{
+    uops_.reserve(program.code.size());
+    for (const Instr &instr : program.code) {
+        MicroOp u;
+        u.op = instr.op;
+        u.cls = classOf(instr.op);
+        u.unit = execUnitOf(instr.op);
+        u.flags = 0;
+        if (touchesMemory(instr.op))
+            u.flags |= kUopTouchesMemory;
+        if (instr.op == Opcode::BraZ)
+            u.flags |= kUopBraInvert;
+        u.size = instr.size;
+        u.dst = instr.dst;
+        u.src0 = instr.src0;
+        u.src1 = instr.src1;
+        u.src2 = instr.src2;
+        u.maxReg = maxRegOf(instr);
+        u.target = instr.target;
+        u.reconv = instr.reconv;
+        u.imm = instr.imm;
+        uops_.push_back(u);
+    }
+}
+
+} // namespace vksim::vptx

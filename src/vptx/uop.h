@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Pre-decoded micro-op stream (DESIGN.md, "Interpreter contract").
+ *
+ * The structural ISA representation (vptx::Instr) is what the translator
+ * emits and what tools disassemble; executing it directly makes every
+ * dynamic instruction re-derive its execution unit, memory behaviour and
+ * register footprint from switches over the opcode. The micro-op stream
+ * front-loads that work to translate time: one MicroOp per Instr with the
+ * execution unit, step-level dispatch class, lane-handler index, folded
+ * immediates and the register high-water mark resolved once, so the warp
+ * executor's hot loop is a dense table dispatch that never touches the
+ * structural representation.
+ *
+ * Determinism: a MicroProgram is a pure function of its Program, so
+ * rebuilding it (e.g. after decoding a pipeline from the disk store)
+ * always reproduces the same stream. kUopEncodingVersion is mixed into
+ * xlate::digestPipeline so any change to this encoding invalidates every
+ * cached/persisted pipeline key rather than silently serving a stream
+ * with stale decode assumptions.
+ */
+
+#ifndef VKSIM_VPTX_UOP_H
+#define VKSIM_VPTX_UOP_H
+
+#include <vector>
+
+#include "vptx/isa.h"
+
+namespace vksim::vptx {
+
+/**
+ * Version of the micro-op encoding. Bump whenever MicroOp fields, flag
+ * bits, dispatch classes or the builder's derivation rules change; the
+ * pipeline digest (and with it every artifact-cache and disk-store key)
+ * changes with it.
+ */
+inline constexpr std::uint32_t kUopEncodingVersion = 1;
+
+/**
+ * Step-level dispatch class: how WarpExecutor::step handles the
+ * instruction before (or instead of) running per-lane handlers.
+ */
+enum class UopClass : std::uint8_t
+{
+    Lane = 0, ///< per-lane handler, then fall through to pc + 1
+    Bra,      ///< conditional branch (Bra / BraZ)
+    Jmp,      ///< unconditional jump
+    Exit,     ///< lane termination
+    Call,     ///< shader call (register-window push)
+    Ret,      ///< shader return (register-window pop)
+    Traverse  ///< traverseAS: park the split in the RT unit
+};
+
+/** MicroOp flag bits. */
+enum : std::uint8_t
+{
+    kUopTouchesMemory = 1u << 0, ///< reads/writes simulated memory
+    kUopBraInvert = 1u << 1      ///< Bra class: invert condition (BraZ)
+};
+
+/**
+ * One pre-decoded instruction. Operand indices, immediate, memory size
+ * and control-flow targets are copied from the Instr; the execution
+ * unit, dispatch class, memory flag and register high-water mark are
+ * resolved by the builder so the executor never consults opcode tables.
+ */
+struct MicroOp
+{
+    Opcode op = Opcode::Nop;   ///< lane-handler index (dense)
+    UopClass cls = UopClass::Lane;
+    ExecUnit unit = ExecUnit::ALU;
+    std::uint8_t flags = 0;
+    std::uint8_t size = 4;     ///< memory access size (Ld/St)
+    std::int16_t dst = -1;
+    std::int16_t src0 = -1;
+    std::int16_t src1 = -1;
+    std::int16_t src2 = -1;
+    /**
+     * One past the highest window-relative register index this
+     * instruction can touch (0 = touches none): a single capacity check
+     * per instruction replaces the per-access bounds checks of the
+     * structural path.
+     */
+    std::uint16_t maxReg = 0;
+    std::uint32_t target = 0;  ///< branch/call target pc
+    std::uint32_t reconv = 0;  ///< reconvergence pc (Bra class)
+    std::uint64_t imm = 0;     ///< immediate payload
+
+    bool touchesMemory() const { return flags & kUopTouchesMemory; }
+};
+
+/** The pre-decoded stream: one MicroOp per Instr, indexed by pc. */
+class MicroProgram
+{
+  public:
+    MicroProgram() = default;
+
+    /** Pre-decode `program` (deterministic; see file comment). */
+    explicit MicroProgram(const Program &program);
+
+    const MicroOp &
+    at(std::uint32_t pc) const
+    {
+        return uops_[pc];
+    }
+
+    std::size_t size() const { return uops_.size(); }
+    bool empty() const { return uops_.empty(); }
+
+  private:
+    std::vector<MicroOp> uops_;
+};
+
+} // namespace vksim::vptx
+
+#endif // VKSIM_VPTX_UOP_H

@@ -4,10 +4,9 @@
 
 namespace vksim {
 
-RayTracingPipeline
+std::shared_ptr<const CompiledPipeline>
 Device::translatePipeline(const xlate::PipelineDesc &desc, bool fcc)
 {
-    RayTracingPipeline pipeline;
     for (const nir::Shader *shader : desc.shaders) {
         nir::ValidationResult check = nir::validate(*shader);
         if (!check.ok())
@@ -15,10 +14,10 @@ Device::translatePipeline(const xlate::PipelineDesc &desc, bool fcc)
     }
     xlate::TranslateOptions options;
     options.fcc = fcc;
-    pipeline.fcc = fcc;
-    pipeline.program = xlate::translate(desc, options);
+    vptx::Program program = xlate::translate(desc, options);
 
     // Hit-group records carry 1-based shader ids (0xFFFFFFFF when empty).
+    std::vector<vptx::HitGroupRecord> hit_groups;
     for (const xlate::HitGroupDesc &g : desc.hitGroups) {
         vptx::HitGroupRecord rec;
         rec.closestHit =
@@ -26,11 +25,14 @@ Device::translatePipeline(const xlate::PipelineDesc &desc, bool fcc)
         rec.anyHit = g.anyHit >= 0 ? xlate::shaderIdOf(g.anyHit) : -1;
         rec.intersection =
             g.intersection >= 0 ? xlate::shaderIdOf(g.intersection) : -1;
-        pipeline.hitGroups.push_back(rec);
+        hit_groups.push_back(rec);
     }
+    std::vector<ShaderId> miss_shaders;
     for (int miss : desc.missShaders)
-        pipeline.missShaders.push_back(xlate::shaderIdOf(miss));
-    return pipeline;
+        miss_shaders.push_back(xlate::shaderIdOf(miss));
+    return std::make_shared<const CompiledPipeline>(
+        std::move(program), std::move(hit_groups), std::move(miss_shaders),
+        fcc);
 }
 
 void
@@ -38,22 +40,24 @@ Device::uploadShaderBindingTable(RayTracingPipeline *pipeline)
 {
     // Serialize the shader binding table to device memory; the trace-ray
     // lowering reads shader ids from here at run time.
-    if (!pipeline->hitGroups.empty()) {
+    const std::vector<vptx::HitGroupRecord> &hit_groups =
+        pipeline->hitGroups();
+    if (!hit_groups.empty()) {
         pipeline->sbtHitGroupsAddr = uploadBuffer<vptx::HitGroupRecord>(
-            {pipeline->hitGroups.data(), pipeline->hitGroups.size()},
-            "sbt.hitgroups");
+            {hit_groups.data(), hit_groups.size()}, "sbt.hitgroups");
     }
-    if (!pipeline->missShaders.empty()) {
+    const std::vector<ShaderId> &miss_shaders = pipeline->missShaders();
+    if (!miss_shaders.empty()) {
         pipeline->sbtMissAddr = uploadBuffer<ShaderId>(
-            {pipeline->missShaders.data(), pipeline->missShaders.size()},
-            "sbt.miss");
+            {miss_shaders.data(), miss_shaders.size()}, "sbt.miss");
     }
 }
 
 RayTracingPipeline
 Device::createRayTracingPipeline(const xlate::PipelineDesc &desc, bool fcc)
 {
-    RayTracingPipeline pipeline = translatePipeline(desc, fcc);
+    RayTracingPipeline pipeline;
+    pipeline.compiled = translatePipeline(desc, fcc);
     uploadShaderBindingTable(&pipeline);
     return pipeline;
 }
@@ -73,7 +77,8 @@ Device::prepareLaunch(const RayTracingPipeline &pipeline,
                       unsigned width, unsigned height, unsigned depth)
 {
     vptx::LaunchContext ctx;
-    ctx.program = &pipeline.program;
+    ctx.program = &pipeline.program();
+    ctx.uops = &pipeline.compiled->uops();
     ctx.gmem = gmem_.get();
     ctx.launchSize[0] = width;
     ctx.launchSize[1] = height;
@@ -94,7 +99,7 @@ Device::prepareLaunch(const RayTracingPipeline &pipeline,
     ctx.fccBase =
         gmem_->allocate(warps * vptx::kFccBytesPerWarp, 64, "rt.fcc");
 
-    ctx.hitGroups = pipeline.hitGroups;
+    ctx.hitGroups = pipeline.hitGroups();
     return ctx;
 }
 

@@ -18,6 +18,7 @@
 #include "accel/serialize.h"
 #include "scene/scene.h"
 #include "vptx/context.h"
+#include "vptx/uop.h"
 #include "xlate/translate.h"
 
 namespace vksim {
@@ -48,15 +49,70 @@ class DescriptorSet
     std::array<Addr, vptx::kNumDescBindings> bindings_{};
 };
 
-/** A created ray tracing pipeline: linked program + serialized SBT. */
+/**
+ * The immutable host-side product of pipeline translation: the linked
+ * VPTX program, its pre-decoded micro-op stream, and the SBT layout
+ * tables. The micro-op stream is built exactly once, here, from the
+ * program — executors consume it read-only, so one compiled pipeline is
+ * shared by every launch, device and concurrent job that uses it (the
+ * service artifact cache hands out the same instance). Touches no device
+ * memory, which is what makes it cacheable and disk-storable; anything
+ * with a device address lives in the RayTracingPipeline handle instead.
+ */
+class CompiledPipeline
+{
+  public:
+    CompiledPipeline(vptx::Program program,
+                     std::vector<vptx::HitGroupRecord> hit_groups,
+                     std::vector<ShaderId> miss_shaders, bool fcc)
+        : program_(std::move(program)), hitGroups_(std::move(hit_groups)),
+          missShaders_(std::move(miss_shaders)), fcc_(fcc), uops_(program_)
+    {
+    }
+
+    const vptx::Program &program() const { return program_; }
+    const vptx::MicroProgram &uops() const { return uops_; }
+
+    /** Hit-group records with 1-based shader ids. */
+    const std::vector<vptx::HitGroupRecord> &hitGroups() const
+    {
+        return hitGroups_;
+    }
+
+    const std::vector<ShaderId> &missShaders() const { return missShaders_; }
+
+    /** Lowered with function call coalescing (Algorithm 3). */
+    bool fcc() const { return fcc_; }
+
+  private:
+    vptx::Program program_;
+    std::vector<vptx::HitGroupRecord> hitGroups_;
+    std::vector<ShaderId> missShaders_;
+    bool fcc_ = false;
+    vptx::MicroProgram uops_; ///< after program_: built from it
+};
+
+/**
+ * A created ray tracing pipeline: a shared handle to the compiled
+ * (device-independent) half plus this device's SBT upload. Cheap to
+ * copy — copies share the same CompiledPipeline.
+ */
 struct RayTracingPipeline
 {
-    vptx::Program program;
-    std::vector<vptx::HitGroupRecord> hitGroups; ///< with 1-based ids
-    std::vector<ShaderId> missShaders;
+    std::shared_ptr<const CompiledPipeline> compiled;
     Addr sbtHitGroupsAddr = 0; ///< device copy of the hit-group table
     Addr sbtMissAddr = 0;
-    bool fcc = false; ///< lowered with function call coalescing
+
+    const vptx::Program &program() const { return compiled->program(); }
+    const std::vector<vptx::HitGroupRecord> &hitGroups() const
+    {
+        return compiled->hitGroups();
+    }
+    const std::vector<ShaderId> &missShaders() const
+    {
+        return compiled->missShaders();
+    }
+    bool fcc() const { return compiled->fcc(); }
 };
 
 /**
@@ -119,14 +175,14 @@ class Device
     }
 
     /**
-     * Host-only half of pipeline creation: validate the NIR shaders and
+     * Host-only half of pipeline creation: validate the NIR shaders,
      * translate them to one linked VPTX program (Algorithm 1, or
-     * Algorithm 3 when `fcc`), filling the hit-group / miss tables. The
-     * result touches no device memory (SBT addresses stay 0), so it is
-     * device-independent and cacheable across devices — the service
-     * artifact cache shares one translation between jobs.
+     * Algorithm 3 when `fcc`), fill the hit-group / miss tables, and
+     * pre-decode the micro-op stream. The result touches no device
+     * memory, so it is device-independent and shareable across devices —
+     * the service artifact cache hands one instance to every job.
      */
-    static RayTracingPipeline translatePipeline(
+    static std::shared_ptr<const CompiledPipeline> translatePipeline(
         const xlate::PipelineDesc &desc, bool fcc = false);
 
     /**

@@ -87,15 +87,12 @@ Workload::Workload(WorkloadId id, const WorkloadParams &params,
 
         buildShaders();
         pipelineKey_ = xlate::digestPipeline(pipeDesc_, params_.fcc);
-        std::shared_ptr<const RayTracingPipeline> translated =
-            artifacts->pipeline(
-                pipelineKey_,
-                [&] {
-                    return Device::translatePipeline(pipeDesc_,
-                                                     params_.fcc);
-                },
-                &pipelineCacheHit_);
-        pipeline_ = *translated; // host-side copy; SBT addresses are 0
+        pipeline_.compiled = artifacts->pipeline(
+            pipelineKey_,
+            [&] {
+                return Device::translatePipeline(pipeDesc_, params_.fcc);
+            },
+            &pipelineCacheHit_);
         device_.uploadShaderBindingTable(&pipeline_);
     } else {
         accel_ = device_.buildAccelerationStructure(scene_);

@@ -7,6 +7,7 @@
 #include "util/log.h"
 #include "vptx/context.h"
 #include "vptx/rtstack.h"
+#include "vptx/uop.h"
 
 namespace vksim::xlate {
 
@@ -698,6 +699,11 @@ std::uint64_t
 digestPipeline(const PipelineDesc &pipeline, bool fcc)
 {
     check::Digest d;
+    // Translation now produces the pre-decoded micro-op stream too, so
+    // its encoding version is part of the pipeline's identity: bumping
+    // it invalidates every cached / disk-stored compiled pipeline
+    // instead of letting a stale stream satisfy a new binary's key.
+    d.mix(static_cast<std::uint64_t>(vptx::kUopEncodingVersion));
     d.mix(fcc ? 1 : 0);
     d.mix(pipeline.shaders.size());
     for (const nir::Shader *shader : pipeline.shaders) {

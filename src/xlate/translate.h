@@ -53,11 +53,13 @@ vptx::Program translate(const PipelineDesc &pipeline,
                         const TranslateOptions &options = {});
 
 /**
- * Content digest of everything that determines the translated program
- * and SBT layout: every shader's IR (walked recursively), the raygen /
- * miss / hit-group tables, and the lowering mode (`fcc`). Two pipelines
- * with equal digests translate to identical vptx::Programs, so the
- * service artifact cache keys on this.
+ * Content digest of everything that determines the compiled pipeline:
+ * every shader's IR (walked recursively), the raygen / miss / hit-group
+ * tables, the lowering mode (`fcc`), and the micro-op encoding version
+ * (vptx::kUopEncodingVersion — translation pre-decodes the micro-op
+ * stream, so its encoding is part of the artifact's identity). Two
+ * pipelines with equal digests translate to identical vptx::Programs
+ * and micro-op streams, so the service artifact cache keys on this.
  */
 std::uint64_t digestPipeline(const PipelineDesc &pipeline, bool fcc);
 

@@ -19,6 +19,7 @@
 #include "core/vulkansim.h"
 #include "vptx/exec.h"
 #include "vptx/rtstack.h"
+#include "service/service.h"
 
 namespace vksim {
 namespace {
@@ -184,6 +185,51 @@ TEST(ReporterTest, CollectModeAccumulates)
     EXPECT_TRUE(rep.ok());
 }
 
+// --- the ExecBackend seam ----------------------------------------------
+
+// Both closest-hit backends — the functional reference tracer and the
+// timing side's traversal replay — answer the same queries through the
+// shared ExecBackend interface, and must agree bit-for-bit on rays with
+// no deferred shader work (the only rays RefTraceDiff compares).
+TEST(ExecBackendTest, BackendsAgreeThroughTheSeam)
+{
+    Workload w(WorkloadId::REF, tiny(WorkloadId::REF));
+    const GlobalMemory &gmem = *w.launch().gmem;
+    CpuTracer reference(w.scene(), gmem, w.accel());
+    RtReplayBackend replay(gmem, w.accel().tlasRoot);
+    EXPECT_STREQ(reference.name(), "reftrace");
+    EXPECT_STREQ(replay.name(), "rtreplay");
+
+    const ExecBackend *backends[2] = {&reference, &replay};
+    unsigned compared = 0;
+    for (unsigned y = 0; y < 16; y += 3) {
+        for (unsigned x = 0; x < 16; x += 3) {
+            Ray ray = w.scene().camera.generateRay(x, y, 16, 16);
+            // Deferred intersection/any-hit work is resolved only by
+            // the functional backend; compare the others' common ground.
+            RayTraversal probe(gmem, w.accel().tlasRoot, ray,
+                               kRayFlagNone);
+            probe.run();
+            if (!probe.deferred().empty())
+                continue;
+            ++compared;
+            HitRecord hits[2];
+            for (int b = 0; b < 2; ++b)
+                hits[b] = backends[b]->trace(ray, kRayFlagNone);
+            ASSERT_EQ(hits[0].valid(), hits[1].valid()) << x << "," << y;
+            if (hits[0].valid()) {
+                std::uint32_t bits[2];
+                std::memcpy(&bits[0], &hits[0].t, sizeof(float));
+                std::memcpy(&bits[1], &hits[1].t, sizeof(float));
+                EXPECT_EQ(bits[0], bits[1]) << x << "," << y;
+                EXPECT_EQ(hits[0].instanceIndex, hits[1].instanceIndex);
+                EXPECT_EQ(hits[0].primitiveIndex, hits[1].primitiveIndex);
+            }
+        }
+    }
+    EXPECT_GT(compared, 0u) << "sweep compared no rays";
+}
+
 // --- end-to-end: checker on real workloads -----------------------------
 
 TEST(CheckEndToEndTest, AccelCheckerAcceptsEveryBuilderOutput)
@@ -209,7 +255,7 @@ TEST(CheckEndToEndTest, FullCheckCleanOnSerialEngine)
     GpuConfig cfg = smallConfig(2);
     cfg.checkLevel = check::CheckLevel::Full;
     cfg.threads = 1;
-    RunResult r = simulateWorkload(w, cfg);
+    RunResult r = service::defaultService().submit(w, cfg).take().run;
     EXPECT_GT(r.cycles, 0u);
 }
 
@@ -219,7 +265,7 @@ TEST(CheckEndToEndTest, FullCheckCleanOnThreadedEngine)
     GpuConfig cfg = smallConfig(2);
     cfg.checkLevel = check::CheckLevel::Full;
     cfg.threads = 2;
-    RunResult r = simulateWorkload(w, cfg);
+    RunResult r = service::defaultService().submit(w, cfg).take().run;
     EXPECT_GT(r.cycles, 0u);
 }
 
@@ -231,7 +277,7 @@ TEST(CheckEndToEndTest, FullCheckCleanWithItsAndRtCache)
     cfg.useRtCache = true;
     cfg.checkLevel = check::CheckLevel::Full;
     cfg.threads = 1;
-    RunResult r = simulateWorkload(w, cfg);
+    RunResult r = service::defaultService().submit(w, cfg).take().run;
     EXPECT_GT(r.cycles, 0u);
 }
 
@@ -297,14 +343,14 @@ TEST(CheckEndToEndTest, InjectedDigestFaultIsLocalized)
     GpuConfig clean = smallConfig(2);
     clean.digestTrace = true;
     Workload w1(WorkloadId::TRI, p);
-    RunResult ref = simulateWorkload(w1, clean);
+    RunResult ref = service::defaultService().submit(w1, clean).take().run;
     ASSERT_GT(ref.digests.samples(), 600u);
 
     GpuConfig faulty = clean;
     faulty.digestInjectCycle = 512;
     faulty.digestInjectUnit = 1;
     Workload w2(WorkloadId::TRI, p);
-    RunResult fault = simulateWorkload(w2, faulty);
+    RunResult fault = service::defaultService().submit(w2, faulty).take().run;
 
     check::DigestTrace::Divergence d =
         ref.digests.firstDivergence(fault.digests);
@@ -334,12 +380,12 @@ TEST(CheckEndToEndTest, FullSweepsSkipSleepingUnits)
     cfg.threads = 1;
 
     Workload w_skip(WorkloadId::TRI, p);
-    RunResult skip = simulateWorkload(w_skip, cfg);
+    RunResult skip = service::defaultService().submit(w_skip, cfg).take().run;
 
     GpuConfig lockstep = cfg;
     lockstep.idleSkip = false;
     Workload w_lock(WorkloadId::TRI, p);
-    RunResult lock = simulateWorkload(w_lock, lockstep);
+    RunResult lock = service::defaultService().submit(w_lock, lockstep).take().run;
 
     // Identical observable behavior...
     EXPECT_EQ(skip.cycles, lock.cycles);
@@ -375,12 +421,12 @@ TEST(CheckEndToEndTest, SleepingUnitSweepIsDeferredToWake)
     GpuConfig lockstep = cfg;
     lockstep.idleSkip = false;
     Workload w_lock(WorkloadId::TRI, p);
-    RunResult lock = simulateWorkload(w_lock, lockstep);
+    RunResult lock = service::defaultService().submit(w_lock, lockstep).take().run;
     ASSERT_GT(lock.cycles, 64u);
     EXPECT_EQ(lock.sweepProbeHitCycle, 64u);
 
     Workload w_skip(WorkloadId::TRI, p);
-    RunResult skip = simulateWorkload(w_skip, cfg);
+    RunResult skip = service::defaultService().submit(w_skip, cfg).take().run;
     EXPECT_NE(skip.sweepProbeHitCycle, ~Cycle(0));
     EXPECT_GT(skip.sweepProbeHitCycle, 64u);
     // The final deep sweep (cycle == total cycles) is what re-covers it.
@@ -395,12 +441,12 @@ TEST(CheckEndToEndTest, SparseDigestTraceIsASubsequence)
     GpuConfig dense = smallConfig(2);
     dense.digestTrace = true;
     Workload w1(WorkloadId::TRI, p);
-    RunResult a = simulateWorkload(w1, dense);
+    RunResult a = service::defaultService().submit(w1, dense).take().run;
 
     GpuConfig sparse = dense;
     sparse.digestPeriod = 16;
     Workload w2(WorkloadId::TRI, p);
-    RunResult b = simulateWorkload(w2, sparse);
+    RunResult b = service::defaultService().submit(w2, sparse).take().run;
 
     ASSERT_EQ(a.digests.units, b.digests.units);
     for (std::size_t s = 0; s < b.digests.samples(); ++s)

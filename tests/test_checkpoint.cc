@@ -29,6 +29,7 @@
 #include "service/artifacts.h"
 #include "service/diskstore.h"
 #include "util/serial.h"
+#include "service/service.h"
 
 namespace vksim {
 namespace {
@@ -152,8 +153,8 @@ TEST_P(CheckpointRoundTripTest, RestoredRunMatchesOracle)
 
     const WorkloadParams params = paramsFor(id);
     Workload oracle_wl(id, params);
-    RunResult oracle = simulateWorkload(
-        oracle_wl, engineConfig(/*idle_skip=*/false, 1, /*epoch=*/1));
+    RunResult oracle = service::defaultService().submit(
+        oracle_wl, engineConfig(/*idle_skip=*/false, 1, /*epoch=*/1)).take().run;
     Image oracle_img = oracle_wl.readFramebuffer();
     const Cycle total = oracle.cycles;
     ASSERT_GT(total, 16u);
@@ -171,7 +172,7 @@ TEST_P(CheckpointRoundTripTest, RestoredRunMatchesOracle)
                 GpuConfig snap_cfg = engineConfig(skip, threads, epoch);
                 snap_cfg.checkpoint.snapshotAt = want;
                 Workload snap_wl(id, params);
-                RunResult snap_run = simulateWorkload(snap_wl, snap_cfg);
+                RunResult snap_run = service::defaultService().submit(snap_wl, snap_cfg).take().run;
 
                 // Capturing must not perturb the run it observes.
                 EXPECT_EQ(snap_run.cycles, oracle.cycles);
@@ -184,7 +185,7 @@ TEST_P(CheckpointRoundTripTest, RestoredRunMatchesOracle)
                 GpuConfig res_cfg = engineConfig(skip, threads, epoch);
                 res_cfg.checkpoint.resume = snap_run.snapshot;
                 Workload res_wl(id, params);
-                RunResult resumed = simulateWorkload(res_wl, res_cfg);
+                RunResult resumed = service::defaultService().submit(res_wl, res_cfg).take().run;
                 expectResumedRunMatches(oracle, oracle_img, resumed,
                                         res_wl);
             }
@@ -209,33 +210,33 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(CheckpointTest, SnapshotCrossesExecutionModes)
 {
     Workload oracle_wl(WorkloadId::TRI, tinyParams());
-    RunResult oracle = simulateWorkload(oracle_wl, engineConfig(false, 1, 1));
+    RunResult oracle = service::defaultService().submit(oracle_wl, engineConfig(false, 1, 1)).take().run;
     Image oracle_img = oracle_wl.readFramebuffer();
 
     GpuConfig threaded = engineConfig(true, 4, 64);
     threaded.checkpoint.snapshotAt = oracle.cycles / 2;
     Workload snap_wl(WorkloadId::TRI, tinyParams());
-    RunResult snap_run = simulateWorkload(snap_wl, threaded);
+    RunResult snap_run = service::defaultService().submit(snap_wl, threaded).take().run;
     ASSERT_NE(snap_run.snapshot, nullptr);
 
     // Threaded epoch-stepped snapshot -> serial lock-step engine.
     GpuConfig serial = engineConfig(false, 1, 1);
     serial.checkpoint.resume = snap_run.snapshot;
     Workload serial_wl(WorkloadId::TRI, tinyParams());
-    RunResult serial_run = simulateWorkload(serial_wl, serial);
+    RunResult serial_run = service::defaultService().submit(serial_wl, serial).take().run;
     expectResumedRunMatches(oracle, oracle_img, serial_run, serial_wl);
 
     // And back: serial lock-step snapshot -> threaded epoch engine.
     GpuConfig lockstep = engineConfig(false, 1, 1);
     lockstep.checkpoint.snapshotAt = oracle.cycles / 3;
     Workload lock_wl(WorkloadId::TRI, tinyParams());
-    RunResult lock_run = simulateWorkload(lock_wl, lockstep);
+    RunResult lock_run = service::defaultService().submit(lock_wl, lockstep).take().run;
     ASSERT_NE(lock_run.snapshot, nullptr);
 
     GpuConfig threaded2 = engineConfig(true, 4, 64);
     threaded2.checkpoint.resume = lock_run.snapshot;
     Workload threaded_wl(WorkloadId::TRI, tinyParams());
-    RunResult threaded_run = simulateWorkload(threaded_wl, threaded2);
+    RunResult threaded_run = service::defaultService().submit(threaded_wl, threaded2).take().run;
     expectResumedRunMatches(oracle, oracle_img, threaded_run, threaded_wl);
 }
 
@@ -247,7 +248,7 @@ snapshotCycle(const GpuConfig &base, Cycle at, bool exact)
     cfg.checkpoint.snapshotAt = at;
     cfg.checkpoint.exact = exact;
     Workload wl(WorkloadId::TRI, tinyParams());
-    RunResult run = simulateWorkload(wl, cfg);
+    RunResult run = service::defaultService().submit(wl, cfg).take().run;
     EXPECT_NE(run.snapshot, nullptr);
     return run.snapshot ? run.snapshot->cycle : ~Cycle(0);
 }
@@ -261,7 +262,7 @@ TEST(CheckpointTest, ExactSnapshotMustLandOnBarrier)
 {
     Workload plain_wl(WorkloadId::TRI, tinyParams());
     const Cycle total =
-        simulateWorkload(plain_wl, engineConfig(false, 1, 64)).cycles;
+        service::defaultService().submit(plain_wl, engineConfig(false, 1, 64)).take().run.cycles;
     ASSERT_GT(total, 16u);
 
     const GpuConfig epoch64 = engineConfig(false, 1, 64);
@@ -306,13 +307,13 @@ TEST(CheckpointTest, SnapshotBeyondEndOfRunIsAnError)
 {
     Workload plain_wl(WorkloadId::TRI, tinyParams());
     const Cycle total =
-        simulateWorkload(plain_wl, engineConfig(false, 1, 1)).cycles;
+        service::defaultService().submit(plain_wl, engineConfig(false, 1, 1)).take().run.cycles;
 
     GpuConfig cfg = engineConfig(false, 1, 1);
     cfg.checkpoint.snapshotAt = total * 2;
     Workload wl(WorkloadId::TRI, tinyParams());
     try {
-        simulateWorkload(wl, cfg);
+        service::defaultService().submit(wl, cfg).take().run;
         FAIL() << "snapshot request beyond the run did not throw";
     } catch (const SimError &e) {
         EXPECT_NE(std::string(e.what()).find("never reached"),
@@ -328,7 +329,7 @@ TEST(CheckpointTest, ResumeRejectsDifferentStructuralConfig)
     GpuConfig cfg = engineConfig(false, 1, 1);
     Workload wl(WorkloadId::TRI, tinyParams());
     cfg.checkpoint.snapshotAt = 64;
-    RunResult run = simulateWorkload(wl, cfg);
+    RunResult run = service::defaultService().submit(wl, cfg).take().run;
     ASSERT_NE(run.snapshot, nullptr);
 
     GpuConfig other = engineConfig(false, 1, 1);
@@ -336,7 +337,7 @@ TEST(CheckpointTest, ResumeRejectsDifferentStructuralConfig)
     other.checkpoint.resume = run.snapshot;
     Workload other_wl(WorkloadId::TRI, tinyParams());
     try {
-        simulateWorkload(other_wl, other);
+        service::defaultService().submit(other_wl, other).take().run;
         FAIL() << "resume under a different structural config did not "
                   "throw";
     } catch (const SimError &e) {
@@ -382,14 +383,14 @@ TEST(CheckpointTest, AutoCheckpointWritesResumableFile)
     const std::string path = dir + "/job.ckpt";
 
     Workload oracle_wl(WorkloadId::TRI, tinyParams());
-    RunResult oracle = simulateWorkload(oracle_wl, engineConfig(false, 1, 1));
+    RunResult oracle = service::defaultService().submit(oracle_wl, engineConfig(false, 1, 1)).take().run;
     Image oracle_img = oracle_wl.readFramebuffer();
 
     GpuConfig cfg = engineConfig(false, 1, 64);
     cfg.checkpoint.every = std::max<Cycle>(64, oracle.cycles / 4);
     cfg.checkpoint.path = path;
     Workload wl(WorkloadId::TRI, tinyParams());
-    RunResult run = simulateWorkload(wl, cfg);
+    RunResult run = service::defaultService().submit(wl, cfg).take().run;
     EXPECT_EQ(run.cycles, oracle.cycles);
 
     EngineSnapshot snap = readSnapshotFile(path);
@@ -401,7 +402,7 @@ TEST(CheckpointTest, AutoCheckpointWritesResumableFile)
     res_cfg.checkpoint.resume =
         std::make_shared<EngineSnapshot>(std::move(snap));
     Workload res_wl(WorkloadId::TRI, tinyParams());
-    RunResult resumed = simulateWorkload(res_wl, res_cfg);
+    RunResult resumed = service::defaultService().submit(res_wl, res_cfg).take().run;
     expectResumedRunMatches(oracle, oracle_img, resumed, res_wl);
 }
 
@@ -651,7 +652,6 @@ TEST(DiskStoreTest, CacheLayersOverDiskAcrossProcessLifetimes)
 
 TEST(DiskStoreTest, PipelineCodecRoundTrips)
 {
-    RayTracingPipeline pipeline;
     vptx::Instr instr{};
     instr.op = static_cast<vptx::Opcode>(3);
     instr.dst = 4;
@@ -662,36 +662,41 @@ TEST(DiskStoreTest, PipelineCodecRoundTrips)
     instr.target = 12;
     instr.reconv = 34;
     instr.imm = 0x123456789abcdef0ull;
-    pipeline.program.code = {instr};
+    vptx::Program prog;
+    prog.code = {instr};
     vptx::ShaderInfo shader;
     shader.name = "raygen_main";
     shader.stage = static_cast<vptx::ShaderStage>(0);
     shader.entryPc = 0;
     shader.numRegs = 24;
-    pipeline.program.shaders = {shader};
-    pipeline.program.raygenShader = 0;
-    pipeline.hitGroups.push_back({1, -1, 2, 0});
-    pipeline.missShaders = {3};
-    pipeline.fcc = true;
+    prog.shaders = {shader};
+    prog.raygenShader = 0;
+    CompiledPipeline pipeline(std::move(prog), {{1, -1, 2, 0}}, {3}, true);
 
     serial::Writer w;
     service::encodePipeline(w, pipeline);
     serial::Reader r(w.buffer());
-    RayTracingPipeline back = service::decodePipeline(r);
+    CompiledPipeline back = service::decodePipeline(r);
     EXPECT_TRUE(r.done());
-    ASSERT_EQ(back.program.code.size(), 1u);
-    EXPECT_EQ(back.program.code[0].op, instr.op);
-    EXPECT_EQ(back.program.code[0].dst, instr.dst);
-    EXPECT_EQ(back.program.code[0].src0, instr.src0);
-    EXPECT_EQ(back.program.code[0].imm, instr.imm);
-    ASSERT_EQ(back.program.shaders.size(), 1u);
-    EXPECT_EQ(back.program.shaders[0].name, "raygen_main");
-    EXPECT_EQ(back.program.shaders[0].numRegs, 24u);
-    ASSERT_EQ(back.hitGroups.size(), 1u);
-    EXPECT_EQ(back.hitGroups[0].closestHit, 1);
-    EXPECT_EQ(back.hitGroups[0].anyHit, -1);
-    EXPECT_EQ(back.missShaders, pipeline.missShaders);
-    EXPECT_TRUE(back.fcc);
+    ASSERT_EQ(back.program().code.size(), 1u);
+    EXPECT_EQ(back.program().code[0].op, instr.op);
+    EXPECT_EQ(back.program().code[0].dst, instr.dst);
+    EXPECT_EQ(back.program().code[0].src0, instr.src0);
+    EXPECT_EQ(back.program().code[0].imm, instr.imm);
+    ASSERT_EQ(back.program().shaders.size(), 1u);
+    EXPECT_EQ(back.program().shaders[0].name, "raygen_main");
+    EXPECT_EQ(back.program().shaders[0].numRegs, 24u);
+    ASSERT_EQ(back.hitGroups().size(), 1u);
+    EXPECT_EQ(back.hitGroups()[0].closestHit, 1);
+    EXPECT_EQ(back.hitGroups()[0].anyHit, -1);
+    EXPECT_EQ(back.missShaders(), pipeline.missShaders());
+    EXPECT_TRUE(back.fcc());
+    // The micro-op stream is never serialized — decode rebuilds it, and
+    // it must match one built directly from the same program.
+    ASSERT_EQ(back.uops().size(), pipeline.uops().size());
+    EXPECT_EQ(back.uops().at(0).op, pipeline.uops().at(0).op);
+    EXPECT_EQ(back.uops().at(0).dst, pipeline.uops().at(0).dst);
+    EXPECT_EQ(back.uops().at(0).imm, pipeline.uops().at(0).imm);
 }
 
 } // namespace

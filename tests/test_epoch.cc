@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "core/vulkansim.h"
+#include "service/service.h"
 
 namespace vksim {
 namespace {
@@ -52,14 +53,14 @@ TEST(EpochEngineTest, EpochLengthIsClampedToSkewBound)
     const unsigned bound = cfg.fabric.l2.latency + cfg.fabric.icntLatency;
 
     Workload w(WorkloadId::TRI, tinyParams());
-    RunResult run = simulateWorkload(w, cfg);
+    RunResult run = service::defaultService().submit(w, cfg).take().run;
     EXPECT_EQ(run.epochCyclesUsed, bound);
 }
 
 TEST(EpochEngineTest, RequestedEpochBelowBoundIsUsedVerbatim)
 {
     Workload w(WorkloadId::TRI, tinyParams());
-    RunResult run = simulateWorkload(w, epochConfig(32));
+    RunResult run = service::defaultService().submit(w, epochConfig(32)).take().run;
     EXPECT_EQ(run.epochCyclesUsed, 32u);
 }
 
@@ -71,7 +72,7 @@ TEST(EpochEngineTest, FullCheckLevelForcesLockStep)
     GpuConfig cfg = epochConfig(64);
     cfg.checkLevel = check::CheckLevel::Full;
     Workload w(WorkloadId::TRI, tinyParams());
-    RunResult run = simulateWorkload(w, cfg);
+    RunResult run = service::defaultService().submit(w, cfg).take().run;
     EXPECT_EQ(run.epochCyclesUsed, 1u);
 }
 
@@ -81,7 +82,7 @@ TEST(EpochEngineTest, ZeroEpochCyclesIsRejected)
     EXPECT_THROW(
         {
             Workload w(WorkloadId::TRI, tinyParams());
-            simulateWorkload(w, cfg);
+            service::defaultService().submit(w, cfg).take().run;
         },
         std::invalid_argument);
 }
@@ -106,9 +107,9 @@ TEST(EpochEngineTest, InjectedFaultIsLocalizedInsideAnEpoch)
     faulty_cfg.digestInjectUnit = 3;
 
     Workload ref_wl(WorkloadId::TRI, tinyParams());
-    RunResult ref = simulateWorkload(ref_wl, ref_cfg);
+    RunResult ref = service::defaultService().submit(ref_wl, ref_cfg).take().run;
     Workload faulty_wl(WorkloadId::TRI, tinyParams());
-    RunResult faulty = simulateWorkload(faulty_wl, faulty_cfg);
+    RunResult faulty = service::defaultService().submit(faulty_wl, faulty_cfg).take().run;
 
     auto div = ref.digests.firstDivergence(faulty.digests);
     ASSERT_TRUE(div.diverged);
@@ -129,9 +130,9 @@ TEST(EpochEngineTest, InjectedFabricFaultIsLocalizedInsideAnEpoch)
     faulty_cfg.digestInjectUnit = ref_cfg.numSms; // the fabric slot
 
     Workload ref_wl(WorkloadId::TRI, tinyParams());
-    RunResult ref = simulateWorkload(ref_wl, ref_cfg);
+    RunResult ref = service::defaultService().submit(ref_wl, ref_cfg).take().run;
     Workload faulty_wl(WorkloadId::TRI, tinyParams());
-    RunResult faulty = simulateWorkload(faulty_wl, faulty_cfg);
+    RunResult faulty = service::defaultService().submit(faulty_wl, faulty_cfg).take().run;
 
     auto div = ref.digests.firstDivergence(faulty.digests);
     ASSERT_TRUE(div.diverged);
@@ -151,9 +152,9 @@ TEST(EpochEngineTest, NoIdleSkipEpochMatchesLockStep)
     epoch_cfg.idleSkip = false;
 
     Workload ref_wl(WorkloadId::TRI, tinyParams());
-    RunResult ref = simulateWorkload(ref_wl, ref_cfg);
+    RunResult ref = service::defaultService().submit(ref_wl, ref_cfg).take().run;
     Workload epoch_wl(WorkloadId::TRI, tinyParams());
-    RunResult epoch = simulateWorkload(epoch_wl, epoch_cfg);
+    RunResult epoch = service::defaultService().submit(epoch_wl, epoch_cfg).take().run;
 
     EXPECT_EQ(ref.cycles, epoch.cycles);
     EXPECT_EQ(ref.metrics.toJson(), epoch.metrics.toJson());

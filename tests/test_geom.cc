@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 
+#include "accel/nodetest.h"
 #include "geom/intersect.h"
 #include "geom/mat4.h"
 #include "geom/sampling.h"
@@ -383,6 +386,173 @@ TEST(SamplingTest, RefractionObeySnellAndTir)
     // Total internal reflection going from dense to sparse at grazing angle.
     Vec3 grazing = normalize(Vec3{1.f, -0.1f, 0.f});
     EXPECT_FALSE(refractDir(grazing, n, 1.5f, &out));
+}
+
+// --- SIMD vs scalar six-wide node test ----------------------------------
+
+namespace {
+
+/**
+ * Run nodeTest6() and nodeTest6Scalar() on the same inputs and require
+ * bit-identical hit masks and entry distances; untouched t_entry slots
+ * (missed children, padding) must keep their sentinel bytes on both
+ * paths.
+ */
+void
+expectNodeTestEquivalent(const InternalNode &node, const Ray &ray,
+                         unsigned child_count, const char *what)
+{
+    Vec3 inv = safeInverse(ray.direction);
+    float ts[6], tv[6];
+    std::memset(ts, 0xCD, sizeof(ts));
+    std::memset(tv, 0xCD, sizeof(tv));
+    unsigned ms = nodeTest6Scalar(node, ray, inv, child_count, ts);
+    unsigned mv = nodeTest6(node, ray, inv, child_count, tv);
+    EXPECT_EQ(ms, mv) << what;
+    // Bit compare: catches -0.0 vs 0.0, NaN payloads and sentinel
+    // clobbers that a float compare would miss.
+    EXPECT_EQ(0, std::memcmp(ts, tv, sizeof(ts))) << what;
+}
+
+InternalNode
+makeNode(float origin_x, float origin_y, float origin_z, int exp_all)
+{
+    InternalNode node{};
+    node.originX = origin_x;
+    node.originY = origin_y;
+    node.originZ = origin_z;
+    node.expX = static_cast<std::int8_t>(exp_all);
+    node.expY = static_cast<std::int8_t>(exp_all);
+    node.expZ = static_cast<std::int8_t>(exp_all);
+    node.childCount = 6;
+    return node;
+}
+
+void
+setChildBox(InternalNode &node, unsigned i, std::uint8_t lo,
+            std::uint8_t hi)
+{
+    for (int axis = 0; axis < 3; ++axis) {
+        node.qlo[i][axis] = lo;
+        node.qhi[i][axis] = hi;
+    }
+}
+
+} // namespace
+
+TEST(NodeTestSimdTest, DegenerateBoxesMatchScalar)
+{
+    // Child 0: normal box. Child 1: zero-extent (qlo == qhi).
+    // Child 2: inverted (qlo > qhi, never hittable via the slab order).
+    // Child 3: full-range box. Child 4: sliver on one axis.
+    // Child 5: inverted on a single axis only.
+    InternalNode node = makeNode(-4.f, -4.f, -4.f, -5);
+    setChildBox(node, 0, 10, 200);
+    setChildBox(node, 1, 128, 128);
+    setChildBox(node, 2, 200, 10);
+    setChildBox(node, 3, 0, 255);
+    setChildBox(node, 4, 60, 200);
+    node.qhi[4][1] = 60;
+    setChildBox(node, 5, 20, 220);
+    node.qlo[5][2] = 230;
+
+    const Ray rays[] = {
+        {{-10.f, 0.f, 0.f}, 0.f, {1.f, 0.02f, 0.01f}, 1e30f},
+        {{0.f, 0.f, 0.f}, 0.f, {0.3f, 0.4f, 0.5f}, 1e30f},  // origin inside
+        {{-10.f, 0.f, 0.f}, 0.f, {-1.f, 0.f, 0.f}, 1e30f},  // points away
+        {{-10.f, 0.f, 0.f}, 0.f, {1.f, 0.f, 0.f}, 1e30f},   // axis-parallel
+        {{-10.f, -4.f, -4.f}, 0.f, {1.f, 0.f, 0.f}, 1e30f}, // on slab plane
+        {{0.f, -10.f, 0.f}, 0.f, {0.f, 1.f, 0.f}, 1e30f},
+        {{0.f, 0.f, 0.f}, 0.f, {0.f, 0.f, 0.f}, 1e30f},     // null direction
+        {{-10.f, 0.f, 0.f}, 5.f, {1.f, 0.f, 0.f}, 6.f},     // tight interval
+        {{-10.f, 0.f, 0.f}, 6.f, {1.f, 0.f, 0.f}, 5.f},     // empty interval
+        {{-10.f, 0.f, 0.f}, 0.f, {1.f, 0.f, 0.f}, 0.f},     // tmax == 0
+    };
+    for (std::size_t r = 0; r < sizeof(rays) / sizeof(rays[0]); ++r) {
+        SCOPED_TRACE(r);
+        for (unsigned count = 1; count <= 6; ++count)
+            expectNodeTestEquivalent(node, rays[r], count, "degenerate");
+    }
+}
+
+TEST(NodeTestSimdTest, NonFiniteBoundsMatchScalar)
+{
+    // Quantization extremes: exponent 120 with 8-bit payloads overflows
+    // the dequantized maxima to huge/inf values, and an inf origin makes
+    // lo - o produce inf/NaN inside the slab arithmetic. The SIMD path
+    // must reproduce the scalar NaN-compare behaviour bit for bit.
+    InternalNode huge = makeNode(0.f, 0.f, 0.f, 120);
+    for (unsigned i = 0; i < 6; ++i)
+        setChildBox(huge, i, static_cast<std::uint8_t>(i * 40),
+                    static_cast<std::uint8_t>(i * 40 + 80));
+
+    InternalNode inf_origin =
+        makeNode(std::numeric_limits<float>::infinity(), 0.f, 0.f, -3);
+    for (unsigned i = 0; i < 6; ++i)
+        setChildBox(inf_origin, i, 10, 200);
+
+    InternalNode nan_origin =
+        makeNode(std::numeric_limits<float>::quiet_NaN(), 1.f, 1.f, -3);
+    for (unsigned i = 0; i < 6; ++i)
+        setChildBox(nan_origin, i, 10, 200);
+
+    const Ray rays[] = {
+        {{0.f, 0.f, 0.f}, 0.f, {1.f, 1.f, 1.f}, 1e30f},
+        {{std::numeric_limits<float>::infinity(), 0.f, 0.f},
+         0.f,
+         {1.f, 0.5f, 0.25f},
+         1e30f},
+        {{0.f, 0.f, 0.f}, 0.f, {0.f, 1.f, 0.f}, 1e30f}, // axis-parallel
+        {{1e38f, 1e38f, 1e38f}, 0.f, {-1.f, -1.f, -1.f}, 1e30f},
+        {{0.f, 0.f, 0.f},
+         0.f,
+         {std::numeric_limits<float>::quiet_NaN(), 1.f, 1.f},
+         1e30f},
+    };
+    const InternalNode *nodes[] = {&huge, &inf_origin, &nan_origin};
+    for (std::size_t n = 0; n < 3; ++n)
+        for (std::size_t r = 0; r < sizeof(rays) / sizeof(rays[0]); ++r) {
+            SCOPED_TRACE(n * 100 + r);
+            expectNodeTestEquivalent(*nodes[n], rays[r], 6, "non-finite");
+        }
+}
+
+TEST(NodeTestSimdTest, RandomSweepMatchesScalar)
+{
+    Pcg32 rng(2026);
+    for (int trial = 0; trial < 2000; ++trial) {
+        InternalNode node = makeNode(rng.nextRange(-50.f, 50.f),
+                                     rng.nextRange(-50.f, 50.f),
+                                     rng.nextRange(-50.f, 50.f),
+                                     static_cast<int>(rng.nextBelow(24)) - 16);
+        unsigned count = 1 + rng.nextBelow(6);
+        node.childCount = static_cast<std::uint8_t>(count);
+        for (unsigned i = 0; i < count; ++i)
+            for (int axis = 0; axis < 3; ++axis) {
+                // ~1/8 of boxes inverted or zero-extent on an axis.
+                std::uint8_t a = static_cast<std::uint8_t>(rng.nextBelow(256));
+                std::uint8_t b = static_cast<std::uint8_t>(rng.nextBelow(256));
+                if (rng.nextBelow(8) != 0 && a > b)
+                    std::swap(a, b);
+                node.qlo[i][axis] = a;
+                node.qhi[i][axis] = b;
+            }
+
+        Ray ray;
+        ray.origin = {rng.nextRange(-80.f, 80.f), rng.nextRange(-80.f, 80.f),
+                      rng.nextRange(-80.f, 80.f)};
+        // Zero a direction component in ~1/4 of rays per axis to hit
+        // the containment path; leave the rest unnormalized.
+        ray.direction = {rng.nextBelow(4) == 0 ? 0.f
+                                               : rng.nextRange(-2.f, 2.f),
+                         rng.nextBelow(4) == 0 ? 0.f
+                                               : rng.nextRange(-2.f, 2.f),
+                         rng.nextBelow(4) == 0 ? 0.f
+                                               : rng.nextRange(-2.f, 2.f)};
+        ray.tmin = rng.nextBelow(4) == 0 ? rng.nextRange(0.f, 100.f) : 0.f;
+        ray.tmax = rng.nextBelow(4) == 0 ? rng.nextRange(0.f, 100.f) : 1e30f;
+        expectNodeTestEquivalent(node, ray, count, "random sweep");
+    }
 }
 
 } // namespace

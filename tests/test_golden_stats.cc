@@ -26,6 +26,7 @@
 
 #include "core/vulkansim.h"
 #include "util/jsonio.h"
+#include "service/service.h"
 
 #ifndef VKSIM_GOLDEN_DIR
 #error "VKSIM_GOLDEN_DIR must point at tests/golden (set by CMake)"
@@ -156,7 +157,7 @@ TEST_P(GoldenStatsTest, MatchesCheckedInGolden)
 {
     auto id = static_cast<WorkloadId>(GetParam());
     Workload workload(id, goldenParams());
-    RunResult run = simulateWorkload(workload, goldenConfig());
+    RunResult run = service::defaultService().submit(workload, goldenConfig()).take().run;
     std::string current = run.metrics.toJson();
     current += "\n";
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/vulkansim.h"
+#include "service/service.h"
 
 namespace vksim {
 namespace {
@@ -42,7 +43,7 @@ TEST(GpuTest, RunsAreDeterministic)
     Cycle first = 0;
     for (int run = 0; run < 3; ++run) {
         Workload w(WorkloadId::REF, tiny(WorkloadId::REF));
-        RunResult r = simulateWorkload(w, smallConfig());
+        RunResult r = service::defaultService().submit(w, smallConfig()).take().run;
         if (run == 0)
             first = r.cycles;
         else
@@ -56,9 +57,9 @@ TEST(GpuTest, MoreSmsNeverSlower)
     p.width = 32;
     p.height = 32;
     Workload w1(WorkloadId::EXT, p);
-    Cycle one_sm = simulateWorkload(w1, smallConfig(1)).cycles;
+    Cycle one_sm = service::defaultService().submit(w1, smallConfig(1)).take().run.cycles;
     Workload w4(WorkloadId::EXT, p);
-    Cycle four_sm = simulateWorkload(w4, smallConfig(4)).cycles;
+    Cycle four_sm = service::defaultService().submit(w4, smallConfig(4)).take().run.cycles;
     EXPECT_LT(four_sm, one_sm);
 }
 
@@ -70,7 +71,7 @@ TEST(GpuTest, WarpLimitRespectsRegisterFile)
     Workload w(WorkloadId::REF, p);
     GpuConfig cfg = smallConfig(2);
     cfg.regsPerSm = 8192; // few warps worth of registers
-    RunResult run = simulateWorkload(w, cfg);
+    RunResult run = service::defaultService().submit(w, cfg).take().run;
     EXPECT_GT(run.cycles, 0u);
     EXPECT_EQ(compareImages(w.readFramebuffer(), w.renderReferenceImage())
                   .differingPixels,
@@ -81,12 +82,12 @@ TEST(GpuTest, HigherLatencyMemorySlowsExecution)
 {
     WorkloadParams p = tiny(WorkloadId::EXT);
     Workload w1(WorkloadId::EXT, p);
-    Cycle fast = simulateWorkload(w1, smallConfig()).cycles;
+    Cycle fast = service::defaultService().submit(w1, smallConfig()).take().run.cycles;
     GpuConfig slow_cfg = smallConfig();
     slow_cfg.l1.latency = 80;
     slow_cfg.fabric.l2.latency = 500;
     Workload w2(WorkloadId::EXT, p);
-    Cycle slow = simulateWorkload(w2, slow_cfg).cycles;
+    Cycle slow = service::defaultService().submit(w2, slow_cfg).take().run.cycles;
     EXPECT_GT(slow, fast);
 }
 
@@ -97,7 +98,7 @@ TEST(GpuTest, SmallerL1IncreasesMisses)
         Workload w(WorkloadId::EXT, p);
         GpuConfig cfg = smallConfig();
         cfg.l1.sizeBytes = l1_size;
-        RunResult r = simulateWorkload(w, cfg);
+        RunResult r = service::defaultService().submit(w, cfg).take().run;
         return r.l1.get("miss_capacity_conflict.shader")
                + r.l1.get("miss_capacity_conflict.rtunit");
     };
@@ -117,12 +118,12 @@ TEST(GpuTest, IssueWidthImprovesThroughput)
     GpuConfig narrow = smallConfig(2);
     narrow.rt.perfectBvh = true;
     narrow.issueWidth = 1;
-    Cycle one = simulateWorkload(w1, narrow).cycles;
+    Cycle one = service::defaultService().submit(w1, narrow).take().run.cycles;
     Workload w2(WorkloadId::REF, p);
     GpuConfig wide = smallConfig(2);
     wide.rt.perfectBvh = true;
     wide.issueWidth = 2;
-    Cycle two = simulateWorkload(w2, wide).cycles;
+    Cycle two = service::defaultService().submit(w2, wide).take().run.cycles;
     EXPECT_LT(two, one);
 }
 
@@ -134,7 +135,7 @@ TEST(GpuTest, RtStallCounterFiresWhenUnitSaturated)
     Workload w(WorkloadId::EXT, p);
     GpuConfig cfg = smallConfig(1);
     cfg.rt.maxWarps = 1; // single RT slot: issue stalls expected
-    RunResult run = simulateWorkload(w, cfg);
+    RunResult run = service::defaultService().submit(w, cfg).take().run;
     EXPECT_GT(run.core.get("stall_rt_full"), 0u);
 }
 
@@ -144,7 +145,7 @@ TEST(GpuTest, AllIssuedWorkIsAccounted)
         Workload w(WorkloadId::RTV6, tiny(WorkloadId::RTV6));
         GpuConfig cfg = smallConfig();
         cfg.sched = sched;
-        RunResult run = simulateWorkload(w, cfg);
+        RunResult run = service::defaultService().submit(w, cfg).take().run;
         // Per-unit issue counts sum to the total.
         EXPECT_EQ(run.core.get("issued"),
                   run.core.get("issue_alu") + run.core.get("issue_sfu")
@@ -167,7 +168,7 @@ TEST(GpuTest, FunctionalAndTimedInstructionCountsMatch)
     wf.runFunctional(vptx::WarpCflow::Mode::Stack, &fstats);
 
     Workload wt(WorkloadId::REF, p);
-    RunResult run = simulateWorkload(wt, smallConfig());
+    RunResult run = service::defaultService().submit(wt, smallConfig()).take().run;
     EXPECT_EQ(run.core.get("issued"), fstats.get("instructions"));
 }
 
@@ -177,9 +178,9 @@ TEST(GpuTest, MobileConfigIsSlowerThanBaseline)
     p.width = 32;
     p.height = 32;
     Workload w1(WorkloadId::EXT, p);
-    Cycle base = simulateWorkload(w1, baselineGpuConfig()).cycles;
+    Cycle base = service::defaultService().submit(w1, baselineGpuConfig()).take().run.cycles;
     Workload w2(WorkloadId::EXT, p);
-    Cycle mobile = simulateWorkload(w2, mobileGpuConfig()).cycles;
+    Cycle mobile = service::defaultService().submit(w2, mobileGpuConfig()).take().run.cycles;
     EXPECT_GT(mobile, base) << "8 SMs with half bandwidth must be slower";
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/vulkansim.h"
+#include "service/service.h"
 
 namespace vksim {
 namespace {
@@ -99,8 +100,8 @@ TEST_P(IdleSkipEquivalenceTest, BitIdenticalToLockStep)
     // The lock-step reference: every unit cycled every cycle, one
     // barrier per cycle (epochCycles = 1 pins the oracle engine).
     Workload ref_wl(id, tinyParams());
-    RunResult ref = simulateWorkload(
-        ref_wl, engineConfig(/*idle_skip=*/false, 1, /*epoch_cycles=*/1));
+    RunResult ref = service::defaultService().submit(
+        ref_wl, engineConfig(/*idle_skip=*/false, 1, /*epoch_cycles=*/1)).take().run;
     Image ref_img = ref_wl.readFramebuffer();
     EXPECT_EQ(ref.smCyclesSkipped, 0u);
     EXPECT_EQ(ref.epochCyclesUsed, 1u);
@@ -108,8 +109,8 @@ TEST_P(IdleSkipEquivalenceTest, BitIdenticalToLockStep)
     for (unsigned epoch : {1u, 32u, 128u}) {
         for (unsigned threads : {1u, 4u}) {
             Workload skip_wl(id, tinyParams());
-            RunResult skip = simulateWorkload(
-                skip_wl, engineConfig(/*idle_skip=*/true, threads, epoch));
+            RunResult skip = service::defaultService().submit(
+                skip_wl, engineConfig(/*idle_skip=*/true, threads, epoch)).take().run;
             expectSameRun(ref, skip);
             EXPECT_EQ(ref_img.data(), skip_wl.readFramebuffer().data())
                 << "framebuffer differs at " << threads << " threads, "
@@ -133,7 +134,7 @@ TEST(IdleSkipTest, ColdSmsAreSkipped)
     p.width = 8;
     p.height = 4; // one warp on an 8-SM machine
     Workload w(WorkloadId::TRI, p);
-    RunResult run = simulateWorkload(w, engineConfig(true, 1, 64));
+    RunResult run = service::defaultService().submit(w, engineConfig(true, 1, 64)).take().run;
     // Seven SMs sleep essentially the whole run.
     EXPECT_GT(run.smCyclesSkipped, 6u * run.cycles);
 }

@@ -20,6 +20,7 @@
 #include "util/jsonio.h"
 #include "util/metrics.h"
 #include "util/timeline.h"
+#include "service/service.h"
 
 namespace vksim {
 namespace {
@@ -355,7 +356,7 @@ TEST(TimelineTest, FullRunTraceParsesBack)
     config.timeline.sampleInterval = 32;
 
     wl::Workload workload(wl::WorkloadId::TRI, params);
-    RunResult run = simulateWorkload(workload, config);
+    RunResult run = service::defaultService().submit(workload, config).take().run;
     EXPECT_GT(run.metrics.gaugeValue("timeline.events"), 0.0);
 
     std::string text, error;
@@ -398,7 +399,7 @@ TEST(RunMetricsTest, RegistryMirrorsLegacyGroupsAndAddsDerived)
     config.threads = 1;
 
     wl::Workload workload(wl::WorkloadId::TRI, params);
-    RunResult run = simulateWorkload(workload, config);
+    RunResult run = service::defaultService().submit(workload, config).take().run;
 
     // Counters mirror the merged legacy groups exactly.
     EXPECT_EQ(run.metrics.get("gpu.core.issued"), run.core.get("issued"));

@@ -18,6 +18,7 @@
 #include "core/vulkansim.h"
 #include "util/rng.h"
 #include "util/threadpool.h"
+#include "service/service.h"
 
 namespace vksim {
 namespace {
@@ -180,7 +181,7 @@ TEST_P(EngineDeterminismTest, IdenticalAcrossThreadCounts)
     Image serial_img(1, 1);
     for (unsigned threads : {1u, 2u, 8u}) {
         Workload workload(id, tinyParams());
-        RunResult run = simulateWorkload(workload, engineConfig(threads));
+        RunResult run = service::defaultService().submit(workload, engineConfig(threads)).take().run;
         EXPECT_EQ(run.threadsUsed, std::min(threads, 4u)); // capped at SMs
         Image img = workload.readFramebuffer();
         if (threads == 1) {

@@ -70,9 +70,10 @@ struct RtFixture
 
         warp.warpId = 0;
         vptx::TraverseState &ts = warp.pendingTraverses[1];
-        ts.lanes.resize(kWarpSize);
+        const vptx::Mask mask =
+            lanes >= kWarpSize ? ~vptx::Mask(0) : (vptx::Mask(1) << lanes) - 1;
+        ts.reset(mask);
         for (unsigned lane = 0; lane < lanes; ++lane) {
-            ts.mask |= 1u << lane;
             Addr frame = ctx.frameBase(lane, 0);
             Ray ray = scene.camera.generateRay(lane * 4, 24, 48, 48);
             gmem.store<float>(frame + vptx::frame::kRayOriginX,
@@ -89,9 +90,9 @@ struct RtFixture
             gmem.store<float>(frame + vptx::frame::kRayDirZ,
                               ray.direction.z);
             gmem.store<float>(frame + vptx::frame::kRayTmax, ray.tmax);
-            ts.lanes[lane].frameBase = frame;
-            ts.lanes[lane].traversal = vptx::rt_runtime::makeTraversal(
-                gmem, accel.tlasRoot, frame);
+            ts.addRay(lane, frame,
+                      vptx::rt_runtime::makeTraversal(gmem, accel.tlasRoot,
+                                                      frame));
         }
     }
 
@@ -139,7 +140,7 @@ TEST(RtUnitTest, TraversesCompleteAndMatchFunctionalResults)
     // Reference: run identical traversals functionally.
     RtFixture ref(8);
     for (unsigned lane = 0; lane < 8; ++lane)
-        ref.warp.pendingTraverses[1].lanes[lane].traversal->run();
+        ref.warp.pendingTraverses[1].ray(lane)->run();
 
     RtUnit unit = fx.makeUnit();
     unit.submit(&fx.warp, 1, 0);
@@ -157,10 +158,8 @@ TEST(RtUnitTest, TraversesCompleteAndMatchFunctionalResults)
     EXPECT_GT(now, 10u) << "timed traversal must take real cycles";
 
     for (unsigned lane = 0; lane < 8; ++lane) {
-        const auto &timed =
-            fx.warp.pendingTraverses[1].lanes[lane].traversal;
-        const auto &func =
-            ref.warp.pendingTraverses[1].lanes[lane].traversal;
+        const RayTraversal *timed = fx.warp.pendingTraverses[1].ray(lane);
+        const RayTraversal *func = ref.warp.pendingTraverses[1].ray(lane);
         ASSERT_TRUE(timed->done());
         EXPECT_EQ(timed->hit().valid(), func->hit().valid()) << lane;
         if (timed->hit().valid()) {
@@ -175,10 +174,13 @@ TEST(RtUnitTest, IdenticalLaneRequestsAreMerged)
     // All lanes trace the same ray: the root fetch must merge into a
     // single memory request (paper Sec. III-C3).
     RtFixture fx(8);
-    auto &lanes = fx.warp.pendingTraverses[1].lanes;
-    for (unsigned lane = 1; lane < 8; ++lane) {
-        lanes[lane].traversal = vptx::rt_runtime::makeTraversal(
-            fx.gmem, fx.accel.tlasRoot, lanes[0].frameBase);
+    vptx::TraverseState &ts = fx.warp.pendingTraverses[1];
+    const Addr frame0 = ts.frameBase(0);
+    ts.reset(ts.mask);
+    for (unsigned lane = 0; lane < 8; ++lane) {
+        ts.addRay(lane, fx.ctx.frameBase(lane, 0),
+                  vptx::rt_runtime::makeTraversal(fx.gmem, fx.accel.tlasRoot,
+                                                  frame0));
     }
     RtUnit unit = fx.makeUnit();
     unit.submit(&fx.warp, 1, 0);
@@ -302,7 +304,7 @@ TEST(RtUnitTest, ChunkAccountingSurvivesQueueBackpressure)
 
     std::uint64_t expected_chunks = 0;
     for (unsigned lane = 0; lane < 8; ++lane) {
-        const auto &trav = fx.warp.pendingTraverses[1].lanes[lane].traversal;
+        const RayTraversal *trav = fx.warp.pendingTraverses[1].ray(lane);
         ASSERT_TRUE(trav->done()) << lane;
         // 2 chunks per node plus 2 extra for each 128 B TopLeaf (one
         // transform op per TopLeaf fetch).

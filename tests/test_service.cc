@@ -3,7 +3,7 @@
  * Tests for the batched simulation service (src/service): artifact-cache
  * accounting (one build per content key, hits for every re-use), bit
  * identity of cached vs freshly built artifacts, equivalence of the
- * deprecated simulateWorkload() shim, submit-time GpuConfig validation,
+ * deprecated service::defaultService().submit().take().run shim, submit-time GpuConfig validation,
  * and the batch determinism contract — per-job metrics dumps are
  * byte-identical no matter the service thread count or the submission
  * order.
@@ -185,7 +185,7 @@ TEST(SimService, DeprecatedShimMatchesServiceSubmission)
     config.threads = 1;
 
     wl::Workload via_shim(wl::WorkloadId::TRI, smallParams());
-    RunResult shim_run = simulateWorkload(via_shim, config);
+    RunResult shim_run = service::defaultService().submit(via_shim, config).take().run;
 
     service::SimService svc({1});
     wl::Workload via_service(wl::WorkloadId::TRI, smallParams(),

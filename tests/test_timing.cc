@@ -9,6 +9,7 @@
 
 #include "core/vulkansim.h"
 #include "power/power.h"
+#include "service/service.h"
 
 namespace vksim {
 namespace {
@@ -47,7 +48,7 @@ TEST_P(TimedFidelityTest, TimedRunRendersReferenceImage)
 {
     auto id = static_cast<WorkloadId>(GetParam());
     Workload workload(id, tinyParams(id));
-    RunResult run = simulateWorkload(workload, fastConfig());
+    RunResult run = service::defaultService().submit(workload, fastConfig()).take().run;
     EXPECT_GT(run.cycles, 0u);
     Image sim = workload.readFramebuffer();
     Image ref = workload.renderReferenceImage();
@@ -65,7 +66,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(TimedStatsTest, CountersAreConsistent)
 {
     Workload workload(WorkloadId::EXT, tinyParams(WorkloadId::EXT));
-    RunResult run = simulateWorkload(workload, fastConfig());
+    RunResult run = service::defaultService().submit(workload, fastConfig()).take().run;
 
     // Issue mix sums to total issues.
     std::uint64_t mix = run.core.get("issue_alu") + run.core.get("issue_sfu")
@@ -94,7 +95,7 @@ TEST(TimedStatsTest, CountersAreConsistent)
 TEST(TimedStatsTest, RtWarpLatencyHistogramFilled)
 {
     Workload workload(WorkloadId::REF, tinyParams(WorkloadId::REF));
-    RunResult run = simulateWorkload(workload, fastConfig());
+    RunResult run = service::defaultService().submit(workload, fastConfig()).take().run;
     EXPECT_GT(run.rtWarpLatency.summary().count(), 0u);
     EXPECT_GT(run.rtWarpLatency.summary().max(), 0.0);
 }
@@ -104,7 +105,7 @@ TEST(MemoryVariantTest, PerfectVariantsAreFaster)
     WorkloadParams p = tinyParams(WorkloadId::EXT);
     auto run_variant = [&](MemoryVariant v) {
         Workload w(WorkloadId::EXT, p);
-        return simulateWorkload(w, applyMemoryVariant(fastConfig(), v))
+        return service::defaultService().submit(w, applyMemoryVariant(fastConfig(), v)).take().run
             .cycles;
     };
     Cycle base = run_variant(MemoryVariant::Baseline);
@@ -124,7 +125,7 @@ TEST(MemoryVariantTest, ModernMemRendersCorrectlyAndCountsSectors)
     GpuConfig cfg = applyMemoryVariant(fastConfig(), MemoryVariant::Modern);
     ASSERT_TRUE(cfg.validate().empty());
     Workload w(WorkloadId::RTV5, tinyParams(WorkloadId::RTV5));
-    RunResult run = simulateWorkload(w, cfg);
+    RunResult run = service::defaultService().submit(w, cfg).take().run;
     EXPECT_GT(run.cycles, 0u);
     ImageDiff diff =
         compareImages(w.readFramebuffer(), w.renderReferenceImage());
@@ -160,7 +161,7 @@ TEST(MemoryVariantTest, ModernMemEpochThreadsIdleSkipStayBitIdentical)
         cfg.epochCycles = epoch;
         cfg.idleSkip = idle_skip;
         Workload w(WorkloadId::TRI, tinyParams(WorkloadId::TRI));
-        return simulateWorkload(w, cfg);
+        return service::defaultService().submit(w, cfg).take().run;
     };
 
     RunResult oracle = run(1, 1, true);
@@ -179,7 +180,7 @@ TEST(MemoryVariantTest, RtCacheIsolatesRtTraffic)
     WorkloadParams p = tinyParams(WorkloadId::EXT);
     Workload w(WorkloadId::EXT, p);
     GpuConfig cfg = applyMemoryVariant(fastConfig(), MemoryVariant::RtCache);
-    RunResult run = simulateWorkload(w, cfg);
+    RunResult run = service::defaultService().submit(w, cfg).take().run;
     // With a dedicated RT cache, the L1 aggregation still sees rtunit
     // accesses (merged stats) but the run must complete correctly.
     Image sim = w.readFramebuffer();
@@ -194,7 +195,7 @@ TEST(RtWarpLimitTest, MoreWarpsHelpOrMatch)
         Workload w(WorkloadId::EXT, p);
         GpuConfig cfg = fastConfig();
         cfg.rt.maxWarps = warps;
-        return simulateWorkload(w, cfg).cycles;
+        return service::defaultService().submit(w, cfg).take().run.cycles;
     };
     Cycle one = run_with(1);
     Cycle eight = run_with(8);
@@ -209,7 +210,7 @@ TEST(SchedulerTest, LrrAlsoRendersCorrectly)
     Workload w(WorkloadId::REF, p);
     GpuConfig cfg = fastConfig();
     cfg.sched = SchedPolicy::LRR;
-    simulateWorkload(w, cfg);
+    service::defaultService().submit(w, cfg).take().run;
     EXPECT_EQ(compareImages(w.readFramebuffer(), w.renderReferenceImage())
                   .differingPixels,
               0u);
@@ -221,7 +222,7 @@ TEST(ItsTest, TimedItsRendersCorrectly)
     Workload w(WorkloadId::RTV6, p);
     GpuConfig cfg = fastConfig();
     cfg.its = true;
-    simulateWorkload(w, cfg);
+    service::defaultService().submit(w, cfg).take().run;
     EXPECT_EQ(compareImages(w.readFramebuffer(), w.renderReferenceImage())
                   .differingPixels,
               0u);
@@ -231,10 +232,10 @@ TEST(FccTest, TimedFccRendersCorrectlyAndAddsRtLoads)
 {
     WorkloadParams p = tinyParams(WorkloadId::RTV6);
     Workload base(WorkloadId::RTV6, p);
-    RunResult rb = simulateWorkload(base, fastConfig());
+    RunResult rb = service::defaultService().submit(base, fastConfig()).take().run;
     p.fcc = true;
     Workload fcc(WorkloadId::RTV6, p);
-    RunResult rf = simulateWorkload(fcc, fastConfig());
+    RunResult rf = service::defaultService().submit(fcc, fastConfig()).take().run;
     EXPECT_EQ(compareImages(fcc.readFramebuffer(),
                             fcc.renderReferenceImage())
                   .differingPixels,
@@ -249,7 +250,7 @@ TEST(PowerTest, BreakdownMatchesPaperShape)
 {
     Workload w(WorkloadId::EXT, tinyParams(WorkloadId::EXT));
     GpuConfig cfg = fastConfig();
-    RunResult run = simulateWorkload(w, cfg);
+    RunResult run = service::defaultService().submit(w, cfg).take().run;
     PowerReport power = estimatePower(run, cfg.numSms);
     EXPECT_GT(power.totalJoules, 0.0);
     EXPECT_NEAR(power.fractionOf(power.constantJoules)
@@ -277,7 +278,7 @@ TEST(ClockDomainTest, FasterDramClockIsMonotoneAndCheckerClean)
         cfg.fabric.dramClockRatio = ratio;
         cfg.checkLevel = check::CheckLevel::Full;
         cfg.threads = 1;
-        RunResult r = simulateWorkload(w, cfg);
+        RunResult r = service::defaultService().submit(w, cfg).take().run;
         EXPECT_EQ(compareImages(w.readFramebuffer(),
                                 w.renderReferenceImage())
                       .differingPixels,
@@ -299,7 +300,7 @@ TEST(OccupancyTraceTest, SamplesWhenEnabled)
     Workload w(WorkloadId::REF, tinyParams(WorkloadId::REF));
     GpuConfig cfg = fastConfig();
     cfg.occupancySamplePeriod = 100;
-    RunResult run = simulateWorkload(w, cfg);
+    RunResult run = service::defaultService().submit(w, cfg).take().run;
     EXPECT_GT(run.occupancyTrace.size(), 2u);
     bool any_nonzero = false;
     for (auto [cycle, rays] : run.occupancyTrace)

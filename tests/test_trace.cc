@@ -9,6 +9,7 @@
 #include "core/vulkansim.h"
 #include "util/options.h"
 #include "vulkan/trace.h"
+#include "service/service.h"
 
 namespace vksim {
 namespace {
@@ -28,7 +29,7 @@ TEST(TraceTest, DumpAndReplayReproducesFunctionalImage)
     EXPECT_EQ(trace->ctx.launchSize[0], 16u);
     EXPECT_EQ(trace->ctx.tlasRoot, workload.launch().tlasRoot);
     EXPECT_EQ(trace->program->code.size(),
-              workload.pipeline().program.code.size());
+              workload.pipeline().program().code.size());
 
     // Replay functionally and compare framebuffers.
     vptx::FunctionalRunner runner(trace->ctx);
@@ -56,7 +57,7 @@ TEST(TraceTest, TimedReplayMatchesCycleCount)
 
     std::string path = ::testing::TempDir() + "/ref.vktrace";
     ASSERT_TRUE(dumpTrace(path, workload.launch()));
-    RunResult direct = simulateWorkload(workload, cfg);
+    RunResult direct = service::defaultService().submit(workload, cfg).take().run;
 
     std::unique_ptr<LoadedTrace> trace = loadTrace(path);
     ASSERT_NE(trace, nullptr);

@@ -323,8 +323,8 @@ TEST(ExecutorTest, CallRetRegisterWindows)
         fx.step();
     ThreadState &t = fx.warp.threads[0];
     EXPECT_EQ(t.windowBase, 0u);
-    EXPECT_EQ(t.regs[0], 11u);
-    EXPECT_EQ(t.regs[8], 77u);
+    EXPECT_EQ(fx.warp.regs.row(0)[0], 11u);
+    EXPECT_EQ(fx.warp.regs.row(0)[8], 77u);
     EXPECT_TRUE(t.callStack.empty());
 }
 
