@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <thread>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -198,6 +199,11 @@ BM_TimedSimThreads(benchmark::State &state)
         static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
     state.counters["epoch_cycles"] =
         static_cast<double>(config.epochCycles);
+    // The host core count contextualizes the scaling points: a 4-thread
+    // run on a 2-core CI machine is oversubscribed, and its parallel
+    // efficiency must be judged (and trended) against that.
+    state.counters["host_cores"] =
+        static_cast<double>(std::thread::hardware_concurrency());
     if (lockstep_rate > 0)
         state.counters["speedup_vs_lockstep"] = rate / lockstep_rate;
     if (epoch_one_thread_rate > 0)

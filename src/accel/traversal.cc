@@ -75,7 +75,7 @@ RayTraversal::pop(StackEntry *e)
 bool
 RayTraversal::nextFetch(Addr *addr, unsigned *size)
 {
-    if (done_)
+    if (done_ || anyHitSuspended_)
         return false;
     if (!havePending_) {
         if (!pop(&pending_)) {
@@ -159,8 +159,6 @@ RayTraversal::processTriangle(const TriangleLeafNode &leaf,
 
     bool opaque = leaf.opaque != 0 || (flags_ & kRayFlagOpaque);
     if (!opaque) {
-        // Deferred any-hit execution: record the candidate, leave tmax
-        // untouched (Vulkan imposes no hit ordering).
         DeferredHit d;
         d.instanceIndex = currentInstance_;
         d.primitiveIndex = static_cast<std::int32_t>(leaf.primitiveIndex);
@@ -170,11 +168,27 @@ RayTraversal::processTriangle(const TriangleLeafNode &leaf,
         d.t = tri.t;
         d.u = tri.u;
         d.v = tri.v;
-        deferred_.push_back(d);
-        out->deferredRecorded = true;
-        if (sink_)
-            sink_->intersectionWrite(sizeof(DeferredHit));
-        return;
+        if (!immediateAnyHit_) {
+            // Deferred any-hit execution: record the candidate, leave
+            // tmax untouched (Vulkan imposes no hit ordering).
+            deferred_.push_back(d);
+            out->deferredRecorded = true;
+            if (sink_)
+                sink_->intersectionWrite(sizeof(DeferredHit));
+            return;
+        }
+        bool has_any_hit = currentSbtOffset_ >= 0 && currentSbtOffset_ < 64
+                           && ((anyHitGroupMask_ >> currentSbtOffset_) & 1);
+        if (has_any_hit) {
+            // Suspend: the owner runs the any-hit shader and resumes via
+            // resolveAnyHit(); no further fetches until then.
+            pendingAnyHit_ = d;
+            anyHitSuspended_ = true;
+            out->anyHitPending = true;
+            return;
+        }
+        // Non-opaque with no any-hit shader: default accept, fall
+        // through to the inline commit.
     }
 
     // Commit: update the closest hit and shrink both ray intervals.
@@ -268,10 +282,40 @@ RayTraversal::step()
         vksim_panic("traversal reached an invalid node type");
     }
 
-    if (!havePending_ && shortTop_ == 0 && spilled_.empty())
+    // A suspended traversal is not done even with an empty stack: the
+    // any-hit verdict re-applies this check in resolveAnyHit().
+    if (!anyHitSuspended_ && !havePending_ && shortTop_ == 0
+        && spilled_.empty())
         done_ = true;
     out.done = done_;
     return out;
+}
+
+void
+RayTraversal::resolveAnyHit(bool commit)
+{
+    vksim_assert(anyHitSuspended_);
+    anyHitSuspended_ = false;
+    if (commit) {
+        hit_.t = pendingAnyHit_.t;
+        hit_.u = pendingAnyHit_.u;
+        hit_.v = pendingAnyHit_.v;
+        hit_.instanceIndex = pendingAnyHit_.instanceIndex;
+        hit_.primitiveIndex = pendingAnyHit_.primitiveIndex;
+        hit_.instanceCustomIndex = pendingAnyHit_.instanceCustomIndex;
+        hit_.sbtOffset = pendingAnyHit_.sbtOffset;
+        hit_.kind = HitKind::Triangle;
+        // Resolution happens before any further step, so objectRay_
+        // still belongs to the candidate's instance.
+        worldRay_.tmax = pendingAnyHit_.t;
+        objectRay_.tmax = pendingAnyHit_.t;
+        if (flags_ & kRayFlagTerminateOnFirstHit) {
+            done_ = true;
+            havePending_ = false;
+        }
+    }
+    if (!havePending_ && shortTop_ == 0 && spilled_.empty())
+        done_ = true;
 }
 
 void
@@ -352,6 +396,19 @@ RayTraversal::saveState(serial::Writer &w) const
     if (havePending_)
         put_entry(pending_);
     w.b(done_);
+    w.b(immediateAnyHit_);
+    w.u64(anyHitGroupMask_);
+    w.b(anyHitSuspended_);
+    if (anyHitSuspended_) {
+        w.i32(pendingAnyHit_.instanceIndex);
+        w.i32(pendingAnyHit_.primitiveIndex);
+        w.i32(pendingAnyHit_.instanceCustomIndex);
+        w.i32(pendingAnyHit_.sbtOffset);
+        w.b(pendingAnyHit_.anyHit);
+        w.f32(pendingAnyHit_.t);
+        w.f32(pendingAnyHit_.u);
+        w.f32(pendingAnyHit_.v);
+    }
     w.f32(hit_.t);
     w.f32(hit_.u);
     w.f32(hit_.v);
@@ -406,6 +463,19 @@ RayTraversal::RayTraversal(const GlobalMemory &gmem, serial::Reader &r)
     if (havePending_)
         pending_ = get_entry();
     done_ = r.b();
+    immediateAnyHit_ = r.b();
+    anyHitGroupMask_ = r.u64();
+    anyHitSuspended_ = r.b();
+    if (anyHitSuspended_) {
+        pendingAnyHit_.instanceIndex = r.i32();
+        pendingAnyHit_.primitiveIndex = r.i32();
+        pendingAnyHit_.instanceCustomIndex = r.i32();
+        pendingAnyHit_.sbtOffset = r.i32();
+        pendingAnyHit_.anyHit = r.b();
+        pendingAnyHit_.t = r.f32();
+        pendingAnyHit_.u = r.f32();
+        pendingAnyHit_.v = r.f32();
+    }
     hit_.t = r.f32();
     hit_.u = r.f32();
     hit_.v = r.f32();

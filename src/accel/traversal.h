@@ -94,6 +94,7 @@ struct TraversalStep
     unsigned trianglesTested = 0;
     bool committedHit = false;  ///< triangle hit committed this step
     bool deferredRecorded = false;
+    bool anyHitPending = false; ///< suspended on an immediate any-hit
     bool done = false;          ///< traversal complete after this step
 };
 
@@ -130,6 +131,35 @@ class RayTraversal
 
     /** Attach/replace the memory-traffic sink (timed RT unit). */
     void setSink(TraversalMemSink *sink) { sink_ = sink; }
+
+    /**
+     * Immediate any-hit mode: a non-opaque triangle whose hit group has
+     * an any-hit shader (bit `sbtOffset` set in `group_mask`) suspends
+     * the traversal instead of being appended to the deferred table; the
+     * owner runs the shader and resumes via resolveAnyHit(). Non-opaque
+     * triangles whose group carries no any-hit shader commit inline
+     * (Vulkan's default accept).
+     * @{
+     */
+    void
+    setImmediateAnyHit(bool enabled, std::uint64_t group_mask)
+    {
+        immediateAnyHit_ = enabled;
+        anyHitGroupMask_ = group_mask;
+    }
+
+    /** True while suspended on an unresolved any-hit candidate. */
+    bool anyHitSuspended() const { return anyHitSuspended_; }
+
+    /** The candidate the traversal is suspended on. */
+    const DeferredHit &pendingAnyHit() const { return pendingAnyHit_; }
+
+    /**
+     * Resume a suspended traversal with the any-hit verdict: commit the
+     * candidate (and honor TerminateOnFirstHit) or ignore it.
+     */
+    void resolveAnyHit(bool commit);
+    /** @} */
 
     /** Node type of the fetch reported by nextFetch(). */
     NodeType
@@ -215,6 +245,11 @@ class RayTraversal
     StackEntry pending_; ///< node reported by nextFetch, consumed by step
     bool havePending_ = false;
     bool done_ = false;
+
+    bool immediateAnyHit_ = false;
+    std::uint64_t anyHitGroupMask_ = 0; ///< bit per sbtOffset with any-hit
+    bool anyHitSuspended_ = false;
+    DeferredHit pendingAnyHit_;
 
     HitRecord hit_;
     std::vector<DeferredHit> deferred_;

@@ -79,7 +79,7 @@ struct CheckpointConfig
 };
 
 /** Snapshot file format version (bump on any payload layout change). */
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /**
  * Digest of the structural GPU configuration a snapshot depends on.

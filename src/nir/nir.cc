@@ -203,6 +203,22 @@ Builder::commitAnyHit()
 }
 
 void
+Builder::rayQuery(Val ox, Val oy, Val oz, Val tmin, Val dx, Val dy, Val dz,
+                  Val tmax, Val flags)
+{
+    vksim_assert(shader_.stage == vptx::ShaderStage::Compute);
+    emit(Op::RayQuery, {ox, oy, oz, tmin, dx, dy, dz, tmax, flags}, 0,
+         false);
+}
+
+void
+Builder::rayQueryEnd()
+{
+    vksim_assert(shader_.stage == vptx::ShaderStage::Compute);
+    emit(Op::RayQueryEnd, {}, 0, false);
+}
+
+void
 Builder::beginIf(Val cond)
 {
     Node node;

@@ -55,7 +55,9 @@ enum class Op : std::uint8_t
     DescBase,          ///< dst = descriptor binding imm base address
     TraceRay,          ///< srcs: ox,oy,oz,tmin,dx,dy,dz,tmax,flags
     ReportIntersection,///< srcs: t (intersection shaders)
-    CommitAnyHit       ///< any-hit shaders: accept the candidate
+    CommitAnyHit,      ///< any-hit shaders: accept the candidate
+    RayQuery,          ///< inline traversal (compute); srcs as TraceRay
+    RayQueryEnd        ///< pop the ray-query frame (after reading hits)
 };
 
 /** One NIR instruction. */
@@ -181,6 +183,19 @@ class Builder
                   Val tmax, Val flags);
     void reportIntersection(Val t);
     void commitAnyHit();
+
+    /**
+     * VK_KHR_ray_query inline traversal (compute shaders): pushes a
+     * frame, traverses, and resolves intersection work with no SBT
+     * indirection. The shader reads the committed hit from the frame
+     * (frameAddr() + hit-word offsets) and must close the query with
+     * rayQueryEnd() once done.
+     * @{
+     */
+    void rayQuery(Val ox, Val oy, Val oz, Val tmin, Val dx, Val dy, Val dz,
+                  Val tmax, Val flags);
+    void rayQueryEnd();
+    /** @} */
 
     // --- control flow ------------------------------------------------------
     void beginIf(Val cond);

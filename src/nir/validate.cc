@@ -20,6 +20,7 @@ arityOf(Op op)
       case Op::DeferredEntryAddr:
       case Op::DescBase:
       case Op::CommitAnyHit:
+      case Op::RayQueryEnd:
         return 0;
       case Op::Mov:
       case Op::FAbs:
@@ -41,6 +42,7 @@ arityOf(Op op)
       case Op::StoreGlobal:
         return 2;
       case Op::TraceRay:
+      case Op::RayQuery:
         return 9;
       default:
         return 2; // binary ALU
@@ -101,6 +103,8 @@ opName(Op op)
       case Op::TraceRay: return "trace_ray";
       case Op::ReportIntersection: return "report_intersection";
       case Op::CommitAnyHit: return "commit_any_hit";
+      case Op::RayQuery: return "ray_query";
+      case Op::RayQueryEnd: return "ray_query_end";
     }
     return "?";
 }
@@ -163,6 +167,11 @@ class Validator
           case Op::CommitAnyHit:
             if (shader_.stage != vptx::ShaderStage::AnyHit)
                 error("commit_any_hit outside an any-hit shader");
+            break;
+          case Op::RayQuery:
+          case Op::RayQueryEnd:
+            if (shader_.stage != vptx::ShaderStage::Compute)
+                error("ray_query is only legal in compute shaders");
             break;
           case Op::DeferredEntryAddr:
             if (shader_.stage != vptx::ShaderStage::Intersection

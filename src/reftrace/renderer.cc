@@ -185,6 +185,56 @@ shadePath(const CpuTracer &tracer, Ray ray, const ShadingParams &params,
     return color;
 }
 
+/**
+ * HYB shading: stand-in for a hybrid raster+RT frame. The primary ray
+ * plays the G-buffer pass; the hit is lit with one shadow ray and one
+ * single-bounce reflection ray (no recursion, no RNG draws).
+ */
+Vec3
+shadeHybrid(const CpuTracer &tracer, const Ray &primary,
+            const ShadingParams &params, TraceCounters *counters)
+{
+    const Scene &scene = tracer.scene();
+    HitRecord hit = tracer.trace(primary, kRayFlagNone, counters);
+    if (!hit.valid())
+        return skyColor(scene, primary.direction);
+
+    SurfaceInfo surf = surfaceAt(scene, primary, hit);
+    Vec3 base = surf.position + surf.normal * kOriginEpsilon;
+
+    Ray shadow;
+    shadow.origin = base;
+    shadow.direction = scene.sunDirection;
+    shadow.tmin = 1e-4f;
+    shadow.tmax = 1e30f;
+    float ndotl = std::max(0.f, dot(surf.normal, scene.sunDirection));
+    float lit =
+        (ndotl > 0.f && !tracer.occluded(shadow, counters)) ? 1.f : 0.f;
+    Vec3 direct = scene.sunColor * (ndotl * lit);
+    Vec3 ambient = scene.skyHorizon * params.ambientStrength;
+    Vec3 color = surf.material.albedo * (direct + ambient);
+
+    Ray refl;
+    refl.origin = base;
+    refl.direction = reflect(normalize(primary.direction), surf.normal);
+    refl.tmin = 1e-4f;
+    refl.tmax = 1e30f;
+    HitRecord rhit = tracer.trace(refl, kRayFlagNone, counters);
+    Vec3 rcol;
+    if (!rhit.valid()) {
+        rcol = skyColor(scene, refl.direction);
+    } else {
+        // Reflected surfaces are sun-lit without a shadow ray: a
+        // secondary bounce does not pay for another occlusion query.
+        SurfaceInfo rsurf = surfaceAt(scene, refl, rhit);
+        float rndotl = std::max(0.f, dot(rsurf.normal, scene.sunDirection));
+        rcol = rsurf.material.albedo
+               * (scene.sunColor * rndotl + ambient);
+    }
+    color += rcol * 0.25f;
+    return color;
+}
+
 } // namespace
 
 Vec3
@@ -213,6 +263,8 @@ shadeReferencePixel(const CpuTracer &tracer, ShadingMode mode,
         return shadeAo(tracer, primary, params, rng, counters);
       case ShadingMode::PathTrace:
         return shadePath(tracer, primary, params, rng, counters);
+      case ShadingMode::Hybrid:
+        return shadeHybrid(tracer, primary, params, counters);
     }
     return Vec3(0.f);
 }

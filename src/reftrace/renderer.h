@@ -24,7 +24,8 @@ enum class ShadingMode
     BaryColor,       ///< TRI: barycentric colour of the hit triangle
     Whitted,         ///< REF: mirror reflections + hard shadows
     AmbientOcclusion,///< EXT: sun + shadow + AO rays
-    PathTrace        ///< RTV5/RTV6: iterative path tracing
+    PathTrace,       ///< RTV5/RTV6: iterative path tracing
+    Hybrid           ///< HYB: G-buffer-style primary + shadow/reflection rays
 };
 
 /** Tunables for the shading algorithms. */

@@ -136,7 +136,17 @@ CpuTracer::trace(const Ray &ray, std::uint32_t flags,
                  TraceCounters *counters) const
 {
     RayTraversal trav(gmem_, accel_.tlasRoot, ray, flags);
+    if (immediateAnyHit_)
+        trav.setImmediateAnyHit(true, anyHitGroupMask_);
     trav.run();
+    while (trav.anyHitSuspended()) {
+        // The filter verdict stands in for the any-hit shader: commit
+        // unless it rejects, exactly as the RT unit resolves the
+        // suspended lane.
+        bool commit = !anyHit_ || anyHit_(trav.pendingAnyHit());
+        trav.resolveAnyHit(commit);
+        trav.run();
+    }
     resolveDeferred(ray, trav);
     if (counters) {
         counters->nodesVisited += trav.nodesVisited();

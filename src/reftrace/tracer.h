@@ -72,6 +72,20 @@ class CpuTracer : public ExecBackend
 
     void setAnyHitFilter(AnyHitFilter f) { anyHit_ = std::move(f); }
 
+    /**
+     * Mirror the GPU's immediate any-hit mode: non-opaque candidates in
+     * masked hit groups suspend traversal and resolve through the
+     * any-hit filter verdict mid-traversal (committing shrinks tmax
+     * before traversal resumes), matching the RT unit's suspension
+     * path bit-exactly. `group_mask` has one bit per SBT offset < 64,
+     * set when that hit group has an any-hit shader.
+     */
+    void setImmediateAnyHit(bool enabled, std::uint64_t group_mask)
+    {
+        immediateAnyHit_ = enabled;
+        anyHitGroupMask_ = group_mask;
+    }
+
     const Scene &scene() const { return scene_; }
 
   private:
@@ -82,6 +96,8 @@ class CpuTracer : public ExecBackend
     const GlobalMemory &gmem_;
     const AccelStruct &accel_;
     AnyHitFilter anyHit_;
+    bool immediateAnyHit_ = false;
+    std::uint64_t anyHitGroupMask_ = 0;
 };
 
 /** Sky gradient colour for a (unit) direction. */

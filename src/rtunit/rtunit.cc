@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/log.h"
+#include "vptx/exec.h"
 #include "vptx/rt_runtime.h"
 #include "vptx/rtstack.h"
 
@@ -287,10 +288,50 @@ RtUnit::finishOps(Cycle now)
             continue;
         for (unsigned lane = 0; lane < kWarpSize; ++lane) {
             LaneState &ls = entry.lanes[lane];
-            if (ls.status != LaneStatus::InOp || ls.opDoneAt > now)
+            if (ls.opDoneAt > now)
                 continue;
             RayTraversal *trav = entry.state->ray(lane);
+            if (ls.status == LaneStatus::InAnyHit) {
+                // Suspension expired: apply the recorded verdict, account
+                // the commit's hit-word store, and resume (or retire).
+                trav->resolveAnyHit(ls.anyHitCommit);
+                if (ls.anyHitCommit) {
+                    queueWrite(entry.state->frameBase(lane)
+                               + vptx::frame::kHitT);
+                    ++anyhitCommitted_;
+                    stats_->counter("anyhit_committed").inc();
+                } else {
+                    ++anyhitIgnored_;
+                    stats_->counter("anyhit_ignored").inc();
+                }
+                if (trav->done()) {
+                    ls.status = LaneStatus::Done;
+                    --entry.lanesLive;
+                } else {
+                    ls.status = LaneStatus::Ready;
+                }
+                continue;
+            }
+            if (ls.status != LaneStatus::InOp)
+                continue;
             trav->step();
+            if (trav->anyHitSuspended()) {
+                // Mid-traversal any-hit: run the shader functionally now
+                // (one-lane mini-warp), hold the lane for the modeled
+                // re-entry latency, resolve when it expires.
+                vksim_assert(ctx_ != nullptr);
+                vptx::AnyHitRun run = vptx::runAnyHitShader(
+                    *ctx_, entry.state->frameBase(lane),
+                    trav->pendingAnyHit(), trav->currentTmax());
+                ls.anyHitCommit = run.commit;
+                ls.status = LaneStatus::InAnyHit;
+                ls.opDoneAt = now + config_.anyHitBaseLatency
+                              + config_.anyHitPerInstr * run.instructions;
+                ++anyhitSuspended_;
+                stats_->counter("anyhit_suspended").inc();
+                stats_->counter("anyhit_instructions").inc(run.instructions);
+                continue;
+            }
             if (trav->done()) {
                 ls.status = LaneStatus::Done;
                 --entry.lanesLive;
@@ -437,6 +478,7 @@ RtUnit::checkInvariants(check::Reporter &rep, const std::string &path,
             ++pending[slot][lane];
 
     unsigned live = 0;
+    std::uint64_t in_any_hit = 0;
     for (unsigned slot = 0; slot < entries_.size(); ++slot) {
         const WarpEntry &e = entries_[slot];
         if (!e.valid) {
@@ -457,7 +499,8 @@ RtUnit::checkInvariants(check::Reporter &rep, const std::string &path,
             bool counts_live = ls.status == LaneStatus::Ready
                                || ls.status == LaneStatus::WaitingMem
                                || ls.status == LaneStatus::InFifo
-                               || ls.status == LaneStatus::InOp;
+                               || ls.status == LaneStatus::InOp
+                               || ls.status == LaneStatus::InAnyHit;
             if (counts_live)
                 ++lanes_live;
             bool waiting = ls.status == LaneStatus::WaitingMem;
@@ -473,11 +516,21 @@ RtUnit::checkInvariants(check::Reporter &rep, const std::string &path,
                                + " queued/in-flight chunks target this "
                                  "lane, which expects "
                                + std::to_string(want));
-            if (ls.status == LaneStatus::InOp && ls.opDoneAt <= now)
+            if ((ls.status == LaneStatus::InOp
+                 || ls.status == LaneStatus::InAnyHit)
+                && ls.opDoneAt <= now)
                 rep.report(lane_path(slot, lane),
                            "operation finished at cycle "
                                + std::to_string(ls.opDoneAt)
-                               + " but the lane is still InOp");
+                               + " but the lane is still in it");
+            const RayTraversal *trav = e.state->ray(lane);
+            bool suspended = in_mask && trav && trav->anyHitSuspended();
+            if (suspended != (ls.status == LaneStatus::InAnyHit))
+                rep.report(lane_path(slot, lane),
+                           "traversal suspension disagrees with the "
+                           "lane's InAnyHit status");
+            if (ls.status == LaneStatus::InAnyHit)
+                ++in_any_hit;
         }
         if (lanes_live != e.lanesLive)
             rep.report(path + ".slot" + std::to_string(slot),
@@ -489,6 +542,15 @@ RtUnit::checkInvariants(check::Reporter &rep, const std::string &path,
         rep.report(path, "liveEntries=" + std::to_string(liveEntries_)
                              + " but " + std::to_string(live)
                              + " slots are valid");
+    // Any-hit invocation conservation: every suspension is either still
+    // held in a lane or has been resolved exactly once.
+    if (anyhitSuspended_ != anyhitCommitted_ + anyhitIgnored_ + in_any_hit)
+        rep.report(path + ".anyhit",
+                   "suspended=" + std::to_string(anyhitSuspended_)
+                       + " != committed="
+                       + std::to_string(anyhitCommitted_) + " + ignored="
+                       + std::to_string(anyhitIgnored_) + " + in-flight="
+                       + std::to_string(in_any_hit));
     if (memQueue_.size() > config_.memQueueSize)
         rep.report(path + ".mem_queue",
                    std::to_string(memQueue_.size())
@@ -548,6 +610,7 @@ RtUnit::stateDigest() const
             d.mix(ls.chunksOutstanding);
             d.mix(ls.opDoneAt);
             d.mix(static_cast<std::uint64_t>(ls.nodeType));
+            d.mix(ls.anyHitCommit);
             const RayTraversal *trav = e.state->ray(lane);
             if (((e.mask >> lane) & 1u) && trav) {
                 d.mix(trav->nodesVisited());
@@ -586,6 +649,9 @@ RtUnit::stateDigest() const
     d.mix(static_cast<std::uint64_t>(
         static_cast<std::int64_t>(lastScheduled_)));
     d.mix(liveEntries_);
+    d.mix(anyhitSuspended_);
+    d.mix(anyhitCommitted_);
+    d.mix(anyhitIgnored_);
     return d.value();
 }
 
@@ -616,6 +682,7 @@ RtUnit::saveState(
             w.u32(ls.chunksOutstanding);
             w.u64(ls.opDoneAt);
             w.u32(static_cast<std::uint32_t>(ls.nodeType));
+            w.b(ls.anyHitCommit);
         }
         w.u64(e.submitTime);
         w.u32(e.lanesLive);
@@ -667,6 +734,9 @@ RtUnit::saveState(
     w.u64(nextTag_);
     w.i32(lastScheduled_);
     w.u32(liveEntries_);
+    w.u64(anyhitSuspended_);
+    w.u64(anyhitCommitted_);
+    w.u64(anyhitIgnored_);
 }
 
 void
@@ -693,6 +763,7 @@ RtUnit::loadState(
             ls.chunksOutstanding = r.u32();
             ls.opDoneAt = r.u64();
             ls.nodeType = static_cast<NodeType>(r.u32());
+            ls.anyHitCommit = r.b();
             e.sinks[lane].unit = this;
             e.sinks[lane].slot = slot;
             e.sinks[lane].lane = lane;
@@ -754,6 +825,9 @@ RtUnit::loadState(
     nextTag_ = r.u64();
     lastScheduled_ = r.i32();
     liveEntries_ = r.u32();
+    anyhitSuspended_ = r.u64();
+    anyhitCommitted_ = r.u64();
+    anyhitIgnored_ = r.u64();
 }
 
 } // namespace vksim

@@ -63,6 +63,10 @@ struct RtUnitConfig
     unsigned shortStackEntries = 8; ///< traversal short-stack size
     bool perfectBvh = false;      ///< node fetches have zero latency
     bool fccEnabled = false;      ///< coalescing-buffer insertion traffic
+    /// Immediate any-hit: fixed warp re-entry cost per suspension, plus
+    /// a per-dynamic-instruction charge for the shader itself.
+    unsigned anyHitBaseLatency = 20;
+    unsigned anyHitPerInstr = 2;
 };
 
 /** The per-SM ray tracing accelerator. */
@@ -169,6 +173,7 @@ class RtUnit : public ClockedUnit
         WaitingMem, ///< chunks outstanding
         InFifo,     ///< data returned, waiting for the op scheduler
         InOp,       ///< inside a box/tri/transform unit
+        InAnyHit,   ///< suspended mid-traversal on an any-hit invocation
         Done
     };
 
@@ -178,6 +183,7 @@ class RtUnit : public ClockedUnit
         unsigned chunksOutstanding = 0;
         Cycle opDoneAt = 0;
         NodeType nodeType = NodeType::Invalid;
+        bool anyHitCommit = false; ///< verdict applied when InAnyHit ends
     };
 
     /** Sink forwarding traversal-generated traffic to the write queue. */
@@ -244,6 +250,12 @@ class RtUnit : public ClockedUnit
     std::uint64_t nextTag_ = 1;
     Histogram *latencyHist_ = nullptr;
     TimelineShard *timeline_ = nullptr;
+
+    /// Any-hit invocation conservation (checked at cycle barriers):
+    /// suspended == committed + ignored + lanes currently InAnyHit.
+    std::uint64_t anyhitSuspended_ = 0;
+    std::uint64_t anyhitCommitted_ = 0;
+    std::uint64_t anyhitIgnored_ = 0;
 };
 
 } // namespace vksim

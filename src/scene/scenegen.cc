@@ -265,6 +265,261 @@ makeRtv5Scene(unsigned detail)
 }
 
 Scene
+makeHybScene()
+{
+    Scene scene;
+
+    // Materials: 0 floor, 1 metal back panel, 2..5 boxes.
+    scene.materials.push_back(Material::lambertian({0.62f, 0.6f, 0.55f}));
+    scene.materials.push_back(Material::metal({0.85f, 0.88f, 0.9f}, 0.f));
+    scene.materials.push_back(Material::lambertian({0.8f, 0.3f, 0.25f}));
+    scene.materials.push_back(Material::lambertian({0.25f, 0.65f, 0.3f}));
+    scene.materials.push_back(Material::lambertian({0.3f, 0.4f, 0.85f}));
+    scene.materials.push_back(Material::lambertian({0.85f, 0.75f, 0.3f}));
+
+    // Tessellated floor so reflection rays hit real geometry.
+    Geometry floor;
+    floor.kind = GeometryKind::Triangles;
+    floor.mesh = makeGridMesh(24.f, 24.f, 12, 12, 0.f);
+    scene.geometries.push_back(std::move(floor));
+    Instance floor_inst;
+    floor_inst.geometryIndex = 0;
+    floor_inst.instanceCustomIndex = 0;
+    scene.instances.push_back(floor_inst);
+
+    // Metal back panel: a vertical grid behind the boxes.
+    Geometry panel;
+    panel.kind = GeometryKind::Triangles;
+    {
+        TriangleMesh m = makeGridMesh(14.f, 6.f, 6, 3, 0.f);
+        TriangleMesh vertical;
+        vertical.append(m, Mat4::rotationX(3.14159265f / 2.f));
+        panel.mesh = std::move(vertical);
+    }
+    scene.geometries.push_back(std::move(panel));
+    Instance panel_inst;
+    panel_inst.geometryIndex = 1;
+    panel_inst.objectToWorld = Mat4::translation({0.f, 3.f, -5.5f});
+    panel_inst.instanceCustomIndex = 1;
+    scene.instances.push_back(panel_inst);
+
+    // One box BLAS instanced four times across the court.
+    Geometry box;
+    box.kind = GeometryKind::Triangles;
+    box.mesh = makeBoxMesh({-0.6f, 0.f, -0.6f}, {0.6f, 1.3f, 0.6f}, 2);
+    scene.geometries.push_back(std::move(box));
+    const Vec3 spots[4] = {{-3.1f, 0.f, -1.4f},
+                           {-1.0f, 0.f, 1.2f},
+                           {1.2f, 0.f, -0.6f},
+                           {3.0f, 0.f, 1.5f}};
+    for (int i = 0; i < 4; ++i) {
+        Instance inst;
+        inst.geometryIndex = 2;
+        inst.objectToWorld = Mat4::translation(spots[i])
+                             * Mat4::rotationY(0.45f * static_cast<float>(i))
+                             * Mat4::scaling(Vec3(0.9f + 0.25f * i));
+        inst.instanceCustomIndex = 2 + i;
+        scene.instances.push_back(inst);
+    }
+
+    scene.sunDirection = normalize({0.4f, 0.8f, 0.35f});
+    scene.camera =
+        Camera::lookAt({0.f, 3.0f, 8.f}, {0.f, 1.0f, 0.f}, {0.f, 1.f, 0.f},
+                       52.f, 1.f);
+    return scene;
+}
+
+Scene
+makeRqcScene()
+{
+    Scene scene;
+    Pcg32 rng(0x0C0Cu);
+
+    scene.materials.push_back(Material::lambertian({0.5f, 0.5f, 0.5f}));
+
+    // Ground grid plus a ring of tilted quads: everything opaque
+    // triangles, traversed inline by the compute shader's ray query.
+    Geometry ground;
+    ground.kind = GeometryKind::Triangles;
+    ground.mesh = makeGridMesh(30.f, 30.f, 10, 10, 0.f);
+    scene.geometries.push_back(std::move(ground));
+    Instance ground_inst;
+    ground_inst.geometryIndex = 0;
+    ground_inst.instanceCustomIndex = 0;
+    scene.instances.push_back(ground_inst);
+
+    Geometry quad;
+    quad.kind = GeometryKind::Triangles;
+    quad.mesh = makeGridMesh(1.8f, 1.8f, 2, 2, 0.f);
+    scene.geometries.push_back(std::move(quad));
+    for (int i = 0; i < 12; ++i) {
+        Instance inst;
+        inst.geometryIndex = 1;
+        float angle = 6.2831853f * static_cast<float>(i) / 12.f;
+        float dist = 3.5f + 0.8f * static_cast<float>(i % 3);
+        inst.objectToWorld =
+            Mat4::translation({dist * std::cos(angle),
+                               1.1f + 0.4f * static_cast<float>(i % 4),
+                               dist * std::sin(angle)})
+            * Mat4::rotationY(angle)
+            * Mat4::rotationX(rng.nextRange(0.5f, 1.2f));
+        inst.instanceCustomIndex = 0;
+        scene.instances.push_back(inst);
+    }
+
+    scene.camera =
+        Camera::lookAt({0.f, 4.5f, 9.f}, {0.f, 1.0f, 0.f}, {0.f, 1.f, 0.f},
+                       50.f, 1.f);
+    return scene;
+}
+
+Scene
+makeAhaScene()
+{
+    Scene scene;
+
+    // Material 0: opaque floor; 1..4: the translucent foliage layers.
+    scene.materials.push_back(Material::lambertian({0.45f, 0.4f, 0.35f}));
+
+    Geometry floor;
+    floor.kind = GeometryKind::Triangles;
+    floor.mesh = makeGridMesh(16.f, 16.f, 4, 4, 0.f);
+    scene.geometries.push_back(std::move(floor));
+    Instance floor_inst;
+    floor_inst.geometryIndex = 0;
+    floor_inst.instanceCustomIndex = 0;
+    scene.instances.push_back(floor_inst);
+
+    // Four stacked *non-opaque* grids facing the camera: every primary
+    // ray crosses several alpha-tested layers, so traversal suspends
+    // into the any-hit shader repeatedly before committing.
+    Geometry leaf;
+    leaf.kind = GeometryKind::Triangles;
+    leaf.opaque = false;
+    {
+        TriangleMesh m = makeGridMesh(7.f, 5.f, 8, 6, 0.f);
+        TriangleMesh vertical;
+        vertical.append(m, Mat4::rotationX(3.14159265f / 2.f));
+        leaf.mesh = std::move(vertical);
+    }
+    scene.geometries.push_back(std::move(leaf));
+    for (int i = 0; i < 4; ++i) {
+        Instance inst;
+        inst.geometryIndex = 1;
+        inst.objectToWorld =
+            Mat4::translation({0.3f * static_cast<float>(i % 2 ? 1 : -1),
+                               2.2f + 0.15f * static_cast<float>(i),
+                               -1.5f * static_cast<float>(i)})
+            * Mat4::rotationY(0.12f * static_cast<float>(i));
+        inst.instanceCustomIndex = 1 + i;
+        scene.instances.push_back(inst);
+        scene.materials.push_back(Material::lambertian(
+            {0.2f + 0.15f * static_cast<float>(i), 0.6f,
+             0.25f + 0.1f * static_cast<float>(i)}));
+    }
+
+    scene.sunDirection = normalize({0.3f, 0.9f, 0.2f});
+    scene.camera =
+        Camera::lookAt({0.f, 2.4f, 7.f}, {0.f, 2.2f, 0.f}, {0.f, 1.f, 0.f},
+                       48.f, 1.f);
+    return scene;
+}
+
+Scene
+makeAccScene()
+{
+    Scene scene;
+
+    // Materials: 0 white walls, 1 red wall, 2 green wall, 3 emissive
+    // ceiling panel, 4 metal box, 5 diffuse box.
+    scene.materials.push_back(Material::lambertian({0.73f, 0.73f, 0.73f}));
+    scene.materials.push_back(Material::lambertian({0.65f, 0.05f, 0.05f}));
+    scene.materials.push_back(Material::lambertian({0.12f, 0.45f, 0.15f}));
+    scene.materials.push_back(Material::emissive({12.f, 11.f, 10.f}));
+    scene.materials.push_back(Material::metal({0.8f, 0.82f, 0.85f}, 0.08f));
+    scene.materials.push_back(Material::lambertian({0.6f, 0.55f, 0.45f}));
+
+    // Floor and ceiling.
+    Geometry slab;
+    slab.kind = GeometryKind::Triangles;
+    slab.mesh = makeGridMesh(6.f, 6.f, 2, 2, 0.f);
+    scene.geometries.push_back(std::move(slab));
+    Instance floor_inst;
+    floor_inst.geometryIndex = 0;
+    floor_inst.instanceCustomIndex = 0;
+    scene.instances.push_back(floor_inst);
+    Instance ceil_inst;
+    ceil_inst.geometryIndex = 0;
+    ceil_inst.objectToWorld = Mat4::translation({0.f, 6.f, 0.f})
+                              * Mat4::rotationX(3.14159265f);
+    ceil_inst.instanceCustomIndex = 0;
+    scene.instances.push_back(ceil_inst);
+
+    // Back, left, and right walls from the same slab BLAS.
+    Instance back_inst;
+    back_inst.geometryIndex = 0;
+    back_inst.objectToWorld = Mat4::translation({0.f, 3.f, -3.f})
+                              * Mat4::rotationX(3.14159265f / 2.f);
+    back_inst.instanceCustomIndex = 0;
+    scene.instances.push_back(back_inst);
+    Instance left_inst;
+    left_inst.geometryIndex = 0;
+    left_inst.objectToWorld = Mat4::translation({-3.f, 3.f, 0.f})
+                              * Mat4::rotationY(3.14159265f / 2.f)
+                              * Mat4::rotationX(3.14159265f / 2.f);
+    left_inst.instanceCustomIndex = 1;
+    scene.instances.push_back(left_inst);
+    Instance right_inst;
+    right_inst.geometryIndex = 0;
+    right_inst.objectToWorld = Mat4::translation({3.f, 3.f, 0.f})
+                               * Mat4::rotationY(-3.14159265f / 2.f)
+                               * Mat4::rotationX(3.14159265f / 2.f);
+    right_inst.instanceCustomIndex = 2;
+    scene.instances.push_back(right_inst);
+
+    // Emissive panel just under the ceiling.
+    Geometry panel;
+    panel.kind = GeometryKind::Triangles;
+    panel.mesh = makeGridMesh(2.f, 2.f, 1, 1, 0.f);
+    scene.geometries.push_back(std::move(panel));
+    Instance lamp_inst;
+    lamp_inst.geometryIndex = 1;
+    lamp_inst.objectToWorld = Mat4::translation({0.f, 5.95f, 0.f})
+                              * Mat4::rotationX(3.14159265f);
+    lamp_inst.instanceCustomIndex = 3;
+    scene.instances.push_back(lamp_inst);
+
+    // Two boxes: tall metal, short diffuse.
+    Geometry box;
+    box.kind = GeometryKind::Triangles;
+    box.mesh = makeBoxMesh({-0.6f, 0.f, -0.6f}, {0.6f, 1.f, 0.6f}, 2);
+    scene.geometries.push_back(std::move(box));
+    Instance tall_inst;
+    tall_inst.geometryIndex = 2;
+    tall_inst.objectToWorld = Mat4::translation({-1.1f, 0.f, -1.0f})
+                              * Mat4::rotationY(0.35f)
+                              * Mat4::scaling({1.f, 2.4f, 1.f});
+    tall_inst.instanceCustomIndex = 4;
+    scene.instances.push_back(tall_inst);
+    Instance short_inst;
+    short_inst.geometryIndex = 2;
+    short_inst.objectToWorld = Mat4::translation({1.2f, 0.f, 0.8f})
+                               * Mat4::rotationY(-0.3f)
+                               * Mat4::scaling({1.1f, 1.1f, 1.1f});
+    short_inst.instanceCustomIndex = 5;
+    scene.instances.push_back(short_inst);
+
+    // Enclosed box: no sun, the panel is the only light.
+    scene.sunColor = {0.f, 0.f, 0.f};
+    scene.skyHorizon = {0.02f, 0.02f, 0.025f};
+    scene.skyZenith = {0.01f, 0.01f, 0.015f};
+    scene.camera =
+        Camera::lookAt({0.f, 3.f, 8.5f}, {0.f, 2.6f, 0.f}, {0.f, 1.f, 0.f},
+                       45.f, 1.f);
+    return scene;
+}
+
+Scene
 makeRtv6Scene(unsigned procedural_count)
 {
     Scene scene;

@@ -43,6 +43,28 @@ Scene makeRtv5Scene(unsigned detail = 7);
  */
 Scene makeRtv6Scene(unsigned procedural_count = 3568);
 
+/**
+ * HYB: hybrid-renderer proxy — diffuse court with boxes and a metal
+ * panel; one shadow ray and one reflection ray per primary hit.
+ */
+Scene makeHybScene();
+
+/** RQC: opaque triangle field for inline ray queries from compute. */
+Scene makeRqcScene();
+
+/**
+ * AHA: alpha-test stress — a stack of *non-opaque* foliage-like grids
+ * in front of an opaque floor, so nearly every primary ray suspends
+ * into the any-hit shader several times.
+ */
+Scene makeAhaScene();
+
+/**
+ * ACC: enclosed box with an emissive ceiling panel, Lambertian and
+ * metal blockers; path-traced over several accumulating frames.
+ */
+Scene makeAccScene();
+
 } // namespace vksim
 
 #endif // VKSIM_SCENE_SCENEGEN_H

@@ -12,7 +12,8 @@ namespace vksim::service {
 namespace {
 
 constexpr char kStoreMagic[8] = {'V', 'K', 'S', 'I', 'M', 'A', 'R', 'T'};
-constexpr std::uint32_t kStoreFormatVersion = 1;
+// v2: pipeline records carry the immediate-any-hit flag + trampolines.
+constexpr std::uint32_t kStoreFormatVersion = 2;
 
 std::uint64_t
 fnv1a(const std::uint8_t *data, std::size_t size)
@@ -262,6 +263,10 @@ encodePipeline(serial::Writer &w, const CompiledPipeline &pipeline)
         w.u32(shader.numRegs);
     }
     w.i32(prog.raygenShader);
+    w.b(prog.immediateAnyHit);
+    w.u64(prog.anyHitTrampolines.size());
+    for (std::int32_t tramp : prog.anyHitTrampolines)
+        w.i32(tramp);
     w.u64(pipeline.hitGroups().size());
     for (const vptx::HitGroupRecord &hg : pipeline.hitGroups()) {
         w.i32(hg.closestHit);
@@ -298,6 +303,10 @@ decodePipeline(serial::Reader &r)
         shader.numRegs = static_cast<std::uint16_t>(r.u32());
     }
     prog.raygenShader = r.i32();
+    prog.immediateAnyHit = r.b();
+    prog.anyHitTrampolines.resize(r.u64());
+    for (std::int32_t &tramp : prog.anyHitTrampolines)
+        tramp = r.i32();
     std::vector<vptx::HitGroupRecord> hit_groups(r.u64());
     for (vptx::HitGroupRecord &hg : hit_groups) {
         hg.closestHit = r.i32();

@@ -12,7 +12,7 @@ namespace {
 const char *const kJobKeys[] = {"name",   "workload", "width",
                                 "height", "scale",    "detail",
                                 "prims",  "fcc",      "config",
-                                "variant", "priority"};
+                                "variant", "priority", "frames"};
 
 std::string
 jobPrefix(std::size_t index)
@@ -106,6 +106,19 @@ workloadByName(const std::string &name, wl::WorkloadId *out)
     return false;
 }
 
+/** "TRI/REF/…" built from the registry, so new workloads self-list. */
+std::string
+validWorkloadNames()
+{
+    std::string names;
+    for (wl::WorkloadId id : wl::kAllWorkloads) {
+        if (!names.empty())
+            names += "/";
+        names += wl::workloadName(id);
+    }
+    return names;
+}
+
 /** Validate and convert one manifest entry. */
 bool
 parseJob(const JsonValue &job, std::size_t index, const GpuConfig &base,
@@ -133,13 +146,13 @@ parseJob(const JsonValue &job, std::size_t index, const GpuConfig &base,
         return false;
     if (workload.empty()) {
         *error = jobPrefix(index)
-                 + "missing required field \"workload\" "
-                   "(use TRI/REF/EXT/RTV5/RTV6)";
+                 + "missing required field \"workload\" (use "
+                 + validWorkloadNames() + ")";
         return false;
     }
     if (!workloadByName(workload, &out->workload)) {
         *error = jobPrefix(index) + "unknown workload '" + workload
-                 + "' (use TRI/REF/EXT/RTV5/RTV6)";
+                 + "' (use " + validWorkloadNames() + ")";
         return false;
     }
 
@@ -165,6 +178,14 @@ parseJob(const JsonValue &job, std::size_t index, const GpuConfig &base,
     out->params.rtv6Prims = static_cast<unsigned>(prims);
     if (!boolField(job, index, "fcc", &out->params.fcc, error))
         return false;
+    double frames = 1.0;
+    if (!numberField(job, index, "frames", &frames, error))
+        return false;
+    if (frames < 1.0) {
+        *error = jobPrefix(index) + "field \"frames\" must be >= 1";
+        return false;
+    }
+    out->params.frames = static_cast<unsigned>(frames);
     double priority = 0.0;
     if (!numberField(job, index, "priority", &priority, error))
         return false;

@@ -13,7 +13,8 @@
  *
  * Format — {"jobs": [ {...}, ... ]} with per-job fields:
  *   name     string   job name (default: "<workload><index>")
- *   workload string   TRI | REF | EXT | RTV5 | RTV6     (required)
+ *   workload string   any registered workload name (required); the
+ *                     error message for a bad name lists the valid set
  *   width    number   launch width in pixels (default 32)
  *   height   number   launch height (default: width)
  *   scale    number   EXT tessellation fraction (default 0.25)
@@ -24,6 +25,8 @@
  *   variant  string   baseline | rtcache | perfectbvh | perfectmem
  *   priority number   scheduling priority: higher starts earlier
  *                     (default 0; never affects results)
+ *   frames   number   frames to simulate and accumulate (default 1;
+ *                     must be >= 1 — only ACC carries state across)
  */
 
 #ifndef VKSIM_SERVICE_MANIFEST_H

@@ -21,6 +21,65 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/**
+ * Fold frame `r` of a multi-frame run into `total`: cycles and
+ * wall-clock add, stat groups / histograms / metrics merge in frame
+ * order, and occupancy samples are rebased onto the accumulated
+ * timeline so the trace stays monotonic.
+ */
+void
+accumulateFrame(RunResult &total, const RunResult &r)
+{
+    auto merge_group = [](StatGroup &dst, const StatGroup &src) {
+        for (const auto &[name, c] : src.counters())
+            dst.counter(name).inc(c.value());
+        for (const auto &[name, a] : src.accums())
+            dst.accum(name).merge(a);
+    };
+    merge_group(total.core, r.core);
+    merge_group(total.rt, r.rt);
+    merge_group(total.l1, r.l1);
+    merge_group(total.dram, r.dram);
+    merge_group(total.l2, r.l2);
+    total.rtWarpLatency.merge(r.rtWarpLatency);
+    for (const auto &[cycle, occ] : r.occupancyTrace)
+        total.occupancyTrace.emplace_back(total.cycles + cycle, occ);
+    total.cycles += r.cycles;
+    total.metrics.merge(r.metrics);
+    total.hostSeconds += r.hostSeconds;
+    total.threadsUsed = r.threadsUsed;
+    total.epochCyclesUsed = r.epochCyclesUsed;
+}
+
+/** One frame on the timed model (the pre-multi-frame run body). */
+RunResult
+runFrame(wl::Workload &workload, const GpuConfig &cfg)
+{
+    if (cfg.checkLevel == check::CheckLevel::Full) {
+        // Static leg: validate the serialized BVH before simulating on
+        // it (layout round-trip, child-AABB containment, leaf backrefs).
+        check::Reporter rep;
+        checkAccelStruct(*workload.launch().gmem, workload.accel(),
+                         &workload.scene(), rep);
+        // Dynamic leg: replay sampled finished rays through the CPU
+        // reference tracer as the timed run completes them. The tracer
+        // must mirror the pipeline's stage modes (immediate any-hit),
+        // or the replay would resolve suspensions differently.
+        CpuTracer tracer(workload.scene(), *workload.launch().gmem,
+                         workload.accel());
+        workload.configureTracer(&tracer);
+        check::RefTraceDiff diff(tracer, *workload.launch().gmem, &rep);
+        check::ScopedTraverseHook hook(
+            [&diff](Addr frame_base, const RayTraversal &trav) {
+                diff.onTraverseDone(frame_base, trav);
+            });
+        GpuSimulator sim(cfg, workload.launch());
+        return sim.run();
+    }
+    GpuSimulator sim(cfg, workload.launch());
+    return sim.run();
+}
+
 } // namespace
 
 RunResult
@@ -32,26 +91,16 @@ runPreparedWorkload(wl::Workload &workload, const GpuConfig &config)
     if (cfg.fccEnabled && cfg.its)
         vksim_fatal("FCC and ITS cannot be combined: the per-warp "
                     "coalescing buffer assumes serialized traverses");
-    if (cfg.checkLevel == check::CheckLevel::Full) {
-        // Static leg: validate the serialized BVH before simulating on
-        // it (layout round-trip, child-AABB containment, leaf backrefs).
-        check::Reporter rep;
-        checkAccelStruct(*workload.launch().gmem, workload.accel(),
-                         &workload.scene(), rep);
-        // Dynamic leg: replay sampled finished rays through the CPU
-        // reference tracer as the timed run completes them.
-        CpuTracer tracer(workload.scene(), *workload.launch().gmem,
-                         workload.accel());
-        check::RefTraceDiff diff(tracer, *workload.launch().gmem, &rep);
-        check::ScopedTraverseHook hook(
-            [&diff](Addr frame_base, const RayTraversal &trav) {
-                diff.onTraverseDone(frame_base, trav);
-            });
-        GpuSimulator sim(cfg, workload.launch());
-        return sim.run();
+    const unsigned frames = std::max(1u, workload.params().frames);
+    RunResult total = runFrame(workload, cfg);
+    for (unsigned f = 1; f < frames; ++f) {
+        // Cross-frame state (the accumulation buffer, the rotated
+        // frame seed) persists in the workload's device memory; each
+        // frame is a fresh launch of the same prepared context.
+        workload.beginFrame(f);
+        accumulateFrame(total, runFrame(workload, cfg));
     }
-    GpuSimulator sim(cfg, workload.launch());
-    return sim.run();
+    return total;
 }
 
 const JobResult &

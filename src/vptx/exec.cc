@@ -98,6 +98,8 @@ touchesMemory(Opcode op)
 WarpExecutor::WarpExecutor(const LaunchContext &ctx, ExecOptions options)
     : ctx_(ctx), options_(options)
 {
+    if (ctx.program && ctx.program->immediateAnyHit)
+        anyHitGroups_ = rt_runtime::anyHitGroupMask(ctx);
     if (ctx.uops) {
         uops_ = ctx.uops;
     } else {
@@ -504,7 +506,8 @@ WarpExecutor::stepStructural(Warp &warp, int split_idx)
             ts.addRay(lane, fb,
                       rt_runtime::makeTraversal(
                           *ctx_.gmem, ctx_.tlasRoot, fb, nullptr,
-                          options_.shortStackEntries));
+                          options_.shortStackEntries,
+                          ctx_.program->immediateAnyHit, anyHitGroups_));
         });
         result.startedTraverse = true;
         result.traverseSplitId = split.id;
@@ -633,7 +636,8 @@ WarpExecutor::step(Warp &warp, int split_idx, const MicroOp &u)
             ts.addRay(lane, fb,
                       rt_runtime::makeTraversal(
                           *ctx_.gmem, ctx_.tlasRoot, fb, nullptr,
-                          options_.shortStackEntries));
+                          options_.shortStackEntries,
+                          ctx_.program->immediateAnyHit, anyHitGroups_));
         }
         result.startedTraverse = true;
         result.traverseSplitId = split.id;
@@ -1033,7 +1037,18 @@ WarpExecutor::runTraverseFunctional(Warp &warp, int split_id)
     for (unsigned lane = 0; lane < kWarpSize; ++lane) {
         if (!(ts.mask & (1u << lane)))
             continue;
-        ts.ray(lane)->run();
+        RayTraversal *trav = ts.ray(lane);
+        trav->run();
+        // Immediate any-hit: resolve each suspension inline and resume
+        // until the ray actually finishes.
+        while (trav->anyHitSuspended()) {
+            AnyHitRun res =
+                runAnyHitShader(ctx_, ts.frameBase(lane),
+                                trav->pendingAnyHit(), trav->currentTmax(),
+                                options_);
+            trav->resolveAnyHit(res.commit);
+            trav->run();
+        }
     }
     completeTraverse(warp, split_id);
 }
@@ -1068,6 +1083,90 @@ initWarp(Warp &warp, std::uint32_t warp_id, const LaunchContext &ctx,
     warp.cflow.init(raygen.entryPc, live, mode);
     warp.fccRows.clear();
     warp.pendingTraverses.clear();
+}
+
+AnyHitRun
+runAnyHitShader(const LaunchContext &ctx, Addr frame_base,
+                const DeferredHit &candidate, float current_tmax,
+                const ExecOptions &options)
+{
+    const Program &prog = *ctx.program;
+    auto sbt = static_cast<std::size_t>(candidate.sbtOffset);
+    vksim_assert(sbt < prog.anyHitTrampolines.size());
+    std::int32_t tramp_idx = prog.anyHitTrampolines[sbt];
+    vksim_assert(tramp_idx >= 0);
+    const ShaderInfo &tramp =
+        prog.shaders[static_cast<std::size_t>(tramp_idx)];
+    vksim_assert(sbt < ctx.hitGroups.size()
+                 && ctx.hitGroups[sbt].anyHit != kInvalidShader);
+    const ShaderInfo &any_hit = prog.shaders[static_cast<std::size_t>(
+        ctx.hitGroups[sbt].anyHit - 1)];
+
+    // Invert the frame address back into (tid, depth) so RtFrameAddr and
+    // launch-id intrinsics inside the shader see the suspended thread.
+    vksim_assert(frame_base >= ctx.rtStackBase);
+    Addr offset = frame_base - ctx.rtStackBase;
+    auto tid = static_cast<std::uint32_t>(offset / kRtStackBytesPerThread);
+    auto depth =
+        static_cast<unsigned>((offset % kRtStackBytesPerThread)
+                              / kRtFrameBytes);
+
+    // Stage the candidate as deferred entry 0 and seed the comparison
+    // hit with the ray's current tmax: CommitAnyHit then applies the
+    // same strictly-closer commit rule as the deferred resolution path.
+    GlobalMemory &gmem = *ctx.gmem;
+    Addr entry = deferredEntryAddr(frame_base, 0);
+    gmem.store<std::int32_t>(entry + frame::kDefPrim,
+                             candidate.primitiveIndex);
+    gmem.store<std::int32_t>(entry + frame::kDefInstance,
+                             candidate.instanceIndex);
+    gmem.store<std::int32_t>(entry + frame::kDefCustomIndex,
+                             candidate.instanceCustomIndex);
+    gmem.store<std::int32_t>(entry + frame::kDefSbtOffset,
+                             candidate.sbtOffset);
+    gmem.store<std::uint32_t>(entry + frame::kDefAnyHit, 1);
+    gmem.store<float>(entry + frame::kDefT, candidate.t);
+    gmem.store<float>(entry + frame::kDefU, candidate.u);
+    gmem.store<float>(entry + frame::kDefV, candidate.v);
+    gmem.store<std::uint32_t>(frame_base + frame::kCurrentDeferred, 0);
+    gmem.store<float>(frame_base + frame::kHitT, current_tmax);
+
+    // One-lane mini-warp starting at the trampoline; its Exit bounds the
+    // invocation. Per-thread frames are disjoint, so this is race-free
+    // under the parallel engine.
+    Warp warp;
+    warp.warpId = tid / kWarpSize;
+    ThreadState &t = warp.threads[0];
+    t = ThreadState{};
+    t.rf = &warp.regs;
+    t.lane = 0;
+    t.tid = tid;
+    t.rtDepth = depth + 1;
+    std::uint32_t width = ctx.launchSize[0];
+    std::uint32_t height = ctx.launchSize[1];
+    t.launchId[0] = tid % width;
+    t.launchId[1] = (tid / width) % height;
+    t.launchId[2] = tid / (width * height);
+    warp.regs.init(1u,
+                   static_cast<std::uint32_t>(tramp.numRegs)
+                       + any_hit.numRegs + 16u);
+    warp.cflow.init(tramp.entryPc, 1u, WarpCflow::Mode::Stack);
+
+    WarpExecutor exec(ctx, options);
+    AnyHitRun run;
+    std::uint64_t guard = 0;
+    while (!warp.finished()) {
+        if (warp.cflow.runnableCount() == 0)
+            vksim_panic("any-hit mini-warp deadlock: no runnable split");
+        int split_idx = warp.cflow.runnableSplit(0);
+        StepResult res = exec.step(warp, split_idx);
+        ++run.instructions;
+        vksim_assert(!res.startedTraverse);
+        if (++guard > 1'000'000ull)
+            vksim_panic("any-hit shader runaway");
+    }
+    run.commit = gmem.load<float>(frame_base + frame::kHitT) < current_tmax;
+    return run;
 }
 
 FunctionalRunner::FunctionalRunner(const LaunchContext &ctx,

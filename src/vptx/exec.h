@@ -119,6 +119,7 @@ class WarpExecutor
 
     const LaunchContext &ctx_;
     ExecOptions options_;
+    std::uint64_t anyHitGroups_ = 0; ///< immediate-mode hit-group mask
     const MicroProgram *uops_ = nullptr;
     std::unique_ptr<MicroProgram> ownedUops_; ///< fallback when ctx has none
     std::uint64_t decodes_ = 0;
@@ -154,6 +155,28 @@ class FunctionalRunner
 /** Initialize a warp's threads and control flow for a launch. */
 void initWarp(Warp &warp, std::uint32_t warp_id, const LaunchContext &ctx,
               WarpCflow::Mode mode);
+
+/** Result of one immediate (mid-traversal) any-hit invocation. */
+struct AnyHitRun
+{
+    bool commit = false;            ///< verdict: candidate accepted
+    std::uint64_t instructions = 0; ///< dynamic instructions executed
+};
+
+/**
+ * Run the any-hit shader for a traversal suspended on `candidate`
+ * (immediate any-hit mode). Executes the hit group's translate-time
+ * trampoline in a one-lane mini-warp against the suspended ray's frame:
+ * the candidate is staged as deferred entry 0, kHitT is seeded with
+ * `current_tmax`, and the shader's CommitAnyHit applies the same
+ * strictly-closer rule as the deferred resolution path. The frame's hit
+ * and deferred words are scratch here — writeResults() rewrites them when
+ * the traversal completes. Deterministic: the mini-warp touches only the
+ * suspended thread's own frame.
+ */
+AnyHitRun runAnyHitShader(const LaunchContext &ctx, Addr frame_base,
+                          const DeferredHit &candidate, float current_tmax,
+                          const ExecOptions &options = {});
 
 } // namespace vksim::vptx
 

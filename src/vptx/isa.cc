@@ -84,6 +84,7 @@ shaderStageName(ShaderStage stage)
       case ShaderStage::AnyHit: return "any_hit";
       case ShaderStage::Intersection: return "intersection";
       case ShaderStage::Callable: return "callable";
+      case ShaderStage::Compute: return "compute";
     }
     return "?";
 }

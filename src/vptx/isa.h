@@ -114,7 +114,11 @@ struct Instr
     std::uint64_t imm = 0;     ///< immediate payload
 };
 
-/** Shader stages of the Vulkan ray tracing pipeline (paper Fig. 5). */
+/**
+ * Shader stages of the Vulkan ray tracing pipeline (paper Fig. 5), plus
+ * Compute for VK_KHR_ray_query pipelines whose entry shader performs
+ * inline traversal without an SBT.
+ */
 enum class ShaderStage : std::uint8_t
 {
     RayGen = 0,
@@ -122,7 +126,8 @@ enum class ShaderStage : std::uint8_t
     Miss,
     AnyHit,
     Intersection,
-    Callable
+    Callable,
+    Compute
 };
 
 /** Human-readable stage name. */
@@ -143,13 +148,40 @@ struct Program
     std::vector<Instr> code;
     std::vector<ShaderInfo> shaders;
 
-    /** Index into `shaders` of the ray generation shader. */
+    /**
+     * Index into `shaders` of the entry shader every launched thread
+     * starts in: the ray generation shader of a classic RT pipeline, or
+     * the compute shader of a ray-query pipeline. The historic name is
+     * kept because it is serialized in traces and the disk store.
+     */
     std::int32_t raygenShader = -1;
+
+    /**
+     * Immediate any-hit mode: non-opaque candidates suspend traversal
+     * and run their any-hit shader mid-traversal instead of being
+     * appended to the deferred table.
+     */
+    bool immediateAnyHit = false;
+
+    /**
+     * Per-hit-group shader indices of the translate-time any-hit
+     * trampolines (`Call any_hit; Exit`) the suspension micro-program
+     * starts in. Parallel to the pipeline's hit groups; -1 when the
+     * group has no any-hit shader. Empty unless immediateAnyHit.
+     */
+    std::vector<std::int32_t> anyHitTrampolines;
 
     const ShaderInfo &
     shader(std::size_t idx) const
     {
         return shaders[idx];
+    }
+
+    /** The launch entry shader (see raygenShader). */
+    const ShaderInfo &
+    entryShader() const
+    {
+        return shaders[static_cast<std::size_t>(raygenShader)];
     }
 };
 

@@ -24,12 +24,27 @@ readRay(const GlobalMemory &gmem, Addr frame_base, std::uint32_t *flags_out)
 
 RayTraversal
 makeTraversal(const GlobalMemory &gmem, Addr tlas_root, Addr frame_base,
-              TraversalMemSink *sink, unsigned short_stack_entries)
+              TraversalMemSink *sink, unsigned short_stack_entries,
+              bool immediate_any_hit, std::uint64_t any_hit_groups)
 {
     std::uint32_t flags = 0;
     Ray ray = readRay(gmem, frame_base, &flags);
-    return RayTraversal(gmem, tlas_root, ray, flags, sink,
-                        short_stack_entries);
+    RayTraversal trav(gmem, tlas_root, ray, flags, sink,
+                      short_stack_entries);
+    if (immediate_any_hit)
+        trav.setImmediateAnyHit(true, any_hit_groups);
+    return trav;
+}
+
+std::uint64_t
+anyHitGroupMask(const LaunchContext &ctx)
+{
+    std::uint64_t mask = 0;
+    std::size_t n = std::min<std::size_t>(ctx.hitGroups.size(), 64);
+    for (std::size_t i = 0; i < n; ++i)
+        if (ctx.hitGroups[i].anyHit != kInvalidShader)
+            mask |= 1ull << i;
+    return mask;
 }
 
 Addr

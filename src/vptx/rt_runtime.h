@@ -23,11 +23,20 @@ namespace rt_runtime {
 Ray readRay(const GlobalMemory &gmem, Addr frame_base,
             std::uint32_t *flags_out = nullptr);
 
-/** Create the traversal state machine for the frame's ray. */
+/**
+ * Create the traversal state machine for the frame's ray. When
+ * `immediate_any_hit` is set, non-opaque triangles whose hit group is in
+ * `any_hit_groups` (bit per sbt offset) suspend the traversal for a
+ * mid-traversal any-hit invocation instead of being deferred.
+ */
 RayTraversal makeTraversal(
     const GlobalMemory &gmem, Addr tlas_root, Addr frame_base,
     TraversalMemSink *sink = nullptr,
-    unsigned short_stack_entries = RayTraversal::kShortStackEntries);
+    unsigned short_stack_entries = RayTraversal::kShortStackEntries,
+    bool immediate_any_hit = false, std::uint64_t any_hit_groups = 0);
+
+/** Bit per sbt offset (< 64) whose hit group carries an any-hit shader. */
+std::uint64_t anyHitGroupMask(const LaunchContext &ctx);
 
 /**
  * Write traversal results into the frame: committed hit (or miss) and the

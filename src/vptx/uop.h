@@ -35,7 +35,7 @@ namespace vksim::vptx {
  * pipeline digest (and with it every artifact-cache and disk-store key)
  * changes with it.
  */
-inline constexpr std::uint32_t kUopEncodingVersion = 1;
+inline constexpr std::uint32_t kUopEncodingVersion = 2;
 
 /**
  * Step-level dispatch class: how WarpExecutor::step handles the

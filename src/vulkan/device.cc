@@ -39,7 +39,11 @@ void
 Device::uploadShaderBindingTable(RayTracingPipeline *pipeline)
 {
     // Serialize the shader binding table to device memory; the trace-ray
-    // lowering reads shader ids from here at run time.
+    // lowering reads shader ids from here at run time. Ray-query
+    // pipelines traverse inline with no SBT indirection, so the device
+    // copy stays unallocated (the addresses remain 0).
+    if (pipeline->rayQuery())
+        return;
     const std::vector<vptx::HitGroupRecord> &hit_groups =
         pipeline->hitGroups();
     if (!hit_groups.empty()) {

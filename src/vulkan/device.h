@@ -73,6 +73,28 @@ class CompiledPipeline
     const vptx::Program &program() const { return program_; }
     const vptx::MicroProgram &uops() const { return uops_; }
 
+    /**
+     * Stage table: the shader the launch enters. Historically always a
+     * raygen shader; a ray-query pipeline enters a compute shader
+     * instead and traverses inline with no SBT indirection.
+     */
+    const vptx::ShaderInfo &entryShader() const
+    {
+        return program_.entryShader();
+    }
+
+    /** Entry is a compute shader using inline ray queries. */
+    bool rayQuery() const
+    {
+        return entryShader().stage == vptx::ShaderStage::Compute;
+    }
+
+    /**
+     * Any-hit shaders run immediately mid-traversal (suspending the
+     * warp in the RT unit) instead of deferred after traversal.
+     */
+    bool immediateAnyHit() const { return program_.immediateAnyHit; }
+
     /** Hit-group records with 1-based shader ids. */
     const std::vector<vptx::HitGroupRecord> &hitGroups() const
     {
@@ -113,6 +135,8 @@ struct RayTracingPipeline
         return compiled->missShaders();
     }
     bool fcc() const { return compiled->fcc(); }
+    bool rayQuery() const { return compiled->rayQuery(); }
+    bool immediateAnyHit() const { return compiled->immediateAnyHit(); }
 };
 
 /**

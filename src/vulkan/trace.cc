@@ -9,7 +9,8 @@ namespace vksim {
 
 namespace {
 
-constexpr char kMagic[8] = {'V', 'K', 'S', 'I', 'M', 'T', 'R', '1'};
+// TR2: adds the immediate-any-hit flag and trampoline table.
+constexpr char kMagic[8] = {'V', 'K', 'S', 'I', 'M', 'T', 'R', '2'};
 
 struct Writer
 {
@@ -116,6 +117,10 @@ dumpTrace(const std::string &path, const vptx::LaunchContext &ctx)
         w.pod(s.numRegs);
     }
     w.pod(prog.raygenShader);
+    w.pod(prog.immediateAnyHit);
+    w.u64(prog.anyHitTrampolines.size());
+    for (std::int32_t t : prog.anyHitTrampolines)
+        w.pod(t);
 
     // Memory image (pages sorted so traces are byte-reproducible).
     w.u64(ctx.gmem->brk());
@@ -184,6 +189,11 @@ loadTrace(const std::string &path)
         r.pod(&s.numRegs);
     }
     r.pod(&trace->program->raygenShader);
+    r.pod(&trace->program->immediateAnyHit);
+    r.u64(&count);
+    trace->program->anyHitTrampolines.resize(count);
+    for (auto &t : trace->program->anyHitTrampolines)
+        r.pod(&t);
 
     std::uint64_t brk = 0;
     r.u64(&brk);

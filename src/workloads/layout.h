@@ -22,8 +22,17 @@ enum Binding : unsigned
     kBindMaterials = 1,
     kBindFramebuffer = 2,
     kBindConstants = 3,
-    kBindInstances = 4
+    kBindInstances = 4,
+    kBindAccum = 5 ///< ACC cross-frame accumulation buffer
 };
+
+/**
+ * ACC accumulation buffer layout: a 16-byte header (u32 frame count,
+ * rest reserved) followed by one running RGB sum per pixel at the
+ * framebuffer stride. The host bumps the count before each frame; the
+ * shader adds its sample and resolves sum / count into the framebuffer.
+ */
+inline constexpr std::uint64_t kAccumHeaderBytes = 16;
 
 /** Scene constants uniform (binding 3). */
 struct GpuSceneConstants

@@ -486,11 +486,15 @@ makeRaygenAoDivergent()
     return b.finish();
 }
 
-nir::Shader
-makeRaygenPath()
+namespace {
+
+/**
+ * The iterative path-trace body shared by RTV5/RTV6 and ACC: camera
+ * ray through maxBounces scatter events; returns the colour variable.
+ */
+V3
+emitPathBody(Builder &b, RaygenCommon &c)
 {
-    Builder b("raygen_path", vptx::ShaderStage::RayGen);
-    RaygenCommon c = raygenPrologue(b);
     V3 ray_o, ray_d;
     cameraRayIr(b, c.camera, c.px, c.py, c.width, c.height, c.rngState,
                 &ray_o, &ray_d);
@@ -625,8 +629,163 @@ makeRaygenPath()
         b.assign(bounce, b.iadd(bounce, b.constI(1)));
     }
     b.endLoop();
+    return color;
+}
+
+} // namespace
+
+nir::Shader
+makeRaygenPath()
+{
+    Builder b("raygen_path", vptx::ShaderStage::RayGen);
+    RaygenCommon c = raygenPrologue(b);
+    V3 color = emitPathBody(b, c);
+    writePixel(b, c, color);
+    return b.finish();
+}
+
+nir::Shader
+makeRaygenHybrid()
+{
+    // Mirrors reftrace shadeHybrid() operation for operation.
+    Builder b("raygen_hybrid", vptx::ShaderStage::RayGen);
+    RaygenCommon c = raygenPrologue(b);
+    V3 origin, dir;
+    cameraRayIr(b, c.camera, c.px, c.py, c.width, c.height, c.rngState,
+                &origin, &dir);
+
+    V3 color = v3Var(b);
+    traceRayIr(b, origin, b.constF(1e-4f), dir, b.constF(1e30f), 0);
+    Val hit = b.loadGlobal(c.payload, payload::kHit, 4);
+    b.beginIf(b.ieq(hit, b.constI(0)));
+    {
+        v3Assign(b, color, v3Load(b, c.payload, payload::kEmissionX));
+    }
+    b.beginElse();
+    {
+        SurfaceVals s = loadSurface(b, c.payload);
+        V3 base = v3Add(b, s.pos,
+                        v3Scale(b, s.normal, b.constF(kOriginEpsilon)));
+        V3 sun_dir =
+            v3Load(b, c.consts, offsetof(GpuSceneConstants, sunDir));
+        V3 sun_color =
+            v3Load(b, c.consts, offsetof(GpuSceneConstants, sunColor));
+        Val ndotl = b.fmax(b.constF(0.f), v3Dot(b, s.normal, sun_dir));
+        Val lit = b.var();
+        b.assign(lit, b.constF(0.f));
+        b.beginIf(b.fgt(ndotl, b.constF(0.f)));
+        {
+            Val clear = occlusionIr(b, c, base, sun_dir, b.constF(1e30f));
+            b.assign(lit, clear);
+        }
+        b.endIf();
+        V3 direct = v3Scale(b, sun_color, b.fmul(ndotl, lit));
+        Val ambient_k = b.loadGlobal(
+            c.consts, offsetof(GpuSceneConstants, ambientStrength), 4);
+        V3 sky_horizon =
+            v3Load(b, c.consts, offsetof(GpuSceneConstants, skyHorizon));
+        V3 ambient = v3Scale(b, sky_horizon, ambient_k);
+        v3Assign(b, color,
+                 v3Mul(b, s.albedo, v3Add(b, direct, ambient)));
+
+        // One single-bounce reflection ray from the primary hit.
+        V3 refl_d = v3Reflect(b, v3Normalize(b, dir), s.normal);
+        traceRayIr(b, base, b.constF(1e-4f), refl_d, b.constF(1e30f), 0);
+        Val rhit = b.loadGlobal(c.payload, payload::kHit, 4);
+        V3 rcol = v3Var(b);
+        b.beginIf(b.ieq(rhit, b.constI(0)));
+        {
+            v3Assign(b, rcol, v3Load(b, c.payload, payload::kEmissionX));
+        }
+        b.beginElse();
+        {
+            // Reflected surfaces are sun-lit without a shadow ray.
+            SurfaceVals rs = loadSurface(b, c.payload);
+            Val rndotl =
+                b.fmax(b.constF(0.f), v3Dot(b, rs.normal, sun_dir));
+            v3Assign(b, rcol,
+                     v3Mul(b, rs.albedo,
+                           v3Add(b, v3Scale(b, sun_color, rndotl),
+                                 ambient)));
+        }
+        b.endIf();
+        v3Assign(b, color,
+                 v3Add(b, color, v3Scale(b, rcol, b.constF(0.25f))));
+    }
+    b.endIf();
 
     writePixel(b, c, color);
+    return b.finish();
+}
+
+nir::Shader
+makeComputeRayQuery()
+{
+    // RQC: same per-pixel camera ray and barycentric shading as TRI,
+    // but traversed inline from a compute shader (VK_KHR_ray_query) —
+    // no SBT, no closest-hit/miss indirection.
+    Builder b("compute_rayquery", vptx::ShaderStage::Compute);
+    RaygenCommon c;
+    c.px = b.launchId(0);
+    c.py = b.launchId(1);
+    c.width = b.launchSize(0);
+    c.height = b.launchSize(1);
+    c.pixelIndex = b.iadd(b.imul(c.py, c.width), c.px);
+    c.consts = b.descBase(kBindConstants);
+    Val seed =
+        b.loadGlobal(c.consts, offsetof(GpuSceneConstants, frameSeed), 4);
+    c.rngState = b.var();
+    b.assign(c.rngState, rngInit(b, c.pixelIndex, seed));
+    c.camera = b.descBase(kBindCamera);
+
+    V3 origin, dir;
+    cameraRayIr(b, c.camera, c.px, c.py, c.width, c.height, c.rngState,
+                &origin, &dir);
+    b.rayQuery(origin.x, origin.y, origin.z, b.constF(1e-4f), dir.x,
+               dir.y, dir.z, b.constF(1e30f), b.constI(0));
+
+    // The committed hit lives in the query frame's hit words.
+    Val f = b.frameAddr();
+    Val kind = b.loadGlobal(f, vptx::frame::kHitKind, 4);
+    V3 color = v3Var(b);
+    b.beginIf(b.ieq(kind, b.constI(0)));
+    {
+        v3Assign(b, color, skyColorIr(b, c.consts, dir));
+    }
+    b.beginElse();
+    {
+        Val u = b.loadGlobal(f, vptx::frame::kHitU, 4);
+        Val v = b.loadGlobal(f, vptx::frame::kHitV, 4);
+        Val one = b.constF(1.f);
+        v3Assign(b, color, {b.fsub(b.fsub(one, u), v), u, v});
+    }
+    b.endIf();
+    b.rayQueryEnd();
+
+    writePixel(b, c, color);
+    return b.finish();
+}
+
+nir::Shader
+makeRaygenAccum()
+{
+    // ACC: the RTV5 path-trace body feeding a cross-frame running sum;
+    // the framebuffer resolves to sum / frameCount every frame.
+    Builder b("raygen_accum", vptx::ShaderStage::RayGen);
+    RaygenCommon c = raygenPrologue(b);
+    V3 color = emitPathBody(b, c);
+
+    Val accum = b.descBase(kBindAccum);
+    Val count = b.loadGlobal(accum, 0, 4);
+    Val slot = b.iadd(
+        accum,
+        b.iadd(b.constI(kAccumHeaderBytes),
+               b.imul(c.pixelIndex, b.constI(kFramebufferStride))));
+    V3 sum = v3Load(b, slot, 0);
+    sum = v3Add(b, sum, color);
+    v3Store(b, slot, sum, 0);
+    Val inv = b.fdiv(b.constF(1.f), b.u2f(count));
+    writePixel(b, c, v3Scale(b, sum, inv));
     return b.finish();
 }
 

@@ -50,6 +50,25 @@ nir::Shader makeRaygenAoDivergent();
 /** RTV5/RTV6 ray generation: iterative path tracing. */
 nir::Shader makeRaygenPath();
 
+/**
+ * HYB ray generation: G-buffer-proxy primary ray, then one shadow ray
+ * and one single-bounce reflection ray per hit.
+ */
+nir::Shader makeRaygenHybrid();
+
+/**
+ * RQC compute shader: camera ray traversed with an inline ray query
+ * (VK_KHR_ray_query) — no SBT, no callable shaders; the hit is read
+ * straight from the query frame and shaded as barycentric colour.
+ */
+nir::Shader makeComputeRayQuery();
+
+/**
+ * ACC ray generation: the path-trace body, accumulated into the
+ * cross-frame buffer at kBindAccum and resolved as sum / frameCount.
+ */
+nir::Shader makeRaygenAccum();
+
 /** Intersection shader for procedural spheres. */
 nir::Shader makeIntersectionSphere();
 

@@ -1,6 +1,7 @@
 #include "workloads/workload.h"
 
 #include "service/artifacts.h"
+#include "vptx/rt_runtime.h"
 #include "workloads/shaders.h"
 
 namespace vksim::wl {
@@ -14,6 +15,10 @@ workloadName(WorkloadId id)
       case WorkloadId::EXT: return "EXT";
       case WorkloadId::RTV5: return "RTV5";
       case WorkloadId::RTV6: return "RTV6";
+      case WorkloadId::HYB: return "HYB";
+      case WorkloadId::RQC: return "RQC";
+      case WorkloadId::AHA: return "AHA";
+      case WorkloadId::ACC: return "ACC";
     }
     return "?";
 }
@@ -36,7 +41,14 @@ Workload::shadingMode() const
       case WorkloadId::REF: return ShadingMode::Whitted;
       case WorkloadId::EXT: return ShadingMode::AmbientOcclusion;
       case WorkloadId::RTV5:
-      case WorkloadId::RTV6: return ShadingMode::PathTrace;
+      case WorkloadId::RTV6:
+      case WorkloadId::ACC: return ShadingMode::PathTrace;
+      case WorkloadId::HYB: return ShadingMode::Hybrid;
+      // RQC and AHA both shade barycentric colour; RQC traverses from a
+      // compute shader and AHA filters hits through the any-hit stage,
+      // which the configured tracer mirrors.
+      case WorkloadId::RQC:
+      case WorkloadId::AHA: return ShadingMode::BaryColor;
     }
     return ShadingMode::BaryColor;
 }
@@ -55,6 +67,10 @@ Workload::Workload(WorkloadId id, const WorkloadParams &params,
       case WorkloadId::RTV6:
         scene_ = makeRtv6Scene(params_.rtv6Prims);
         break;
+      case WorkloadId::HYB: scene_ = makeHybScene(); break;
+      case WorkloadId::RQC: scene_ = makeRqcScene(); break;
+      case WorkloadId::AHA: scene_ = makeAhaScene(); break;
+      case WorkloadId::ACC: scene_ = makeAccScene(); break;
     }
     scene_.camera.aspect = static_cast<float>(params_.width)
                            / static_cast<float>(params_.height);
@@ -105,6 +121,30 @@ Workload::Workload(WorkloadId id, const WorkloadParams &params,
                                    accel_.tlasRoot, params_.width,
                                    params_.height);
     tracer_ = std::make_unique<CpuTracer>(scene_, device_.memory(), accel_);
+    configureTracer(tracer_.get());
+}
+
+void
+Workload::beginFrame(unsigned frame)
+{
+    GlobalMemory &gmem = device_.memory();
+    if (accumAddr_ != 0)
+        gmem.store(accumAddr_, static_cast<std::uint32_t>(frame + 1));
+    gmem.store(descriptors_.at(kBindConstants)
+                   + offsetof(GpuSceneConstants, frameSeed),
+               params_.shading.frameSeed + frame);
+}
+
+void
+Workload::configureTracer(CpuTracer *tracer) const
+{
+    if (!pipeline_.immediateAnyHit())
+        return;
+    tracer->setImmediateAnyHit(
+        true, vptx::rt_runtime::anyHitGroupMask(launch_.context()));
+    // The verdict of makeAnyHitAlphaTest's default threshold.
+    tracer->setAnyHitFilter(
+        [](const DeferredHit &d) { return d.u + d.v <= 0.5f; });
 }
 
 void
@@ -132,12 +172,34 @@ Workload::buildShaders()
         shaderStore_.push_back(makeRaygenPath());
         shaderStore_.push_back(makeClosestHitSurface());
         break;
+      case WorkloadId::HYB:
+        shaderStore_.push_back(makeRaygenHybrid());
+        shaderStore_.push_back(makeClosestHitSurface());
+        break;
+      case WorkloadId::AHA:
+        shaderStore_.push_back(makeRaygenBary());
+        shaderStore_.push_back(makeClosestHitBary());
+        break;
+      case WorkloadId::ACC:
+        shaderStore_.push_back(makeRaygenAccum());
+        shaderStore_.push_back(makeClosestHitSurface());
+        break;
+      case WorkloadId::RQC:
+        // A ray-query compute pipeline is just the one shader: no SBT,
+        // no closest-hit / miss / intersection indirection.
+        shaderStore_.push_back(makeComputeRayQuery());
+        for (const nir::Shader &s : shaderStore_)
+            pipeDesc_.shaders.push_back(&s);
+        pipeDesc_.compute = 0;
+        return;
     }
     shaderStore_.push_back(makeMissShader());
     if (id_ == WorkloadId::RTV5 || id_ == WorkloadId::RTV6)
         shaderStore_.push_back(makeIntersectionSphere());
     if (id_ == WorkloadId::RTV6)
         shaderStore_.push_back(makeIntersectionBox());
+    if (id_ == WorkloadId::AHA)
+        shaderStore_.push_back(makeAnyHitAlphaTest());
 
     for (const nir::Shader &s : shaderStore_)
         pipeDesc_.shaders.push_back(&s);
@@ -146,6 +208,12 @@ Workload::buildShaders()
 
     xlate::HitGroupDesc triangles;
     triangles.closestHit = 1;
+    if (id_ == WorkloadId::AHA) {
+        // The triangle hit group runs the alpha-test any-hit shader
+        // immediately mid-traversal (warp suspension in the RT unit).
+        triangles.anyHit = 3;
+        pipeDesc_.immediateAnyHit = true;
+    }
     pipeDesc_.hitGroups.push_back(triangles);
     if (id_ == WorkloadId::RTV5 || id_ == WorkloadId::RTV6) {
         xlate::HitGroupDesc spheres;
@@ -184,6 +252,19 @@ Workload::buildDescriptors()
             * kFramebufferStride,
         "desc.framebuffer");
     descriptors_.bind(kBindFramebuffer, framebufferAddr_);
+
+    // ACC: cross-frame accumulation buffer (header + running sums),
+    // starting at frame count 1 so a single-frame run needs no
+    // beginFrame() call.
+    if (id_ == WorkloadId::ACC) {
+        accumAddr_ = device_.createBuffer(
+            kAccumHeaderBytes
+                + static_cast<Addr>(params_.width) * params_.height
+                      * kFramebufferStride,
+            "desc.accum");
+        gmem.store(accumAddr_, std::uint32_t{1});
+        descriptors_.bind(kBindAccum, accumAddr_);
+    }
 
     // Scene constants.
     GpuSceneConstants constants{};
@@ -292,9 +373,34 @@ Image
 Workload::renderReferenceImage(TraceCounters *counters,
                                unsigned threads) const
 {
-    return renderReference(*tracer_, shadingMode(), params_.shading,
-                           params_.width, params_.height, counters,
-                           threads);
+    if (id_ != WorkloadId::ACC || params_.frames <= 1)
+        return renderReference(*tracer_, shadingMode(), params_.shading,
+                               params_.width, params_.height, counters,
+                               threads);
+
+    // ACC: mirror the accumulation buffer — per-pixel running sums over
+    // the per-frame seeds, resolved as sum * (1 / frameCount) in the
+    // same operation order as the shader.
+    Image sum(params_.width, params_.height);
+    for (unsigned f = 0; f < params_.frames; ++f) {
+        ShadingParams shading = params_.shading;
+        shading.frameSeed = params_.shading.frameSeed + f;
+        Image frame =
+            renderReference(*tracer_, shadingMode(), shading,
+                            params_.width, params_.height, counters,
+                            threads);
+        for (unsigned y = 0; y < params_.height; ++y)
+            for (unsigned x = 0; x < params_.width; ++x)
+                for (unsigned ch = 0; ch < 3; ++ch)
+                    sum.at(x, y, ch) += frame.at(x, y, ch);
+    }
+    const float inv = 1.f / static_cast<float>(params_.frames);
+    Image img(params_.width, params_.height);
+    for (unsigned y = 0; y < params_.height; ++y)
+        for (unsigned x = 0; x < params_.width; ++x)
+            for (unsigned ch = 0; ch < 3; ++ch)
+                img.at(x, y, ch) = sum.at(x, y, ch) * inv;
+    return img;
 }
 
 double

@@ -1,8 +1,10 @@
 /**
  * @file
- * The five evaluation workloads (paper Table IV): scene + shader set +
- * pipeline + descriptor buffers, with helpers to render them on the
- * functional simulator or the CPU reference renderer.
+ * The evaluation workloads: the five of paper Table IV plus the
+ * multi-stage pipeline set (hybrid, ray-query-from-compute,
+ * any-hit-heavy, accumulating) — scene + shader set + pipeline +
+ * descriptor buffers, with helpers to render them on the functional
+ * simulator or the CPU reference renderer.
  */
 
 #ifndef VKSIM_WORKLOADS_WORKLOAD_H
@@ -29,13 +31,18 @@ enum class WorkloadId
     REF,
     EXT,
     RTV5,
-    RTV6
+    RTV6,
+    HYB, ///< hybrid-renderer proxy: shadow + reflection rays per hit
+    RQC, ///< inline ray query from a compute shader (no SBT)
+    AHA, ///< any-hit-heavy alpha test (immediate any-hit suspension)
+    ACC  ///< multi-frame accumulating path tracer
 };
 
-/** All workloads, in Table IV order. */
+/** All workloads, Table IV order then the pipeline-stage additions. */
 inline constexpr WorkloadId kAllWorkloads[] = {
     WorkloadId::TRI, WorkloadId::REF, WorkloadId::EXT, WorkloadId::RTV5,
-    WorkloadId::RTV6};
+    WorkloadId::RTV6, WorkloadId::HYB, WorkloadId::RQC, WorkloadId::AHA,
+    WorkloadId::ACC};
 
 const char *workloadName(WorkloadId id);
 
@@ -51,6 +58,8 @@ struct WorkloadParams
     bool fcc = false;         ///< lower traceRay with FCC (Algorithm 3)
     /** EXT only: use the divergent raygen (ITS microbenchmark). */
     bool divergentRaygen = false;
+    /** ACC: frames accumulated through the cross-frame buffer. */
+    unsigned frames = 1;
 };
 
 /** Paper-scale parameters for Table IV reproduction. */
@@ -80,7 +89,25 @@ class Workload
     vptx::LaunchContext &launch() { return launch_.context(); }
     const vptx::LaunchContext &launch() const { return launch_.context(); }
     Addr framebuffer() const { return framebufferAddr_; }
+    /** ACC only: the cross-frame accumulation buffer (0 otherwise). */
+    Addr accumBuffer() const { return accumAddr_; }
     ShadingMode shadingMode() const;
+
+    /**
+     * Prepare device memory for frame `frame` of a multi-frame run:
+     * bumps the accumulation header's frame count and rotates the
+     * constants' frameSeed. Frame 0 state is what construction leaves
+     * behind, so single-frame runs never need to call this.
+     */
+    void beginFrame(unsigned frame);
+
+    /**
+     * Configure a CpuTracer to mirror this workload's pipeline modes
+     * (immediate any-hit suspension + the alpha-test verdict). Applied
+     * to the internal reference tracer at construction; the service
+     * calls it on the differential checker's tracer too.
+     */
+    void configureTracer(CpuTracer *tracer) const;
 
     /** Whether the BVH came from the artifact cache. @{ */
     bool bvhCacheHit() const { return bvhCacheHit_; }
@@ -133,6 +160,7 @@ class Workload
     DescriptorSet descriptors_;
     Launch launch_;
     Addr framebufferAddr_ = 0;
+    Addr accumAddr_ = 0;
     bool bvhCacheHit_ = false;
     bool pipelineCacheHit_ = false;
     std::uint64_t bvhKey_ = 0;

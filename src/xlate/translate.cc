@@ -35,13 +35,16 @@ class Translator
     Program
     run()
     {
-        vksim_assert(pipe_.raygen >= 0);
-        vksim_assert(!pipe_.missShaders.empty());
+        vksim_assert((pipe_.raygen >= 0) != (pipe_.compute >= 0));
+        if (pipe_.raygen >= 0)
+            vksim_assert(!pipe_.missShaders.empty());
 
         // Collect the dispatch chains once: every distinct any-hit and
         // intersection shader, and every distinct closest-hit shader.
+        // Immediate-mode any-hit shaders run mid-traversal through the
+        // trampolines instead, so they never appear in the deferred loop.
         for (const HitGroupDesc &g : pipe_.hitGroups) {
-            if (g.anyHit >= 0)
+            if (g.anyHit >= 0 && !pipe_.immediateAnyHit)
                 addUnique(deferredChain_, g.anyHit);
             if (g.intersection >= 0)
                 addUnique(deferredChain_, g.intersection);
@@ -52,12 +55,38 @@ class Translator
         for (std::size_t i = 0; i < pipe_.shaders.size(); ++i)
             emitShader(static_cast<int>(i));
 
+        // Immediate any-hit: one trampoline (`call any_hit; exit`) per
+        // hit group carrying an any-hit shader. The RT unit's suspension
+        // micro-program starts a one-lane mini-warp here so the shader's
+        // Ret has a frame to pop and the warp exits deterministically.
+        if (pipe_.immediateAnyHit) {
+            for (const HitGroupDesc &g : pipe_.hitGroups) {
+                if (g.anyHit < 0) {
+                    prog_.anyHitTrampolines.push_back(-1);
+                    continue;
+                }
+                vptx::ShaderInfo info;
+                info.name = "anyhit_trampoline."
+                            + std::to_string(prog_.anyHitTrampolines.size());
+                info.stage = vptx::ShaderStage::AnyHit;
+                info.entryPc = pc();
+                info.numRegs = 1;
+                std::uint32_t at = emitOp(Opcode::Call, -1, -1, -1, -1, 0);
+                callFixups_.emplace_back(at, g.anyHit);
+                emitOp(Opcode::Exit);
+                prog_.anyHitTrampolines.push_back(
+                    static_cast<std::int32_t>(prog_.shaders.size()));
+                prog_.shaders.push_back(std::move(info));
+            }
+        }
+
         // Patch calls now that every entry pc is known.
         for (const auto &[pc, callee] : callFixups_)
             prog_.code[pc].target =
                 prog_.shaders[static_cast<std::size_t>(callee)].entryPc;
 
-        prog_.raygenShader = pipe_.raygen;
+        prog_.raygenShader = pipe_.entry();
+        prog_.immediateAnyHit = pipe_.immediateAnyHit;
         return std::move(prog_);
     }
 
@@ -141,7 +170,8 @@ class Translator
         loopRegions_.clear();
         lowerBlock(sh.body, nullptr);
 
-        if (sh.stage == vptx::ShaderStage::RayGen)
+        if (sh.stage == vptx::ShaderStage::RayGen
+            || sh.stage == vptx::ShaderStage::Compute)
             emitOp(Opcode::Exit);
         else
             emitOp(Opcode::Ret);
@@ -420,6 +450,12 @@ class Translator
           case Op::TraceRay:
             lowerTraceRay(in);
             return;
+          case Op::RayQuery:
+            lowerRayQuery(in);
+            return;
+          case Op::RayQueryEnd:
+            emitOp(Opcode::EndTraceRay);
+            return;
           default:
             break;
         }
@@ -644,6 +680,77 @@ class Translator
         resetTemps();
     }
 
+    /**
+     * The VK_KHR_ray_query expansion (compute shaders). Same frame push
+     * and traverseAS as a traceRayEXT, but resolution is inline with no
+     * SBT indirection: every deferred triangle candidate is accepted via
+     * the default commit; procedural entries are skipped (a ray-query
+     * pipeline carries no intersection shaders to resolve them). The
+     * frame stays live — the shader reads the committed hit words via
+     * frameAddr() and pops with rayQueryEnd().
+     */
+    void
+    lowerRayQuery(const nir::Instr &in)
+    {
+        auto s = [&](int i) { return in.srcs[static_cast<std::size_t>(i)]; };
+        resetTemps();
+
+        emitOp(Opcode::RtPushFrame);
+        int tf = temp();
+        emitOp(Opcode::RtFrameAddr, tf);
+        const Addr ray_offsets[9] = {kRayOriginX, kRayOriginY, kRayOriginZ,
+                                     kRayTmin,    kRayDirX,    kRayDirY,
+                                     kRayDirZ,    kRayTmax,    kRayFlags};
+        for (int i = 0; i < 9; ++i)
+            emitOp(Opcode::St, -1, tf, s(i), -1, ray_offsets[i], 4);
+
+        emitOp(Opcode::TraverseAS);
+
+        // Inline resolution loop over the deferred table.
+        int tidx = temp();
+        emitOp(Opcode::MovImm, tidx, -1, -1, -1, 0);
+        int tone = movImm(1);
+        int tstride = movImm(kDeferredStride);
+        int loop_temp_floor = tempNext_;
+
+        std::uint32_t loop_start = pc();
+        std::vector<std::uint32_t> loop_breaks;
+
+        int tcnt = temp();
+        emitOp(Opcode::Ld, tcnt, tf, -1, -1, kDeferredCount, 4);
+        int tp = temp();
+        emitOp(Opcode::ISetGe, tp, tidx, tcnt);
+        std::uint32_t br = emitOp(Opcode::Bra, -1, tp);
+        prog_.code[br].target = kPatch;
+        loop_breaks.push_back(br);
+        tempNext_ -= 2;
+
+        emitOp(Opcode::St, -1, tf, tidx, -1, kCurrentDeferred, 4);
+        int tent = temp();
+        emitOp(Opcode::Mul, tent, tidx, tstride);
+        emitOp(Opcode::Add, tent, tf, tent);
+        int tany = temp();
+        emitOp(Opcode::Ld, tany, tent, -1, -1, kDeferredBase + kDefAnyHit,
+               4);
+        // Procedural entries (anyHit flag clear) have no valid t: skip.
+        std::uint32_t skip = emitOp(Opcode::BraZ, -1, tany);
+        emitOp(Opcode::CommitAnyHit);
+        prog_.code[skip].target = pc();
+        prog_.code[skip].reconv = pc();
+
+        emitOp(Opcode::Add, tidx, tidx, tone);
+        tempNext_ = loop_temp_floor;
+        std::uint32_t jmp = emitOp(Opcode::Jmp);
+        prog_.code[jmp].target = loop_start;
+        std::uint32_t loop_exit = pc();
+        loopRegions_.emplace_back(loop_start, loop_exit);
+        for (std::uint32_t b : loop_breaks) {
+            prog_.code[b].target = loop_exit;
+            prog_.code[b].reconv = loop_exit;
+        }
+        resetTemps();
+    }
+
     const PipelineDesc &pipe_;
     const TranslateOptions &opts_;
     Program prog_;
@@ -715,6 +822,8 @@ digestPipeline(const PipelineDesc &pipeline, bool fcc)
         digestBlock(d, shader->body);
     }
     d.mix(static_cast<std::uint64_t>(pipeline.raygen));
+    d.mix(static_cast<std::uint64_t>(pipeline.compute));
+    d.mix(pipeline.immediateAnyHit ? 1 : 0);
     d.mix(pipeline.missShaders.size());
     for (int m : pipeline.missShaders)
         d.mix(static_cast<std::uint64_t>(m));

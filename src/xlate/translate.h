@@ -26,13 +26,29 @@ struct HitGroupDesc
     int intersection = -1;
 };
 
-/** Everything vkCreateRayTracingPipelinesKHR provides the translator. */
+/**
+ * Everything vkCreateRayTracingPipelinesKHR (or, for ray-query compute
+ * pipelines, vkCreateComputePipelines) provides the translator. Exactly
+ * one of `raygen` / `compute` must be set; `missShaders` is required for
+ * raygen pipelines and unused for compute ones (ray queries resolve
+ * misses inline, with no SBT indirection).
+ */
 struct PipelineDesc
 {
     std::vector<const nir::Shader *> shaders;
     int raygen = -1;
-    std::vector<int> missShaders; ///< at least one
+    int compute = -1; ///< ray-query entry (mutually exclusive with raygen)
+    std::vector<int> missShaders; ///< at least one for raygen pipelines
     std::vector<HitGroupDesc> hitGroups;
+
+    /**
+     * Run any-hit shaders immediately mid-traversal (suspension model)
+     * instead of deferring them to the post-traversal resolution loop.
+     */
+    bool immediateAnyHit = false;
+
+    /** The entry shader index (raygen or compute). */
+    int entry() const { return raygen >= 0 ? raygen : compute; }
 };
 
 /** Translation options (case studies). */

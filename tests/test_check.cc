@@ -269,6 +269,31 @@ TEST(CheckEndToEndTest, FullCheckCleanOnThreadedEngine)
     EXPECT_GT(r.cycles, 0u);
 }
 
+// The multi-stage pipeline workloads bring their own invariants to the
+// sweep: AHA holds lanes in InAnyHit across barriers (the any-hit
+// conservation equation must balance while suspensions are in flight),
+// and RQC keeps compute-owned ray-query frames live across the whole
+// traverse (chunk accounting over frames no raygen stage allocated).
+TEST(CheckEndToEndTest, FullCheckCleanWithAnyHitSuspensions)
+{
+    Workload w(WorkloadId::AHA, tiny(WorkloadId::AHA));
+    GpuConfig cfg = smallConfig(2);
+    cfg.checkLevel = check::CheckLevel::Full;
+    cfg.threads = 1;
+    RunResult r = service::defaultService().submit(w, cfg).take().run;
+    EXPECT_GT(r.rt.get("anyhit_suspended"), 0u);
+}
+
+TEST(CheckEndToEndTest, FullCheckCleanWithRayQueryFrames)
+{
+    Workload w(WorkloadId::RQC, tiny(WorkloadId::RQC));
+    GpuConfig cfg = smallConfig(2);
+    cfg.checkLevel = check::CheckLevel::Full;
+    cfg.threads = 2;
+    RunResult r = service::defaultService().submit(w, cfg).take().run;
+    EXPECT_GT(r.cycles, 0u);
+}
+
 TEST(CheckEndToEndTest, FullCheckCleanWithItsAndRtCache)
 {
     Workload w(WorkloadId::EXT, tiny(WorkloadId::EXT));

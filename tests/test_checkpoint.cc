@@ -193,14 +193,74 @@ TEST_P(CheckpointRoundTripTest, RestoredRunMatchesOracle)
     }
 }
 
+// AHA is in the sweep for its suspension density: hundreds of immediate
+// any-hit suspensions, each parking a lane mid-traversal for tens of
+// cycles, so the pseudo-random snapshot points land inside suspension
+// windows — the snapshot must carry a lane frozen between RT-unit
+// suspension and shader-core verdict. RQC covers live ray-query frames
+// (a compute shader holding an RT frame open across the snapshot).
 INSTANTIATE_TEST_SUITE_P(
     Workloads, CheckpointRoundTripTest,
     ::testing::Values(static_cast<int>(WorkloadId::TRI),
-                      static_cast<int>(WorkloadId::RTV5)),
+                      static_cast<int>(WorkloadId::RTV5),
+                      static_cast<int>(WorkloadId::RQC),
+                      static_cast<int>(WorkloadId::AHA)),
     [](const ::testing::TestParamInfo<int> &info) {
         return std::string(
             wl::workloadName(static_cast<WorkloadId>(info.param)));
     });
+
+/**
+ * Multi-frame runs must survive interruption at any frame boundary *and*
+ * mid-frame: frame 0 of a two-frame ACC run is snapshotted mid-flight
+ * and restored into a fresh engine + fresh workload, then frame 1 runs
+ * on the restored instance. Its device memory — the accumulation sums
+ * and rotated seed frame 1 reads — came entirely from the snapshot, so
+ * the final accumulated image must be byte-identical to both the
+ * uninterrupted manual drive and the service's own frames=2 loop.
+ */
+TEST(CheckpointTest, MultiFrameAccumulationSurvivesMidFrameRestore)
+{
+    WorkloadParams two = tinyParams();
+    two.frames = 2;
+    Workload svc_wl(WorkloadId::ACC, two);
+    RunResult svc_run = service::defaultService().submit(
+        svc_wl, engineConfig(false, 1, 1)).take().run;
+    Image svc_img = svc_wl.readFramebuffer();
+
+    // Uninterrupted manual drive of the same two frames.
+    WorkloadParams one = tinyParams();
+    Workload plain_wl(WorkloadId::ACC, one);
+    RunResult frame0 = service::defaultService().submit(
+        plain_wl, engineConfig(false, 1, 1)).take().run;
+    plain_wl.beginFrame(1);
+    RunResult frame1 = service::defaultService().submit(
+        plain_wl, engineConfig(false, 1, 1)).take().run;
+    EXPECT_EQ(svc_run.cycles, frame0.cycles + frame1.cycles);
+    EXPECT_EQ(svc_img.data(), plain_wl.readFramebuffer().data());
+
+    // Interrupted drive: snapshot frame 0 mid-run, restore, continue.
+    GpuConfig snap_cfg = engineConfig(false, 1, 1);
+    snap_cfg.checkpoint.snapshotAt = frame0.cycles / 2;
+    Workload snap_wl(WorkloadId::ACC, one);
+    RunResult snap_run = service::defaultService().submit(snap_wl, snap_cfg).take().run;
+    ASSERT_NE(snap_run.snapshot, nullptr);
+
+    GpuConfig res_cfg = engineConfig(false, 1, 1);
+    res_cfg.checkpoint.resume = snap_run.snapshot;
+    Workload res_wl(WorkloadId::ACC, one);
+    RunResult res_frame0 = service::defaultService().submit(res_wl, res_cfg).take().run;
+    EXPECT_EQ(res_frame0.cycles, frame0.cycles);
+
+    res_wl.beginFrame(1);
+    RunResult res_frame1 = service::defaultService().submit(
+        res_wl, engineConfig(false, 1, 1)).take().run;
+    EXPECT_EQ(res_frame1.cycles, frame1.cycles);
+    // Frame 1 after the restore must be indistinguishable from frame 1
+    // after the uninterrupted run — same metrics, same final image.
+    EXPECT_EQ(res_frame1.metrics.toJson(), frame1.metrics.toJson());
+    EXPECT_EQ(svc_img.data(), res_wl.readFramebuffer().data());
+}
 
 /**
  * Snapshots must move freely across execution modes: a snapshot taken

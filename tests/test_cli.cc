@@ -306,6 +306,26 @@ TEST(Manifest, PriorityParsesAndRejectsMistypes)
     EXPECT_NE(error.find("number"), std::string::npos) << error;
 }
 
+TEST(Manifest, FramesParsesAndRejectsNonPositive)
+{
+    std::vector<service::JobSpec> specs;
+    std::string error;
+    ASSERT_TRUE(parseText(R"({"jobs": [
+        {"workload": "ACC", "frames": 4},
+        {"workload": "ACC"}
+    ]})",
+                          &specs, &error))
+        << error;
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].params.frames, 4u);
+    EXPECT_EQ(specs[1].params.frames, 1u);
+
+    EXPECT_FALSE(parseText(
+        R"({"jobs": [{"workload": "ACC", "frames": 0}]})", &specs,
+        &error));
+    EXPECT_NE(error.find("frames"), std::string::npos) << error;
+}
+
 /** Regression for the batchrun partial-failure report: failed jobs are
  *  listed by name (sorted), and a clean batch produces no summary. */
 TEST(BatchReport, FailureSummaryListsFailedJobsByName)

@@ -118,6 +118,37 @@ TEST(EpochEngineTest, InjectedFaultIsLocalizedInsideAnEpoch)
 }
 
 /**
+ * Fault localization while any-hit suspensions are in flight: AHA keeps
+ * RT-unit lanes parked in InAnyHit through the busy middle of the run,
+ * and the lane suspension state (status, pending verdict, resume
+ * deadline) is part of the per-cycle digest — so an injected fault
+ * mid-run, mid-epoch must still be pinned to its exact cycle and unit.
+ */
+TEST(EpochEngineTest, InjectedFaultIsLocalizedDuringAnyHitSuspension)
+{
+    GpuConfig ref_cfg = epochConfig(64);
+    Workload ref_wl(WorkloadId::AHA, tinyParams());
+    RunResult ref = service::defaultService().submit(ref_wl, ref_cfg).take().run;
+    ASSERT_GT(ref.rt.get("anyhit_suspended"), 0u);
+
+    // Mid-run and mid-epoch (odd, so never a multiple of 64): with
+    // hundreds of multi-cycle suspensions the middle of the run always
+    // has lanes suspended in any-hit shaders.
+    const Cycle inject = (ref.cycles / 2) | 1;
+    GpuConfig faulty_cfg = ref_cfg;
+    faulty_cfg.digestInjectCycle = inject;
+    faulty_cfg.digestInjectUnit = 2;
+
+    Workload faulty_wl(WorkloadId::AHA, tinyParams());
+    RunResult faulty = service::defaultService().submit(faulty_wl, faulty_cfg).take().run;
+
+    auto div = ref.digests.firstDivergence(faulty.digests);
+    ASSERT_TRUE(div.diverged);
+    EXPECT_EQ(div.cycle, inject);
+    EXPECT_EQ(div.unit, 2u);
+}
+
+/**
  * Same fault, fabric unit: the fabric digest is recorded by the barrier
  * replay rather than an SM worker, so localize through that path too.
  */

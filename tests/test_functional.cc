@@ -54,11 +54,32 @@ TEST_P(FunctionalFidelityTest, MatchesReferenceRenderer)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllWorkloads, FunctionalFidelityTest, ::testing::Values(0, 1, 2, 3, 4),
+    AllWorkloads, FunctionalFidelityTest,
+    ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8),
     [](const ::testing::TestParamInfo<int> &info) {
         return std::string(
             wl::workloadName(static_cast<WorkloadId>(info.param)));
     });
+
+TEST(FunctionalModesTest, AccumMatchesReferenceAcrossFrames)
+{
+    // Three accumulated frames through the cross-frame buffer must match
+    // the reference renderer's own three-frame average (identical float
+    // operation order: per-frame sums resolved by one multiply).
+    WorkloadParams params = smallParams(WorkloadId::ACC, 24);
+    params.frames = 3;
+    Workload workload(WorkloadId::ACC, params);
+    Image sim = workload.runFunctional();
+    for (unsigned f = 1; f < params.frames; ++f) {
+        workload.beginFrame(f);
+        sim = workload.runFunctional();
+    }
+    Image ref = workload.renderReferenceImage();
+    ImageDiff diff = compareImages(sim, ref, 1.0f / 255.0f);
+    EXPECT_LT(diff.differingFraction(), 0.005)
+        << diff.differingPixels << "/" << diff.totalPixels
+        << " pixels differ (max delta " << diff.maxChannelDelta << ")";
+}
 
 TEST(FunctionalModesTest, ItsRendersIdenticalImage)
 {

@@ -120,11 +120,34 @@ TEST_P(IdleSkipEquivalenceTest, BitIdenticalToLockStep)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllWorkloads, IdleSkipEquivalenceTest, ::testing::Values(0, 1, 2, 3, 4),
+    AllWorkloads, IdleSkipEquivalenceTest,
+    ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8),
     [](const ::testing::TestParamInfo<int> &info) {
         return std::string(
             wl::workloadName(static_cast<WorkloadId>(info.param)));
     });
+
+// Multi-frame runs thread cross-frame state (the accumulation buffer,
+// the rotated seed) through device memory between launches; the
+// stepping contract must hold across that seam too.
+TEST(IdleSkipTest, MultiFrameAccumulationIsBitIdentical)
+{
+    WorkloadParams p = tinyParams();
+    p.frames = 2;
+
+    Workload ref_wl(WorkloadId::ACC, p);
+    RunResult ref = service::defaultService().submit(
+        ref_wl, engineConfig(/*idle_skip=*/false, 1, 1)).take().run;
+    Image ref_img = ref_wl.readFramebuffer();
+
+    Workload skip_wl(WorkloadId::ACC, p);
+    RunResult skip = service::defaultService().submit(
+        skip_wl, engineConfig(/*idle_skip=*/true, 4, 64)).take().run;
+    EXPECT_EQ(ref.cycles, skip.cycles);
+    EXPECT_EQ(ref.metrics.toJson(), skip.metrics.toJson());
+    EXPECT_EQ(ref_img.data(), skip_wl.readFramebuffer().data())
+        << "accumulated framebuffer differs across engines";
+}
 
 // The scheduler must actually skip something on a workload with cold
 // SMs, or the suite above is vacuous.

@@ -196,7 +196,8 @@ TEST_P(EngineDeterminismTest, IdenticalAcrossThreadCounts)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllWorkloads, EngineDeterminismTest, ::testing::Values(0, 1, 2, 3, 4),
+    AllWorkloads, EngineDeterminismTest,
+    ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8),
     [](const ::testing::TestParamInfo<int> &info) {
         return std::string(
             wl::workloadName(static_cast<WorkloadId>(info.param)));

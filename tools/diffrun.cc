@@ -32,6 +32,18 @@
 
 namespace {
 
+std::string
+workloadNameList()
+{
+    std::string names;
+    for (vksim::wl::WorkloadId id : vksim::wl::kAllWorkloads) {
+        if (!names.empty())
+            names += "/";
+        names += vksim::wl::workloadName(id);
+    }
+    return names;
+}
+
 vksim::wl::WorkloadId
 workloadByName(const std::string &name)
 {
@@ -39,8 +51,8 @@ workloadByName(const std::string &name)
     for (WorkloadId id : vksim::wl::kAllWorkloads)
         if (name == vksim::wl::workloadName(id))
             return id;
-    std::fprintf(stderr, "unknown workload %s (use TRI/REF/EXT/RTV5/RTV6)\n",
-                 name.c_str());
+    std::fprintf(stderr, "unknown workload %s (use %s)\n", name.c_str(),
+                 workloadNameList().c_str());
     std::exit(1);
 }
 
@@ -61,7 +73,7 @@ main(int argc, char **argv)
     Cli cli("diffrun [flags]",
             "Digest-compare the serial engine against the N-thread "
             "engine on one workload launch.");
-    cli.option("workload", "name", "TRI", "TRI/REF/EXT/RTV5/RTV6")
+    cli.option("workload", "name", "TRI", workloadNameList().c_str())
         .option("width", "px", "64", "launch width")
         .option("height", "px", "64", "launch height")
         .option("scale", "f", "0.2", "EXT tessellation fraction")

@@ -5,10 +5,12 @@
  * CSV, plus a full per-scene metrics JSON — the machine-readable
  * counterpart of the `bench_fig*` pretty-printers.
  *
- * The five scenes are submitted to one SimService batch, so they
- * simulate concurrently (one job per service lane) and share translated
- * pipelines through the artifact cache; the emitted files are
- * byte-identical for any --threads value.
+ * Every workload in wl::kAllWorkloads is submitted to one SimService
+ * batch, so the scenes simulate concurrently (one job per service lane)
+ * and share translated pipelines through the artifact cache; the
+ * emitted files are byte-identical for any --threads value. Registering
+ * a new workload automatically adds its rows to every CSV, including
+ * the correlation fit.
  *
  * Outputs (under --outdir, default "report"):
  *   stats_<scene>.json        complete MetricsRegistry dump per scene
@@ -114,8 +116,8 @@ main(int argc, char **argv)
         return 1;
     }
 
-    // Submit all five scenes as one batch: the service runs them in
-    // parallel lanes and shares artifacts across them.
+    // Submit every registered scene as one batch: the service runs them
+    // in parallel lanes and shares artifacts across them.
     service::SimService svc({threads});
     std::vector<service::JobTicket> tickets;
     for (wl::WorkloadId id : wl::kAllWorkloads) {
